@@ -1,0 +1,87 @@
+// Ablation: cutoff values vs exact shell bounds. The paper stores m-1
+// cutoff values per vantage point (§3.3/§4.2); this library can optionally
+// store the exact [min,max] distance interval of every child instead
+// (store_exact_bounds), which prunes strictly no worse. This bench measures
+// whether the tighter bounds are worth the extra node storage.
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "core/mvp_tree.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "vptree/vp_tree.h"
+
+namespace mvp::bench {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+
+int Run() {
+  auto scale = VectorScale::Get();
+  if (!QuickMode()) scale.count = 30000;
+  harness::PrintFigureHeader(
+      std::cout, "Ablation: pruning bounds",
+      "paper cutoff values vs exact per-child [min,max] shell bounds",
+      std::to_string(scale.count) + " vectors each of uniform and clustered"
+          " (cluster 1000, eps=0.15), 20-d, L2");
+
+  const auto queries =
+      dataset::UniformQueryVectors(scale.queries, scale.dim, 777);
+  const std::vector<double> radii{0.15, 0.3, 0.5};
+
+  for (const bool clustered : {false, true}) {
+    std::vector<Vector> data;
+    if (clustered) {
+      dataset::ClusterParams params;
+      params.count = scale.count;
+      params.dim = scale.dim;
+      params.cluster_size = QuickMode() ? 100 : 1000;
+      data = dataset::ClusteredVectors(params, 4242);
+    } else {
+      data = dataset::UniformVectors(scale.count, scale.dim, 4242);
+    }
+    std::cout << (clustered ? "--- clustered vectors ---\n"
+                            : "--- uniform vectors ---\n");
+    std::vector<SeriesRow> rows;
+    for (const bool exact : {false, true}) {
+      const std::string tag = exact ? "exact-bounds" : "cutoffs";
+      auto vp_builder = [&, exact](std::uint64_t seed) {
+        vptree::VpTree<Vector, L2>::Options options;
+        options.store_exact_bounds = exact;
+        options.seed = seed;
+        return vptree::VpTree<Vector, L2>::Build(data, L2(), options)
+            .ValueOrDie();
+      };
+      rows.push_back(SeriesRow{
+          "vpt(2) " + tag,
+          harness::RangeCostSweep(vp_builder, queries, radii, scale.runs)});
+      auto mvp_builder = [&, exact](std::uint64_t seed) {
+        core::MvpTree<Vector, L2>::Options options;
+        options.order = 3;
+        options.leaf_capacity = 80;
+        options.num_path_distances = 5;
+        options.store_exact_bounds = exact;
+        options.seed = seed;
+        return core::MvpTree<Vector, L2>::Build(data, L2(), options)
+            .ValueOrDie();
+      };
+      rows.push_back(SeriesRow{
+          "mvpt(3,80) " + tag,
+          harness::RangeCostSweep(mvp_builder, queries, radii, scale.runs)});
+    }
+    PrintSweepTable("query range r", radii, rows);
+  }
+  std::cout <<
+      "expected: near-identical on uniform data (equal-cardinality\n"
+      "positional splits leave no gap between cutoff and true bounds);\n"
+      "a visible win on clustered data, where inter-cluster gaps make the\n"
+      "exact intervals strictly tighter.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace mvp::bench
+
+int main() { return mvp::bench::Run(); }

@@ -1,0 +1,63 @@
+// Ablation: leaf capacity k. §5.2: "The idea of increasing leaf capacity
+// pays off since it decreases the number of vantage points by shortening
+// the height of the tree, and delay[s] the major filtering step to the leaf
+// level." Sweeps k for mvpt(3,k,p=5) on the uniform-vector workload.
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "core/mvp_tree.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+
+namespace mvp::bench {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+
+int Run() {
+  auto scale = VectorScale::Get();
+  if (!QuickMode()) scale.count = 30000;  // keep the sweep under a minute
+  harness::PrintFigureHeader(
+      std::cout, "Ablation: leaf capacity",
+      "mvpt(3,k,p=5) search cost as leaf capacity k grows",
+      std::to_string(scale.count) + " uniform 20-d vectors, L2, " +
+          std::to_string(scale.queries) + " queries x " +
+          std::to_string(scale.runs) + " runs");
+
+  const auto data = dataset::UniformVectors(scale.count, scale.dim, 4242);
+  const auto queries =
+      dataset::UniformQueryVectors(scale.queries, scale.dim, 777);
+  const std::vector<double> radii{0.15, 0.3, 0.5};
+
+  std::vector<SeriesRow> rows;
+  for (const int k : {1, 5, 9, 20, 40, 80, 160, 320}) {
+    auto builder = [&, k](std::uint64_t seed) {
+      core::MvpTree<Vector, L2>::Options options;
+      options.order = 3;
+      options.leaf_capacity = k;
+      options.num_path_distances = 5;
+      options.seed = seed;
+      return core::MvpTree<Vector, L2>::Build(data, L2(), options)
+          .ValueOrDie();
+    };
+    rows.push_back(
+        SeriesRow{"mvpt(3," + std::to_string(k) + ")",
+                  harness::RangeCostSweep(builder, queries, radii, scale.runs)});
+  }
+  PrintSweepTable("query range r", radii, rows);
+  std::cout <<
+      "expected: cost falls steeply as k grows from 1 (more points enjoy\n"
+      "leaf-level D1/D2/PATH filtering, fewer mandatory vantage-point\n"
+      "distances), then flattens. Plateaus are real, not noise: with\n"
+      "fanout m^2 = 9 subtree sizes shrink ~9x per level, so k values\n"
+      "falling between two successive subtree sizes produce identical\n"
+      "trees (a leaf forms as soon as a subtree has <= k+2 points).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace mvp::bench
+
+int main() { return mvp::bench::Run(); }

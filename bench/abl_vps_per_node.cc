@@ -1,0 +1,87 @@
+// Ablation: vantage points per node (v). §4.2: "The mvp-tree construction
+// can be modified easily so that more than 2 vantage points can be kept in
+// one node ... and may be more favorable in most cases." — sketched but not
+// evaluated in the paper. This bench sweeps v for GeneralizedMvpTree(m=3,
+// k=80, p=5): v=1 is an m-way vp-tree PLUS the stored leaf distances
+// (isolating Observation 2 from Observation 1), v=2 is the paper's
+// structure, v=3..4 test the sketched extension.
+
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "core/generalized_mvp_tree.h"
+#include "core/mvp_tree.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+
+namespace mvp::bench {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+
+int Run() {
+  auto scale = VectorScale::Get();
+  if (!QuickMode()) scale.count = 30000;
+  harness::PrintFigureHeader(
+      std::cout, "Ablation: vantage points per node",
+      "GeneralizedMvpTree(m=3, v, k=80, p=5) as v grows (fanout 3^v)",
+      std::to_string(scale.count) + " uniform 20-d vectors, L2, " +
+          std::to_string(scale.queries) + " queries x " +
+          std::to_string(scale.runs) + " runs");
+
+  const auto data = dataset::UniformVectors(scale.count, scale.dim, 4242);
+  const auto queries =
+      dataset::UniformQueryVectors(scale.queries, scale.dim, 777);
+  const std::vector<double> radii{0.15, 0.3, 0.5};
+
+  std::vector<SeriesRow> rows;
+  for (const int v : {1, 2, 3, 4}) {
+    auto builder = [&, v](std::uint64_t seed) {
+      core::GeneralizedMvpTree<Vector, L2>::Options options;
+      options.order = 3;
+      options.vantage_points = v;
+      options.leaf_capacity = 80;
+      options.num_path_distances = 5;
+      options.seed = seed;
+      return core::GeneralizedMvpTree<Vector, L2>::Build(data, L2(), options)
+          .ValueOrDie();
+    };
+    rows.push_back(
+        SeriesRow{"gen-mvpt(v=" + std::to_string(v) + ")",
+                  harness::RangeCostSweep(builder, queries, radii, scale.runs)});
+  }
+  // The canonical paper structure for reference.
+  auto canonical = [&](std::uint64_t seed) {
+    core::MvpTree<Vector, L2>::Options options;
+    options.order = 3;
+    options.leaf_capacity = 80;
+    options.num_path_distances = 5;
+    options.seed = seed;
+    return core::MvpTree<Vector, L2>::Build(data, L2(), options)
+        .ValueOrDie();
+  };
+  rows.push_back(SeriesRow{
+      "mvpt(3,80) canonical",
+      harness::RangeCostSweep(canonical, queries, radii, scale.runs)});
+
+  PrintSweepTable("query range r", radii, rows);
+  for (const auto& row : rows) {
+    std::cout << row.name << " construction distances: "
+              << harness::FormatDouble(
+                     row.cells[0].avg_construction_distances, 0)
+              << "\n";
+  }
+  std::cout <<
+      "expected: v=2 ~matches the canonical mvp-tree (same structure,\n"
+      "slightly different second-vantage-point rule); v=1 shows how much\n"
+      "of the gain comes from stored leaf distances alone; v>=3 trades\n"
+      "fewer tree levels against thinner shells per vantage point — the\n"
+      "sweet spot stays at small v on this distance distribution.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace mvp::bench
+
+int main() { return mvp::bench::Run(); }

@@ -1,0 +1,97 @@
+// Extension: budgeted (approximate) k-NN. For expensive metrics the
+// natural production knob is "spend at most B distance computations and
+// return the best found". Because the mvp-tree orders children by distance
+// lower bound and pre-filters leaf candidates through stored distances,
+// recall climbs steeply with the budget. This bench prints the recall@10
+// curve vs budget on the clustered-vector workload (where near neighbors
+// are meaningful) together with the exact search's cost for reference.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "common/rng.h"
+#include "core/mvp_tree.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+
+namespace mvp::bench {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+
+int Run() {
+  const std::size_t n = QuickMode() ? 5000 : 50000;
+  harness::PrintFigureHeader(
+      std::cout, "Extension: budgeted approximate k-NN",
+      "recall@10 vs distance-computation budget, mvpt(3,80,p=5)",
+      std::to_string(n) + " clustered 20-d vectors (cluster 1000, eps=0.15),"
+                          " 50 cluster-member queries");
+
+  dataset::ClusterParams params;
+  params.count = n;
+  params.dim = 20;
+  params.cluster_size = QuickMode() ? 100 : 1000;
+  const auto data = dataset::ClusteredVectors(params, 4242);
+
+  core::MvpTree<Vector, L2>::Options options;
+  options.order = 3;
+  options.leaf_capacity = 80;
+  options.num_path_distances = 5;
+  const auto tree =
+      core::MvpTree<Vector, L2>::Build(data, L2(), options).ValueOrDie();
+
+  // Cluster-member queries: perturbed copies of random data points.
+  Rng rng(777);
+  std::vector<Vector> queries;
+  for (int i = 0; i < 50; ++i) {
+    Vector q = data[rng.NextIndex(data.size())];
+    for (auto& x : q) x += rng.Uniform(-0.05, 0.05);
+    queries.push_back(std::move(q));
+  }
+
+  // Exact reference + exact cost.
+  std::vector<std::vector<Neighbor>> exact;
+  double exact_cost = 0;
+  for (const auto& q : queries) {
+    SearchStats stats;
+    exact.push_back(tree.KnnSearch(q, 10, &stats));
+    exact_cost += static_cast<double>(stats.distance_computations);
+  }
+  exact_cost /= static_cast<double>(queries.size());
+
+  std::printf("%10s  %10s  %10s\n", "budget", "recall@10", "avg dists");
+  for (const std::uint64_t budget :
+       {std::uint64_t{25}, std::uint64_t{50}, std::uint64_t{100},
+        std::uint64_t{200}, std::uint64_t{400}, std::uint64_t{800},
+        std::uint64_t{1600}, std::uint64_t{6400}}) {
+    double hits = 0, cost = 0;
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      SearchStats stats;
+      const auto approx =
+          tree.KnnSearchApproximate(queries[qi], 10, budget, &stats);
+      cost += static_cast<double>(stats.distance_computations);
+      for (const auto& a : approx) {
+        for (const auto& e : exact[qi]) hits += a.id == e.id ? 1 : 0;
+      }
+    }
+    std::printf("%10llu  %10.3f  %10.1f\n",
+                static_cast<unsigned long long>(budget),
+                hits / (10.0 * static_cast<double>(queries.size())),
+                cost / static_cast<double>(queries.size()));
+  }
+  std::printf("exact search: recall 1.000 at avg %.1f distance computations\n",
+              exact_cost);
+  std::cout <<
+      "expected: recall climbs monotonically with the budget (the\n"
+      "best-bound-first traversal finds the home cluster early, then\n"
+      "spends the rest confirming), reaching ~0.9+ at roughly half the\n"
+      "exact search's cost — a smooth recall/cost trade-off curve.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace mvp::bench
+
+int main() { return mvp::bench::Run(); }

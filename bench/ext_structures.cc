@@ -1,0 +1,254 @@
+// Extension: all-structure shootout. The paper reviews BK-trees, gh-trees
+// and GNAT in §3 but only evaluates vp-trees against mvp-trees; this bench
+// puts every distance-based structure in this library on shared workloads:
+// (a) uniform 20-d vectors under L2, (b) synthetic words under edit
+// distance (the BK-tree's home turf — it requires a discrete metric and so
+// only appears in part b).
+
+#include <iostream>
+
+#include "baselines/ball_partition_tree.h"
+#include "baselines/bk_tree.h"
+#include "baselines/clique_tree.h"
+#include "baselines/distance_matrix.h"
+#include "baselines/gh_tree.h"
+#include "baselines/gnat.h"
+#include "bench/figure_common.h"
+#include "core/mvp_tree.h"
+#include "dataset/vector_gen.h"
+#include "dataset/words.h"
+#include "metric/edit_distance.h"
+#include "metric/lp.h"
+#include "scan/linear_scan.h"
+#include "vptree/vp_tree.h"
+
+namespace mvp::bench {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+
+void VectorShootout() {
+  auto scale = VectorScale::Get();
+  if (!QuickMode()) scale.count = 20000;
+  std::cout << "--- (a) " << scale.count
+            << " uniform 20-d vectors, L2 ---\n";
+  const auto data = dataset::UniformVectors(scale.count, scale.dim, 4242);
+  const auto queries =
+      dataset::UniformQueryVectors(scale.queries, scale.dim, 777);
+  const std::vector<double> radii{0.15, 0.3, 0.5};
+
+  std::vector<SeriesRow> rows;
+  rows.push_back(SeriesRow{
+      "linear scan",
+      harness::RangeCostSweep(
+          [&](std::uint64_t) {
+            return scan::LinearScan<Vector, L2>(data, L2());
+          },
+          queries, radii, 1)});
+  rows.push_back(SeriesRow{
+      "ball-part [BK73-2]",
+      harness::RangeCostSweep(
+          [&](std::uint64_t seed) {
+            baselines::BallPartitionTree<Vector, L2>::Options options;
+            options.seed = seed;
+            return baselines::BallPartitionTree<Vector, L2>::Build(
+                       data, L2(), options)
+                .ValueOrDie();
+          },
+          queries, radii, scale.runs)});
+  rows.push_back(SeriesRow{
+      "gh-tree", harness::RangeCostSweep(
+                     [&](std::uint64_t seed) {
+                       baselines::GhTree<Vector, L2>::Options options;
+                       options.seed = seed;
+                       return baselines::GhTree<Vector, L2>::Build(
+                                  data, L2(), options)
+                           .ValueOrDie();
+                     },
+                     queries, radii, scale.runs)});
+  rows.push_back(SeriesRow{
+      "gnat(8)", harness::RangeCostSweep(
+                     [&](std::uint64_t seed) {
+                       baselines::Gnat<Vector, L2>::Options options;
+                       options.seed = seed;
+                       return baselines::Gnat<Vector, L2>::Build(data, L2(),
+                                                                 options)
+                           .ValueOrDie();
+                     },
+                     queries, radii, scale.runs)});
+  rows.push_back(SeriesRow{
+      "vpt(2)", harness::RangeCostSweep(
+                    [&](std::uint64_t seed) {
+                      vptree::VpTree<Vector, L2>::Options options;
+                      options.seed = seed;
+                      return vptree::VpTree<Vector, L2>::Build(data, L2(),
+                                                               options)
+                          .ValueOrDie();
+                    },
+                    queries, radii, scale.runs)});
+  rows.push_back(SeriesRow{
+      "mvpt(3,80)", harness::RangeCostSweep(
+                        [&](std::uint64_t seed) {
+                          core::MvpTree<Vector, L2>::Options options;
+                          options.order = 3;
+                          options.leaf_capacity = 80;
+                          options.num_path_distances = 5;
+                          options.seed = seed;
+                          return core::MvpTree<Vector, L2>::Build(data, L2(),
+                                                                  options)
+                              .ValueOrDie();
+                        },
+                        queries, radii, scale.runs)});
+  PrintSweepTable("query range r", radii, rows);
+}
+
+void WordShootout() {
+  const std::size_t count = QuickMode() ? 2000 : 20000;
+  std::cout << "--- (b) " << count
+            << " synthetic words, edit distance ---\n";
+  const auto words = dataset::SyntheticWords(count, 4242);
+  std::vector<std::string> queries;
+  for (std::size_t i = 0; i < 50; ++i) {
+    queries.push_back(
+        dataset::MutateWord(words[(i * 131) % words.size()], 1 + i % 3, i));
+  }
+  const std::vector<double> radii{1, 2, 3};
+  using Lev = metric::Levenshtein;
+
+  std::vector<SeriesRow> rows;
+  rows.push_back(SeriesRow{
+      "linear scan",
+      harness::RangeCostSweep(
+          [&](std::uint64_t) {
+            return scan::LinearScan<std::string, Lev>(words, Lev());
+          },
+          queries, radii, 1)});
+  rows.push_back(SeriesRow{
+      "bk-tree", harness::RangeCostSweep(
+                     [&](std::uint64_t) {
+                       return baselines::BkTree<std::string, Lev>::Build(
+                                  words, Lev())
+                           .ValueOrDie();
+                     },
+                     queries, radii, 1)});
+  rows.push_back(SeriesRow{
+      "gh-tree", harness::RangeCostSweep(
+                     [&](std::uint64_t seed) {
+                       baselines::GhTree<std::string, Lev>::Options options;
+                       options.seed = seed;
+                       return baselines::GhTree<std::string, Lev>::Build(
+                                  words, Lev(), options)
+                           .ValueOrDie();
+                     },
+                     queries, radii, 2)});
+  rows.push_back(SeriesRow{
+      "gnat(8)", harness::RangeCostSweep(
+                     [&](std::uint64_t seed) {
+                       baselines::Gnat<std::string, Lev>::Options options;
+                       options.seed = seed;
+                       return baselines::Gnat<std::string, Lev>::Build(
+                                  words, Lev(), options)
+                           .ValueOrDie();
+                     },
+                     queries, radii, 2)});
+  rows.push_back(SeriesRow{
+      "vpt(2)", harness::RangeCostSweep(
+                    [&](std::uint64_t seed) {
+                      vptree::VpTree<std::string, Lev>::Options options;
+                      options.seed = seed;
+                      return vptree::VpTree<std::string, Lev>::Build(
+                                 words, Lev(), options)
+                          .ValueOrDie();
+                    },
+                    queries, radii, 2)});
+  rows.push_back(SeriesRow{
+      "mvpt(3,80)", harness::RangeCostSweep(
+                        [&](std::uint64_t seed) {
+                          core::MvpTree<std::string, Lev>::Options options;
+                          options.order = 3;
+                          options.leaf_capacity = 80;
+                          options.num_path_distances = 5;
+                          options.seed = seed;
+                          return core::MvpTree<std::string, Lev>::Build(
+                                     words, Lev(), options)
+                              .ValueOrDie();
+                        },
+                        queries, radii, 2)});
+  PrintSweepTable("query range r (edits)", radii, rows);
+}
+
+void SmallDomainShootout() {
+  // [SW90]'s O(n^2) distance table only fits small domains — exactly the
+  // trade-off §3.2 describes: minimal query-time distance computations,
+  // "overwhelming" space (n^2 doubles) and O(n) bookkeeping per step.
+  const std::size_t n = QuickMode() ? 1000 : 4000;
+  std::cout << "--- (c) small domain: " << n
+            << " uniform 20-d vectors, L2 (where O(n^2) tables fit) ---\n";
+  const auto data = dataset::UniformVectors(n, 20, 4242);
+  const auto queries = dataset::UniformQueryVectors(30, 20, 777);
+  const std::vector<double> radii{0.15, 0.3, 0.5};
+
+  std::vector<SeriesRow> rows;
+  rows.push_back(SeriesRow{
+      "clique-tree [BK73-3]",
+      harness::RangeCostSweep(
+          [&](std::uint64_t seed) {
+            baselines::CliqueTree<Vector, L2>::Options options;
+            options.seed = seed;
+            return baselines::CliqueTree<Vector, L2>::Build(data, L2(),
+                                                            options)
+                .ValueOrDie();
+          },
+          queries, radii, 2)});
+  rows.push_back(SeriesRow{
+      "dist-matrix [SW90]",
+      harness::RangeCostSweep(
+          [&](std::uint64_t) {
+            return baselines::DistanceMatrixIndex<Vector, L2>::Build(
+                       data, L2(), {})
+                .ValueOrDie();
+          },
+          queries, radii, 1)});
+  rows.push_back(SeriesRow{
+      "mvpt(3,80)", harness::RangeCostSweep(
+                        [&](std::uint64_t seed) {
+                          core::MvpTree<Vector, L2>::Options options;
+                          options.order = 3;
+                          options.leaf_capacity = 80;
+                          options.num_path_distances = 5;
+                          options.seed = seed;
+                          return core::MvpTree<Vector, L2>::Build(data, L2(),
+                                                                  options)
+                              .ValueOrDie();
+                        },
+                        queries, radii, 2)});
+  PrintSweepTable("query range r", radii, rows);
+  std::printf(
+      "  construction distances: dist-matrix %.0f (n(n-1)/2) vs mvpt %.0f;\n"
+      "  dist-matrix table: %.0f MB of doubles for n=%zu\n",
+      static_cast<double>(n) * (static_cast<double>(n) - 1) / 2,
+      rows.back().cells[0].avg_construction_distances,
+      static_cast<double>(n) * static_cast<double>(n) * 8 / 1e6, n);
+}
+
+int Run() {
+  harness::PrintFigureHeader(
+      std::cout, "Extension: structure shootout",
+      "every distance-based structure of §3 on shared workloads",
+      "avg distance computations per range query");
+  VectorShootout();
+  WordShootout();
+  SmallDomainShootout();
+  std::cout <<
+      "expected: every structure beats the scan; mvpt leads on vectors\n"
+      "(the paper's result); on words with small integer radii the\n"
+      "discrete structures are competitive — the reason [BK73] predates\n"
+      "continuous-metric trees.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace mvp::bench
+
+int main() { return mvp::bench::Run(); }

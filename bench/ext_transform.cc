@@ -1,0 +1,170 @@
+// Extension: distance-preserving transformations (§3.1). Quantifies both
+// sides of the paper's argument:
+//   (a) when a cheap contractive transform exists (QBIC-style tile sums on
+//       images), the two-stage filter slashes expensive distance
+//       computations — the technique §3.1 credits to QBIC/DFT systems;
+//   (b) "transformations such as DFT or Karhunen-Loeve are not effective in
+//       indexing high-dimensional vectors where the values at each
+//       dimension are uncorrelated" — prefix filters on uniform vectors
+//       barely filter, while the same filter on smooth (correlated)
+//       signals filters well. Distance-based trees (mvp) need no such
+//       transform at all.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/figure_common.h"
+#include "common/rng.h"
+#include "core/mvp_tree.h"
+#include "dataset/image.h"
+#include "dataset/image_gen.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "transform/filter_index.h"
+#include "transform/transforms.h"
+
+namespace mvp::bench {
+namespace {
+
+using metric::L1;
+using metric::L2;
+using metric::Vector;
+
+/// Smooth random-walk signals: adjacent coordinates strongly correlated —
+/// the regime where energy-compacting transforms shine.
+std::vector<Vector> SmoothSignals(std::size_t count, std::size_t dim,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vector> data(count);
+  for (auto& v : data) {
+    v.resize(dim);
+    double x = rng.Uniform(-1, 1);
+    for (auto& value : v) {
+      x += rng.Uniform(-0.05, 0.05);
+      value = x;
+    }
+  }
+  return data;
+}
+
+template <typename Filter, typename Queries>
+void ReportFilter(const char* name, const Filter& filter,
+                  const Queries& queries, double radius, std::size_t n) {
+  transform::FilterSearchStats stats;
+  double results = 0;
+  for (const auto& q : queries) {
+    results += static_cast<double>(filter.RangeSearch(q, radius, &stats).size());
+  }
+  const double per = static_cast<double>(queries.size());
+  std::printf(
+      "  %-28s cheap=%8.1f  expensive=%7.1f  candidates=%7.1f  "
+      "results=%6.2f  (n=%zu)\n",
+      name, static_cast<double>(stats.low_distance_computations) / per,
+      static_cast<double>(stats.high_distance_computations) / per,
+      static_cast<double>(stats.candidates) / per, results / per, n);
+}
+
+int Run() {
+  harness::PrintFigureHeader(
+      std::cout, "Extension: distance-preserving transformations",
+      "two-stage filter (transform + verify) vs direct mvp-tree",
+      "per-query cost split into cheap (transformed-space) and expensive"
+      " (actual metric) distance computations");
+
+  const bool quick = QuickMode();
+
+  // ---- (a) images: QBIC-style filters vs direct mvp-tree ----
+  {
+    dataset::MriParams params;
+    params.count = quick ? 300 : 1151;
+    params.subjects = 40;
+    params.width = params.height = quick ? 32 : 64;
+    const auto scans = dataset::MriPhantoms(params, 1997);
+    std::vector<dataset::Image> queries;
+    for (std::size_t i = 0; i < 20; ++i) {
+      queries.push_back(
+          dataset::MriPhantomScan(params, 1997, i % params.subjects, 7000 + i));
+    }
+    const double radius = 50.0;
+    std::printf("(a) %zu images, normalized L1, r=%.0f\n", scans.size(),
+                radius);
+
+    using AvgFilter = transform::FilterIndex<
+        dataset::Image, dataset::ImageL1,
+        transform::AverageIntensityTransform, L1>;
+    auto avg = AvgFilter::Build(scans, dataset::ImageL1(),
+                                transform::AverageIntensityTransform(), L1(),
+                                {})
+                   .ValueOrDie();
+    ReportFilter("avg-intensity filter", avg, queries, radius, scans.size());
+
+    using TileFilter = transform::FilterIndex<
+        dataset::Image, dataset::ImageL1, transform::TileSumTransform, L1>;
+    auto tiles = TileFilter::Build(scans, dataset::ImageL1(),
+                                   transform::TileSumTransform(4), L1(), {})
+                     .ValueOrDie();
+    ReportFilter("4x4 tile-sum filter", tiles, queries, radius, scans.size());
+
+    core::MvpTree<dataset::Image, dataset::ImageL1>::Options mvp_options;
+    mvp_options.order = 3;
+    mvp_options.leaf_capacity = 13;
+    mvp_options.num_path_distances = 4;
+    auto direct = core::MvpTree<dataset::Image, dataset::ImageL1>::Build(
+                      scans, dataset::ImageL1(), mvp_options)
+                      .ValueOrDie();
+    SearchStats direct_stats;
+    for (const auto& q : queries) direct.RangeSearch(q, radius, &direct_stats);
+    std::printf("  %-28s expensive=%7.1f (all in the actual space)\n",
+                "direct mvpt(3,13)",
+                static_cast<double>(direct_stats.distance_computations) /
+                    static_cast<double>(queries.size()));
+  }
+
+  // ---- (b) vectors: prefix filters on uncorrelated vs correlated data ----
+  {
+    const std::size_t n = quick ? 4000 : 20000;
+    const std::size_t dim = 32;
+    std::printf("(b) prefix-8 filter selectivity, %zu %zu-d vectors, L2\n", n,
+                dim);
+    using PrefFilter =
+        transform::FilterIndex<Vector, L2, transform::PrefixTransform, L2>;
+
+    const auto uniform = dataset::UniformVectors(n, dim, 4242);
+    auto uf = PrefFilter::Build(uniform, L2(), transform::PrefixTransform(8),
+                                L2(), {})
+                  .ValueOrDie();
+    ReportFilter("uniform (uncorrelated)", uf,
+                 dataset::UniformQueryVectors(20, dim, 777), 0.8, n);
+
+    const auto smooth = SmoothSignals(n, dim, 4242);
+    auto sf = PrefFilter::Build(smooth, L2(), transform::PrefixTransform(8),
+                                L2(), {})
+                  .ValueOrDie();
+    ReportFilter("smooth (correlated)", sf, SmoothSignals(20, dim, 777), 0.8,
+                 n);
+
+    using BlockFilter =
+        transform::FilterIndex<Vector, L2, transform::BlockMeanTransform, L2>;
+    auto bf = BlockFilter::Build(smooth, L2(), transform::BlockMeanTransform(4),
+                                 L2(), {})
+                  .ValueOrDie();
+    ReportFilter("smooth + block-mean(4)", bf, SmoothSignals(20, dim, 777),
+                 0.8, n);
+  }
+
+  std::cout <<
+      "expected: on images both filters cut expensive computations well\n"
+      "below n, tile-sums far below avg-intensity, with the direct mvp-tree\n"
+      "competitive without needing any transform. On vectors, the §3.1\n"
+      "caveat shows as wasted verifications: on uncorrelated data every\n"
+      "candidate the prefix filter admits is a false positive (results=0),\n"
+      "while on correlated signals candidates track true results closely\n"
+      "and the energy-compacting block-mean transform tightens it further.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace mvp::bench
+
+int main() { return mvp::bench::Run(); }

@@ -1,0 +1,121 @@
+#ifndef MVPTREE_BENCH_FIGURE_COMMON_H_
+#define MVPTREE_BENCH_FIGURE_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/table.h"
+#include "harness/workload.h"
+
+/// \file
+/// Shared configuration for the paper-figure benchmarks.
+///
+/// Every binary reproduces one figure of the paper's §5 at the paper's scale
+/// by default. Setting the environment variable MVPT_BENCH_QUICK=1 shrinks
+/// the workloads (~10x) for smoke runs; the reported tables then carry a
+/// "(quick mode)" marker since absolute values shift at smaller n.
+
+namespace mvp::bench {
+
+inline bool QuickMode() {
+  const char* env = std::getenv("MVPT_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+/// §5.1.A scale: "two sets of 50.000 20-dimensional vectors", 100 queries,
+/// 4 runs.
+struct VectorScale {
+  std::size_t count = 50000;
+  std::size_t dim = 20;
+  std::size_t queries = 100;
+  std::size_t runs = 4;
+
+  static VectorScale Get() {
+    VectorScale s;
+    if (QuickMode()) {
+      s.count = 5000;
+      s.queries = 20;
+      s.runs = 2;
+    }
+    return s;
+  }
+};
+
+/// §5.1.B scale: 1151 images, 30 queries per run. The paper's 256x256
+/// resolution is reproduced at 64x64 by default (see DESIGN.md §3 — the
+/// normalized metrics make tolerance factors resolution-invariant);
+/// MVPT_BENCH_FULLRES=1 switches to 256x256.
+struct ImageScale {
+  std::size_t count = 1151;
+  std::size_t subjects = 40;
+  std::uint16_t side = 64;
+  std::size_t queries = 30;
+  std::size_t runs = 4;
+
+  static ImageScale Get() {
+    ImageScale s;
+    const char* fullres = std::getenv("MVPT_BENCH_FULLRES");
+    if (fullres != nullptr && fullres[0] == '1') s.side = 256;
+    if (QuickMode()) {
+      s.count = 300;
+      s.subjects = 12;
+      s.side = 32;
+      s.queries = 10;
+      s.runs = 2;
+    }
+    return s;
+  }
+};
+
+/// One structure's measured series across the sweep (one row of a figure).
+struct SeriesRow {
+  std::string name;
+  std::vector<harness::SweepCell> cells;
+};
+
+/// Prints the figure as a table: one column per sweep point, one row per
+/// structure, exactly the series the paper plots, followed by a
+/// percentage-saving row per structure pair the paper discusses.
+inline void PrintSweepTable(const std::string& x_label,
+                            const std::vector<double>& xs,
+                            const std::vector<SeriesRow>& rows) {
+  std::vector<std::string> columns{"structure"};
+  for (const double x : xs) columns.push_back(harness::FormatDouble(x, 2));
+  harness::Table table(columns);
+  for (const auto& row : rows) {
+    table.AddRow(row.name, harness::DistanceColumn(row.cells), 1);
+  }
+  std::cout << "avg # distance computations per query, by " << x_label
+            << (QuickMode() ? "  (quick mode)" : "") << "\n"
+            << table.ToText();
+}
+
+/// Prints "A vs B: x% fewer distance computations" per sweep point — the
+/// form the paper's §5.2 observations take.
+inline void PrintSavings(const SeriesRow& better, const SeriesRow& baseline) {
+  std::printf("%s vs %s, %% fewer distance computations:", better.name.c_str(),
+              baseline.name.c_str());
+  for (std::size_t i = 0; i < better.cells.size(); ++i) {
+    const double b = baseline.cells[i].avg_distance_computations;
+    const double a = better.cells[i].avg_distance_computations;
+    std::printf(" %5.1f%%", b > 0 ? 100.0 * (b - a) / b : 0.0);
+  }
+  std::printf("\n");
+}
+
+/// Prints average result-set sizes (sanity: the query ranges are meaningful).
+inline void PrintResultSizes(const std::vector<double>& xs,
+                             const SeriesRow& row) {
+  std::printf("avg result size (%s):", row.name.c_str());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::printf(" %.2f", row.cells[i].avg_result_size);
+  }
+  std::printf("\n");
+}
+
+}  // namespace mvp::bench
+
+#endif  // MVPTREE_BENCH_FIGURE_COMMON_H_

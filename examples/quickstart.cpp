@@ -1,0 +1,101 @@
+// Quickstart: build an mvp-tree over random high-dimensional vectors, run a
+// range query and a k-NN query, inspect the distance-computation savings,
+// and persist/reload the index.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/codec.h"
+#include "core/mvp_tree.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "scan/linear_scan.h"
+
+using mvp::SearchStats;
+using mvp::core::MvpTree;
+using mvp::metric::L2;
+using mvp::metric::Vector;
+
+int main() {
+  // 1. Data: 20000 random 20-dimensional vectors (any objects with a metric
+  //    distance function work — see the other examples for images/strings).
+  const std::size_t n = 20000, dim = 20;
+  const std::vector<Vector> data = mvp::dataset::UniformVectors(n, dim, 42);
+
+  // 2. Build. The three parameters are the paper's (m, k, p): m partitions
+  //    per vantage point (fanout m^2), k points per leaf, p pre-computed
+  //    path distances stored per leaf point.
+  MvpTree<Vector, L2>::Options options;
+  options.order = 3;               // m
+  options.leaf_capacity = 80;      // k
+  options.num_path_distances = 5;  // p
+  auto built = MvpTree<Vector, L2>::Build(data, L2(), options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  MvpTree<Vector, L2> tree = std::move(built).ValueOrDie();
+  const auto stats = tree.Stats();
+  std::printf("built mvpt(%d,%d,p=%d) over %zu vectors: height %zu, "
+              "%zu vantage points, %zu leaf points, %llu build distances\n",
+              options.order, options.leaf_capacity,
+              options.num_path_distances, tree.size(), stats.height,
+              stats.num_vantage_points, stats.num_leaf_points,
+              static_cast<unsigned long long>(
+                  stats.construction_distance_computations));
+
+  // 3. Range query: everything within distance r of a query point.
+  const Vector query = mvp::dataset::UniformQueryVectors(1, dim, 7)[0];
+  SearchStats range_stats;
+  const auto neighbors = tree.RangeSearch(query, 1.2, &range_stats);
+  std::printf("\nrange query r=1.2: %zu results using %llu distance "
+              "computations (linear scan would use %zu)\n",
+              neighbors.size(),
+              static_cast<unsigned long long>(
+                  range_stats.distance_computations),
+              n);
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, neighbors.size()); ++i) {
+    std::printf("  id=%zu distance=%.4f\n", neighbors[i].id,
+                neighbors[i].distance);
+  }
+
+  // 4. k-NN query (exact, and budgeted-approximate for a cost cap).
+  SearchStats knn_stats;
+  const auto nearest = tree.KnnSearch(query, 5, &knn_stats);
+  std::printf("\n5-NN query: %llu distance computations\n",
+              static_cast<unsigned long long>(knn_stats.distance_computations));
+  for (const auto& hit : nearest) {
+    std::printf("  id=%zu distance=%.4f\n", hit.id, hit.distance);
+  }
+  SearchStats approx_stats;
+  const auto roughly =
+      tree.KnnSearchApproximate(query, 5, /*max_distance_computations=*/300,
+                                &approx_stats);
+  std::printf("budgeted 5-NN (<=300 computations): best distance %.4f vs "
+              "exact %.4f\n",
+              roughly.empty() ? -1.0 : roughly[0].distance,
+              nearest.empty() ? -1.0 : nearest[0].distance);
+
+  // 5. Persist and reload (the metric is not serialized: pass it again).
+  mvp::BinaryWriter writer;
+  if (auto st = tree.Serialize(&writer, mvp::VectorCodec()); !st.ok()) {
+    std::fprintf(stderr, "serialize failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nserialized index: %zu bytes\n", writer.buffer().size());
+  mvp::BinaryReader reader(writer.buffer());
+  auto loaded =
+      MvpTree<Vector, L2>::Deserialize(&reader, L2(), mvp::VectorCodec());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const auto again = loaded.value().RangeSearch(query, 1.2);
+  std::printf("reloaded index returns %zu results for the same query "
+              "(expected %zu)\n",
+              again.size(), neighbors.size());
+  return again.size() == neighbors.size() ? 0 : 1;
+}

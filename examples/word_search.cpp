@@ -1,0 +1,73 @@
+// Approximate word matching — the non-spatial domain the paper highlights
+// (§3.1: "text databases which generally use the edit distance (which is
+// metric)"), and the original problem of [BK73] ("best matching key words
+// in a file"). Compares the mvp-tree against the classic BK-tree on the
+// same dictionary and misspelled queries.
+//
+//   $ ./build/examples/word_search
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/bk_tree.h"
+#include "core/mvp_tree.h"
+#include "dataset/words.h"
+#include "metric/edit_distance.h"
+
+using mvp::SearchStats;
+using mvp::baselines::BkTree;
+using mvp::core::MvpTree;
+using mvp::metric::Levenshtein;
+
+int main() {
+  const auto dictionary = mvp::dataset::SyntheticWords(30000, 4242);
+  std::printf("dictionary: %zu words\n", dictionary.size());
+
+  MvpTree<std::string, Levenshtein>::Options options;
+  options.order = 3;
+  options.leaf_capacity = 80;
+  options.num_path_distances = 5;
+  auto mvp_tree = MvpTree<std::string, Levenshtein>::Build(
+                      dictionary, Levenshtein(), options)
+                      .ValueOrDie();
+  auto bk_tree =
+      BkTree<std::string, Levenshtein>::Build(dictionary, Levenshtein())
+          .ValueOrDie();
+
+  // Misspell a few dictionary words and look them up within 2 edits.
+  int failures = 0;
+  for (const std::size_t idx : {137u, 9000u, 25000u}) {
+    const std::string& original = dictionary[idx];
+    const std::string misspelled = mvp::dataset::MutateWord(original, 2, idx);
+    std::printf("\nquery \"%s\" (misspelling of \"%s\"), tolerance 2:\n",
+                misspelled.c_str(), original.c_str());
+
+    SearchStats mvp_stats, bk_stats;
+    const auto mvp_hits = mvp_tree.RangeSearch(misspelled, 2.0, &mvp_stats);
+    const auto bk_hits = bk_tree.RangeSearch(misspelled, 2.0, &bk_stats);
+    std::printf("  mvpt(3,80): %3zu matches, %5llu distance computations\n",
+                mvp_hits.size(),
+                static_cast<unsigned long long>(
+                    mvp_stats.distance_computations));
+    std::printf("  bk-tree:    %3zu matches, %5llu distance computations\n",
+                bk_hits.size(),
+                static_cast<unsigned long long>(
+                    bk_stats.distance_computations));
+    if (mvp_hits.size() != bk_hits.size()) ++failures;
+
+    bool found_original = false;
+    for (const auto& hit : mvp_hits) {
+      if (mvp_tree.object(hit.id) == original) found_original = true;
+    }
+    std::printf("  original recovered: %s; best matches:",
+                found_original ? "yes" : "NO");
+    for (std::size_t i = 0; i < std::min<std::size_t>(4, mvp_hits.size());
+         ++i) {
+      std::printf(" %s(%.0f)", mvp_tree.object(mvp_hits[i].id).c_str(),
+                  mvp_hits[i].distance);
+    }
+    std::printf("\n");
+    if (!found_original) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,35 @@
+#ifndef MVPTREE_COMMON_MACROS_H_
+#define MVPTREE_COMMON_MACROS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Project-wide helper macros: debug checks and Status propagation.
+
+/// MVP_DCHECK(cond): precondition check, compiled out in release builds
+/// (mirrors assert semantics but with a project-grep-able name).
+#ifndef NDEBUG
+#define MVP_DCHECK(condition)                                              \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "MVP_DCHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+#else
+#define MVP_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#endif
+
+/// Propagate a non-OK Status from the current function.
+#define MVP_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::mvp::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#endif  // MVPTREE_COMMON_MACROS_H_

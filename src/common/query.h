@@ -1,0 +1,50 @@
+#ifndef MVPTREE_COMMON_QUERY_H_
+#define MVPTREE_COMMON_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Result and instrumentation types shared by every index structure.
+
+namespace mvp {
+
+/// One query answer: the id a point was inserted with (its index in the
+/// vector passed to Build) and its exact distance to the query object.
+struct Neighbor {
+  std::size_t id = 0;
+  double distance = 0.0;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+/// Deterministic result order: by distance, ties by id.
+inline bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+/// Per-query instrumentation, filled by the search routines when a non-null
+/// pointer is supplied. `distance_computations` is the paper's cost measure
+/// and always equals the number of metric invocations the query performed.
+struct SearchStats {
+  std::uint64_t distance_computations = 0;
+  std::uint64_t nodes_visited = 0;       ///< internal + leaf nodes entered
+  std::uint64_t leaf_points_seen = 0;    ///< leaf points considered
+  std::uint64_t leaf_points_filtered = 0;///< rejected by stored distances
+                                         ///< without a distance computation
+};
+
+/// Structural statistics of a built tree.
+struct TreeStats {
+  std::size_t num_internal_nodes = 0;
+  std::size_t num_leaf_nodes = 0;
+  std::size_t num_vantage_points = 0;  ///< data points used as vantage points
+  std::size_t num_leaf_points = 0;     ///< data points stored in leaves
+  std::size_t height = 0;              ///< nodes on the longest root-leaf path
+  std::uint64_t construction_distance_computations = 0;
+};
+
+}  // namespace mvp
+
+#endif  // MVPTREE_COMMON_QUERY_H_

@@ -1,0 +1,25 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace mvp {
+
+std::vector<std::size_t> Rng::SampleIndices(std::size_t n, std::size_t count) {
+  if (count >= n) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    Shuffle(all);
+    return all;
+  }
+  // Partial Fisher-Yates: after `count` swap steps the head holds a uniform
+  // sample without replacement.
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < count; ++i) {
+    std::swap(pool[i], pool[i + NextIndex(n - i)]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+}  // namespace mvp

@@ -1,0 +1,105 @@
+#ifndef MVPTREE_COMMON_RNG_H_
+#define MVPTREE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+/// \file
+/// Deterministic, platform-stable pseudo-random generation.
+///
+/// The paper's experiments average over "4 different runs ... where a
+/// different seed (for the random function used to pick vantage points) is
+/// used in each run" (§5.2). std::mt19937 + std::uniform_real_distribution is
+/// not bit-stable across standard libraries, so the reproduction uses its own
+/// xoshiro256** generator seeded via splitmix64 — identical streams on every
+/// platform, which makes dataset generation and experiment tables exactly
+/// reproducible.
+
+namespace mvp {
+
+/// splitmix64 step: used to expand a 64-bit seed into generator state.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), public-domain algorithm,
+/// reimplemented here. Fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    MVP_DCHECK(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method
+  /// simplified to rejection sampling on the top bits).
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    MVP_DCHECK(bound > 0);
+    // Rejection sampling: draw until the value falls in the largest multiple
+    // of `bound` that fits in 64 bits.
+    const std::uint64_t threshold = (0ULL - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer index in [0, n). Precondition: n > 0.
+  std::size_t NextIndex(std::size_t n) {
+    return static_cast<std::size_t>(NextBounded(n));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[NextIndex(i)]);
+    }
+  }
+
+  /// Draws `count` distinct indices from [0, n); count may exceed n, in which
+  /// case all n indices are returned. Order is random.
+  std::vector<std::size_t> SampleIndices(std::size_t n, std::size_t count);
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace mvp
+
+#endif  // MVPTREE_COMMON_RNG_H_

@@ -1,0 +1,48 @@
+#include "common/serialize.h"
+
+#include <cstdio>
+
+namespace mvp {
+
+Status BinaryReader::ReadString(std::string* out) {
+  std::uint64_t size = 0;
+  MVP_RETURN_NOT_OK(Read<std::uint64_t>(&size));
+  if (size > size_ - pos_) {
+    return Status::Corruption("string length exceeds remaining buffer");
+  }
+  out->assign(reinterpret_cast<const char*>(data_ + pos_),
+              static_cast<std::size_t>(size));
+  pos_ += static_cast<std::size_t>(size);
+  return Status::OK();
+}
+
+Status WriteFile(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  const std::size_t written = bytes.empty()
+                                  ? 0
+                                  : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != bytes.size() || close_rc != 0) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::uint8_t>> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  const bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) return Status::IOError("read error: " + path);
+  return bytes;
+}
+
+}  // namespace mvp

@@ -1,0 +1,114 @@
+#ifndef MVPTREE_COMMON_SERIALIZE_H_
+#define MVPTREE_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Minimal versioned little-endian binary serialization used by the index
+/// save/load paths. Writers append to an in-memory byte buffer; readers
+/// validate every read against the buffer bounds and surface Corruption
+/// statuses instead of crashing on truncated/garbage input.
+
+namespace mvp {
+
+/// Appends primitive values and byte blocks to a growable byte buffer.
+class BinaryWriter {
+ public:
+  /// Little-endian fixed-width append. Only arithmetic types.
+  template <typename T>
+  void Write(T value) {
+    static_assert(std::is_arithmetic_v<T>);
+    unsigned char bytes[sizeof(T)];
+    std::memcpy(bytes, &value, sizeof(T));
+    // All supported build targets are little-endian; a static_assert-like
+    // runtime check lives in serialize.cc (VerifyLittleEndian).
+    buffer_.insert(buffer_.end(), bytes, bytes + sizeof(T));
+  }
+
+  /// Length-prefixed (u64) byte string.
+  void WriteBytes(const void* data, std::size_t size) {
+    Write<std::uint64_t>(size);
+    const auto* p = static_cast<const unsigned char*>(data);
+    buffer_.insert(buffer_.end(), p, p + size);
+  }
+
+  void WriteString(const std::string& s) { WriteBytes(s.data(), s.size()); }
+
+  /// Length-prefixed vector of arithmetic values.
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_arithmetic_v<T>);
+    Write<std::uint64_t>(values.size());
+    for (const T& v : values) Write<T>(v);
+  }
+
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+  std::vector<std::uint8_t> TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked sequential reader over a byte span.
+class BinaryReader {
+ public:
+  BinaryReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<std::uint8_t>& buffer)
+      : BinaryReader(buffer.data(), buffer.size()) {}
+
+  /// Reads one little-endian fixed-width value into *out.
+  template <typename T>
+  Status Read(T* out) {
+    static_assert(std::is_arithmetic_v<T>);
+    if (size_ - pos_ < sizeof(T)) {
+      return Status::Corruption("buffer truncated reading fixed value");
+    }
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out);
+
+  /// Reads a length-prefixed vector; rejects lengths that exceed the
+  /// remaining buffer (corruption guard against huge bogus allocations).
+  template <typename T>
+  Status ReadVector(std::vector<T>* out) {
+    static_assert(std::is_arithmetic_v<T>);
+    std::uint64_t count = 0;
+    MVP_RETURN_NOT_OK(Read<std::uint64_t>(&count));
+    if (count > (size_ - pos_) / sizeof(T)) {
+      return Status::Corruption("vector length exceeds remaining buffer");
+    }
+    out->resize(static_cast<std::size_t>(count));
+    for (auto& v : *out) MVP_RETURN_NOT_OK(Read<T>(&v));
+    return Status::OK();
+  }
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes `bytes` to `path` atomically enough for tests (tmp+rename omitted:
+/// plain write, fsync-free; the index formats carry their own checksums).
+Status WriteFile(const std::string& path, const std::vector<std::uint8_t>& bytes);
+
+/// Reads the whole file at `path`.
+Result<std::vector<std::uint8_t>> ReadFile(const std::string& path);
+
+}  // namespace mvp
+
+#endif  // MVPTREE_COMMON_SERIALIZE_H_

@@ -1,0 +1,108 @@
+#ifndef MVPTREE_COMMON_STATUS_H_
+#define MVPTREE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+/// \file
+/// Arrow/RocksDB-style error model: `Status` for fallible operations with no
+/// payload, `Result<T>` for fallible operations producing a value. The
+/// library does not throw exceptions across its public API.
+
+namespace mvp {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,  ///< caller passed an unusable parameter
+  kNotFound = 2,         ///< requested entity does not exist
+  kIOError = 3,          ///< serialization / file problem
+  kCorruption = 4,       ///< persisted bytes fail validation
+  kNotSupported = 5,     ///< valid request this build cannot satisfy
+};
+
+/// Returns the canonical lower-case name of a status code ("ok", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+/// Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value of type T or the Status explaining why it could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse
+  /// (`return value;` / `return Status::InvalidArgument(...);`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    MVP_DCHECK(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error, or OK if this holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    MVP_DCHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    MVP_DCHECK(ok());
+    return std::get<T>(repr_);
+  }
+  /// Moves the value out. Precondition: ok().
+  T ValueOrDie() && {
+    MVP_DCHECK(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace mvp
+
+#endif  // MVPTREE_COMMON_STATUS_H_

@@ -1,0 +1,83 @@
+#include "dataset/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace mvp::dataset {
+
+double DistanceHistogram::Mean() const {
+  if (total_pairs == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    sum += static_cast<double>(counts[i]) * (static_cast<double>(i) + 0.5) *
+           bucket_width;
+  }
+  return sum / static_cast<double>(total_pairs);
+}
+
+double DistanceHistogram::Quantile(double quantile) const {
+  MVP_DCHECK(quantile >= 0.0 && quantile <= 1.0);
+  if (total_pairs == 0) return 0.0;
+  const double target = quantile * static_cast<double>(total_pairs);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += static_cast<double>(counts[i]);
+    if (cumulative >= target) {
+      return (static_cast<double>(i) + 1.0) * bucket_width;
+    }
+  }
+  return static_cast<double>(counts.size()) * bucket_width;
+}
+
+std::size_t DistanceHistogram::PeakBucket() const {
+  if (counts.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+void PrintHistogram(std::ostream& os, const DistanceHistogram& histogram,
+                    const HistogramPrintOptions& options) {
+  if (histogram.counts.empty()) {
+    os << "(empty histogram)\n";
+    return;
+  }
+  // Coarsen: merge adjacent buckets until the row count fits.
+  std::size_t merge = 1;
+  while ((histogram.counts.size() + merge - 1) / merge > options.max_rows) {
+    ++merge;
+  }
+  std::vector<std::uint64_t> rows((histogram.counts.size() + merge - 1) / merge,
+                                  0);
+  for (std::size_t i = 0; i < histogram.counts.size(); ++i) {
+    rows[i / merge] += histogram.counts[i];
+  }
+  const std::uint64_t peak = *std::max_element(rows.begin(), rows.end());
+
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "  pairs=%llu  scale=%.2f  min=%.4f  max=%.4f  mean=%.4f\n",
+                static_cast<unsigned long long>(histogram.total_pairs),
+                histogram.scale, histogram.min_distance,
+                histogram.max_distance, histogram.Mean());
+  os << line;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const double lo = static_cast<double>(r * merge) * histogram.bucket_width;
+    const double hi =
+        static_cast<double>((r + 1) * merge) * histogram.bucket_width;
+    const double display =
+        options.show_scaled
+            ? static_cast<double>(rows[r]) * histogram.scale
+            : static_cast<double>(rows[r]);
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(
+                        static_cast<double>(rows[r]) / static_cast<double>(peak) *
+                        static_cast<double>(options.bar_width));
+    std::snprintf(line, sizeof(line), "  [%8.3f, %8.3f)  %14.0f  ", lo, hi,
+                  display);
+    os << line << std::string(bar, '#') << "\n";
+  }
+}
+
+}  // namespace mvp::dataset

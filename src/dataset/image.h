@@ -1,0 +1,99 @@
+#ifndef MVPTREE_DATASET_IMAGE_H_
+#define MVPTREE_DATASET_IMAGE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/serialize.h"
+
+/// \file
+/// Gray-level image type and the pixel-wise image metrics of §5.1.B.
+///
+/// "When calculating distances, we simply treat these images as
+/// 256*256=65536-dimensional Euclidean vectors, and accumulate the pixel by
+/// pixel intensity differences using L1 or L2 metrics. ... The L1 distance
+/// values are normalized by 10000 ... The L2 distance values are normalized
+/// by 100." The normalizers below generalize those two constants to any
+/// resolution so that tolerance factors stay in the paper's units: L1 grows
+/// linearly in pixel count, L2 with its square root.
+
+namespace mvp::dataset {
+
+/// A gray-level image: row-major uint8 pixels (256 intensity levels).
+struct Image {
+  std::uint16_t width = 0;
+  std::uint16_t height = 0;
+  std::vector<std::uint8_t> pixels;
+
+  std::size_t size() const { return pixels.size(); }
+  std::uint8_t at(std::size_t x, std::size_t y) const {
+    MVP_DCHECK(x < width && y < height);
+    return pixels[y * width + x];
+  }
+  bool operator==(const Image& other) const = default;
+};
+
+/// Paper's pixel count: 256*256 MRI scans.
+inline constexpr double kPaperImagePixels = 65536.0;
+
+/// L1 normalizer: 10000 at 256x256, scaled linearly with pixel count.
+inline double ImageL1Normalizer(std::size_t pixels) {
+  return 10000.0 * static_cast<double>(pixels) / kPaperImagePixels;
+}
+
+/// L2 normalizer: 100 at 256x256, scaled with sqrt(pixel count).
+inline double ImageL2Normalizer(std::size_t pixels) {
+  return 100.0 * std::sqrt(static_cast<double>(pixels) / kPaperImagePixels);
+}
+
+/// Pixel-wise L1 distance, normalized per the paper (§5.1.B).
+struct ImageL1 {
+  double operator()(const Image& a, const Image& b) const {
+    MVP_DCHECK(a.width == b.width && a.height == b.height);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+      const int diff = static_cast<int>(a.pixels[i]) - b.pixels[i];
+      sum += static_cast<std::uint64_t>(diff < 0 ? -diff : diff);
+    }
+    return static_cast<double>(sum) / ImageL1Normalizer(a.pixels.size());
+  }
+};
+
+/// Pixel-wise L2 (Euclidean) distance, normalized per the paper (§5.1.B).
+struct ImageL2 {
+  double operator()(const Image& a, const Image& b) const {
+    MVP_DCHECK(a.width == b.width && a.height == b.height);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+      const int diff = static_cast<int>(a.pixels[i]) - b.pixels[i];
+      sum += static_cast<std::uint64_t>(diff * diff);
+    }
+    return std::sqrt(static_cast<double>(sum)) /
+           ImageL2Normalizer(a.pixels.size());
+  }
+};
+
+/// Codec for Image (see common/codec.h for the codec contract).
+struct ImageCodec {
+  void Write(BinaryWriter& w, const Image& img) const {
+    w.Write<std::uint16_t>(img.width);
+    w.Write<std::uint16_t>(img.height);
+    w.WriteVector(img.pixels);
+  }
+  Status Read(BinaryReader& r, Image* out) const {
+    MVP_RETURN_NOT_OK(r.Read<std::uint16_t>(&out->width));
+    MVP_RETURN_NOT_OK(r.Read<std::uint16_t>(&out->height));
+    MVP_RETURN_NOT_OK(r.ReadVector(&out->pixels));
+    if (out->pixels.size() !=
+        static_cast<std::size_t>(out->width) * out->height) {
+      return Status::Corruption("image pixel count mismatches dimensions");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace mvp::dataset
+
+#endif  // MVPTREE_DATASET_IMAGE_H_

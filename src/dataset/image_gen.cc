@@ -1,0 +1,178 @@
+#include "dataset/image_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mvp::dataset {
+
+namespace {
+
+/// An axis-aligned ellipse in normalized [-1,1]^2 coordinates.
+struct Ellipse {
+  double cx = 0, cy = 0, rx = 0.5, ry = 0.5;
+
+  bool Contains(double x, double y) const {
+    const double dx = (x - cx) / rx;
+    const double dy = (y - cy) / ry;
+    return dx * dx + dy * dy <= 1.0;
+  }
+};
+
+struct Spot {
+  double cx = 0, cy = 0, r = 0.05;
+  int intensity = 200;
+};
+
+/// Full geometric description of one rendered scan.
+struct HeadGeometry {
+  Ellipse skull;           // bright ring
+  Ellipse brain;           // interior tissue
+  Ellipse ventricle[2];    // dark cavities
+  std::vector<Spot> spots; // bright lesions
+  int skull_level = 225;
+  int tissue_level = 120;
+  int ventricle_level = 35;
+  double gradient = 30.0;  // smooth intensity ramp across the brain
+  double gradient_dir = 0.0;
+};
+
+/// Randomized per-subject anatomy; every subject differs substantially.
+HeadGeometry MakeSubject(Rng& rng) {
+  HeadGeometry g;
+  g.skull.cx = rng.Uniform(-0.08, 0.08);
+  g.skull.cy = rng.Uniform(-0.08, 0.08);
+  g.skull.rx = rng.Uniform(0.62, 0.82);
+  g.skull.ry = rng.Uniform(0.72, 0.92);
+  const double thickness = rng.Uniform(0.05, 0.10);
+  g.brain = g.skull;
+  g.brain.rx -= thickness;
+  g.brain.ry -= thickness;
+  for (int i = 0; i < 2; ++i) {
+    const double side = i == 0 ? -1.0 : 1.0;
+    g.ventricle[i].cx = g.brain.cx + side * rng.Uniform(0.08, 0.18);
+    g.ventricle[i].cy = g.brain.cy + rng.Uniform(-0.10, 0.10);
+    g.ventricle[i].rx = rng.Uniform(0.05, 0.11);
+    g.ventricle[i].ry = rng.Uniform(0.12, 0.24);
+  }
+  const std::size_t num_spots = 2 + rng.NextIndex(4);
+  for (std::size_t i = 0; i < num_spots; ++i) {
+    Spot s;
+    const double angle = rng.Uniform(0, 2 * M_PI);
+    const double radial = rng.Uniform(0.15, 0.5);
+    s.cx = g.brain.cx + radial * g.brain.rx * std::cos(angle);
+    s.cy = g.brain.cy + radial * g.brain.ry * std::sin(angle);
+    s.r = rng.Uniform(0.02, 0.06);
+    s.intensity = 160 + static_cast<int>(rng.NextIndex(80));
+    g.spots.push_back(s);
+  }
+  g.skull_level = 205 + static_cast<int>(rng.NextIndex(40));
+  g.tissue_level = 100 + static_cast<int>(rng.NextIndex(50));
+  g.ventricle_level = 25 + static_cast<int>(rng.NextIndex(25));
+  g.gradient = rng.Uniform(15.0, 45.0);
+  g.gradient_dir = rng.Uniform(0, 2 * M_PI);
+  return g;
+}
+
+/// Slice-to-slice variation: every geometric parameter jittered by a small
+/// relative amount, intensity levels by a few gray values.
+HeadGeometry JitterScan(const HeadGeometry& subject, double jitter, Rng& rng) {
+  HeadGeometry g = subject;
+  auto wobble = [&](double v, double scale) {
+    return v + rng.Uniform(-jitter, jitter) * scale;
+  };
+  auto wobble_ellipse = [&](Ellipse& e) {
+    e.cx = wobble(e.cx, 1.0);
+    e.cy = wobble(e.cy, 1.0);
+    e.rx = std::max(0.01, wobble(e.rx, e.rx * 3.0));
+    e.ry = std::max(0.01, wobble(e.ry, e.ry * 3.0));
+  };
+  wobble_ellipse(g.skull);
+  wobble_ellipse(g.brain);
+  wobble_ellipse(g.ventricle[0]);
+  wobble_ellipse(g.ventricle[1]);
+  for (auto& s : g.spots) {
+    s.cx = wobble(s.cx, 1.0);
+    s.cy = wobble(s.cy, 1.0);
+    s.r = std::max(0.005, wobble(s.r, s.r * 3.0));
+  }
+  g.tissue_level += static_cast<int>(rng.NextIndex(7)) - 3;
+  g.skull_level += static_cast<int>(rng.NextIndex(7)) - 3;
+  return g;
+}
+
+Image Render(const HeadGeometry& g, std::uint16_t width, std::uint16_t height,
+             int noise_amplitude, Rng& rng) {
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(static_cast<std::size_t>(width) * height);
+  const double gx = std::cos(g.gradient_dir);
+  const double gy = std::sin(g.gradient_dir);
+  for (std::uint16_t py = 0; py < height; ++py) {
+    const double y = 2.0 * (py + 0.5) / height - 1.0;
+    for (std::uint16_t px = 0; px < width; ++px) {
+      const double x = 2.0 * (px + 0.5) / width - 1.0;
+      int level = 5;  // background air
+      if (g.skull.Contains(x, y)) {
+        level = g.skull_level;
+        if (g.brain.Contains(x, y)) {
+          level = g.tissue_level +
+                  static_cast<int>(g.gradient * (gx * x + gy * y));
+          if (g.ventricle[0].Contains(x, y) || g.ventricle[1].Contains(x, y)) {
+            level = g.ventricle_level;
+          } else {
+            for (const auto& s : g.spots) {
+              const double dx = x - s.cx;
+              const double dy = y - s.cy;
+              if (dx * dx + dy * dy <= s.r * s.r) {
+                level = s.intensity;
+                break;
+              }
+            }
+          }
+        }
+      }
+      if (noise_amplitude > 0) {
+        level += static_cast<int>(
+                     rng.NextIndex(2 * static_cast<std::size_t>(noise_amplitude) + 1)) -
+                 noise_amplitude;
+      }
+      img.pixels[static_cast<std::size_t>(py) * width + px] =
+          static_cast<std::uint8_t>(std::clamp(level, 0, 255));
+    }
+  }
+  return img;
+}
+
+std::uint64_t MixSeed(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL);
+  return SplitMix64(s);
+}
+
+}  // namespace
+
+std::vector<Image> MriPhantoms(const MriParams& params, std::uint64_t seed) {
+  MVP_DCHECK(params.subjects > 0);
+  std::vector<Image> scans;
+  scans.reserve(params.count);
+  for (std::size_t i = 0; i < params.count; ++i) {
+    const std::size_t subject = i % params.subjects;
+    const std::uint64_t variant = i / params.subjects;
+    scans.push_back(MriPhantomScan(params, seed, subject, variant));
+  }
+  return scans;
+}
+
+Image MriPhantomScan(const MriParams& params, std::uint64_t seed,
+                     std::size_t subject_index, std::uint64_t variant) {
+  Rng subject_rng(MixSeed(seed, subject_index));
+  const HeadGeometry subject = MakeSubject(subject_rng);
+  Rng scan_rng(MixSeed(MixSeed(seed, subject_index), variant + 1));
+  const HeadGeometry scan = JitterScan(subject, params.scan_jitter, scan_rng);
+  return Render(scan, params.width, params.height, params.noise_amplitude,
+                scan_rng);
+}
+
+}  // namespace mvp::dataset

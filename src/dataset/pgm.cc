@@ -1,0 +1,112 @@
+#include "dataset/pgm.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/serialize.h"
+
+namespace mvp::dataset {
+
+namespace {
+
+/// Reads the next header token (skipping whitespace and '#' comments).
+/// Returns false when the buffer ends before a token completes.
+bool NextToken(const std::vector<std::uint8_t>& bytes, std::size_t& pos,
+               std::string* token) {
+  token->clear();
+  while (pos < bytes.size()) {
+    const char c = static_cast<char>(bytes[pos]);
+    if (c == '#') {  // comment to end of line
+      while (pos < bytes.size() && bytes[pos] != '\n') ++pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!token->empty()) return true;
+      ++pos;
+      continue;
+    }
+    token->push_back(c);
+    ++pos;
+  }
+  return !token->empty();
+}
+
+bool ParseUnsigned(const std::string& token, unsigned long* out) {
+  if (token.empty()) return false;
+  unsigned long value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<unsigned long>(c - '0');
+    if (value > 1000000) return false;  // guards width*height overflow too
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodePgm(const Image& image) {
+  char header[64];
+  const int header_len =
+      std::snprintf(header, sizeof(header), "P5\n%u %u\n255\n", image.width,
+                    image.height);
+  std::vector<std::uint8_t> bytes(header, header + header_len);
+  bytes.insert(bytes.end(), image.pixels.begin(), image.pixels.end());
+  return bytes;
+}
+
+Result<Image> DecodePgm(const std::vector<std::uint8_t>& bytes) {
+  std::size_t pos = 0;
+  std::string token;
+  if (!NextToken(bytes, pos, &token)) {
+    return Status::Corruption("empty PGM buffer");
+  }
+  if (token == "P2") {
+    return Status::NotSupported("ASCII (P2) PGM is not supported");
+  }
+  if (token != "P5") return Status::Corruption("not a P5 PGM file");
+
+  unsigned long width = 0, height = 0, maxval = 0;
+  if (!NextToken(bytes, pos, &token) || !ParseUnsigned(token, &width) ||
+      !NextToken(bytes, pos, &token) || !ParseUnsigned(token, &height) ||
+      !NextToken(bytes, pos, &token) || !ParseUnsigned(token, &maxval)) {
+    return Status::Corruption("malformed PGM header");
+  }
+  if (width == 0 || height == 0 || width > 65535 || height > 65535) {
+    return Status::Corruption("PGM dimensions out of range");
+  }
+  if (maxval == 0 || maxval > 255) {
+    return Status::NotSupported("only 8-bit PGM (maxval <= 255) supported");
+  }
+  // Exactly one whitespace byte separates the header from pixel data. The
+  // tokenizer stops AT that separator (it returns without consuming the
+  // delimiter), so skip it here.
+  if (pos >= bytes.size() ||
+      !std::isspace(static_cast<unsigned char>(bytes[pos]))) {
+    return Status::Corruption("missing separator after PGM header");
+  }
+  ++pos;
+  const std::size_t expected = static_cast<std::size_t>(width) * height;
+  if (bytes.size() - pos < expected) {
+    return Status::Corruption("PGM pixel data truncated");
+  }
+  Image image;
+  image.width = static_cast<std::uint16_t>(width);
+  image.height = static_cast<std::uint16_t>(height);
+  image.pixels.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                      bytes.begin() + static_cast<std::ptrdiff_t>(pos) +
+                          static_cast<std::ptrdiff_t>(expected));
+  return image;
+}
+
+Status WritePgm(const std::string& path, const Image& image) {
+  return WriteFile(path, EncodePgm(image));
+}
+
+Result<Image> ReadPgm(const std::string& path) {
+  auto bytes = ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return DecodePgm(bytes.value());
+}
+
+}  // namespace mvp::dataset

@@ -1,0 +1,34 @@
+#ifndef MVPTREE_DATASET_PGM_H_
+#define MVPTREE_DATASET_PGM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataset/image.h"
+
+/// \file
+/// Binary PGM (P5) image I/O. The paper keeps its MRI scans "in binary PGM
+/// format using one byte per pixel" (§5.1.B); these helpers let users load
+/// a directory of real scans into `Image`s or export the synthetic phantoms
+/// for inspection. Only 8-bit (maxval <= 255) P5 files are supported.
+
+namespace mvp::dataset {
+
+/// Encodes `image` as a binary P5 PGM byte stream.
+std::vector<std::uint8_t> EncodePgm(const Image& image);
+
+/// Decodes a binary P5 PGM byte stream. Handles comments and arbitrary
+/// whitespace in the header; rejects P2 (ASCII), 16-bit, truncated, and
+/// malformed input with a Corruption/NotSupported status.
+Result<Image> DecodePgm(const std::vector<std::uint8_t>& bytes);
+
+/// Writes `image` to `path` as binary PGM.
+Status WritePgm(const std::string& path, const Image& image);
+
+/// Reads a binary PGM file into an Image.
+Result<Image> ReadPgm(const std::string& path);
+
+}  // namespace mvp::dataset
+
+#endif  // MVPTREE_DATASET_PGM_H_

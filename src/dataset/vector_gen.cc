@@ -1,0 +1,54 @@
+#include "dataset/vector_gen.h"
+
+#include "common/rng.h"
+
+namespace mvp::dataset {
+
+std::vector<metric::Vector> UniformVectors(std::size_t count, std::size_t dim,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<metric::Vector> data(count);
+  for (auto& v : data) {
+    v.resize(dim);
+    for (auto& x : v) x = rng.NextDouble();
+  }
+  return data;
+}
+
+std::vector<metric::Vector> ClusteredVectors(const ClusterParams& params,
+                                             std::uint64_t seed) {
+  MVP_DCHECK(params.cluster_size > 0);
+  Rng rng(seed);
+  std::vector<metric::Vector> data;
+  data.reserve(params.count);
+  while (data.size() < params.count) {
+    const std::size_t cluster_begin = data.size();
+    const std::size_t this_cluster =
+        std::min(params.cluster_size, params.count - data.size());
+    // Seed vector: uniform in the unit hypercube.
+    metric::Vector seed_vec(params.dim);
+    for (auto& x : seed_vec) x = rng.NextDouble();
+    data.push_back(std::move(seed_vec));
+    // Each subsequent vector perturbs the seed or any previously generated
+    // vector of the same cluster; accumulated perturbations make the cluster
+    // spread wide (and leave the hypercube), exactly as the paper observes.
+    for (std::size_t i = 1; i < this_cluster; ++i) {
+      const std::size_t parent =
+          cluster_begin + rng.NextIndex(data.size() - cluster_begin);
+      metric::Vector v = data[parent];
+      for (auto& x : v) x += rng.Uniform(-params.epsilon, params.epsilon);
+      data.push_back(std::move(v));
+    }
+  }
+  return data;
+}
+
+std::vector<metric::Vector> UniformQueryVectors(std::size_t count,
+                                                std::size_t dim,
+                                                std::uint64_t seed) {
+  // Distinct stream from dataset generation so queries never coincide with
+  // data points even under equal seeds.
+  return UniformVectors(count, dim, seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace mvp::dataset

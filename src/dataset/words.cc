@@ -1,0 +1,74 @@
+#include "dataset/words.h"
+
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace mvp::dataset {
+
+namespace {
+
+constexpr const char* kConsonants[] = {
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m",  "n",  "p",
+    "r", "s", "t", "v", "w", "z", "ch", "sh", "th", "st", "tr", "pl"};
+constexpr const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "ea", "ou"};
+
+std::string MakeWord(mvp::Rng& rng) {
+  const std::size_t syllables = 1 + rng.NextIndex(4);
+  std::string word;
+  for (std::size_t s = 0; s < syllables; ++s) {
+    word += kConsonants[rng.NextIndex(std::size(kConsonants))];
+    word += kVowels[rng.NextIndex(std::size(kVowels))];
+  }
+  if (rng.NextIndex(3) == 0) {
+    word += kConsonants[rng.NextIndex(18)];  // single-letter coda only
+  }
+  return word;
+}
+
+}  // namespace
+
+std::vector<std::string> SyntheticWords(std::size_t count,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> words;
+  words.reserve(count);
+  while (words.size() < count) {
+    std::string w = MakeWord(rng);
+    if (seen.insert(w).second) words.push_back(std::move(w));
+  }
+  return words;
+}
+
+std::string MutateWord(const std::string& word, unsigned edits,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::string w = word;
+  constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+  for (unsigned e = 0; e < edits; ++e) {
+    const std::size_t op = w.empty() ? 0 : rng.NextIndex(3);
+    switch (op) {
+      case 0: {  // insert
+        const std::size_t pos = rng.NextIndex(w.size() + 1);
+        w.insert(w.begin() + static_cast<std::ptrdiff_t>(pos),
+                 kAlphabet[rng.NextIndex(26)]);
+        break;
+      }
+      case 1: {  // delete
+        w.erase(w.begin() + static_cast<std::ptrdiff_t>(rng.NextIndex(w.size())));
+        break;
+      }
+      default: {  // substitute (with a letter different from the current one)
+        const std::size_t pos = rng.NextIndex(w.size());
+        char c = kAlphabet[rng.NextIndex(26)];
+        while (c == w[pos]) c = kAlphabet[rng.NextIndex(26)];
+        w[pos] = c;
+        break;
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace mvp::dataset

@@ -1,0 +1,27 @@
+#ifndef MVPTREE_DATASET_WORDS_H_
+#define MVPTREE_DATASET_WORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Synthetic word collections for the non-spatial (edit-distance) domain the
+/// paper motivates in §3.1 ("text databases which generally use the edit
+/// distance") and that [BK73] — the earliest related structure — was built
+/// for ("best matching key words in a file").
+
+namespace mvp::dataset {
+
+/// Generates `count` distinct pronounceable words (alternating
+/// consonant/vowel syllables, lengths ~3-12), deterministically from `seed`.
+std::vector<std::string> SyntheticWords(std::size_t count, std::uint64_t seed);
+
+/// Applies `edits` random single-character edits (insert/delete/substitute)
+/// to `word` — handy for building near-match queries with a known answer.
+std::string MutateWord(const std::string& word, unsigned edits,
+                       std::uint64_t seed);
+
+}  // namespace mvp::dataset
+
+#endif  // MVPTREE_DATASET_WORDS_H_

@@ -1,0 +1,84 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace mvp::harness {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  MVP_DCHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddRow(const std::string& label, const std::vector<double>& values,
+                   int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (const double v : values) cells.push_back(FormatDouble(v, precision));
+  AddRow(std::move(cells));
+}
+
+std::string Table::ToText() const {
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "  ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      // Right-align numeric-looking cells for readability.
+      line += std::string(pad, ' ') + cells[c];
+      if (c + 1 < cells.size()) line += "  ";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(columns_);
+  std::string rule = "  ";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 < columns_.size()) rule += "  ";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += cells[c];
+      if (c + 1 < cells.size()) out += ",";
+    }
+    out += "\n";
+  };
+  append_row(columns_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void PrintFigureHeader(std::ostream& os, const std::string& figure_id,
+                       const std::string& caption,
+                       const std::string& workload) {
+  os << "==========================================================\n"
+     << figure_id << ": " << caption << "\n"
+     << "workload: " << workload << "\n"
+     << "==========================================================\n";
+}
+
+}  // namespace mvp::harness

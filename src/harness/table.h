@@ -1,0 +1,51 @@
+#ifndef MVPTREE_HARNESS_TABLE_H_
+#define MVPTREE_HARNESS_TABLE_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file
+/// Aligned text tables for the benchmark binaries: each paper figure is
+/// regenerated as one table whose rows/series mirror the figure's plot.
+
+namespace mvp::harness {
+
+/// Formats `value` with `precision` fractional digits (fixed notation).
+std::string FormatDouble(double value, int precision = 1);
+
+/// A column-aligned experiment table, printable as text or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Adds a pre-formatted row; must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: first cell a label, remaining cells numeric.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 1);
+
+  /// Column-aligned, pipe-separated rendering.
+  std::string ToText() const;
+
+  /// RFC-4180-ish CSV (no quoting needed for this project's cell content).
+  std::string ToCsv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a figure banner: id, caption, and workload description.
+void PrintFigureHeader(std::ostream& os, const std::string& figure_id,
+                       const std::string& caption,
+                       const std::string& workload);
+
+}  // namespace mvp::harness
+
+#endif  // MVPTREE_HARNESS_TABLE_H_

@@ -1,0 +1,106 @@
+#ifndef MVPTREE_HARNESS_WORKLOAD_H_
+#define MVPTREE_HARNESS_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/query.h"
+
+/// \file
+/// The paper's measurement protocol (§5.2): "All the results are obtained by
+/// taking the average of 4 different runs for each structure where a
+/// different seed (for the random function used to pick vantage points) is
+/// used in each run. The result of each run is obtained by averaging the
+/// results of 100 search queries". The helpers here implement exactly that:
+/// build an index per seed, run every query at every radius, average the
+/// per-query distance-computation counts.
+
+namespace mvp::harness {
+
+/// Averaged outcome of one (structure, radius) cell.
+struct SweepCell {
+  double avg_distance_computations = 0.0;
+  double avg_result_size = 0.0;
+  double avg_construction_distances = 0.0;  ///< per run
+};
+
+/// Runs the §5.2 protocol. `build(seed)` must return an index exposing
+/// `RangeSearch(query, radius, SearchStats*)` and `Stats()`. Returns one
+/// cell per radius, averaged over runs x queries.
+template <typename BuildFn, typename Object>
+std::vector<SweepCell> RangeCostSweep(BuildFn&& build,
+                                      const std::vector<Object>& queries,
+                                      const std::vector<double>& radii,
+                                      std::size_t runs) {
+  MVP_DCHECK(runs > 0);
+  MVP_DCHECK(!queries.empty());
+  std::vector<SweepCell> cells(radii.size());
+  for (std::size_t run = 0; run < runs; ++run) {
+    const auto index = build(static_cast<std::uint64_t>(run));
+    const double construction = static_cast<double>(
+        index.Stats().construction_distance_computations);
+    for (std::size_t r = 0; r < radii.size(); ++r) {
+      cells[r].avg_construction_distances += construction;
+      for (const Object& q : queries) {
+        SearchStats stats;
+        const auto result = index.RangeSearch(q, radii[r], &stats);
+        cells[r].avg_distance_computations +=
+            static_cast<double>(stats.distance_computations);
+        cells[r].avg_result_size += static_cast<double>(result.size());
+      }
+    }
+  }
+  const double per_query = static_cast<double>(runs * queries.size());
+  for (auto& cell : cells) {
+    cell.avg_distance_computations /= per_query;
+    cell.avg_result_size /= per_query;
+    cell.avg_construction_distances /= static_cast<double>(runs);
+  }
+  return cells;
+}
+
+/// k-NN variant of the sweep: one cell per k in `ks`.
+template <typename BuildFn, typename Object>
+std::vector<SweepCell> KnnCostSweep(BuildFn&& build,
+                                    const std::vector<Object>& queries,
+                                    const std::vector<std::size_t>& ks,
+                                    std::size_t runs) {
+  MVP_DCHECK(runs > 0);
+  MVP_DCHECK(!queries.empty());
+  std::vector<SweepCell> cells(ks.size());
+  for (std::size_t run = 0; run < runs; ++run) {
+    const auto index = build(static_cast<std::uint64_t>(run));
+    const double construction = static_cast<double>(
+        index.Stats().construction_distance_computations);
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      cells[i].avg_construction_distances += construction;
+      for (const Object& q : queries) {
+        SearchStats stats;
+        const auto result = index.KnnSearch(q, ks[i], &stats);
+        cells[i].avg_distance_computations +=
+            static_cast<double>(stats.distance_computations);
+        cells[i].avg_result_size += static_cast<double>(result.size());
+      }
+    }
+  }
+  const double per_query = static_cast<double>(runs * queries.size());
+  for (auto& cell : cells) {
+    cell.avg_distance_computations /= per_query;
+    cell.avg_result_size /= per_query;
+    cell.avg_construction_distances /= static_cast<double>(runs);
+  }
+  return cells;
+}
+
+/// Extracts the distance-computation column from sweep cells.
+inline std::vector<double> DistanceColumn(const std::vector<SweepCell>& cells) {
+  std::vector<double> out;
+  out.reserve(cells.size());
+  for (const auto& c : cells) out.push_back(c.avg_distance_computations);
+  return out;
+}
+
+}  // namespace mvp::harness
+
+#endif  // MVPTREE_HARNESS_WORKLOAD_H_

@@ -1,0 +1,71 @@
+#ifndef MVPTREE_METRIC_AXIOMS_H_
+#define MVPTREE_METRIC_AXIOMS_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metric/metric.h"
+
+/// \file
+/// Runtime validation of the metric-space axioms (§2 of the paper) on a
+/// sample of a user's data. Every index in this library silently returns
+/// wrong results if handed a non-metric "distance" (e.g. cosine distance,
+/// or an Lp with p < 1), because all pruning rests on the triangle
+/// inequality — so validate before indexing anything unfamiliar:
+///
+///   MVP_RETURN_NOT_OK(metric::CheckMetricAxioms(sample, my_metric));
+
+namespace mvp::metric {
+
+/// Checks symmetry, non-negativity, identity, and the triangle inequality
+/// over all pairs/triples of `sample` (O(n^3) distance lookups over n^2
+/// computed distances — keep the sample small, 20-50 objects). Returns
+/// InvalidArgument naming the first violated axiom and the offending
+/// indices. `tolerance` absorbs floating-point noise.
+template <typename Object, MetricFor<Object> Metric>
+Status CheckMetricAxioms(const std::vector<Object>& sample,
+                         const Metric& metric, double tolerance = 1e-9) {
+  const std::size_t n = sample.size();
+  std::vector<double> dist(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      dist[i * n + j] = metric(sample[i], sample[j]);
+    }
+  }
+  char msg[128];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dist[i * n + i] != 0.0) {
+      std::snprintf(msg, sizeof(msg), "identity violated: d(%zu,%zu) != 0", i,
+                    i);
+      return Status::InvalidArgument(msg);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (dist[i * n + j] < 0.0) {
+        std::snprintf(msg, sizeof(msg),
+                      "non-negativity violated at (%zu,%zu)", i, j);
+        return Status::InvalidArgument(msg);
+      }
+      if (std::abs(dist[i * n + j] - dist[j * n + i]) > tolerance) {
+        std::snprintf(msg, sizeof(msg), "symmetry violated at (%zu,%zu)", i,
+                      j);
+        return Status::InvalidArgument(msg);
+      }
+      for (std::size_t z = 0; z < n; ++z) {
+        if (dist[i * n + j] > dist[i * n + z] + dist[z * n + j] + tolerance) {
+          std::snprintf(msg, sizeof(msg),
+                        "triangle inequality violated at (%zu,%zu) via %zu",
+                        i, j, z);
+          return Status::InvalidArgument(msg);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mvp::metric
+
+#endif  // MVPTREE_METRIC_AXIOMS_H_

@@ -1,0 +1,61 @@
+#ifndef MVPTREE_METRIC_COUNTING_H_
+#define MVPTREE_METRIC_COUNTING_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+/// \file
+/// Distance-computation counting — the paper's cost model.
+///
+/// "Since the distance computations are very costly for high-dimensional
+/// metric spaces, we use the number of distance computations as the cost
+/// measure." (§5). Every experiment in bench/ wraps its metric in
+/// CountingMetric and reports exact call counts.
+
+namespace mvp::metric {
+
+/// Shared mutable distance-call counter. Copies of a CountingMetric (indexes
+/// store metrics by value) all increment the same counter.
+class DistanceCounter {
+ public:
+  DistanceCounter() : count_(std::make_shared<std::uint64_t>(0)) {}
+
+  std::uint64_t count() const { return *count_; }
+  void Reset() { *count_ = 0; }
+  void Increment() const { ++*count_; }
+
+ private:
+  std::shared_ptr<std::uint64_t> count_;
+};
+
+/// Wraps any metric, incrementing `counter` on every distance evaluation.
+template <typename M>
+class CountingMetric {
+ public:
+  CountingMetric(M inner, DistanceCounter counter)
+      : inner_(std::move(inner)), counter_(std::move(counter)) {}
+
+  template <typename O>
+  double operator()(const O& a, const O& b) const {
+    counter_.Increment();
+    return inner_(a, b);
+  }
+
+  const M& inner() const { return inner_; }
+  const DistanceCounter& counter() const { return counter_; }
+
+ private:
+  M inner_;
+  DistanceCounter counter_;
+};
+
+/// Deduction-friendly factory.
+template <typename M>
+CountingMetric<M> MakeCounting(M inner, DistanceCounter counter) {
+  return CountingMetric<M>(std::move(inner), std::move(counter));
+}
+
+}  // namespace mvp::metric
+
+#endif  // MVPTREE_METRIC_COUNTING_H_

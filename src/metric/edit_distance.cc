@@ -1,0 +1,85 @@
+#include "metric/edit_distance.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace mvp::metric {
+
+unsigned EditDistance(const std::string& a, const std::string& b) {
+  // Keep the shorter string in the DP row to bound memory at O(min(|a|,|b|)).
+  const std::string& row_str = a.size() < b.size() ? a : b;
+  const std::string& col_str = a.size() < b.size() ? b : a;
+  const std::size_t n = row_str.size();
+
+  std::vector<unsigned> row(n + 1);
+  for (std::size_t j = 0; j <= n; ++j) row[j] = static_cast<unsigned>(j);
+
+  for (std::size_t i = 1; i <= col_str.size(); ++i) {
+    unsigned diag = row[0];  // DP[i-1][j-1]
+    row[0] = static_cast<unsigned>(i);
+    for (std::size_t j = 1; j <= n; ++j) {
+      const unsigned up = row[j];  // DP[i-1][j]
+      const unsigned substitute =
+          diag + (col_str[i - 1] == row_str[j - 1] ? 0u : 1u);
+      row[j] = std::min({row[j - 1] + 1, up + 1, substitute});
+      diag = up;
+    }
+  }
+  return row[n];
+}
+
+unsigned BoundedEditDistance(const std::string& a, const std::string& b,
+                             unsigned bound) {
+  const std::string& row_str = a.size() < b.size() ? a : b;
+  const std::string& col_str = a.size() < b.size() ? b : a;
+  const std::size_t n = row_str.size();
+  const std::size_t m = col_str.size();
+
+  // Lengths alone already decide it.
+  if (m - n > bound) return bound + 1;
+
+  constexpr unsigned kInf = std::numeric_limits<unsigned>::max() / 2;
+  std::vector<unsigned> row(n + 1, kInf);
+  for (std::size_t j = 0; j <= std::min<std::size_t>(n, bound); ++j) {
+    row[j] = static_cast<unsigned>(j);
+  }
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    // Only cells with |i - j| <= bound can hold values <= bound.
+    const std::size_t j_lo = i > bound ? i - bound : 1;
+    const std::size_t j_hi = std::min(n, i + bound);
+    unsigned diag = j_lo > 1 ? row[j_lo - 1] : row[0];
+    unsigned row_min = kInf;
+    if (j_lo == 1) {
+      // Column 0 of this DP row: deleting i leading chars.
+      row[0] = i <= bound ? static_cast<unsigned>(i) : kInf;
+      row_min = row[0];
+    } else {
+      row[j_lo - 1] = kInf;  // outside the band now
+    }
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const unsigned up = row[j];
+      const unsigned substitute =
+          diag + (col_str[i - 1] == row_str[j - 1] ? 0u : 1u);
+      const unsigned left = row[j - 1];
+      row[j] = std::min({left + 1, up + 1, substitute});
+      row_min = std::min(row_min, row[j]);
+      diag = up;
+    }
+    if (j_hi < n) row[j_hi + 1] = kInf;  // right edge leaving the band
+    if (row_min > bound) return bound + 1;
+  }
+  return row[n] <= bound ? row[n] : bound + 1;
+}
+
+double Hamming::operator()(const std::string& a, const std::string& b) const {
+  MVP_DCHECK(a.size() == b.size());
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += a[i] != b[i] ? 1u : 0u;
+  return static_cast<double>(diff);
+}
+
+}  // namespace mvp::metric

@@ -1,0 +1,113 @@
+#ifndef MVPTREE_METRIC_LP_H_
+#define MVPTREE_METRIC_LP_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/macros.h"
+
+/// \file
+/// Minkowski (Lp) metrics on dense real vectors — the distance family used
+/// throughout the paper's vector experiments (§5.1.A uses L2; §5.1.B notes
+/// "Any Lp metric can be used just like L1 or L2", including a per-dimension
+/// weighted variant, which "can be easily shown to be metric").
+///
+/// All metrics operate on std::vector<double> and require equal dimensions
+/// (checked with MVP_DCHECK — mixing dimensions is a programming error).
+
+namespace mvp::metric {
+
+using Vector = std::vector<double>;
+
+/// L2 (Euclidean) distance.
+struct L2 {
+  double operator()(const Vector& a, const Vector& b) const {
+    MVP_DCHECK(a.size() == b.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double diff = a[i] - b[i];
+      sum += diff * diff;
+    }
+    return std::sqrt(sum);
+  }
+};
+
+/// L1 (Manhattan) distance: accumulated absolute differences per dimension.
+struct L1 {
+  double operator()(const Vector& a, const Vector& b) const {
+    MVP_DCHECK(a.size() == b.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      sum += std::fabs(a[i] - b[i]);
+    }
+    return sum;
+  }
+};
+
+/// L-infinity (Chebyshev) distance: the limit of Lp as p -> inf.
+struct LInf {
+  double operator()(const Vector& a, const Vector& b) const {
+    MVP_DCHECK(a.size() == b.size());
+    double best = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double diff = std::fabs(a[i] - b[i]);
+      if (diff > best) best = diff;
+    }
+    return best;
+  }
+};
+
+/// General Lp distance for p >= 1 (p < 1 does not satisfy the triangle
+/// inequality and is rejected).
+class Lp {
+ public:
+  explicit Lp(double p) : p_(p) { MVP_DCHECK(p >= 1.0); }
+
+  double operator()(const Vector& a, const Vector& b) const {
+    MVP_DCHECK(a.size() == b.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      sum += std::pow(std::fabs(a[i] - b[i]), p_);
+    }
+    return std::pow(sum, 1.0 / p_);
+  }
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Weighted Lp: each dimension's difference is scaled by a non-negative
+/// weight before accumulation (the paper suggests weighting pixel positions
+/// to emphasize image regions, §5.1.B). Metric for any weights >= 0.
+class WeightedLp {
+ public:
+  WeightedLp(double p, Vector weights) : p_(p), weights_(std::move(weights)) {
+    MVP_DCHECK(p >= 1.0);
+#ifndef NDEBUG
+    for (double w : weights_) MVP_DCHECK(w >= 0.0);
+#endif
+  }
+
+  double operator()(const Vector& a, const Vector& b) const {
+    MVP_DCHECK(a.size() == b.size());
+    MVP_DCHECK(a.size() == weights_.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      sum += std::pow(weights_[i] * std::fabs(a[i] - b[i]), p_);
+    }
+    return std::pow(sum, 1.0 / p_);
+  }
+
+  const Vector& weights() const { return weights_; }
+
+ private:
+  double p_;
+  Vector weights_;
+};
+
+}  // namespace mvp::metric
+
+#endif  // MVPTREE_METRIC_LP_H_

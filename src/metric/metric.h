@@ -1,0 +1,31 @@
+#ifndef MVPTREE_METRIC_METRIC_H_
+#define MVPTREE_METRIC_METRIC_H_
+
+#include <concepts>
+
+/// \file
+/// The metric-space contract every index in this library is built on.
+///
+/// Following the paper (§2), a metric distance function d must satisfy
+///   i)   d(x,y) = d(y,x)                 (symmetry)
+///   ii)  0 < d(x,y) < inf for x != y     (positivity)
+///   iii) d(x,x) = 0                      (identity)
+///   iv)  d(x,y) <= d(x,z) + d(z,y)       (triangle inequality)
+/// and these are the ONLY properties the index structures may assume: no
+/// coordinates, no geometry. Axioms are validated for every bundled metric by
+/// the property tests in tests/metric_axioms_test.cc.
+
+namespace mvp::metric {
+
+/// A metric usable with objects of type O: a const-callable functor returning
+/// a distance convertible to double. Copies of a metric must compute the same
+/// function (indexes store metrics by value).
+template <typename M, typename O>
+concept MetricFor = std::copy_constructible<M> &&
+    requires(const M& m, const O& a, const O& b) {
+      { m(a, b) } -> std::convertible_to<double>;
+    };
+
+}  // namespace mvp::metric
+
+#endif  // MVPTREE_METRIC_METRIC_H_

@@ -1,0 +1,117 @@
+#ifndef MVPTREE_TRANSFORM_TRANSFORMS_H_
+#define MVPTREE_TRANSFORM_TRANSFORMS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+#include "dataset/image.h"
+#include "metric/lp.h"
+
+/// \file
+/// Concrete distance-preserving (contractive) transforms for FilterIndex,
+/// modeled on §3.1's examples. Each transform documents the metric pair it
+/// contracts; tests/transform_test.cc proves each claim on sampled data via
+/// CheckContractive, and the non-examples (prefixes of uncorrelated
+/// vectors) are measured in bench/ext_transform.
+
+namespace mvp::transform {
+
+/// Keeps the first `dims` coordinates of a vector. Contractive for any Lp:
+/// dropping non-negative terms only shrinks the norm. This is the shape of
+/// DFT/Karhunen-Loeve prefix filters — effective only when the retained
+/// coordinates carry most of the variance (the paper's §3.1 caveat: "not
+/// effective ... where the values at each dimension are uncorrelated").
+class PrefixTransform {
+ public:
+  explicit PrefixTransform(std::size_t dims) : dims_(dims) {
+    MVP_DCHECK(dims > 0);
+  }
+
+  metric::Vector operator()(const metric::Vector& v) const {
+    MVP_DCHECK(v.size() >= dims_);
+    return metric::Vector(v.begin(),
+                          v.begin() + static_cast<std::ptrdiff_t>(dims_));
+  }
+
+  std::size_t dims() const { return dims_; }
+
+ private:
+  std::size_t dims_;
+};
+
+/// The discrete Haar/DFT-style energy-compacting analogue for sequences:
+/// averages of adjacent blocks, scaled so the transform contracts L2.
+/// For block size b, the map v -> (sum of block)/sqrt(b) satisfies
+/// ||t(a)-t(b)||_2 <= ||a-b||_2 (Cauchy-Schwarz per block), and compacts
+/// smooth (correlated) signals far better than a raw prefix.
+class BlockMeanTransform {
+ public:
+  explicit BlockMeanTransform(std::size_t block) : block_(block) {
+    MVP_DCHECK(block > 0);
+  }
+
+  metric::Vector operator()(const metric::Vector& v) const {
+    const std::size_t out_dims = (v.size() + block_ - 1) / block_;
+    metric::Vector out(out_dims, 0.0);
+    for (std::size_t i = 0; i < v.size(); ++i) out[i / block_] += v[i];
+    const double scale = 1.0 / std::sqrt(static_cast<double>(block_));
+    for (double& x : out) x *= scale;
+    return out;
+  }
+
+  std::size_t block() const { return block_; }
+
+ private:
+  std::size_t block_;
+};
+
+/// QBIC-style single-value image filter (§3.1's worked example used average
+/// color; for gray-level images this is average intensity). Produces a
+/// 1-dimensional vector scaled such that plain L1 on it contracts the
+/// normalized pixel-wise ImageL1: |sum(a) - sum(b)| <= sum|a - b|.
+class AverageIntensityTransform {
+ public:
+  metric::Vector operator()(const dataset::Image& img) const {
+    std::uint64_t sum = 0;
+    for (const std::uint8_t px : img.pixels) sum += px;
+    return metric::Vector{static_cast<double>(sum) /
+                          dataset::ImageL1Normalizer(img.pixels.size())};
+  }
+};
+
+/// Multi-dimensional image filter: per-tile intensity sums over a
+/// `tiles x tiles` grid, scaled to contract the normalized ImageL1. The
+/// higher-fidelity successor to AverageIntensityTransform (QBIC's average
+/// color generalizes the same way), trading filter dimensionality for
+/// selectivity.
+class TileSumTransform {
+ public:
+  explicit TileSumTransform(std::size_t tiles) : tiles_(tiles) {
+    MVP_DCHECK(tiles > 0);
+  }
+
+  metric::Vector operator()(const dataset::Image& img) const {
+    metric::Vector out(tiles_ * tiles_, 0.0);
+    const double norm = dataset::ImageL1Normalizer(img.pixels.size());
+    for (std::size_t y = 0; y < img.height; ++y) {
+      const std::size_t ty = y * tiles_ / img.height;
+      for (std::size_t x = 0; x < img.width; ++x) {
+        const std::size_t tx = x * tiles_ / img.width;
+        out[ty * tiles_ + tx] +=
+            static_cast<double>(img.pixels[y * img.width + x]) / norm;
+      }
+    }
+    return out;
+  }
+
+  std::size_t tiles() const { return tiles_; }
+
+ private:
+  std::size_t tiles_;
+};
+
+}  // namespace mvp::transform
+
+#endif  // MVPTREE_TRANSFORM_TRANSFORMS_H_

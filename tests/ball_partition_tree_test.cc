@@ -1,0 +1,143 @@
+#include "baselines/ball_partition_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/vector_gen.h"
+#include "dataset/words.h"
+#include "metric/counting.h"
+#include "metric/edit_distance.h"
+#include "metric/lp.h"
+#include "scan/linear_scan.h"
+
+namespace mvp::baselines {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+using VecBall = BallPartitionTree<Vector, L2>;
+
+TEST(BallPartitionTreeTest, RejectsBadOptions) {
+  VecBall::Options options;
+  options.fanout = 1;
+  EXPECT_FALSE(VecBall::Build({}, L2(), options).ok());
+  options = {};
+  options.leaf_capacity = 0;
+  EXPECT_FALSE(VecBall::Build({}, L2(), options).ok());
+}
+
+TEST(BallPartitionTreeTest, EmptyAndTiny) {
+  auto empty = VecBall::Build({}, L2(), {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().RangeSearch({0, 0}, 5.0).empty());
+  auto two = VecBall::Build({{0, 0}, {3, 4}}, L2(), {});
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two.value().RangeSearch({0, 0}, 10.0).size(), 2u);
+}
+
+struct BallParam {
+  int fanout;
+  int leaf_capacity;
+  std::size_t n;
+  std::size_t dim;
+};
+
+class BallSweepTest : public ::testing::TestWithParam<BallParam> {};
+
+TEST_P(BallSweepTest, RangeSearchMatchesLinearScan) {
+  const auto p = GetParam();
+  const auto data = dataset::UniformVectors(p.n, p.dim, 31);
+  VecBall::Options options;
+  options.fanout = p.fanout;
+  options.leaf_capacity = p.leaf_capacity;
+  auto built = VecBall::Build(data, L2(), options);
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  const auto queries = dataset::UniformQueryVectors(8, p.dim, 33);
+  for (const auto& q : queries) {
+    for (const double r : {0.0, 0.2, 0.6, 1.5}) {
+      const auto got = built.value().RangeSearch(q, r);
+      const auto expected = reference.RangeSearch(q, r);
+      ASSERT_EQ(got.size(), expected.size()) << "r=" << r;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id);
+      }
+    }
+  }
+}
+
+TEST_P(BallSweepTest, KnnMatchesLinearScan) {
+  const auto p = GetParam();
+  const auto data = dataset::UniformVectors(p.n, p.dim, 35);
+  VecBall::Options options;
+  options.fanout = p.fanout;
+  options.leaf_capacity = p.leaf_capacity;
+  auto built = VecBall::Build(data, L2(), options);
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  const auto queries = dataset::UniformQueryVectors(6, p.dim, 37);
+  for (const auto& q : queries) {
+    for (const std::size_t k : {1u, 4u, 12u}) {
+      const auto got = built.value().KnnSearch(q, k);
+      const auto expected = reference.KnnSearch(q, k);
+      ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id) << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BallSweepTest,
+                         ::testing::Values(BallParam{4, 8, 400, 6},
+                                           BallParam{2, 1, 300, 4},
+                                           BallParam{8, 16, 500, 10},
+                                           BallParam{16, 4, 200, 3},
+                                           BallParam{4, 8, 20, 4}));
+
+TEST(BallPartitionTreeTest, DuplicatesTerminate) {
+  std::vector<Vector> data(300, Vector{1, 1});
+  auto built = VecBall::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().RangeSearch({1, 1}, 0.0).size(), 300u);
+}
+
+TEST(BallPartitionTreeTest, AllPointsAccounted) {
+  const auto data = dataset::UniformVectors(321, 5, 39);
+  auto built = VecBall::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().RangeSearch(Vector(5, 0.5), 1e9).size(), 321u);
+  const auto stats = built.value().Stats();
+  EXPECT_EQ(stats.num_vantage_points + stats.num_leaf_points, 321u);
+}
+
+TEST(BallPartitionTreeTest, SearchStatsMatchCountingMetric) {
+  const auto data = dataset::UniformVectors(300, 6, 41);
+  metric::DistanceCounter counter;
+  auto counted = metric::MakeCounting(L2(), counter);
+  auto built = BallPartitionTree<Vector, metric::CountingMetric<L2>>::Build(
+      data, counted, {});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().Stats().construction_distance_computations,
+            counter.count());
+  counter.Reset();
+  SearchStats stats;
+  built.value().RangeSearch(data[0], 0.4, &stats);
+  EXPECT_EQ(stats.distance_computations, counter.count());
+}
+
+TEST(BallPartitionTreeTest, WorksWithEditDistance) {
+  auto words = dataset::SyntheticWords(250, 43);
+  using WordBall = BallPartitionTree<std::string, metric::Levenshtein>;
+  auto built = WordBall::Build(words, metric::Levenshtein(), {});
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<std::string, metric::Levenshtein> reference(
+      words, metric::Levenshtein());
+  const std::string q = dataset::MutateWord(words[77], 1, 5);
+  for (const double r : {1.0, 2.0, 3.0}) {
+    EXPECT_EQ(built.value().RangeSearch(q, r).size(),
+              reference.RangeSearch(q, r).size());
+  }
+}
+
+}  // namespace
+}  // namespace mvp::baselines

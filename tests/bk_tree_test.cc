@@ -1,0 +1,151 @@
+#include "baselines/bk_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/words.h"
+#include "metric/counting.h"
+#include "metric/edit_distance.h"
+#include "metric/lp.h"
+#include "scan/linear_scan.h"
+
+namespace mvp::baselines {
+namespace {
+
+using WordBk = BkTree<std::string, metric::Levenshtein>;
+
+TEST(BkTreeTest, EmptyAndSingle) {
+  auto empty = WordBk::Build({}, metric::Levenshtein());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().RangeSearch("query", 2.0).empty());
+
+  auto one = WordBk::Build({"hello"}, metric::Levenshtein());
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value().RangeSearch("hello", 0.0).size(), 1u);
+  EXPECT_TRUE(one.value().RangeSearch("zzz", 1.0).empty());
+}
+
+TEST(BkTreeTest, RangeSearchMatchesLinearScan) {
+  auto words = dataset::SyntheticWords(600, 3);
+  auto built = WordBk::Build(words, metric::Levenshtein());
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<std::string, metric::Levenshtein> reference(
+      words, metric::Levenshtein());
+  for (const std::size_t probe : {0u, 100u, 599u}) {
+    const std::string q = dataset::MutateWord(words[probe], 1, probe);
+    for (const double r : {0.0, 1.0, 2.0, 3.0, 5.0}) {
+      const auto got = built.value().RangeSearch(q, r);
+      const auto expected = reference.RangeSearch(q, r);
+      ASSERT_EQ(got.size(), expected.size()) << "r=" << r;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id);
+      }
+    }
+  }
+}
+
+TEST(BkTreeTest, IncrementalInsertMatchesBatchBuild) {
+  auto words = dataset::SyntheticWords(200, 5);
+  WordBk incremental((metric::Levenshtein()));
+  for (const auto& w : words) ASSERT_TRUE(incremental.Insert(w).ok());
+  auto batch = WordBk::Build(words, metric::Levenshtein());
+  ASSERT_TRUE(batch.ok());
+  const std::string q = dataset::MutateWord(words[50], 2, 9);
+  const auto a = incremental.RangeSearch(q, 2.0);
+  const auto b = batch.value().RangeSearch(q, 2.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+}
+
+TEST(BkTreeTest, KnnMatchesLinearScan) {
+  auto words = dataset::SyntheticWords(500, 11);
+  auto built = WordBk::Build(words, metric::Levenshtein());
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<std::string, metric::Levenshtein> reference(
+      words, metric::Levenshtein());
+  for (const std::size_t probe : {3u, 250u, 499u}) {
+    const std::string q = dataset::MutateWord(words[probe], 2, probe);
+    for (const std::size_t k : {1u, 5u, 20u}) {
+      const auto got = built.value().KnnSearch(q, k);
+      const auto expected = reference.KnnSearch(q, k);
+      ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id) << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BkTreeTest, KnnPrunesComparedToScan) {
+  auto words = dataset::SyntheticWords(2000, 13);
+  auto built = WordBk::Build(words, metric::Levenshtein());
+  ASSERT_TRUE(built.ok());
+  SearchStats stats;
+  built.value().KnnSearch(dataset::MutateWord(words[0], 1, 1), 3, &stats);
+  EXPECT_LT(stats.distance_computations, 2000u);
+}
+
+TEST(BkTreeTest, RejectsContinuousMetric) {
+  using VecBk = BkTree<metric::Vector, metric::L2>;
+  auto built = VecBk::Build({{0.0, 0.0}, {0.3, 0.4}}, metric::L2());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BkTreeTest, AcceptsIntegerValuedContinuousMetric) {
+  // L2 over integer grids with integer distances is fine (3-4-5 triangle).
+  using VecBk = BkTree<metric::Vector, metric::L2>;
+  auto built = VecBk::Build({{0, 0}, {3, 4}, {6, 8}}, metric::L2());
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().RangeSearch({0, 0}, 5.0).size(), 2u);
+}
+
+TEST(BkTreeTest, DuplicateWords) {
+  std::vector<std::string> words(30, "echo");
+  auto built = WordBk::Build(words, metric::Levenshtein());
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().RangeSearch("echo", 0.0).size(), 30u);
+}
+
+TEST(BkTreeTest, SearchStatsMatchCountingMetric) {
+  auto words = dataset::SyntheticWords(300, 7);
+  metric::DistanceCounter counter;
+  auto counted = metric::MakeCounting(metric::Levenshtein(), counter);
+  auto built =
+      BkTree<std::string, metric::CountingMetric<metric::Levenshtein>>::Build(
+          words, counted);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().Stats().construction_distance_computations,
+            counter.count());
+  counter.Reset();
+  SearchStats stats;
+  built.value().RangeSearch("query", 2.0, &stats);
+  EXPECT_EQ(stats.distance_computations, counter.count());
+  // The whole point of [BK73]: a bounded search touches a fraction of the
+  // 300 keys.
+  EXPECT_LT(stats.distance_computations, 300u);
+}
+
+TEST(BkTreeTest, StatsAccountForAllElements) {
+  auto words = dataset::SyntheticWords(150, 9);
+  auto built = WordBk::Build(words, metric::Levenshtein());
+  ASSERT_TRUE(built.ok());
+  const auto stats = built.value().Stats();
+  EXPECT_EQ(stats.num_vantage_points, 150u);
+  EXPECT_EQ(stats.num_internal_nodes + stats.num_leaf_nodes, 150u);
+}
+
+TEST(BkTreeTest, HammingMetricWorks) {
+  std::vector<std::string> codes{"0000", "0001", "0011", "0111", "1111",
+                                 "1000", "1100", "1010", "0101", "1001"};
+  using HamBk = BkTree<std::string, metric::Hamming>;
+  auto built = HamBk::Build(codes, metric::Hamming());
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<std::string, metric::Hamming> reference(codes,
+                                                           metric::Hamming());
+  for (const double r : {0.0, 1.0, 2.0}) {
+    EXPECT_EQ(built.value().RangeSearch("0000", r).size(),
+              reference.RangeSearch("0000", r).size());
+  }
+}
+
+}  // namespace
+}  // namespace mvp::baselines

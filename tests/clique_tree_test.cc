@@ -1,0 +1,143 @@
+#include "baselines/clique_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/vector_gen.h"
+#include "dataset/words.h"
+#include "metric/counting.h"
+#include "metric/edit_distance.h"
+#include "metric/lp.h"
+#include "scan/linear_scan.h"
+
+namespace mvp::baselines {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+using VecClique = CliqueTree<Vector, L2>;
+
+TEST(CliqueTreeTest, RejectsBadOptions) {
+  VecClique::Options options;
+  options.shrink = 1.0;
+  EXPECT_FALSE(VecClique::Build({}, L2(), options).ok());
+  options = {};
+  options.initial_diameter_fraction = 0;
+  EXPECT_FALSE(VecClique::Build({}, L2(), options).ok());
+  options = {};
+  options.leaf_capacity = 0;
+  EXPECT_FALSE(VecClique::Build({}, L2(), options).ok());
+}
+
+TEST(CliqueTreeTest, EmptyAndTiny) {
+  auto empty = VecClique::Build({}, L2(), {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().RangeSearch({0, 0}, 5.0).empty());
+  auto one = VecClique::Build({{1, 1}}, L2(), {});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value().RangeSearch({1, 1}, 0.0).size(), 1u);
+}
+
+struct CliqueParam {
+  double diameter_fraction;
+  double shrink;
+  int leaf_capacity;
+  std::size_t n;
+  std::size_t dim;
+};
+
+class CliqueSweepTest : public ::testing::TestWithParam<CliqueParam> {};
+
+TEST_P(CliqueSweepTest, RangeSearchMatchesLinearScan) {
+  const auto p = GetParam();
+  const auto data = dataset::UniformVectors(p.n, p.dim, 61);
+  VecClique::Options options;
+  options.initial_diameter_fraction = p.diameter_fraction;
+  options.shrink = p.shrink;
+  options.leaf_capacity = p.leaf_capacity;
+  auto built = VecClique::Build(data, L2(), options);
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  const auto queries = dataset::UniformQueryVectors(8, p.dim, 63);
+  for (const auto& q : queries) {
+    for (const double r : {0.0, 0.2, 0.6, 1.5}) {
+      const auto got = built.value().RangeSearch(q, r);
+      const auto expected = reference.RangeSearch(q, r);
+      ASSERT_EQ(got.size(), expected.size()) << "r=" << r;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CliqueSweepTest,
+    ::testing::Values(CliqueParam{0.5, 0.5, 8, 400, 6},
+                      CliqueParam{0.8, 0.7, 4, 300, 4},
+                      CliqueParam{0.3, 0.5, 1, 200, 3},
+                      CliqueParam{0.5, 0.5, 8, 25, 4}));
+
+TEST(CliqueTreeTest, ClusteredDataFormsTightCliques) {
+  dataset::ClusterParams params;
+  params.count = 500;
+  params.dim = 8;
+  params.cluster_size = 100;
+  params.epsilon = 0.05;  // tight clusters -> natural cliques
+  const auto data = dataset::ClusteredVectors(params, 67);
+  auto built = VecClique::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  SearchStats stats;
+  const auto got = built.value().RangeSearch(data[0], 0.3, &stats);
+  EXPECT_EQ(got.size(), reference.RangeSearch(data[0], 0.3).size());
+  // Cliques should allow skipping most other clusters.
+  EXPECT_LT(stats.distance_computations, 500u);
+}
+
+TEST(CliqueTreeTest, DuplicatesTerminate) {
+  std::vector<Vector> data(200, Vector{5, 5});
+  auto built = VecClique::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().RangeSearch({5, 5}, 0.0).size(), 200u);
+}
+
+TEST(CliqueTreeTest, AllPointsAccounted) {
+  const auto data = dataset::UniformVectors(237, 5, 71);
+  auto built = VecClique::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().RangeSearch(Vector(5, 0.5), 1e9).size(), 237u);
+  // Representatives are not consumed: all points live in leaf buckets.
+  EXPECT_EQ(built.value().Stats().num_leaf_points, 237u);
+}
+
+TEST(CliqueTreeTest, SearchStatsMatchCountingMetric) {
+  const auto data = dataset::UniformVectors(300, 6, 73);
+  metric::DistanceCounter counter;
+  auto counted = metric::MakeCounting(L2(), counter);
+  auto built =
+      CliqueTree<Vector, metric::CountingMetric<L2>>::Build(data, counted, {});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().Stats().construction_distance_computations,
+            counter.count());
+  counter.Reset();
+  SearchStats stats;
+  built.value().RangeSearch(data[0], 0.4, &stats);
+  EXPECT_EQ(stats.distance_computations, counter.count());
+}
+
+TEST(CliqueTreeTest, WorksWithEditDistance) {
+  auto words = dataset::SyntheticWords(250, 79);
+  using WordClique = CliqueTree<std::string, metric::Levenshtein>;
+  auto built = WordClique::Build(words, metric::Levenshtein(), {});
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<std::string, metric::Levenshtein> reference(
+      words, metric::Levenshtein());
+  const std::string q = dataset::MutateWord(words[111], 1, 7);
+  for (const double r : {1.0, 2.0, 3.0}) {
+    EXPECT_EQ(built.value().RangeSearch(q, r).size(),
+              reference.RangeSearch(q, r).size());
+  }
+}
+
+}  // namespace
+}  // namespace mvp::baselines

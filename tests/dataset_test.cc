@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "dataset/image_gen.h"
+#include "dataset/vector_gen.h"
+#include "dataset/words.h"
+#include "metric/edit_distance.h"
+#include "metric/lp.h"
+
+namespace mvp::dataset {
+namespace {
+
+TEST(UniformVectorsTest, ShapeAndRange) {
+  const auto data = UniformVectors(200, 20, 42);
+  ASSERT_EQ(data.size(), 200u);
+  for (const auto& v : data) {
+    ASSERT_EQ(v.size(), 20u);
+    for (double x : v) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LT(x, 1.0);
+    }
+  }
+}
+
+TEST(UniformVectorsTest, DeterministicInSeed) {
+  EXPECT_EQ(UniformVectors(50, 5, 7), UniformVectors(50, 5, 7));
+  EXPECT_NE(UniformVectors(50, 5, 7), UniformVectors(50, 5, 8));
+}
+
+TEST(UniformVectorsTest, QueriesDifferFromData) {
+  const auto data = UniformVectors(20, 5, 7);
+  const auto queries = UniformQueryVectors(20, 5, 7);
+  EXPECT_NE(data, queries);
+}
+
+TEST(UniformVectorsTest, PairwiseDistancesConcentrateForHighDim) {
+  // §5.1.A: uniform high-dimensional vectors are "mostly far away from each
+  // other", distances concentrating around ~1.75 for dim=20 in [1, 2.5].
+  const auto data = UniformVectors(300, 20, 1);
+  metric::L2 d;
+  double sum = 0;
+  int count = 0;
+  for (std::size_t i = 0; i < data.size(); i += 3) {
+    for (std::size_t j = i + 1; j < data.size(); j += 7) {
+      sum += d(data[i], data[j]);
+      ++count;
+    }
+  }
+  const double mean = sum / count;
+  EXPECT_GT(mean, 1.5);
+  EXPECT_LT(mean, 2.0);
+}
+
+TEST(ClusteredVectorsTest, ShapeAndDeterminism) {
+  ClusterParams params;
+  params.count = 2500;
+  params.dim = 10;
+  params.cluster_size = 500;
+  const auto data = ClusteredVectors(params, 3);
+  ASSERT_EQ(data.size(), 2500u);
+  for (const auto& v : data) ASSERT_EQ(v.size(), 10u);
+  EXPECT_EQ(data, ClusteredVectors(params, 3));
+}
+
+TEST(ClusteredVectorsTest, PartialFinalCluster) {
+  ClusterParams params;
+  params.count = 1234;
+  params.dim = 4;
+  params.cluster_size = 500;
+  EXPECT_EQ(ClusteredVectors(params, 5).size(), 1234u);
+}
+
+TEST(ClusteredVectorsTest, WiderDistanceSpreadThanUniform) {
+  // §5.1.A: the clustered set "has a different distance distribution where
+  // the possible pairwise distances have a wider range" — in particular many
+  // small distances exist (same-cluster pairs).
+  ClusterParams params;
+  params.count = 1000;
+  params.dim = 20;
+  params.cluster_size = 200;
+  params.epsilon = 0.15;
+  const auto clustered = ClusteredVectors(params, 9);
+  const auto uniform = UniformVectors(1000, 20, 9);
+  metric::L2 d;
+  auto min_nonzero_distance = [&](const auto& data) {
+    double best = 1e300;
+    for (std::size_t i = 0; i < 200; ++i) {
+      for (std::size_t j = i + 1; j < 200; ++j) {
+        best = std::min(best, d(data[i], data[j]));
+      }
+    }
+    return best;
+  };
+  // Within a cluster, consecutive points differ by one perturbation step:
+  // much closer than any uniform pair.
+  EXPECT_LT(min_nonzero_distance(clustered),
+            0.5 * min_nonzero_distance(uniform));
+}
+
+TEST(ClusteredVectorsTest, PointsEscapeTheHypercube) {
+  // The paper: "many are outside of the hypercube of side 1" — accumulated
+  // perturbations must not be clamped.
+  ClusterParams params;
+  params.count = 3000;
+  params.dim = 10;
+  params.cluster_size = 1000;
+  const auto data = ClusteredVectors(params, 11);
+  bool any_outside = false;
+  for (const auto& v : data) {
+    for (double x : v) {
+      if (x < 0.0 || x > 1.0) any_outside = true;
+    }
+  }
+  EXPECT_TRUE(any_outside);
+}
+
+TEST(MriPhantomsTest, ShapeCountDeterminism) {
+  MriParams params;
+  params.count = 37;
+  params.subjects = 5;
+  params.width = params.height = 32;
+  const auto scans = MriPhantoms(params, 21);
+  ASSERT_EQ(scans.size(), 37u);
+  for (const auto& img : scans) {
+    EXPECT_EQ(img.width, 32);
+    EXPECT_EQ(img.height, 32);
+    ASSERT_EQ(img.pixels.size(), 32u * 32u);
+  }
+  EXPECT_EQ(scans, MriPhantoms(params, 21));
+}
+
+TEST(MriPhantomsTest, UsesFullIntensityRange) {
+  MriParams params;
+  params.count = 8;
+  params.subjects = 4;
+  params.width = params.height = 32;
+  const auto scans = MriPhantoms(params, 22);
+  std::uint8_t lo = 255, hi = 0;
+  for (const auto& img : scans) {
+    for (std::uint8_t px : img.pixels) {
+      lo = std::min(lo, px);
+      hi = std::max(hi, px);
+    }
+  }
+  EXPECT_LT(lo, 30);   // dark background exists
+  EXPECT_GT(hi, 150);  // bright skull/lesions exist
+}
+
+TEST(MriPhantomsTest, SameSubjectCloserThanDifferentSubjects) {
+  // The property that gives the paper's bimodal Figures 6-7.
+  MriParams params;
+  params.count = 40;
+  params.subjects = 10;
+  params.width = params.height = 32;
+  const auto scans = MriPhantoms(params, 23);
+  ImageL1 d;
+  // Round-robin layout: scan i is subject i % subjects.
+  double same_sum = 0, diff_sum = 0;
+  int same_n = 0, diff_n = 0;
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    for (std::size_t j = i + 1; j < scans.size(); ++j) {
+      const double dist = d(scans[i], scans[j]);
+      if (i % params.subjects == j % params.subjects) {
+        same_sum += dist;
+        ++same_n;
+      } else {
+        diff_sum += dist;
+        ++diff_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0);
+  ASSERT_GT(diff_n, 0);
+  EXPECT_LT(same_sum / same_n, 0.5 * (diff_sum / diff_n));
+}
+
+TEST(MriPhantomsTest, ExtraScanIsNearItsSubject) {
+  MriParams params;
+  params.count = 20;
+  params.subjects = 5;
+  params.width = params.height = 32;
+  const auto scans = MriPhantoms(params, 24);
+  const Image query = MriPhantomScan(params, 24, /*subject_index=*/2,
+                                     /*variant=*/999);
+  ImageL1 d;
+  double best_same = 1e300, best_other = 1e300;
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    const double dist = d(query, scans[i]);
+    if (i % params.subjects == 2) {
+      best_same = std::min(best_same, dist);
+    } else {
+      best_other = std::min(best_other, dist);
+    }
+  }
+  EXPECT_LT(best_same, best_other);
+}
+
+TEST(SyntheticWordsTest, CountDistinctDeterministic) {
+  const auto words = SyntheticWords(500, 31);
+  ASSERT_EQ(words.size(), 500u);
+  std::set<std::string> unique(words.begin(), words.end());
+  EXPECT_EQ(unique.size(), 500u);
+  EXPECT_EQ(words, SyntheticWords(500, 31));
+  for (const auto& w : words) {
+    EXPECT_GE(w.size(), 2u);
+    EXPECT_LE(w.size(), 14u);
+  }
+}
+
+TEST(MutateWordTest, EditDistanceBoundedByEdits) {
+  const auto words = SyntheticWords(50, 33);
+  for (const auto& w : words) {
+    for (unsigned edits = 0; edits <= 3; ++edits) {
+      const std::string mutated = MutateWord(w, edits, 77);
+      EXPECT_LE(metric::EditDistance(w, mutated), edits);
+    }
+  }
+}
+
+TEST(MutateWordTest, ZeroEditsIsIdentity) {
+  EXPECT_EQ(MutateWord("breakfast", 0, 1), "breakfast");
+}
+
+}  // namespace
+}  // namespace mvp::dataset

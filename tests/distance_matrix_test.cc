@@ -1,0 +1,127 @@
+#include "baselines/distance_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/vector_gen.h"
+#include "dataset/words.h"
+#include "metric/counting.h"
+#include "metric/edit_distance.h"
+#include "metric/lp.h"
+#include "scan/linear_scan.h"
+
+namespace mvp::baselines {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+using VecDm = DistanceMatrixIndex<Vector, L2>;
+
+TEST(DistanceMatrixTest, RejectsOversizedDomains) {
+  VecDm::Options options;
+  options.max_objects = 10;
+  auto built =
+      VecDm::Build(dataset::UniformVectors(11, 3, 1), L2(), options);
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DistanceMatrixTest, ConstructionCostIsExactlyAllPairs) {
+  const auto data = dataset::UniformVectors(60, 4, 2);
+  metric::DistanceCounter counter;
+  auto counted = metric::MakeCounting(L2(), counter);
+  auto built = DistanceMatrixIndex<Vector, metric::CountingMetric<L2>>::Build(
+      data, counted, {});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(counter.count(), 60u * 59u / 2u);
+  EXPECT_EQ(built.value().Stats().construction_distance_computations,
+            counter.count());
+}
+
+TEST(DistanceMatrixTest, EmptyAndSingle) {
+  auto empty = VecDm::Build({}, L2(), {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().RangeSearch({1, 2}, 5.0).empty());
+  EXPECT_TRUE(empty.value().KnnSearch({1, 2}, 3).empty());
+
+  auto one = VecDm::Build({{1, 1}}, L2(), {});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value().RangeSearch({1, 1}, 0.0).size(), 1u);
+  EXPECT_EQ(one.value().KnnSearch({5, 5}, 2).size(), 1u);
+}
+
+TEST(DistanceMatrixTest, RangeSearchMatchesLinearScan) {
+  const auto data = dataset::UniformVectors(300, 6, 3);
+  auto built = VecDm::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  const auto queries = dataset::UniformQueryVectors(10, 6, 5);
+  for (const auto& q : queries) {
+    for (const double r : {0.0, 0.3, 0.8, 2.0}) {
+      const auto got = built.value().RangeSearch(q, r);
+      const auto expected = reference.RangeSearch(q, r);
+      ASSERT_EQ(got.size(), expected.size()) << "r=" << r;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id);
+        EXPECT_DOUBLE_EQ(got[i].distance, expected[i].distance);
+      }
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, KnnMatchesLinearScan) {
+  const auto data = dataset::UniformVectors(250, 5, 7);
+  auto built = VecDm::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  const auto queries = dataset::UniformQueryVectors(8, 5, 9);
+  for (const auto& q : queries) {
+    for (const std::size_t k : {1u, 5u, 20u}) {
+      const auto got = built.value().KnnSearch(q, k);
+      const auto expected = reference.KnnSearch(q, k);
+      ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id) << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, UsesFarFewerDistanceComputationsThanTrees) {
+  // [SW90]'s selling point, confirmed: on small domains the table approach
+  // needs dramatically fewer query-time distance computations.
+  const auto data = dataset::UniformVectors(2000, 20, 11);
+  auto built = VecDm::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  SearchStats stats;
+  built.value().RangeSearch(dataset::UniformQueryVectors(1, 20, 13)[0], 0.3,
+                            &stats);
+  EXPECT_LT(stats.distance_computations, 200u);  // vs ~800+ for trees
+}
+
+TEST(DistanceMatrixTest, WorksWithEditDistance) {
+  auto words = dataset::SyntheticWords(200, 15);
+  using WordDm = DistanceMatrixIndex<std::string, metric::Levenshtein>;
+  auto built = WordDm::Build(words, metric::Levenshtein(), {});
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<std::string, metric::Levenshtein> reference(
+      words, metric::Levenshtein());
+  const std::string q = dataset::MutateWord(words[50], 1, 3);
+  for (const double r : {1.0, 2.0, 3.0}) {
+    const auto got = built.value().RangeSearch(q, r);
+    const auto expected = reference.RangeSearch(q, r);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, expected[i].id);
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, DuplicatePoints) {
+  std::vector<Vector> data(40, Vector{2, 2});
+  auto built = VecDm::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().RangeSearch({2, 2}, 0.0).size(), 40u);
+  EXPECT_EQ(built.value().KnnSearch({0, 0}, 5).size(), 5u);
+}
+
+}  // namespace
+}  // namespace mvp::baselines

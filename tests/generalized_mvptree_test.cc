@@ -1,0 +1,220 @@
+#include "core/generalized_mvp_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dataset/vector_gen.h"
+#include "dataset/words.h"
+#include "metric/counting.h"
+#include "metric/edit_distance.h"
+#include "metric/lp.h"
+#include "scan/linear_scan.h"
+
+namespace mvp::core {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+using GenTree = GeneralizedMvpTree<Vector, L2>;
+
+TEST(GeneralizedMvpTreeTest, RejectsBadOptions) {
+  GenTree::Options options;
+  options.order = 1;
+  EXPECT_FALSE(GenTree::Build({}, L2(), options).ok());
+  options = {};
+  options.vantage_points = 0;
+  EXPECT_FALSE(GenTree::Build({}, L2(), options).ok());
+  options = {};
+  options.vantage_points = 9;
+  EXPECT_FALSE(GenTree::Build({}, L2(), options).ok());
+  options = {};
+  options.order = 8;
+  options.vantage_points = 8;  // fanout 8^8 >> 4096
+  EXPECT_FALSE(GenTree::Build({}, L2(), options).ok());
+  options = {};
+  options.leaf_capacity = 0;
+  EXPECT_FALSE(GenTree::Build({}, L2(), options).ok());
+}
+
+TEST(GeneralizedMvpTreeTest, EmptyAndTiny) {
+  auto empty = GenTree::Build({}, L2(), {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().RangeSearch({0, 0}, 1.0).empty());
+  for (std::size_t n = 1; n <= 6; ++n) {
+    std::vector<Vector> data;
+    for (std::size_t i = 0; i < n; ++i) {
+      data.push_back(Vector{static_cast<double>(i), 0.0});
+    }
+    GenTree::Options options;
+    options.vantage_points = 3;
+    options.leaf_capacity = 2;
+    auto tree = GenTree::Build(data, L2(), options);
+    ASSERT_TRUE(tree.ok()) << "n=" << n;
+    EXPECT_EQ(tree.value().RangeSearch({0, 0}, 100.0).size(), n);
+  }
+}
+
+// (order m, vantage points v, leaf capacity k, path p, n, dim)
+using Param = std::tuple<int, int, int, int, std::size_t, std::size_t>;
+
+class GeneralizedSweepTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(GeneralizedSweepTest, RangeSearchMatchesLinearScan) {
+  const auto [m, v, k, p, n, dim] = GetParam();
+  const auto data = dataset::UniformVectors(n, dim, 7);
+  GenTree::Options options;
+  options.order = m;
+  options.vantage_points = v;
+  options.leaf_capacity = k;
+  options.num_path_distances = p;
+  options.seed = 11;
+  auto built = GenTree::Build(data, L2(), options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  const auto queries = dataset::UniformQueryVectors(6, dim, 13);
+  for (const auto& q : queries) {
+    for (const double r : {0.0, 0.2, 0.6, 1.4}) {
+      const auto got = built.value().RangeSearch(q, r);
+      const auto expected = reference.RangeSearch(q, r);
+      ASSERT_EQ(got.size(), expected.size())
+          << "m=" << m << " v=" << v << " r=" << r;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id);
+        EXPECT_DOUBLE_EQ(got[i].distance, expected[i].distance);
+      }
+    }
+  }
+}
+
+TEST_P(GeneralizedSweepTest, KnnMatchesLinearScan) {
+  const auto [m, v, k, p, n, dim] = GetParam();
+  const auto data = dataset::UniformVectors(n, dim, 17);
+  GenTree::Options options;
+  options.order = m;
+  options.vantage_points = v;
+  options.leaf_capacity = k;
+  options.num_path_distances = p;
+  auto built = GenTree::Build(data, L2(), options);
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  const auto queries = dataset::UniformQueryVectors(5, dim, 19);
+  for (const auto& q : queries) {
+    for (const std::size_t kk : {1u, 6u, 19u}) {
+      const auto got = built.value().KnnSearch(q, kk);
+      const auto expected = reference.KnnSearch(q, kk);
+      ASSERT_EQ(got.size(), expected.size()) << "k=" << kk;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id) << "k=" << kk << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(GeneralizedSweepTest, AllPointsAccounted) {
+  const auto [m, v, k, p, n, dim] = GetParam();
+  const auto data = dataset::UniformVectors(n, dim, 23);
+  GenTree::Options options;
+  options.order = m;
+  options.vantage_points = v;
+  options.leaf_capacity = k;
+  options.num_path_distances = p;
+  auto built = GenTree::Build(data, L2(), options);
+  ASSERT_TRUE(built.ok());
+  const auto stats = built.value().Stats();
+  EXPECT_EQ(stats.num_vantage_points + stats.num_leaf_points, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneralizedSweepTest,
+    ::testing::Values(Param{3, 2, 9, 5, 600, 20},   // the paper's mvp shape
+                      Param{3, 1, 9, 5, 500, 8},    // vp-tree + stored dists
+                      Param{2, 3, 10, 6, 600, 8},   // three vps per node
+                      Param{2, 4, 8, 8, 500, 6},    // four vps per node
+                      Param{4, 2, 5, 4, 400, 5},
+                      Param{2, 2, 1, 2, 300, 4},
+                      Param{3, 3, 13, 0, 500, 8},   // no PATH at all
+                      Param{3, 2, 9, 5, 15, 4},     // around leaf threshold
+                      Param{2, 3, 4, 4, 9, 3}));
+
+TEST(GeneralizedMvpTreeTest, DuplicateHeavyDataset) {
+  std::vector<Vector> data(150, Vector{1, 2, 3});
+  for (const auto& v : dataset::UniformVectors(150, 3, 29)) data.push_back(v);
+  GenTree::Options options;
+  options.vantage_points = 3;
+  options.leaf_capacity = 6;
+  auto built = GenTree::Build(data, L2(), options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().RangeSearch({1, 2, 3}, 0.0).size(), 150u);
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  const Vector q{0.5, 0.5, 0.5};
+  EXPECT_EQ(built.value().RangeSearch(q, 0.5).size(),
+            reference.RangeSearch(q, 0.5).size());
+}
+
+TEST(GeneralizedMvpTreeTest, SearchStatsMatchCountingMetric) {
+  const auto data = dataset::UniformVectors(600, 8, 31);
+  metric::DistanceCounter counter;
+  auto counted = metric::MakeCounting(L2(), counter);
+  using CountedTree =
+      GeneralizedMvpTree<Vector, metric::CountingMetric<L2>>;
+  CountedTree::Options options;
+  options.vantage_points = 3;
+  auto built = CountedTree::Build(data, counted, options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().Stats().construction_distance_computations,
+            counter.count());
+  counter.Reset();
+  SearchStats stats;
+  built.value().RangeSearch(data[0], 0.4, &stats);
+  EXPECT_EQ(stats.distance_computations, counter.count());
+}
+
+TEST(GeneralizedMvpTreeTest, MoreVantagePointsFilterLeavesHarder) {
+  // With more stored distances per leaf point (v of them), the leaf filter
+  // rejects at least as many candidates per seen point at small radii.
+  const auto data = dataset::UniformVectors(10000, 20, 37);
+  const auto q = dataset::UniformQueryVectors(1, 20, 39)[0];
+  double prev_ratio = -1.0;
+  for (const int v : {1, 2, 3}) {
+    GenTree::Options options;
+    options.order = 3;
+    options.vantage_points = v;
+    options.leaf_capacity = 80;
+    options.num_path_distances = 5;
+    auto built = GenTree::Build(data, L2(), options);
+    ASSERT_TRUE(built.ok());
+    SearchStats stats;
+    built.value().RangeSearch(q, 0.2, &stats);
+    const double ratio =
+        stats.leaf_points_seen == 0
+            ? 1.0
+            : static_cast<double>(stats.leaf_points_filtered) /
+                  static_cast<double>(stats.leaf_points_seen);
+    EXPECT_GE(ratio, prev_ratio * 0.95) << "v=" << v;  // near-monotone
+    prev_ratio = ratio;
+  }
+}
+
+TEST(GeneralizedMvpTreeTest, WorksWithEditDistance) {
+  auto words = dataset::SyntheticWords(300, 41);
+  using WordTree = GeneralizedMvpTree<std::string, metric::Levenshtein>;
+  WordTree::Options options;
+  options.order = 2;
+  options.vantage_points = 3;
+  options.leaf_capacity = 8;
+  options.num_path_distances = 4;
+  auto built = WordTree::Build(words, metric::Levenshtein(), options);
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<std::string, metric::Levenshtein> reference(
+      words, metric::Levenshtein());
+  const std::string q = dataset::MutateWord(words[123], 2, 5);
+  for (const double r : {1.0, 2.0, 3.0}) {
+    const auto got = built.value().RangeSearch(q, r);
+    const auto expected = reference.RangeSearch(q, r);
+    ASSERT_EQ(got.size(), expected.size());
+  }
+}
+
+}  // namespace
+}  // namespace mvp::core

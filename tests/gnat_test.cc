@@ -1,0 +1,160 @@
+#include "baselines/gnat.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/vector_gen.h"
+#include "dataset/words.h"
+#include "metric/counting.h"
+#include "metric/edit_distance.h"
+#include "metric/lp.h"
+#include "scan/linear_scan.h"
+
+namespace mvp::baselines {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+using VecGnat = Gnat<Vector, L2>;
+
+TEST(GnatTest, RejectsBadOptions) {
+  VecGnat::Options options;
+  options.split_points = 1;
+  EXPECT_FALSE(VecGnat::Build({}, L2(), options).ok());
+  options = {};
+  options.leaf_capacity = 0;
+  EXPECT_FALSE(VecGnat::Build({}, L2(), options).ok());
+  options = {};
+  options.candidate_factor = 0;
+  EXPECT_FALSE(VecGnat::Build({}, L2(), options).ok());
+}
+
+TEST(GnatTest, EmptyAndTiny) {
+  auto empty = VecGnat::Build({}, L2(), {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().RangeSearch({0, 0}, 5.0).empty());
+
+  auto one = VecGnat::Build({{1, 1}}, L2(), {});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value().RangeSearch({1, 1}, 0.0).size(), 1u);
+}
+
+struct GnatParam {
+  int split_points;
+  int leaf_capacity;
+  std::size_t n;
+  std::size_t dim;
+};
+
+class GnatSweepTest : public ::testing::TestWithParam<GnatParam> {};
+
+TEST_P(GnatSweepTest, RangeSearchMatchesLinearScan) {
+  const auto p = GetParam();
+  const auto data = dataset::UniformVectors(p.n, p.dim, 5);
+  VecGnat::Options options;
+  options.split_points = p.split_points;
+  options.leaf_capacity = p.leaf_capacity;
+  auto built = VecGnat::Build(data, L2(), options);
+  ASSERT_TRUE(built.ok());
+  auto& gnat = built.value();
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  const auto queries = dataset::UniformQueryVectors(8, p.dim, 9);
+  for (const auto& q : queries) {
+    for (const double r : {0.0, 0.2, 0.6, 1.2, 3.0}) {
+      const auto got = gnat.RangeSearch(q, r);
+      const auto expected = reference.RangeSearch(q, r);
+      ASSERT_EQ(got.size(), expected.size()) << "r=" << r;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id);
+      }
+    }
+  }
+}
+
+TEST_P(GnatSweepTest, AccountsForAllPoints) {
+  const auto p = GetParam();
+  const auto data = dataset::UniformVectors(p.n, p.dim, 15);
+  VecGnat::Options options;
+  options.split_points = p.split_points;
+  options.leaf_capacity = p.leaf_capacity;
+  auto built = VecGnat::Build(data, L2(), options);
+  ASSERT_TRUE(built.ok());
+  const auto all = built.value().RangeSearch(Vector(p.dim, 0.5), 1e9);
+  EXPECT_EQ(all.size(), p.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GnatSweepTest,
+                         ::testing::Values(GnatParam{8, 16, 400, 6},
+                                           GnatParam{2, 4, 300, 4},
+                                           GnatParam{16, 8, 500, 10},
+                                           GnatParam{4, 1, 150, 3},
+                                           GnatParam{50, 10, 120, 5},
+                                           GnatParam{8, 16, 30, 4}));
+
+TEST_P(GnatSweepTest, KnnMatchesLinearScan) {
+  const auto p = GetParam();
+  const auto data = dataset::UniformVectors(p.n, p.dim, 17);
+  VecGnat::Options options;
+  options.split_points = p.split_points;
+  options.leaf_capacity = p.leaf_capacity;
+  auto built = VecGnat::Build(data, L2(), options);
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  const auto queries = dataset::UniformQueryVectors(6, p.dim, 19);
+  for (const auto& q : queries) {
+    for (const std::size_t k : {1u, 4u, 15u}) {
+      const auto got = built.value().KnnSearch(q, k);
+      const auto expected = reference.KnnSearch(q, k);
+      ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id) << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(GnatTest, DuplicatePoints) {
+  std::vector<Vector> data(40, Vector{1, 2});
+  auto built = VecGnat::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().RangeSearch({1, 2}, 0.0).size(), 40u);
+}
+
+TEST(GnatTest, PrunesAtSmallRadius) {
+  const auto data = dataset::UniformVectors(3000, 10, 21);
+  auto built = VecGnat::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  SearchStats stats;
+  built.value().RangeSearch(data[17], 0.1, &stats);
+  EXPECT_LT(stats.distance_computations, 3000u);
+}
+
+TEST(GnatTest, SearchStatsMatchCountingMetric) {
+  const auto data = dataset::UniformVectors(400, 6, 23);
+  metric::DistanceCounter counter;
+  auto counted = metric::MakeCounting(L2(), counter);
+  auto built = Gnat<Vector, metric::CountingMetric<L2>>::Build(data, counted, {});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().Stats().construction_distance_computations,
+            counter.count());
+  counter.Reset();
+  SearchStats stats;
+  built.value().RangeSearch(data[0], 0.4, &stats);
+  EXPECT_EQ(stats.distance_computations, counter.count());
+}
+
+TEST(GnatTest, WorksWithEditDistance) {
+  auto words = dataset::SyntheticWords(250, 27);
+  using WordGnat = Gnat<std::string, metric::Levenshtein>;
+  auto built = WordGnat::Build(words, metric::Levenshtein(), {});
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<std::string, metric::Levenshtein> reference(
+      words, metric::Levenshtein());
+  const std::string q = dataset::MutateWord(words[9], 1, 2);
+  for (const double r : {1.0, 2.0, 3.0}) {
+    EXPECT_EQ(built.value().RangeSearch(q, r).size(),
+              reference.RangeSearch(q, r).size());
+  }
+}
+
+}  // namespace
+}  // namespace mvp::baselines

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/mvp_tree.h"
+#include "dataset/vector_gen.h"
+#include "harness/table.h"
+#include "harness/workload.h"
+#include "metric/lp.h"
+#include "scan/linear_scan.h"
+
+namespace mvp::harness {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+
+TEST(TableTest, AlignedTextOutput) {
+  Table table({"structure", "0.15", "0.30"});
+  table.AddRow({"vpt(2)", "857.2", "7790.4"});
+  table.AddRow("mvpt(3,80)", {158.3, 2687.5}, 1);
+  const std::string text = table.ToText();
+  EXPECT_NE(text.find("structure"), std::string::npos);
+  EXPECT_NE(text.find("857.2"), std::string::npos);
+  EXPECT_NE(text.find("2687.5"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.AddRow({"x", "1"});
+  EXPECT_EQ(table.ToCsv(), "a,b\nx,1\n");
+}
+
+TEST(TableTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(10.0, 0), "10");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(TableTest, FigureHeader) {
+  std::ostringstream os;
+  PrintFigureHeader(os, "Figure 8", "caption", "workload");
+  EXPECT_NE(os.str().find("Figure 8: caption"), std::string::npos);
+  EXPECT_NE(os.str().find("workload: workload"), std::string::npos);
+}
+
+TEST(WorkloadTest, LinearScanSweepCostsExactlyN) {
+  const auto data = dataset::UniformVectors(123, 5, 1);
+  const auto queries = dataset::UniformQueryVectors(7, 5, 2);
+  auto build = [&](std::uint64_t) {
+    return scan::LinearScan<Vector, L2>(data, L2());
+  };
+  const auto cells = RangeCostSweep(build, queries, {0.1, 0.5, 2.0}, 3);
+  ASSERT_EQ(cells.size(), 3u);
+  for (const auto& cell : cells) {
+    EXPECT_DOUBLE_EQ(cell.avg_distance_computations, 123.0);
+  }
+  // At a huge radius every point matches.
+  const auto all = RangeCostSweep(build, queries, {1e9}, 1);
+  EXPECT_DOUBLE_EQ(all[0].avg_result_size, 123.0);
+}
+
+TEST(WorkloadTest, SweepAveragesAcrossRunsAndQueries) {
+  const auto data = dataset::UniformVectors(500, 8, 3);
+  const auto queries = dataset::UniformQueryVectors(5, 8, 4);
+  std::size_t builds = 0;
+  auto build = [&](std::uint64_t seed) {
+    ++builds;
+    core::MvpTree<Vector, L2>::Options options;
+    options.seed = seed;
+    return core::MvpTree<Vector, L2>::Build(data, L2(), options)
+        .ValueOrDie();
+  };
+  const auto cells = RangeCostSweep(build, queries, {0.3, 0.6}, 4);
+  EXPECT_EQ(builds, 4u);  // one index per run, shared across radii
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_GT(cells[0].avg_distance_computations, 0.0);
+  EXPECT_LE(cells[0].avg_distance_computations,
+            cells[1].avg_distance_computations);
+  EXPECT_GT(cells[0].avg_construction_distances, 0.0);
+}
+
+TEST(WorkloadTest, KnnSweep) {
+  const auto data = dataset::UniformVectors(300, 6, 5);
+  const auto queries = dataset::UniformQueryVectors(4, 6, 6);
+  auto build = [&](std::uint64_t seed) {
+    core::MvpTree<Vector, L2>::Options options;
+    options.seed = seed;
+    return core::MvpTree<Vector, L2>::Build(data, L2(), options)
+        .ValueOrDie();
+  };
+  const auto cells = KnnCostSweep(build, queries, {1, 10}, 2);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(cells[0].avg_result_size, 1.0);
+  EXPECT_DOUBLE_EQ(cells[1].avg_result_size, 10.0);
+  EXPECT_LE(cells[0].avg_distance_computations,
+            cells[1].avg_distance_computations);
+}
+
+TEST(WorkloadTest, DistanceColumnExtraction) {
+  std::vector<SweepCell> cells(2);
+  cells[0].avg_distance_computations = 10.5;
+  cells[1].avg_distance_computations = 20.5;
+  EXPECT_EQ(DistanceColumn(cells), (std::vector<double>{10.5, 20.5}));
+}
+
+}  // namespace
+}  // namespace mvp::harness

@@ -1,0 +1,133 @@
+#include "dataset/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dataset/vector_gen.h"
+#include "metric/counting.h"
+#include "metric/lp.h"
+
+namespace mvp::dataset {
+namespace {
+
+TEST(HistogramTest, AllPairsCountsEveryPairOnce) {
+  const auto data = UniformVectors(30, 5, 1);
+  const auto h = AllPairsHistogram(data, metric::L2(), 0.05);
+  EXPECT_EQ(h.total_pairs, 30u * 29u / 2u);
+  std::uint64_t sum = 0;
+  for (auto c : h.counts) sum += c;
+  EXPECT_EQ(sum, h.total_pairs);
+  EXPECT_DOUBLE_EQ(h.scale, 1.0);
+}
+
+TEST(HistogramTest, AllPairsUsesExactlyNChoose2Distances) {
+  const auto data = UniformVectors(25, 4, 2);
+  metric::DistanceCounter counter;
+  AllPairsHistogram(data, metric::MakeCounting(metric::L2(), counter), 0.05);
+  EXPECT_EQ(counter.count(), 25u * 24u / 2u);
+}
+
+TEST(HistogramTest, BucketsPartitionTheRange) {
+  const std::vector<metric::Vector> data{{0.0}, {0.05}, {0.11}, {0.32}};
+  const auto h = AllPairsHistogram(data, metric::L1(), 0.1);
+  // Distances: .05 .11 .32 .06 .27 .21 -> buckets 0,1,3,0,2,2
+  ASSERT_EQ(h.counts.size(), 4u);
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 2u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_DOUBLE_EQ(h.min_distance, 0.05);
+  EXPECT_DOUBLE_EQ(h.max_distance, 0.32);
+}
+
+TEST(HistogramTest, MeanAndQuantileAreBucketAccurate) {
+  const std::vector<metric::Vector> data{{0.0}, {1.0}};
+  const auto h = AllPairsHistogram(data, metric::L1(), 0.01);
+  EXPECT_NEAR(h.Mean(), 1.0, 0.011);
+  EXPECT_NEAR(h.Quantile(1.0), 1.0, 0.011);
+}
+
+TEST(HistogramTest, SampledFallsBackToExactForSmallData) {
+  const auto data = UniformVectors(10, 3, 3);
+  const auto exact = AllPairsHistogram(data, metric::L2(), 0.05);
+  const auto sampled =
+      SampledPairsHistogram(data, metric::L2(), 0.05, 100000, 7);
+  EXPECT_EQ(sampled.total_pairs, exact.total_pairs);
+  EXPECT_EQ(sampled.counts, exact.counts);
+}
+
+TEST(HistogramTest, SampledRespectsBudgetAndScales) {
+  const auto data = UniformVectors(400, 5, 4);
+  metric::DistanceCounter counter;
+  const auto h = SampledPairsHistogram(
+      data, metric::MakeCounting(metric::L2(), counter), 0.05, 5000, 7);
+  EXPECT_EQ(counter.count(), 5000u);
+  EXPECT_EQ(h.total_pairs, 5000u);
+  EXPECT_NEAR(h.scale, (400.0 * 399.0 / 2.0) / 5000.0, 1e-9);
+}
+
+TEST(HistogramTest, SampledApproximatesExactShape) {
+  const auto data = UniformVectors(150, 8, 5);
+  const auto exact = AllPairsHistogram(data, metric::L2(), 0.1);
+  const auto sampled =
+      SampledPairsHistogram(data, metric::L2(), 0.1, 4000, 11);
+  // Peak buckets should be close (coarse shape agreement).
+  const auto peak_exact = static_cast<double>(exact.PeakBucket());
+  const auto peak_sampled = static_cast<double>(sampled.PeakBucket());
+  EXPECT_NEAR(peak_exact, peak_sampled, 2.0);
+  EXPECT_NEAR(exact.Mean(), sampled.Mean(), 0.05);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  const std::vector<metric::Vector> data{{0.0}, {1.0}, {2.0}};
+  const auto h = AllPairsHistogram(data, metric::L1(), 0.5);
+  // Quantile(0) returns the first non-empty bucket's upper edge at most.
+  EXPECT_LE(h.Quantile(0.0), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(1.0));
+  DistanceHistogram empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+  EXPECT_EQ(empty.Mean(), 0.0);
+  EXPECT_EQ(empty.PeakBucket(), 0u);
+}
+
+TEST(HistogramTest, ZeroDistancesLandInBucketZero) {
+  const std::vector<metric::Vector> data{{1.0}, {1.0}, {1.0}};
+  const auto h = AllPairsHistogram(data, metric::L1(), 0.1);
+  ASSERT_GE(h.counts.size(), 1u);
+  EXPECT_EQ(h.counts[0], 3u);
+  EXPECT_EQ(h.min_distance, 0.0);
+  EXPECT_EQ(h.max_distance, 0.0);
+}
+
+TEST(HistogramTest, PrintProducesRowsAndStats) {
+  const auto data = UniformVectors(40, 5, 6);
+  const auto h = AllPairsHistogram(data, metric::L2(), 0.01);
+  std::ostringstream os;
+  PrintHistogram(os, h);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("pairs=780"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, PrintHandlesEmpty) {
+  DistanceHistogram h;
+  std::ostringstream os;
+  PrintHistogram(os, h);
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(HistogramTest, PrintCoarsensToMaxRows) {
+  const auto data = UniformVectors(60, 10, 8);
+  const auto h = AllPairsHistogram(data, metric::L2(), 0.001);  // many buckets
+  HistogramPrintOptions options;
+  options.max_rows = 10;
+  std::ostringstream os;
+  PrintHistogram(os, h, options);
+  int lines = 0;
+  for (char c : os.str()) lines += c == '\n' ? 1 : 0;
+  EXPECT_LE(lines, 12);  // stats line + <= 10 rows (+ slack)
+}
+
+}  // namespace
+}  // namespace mvp::dataset

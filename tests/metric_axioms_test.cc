@@ -1,0 +1,173 @@
+// Property tests: every bundled metric satisfies the four metric-space
+// axioms of §2 on randomized data. The triangle inequality is the single
+// property all index correctness rests on (the paper's Appendix proof uses
+// nothing else), so these tests are the foundation of the suite.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "metric/axioms.h"
+#include "dataset/image.h"
+#include "dataset/image_gen.h"
+#include "dataset/vector_gen.h"
+#include "dataset/words.h"
+#include "metric/edit_distance.h"
+#include "metric/lp.h"
+
+namespace mvp {
+namespace {
+
+/// Checks all four axioms over every pair/triple of `objects`.
+template <typename Object, typename Metric>
+void CheckAxioms(const std::vector<Object>& objects, const Metric& d,
+                 double tolerance = 1e-9) {
+  const std::size_t n = objects.size();
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      dist[i][j] = d(objects[i], objects[j]);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // iii) d(x,x) = 0
+    EXPECT_EQ(dist[i][i], 0.0) << "identity violated at " << i;
+    for (std::size_t j = 0; j < n; ++j) {
+      // i) symmetry, ii) non-negativity
+      EXPECT_GE(dist[i][j], 0.0);
+      EXPECT_NEAR(dist[i][j], dist[j][i], tolerance)
+          << "symmetry violated at (" << i << "," << j << ")";
+      // iv) triangle inequality through every witness z
+      for (std::size_t z = 0; z < n; ++z) {
+        EXPECT_LE(dist[i][j], dist[i][z] + dist[z][j] + tolerance)
+            << "triangle violated at (" << i << "," << j << "," << z << ")";
+      }
+    }
+  }
+}
+
+std::vector<metric::Vector> RandomVectors(std::size_t n, std::size_t dim,
+                                          std::uint64_t seed) {
+  return dataset::UniformVectors(n, dim, seed);
+}
+
+TEST(MetricAxiomsTest, L1OnRandomVectors) {
+  CheckAxioms(RandomVectors(14, 8, 1), metric::L1());
+}
+
+TEST(MetricAxiomsTest, L2OnRandomVectors) {
+  CheckAxioms(RandomVectors(14, 8, 2), metric::L2());
+}
+
+TEST(MetricAxiomsTest, LInfOnRandomVectors) {
+  CheckAxioms(RandomVectors(14, 8, 3), metric::LInf());
+}
+
+TEST(MetricAxiomsTest, Lp3OnRandomVectors) {
+  CheckAxioms(RandomVectors(12, 6, 4), metric::Lp(3.0));
+}
+
+TEST(MetricAxiomsTest, Lp1_5OnRandomVectors) {
+  CheckAxioms(RandomVectors(12, 6, 5), metric::Lp(1.5));
+}
+
+TEST(MetricAxiomsTest, WeightedLpOnRandomVectors) {
+  Rng rng(6);
+  metric::Vector weights(6);
+  for (auto& w : weights) w = rng.Uniform(0.0, 3.0);
+  CheckAxioms(RandomVectors(12, 6, 7), metric::WeightedLp(2.0, weights));
+}
+
+TEST(MetricAxiomsTest, L2OnClusteredVectors) {
+  dataset::ClusterParams params;
+  params.count = 14;
+  params.dim = 8;
+  params.cluster_size = 5;
+  CheckAxioms(dataset::ClusteredVectors(params, 8), metric::L2());
+}
+
+TEST(MetricAxiomsTest, EditDistanceOnWords) {
+  CheckAxioms(dataset::SyntheticWords(14, 9), metric::Levenshtein());
+}
+
+TEST(MetricAxiomsTest, HammingOnFixedLengthStrings) {
+  // Hamming requires equal lengths: build same-length random strings.
+  Rng rng(10);
+  std::vector<std::string> strings;
+  for (int i = 0; i < 14; ++i) {
+    std::string s(9, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + rng.NextIndex(4));
+    strings.push_back(s);
+  }
+  CheckAxioms(strings, metric::Hamming());
+}
+
+TEST(MetricAxiomsTest, ImageL1OnPhantoms) {
+  dataset::MriParams params;
+  params.count = 10;
+  params.subjects = 4;
+  params.width = params.height = 16;
+  CheckAxioms(dataset::MriPhantoms(params, 11), dataset::ImageL1());
+}
+
+TEST(MetricAxiomsTest, ImageL2OnPhantoms) {
+  dataset::MriParams params;
+  params.count = 10;
+  params.subjects = 4;
+  params.width = params.height = 16;
+  CheckAxioms(dataset::MriPhantoms(params, 12), dataset::ImageL2(), 1e-6);
+}
+
+// --- the public CheckMetricAxioms utility (metric/axioms.h) ---
+
+TEST(CheckMetricAxiomsTest, AcceptsRealMetrics) {
+  EXPECT_TRUE(
+      metric::CheckMetricAxioms(RandomVectors(15, 6, 31), metric::L2()).ok());
+  EXPECT_TRUE(metric::CheckMetricAxioms(dataset::SyntheticWords(15, 32),
+                                        metric::Levenshtein())
+                  .ok());
+}
+
+TEST(CheckMetricAxiomsTest, RejectsSquaredL2) {
+  // Squared Euclidean distance violates the triangle inequality — the
+  // classic trap this utility exists to catch.
+  struct SquaredL2 {
+    double operator()(const metric::Vector& a, const metric::Vector& b) const {
+      const double d = metric::L2()(a, b);
+      return d * d;
+    }
+  };
+  const auto st =
+      metric::CheckMetricAxioms(RandomVectors(15, 6, 33), SquaredL2());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("triangle"), std::string::npos);
+}
+
+TEST(CheckMetricAxiomsTest, RejectsAsymmetry) {
+  struct Asymmetric {
+    double operator()(const metric::Vector& a, const metric::Vector& b) const {
+      return a[0] < b[0] ? metric::L2()(a, b) : 2.0 * metric::L2()(a, b);
+    }
+  };
+  const auto st =
+      metric::CheckMetricAxioms(RandomVectors(10, 3, 34), Asymmetric());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("symmetry"), std::string::npos);
+}
+
+TEST(CheckMetricAxiomsTest, RejectsNonZeroSelfDistance) {
+  struct Shifted {
+    double operator()(const metric::Vector& a, const metric::Vector& b) const {
+      return metric::L2()(a, b) + 1.0;
+    }
+  };
+  const auto st =
+      metric::CheckMetricAxioms(RandomVectors(5, 3, 35), Shifted());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("identity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mvp

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "dataset/image.h"
+#include "metric/counting.h"
+#include "metric/edit_distance.h"
+#include "metric/lp.h"
+
+namespace mvp::metric {
+namespace {
+
+TEST(LpTest, L2HandComputed) {
+  L2 d;
+  EXPECT_DOUBLE_EQ(d({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(d({1, 1, 1}, {1, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(d({-1, 0}, {1, 0}), 2.0);
+}
+
+TEST(LpTest, L1HandComputed) {
+  L1 d;
+  EXPECT_DOUBLE_EQ(d({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(d({-1, -2}, {1, 2}), 6.0);
+}
+
+TEST(LpTest, LInfHandComputed) {
+  LInf d;
+  EXPECT_DOUBLE_EQ(d({0, 0}, {3, 4}), 4.0);
+  EXPECT_DOUBLE_EQ(d({5, 1}, {1, 2}), 4.0);
+}
+
+TEST(LpTest, GeneralLpMatchesSpecializations) {
+  const Vector a{0.3, -1.2, 4.0, 0.0};
+  const Vector b{1.1, 2.2, -0.5, 3.3};
+  EXPECT_NEAR(Lp(1.0)(a, b), L1()(a, b), 1e-12);
+  EXPECT_NEAR(Lp(2.0)(a, b), L2()(a, b), 1e-12);
+  // Large p approaches LInf from above.
+  EXPECT_NEAR(Lp(64.0)(a, b), LInf()(a, b), 0.2);
+  EXPECT_GE(Lp(64.0)(a, b), LInf()(a, b));
+}
+
+TEST(LpTest, LpMonotoneNonincreasingInP) {
+  const Vector a{0.0, 0.0, 0.0};
+  const Vector b{1.0, 2.0, 3.0};
+  double prev = Lp(1.0)(a, b);
+  for (double p = 1.5; p <= 8.0; p += 0.5) {
+    const double cur = Lp(p)(a, b);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(LpTest, WeightedLpZeroWeightsIgnoreDimensions) {
+  WeightedLp d(2.0, {1.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(d({0, 100, 0}, {3, -100, 4}), 5.0);
+}
+
+TEST(LpTest, WeightedLpUniformWeightsScale) {
+  WeightedLp d(2.0, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(d({0, 0}, {3, 4}), 10.0);
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+  EXPECT_EQ(EditDistance("a", "b"), 1u);
+}
+
+TEST(EditDistanceTest, SymmetricOnAsymmetricLengths) {
+  EXPECT_EQ(EditDistance("short", "a much longer string"),
+            EditDistance("a much longer string", "short"));
+}
+
+TEST(BoundedEditDistanceTest, ExactWithinBound) {
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 3), 3u);
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 5), 3u);
+  EXPECT_EQ(BoundedEditDistance("abc", "abc", 0), 0u);
+}
+
+TEST(BoundedEditDistanceTest, ExceedsBoundReportsOverflow) {
+  EXPECT_GT(BoundedEditDistance("kitten", "sitting", 2), 2u);
+  EXPECT_GT(BoundedEditDistance("", "abcdef", 3), 3u);
+}
+
+TEST(BoundedEditDistanceTest, AgreesWithExactOnRandomPairs) {
+  // Deterministic mini-fuzz across short strings.
+  const std::vector<std::string> words{"",      "a",     "ab",    "abc",
+                                       "abcd",  "axcd",  "bacd",  "dcba",
+                                       "aabb",  "abab",  "hello", "hallo",
+                                       "world", "wordl", "wrld",  "w"};
+  for (const auto& x : words) {
+    for (const auto& y : words) {
+      const unsigned exact = EditDistance(x, y);
+      for (unsigned bound = 0; bound <= 6; ++bound) {
+        const unsigned bounded = BoundedEditDistance(x, y, bound);
+        if (exact <= bound) {
+          EXPECT_EQ(bounded, exact) << x << " vs " << y << " bound " << bound;
+        } else {
+          EXPECT_GT(bounded, bound) << x << " vs " << y << " bound " << bound;
+        }
+      }
+    }
+  }
+}
+
+TEST(HammingTest, CountsDifferingPositions) {
+  Hamming d;
+  EXPECT_DOUBLE_EQ(d("karolin", "kathrin"), 3.0);
+  EXPECT_DOUBLE_EQ(d("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(d("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(d("000", "111"), 3.0);
+}
+
+TEST(CountingMetricTest, CountsEveryInvocation) {
+  DistanceCounter counter;
+  auto counted = MakeCounting(L2(), counter);
+  const Vector a{0, 0}, b{1, 1};
+  EXPECT_EQ(counter.count(), 0u);
+  counted(a, b);
+  counted(a, b);
+  counted(b, a);
+  EXPECT_EQ(counter.count(), 3u);
+  counter.Reset();
+  EXPECT_EQ(counter.count(), 0u);
+}
+
+TEST(CountingMetricTest, CopiesShareTheCounter) {
+  DistanceCounter counter;
+  auto counted = MakeCounting(L2(), counter);
+  auto copy = counted;  // indexes store metrics by value
+  const Vector a{0, 0}, b{1, 1};
+  counted(a, b);
+  copy(a, b);
+  EXPECT_EQ(counter.count(), 2u);
+}
+
+TEST(CountingMetricTest, PreservesDistanceValues) {
+  DistanceCounter counter;
+  auto counted = MakeCounting(L2(), counter);
+  const Vector a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(counted(a, b), 5.0);
+}
+
+TEST(ImageMetricTest, IdenticalImagesAreAtDistanceZero) {
+  dataset::Image img;
+  img.width = 4;
+  img.height = 4;
+  img.pixels.assign(16, 100);
+  EXPECT_DOUBLE_EQ(dataset::ImageL1()(img, img), 0.0);
+  EXPECT_DOUBLE_EQ(dataset::ImageL2()(img, img), 0.0);
+}
+
+TEST(ImageMetricTest, NormalizationMatchesPaperAt256) {
+  // At the paper's 256x256 resolution the normalizers are exactly the
+  // paper's constants: 10000 for L1 and 100 for L2.
+  EXPECT_DOUBLE_EQ(dataset::ImageL1Normalizer(65536), 10000.0);
+  EXPECT_DOUBLE_EQ(dataset::ImageL2Normalizer(65536), 100.0);
+}
+
+TEST(ImageMetricTest, HandComputedDistances) {
+  dataset::Image a, b;
+  a.width = b.width = 2;
+  a.height = b.height = 2;
+  a.pixels = {0, 0, 0, 0};
+  b.pixels = {10, 0, 0, 0};
+  // L1: raw 10, normalizer 10000*4/65536.
+  EXPECT_NEAR(dataset::ImageL1()(a, b), 10.0 / (10000.0 * 4 / 65536.0), 1e-9);
+  // L2: raw 10, normalizer 100*sqrt(4/65536).
+  EXPECT_NEAR(dataset::ImageL2()(a, b),
+              10.0 / (100.0 * std::sqrt(4.0 / 65536.0)), 1e-9);
+}
+
+TEST(ImageMetricTest, ResolutionInvarianceOfNormalizedDistance) {
+  // A constant intensity offset produces the same normalized L1 distance at
+  // any resolution — the point of generalizing the paper's constants.
+  auto make = [](std::uint16_t side, std::uint8_t level) {
+    dataset::Image img;
+    img.width = img.height = side;
+    img.pixels.assign(static_cast<std::size_t>(side) * side, level);
+    return img;
+  };
+  const double d64 = dataset::ImageL1()(make(64, 10), make(64, 30));
+  const double d256 = dataset::ImageL1()(make(256, 10), make(256, 30));
+  EXPECT_NEAR(d64, d256, 1e-9);
+}
+
+}  // namespace
+}  // namespace mvp::metric

@@ -1,0 +1,112 @@
+// Tests for the paper's §2 "farthest" query forms on the mvp-tree: all
+// objects farther than a range, and the k farthest objects.
+
+#include <gtest/gtest.h>
+
+#include "core/mvp_tree.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "scan/linear_scan.h"
+
+namespace mvp::core {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+using VecTree = MvpTree<Vector, L2>;
+
+VecTree MustBuild(std::vector<Vector> data, VecTree::Options options = {}) {
+  auto result = VecTree::Build(std::move(data), L2(), options);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).ValueOrDie();
+}
+
+TEST(MvpTreeFarthestTest, KFarthestMatchesLinearScan) {
+  const auto data = dataset::UniformVectors(600, 8, 7);
+  auto tree = MustBuild(data);
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  const auto queries = dataset::UniformQueryVectors(8, 8, 11);
+  for (const auto& q : queries) {
+    for (const std::size_t k : {1u, 5u, 20u}) {
+      const auto got = tree.FarthestSearch(q, k);
+      const auto expected = reference.FarthestSearch(q, k);
+      ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id) << "k=" << k << " i=" << i;
+        EXPECT_DOUBLE_EQ(got[i].distance, expected[i].distance);
+      }
+    }
+  }
+}
+
+TEST(MvpTreeFarthestTest, FarthestRangeMatchesBruteForce) {
+  const auto data = dataset::UniformVectors(500, 6, 13);
+  auto tree = MustBuild(data);
+  L2 d;
+  const auto queries = dataset::UniformQueryVectors(6, 6, 17);
+  for (const auto& q : queries) {
+    for (const double r : {1.0, 1.4, 1.8, 2.4}) {
+      const auto got = tree.FarthestRangeSearch(q, r);
+      std::size_t expected = 0;
+      for (const auto& x : data) expected += d(q, x) >= r ? 1 : 0;
+      ASSERT_EQ(got.size(), expected) << "r=" << r;
+      // Sorted by decreasing distance, all >= r.
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_GE(got[i].distance, r);
+        if (i > 0) EXPECT_LE(got[i].distance, got[i - 1].distance);
+      }
+    }
+  }
+}
+
+TEST(MvpTreeFarthestTest, FarthestRangeZeroReturnsEverything) {
+  const auto data = dataset::UniformVectors(100, 4, 19);
+  auto tree = MustBuild(data);
+  EXPECT_EQ(tree.FarthestRangeSearch(Vector(4, 0.5), 0.0).size(), 100u);
+}
+
+TEST(MvpTreeFarthestTest, KLargerThanDataset) {
+  const auto data = dataset::UniformVectors(30, 4, 23);
+  auto tree = MustBuild(data);
+  EXPECT_EQ(tree.FarthestSearch(Vector(4, 0.5), 100).size(), 30u);
+}
+
+TEST(MvpTreeFarthestTest, EmptyTree) {
+  auto tree = MustBuild({});
+  EXPECT_TRUE(tree.FarthestSearch({1, 2}, 3).empty());
+  EXPECT_TRUE(tree.FarthestRangeSearch({1, 2}, 0.5).empty());
+}
+
+TEST(MvpTreeFarthestTest, PrunesComparedToScan) {
+  const auto data = dataset::UniformVectors(8000, 20, 29);
+  auto tree = MustBuild(data);
+  SearchStats stats;
+  // The farthest points from a corner query are well separated from the
+  // bulk; the upper-bound pruning must beat the scan.
+  tree.FarthestSearch(Vector(20, 0.0), 1, &stats);
+  EXPECT_LT(stats.distance_computations, 8000u);
+}
+
+TEST(MvpTreeFarthestTest, WorksAcrossParameterSettings) {
+  const auto data = dataset::UniformVectors(400, 5, 31);
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  const Vector q(5, 0.2);
+  const auto expected = reference.FarthestSearch(q, 10);
+  for (const int m : {2, 3, 4}) {
+    for (const int k : {1, 10, 60}) {
+      VecTree::Options options;
+      options.order = m;
+      options.leaf_capacity = k;
+      options.num_path_distances = 4;
+      auto tree = MustBuild(data, options);
+      const auto got = tree.FarthestSearch(q, 10);
+      ASSERT_EQ(got.size(), expected.size()) << "m=" << m << " k=" << k;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id) << "m=" << m << " k=" << k;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mvp::core

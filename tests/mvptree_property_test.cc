@@ -1,0 +1,157 @@
+// Parameterized property sweep: for every (m, k, p, bounds-mode, metric,
+// dataset-shape) combination, mvp-tree range and k-NN searches must return
+// exactly the linear-scan ground truth. This is the main correctness net
+// for the reproduction's core structure.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/mvp_tree.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "scan/linear_scan.h"
+
+namespace mvp::core {
+namespace {
+
+using metric::Vector;
+
+// (order m, leaf capacity k, path distances p, exact bounds, n, dim,
+//  clustered?)
+using Param = std::tuple<int, int, int, bool, std::size_t, std::size_t, bool>;
+
+class MvpTreePropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  std::vector<Vector> MakeData() const {
+    const auto [m, k, p, exact, n, dim, clustered] = GetParam();
+    (void)m;
+    (void)k;
+    (void)p;
+    (void)exact;
+    if (clustered) {
+      dataset::ClusterParams params;
+      params.count = n;
+      params.dim = dim;
+      params.cluster_size = std::max<std::size_t>(1, n / 5);
+      return dataset::ClusteredVectors(params, 7);
+    }
+    return dataset::UniformVectors(n, dim, 7);
+  }
+
+  MvpTree<Vector, metric::L2>::Options MakeOptions() const {
+    const auto [m, k, p, exact, n, dim, clustered] = GetParam();
+    (void)n;
+    (void)dim;
+    (void)clustered;
+    MvpTree<Vector, metric::L2>::Options options;
+    options.order = m;
+    options.leaf_capacity = k;
+    options.num_path_distances = p;
+    options.store_exact_bounds = exact;
+    options.seed = 17;
+    return options;
+  }
+};
+
+TEST_P(MvpTreePropertyTest, RangeSearchMatchesLinearScan) {
+  const auto data = MakeData();
+  auto result = MvpTree<Vector, metric::L2>::Build(data, metric::L2(),
+                                                   MakeOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto& tree = result.value();
+  scan::LinearScan<Vector, metric::L2> reference(data, metric::L2());
+
+  const std::size_t dim = std::get<5>(GetParam());
+  const auto queries = dataset::UniformQueryVectors(6, dim, 23);
+  for (const auto& q : queries) {
+    for (const double radius : {0.0, 0.1, 0.4, 1.0, 2.5}) {
+      const auto got = tree.RangeSearch(q, radius);
+      const auto expected = reference.RangeSearch(q, radius);
+      ASSERT_EQ(got.size(), expected.size()) << "radius " << radius;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id);
+        EXPECT_DOUBLE_EQ(got[i].distance, expected[i].distance);
+      }
+    }
+  }
+  // Data points themselves as queries (distance 0 hits guaranteed).
+  for (const std::size_t idx : {std::size_t{0}, data.size() / 2}) {
+    const auto got = tree.RangeSearch(data[idx], 0.05);
+    const auto expected = reference.RangeSearch(data[idx], 0.05);
+    ASSERT_EQ(got.size(), expected.size());
+  }
+}
+
+TEST_P(MvpTreePropertyTest, KnnMatchesLinearScan) {
+  const auto data = MakeData();
+  auto result = MvpTree<Vector, metric::L2>::Build(data, metric::L2(),
+                                                   MakeOptions());
+  ASSERT_TRUE(result.ok());
+  auto& tree = result.value();
+  scan::LinearScan<Vector, metric::L2> reference(data, metric::L2());
+
+  const std::size_t dim = std::get<5>(GetParam());
+  const auto queries = dataset::UniformQueryVectors(4, dim, 29);
+  for (const auto& q : queries) {
+    for (const std::size_t k : {std::size_t{1}, std::size_t{5},
+                                std::size_t{17}, data.size() + 3}) {
+      const auto got = tree.KnnSearch(q, k);
+      const auto expected = reference.KnnSearch(q, k);
+      ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id) << "k=" << k << " i=" << i;
+        EXPECT_DOUBLE_EQ(got[i].distance, expected[i].distance);
+      }
+    }
+  }
+}
+
+TEST_P(MvpTreePropertyTest, TreeAccountsForAllPoints) {
+  const auto data = MakeData();
+  auto result = MvpTree<Vector, metric::L2>::Build(data, metric::L2(),
+                                                   MakeOptions());
+  ASSERT_TRUE(result.ok());
+  const auto stats = result.value().Stats();
+  EXPECT_EQ(stats.num_vantage_points + stats.num_leaf_points, data.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterSweep, MvpTreePropertyTest,
+    ::testing::Values(
+        // Paper configurations.
+        Param{3, 9, 5, false, 600, 20, false},
+        Param{3, 80, 5, false, 600, 20, false},
+        Param{2, 16, 4, false, 400, 10, false},
+        Param{2, 5, 4, false, 400, 10, false},
+        Param{3, 13, 4, false, 400, 10, false},
+        // Binary tree exactly as §4.2 presents it.
+        Param{2, 4, 2, false, 300, 6, false},
+        // p = 0: no PATH filtering at all.
+        Param{3, 10, 0, false, 300, 8, false},
+        // Large p (deep paths truncated).
+        Param{2, 3, 12, false, 500, 6, false},
+        // Exact-bound pruning ablation.
+        Param{3, 9, 5, true, 600, 20, false},
+        Param{2, 5, 4, true, 400, 10, false},
+        // High order.
+        Param{5, 7, 3, false, 700, 8, false},
+        Param{4, 1, 2, false, 350, 5, false},
+        // Leaf capacity 1 (degenerate small leaves).
+        Param{2, 1, 4, false, 200, 4, false},
+        // Clustered data.
+        Param{3, 9, 5, false, 600, 20, true},
+        Param{3, 80, 5, false, 600, 20, true},
+        Param{2, 10, 6, true, 500, 10, true},
+        // Tiny datasets around the leaf threshold k+2.
+        Param{3, 9, 5, false, 10, 4, false},
+        Param{3, 9, 5, false, 11, 4, false},
+        Param{3, 9, 5, false, 12, 4, false},
+        Param{2, 2, 2, false, 5, 3, false},
+        Param{2, 2, 2, false, 4, 3, false},
+        // 1-D metric space.
+        Param{3, 6, 4, false, 400, 1, false}));
+
+}  // namespace
+}  // namespace mvp::core

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/codec.h"
+#include "core/mvp_tree.h"
+#include "dataset/vector_gen.h"
+#include "dataset/words.h"
+#include "metric/edit_distance.h"
+#include "metric/lp.h"
+
+namespace mvp::core {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+using VecTree = MvpTree<Vector, L2>;
+
+std::vector<std::uint8_t> SerializeTree(const VecTree& tree) {
+  BinaryWriter writer;
+  EXPECT_TRUE(tree.Serialize(&writer, VectorCodec()).ok());
+  return writer.TakeBuffer();
+}
+
+TEST(MvpTreeSerializeTest, RoundTripPreservesSearchBehaviour) {
+  const auto data = dataset::UniformVectors(500, 8, 11);
+  VecTree::Options options;
+  options.order = 3;
+  options.leaf_capacity = 9;
+  options.num_path_distances = 5;
+  auto built = VecTree::Build(data, L2(), options);
+  ASSERT_TRUE(built.ok());
+  auto& tree = built.value();
+
+  const auto bytes = SerializeTree(tree);
+  BinaryReader reader(bytes);
+  auto loaded = VecTree::Deserialize(&reader, L2(), VectorCodec());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(reader.AtEnd());
+
+  EXPECT_EQ(loaded.value().size(), tree.size());
+  const auto queries = dataset::UniformQueryVectors(10, 8, 13);
+  for (const auto& q : queries) {
+    for (const double r : {0.1, 0.5, 1.2}) {
+      SearchStats s_orig, s_load;
+      const auto expected = tree.RangeSearch(q, r, &s_orig);
+      const auto got = loaded.value().RangeSearch(q, r, &s_load);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id);
+        EXPECT_DOUBLE_EQ(got[i].distance, expected[i].distance);
+      }
+      // Identical structure must visit identically.
+      EXPECT_EQ(s_load.distance_computations, s_orig.distance_computations);
+    }
+    const auto knn_orig = tree.KnnSearch(q, 7);
+    const auto knn_load = loaded.value().KnnSearch(q, 7);
+    ASSERT_EQ(knn_orig.size(), knn_load.size());
+    for (std::size_t i = 0; i < knn_orig.size(); ++i) {
+      EXPECT_EQ(knn_orig[i].id, knn_load[i].id);
+    }
+  }
+}
+
+TEST(MvpTreeSerializeTest, RoundTripStatsIdentical) {
+  const auto data = dataset::UniformVectors(300, 5, 17);
+  auto built = VecTree::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  const auto bytes = SerializeTree(built.value());
+  BinaryReader reader(bytes);
+  auto loaded = VecTree::Deserialize(&reader, L2(), VectorCodec());
+  ASSERT_TRUE(loaded.ok());
+  const auto a = built.value().Stats();
+  const auto b = loaded.value().Stats();
+  EXPECT_EQ(a.num_internal_nodes, b.num_internal_nodes);
+  EXPECT_EQ(a.num_leaf_nodes, b.num_leaf_nodes);
+  EXPECT_EQ(a.num_vantage_points, b.num_vantage_points);
+  EXPECT_EQ(a.num_leaf_points, b.num_leaf_points);
+  EXPECT_EQ(a.height, b.height);
+}
+
+TEST(MvpTreeSerializeTest, EmptyTreeRoundTrips) {
+  auto built = VecTree::Build({}, L2(), {});
+  ASSERT_TRUE(built.ok());
+  const auto bytes = SerializeTree(built.value());
+  BinaryReader reader(bytes);
+  auto loaded = VecTree::Deserialize(&reader, L2(), VectorCodec());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 0u);
+  EXPECT_TRUE(loaded.value().RangeSearch({1, 2, 3}, 5.0).empty());
+}
+
+TEST(MvpTreeSerializeTest, StringObjectsRoundTrip) {
+  auto words = dataset::SyntheticWords(150, 19);
+  using WordTree = MvpTree<std::string, metric::Levenshtein>;
+  WordTree::Options options;
+  options.order = 2;
+  options.leaf_capacity = 6;
+  options.num_path_distances = 3;
+  auto built = WordTree::Build(words, metric::Levenshtein(), options);
+  ASSERT_TRUE(built.ok());
+  BinaryWriter writer;
+  ASSERT_TRUE(built.value().Serialize(&writer, StringCodec()).ok());
+  BinaryReader reader(writer.buffer());
+  auto loaded =
+      WordTree::Deserialize(&reader, metric::Levenshtein(), StringCodec());
+  ASSERT_TRUE(loaded.ok());
+  const std::string q = dataset::MutateWord(words[42], 1, 3);
+  const auto expected = built.value().RangeSearch(q, 2.0);
+  const auto got = loaded.value().RangeSearch(q, 2.0);
+  ASSERT_EQ(got.size(), expected.size());
+}
+
+TEST(MvpTreeSerializeTest, ExactBoundsModeRoundTrips) {
+  const auto data = dataset::UniformVectors(250, 5, 41);
+  VecTree::Options options;
+  options.order = 3;
+  options.leaf_capacity = 7;
+  options.num_path_distances = 3;
+  options.store_exact_bounds = true;
+  auto built = VecTree::Build(data, L2(), options);
+  ASSERT_TRUE(built.ok());
+  const auto bytes = SerializeTree(built.value());
+  BinaryReader reader(bytes);
+  auto loaded = VecTree::Deserialize(&reader, L2(), VectorCodec());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().options().store_exact_bounds);
+  EXPECT_TRUE(loaded.value().ValidateInvariants().ok());
+  const auto q = dataset::UniformQueryVectors(1, 5, 43)[0];
+  SearchStats sa, sb;
+  built.value().RangeSearch(q, 0.5, &sa);
+  loaded.value().RangeSearch(q, 0.5, &sb);
+  EXPECT_EQ(sa.distance_computations, sb.distance_computations);
+}
+
+TEST(MvpTreeSerializeTest, SerializedSizeScalesReasonably) {
+  // Sanity on the format: bytes per point should be dominated by the
+  // object payload (dim doubles) plus stored distances, not bookkeeping.
+  const std::size_t dim = 8;
+  const auto data = dataset::UniformVectors(1000, dim, 47);
+  auto built = VecTree::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  const auto bytes = SerializeTree(built.value());
+  const double per_point = static_cast<double>(bytes.size()) / 1000.0;
+  EXPECT_GT(per_point, dim * 8.0);         // at least the raw vectors
+  EXPECT_LT(per_point, dim * 8.0 + 150.0); // bounded metadata overhead
+}
+
+TEST(MvpTreeSerializeTest, BadMagicRejected) {
+  BinaryWriter writer;
+  writer.Write<std::uint32_t>(0xdeadbeef);
+  BinaryReader reader(writer.buffer());
+  auto loaded = VecTree::Deserialize(&reader, L2(), VectorCodec());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(MvpTreeSerializeTest, UnknownVersionRejected) {
+  const auto data = dataset::UniformVectors(20, 3, 23);
+  auto built = VecTree::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  auto bytes = SerializeTree(built.value());
+  bytes[4] = 0xff;  // clobber version field
+  BinaryReader reader(bytes);
+  auto loaded = VecTree::Deserialize(&reader, L2(), VectorCodec());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(MvpTreeSerializeTest, TruncatedBufferRejectedEverywhere) {
+  const auto data = dataset::UniformVectors(60, 4, 29);
+  auto built = VecTree::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  const auto bytes = SerializeTree(built.value());
+  // Truncate at a spread of offsets; every prefix must fail cleanly, never
+  // crash or return a half-valid tree.
+  for (const double fraction : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    const auto cut = static_cast<std::size_t>(bytes.size() * fraction);
+    BinaryReader reader(bytes.data(), cut);
+    auto loaded = VecTree::Deserialize(&reader, L2(), VectorCodec());
+    EXPECT_FALSE(loaded.ok()) << "prefix " << cut;
+  }
+}
+
+TEST(MvpTreeSerializeTest, CorruptedVantagePointIdRejected) {
+  const auto data = dataset::UniformVectors(30, 3, 31);
+  auto built = VecTree::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  auto bytes = SerializeTree(built.value());
+  // Flip high bytes throughout the payload; the reader must always fail
+  // with a Status (ids/bounds validation), never crash.
+  int failures = 0;
+  for (std::size_t pos = bytes.size() / 2; pos < bytes.size(); pos += 97) {
+    auto corrupted = bytes;
+    corrupted[pos] ^= 0xff;
+    BinaryReader reader(corrupted);
+    auto loaded = VecTree::Deserialize(&reader, L2(), VectorCodec());
+    if (!loaded.ok()) ++failures;
+  }
+  // Some flips may land in benign doubles; at least the id/offset flips
+  // must be caught.
+  EXPECT_GT(failures, 0);
+}
+
+TEST(MvpTreeSerializeTest, FileRoundTrip) {
+  const auto data = dataset::UniformVectors(120, 6, 37);
+  auto built = VecTree::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  const std::string path = ::testing::TempDir() + "/mvp_tree_test.mvpt";
+  ASSERT_TRUE(WriteFile(path, SerializeTree(built.value())).ok());
+  auto bytes = ReadFile(path);
+  ASSERT_TRUE(bytes.ok());
+  BinaryReader reader(bytes.value());
+  auto loaded = VecTree::Deserialize(&reader, L2(), VectorCodec());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 120u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mvp::core

@@ -1,0 +1,97 @@
+#include "dataset/pgm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "dataset/image_gen.h"
+
+namespace mvp::dataset {
+namespace {
+
+Image TestImage() {
+  Image img;
+  img.width = 3;
+  img.height = 2;
+  img.pixels = {0, 128, 255, 10, 20, 30};
+  return img;
+}
+
+TEST(PgmTest, EncodeProducesValidHeader) {
+  const auto bytes = EncodePgm(TestImage());
+  const std::string header(bytes.begin(), bytes.begin() + 11);
+  EXPECT_EQ(header, "P5\n3 2\n255\n");
+  EXPECT_EQ(bytes.size(), 11u + 6u);
+}
+
+TEST(PgmTest, RoundTrip) {
+  const Image original = TestImage();
+  auto decoded = DecodePgm(EncodePgm(original));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value(), original);
+}
+
+TEST(PgmTest, RoundTripPhantom) {
+  MriParams params;
+  params.count = 1;
+  params.subjects = 1;
+  params.width = params.height = 48;
+  const Image scan = MriPhantoms(params, 7)[0];
+  auto decoded = DecodePgm(EncodePgm(scan));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), scan);
+}
+
+TEST(PgmTest, HandlesCommentsAndWhitespace) {
+  const std::string text = "P5 # a comment\n# another comment\n 3\t2 \n255 ";
+  std::vector<std::uint8_t> bytes(text.begin(), text.end());
+  bytes.insert(bytes.end(), {1, 2, 3, 4, 5, 6});
+  auto decoded = DecodePgm(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().width, 3);
+  EXPECT_EQ(decoded.value().height, 2);
+  EXPECT_EQ(decoded.value().pixels[5], 6);
+}
+
+TEST(PgmTest, RejectsAsciiVariant) {
+  const std::string text = "P2\n2 2\n255\n0 1 2 3\n";
+  auto decoded = DecodePgm({text.begin(), text.end()});
+  EXPECT_EQ(decoded.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(PgmTest, Rejects16BitMaxval) {
+  const std::string text = "P5\n2 2\n65535\n";
+  auto decoded = DecodePgm({text.begin(), text.end()});
+  EXPECT_EQ(decoded.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(PgmTest, RejectsTruncatedPixels) {
+  auto bytes = EncodePgm(TestImage());
+  bytes.resize(bytes.size() - 2);
+  EXPECT_EQ(DecodePgm(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(PgmTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodePgm({}).ok());
+  const std::string text = "JFIF not a pgm";
+  EXPECT_FALSE(DecodePgm({text.begin(), text.end()}).ok());
+  const std::string bad_dims = "P5\n0 5\n255\n";
+  EXPECT_EQ(DecodePgm({bad_dims.begin(), bad_dims.end()}).status().code(),
+            StatusCode::kCorruption);
+  const std::string neg = "P5\n-3 2\n255\n";
+  EXPECT_FALSE(DecodePgm({neg.begin(), neg.end()}).ok());
+}
+
+TEST(PgmTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mvp_pgm_test.pgm";
+  const Image original = TestImage();
+  ASSERT_TRUE(WritePgm(path, original).ok());
+  auto loaded = ReadPgm(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), original);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mvp::dataset

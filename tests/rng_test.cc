@@ -1,0 +1,107 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace mvp {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.NextU64() == b.NextU64() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleIsRoughlyUniform) {
+  Rng rng(99);
+  const int kBuckets = 10, kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<int>(rng.NextDouble() * kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-0.15, 0.15);
+    EXPECT_GE(x, -0.15);
+    EXPECT_LT(x, 0.15);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) ++counts[rng.NextBounded(7)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(RngTest, NextBoundedOne) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng rng(23);
+  const auto sample = rng.SampleIndices(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(RngTest, SampleIndicesClampsToPopulation) {
+  Rng rng(29);
+  const auto sample = rng.SampleIndices(5, 50);
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, SplitMix64MatchesReferenceVector) {
+  // Known-answer test against the reference splitmix64 implementation
+  // (seed 0); pins the seeding primitive so experiment tables stay
+  // reproducible across refactors.
+  std::uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(SplitMix64(state), 0x06c45d188009454fULL);
+}
+
+}  // namespace
+}  // namespace mvp

@@ -1,0 +1,96 @@
+#include "scan/linear_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/vector_gen.h"
+#include "metric/counting.h"
+#include "metric/lp.h"
+
+namespace mvp::scan {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+
+TEST(LinearScanTest, RangeSearchFindsExactlyTheBall) {
+  const std::vector<Vector> data{{0, 0}, {1, 0}, {0, 2}, {3, 3}};
+  LinearScan<Vector, L2> scan(data, L2());
+  const auto result = scan.RangeSearch({0, 0}, 2.0);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].id, 0u);
+  EXPECT_DOUBLE_EQ(result[0].distance, 0.0);
+  EXPECT_EQ(result[1].id, 1u);
+  EXPECT_EQ(result[2].id, 2u);  // boundary point included (closed ball)
+  EXPECT_DOUBLE_EQ(result[2].distance, 2.0);
+}
+
+TEST(LinearScanTest, RangeRadiusZeroFindsExactMatches) {
+  const std::vector<Vector> data{{1, 1}, {1, 1}, {2, 2}};
+  LinearScan<Vector, L2> scan(data, L2());
+  const auto result = scan.RangeSearch({1, 1}, 0.0);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 0u);
+  EXPECT_EQ(result[1].id, 1u);
+}
+
+TEST(LinearScanTest, EmptyDataset) {
+  LinearScan<Vector, L2> scan({}, L2());
+  EXPECT_TRUE(scan.RangeSearch({0}, 10.0).empty());
+  EXPECT_TRUE(scan.KnnSearch({0}, 5).empty());
+  EXPECT_EQ(scan.size(), 0u);
+}
+
+TEST(LinearScanTest, CostIsExactlyN) {
+  const auto data = dataset::UniformVectors(97, 5, 1);
+  SearchStats stats;
+  LinearScan<Vector, L2> scan(data, L2());
+  scan.RangeSearch(data[0], 0.5, &stats);
+  EXPECT_EQ(stats.distance_computations, 97u);
+  scan.KnnSearch(data[0], 3, &stats);
+  EXPECT_EQ(stats.distance_computations, 2u * 97u);
+}
+
+TEST(LinearScanTest, KnnReturnsClosestSorted) {
+  const std::vector<Vector> data{{5, 0}, {1, 0}, {3, 0}, {2, 0}, {4, 0}};
+  LinearScan<Vector, L2> scan(data, L2());
+  const auto result = scan.KnnSearch({0, 0}, 3);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].id, 1u);
+  EXPECT_EQ(result[1].id, 3u);
+  EXPECT_EQ(result[2].id, 2u);
+  EXPECT_DOUBLE_EQ(result[2].distance, 3.0);
+}
+
+TEST(LinearScanTest, KnnWithKLargerThanData) {
+  const std::vector<Vector> data{{1}, {2}};
+  LinearScan<Vector, L2> scan(data, L2());
+  EXPECT_EQ(scan.KnnSearch({0}, 10).size(), 2u);
+}
+
+TEST(LinearScanTest, KnnTieBrokenById) {
+  const std::vector<Vector> data{{1, 0}, {0, 1}, {2, 2}};
+  LinearScan<Vector, L2> scan(data, L2());
+  const auto result = scan.KnnSearch({0, 0}, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 0u);  // same distance as id 1; lower id wins
+}
+
+TEST(LinearScanTest, FarthestSearchReturnsMostDistant) {
+  const std::vector<Vector> data{{0, 0}, {1, 0}, {5, 0}, {9, 0}};
+  LinearScan<Vector, L2> scan(data, L2());
+  const auto result = scan.FarthestSearch({0, 0}, 2);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].id, 3u);
+  EXPECT_DOUBLE_EQ(result[0].distance, 9.0);
+  EXPECT_EQ(result[1].id, 2u);
+}
+
+TEST(LinearScanTest, ObjectAccessorReturnsOriginals) {
+  const std::vector<Vector> data{{1, 2}, {3, 4}};
+  LinearScan<Vector, L2> scan(data, L2());
+  EXPECT_EQ(scan.object(0), (Vector{1, 2}));
+  EXPECT_EQ(scan.object(1), (Vector{3, 4}));
+}
+
+}  // namespace
+}  // namespace mvp::scan

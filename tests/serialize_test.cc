@@ -1,0 +1,103 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mvp {
+namespace {
+
+TEST(SerializeTest, RoundTripPrimitives) {
+  BinaryWriter w;
+  w.Write<std::uint8_t>(7);
+  w.Write<std::int32_t>(-42);
+  w.Write<std::uint64_t>(1ULL << 60);
+  w.Write<double>(3.25);
+
+  BinaryReader r(w.buffer());
+  std::uint8_t a = 0;
+  std::int32_t b = 0;
+  std::uint64_t c = 0;
+  double d = 0;
+  ASSERT_TRUE(r.Read(&a).ok());
+  ASSERT_TRUE(r.Read(&b).ok());
+  ASSERT_TRUE(r.Read(&c).ok());
+  ASSERT_TRUE(r.Read(&d).ok());
+  EXPECT_EQ(a, 7);
+  EXPECT_EQ(b, -42);
+  EXPECT_EQ(c, 1ULL << 60);
+  EXPECT_EQ(d, 3.25);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, RoundTripStringAndVector) {
+  BinaryWriter w;
+  w.WriteString("hello metric spaces");
+  w.WriteVector(std::vector<double>{1.5, -2.5, 0.0});
+  w.WriteString("");
+
+  BinaryReader r(w.buffer());
+  std::string s;
+  std::vector<double> v;
+  std::string empty;
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  ASSERT_TRUE(r.ReadVector(&v).ok());
+  ASSERT_TRUE(r.ReadString(&empty).ok());
+  EXPECT_EQ(s, "hello metric spaces");
+  EXPECT_EQ(v, (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(SerializeTest, TruncatedFixedReadIsCorruption) {
+  BinaryWriter w;
+  w.Write<std::uint8_t>(1);
+  BinaryReader r(w.buffer());
+  std::uint64_t big = 0;
+  Status st = r.Read(&big);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, OversizedStringLengthIsCorruption) {
+  BinaryWriter w;
+  w.Write<std::uint64_t>(1000);  // claims 1000 bytes, provides none
+  BinaryReader r(w.buffer());
+  std::string s;
+  EXPECT_EQ(r.ReadString(&s).code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, OversizedVectorLengthIsCorruption) {
+  BinaryWriter w;
+  w.Write<std::uint64_t>(1ULL << 40);  // absurd element count
+  BinaryReader r(w.buffer());
+  std::vector<double> v;
+  EXPECT_EQ(r.ReadVector(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mvp_serialize_test.bin";
+  std::vector<std::uint8_t> bytes{0, 1, 2, 253, 254, 255};
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), bytes);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIOError) {
+  auto read = ReadFile("/nonexistent/dir/file.bin");
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST(SerializeTest, EmptyFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mvp_empty_test.bin";
+  ASSERT_TRUE(WriteFile(path, {}).ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mvp

@@ -1,0 +1,63 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mvp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("m").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IOError("m").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Corruption("m").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::NotSupported("m").code(), StatusCode::kNotSupported);
+  Status s = Status::Corruption("bad bytes");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad bytes");
+  EXPECT_EQ(s.ToString(), "corruption: bad bytes");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "invalid argument");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nothing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValueCanBeExtracted) {
+  Result<std::vector<std::string>> r = std::vector<std::string>{"a", "b"};
+  ASSERT_TRUE(r.ok());
+  std::vector<std::string> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(ResultTest, MutableValueReference) {
+  Result<std::string> r = std::string("x");
+  r.value() += "y";
+  EXPECT_EQ(r.value(), "xy");
+}
+
+}  // namespace
+}  // namespace mvp

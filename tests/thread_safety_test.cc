@@ -1,0 +1,131 @@
+// Concurrent read safety: all index structures are immutable after Build,
+// so any number of threads may search the same instance simultaneously.
+// These tests hammer one tree from several threads and require every
+// thread to observe exactly the single-threaded results. (Run them under
+// TSAN to verify the absence of data races; here they check functional
+// interference.) Note: CountingMetric is NOT thread-safe — use a plain
+// metric per the documented contract when sharing an index across threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/mvp_tree.h"
+#include "dataset/vector_gen.h"
+#include "dynamic/mvp_forest.h"
+#include "metric/lp.h"
+#include "vptree/vp_tree.h"
+
+namespace mvp {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+
+TEST(ThreadSafetyTest, ConcurrentMvpTreeSearchesAgree) {
+  const auto data = dataset::UniformVectors(3000, 8, 7);
+  auto built = core::MvpTree<Vector, L2>::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  const auto& tree = built.value();
+  const auto queries = dataset::UniformQueryVectors(24, 8, 11);
+
+  // Single-threaded reference answers.
+  std::vector<std::vector<Neighbor>> expected;
+  for (const auto& q : queries) expected.push_back(tree.RangeSearch(q, 0.5));
+
+  std::atomic<int> mismatches{0};
+  auto worker = [&](std::size_t offset) {
+    for (int round = 0; round < 20; ++round) {
+      const std::size_t qi = (offset + round) % queries.size();
+      const auto got = tree.RangeSearch(queries[qi], 0.5);
+      if (got.size() != expected[qi].size()) {
+        ++mismatches;
+        continue;
+      }
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        if (got[i].id != expected[qi][i].id) {
+          ++mismatches;
+          break;
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 8; ++t) threads.emplace_back(worker, t * 3);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ThreadSafetyTest, ConcurrentMixedQueryKindsAgree) {
+  const auto data = dataset::UniformVectors(2000, 6, 13);
+  auto built = core::MvpTree<Vector, L2>::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  const auto& tree = built.value();
+  const Vector q(6, 0.5);
+  const auto knn_expected = tree.KnnSearch(q, 10);
+  const auto far_expected = tree.FarthestSearch(q, 10);
+
+  std::atomic<int> mismatches{0};
+  auto knn_worker = [&] {
+    for (int i = 0; i < 30; ++i) {
+      if (tree.KnnSearch(q, 10) != knn_expected) ++mismatches;
+    }
+  };
+  auto far_worker = [&] {
+    for (int i = 0; i < 30; ++i) {
+      if (tree.FarthestSearch(q, 10) != far_expected) ++mismatches;
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back(knn_worker);
+    threads.emplace_back(far_worker);
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ThreadSafetyTest, ConcurrentVpTreeSearchesAgree) {
+  const auto data = dataset::UniformVectors(2000, 6, 17);
+  auto built = vptree::VpTree<Vector, L2>::Build(data, L2(), {});
+  ASSERT_TRUE(built.ok());
+  const auto& tree = built.value();
+  const Vector q(6, 0.4);
+  const auto expected = tree.RangeSearch(q, 0.6);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 30; ++i) {
+        if (tree.RangeSearch(q, 0.6) != expected) ++mismatches;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ThreadSafetyTest, ConcurrentForestReadsAgree) {
+  // The forest is read-safe between mutations (Insert/Erase require
+  // external synchronization, like every container).
+  dynamic::MvpForest<Vector, L2> forest{L2(), {}};
+  for (const auto& v : dataset::UniformVectors(1000, 5, 19)) forest.Insert(v);
+  const Vector q(5, 0.5);
+  const auto expected = forest.RangeSearch(q, 0.5);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        if (forest.RangeSearch(q, 0.5) != expected) ++mismatches;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace mvp

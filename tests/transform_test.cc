@@ -1,0 +1,226 @@
+#include "transform/filter_index.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/image.h"
+#include "dataset/image_gen.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "scan/linear_scan.h"
+#include "transform/transforms.h"
+
+namespace mvp::transform {
+namespace {
+
+using metric::L1;
+using metric::L2;
+using metric::Vector;
+
+// ---- contraction proofs on sampled data -----------------------------------
+
+TEST(TransformContractionTest, PrefixContractsL2) {
+  const auto data = dataset::UniformVectors(40, 20, 1);
+  EXPECT_TRUE(
+      CheckContractive(data, L2(), PrefixTransform(5), L2()).ok());
+  EXPECT_TRUE(
+      CheckContractive(data, L2(), PrefixTransform(20), L2()).ok());
+}
+
+TEST(TransformContractionTest, PrefixContractsL1) {
+  const auto data = dataset::UniformVectors(40, 12, 2);
+  EXPECT_TRUE(CheckContractive(data, L1(), PrefixTransform(4), L1()).ok());
+}
+
+TEST(TransformContractionTest, BlockMeanContractsL2) {
+  const auto data = dataset::UniformVectors(40, 24, 3);
+  for (const std::size_t block : {2u, 3u, 8u, 24u}) {
+    EXPECT_TRUE(
+        CheckContractive(data, L2(), BlockMeanTransform(block), L2()).ok())
+        << "block " << block;
+  }
+}
+
+TEST(TransformContractionTest, BlockMeanPartialLastBlockStillContracts) {
+  // dim 14 with block 4: last block has 2 elements; scaling by 1/sqrt(4)
+  // remains an underestimate (Cauchy-Schwarz holds a fortiori).
+  const auto data = dataset::UniformVectors(40, 14, 9);
+  EXPECT_TRUE(CheckContractive(data, L2(), BlockMeanTransform(4), L2()).ok());
+  EXPECT_EQ(BlockMeanTransform(4)(data[0]).size(), 4u);  // ceil(14/4)
+}
+
+TEST(TransformContractionTest, AverageIntensityContractsImageL1) {
+  dataset::MriParams params;
+  params.count = 25;
+  params.subjects = 5;
+  params.width = params.height = 32;
+  const auto scans = dataset::MriPhantoms(params, 4);
+  EXPECT_TRUE(CheckContractive(scans, dataset::ImageL1(),
+                               AverageIntensityTransform(), L1())
+                  .ok());
+}
+
+TEST(TransformContractionTest, TileSumContractsImageL1) {
+  dataset::MriParams params;
+  params.count = 25;
+  params.subjects = 5;
+  params.width = params.height = 32;
+  const auto scans = dataset::MriPhantoms(params, 5);
+  for (const std::size_t tiles : {1u, 2u, 4u, 8u}) {
+    EXPECT_TRUE(CheckContractive(scans, dataset::ImageL1(),
+                                 TileSumTransform(tiles), L1())
+                    .ok())
+        << "tiles " << tiles;
+  }
+}
+
+TEST(TransformContractionTest, DetectsNonContractiveTransform) {
+  // Doubling a coordinate overestimates distances: must be rejected.
+  struct Doubler {
+    Vector operator()(const Vector& v) const { return Vector{2.0 * v[0]}; }
+  };
+  const auto data = dataset::UniformVectors(20, 5, 6);
+  const auto st = CheckContractive(data, L2(), Doubler(), L2());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("not contractive"), std::string::npos);
+}
+
+// ---- FilterIndex correctness ----------------------------------------------
+
+using VecFilter = FilterIndex<Vector, L2, PrefixTransform, L2>;
+
+TEST(FilterIndexTest, RangeSearchMatchesLinearScan) {
+  const auto data = dataset::UniformVectors(800, 16, 7);
+  auto built =
+      VecFilter::Build(data, L2(), PrefixTransform(6), L2(), {});
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  const auto queries = dataset::UniformQueryVectors(8, 16, 9);
+  for (const auto& q : queries) {
+    for (const double r : {0.0, 0.3, 0.8, 1.5}) {
+      const auto got = built.value().RangeSearch(q, r);
+      const auto expected = reference.RangeSearch(q, r);
+      ASSERT_EQ(got.size(), expected.size()) << "r=" << r;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id);
+        EXPECT_DOUBLE_EQ(got[i].distance, expected[i].distance);
+      }
+    }
+  }
+}
+
+TEST(FilterIndexTest, KnnMatchesLinearScan) {
+  const auto data = dataset::UniformVectors(600, 16, 11);
+  auto built =
+      VecFilter::Build(data, L2(), PrefixTransform(6), L2(), {});
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<Vector, L2> reference(data, L2());
+  const auto queries = dataset::UniformQueryVectors(6, 16, 13);
+  for (const auto& q : queries) {
+    for (const std::size_t k : {1u, 5u, 20u, 700u}) {
+      const auto got = built.value().KnnSearch(q, k);
+      const auto expected = reference.KnnSearch(q, k);
+      ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected[i].id) << "k=" << k << " i=" << i;
+        EXPECT_DOUBLE_EQ(got[i].distance, expected[i].distance);
+      }
+    }
+  }
+}
+
+TEST(FilterIndexTest, StatsSeparateCheapAndExpensiveComputations) {
+  const auto data = dataset::UniformVectors(1000, 16, 15);
+  auto built =
+      VecFilter::Build(data, L2(), PrefixTransform(6), L2(), {});
+  ASSERT_TRUE(built.ok());
+  FilterSearchStats stats;
+  const auto result = built.value().RangeSearch(
+      dataset::UniformQueryVectors(1, 16, 17)[0], 0.5, &stats);
+  // Every candidate costs exactly one real distance computation; the answer
+  // is a subset of the candidates.
+  EXPECT_EQ(stats.high_distance_computations, stats.candidates);
+  EXPECT_LE(result.size(), stats.candidates);
+  EXPECT_GT(stats.low_distance_computations, 0u);
+  // The filter must actually filter: candidates << n.
+  EXPECT_LT(stats.candidates, 1000u);
+}
+
+TEST(FilterIndexTest, ImagePipelineMatchesDirectSearch) {
+  dataset::MriParams params;
+  params.count = 150;
+  params.subjects = 10;
+  params.width = params.height = 32;
+  const auto scans = dataset::MriPhantoms(params, 19);
+  using ImgFilter =
+      FilterIndex<dataset::Image, dataset::ImageL1, TileSumTransform, L1>;
+  auto built = ImgFilter::Build(scans, dataset::ImageL1(),
+                                TileSumTransform(4), L1(), {});
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<dataset::Image, dataset::ImageL1> reference(
+      scans, dataset::ImageL1());
+  const auto query = dataset::MriPhantomScan(params, 19, 3, 777);
+  for (const double r : {20.0, 60.0, 150.0}) {
+    const auto got = built.value().RangeSearch(query, r);
+    const auto expected = reference.RangeSearch(query, r);
+    ASSERT_EQ(got.size(), expected.size()) << "r=" << r;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, expected[i].id);
+    }
+  }
+}
+
+TEST(FilterIndexTest, ImageKnnMatchesDirectKnn) {
+  dataset::MriParams params;
+  params.count = 120;
+  params.subjects = 8;
+  params.width = params.height = 32;
+  const auto scans = dataset::MriPhantoms(params, 23);
+  using ImgFilter =
+      FilterIndex<dataset::Image, dataset::ImageL1, TileSumTransform, L1>;
+  auto built = ImgFilter::Build(scans, dataset::ImageL1(),
+                                TileSumTransform(4), L1(), {});
+  ASSERT_TRUE(built.ok());
+  scan::LinearScan<dataset::Image, dataset::ImageL1> reference(
+      scans, dataset::ImageL1());
+  const auto query = dataset::MriPhantomScan(params, 23, 5, 900);
+  for (const std::size_t k : {1u, 3u, 10u}) {
+    const auto got = built.value().KnnSearch(query, k);
+    const auto expected = reference.KnnSearch(query, k);
+    ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, expected[i].id) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(FilterIndexTest, EmptyAndTinyDatasets) {
+  auto empty = VecFilter::Build({}, L2(), PrefixTransform(2), L2(), {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().RangeSearch(Vector{1, 2, 3}, 1.0).empty());
+  EXPECT_TRUE(empty.value().KnnSearch(Vector{1, 2, 3}, 3).empty());
+
+  auto one = VecFilter::Build({Vector{1, 2, 3}}, L2(), PrefixTransform(2),
+                              L2(), {});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value().KnnSearch(Vector{1, 2, 3}, 5).size(), 1u);
+}
+
+TEST(FilterIndexTest, TighterTransformYieldsFewerCandidates) {
+  // More retained prefix dimensions -> tighter lower bound -> fewer
+  // survivors needing an expensive verification.
+  const auto data = dataset::UniformVectors(2000, 16, 21);
+  const auto q = dataset::UniformQueryVectors(1, 16, 23)[0];
+  std::uint64_t prev = ~0ull;
+  for (const std::size_t dims : {2u, 6u, 12u}) {
+    auto built =
+        VecFilter::Build(data, L2(), PrefixTransform(dims), L2(), {});
+    ASSERT_TRUE(built.ok());
+    FilterSearchStats stats;
+    built.value().RangeSearch(q, 0.8, &stats);
+    EXPECT_LT(stats.candidates, prev) << "dims " << dims;
+    prev = stats.candidates;
+  }
+}
+
+}  // namespace
+}  // namespace mvp::transform

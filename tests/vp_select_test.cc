@@ -1,0 +1,100 @@
+#include "vptree/vp_select.h"
+
+#include <gtest/gtest.h>
+
+#include "dataset/vector_gen.h"
+#include "metric/counting.h"
+#include "metric/lp.h"
+
+namespace mvp::vptree {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+
+std::size_t Select(const std::vector<Vector>& data, std::size_t begin,
+                   std::size_t end, const VpSelectOptions& options,
+                   Rng& rng, std::uint64_t* distances = nullptr) {
+  return SelectVantagePoint(
+      begin, end, [&](std::size_t i) -> const Vector& { return data[i]; },
+      L2(), rng, options, distances);
+}
+
+TEST(VpSelectTest, RandomStaysInRange) {
+  const auto data = dataset::UniformVectors(100, 3, 1);
+  Rng rng(7);
+  VpSelectOptions options;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t pos = Select(data, 20, 60, options, rng);
+    EXPECT_GE(pos, 20u);
+    EXPECT_LT(pos, 60u);
+  }
+}
+
+TEST(VpSelectTest, RandomUsesNoDistanceComputations) {
+  const auto data = dataset::UniformVectors(50, 3, 2);
+  Rng rng(7);
+  std::uint64_t distances = 0;
+  Select(data, 0, 50, VpSelectOptions{}, rng, &distances);
+  EXPECT_EQ(distances, 0u);
+}
+
+TEST(VpSelectTest, MaxSpreadCountsItsDistances) {
+  const auto data = dataset::UniformVectors(200, 5, 3);
+  Rng rng(7);
+  VpSelectOptions options;
+  options.strategy = VpSelection::kMaxSpread;
+  options.candidates = 4;
+  options.sample = 10;
+  std::uint64_t distances = 0;
+  Select(data, 0, 200, options, rng, &distances);
+  EXPECT_EQ(distances, 4u * 10u);
+}
+
+TEST(VpSelectTest, MaxSpreadPrefersWideSpreadPoint) {
+  // A dataset where one point (the origin-corner outlier) has far wider
+  // distance spread than points inside a tight cluster; with all points as
+  // candidates, max-spread must avoid picking a cluster center.
+  std::vector<Vector> data;
+  for (int i = 0; i < 30; ++i) {
+    data.push_back(Vector{10.0 + 0.01 * i, 10.0});  // tight cluster
+  }
+  data.push_back(Vector{0.0, 0.0});  // outlier with wide spread
+  VpSelectOptions options;
+  options.strategy = VpSelection::kMaxSpread;
+  options.candidates = data.size();
+  options.sample = data.size();
+  int outlier_picked = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    if (Select(data, 0, data.size(), options, rng) == data.size() - 1) {
+      ++outlier_picked;
+    }
+  }
+  // The outlier's spread dominates; it must win consistently.
+  EXPECT_GE(outlier_picked, 8);
+}
+
+TEST(VpSelectTest, TinyRangesFallBackToRandom) {
+  const auto data = dataset::UniformVectors(10, 3, 4);
+  Rng rng(7);
+  VpSelectOptions options;
+  options.strategy = VpSelection::kMaxSpread;
+  std::uint64_t distances = 0;
+  const std::size_t pos = Select(data, 3, 5, options, rng, &distances);
+  EXPECT_GE(pos, 3u);
+  EXPECT_LT(pos, 5u);
+  EXPECT_EQ(distances, 0u);  // <= 2 points: no heuristic
+}
+
+TEST(VpSelectTest, DeterministicGivenRngState) {
+  const auto data = dataset::UniformVectors(100, 4, 5);
+  VpSelectOptions options;
+  options.strategy = VpSelection::kMaxSpread;
+  Rng a(42), b(42);
+  EXPECT_EQ(Select(data, 0, 100, options, a),
+            Select(data, 0, 100, options, b));
+}
+
+}  // namespace
+}  // namespace mvp::vptree

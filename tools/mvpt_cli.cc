@@ -1,0 +1,487 @@
+// mvpt — command-line front end for the mvp-tree library (vector data).
+//
+//   mvpt gen    --kind uniform|clustered --count N --dim D [--seed S]
+//               [--cluster-size C --epsilon E] --out data.csv
+//   mvpt build  --input data.csv --metric l1|l2|linf [--order M]
+//               [--leaf K] [--paths P] [--seed S] --out index.mvpt
+//   mvpt stats  --index index.mvpt
+//   mvpt query  --index index.mvpt --metric l1|l2|linf
+//               --point "x1,x2,..." (--radius R | --knn K | --farthest K)
+//   mvpt hist   --input data.csv --metric l1|l2|linf [--bucket W]
+//               [--samples N]    # pairwise distance histogram (Figs 4-5)
+//   mvpt validate --index index.mvpt --metric l1|l2|linf
+//                                # deep invariant check of a stored index
+//   mvpt selftest          # end-to-end smoke test in a temp directory
+//
+// Text (edit-distance) mode: pass --type words to build/query/validate;
+// the input file holds one word per line, --point becomes the query word,
+// and the metric is the Levenshtein edit distance.
+//
+// CSV format: one vector per line, comma-separated decimal values. The
+// metric is not stored in the index file; pass the same --metric used at
+// build time when querying.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/serialize.h"
+#include "core/mvp_tree.h"
+#include "dataset/histogram.h"
+#include "dataset/vector_gen.h"
+#include "metric/edit_distance.h"
+#include "metric/lp.h"
+
+namespace mvp::tools {
+namespace {
+
+using metric::Vector;
+
+/// One tree type per supported metric; the CLI dispatches on --metric.
+using TreeL1 = core::MvpTree<Vector, metric::L1>;
+using TreeL2 = core::MvpTree<Vector, metric::L2>;
+using TreeLInf = core::MvpTree<Vector, metric::LInf>;
+
+struct Args {
+  std::map<std::string, std::string> named;
+  std::string command;
+
+  bool Has(const std::string& key) const { return named.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = named.find(key);
+    return it == named.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = named.find(key);
+    return it == named.end() ? fallback : std::atol(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = named.find(key);
+    return it == named.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mvpt gen|build|stats|query|hist|validate|selftest "
+               "[--key value ...]\n"
+               "see the header of tools/mvpt_cli.cc for full syntax\n");
+  return 2;
+}
+
+// ---- CSV vectors -----------------------------------------------------------
+
+Result<Vector> ParseVector(const std::string& line) {
+  Vector v;
+  const char* p = line.c_str();
+  char* end = nullptr;
+  while (*p != '\0') {
+    const double value = std::strtod(p, &end);
+    if (end == p) return Status::InvalidArgument("bad number in: " + line);
+    v.push_back(value);
+    p = end;
+    while (*p == ',' || *p == ' ' || *p == '\t') ++p;
+  }
+  if (v.empty()) return Status::InvalidArgument("empty vector line");
+  return v;
+}
+
+Result<std::vector<Vector>> LoadCsv(const std::string& path) {
+  auto bytes = ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  std::vector<Vector> data;
+  std::string line;
+  for (const std::uint8_t byte : bytes.value()) {
+    if (byte == '\n') {
+      if (!line.empty()) {
+        auto v = ParseVector(line);
+        if (!v.ok()) return v.status();
+        data.push_back(std::move(v).ValueOrDie());
+      }
+      line.clear();
+    } else if (byte != '\r') {
+      line.push_back(static_cast<char>(byte));
+    }
+  }
+  if (!line.empty()) {
+    auto v = ParseVector(line);
+    if (!v.ok()) return v.status();
+    data.push_back(std::move(v).ValueOrDie());
+  }
+  for (const auto& v : data) {
+    if (v.size() != data[0].size()) {
+      return Status::InvalidArgument("inconsistent vector dimensions in CSV");
+    }
+  }
+  return data;
+}
+
+Status SaveCsv(const std::string& path, const std::vector<Vector>& data) {
+  std::string out;
+  char buf[32];
+  for (const auto& v : data) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.17g", v[i]);
+      out += buf;
+      if (i + 1 < v.size()) out += ',';
+    }
+    out += '\n';
+  }
+  return WriteFile(path, std::vector<std::uint8_t>(out.begin(), out.end()));
+}
+
+Result<std::vector<std::string>> LoadWords(const std::string& path) {
+  auto bytes = ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  std::vector<std::string> words;
+  std::string line;
+  for (const std::uint8_t byte : bytes.value()) {
+    if (byte == '\n') {
+      if (!line.empty()) words.push_back(line);
+      line.clear();
+    } else if (byte != '\r') {
+      line.push_back(static_cast<char>(byte));
+    }
+  }
+  if (!line.empty()) words.push_back(line);
+  if (words.empty()) return Status::InvalidArgument("no words in " + path);
+  return words;
+}
+
+// ---- subcommands -----------------------------------------------------------
+
+int RunGen(const Args& args) {
+  const std::string kind = args.Get("kind", "uniform");
+  const auto count = static_cast<std::size_t>(args.GetInt("count", 10000));
+  const auto dim = static_cast<std::size_t>(args.GetInt("dim", 20));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("gen requires --out");
+  std::vector<Vector> data;
+  if (kind == "uniform") {
+    data = dataset::UniformVectors(count, dim, seed);
+  } else if (kind == "clustered") {
+    dataset::ClusterParams params;
+    params.count = count;
+    params.dim = dim;
+    params.cluster_size =
+        static_cast<std::size_t>(args.GetInt("cluster-size", 1000));
+    params.epsilon = args.GetDouble("epsilon", 0.15);
+    data = dataset::ClusteredVectors(params, seed);
+  } else {
+    return Fail("unknown --kind (uniform|clustered)");
+  }
+  if (auto st = SaveCsv(out, data); !st.ok()) return Fail(st.ToString());
+  std::printf("wrote %zu %zu-d vectors to %s\n", data.size(), dim,
+              out.c_str());
+  return 0;
+}
+
+template <typename Metric>
+int BuildWith(const Args& args, std::vector<Vector> data, Metric metric) {
+  typename core::MvpTree<Vector, Metric>::Options options;
+  options.order = static_cast<int>(args.GetInt("order", 3));
+  options.leaf_capacity = static_cast<int>(args.GetInt("leaf", 80));
+  options.num_path_distances = static_cast<int>(args.GetInt("paths", 5));
+  options.seed = static_cast<std::uint64_t>(args.GetInt("seed", 0));
+  auto built = core::MvpTree<Vector, Metric>::Build(std::move(data),
+                                                    std::move(metric), options);
+  if (!built.ok()) return Fail(built.status().ToString());
+  BinaryWriter writer;
+  if (auto st = built.value().Serialize(&writer, VectorCodec()); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  const std::string out = args.Get("out");
+  if (auto st = WriteFile(out, writer.buffer()); !st.ok()) {
+    return Fail(st.ToString());
+  }
+  const auto stats = built.value().Stats();
+  std::printf("built mvpt(%ld,%ld,p=%ld): %zu objects, height %zu, "
+              "%llu construction distances -> %s (%zu bytes)\n",
+              args.GetInt("order", 3), args.GetInt("leaf", 80),
+              args.GetInt("paths", 5), built.value().size(), stats.height,
+              static_cast<unsigned long long>(
+                  stats.construction_distance_computations),
+              out.c_str(), writer.buffer().size());
+  return 0;
+}
+
+int RunBuild(const Args& args) {
+  const std::string input = args.Get("input");
+  const std::string out = args.Get("out");
+  if (input.empty() || out.empty()) {
+    return Fail("build requires --input and --out");
+  }
+  if (args.Get("type") == "words") {
+    auto words = LoadWords(input);
+    if (!words.ok()) return Fail(words.status().ToString());
+    using WordTree = core::MvpTree<std::string, metric::Levenshtein>;
+    WordTree::Options options;
+    options.order = static_cast<int>(args.GetInt("order", 3));
+    options.leaf_capacity = static_cast<int>(args.GetInt("leaf", 80));
+    options.num_path_distances = static_cast<int>(args.GetInt("paths", 5));
+    options.seed = static_cast<std::uint64_t>(args.GetInt("seed", 0));
+    auto built = WordTree::Build(std::move(words).ValueOrDie(),
+                                 metric::Levenshtein(), options);
+    if (!built.ok()) return Fail(built.status().ToString());
+    BinaryWriter writer;
+    if (auto st = built.value().Serialize(&writer, StringCodec()); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    if (auto st = WriteFile(out, writer.buffer()); !st.ok()) {
+      return Fail(st.ToString());
+    }
+    std::printf("built word index over %zu words -> %s (%zu bytes)\n",
+                built.value().size(), out.c_str(), writer.buffer().size());
+    return 0;
+  }
+  auto data = LoadCsv(input);
+  if (!data.ok()) return Fail(data.status().ToString());
+  const std::string metric = args.Get("metric", "l2");
+  if (metric == "l1") {
+    return BuildWith(args, std::move(data).ValueOrDie(), metric::L1());
+  }
+  if (metric == "l2") {
+    return BuildWith(args, std::move(data).ValueOrDie(), metric::L2());
+  }
+  if (metric == "linf") {
+    return BuildWith(args, std::move(data).ValueOrDie(), metric::LInf());
+  }
+  return Fail("unknown --metric (l1|l2|linf)");
+}
+
+template <typename Metric>
+Result<core::MvpTree<Vector, Metric>> LoadIndex(const std::string& path,
+                                                Metric metric) {
+  auto bytes = ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  BinaryReader reader(bytes.value());
+  return core::MvpTree<Vector, Metric>::Deserialize(&reader, std::move(metric),
+                                                    VectorCodec());
+}
+
+template <typename Metric>
+int QueryWith(const Args& args, Metric metric) {
+  auto tree = LoadIndex(args.Get("index"), std::move(metric));
+  if (!tree.ok()) return Fail(tree.status().ToString());
+  auto point = ParseVector(args.Get("point"));
+  if (!point.ok()) return Fail(point.status().ToString());
+  SearchStats stats;
+  std::vector<Neighbor> results;
+  if (args.Has("radius")) {
+    results = tree.value().RangeSearch(point.value(),
+                                       args.GetDouble("radius", 0.0), &stats);
+  } else if (args.Has("knn")) {
+    results = tree.value().KnnSearch(
+        point.value(), static_cast<std::size_t>(args.GetInt("knn", 1)),
+        &stats);
+  } else if (args.Has("farthest")) {
+    results = tree.value().FarthestSearch(
+        point.value(), static_cast<std::size_t>(args.GetInt("farthest", 1)),
+        &stats);
+  } else {
+    return Fail("query requires one of --radius, --knn, --farthest");
+  }
+  std::printf("%zu results (%llu distance computations over %zu objects)\n",
+              results.size(),
+              static_cast<unsigned long long>(stats.distance_computations),
+              tree.value().size());
+  for (const auto& hit : results) {
+    std::printf("  id=%zu distance=%.6f\n", hit.id, hit.distance);
+  }
+  return 0;
+}
+
+int RunQueryWords(const Args& args) {
+  auto bytes = ReadFile(args.Get("index"));
+  if (!bytes.ok()) return Fail(bytes.status().ToString());
+  BinaryReader reader(bytes.value());
+  using WordTree = core::MvpTree<std::string, metric::Levenshtein>;
+  auto tree =
+      WordTree::Deserialize(&reader, metric::Levenshtein(), StringCodec());
+  if (!tree.ok()) return Fail(tree.status().ToString());
+  const std::string word = args.Get("point");
+  if (word.empty()) return Fail("query --type words requires --point WORD");
+  SearchStats stats;
+  std::vector<Neighbor> results;
+  if (args.Has("radius")) {
+    results = tree.value().RangeSearch(word, args.GetDouble("radius", 1.0),
+                                       &stats);
+  } else if (args.Has("knn")) {
+    results = tree.value().KnnSearch(
+        word, static_cast<std::size_t>(args.GetInt("knn", 1)), &stats);
+  } else {
+    return Fail("query requires one of --radius, --knn");
+  }
+  std::printf("%zu results (%llu distance computations over %zu words)\n",
+              results.size(),
+              static_cast<unsigned long long>(stats.distance_computations),
+              tree.value().size());
+  for (const auto& hit : results) {
+    std::printf("  %-20s edits=%.0f\n",
+                tree.value().object(hit.id).c_str(), hit.distance);
+  }
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  if (args.Get("index").empty()) return Fail("query requires --index");
+  if (args.Get("type") == "words") return RunQueryWords(args);
+  const std::string metric = args.Get("metric", "l2");
+  if (metric == "l1") return QueryWith(args, metric::L1());
+  if (metric == "l2") return QueryWith(args, metric::L2());
+  if (metric == "linf") return QueryWith(args, metric::LInf());
+  return Fail("unknown --metric (l1|l2|linf)");
+}
+
+template <typename Metric>
+int HistWith(const Args& args, const std::vector<Vector>& data,
+             Metric metric) {
+  const double bucket = args.GetDouble("bucket", 0.01);
+  if (bucket <= 0) return Fail("--bucket must be positive");
+  const auto samples =
+      static_cast<std::uint64_t>(args.GetInt("samples", 2000000));
+  const auto hist = dataset::SampledPairsHistogram(data, metric, bucket,
+                                                   samples, /*seed=*/99);
+  dataset::PrintHistogram(std::cout, hist);
+  return 0;
+}
+
+int RunHist(const Args& args) {
+  const std::string input = args.Get("input");
+  if (input.empty()) return Fail("hist requires --input");
+  auto data = LoadCsv(input);
+  if (!data.ok()) return Fail(data.status().ToString());
+  const std::string metric = args.Get("metric", "l2");
+  if (metric == "l1") return HistWith(args, data.value(), metric::L1());
+  if (metric == "l2") return HistWith(args, data.value(), metric::L2());
+  if (metric == "linf") return HistWith(args, data.value(), metric::LInf());
+  return Fail("unknown --metric (l1|l2|linf)");
+}
+
+template <typename Metric>
+int ValidateWith(const Args& args, Metric metric) {
+  auto tree = LoadIndex(args.Get("index"), std::move(metric));
+  if (!tree.ok()) return Fail(tree.status().ToString());
+  if (auto st = tree.value().ValidateInvariants(); !st.ok()) {
+    return Fail("index INVALID: " + st.ToString());
+  }
+  std::printf("index valid: %zu objects, all stored distances and shell "
+              "bounds verified against the supplied metric\n",
+              tree.value().size());
+  return 0;
+}
+
+int RunValidate(const Args& args) {
+  if (args.Get("index").empty()) return Fail("validate requires --index");
+  const std::string metric = args.Get("metric", "l2");
+  if (metric == "l1") return ValidateWith(args, metric::L1());
+  if (metric == "l2") return ValidateWith(args, metric::L2());
+  if (metric == "linf") return ValidateWith(args, metric::LInf());
+  return Fail("unknown --metric (l1|l2|linf)");
+}
+
+int RunStats(const Args& args) {
+  // Stats are metric-independent; load with L2.
+  auto tree = LoadIndex(args.Get("index"), metric::L2());
+  if (!tree.ok()) return Fail(tree.status().ToString());
+  const auto stats = tree.value().Stats();
+  const auto& options = tree.value().options();
+  std::printf("mvpt(m=%d, k=%d, p=%d)\n", options.order, options.leaf_capacity,
+              options.num_path_distances);
+  std::printf("objects:          %zu\n", tree.value().size());
+  std::printf("height:           %zu\n", stats.height);
+  std::printf("internal nodes:   %zu\n", stats.num_internal_nodes);
+  std::printf("leaf nodes:       %zu\n", stats.num_leaf_nodes);
+  std::printf("vantage points:   %zu\n", stats.num_vantage_points);
+  std::printf("leaf points:      %zu\n", stats.num_leaf_points);
+  return 0;
+}
+
+int RunSelfTest() {
+  const std::string dir = std::getenv("TMPDIR") != nullptr
+                              ? std::string(std::getenv("TMPDIR"))
+                              : std::string("/tmp");
+  const std::string csv = dir + "/mvpt_selftest.csv";
+  const std::string idx = dir + "/mvpt_selftest.mvpt";
+  Args gen;
+  gen.named = {{"kind", "uniform"}, {"count", "2000"}, {"dim", "8"},
+               {"seed", "7"},       {"out", csv}};
+  if (RunGen(gen) != 0) return 1;
+  Args build;
+  build.named = {{"input", csv}, {"metric", "l2"}, {"out", idx}};
+  if (RunBuild(build) != 0) return 1;
+  Args stats;
+  stats.named = {{"index", idx}};
+  if (RunStats(stats) != 0) return 1;
+  Args validate;
+  validate.named = {{"index", idx}, {"metric", "l2"}};
+  if (RunValidate(validate) != 0) return 1;
+  Args hist;
+  hist.named = {{"input", csv}, {"metric", "l2"}, {"samples", "20000"}};
+  if (RunHist(hist) != 0) return 1;
+  Args query;
+  query.named = {{"index", idx},
+                 {"metric", "l2"},
+                 {"point", "0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5"},
+                 {"knn", "5"}};
+  if (RunQuery(query) != 0) return 1;
+  // Word-mode round trip.
+  const std::string words_txt = dir + "/mvpt_selftest_words.txt";
+  const std::string words_idx = dir + "/mvpt_selftest_words.mvpt";
+  if (!WriteFile(words_txt, {'h','e','l','l','o','\n','w','o','r','l','d','\n',
+                             'h','e','l','p','\n'})
+           .ok()) {
+    return 1;
+  }
+  Args wbuild;
+  wbuild.named = {{"input", words_txt}, {"type", "words"},
+                  {"out", words_idx}, {"leaf", "4"}};
+  if (RunBuild(wbuild) != 0) return 1;
+  Args wquery;
+  wquery.named = {{"index", words_idx}, {"type", "words"},
+                  {"point", "helo"}, {"radius", "1"}};
+  if (RunQuery(wquery) != 0) return 1;
+  std::remove(csv.c_str());
+  std::remove(idx.c_str());
+  std::remove(words_txt.c_str());
+  std::remove(words_idx.c_str());
+  std::printf("selftest ok\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) return Usage();
+    const std::string key = arg + 2;
+    if (i + 1 >= argc) return Usage();
+    args.named[key] = argv[++i];
+  }
+  if (args.command == "gen") return RunGen(args);
+  if (args.command == "build") return RunBuild(args);
+  if (args.command == "stats") return RunStats(args);
+  if (args.command == "hist") return RunHist(args);
+  if (args.command == "validate") return RunValidate(args);
+  if (args.command == "query") return RunQuery(args);
+  if (args.command == "selftest") return RunSelfTest();
+  return Usage();
+}
+
+}  // namespace
+}  // namespace mvp::tools
+
+int main(int argc, char** argv) { return mvp::tools::Main(argc, argv); }
