@@ -1,0 +1,135 @@
+// Extension: concurrent query serving. Measures the serve/ subsystem on
+// the paper's §5.1.A workload (uniform 20-d vectors, L2): batch throughput
+// at 1/2/4/8 worker threads, the effect of sharding (1 vs K shards), and
+// tail latency — while asserting every configuration returns results
+// bit-identical to a single unsharded mvp-tree. Speedups depend on the
+// machine's core count; the result-equality checks do not.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/figure_common.h"
+#include "core/mvp_tree.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "serve/executor.h"
+#include "serve/serve_stats.h"
+#include "serve/sharded_index.h"
+#include "serve/thread_pool.h"
+
+namespace mvp::bench {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+using Sharded = serve::ShardedMvpIndex<Vector, L2>;
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+int Run() {
+  const std::size_t n = QuickMode() ? 5000 : 50000;
+  const std::size_t num_queries = QuickMode() ? 50 : 400;
+  const double radius = 0.3;
+  harness::PrintFigureHeader(
+      std::cout, "Extension: concurrent serving",
+      "batch throughput and tail latency of the serve/ subsystem",
+      std::to_string(n) + " uniform 20-d vectors, L2, radius " +
+          harness::FormatDouble(radius, 2) + ", " +
+          std::to_string(num_queries) + " queries/batch" +
+          (QuickMode() ? "  (quick mode)" : ""));
+
+  const auto data = dataset::UniformVectors(n, 20, 4242);
+  const auto query_points = dataset::UniformQueryVectors(num_queries, 20, 777);
+  std::vector<serve::BatchQuery<Vector>> batch;
+  for (const auto& q : query_points) {
+    serve::BatchQuery<Vector> bq;
+    bq.object = q;
+    bq.radius = radius;
+    batch.push_back(bq);
+  }
+
+  auto plain = core::MvpTree<Vector, L2>::Build(data, L2(), {}).ValueOrDie();
+  const auto t0 = Clock::now();
+  const auto baseline = serve::RunBatch(plain, batch, /*pool=*/nullptr);
+  const double base_ms = MillisSince(t0);
+  std::printf("baseline (unsharded tree, serial executor): %.1f ms, %.0f qps\n",
+              base_ms,
+              1000.0 * static_cast<double>(batch.size()) / base_ms);
+
+  serve::ThreadPool build_pool(4);
+  harness::Table table({"shards", "threads", "wall_ms", "qps", "speedup",
+                        "p50_us", "p95_us", "p99_us"});
+  bool all_match = true;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    Sharded::Options options;
+    options.num_shards = shards;
+    const Sharded index =
+        Sharded::Build(data, L2(), options, &build_pool).ValueOrDie();
+    for (const std::size_t threads : {1, 2, 4, 8}) {
+      serve::ThreadPool pool(threads);
+      serve::ServeStats stats;
+      const auto start = Clock::now();
+      const auto outcomes = serve::RunBatch(index, batch, &pool, &stats);
+      const double wall_ms = MillisSince(start);
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].status.ok() ||
+            outcomes[i].neighbors != baseline[i].neighbors) {
+          all_match = false;
+        }
+      }
+      const auto snap = stats.Snapshot();
+      table.AddRow(
+          {std::to_string(shards), std::to_string(threads),
+           harness::FormatDouble(wall_ms, 1),
+           harness::FormatDouble(
+               1000.0 * static_cast<double>(batch.size()) / wall_ms, 0),
+           harness::FormatDouble(base_ms / wall_ms, 2),
+           harness::FormatDouble(static_cast<double>(snap.p50.count()) / 1e3,
+                                 0),
+           harness::FormatDouble(static_cast<double>(snap.p95.count()) / 1e3,
+                                 0),
+           harness::FormatDouble(static_cast<double>(snap.p99.count()) / 1e3,
+                                 0)});
+    }
+  }
+  std::cout << table.ToText();
+  std::printf("results identical to the unsharded tree in every "
+              "configuration: %s\n",
+              all_match ? "yes" : "NO (BUG)");
+
+  // Deadline behaviour: replay the batch with a budget that sheds the
+  // queue tail, demonstrating graceful degradation under overload.
+  {
+    Sharded::Options options;
+    options.num_shards = 4;
+    const Sharded index =
+        Sharded::Build(data, L2(), options, &build_pool).ValueOrDie();
+    auto tight = batch;
+    const auto budget =
+        std::chrono::microseconds(QuickMode() ? 500 : 2000);
+    for (auto& q : tight) q.timeout = budget;
+    serve::ThreadPool pool(4);
+    serve::ServeStats stats;
+    (void)serve::RunBatch(index, tight, &pool, &stats);
+    const auto snap = stats.Snapshot();
+    std::printf("with a %lldus per-query budget: %llu/%llu answered, "
+                "%llu shed (DeadlineExceeded)\n",
+                static_cast<long long>(budget.count()),
+                static_cast<unsigned long long>(snap.ok),
+                static_cast<unsigned long long>(snap.queries),
+                static_cast<unsigned long long>(snap.deadline_exceeded));
+  }
+  return all_match ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mvp::bench
+
+int main() { return mvp::bench::Run(); }

@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "corruption";
     case StatusCode::kNotSupported:
       return "not supported";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "unknown";
 }

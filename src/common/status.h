@@ -22,6 +22,7 @@ enum class StatusCode {
   kIOError = 3,          ///< serialization / file problem
   kCorruption = 4,       ///< persisted bytes fail validation
   kNotSupported = 5,     ///< valid request this build cannot satisfy
+  kDeadlineExceeded = 6, ///< query shed: its deadline passed (src/serve)
 };
 
 /// Returns the canonical lower-case name of a status code ("ok", ...).
@@ -52,6 +53,9 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -47,7 +47,9 @@
 /// functions (all searches, Stats, Serialize, ValidateInvariants) may be
 /// called concurrently from any number of threads, provided the metric's
 /// operator() is itself const-thread-safe (all bundled metrics are;
-/// CountingMetric's shared counter is not).
+/// CountingMetric's shared counter is not — use AtomicCountingMetric when
+/// counting across threads). src/serve/ builds a concurrent query engine
+/// on exactly this guarantee.
 
 namespace mvp::core {
 

@@ -1,6 +1,7 @@
 #ifndef MVPTREE_METRIC_COUNTING_H_
 #define MVPTREE_METRIC_COUNTING_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -12,6 +13,12 @@
 /// metric spaces, we use the number of distance computations as the cost
 /// measure." (§5). Every experiment in bench/ wraps its metric in
 /// CountingMetric and reports exact call counts.
+///
+/// Two flavours: DistanceCounter/CountingMetric are single-threaded (one
+/// plain increment, the benchmarks' default), while AtomicDistanceCounter/
+/// AtomicCountingMetric may be shared freely across threads — the serving
+/// layer (src/serve/) uses the atomic flavour for per-query and global
+/// accounting when one index is searched from many threads at once.
 
 namespace mvp::metric {
 
@@ -54,6 +61,58 @@ class CountingMetric {
 template <typename M>
 CountingMetric<M> MakeCounting(M inner, DistanceCounter counter) {
   return CountingMetric<M>(std::move(inner), std::move(counter));
+}
+
+/// Thread-safe shared distance-call counter. Copies all address the same
+/// atomic, so an index built with an AtomicCountingMetric can be searched
+/// from any number of threads while the counter stays exact. Increments are
+/// relaxed: the count is a statistic, not a synchronization point — read it
+/// after joining the threads that produced it for an exact total.
+class AtomicDistanceCounter {
+ public:
+  AtomicDistanceCounter()
+      : count_(std::make_shared<std::atomic<std::uint64_t>>(0)) {}
+
+  std::uint64_t count() const {
+    return count_->load(std::memory_order_relaxed);
+  }
+  void Reset() { count_->store(0, std::memory_order_relaxed); }
+  void Increment() const { count_->fetch_add(1, std::memory_order_relaxed); }
+  void Add(std::uint64_t n) const {
+    count_->fetch_add(n, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<std::uint64_t>> count_;
+};
+
+/// Thread-safe CountingMetric: wraps any metric, incrementing a shared
+/// atomic counter on every distance evaluation.
+template <typename M>
+class AtomicCountingMetric {
+ public:
+  AtomicCountingMetric(M inner, AtomicDistanceCounter counter)
+      : inner_(std::move(inner)), counter_(std::move(counter)) {}
+
+  template <typename O>
+  double operator()(const O& a, const O& b) const {
+    counter_.Increment();
+    return inner_(a, b);
+  }
+
+  const M& inner() const { return inner_; }
+  const AtomicDistanceCounter& counter() const { return counter_; }
+
+ private:
+  M inner_;
+  AtomicDistanceCounter counter_;
+};
+
+/// Deduction-friendly factory for the thread-safe flavour.
+template <typename M>
+AtomicCountingMetric<M> MakeAtomicCounting(M inner,
+                                           AtomicDistanceCounter counter) {
+  return AtomicCountingMetric<M>(std::move(inner), std::move(counter));
 }
 
 }  // namespace mvp::metric

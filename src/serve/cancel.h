@@ -1,0 +1,171 @@
+#ifndef MVPTREE_SERVE_CANCEL_H_
+#define MVPTREE_SERVE_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+#include "metric/counting.h"
+
+/// \file
+/// Cooperative cancellation for searches in flight.
+///
+/// The index structures in this library are recursive template code with no
+/// natural preemption point — except one: every unit of work they do is a
+/// metric evaluation (the paper's cost measure). The serving layer therefore
+/// injects its cancellation checks exactly there. `CancelChecked<M>` wraps a
+/// metric so that each distance computation first consults the calling
+/// thread's active `CancelScope`; when the scope's token has been cancelled
+/// or its deadline has passed, the evaluation throws `CancelledError`, which
+/// unwinds the search and is caught by the executor (never leaks to user
+/// code). A thread with no active scope pays one thread-local load per
+/// distance computation and can never be interrupted.
+///
+/// The scope doubles as the serving layer's per-query distance accounting:
+/// it counts the evaluations made on its thread (plain increments — the
+/// scope is thread-local by construction) and flushes the total into an
+/// `metric::AtomicDistanceCounter` on destruction, so a query fanned out
+/// over several pool threads still gets one exact per-query count even when
+/// a deadline aborts some shards mid-search.
+
+namespace mvp::serve {
+
+using ServeClock = std::chrono::steady_clock;
+
+/// Sentinel for "no deadline".
+inline constexpr ServeClock::time_point kNoDeadline =
+    ServeClock::time_point::max();
+
+/// One-shot cancellation flag, shared between the thread that sets it and
+/// the threads that poll it.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Thrown by a cancellation point once its scope is cancelled or past its
+/// deadline. Internal to the serving layer: the executor converts it into a
+/// DeadlineExceeded status.
+class CancelledError : public std::exception {
+ public:
+  const char* what() const noexcept override {
+    return "search cancelled (deadline expired)";
+  }
+};
+
+/// Everything a child task needs to join its parent's cancellation domain.
+struct CancelContext {
+  const metric::AtomicDistanceCounter* counter = nullptr;
+  CancelToken* token = nullptr;
+  ServeClock::time_point deadline = kNoDeadline;
+};
+
+/// RAII frame installing a cancellation domain on the current thread.
+/// Checking the wall clock on every distance computation would be costly,
+/// so the deadline is consulted every kCheckStride evaluations (and on the
+/// very first one, so even microsecond deadlines fire promptly); the token
+/// flag — a relaxed atomic load — is consulted on every evaluation, which
+/// is what makes a watchdog-free cross-thread cancel propagate fast.
+class CancelScope {
+ public:
+  CancelScope(const metric::AtomicDistanceCounter* counter,
+              CancelToken* token, ServeClock::time_point deadline)
+      : prev_(current_) {
+    frame_.counter = counter;
+    frame_.token = token;
+    frame_.deadline = deadline;
+    current_ = &frame_;
+  }
+  explicit CancelScope(const CancelContext& context)
+      : CancelScope(context.counter, context.token, context.deadline) {}
+
+  ~CancelScope() {
+    if (frame_.counter != nullptr) frame_.counter->Add(frame_.distances);
+    current_ = prev_;
+  }
+
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+  /// Distance evaluations observed by this scope so far (this thread only).
+  std::uint64_t distance_computations() const { return frame_.distances; }
+
+  /// The innermost active scope's context, for handing to tasks spawned on
+  /// other threads. Empty context when the thread has no active scope.
+  static CancelContext Current() {
+    const Frame* f = current_;
+    if (f == nullptr) return CancelContext{};
+    return CancelContext{f->counter, f->token, f->deadline};
+  }
+
+  /// True once the active scope (if any) is cancelled or past its deadline.
+  /// Also counts one distance evaluation against the scope — call it
+  /// exactly once per metric evaluation, before evaluating.
+  static bool ShouldStop() {
+    Frame* f = current_;
+    if (f == nullptr) return false;
+    if (f->token != nullptr && f->token->cancelled()) return true;
+    if (--f->countdown <= 0) {
+      f->countdown = kCheckStride;
+      if (f->deadline != kNoDeadline && ServeClock::now() >= f->deadline) {
+        if (f->token != nullptr) f->token->Cancel();
+        return true;
+      }
+    }
+    ++f->distances;
+    return false;
+  }
+
+ private:
+  static constexpr int kCheckStride = 64;
+
+  struct Frame {
+    const metric::AtomicDistanceCounter* counter = nullptr;
+    CancelToken* token = nullptr;
+    ServeClock::time_point deadline = kNoDeadline;
+    int countdown = 1;  // check the clock on the first evaluation
+    std::uint64_t distances = 0;
+  };
+
+  inline static thread_local Frame* current_ = nullptr;
+
+  Frame frame_;
+  Frame* prev_;
+};
+
+/// Throws CancelledError once the calling thread's scope is cancelled.
+inline void CancellationPoint() {
+  if (CancelScope::ShouldStop()) throw CancelledError();
+}
+
+/// Metric wrapper turning every distance computation into a cancellation
+/// point (and a per-query accounting event). Forwards values untouched, so
+/// results are bit-identical to the inner metric's.
+template <typename M>
+class CancelChecked {
+ public:
+  explicit CancelChecked(M inner) : inner_(std::move(inner)) {}
+
+  template <typename O>
+  double operator()(const O& a, const O& b) const {
+    CancellationPoint();
+    return inner_(a, b);
+  }
+
+  const M& inner() const { return inner_; }
+
+ private:
+  M inner_;
+};
+
+}  // namespace mvp::serve
+
+#endif  // MVPTREE_SERVE_CANCEL_H_

@@ -1,0 +1,190 @@
+#ifndef MVPTREE_SERVE_EXECUTOR_H_
+#define MVPTREE_SERVE_EXECUTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/query.h"
+#include "common/status.h"
+#include "metric/counting.h"
+#include "serve/cancel.h"
+#include "serve/serve_stats.h"
+#include "serve/thread_pool.h"
+
+/// \file
+/// Batch query executor — the serving layer's front door.
+///
+/// `RunBatch` takes a vector of queries, each with an optional deadline
+/// budget, runs them across a ThreadPool, and returns one `QueryOutcome`
+/// per query in input order. Semantics:
+///
+///  * Deadlines are absolute from the moment the batch starts: a query's
+///    deadline is batch-start + its timeout, so time spent queued behind
+///    other work counts against it — exactly what load shedding needs. A
+///    query whose deadline has already passed when a worker picks it up is
+///    shed without touching the index (a zero timeout never runs); one
+///    whose deadline expires mid-search is cancelled cooperatively at the
+///    next distance computation (see serve/cancel.h) and reports
+///    DeadlineExceeded with no partial results.
+///  * Backpressure: at most `ThreadPool::Options::queue_capacity` query
+///    tasks are queued at once; the submitting thread runs queries itself
+///    while the queue is full, so submission can never outrun execution.
+///  * Accounting: each outcome carries wall latency (batch start to
+///    completion, queue time included) and the exact number of distance
+///    computations the query performed, aggregated across every thread
+///    that worked on it. Outcomes are optionally folded into a shared
+///    `ServeStats`.
+///
+/// Mid-search cancellation requires the index's distance evaluations to be
+/// cancellation points, which ShardedMvpIndex guarantees (its shards are
+/// built over CancelChecked metrics). Any index with the standard
+/// RangeSearch/KnnSearch signatures works — a plain MvpTree too — but an
+/// index without cancellation points only honours deadlines at query
+/// start, not mid-search.
+
+namespace mvp::serve {
+
+/// Work item for RunBatch.
+template <typename Object>
+struct BatchQuery {
+  enum class Kind { kRange, kKnn };
+
+  Kind kind = Kind::kRange;
+  Object object{};
+  double radius = 0.0;   ///< kRange: closed-ball radius
+  std::size_t k = 0;     ///< kKnn: neighbor count
+  /// Deadline budget measured from batch start; default: none. Zero means
+  /// the query is shed unconditionally.
+  std::chrono::nanoseconds timeout = std::chrono::nanoseconds::max();
+};
+
+/// Per-query result of RunBatch.
+struct QueryOutcome {
+  /// OK, or DeadlineExceeded when the query was shed or cancelled.
+  Status status;
+  /// Neighbors (empty on DeadlineExceeded — no partial results).
+  std::vector<Neighbor> neighbors;
+  /// Batch start to query completion, queueing included.
+  std::chrono::nanoseconds latency{0};
+  /// Exact metric evaluations this query performed, across all threads.
+  std::uint64_t distance_computations = 0;
+};
+
+struct ExecutorOptions {
+  /// Also fan each query out across its index's shards (ShardedMvpIndex
+  /// only). Lowers single-query latency; for batch throughput the
+  /// query-level parallelism is usually enough and cheaper.
+  bool parallel_shards = false;
+};
+
+namespace internal {
+
+inline ServeClock::time_point DeadlineFrom(ServeClock::time_point start,
+                                           std::chrono::nanoseconds timeout) {
+  if (timeout >= ServeClock::time_point::max() - start) return kNoDeadline;
+  return start + timeout;
+}
+
+/// Invokes the right search; passes the shard pool through when the index
+/// accepts one (ShardedMvpIndex), with `nullptr` meaning serial shards.
+template <typename Index, typename Object>
+std::vector<Neighbor> Dispatch(const Index& index,
+                               const BatchQuery<Object>& query,
+                               SearchStats* stats, ThreadPool* shard_pool) {
+  if constexpr (requires {
+                  index.RangeSearch(query.object, query.radius, stats,
+                                    shard_pool);
+                }) {
+    return query.kind == BatchQuery<Object>::Kind::kRange
+               ? index.RangeSearch(query.object, query.radius, stats,
+                                   shard_pool)
+               : index.KnnSearch(query.object, query.k, stats, shard_pool);
+  } else {
+    return query.kind == BatchQuery<Object>::Kind::kRange
+               ? index.RangeSearch(query.object, query.radius, stats)
+               : index.KnnSearch(query.object, query.k, stats);
+  }
+}
+
+}  // namespace internal
+
+/// Executes `queries` against `index`, in parallel on `pool` (serially on
+/// the calling thread when `pool` is null — the single-threaded baseline).
+/// Returns outcomes in input order; folds them into `stats` when given.
+template <typename Index, typename Object>
+std::vector<QueryOutcome> RunBatch(const Index& index,
+                                   const std::vector<BatchQuery<Object>>& queries,
+                                   ThreadPool* pool,
+                                   ServeStats* stats = nullptr,
+                                   const ExecutorOptions& options = {}) {
+  std::vector<QueryOutcome> outcomes(queries.size());
+  const ServeClock::time_point start = ServeClock::now();
+  ThreadPool* shard_pool = options.parallel_shards ? pool : nullptr;
+
+  auto run_one = [&](std::size_t i) {
+    const BatchQuery<Object>& query = queries[i];
+    QueryOutcome& out = outcomes[i];
+    const ServeClock::time_point deadline =
+        internal::DeadlineFrom(start, query.timeout);
+    metric::AtomicDistanceCounter counter;
+    CancelToken token;
+    SearchStats search_stats;
+    if (ServeClock::now() >= deadline) {
+      out.status = Status::DeadlineExceeded("deadline passed before search");
+    } else {
+      try {
+        CancelScope scope(&counter, &token, deadline);
+        out.neighbors =
+            internal::Dispatch(index, query, &search_stats, shard_pool);
+        out.status = Status::OK();
+      } catch (const CancelledError&) {
+        out.status = Status::DeadlineExceeded("deadline expired mid-search");
+        out.neighbors.clear();
+      }
+    }
+    // The scope (and any shard scopes) flushed into `counter`; indexes
+    // without cancellation points report through SearchStats instead. On
+    // the success path of a CancelChecked index the two agree exactly.
+    out.distance_computations =
+        std::max(counter.count(), search_stats.distance_computations);
+    out.latency = ServeClock::now() - start;
+    if (stats != nullptr) {
+      stats->RecordQuery(out.status.ok(), out.latency,
+                         out.distance_computations, out.neighbors.size());
+    }
+  };
+
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < queries.size(); ++i) run_one(i);
+    return outcomes;
+  }
+
+  std::atomic<std::size_t> done{0};
+  std::size_t offloaded = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const bool queued = pool->TrySubmit([&run_one, &done, i] {
+      run_one(i);
+      done.fetch_add(1, std::memory_order_release);
+    });
+    if (queued) {
+      ++offloaded;
+    } else {
+      // Queue full: backpressure. The submitter absorbs the query itself,
+      // which both sheds queue pressure and keeps submission from racing
+      // ahead of execution.
+      run_one(i);
+    }
+  }
+  while (done.load(std::memory_order_acquire) < offloaded) {
+    if (!pool->RunOne()) std::this_thread::yield();
+  }
+  return outcomes;
+}
+
+}  // namespace mvp::serve
+
+#endif  // MVPTREE_SERVE_EXECUTOR_H_

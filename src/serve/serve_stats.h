@@ -1,0 +1,157 @@
+#ifndef MVPTREE_SERVE_SERVE_STATS_H_
+#define MVPTREE_SERVE_SERVE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+
+#include "metric/counting.h"
+
+/// \file
+/// Thread-safe serving metrics: atomic counters plus a lock-free latency
+/// histogram with percentile extraction.
+///
+/// Everything here is wait-free and write-optimized: the hot path (one
+/// query completion) is a handful of relaxed atomic adds, so recording
+/// never serializes the worker threads it measures. Reads (Snapshot,
+/// Quantile) are taken while writers run; they see a consistent-enough
+/// picture for monitoring, and an exact one once the producing threads are
+/// joined — which is how the benchmarks and tests use them.
+///
+/// The histogram uses fixed power-of-two buckets over nanoseconds: bucket
+/// i counts latencies in [2^(i-1), 2^i) ns, giving ~constant relative
+/// error (one octave) from 1ns to ~78 hours in 48 counters and a bucket
+/// index that is one `bit_width` instruction. Quantiles report the upper
+/// edge of the bucket containing the requested rank — a pessimistic bound,
+/// never an underestimate.
+
+namespace mvp::serve {
+
+/// Lock-free fixed-bucket latency histogram.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 48;
+
+  void Record(std::chrono::nanoseconds latency) {
+    const std::uint64_t ns =
+        latency.count() < 0 ? 0 : static_cast<std::uint64_t>(latency.count());
+    buckets_[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // Monotone CAS keeps max exact even under contention.
+    std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (ns > seen &&
+           !max_ns_.compare_exchange_weak(seen, ns,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  std::chrono::nanoseconds max() const {
+    return std::chrono::nanoseconds(
+        static_cast<std::int64_t>(max_ns_.load(std::memory_order_relaxed)));
+  }
+
+  /// Upper bound of the bucket holding the q-quantile (0 < q <= 1) of the
+  /// recorded latencies; zero when nothing was recorded.
+  std::chrono::nanoseconds Quantile(double q) const {
+    const std::uint64_t n = count();
+    if (n == 0) return std::chrono::nanoseconds(0);
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      cumulative += buckets_[i].load(std::memory_order_relaxed);
+      if (cumulative >= rank) return BucketUpperBound(i);
+    }
+    return BucketUpperBound(kNumBuckets - 1);
+  }
+
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper edge (exclusive) of bucket i, as a duration.
+  static std::chrono::nanoseconds BucketUpperBound(std::size_t i) {
+    return std::chrono::nanoseconds(
+        i + 1 >= 64 ? std::int64_t{1} << 62
+                    : static_cast<std::int64_t>(std::uint64_t{1} << (i + 1)));
+  }
+
+ private:
+  static std::size_t BucketIndex(std::uint64_t ns) {
+    const std::size_t width = static_cast<std::size_t>(std::bit_width(ns));
+    return width >= kNumBuckets ? kNumBuckets - 1 : width;
+  }
+
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Point-in-time view of a ServeStats (plain values, safe to copy around).
+struct ServeStatsSnapshot {
+  std::uint64_t queries = 0;             ///< completed, any outcome
+  std::uint64_t ok = 0;                  ///< completed successfully
+  std::uint64_t deadline_exceeded = 0;   ///< shed before or during search
+  std::uint64_t distance_computations = 0;
+  std::uint64_t results_returned = 0;    ///< neighbors across ok queries
+  std::chrono::nanoseconds p50{0};
+  std::chrono::nanoseconds p95{0};
+  std::chrono::nanoseconds p99{0};
+  std::chrono::nanoseconds max{0};
+};
+
+/// Thread-safe counters + latency histogram for a serving endpoint. One
+/// instance is shared by every worker; all methods may race freely.
+class ServeStats {
+ public:
+  void RecordQuery(bool ok, std::chrono::nanoseconds latency,
+                   std::uint64_t distance_computations,
+                   std::uint64_t results_returned) {
+    if (ok) {
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      results_.fetch_add(results_returned, std::memory_order_relaxed);
+    } else {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    distances_.Add(distance_computations);
+    latency_.Record(latency);
+  }
+
+  const LatencyHistogram& latency() const { return latency_; }
+  const metric::AtomicDistanceCounter& distance_counter() const {
+    return distances_;
+  }
+
+  ServeStatsSnapshot Snapshot() const {
+    ServeStatsSnapshot snap;
+    snap.ok = ok_.load(std::memory_order_relaxed);
+    snap.deadline_exceeded =
+        deadline_exceeded_.load(std::memory_order_relaxed);
+    snap.queries = snap.ok + snap.deadline_exceeded;
+    snap.distance_computations = distances_.count();
+    snap.results_returned = results_.load(std::memory_order_relaxed);
+    snap.p50 = latency_.Quantile(0.50);
+    snap.p95 = latency_.Quantile(0.95);
+    snap.p99 = latency_.Quantile(0.99);
+    snap.max = latency_.max();
+    return snap;
+  }
+
+ private:
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> results_{0};
+  metric::AtomicDistanceCounter distances_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace mvp::serve
+
+#endif  // MVPTREE_SERVE_SERVE_STATS_H_

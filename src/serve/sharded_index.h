@@ -1,0 +1,254 @@
+#ifndef MVPTREE_SERVE_SHARDED_INDEX_H_
+#define MVPTREE_SERVE_SHARDED_INDEX_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/query.h"
+#include "common/status.h"
+#include "core/mvp_tree.h"
+#include "metric/metric.h"
+#include "serve/cancel.h"
+#include "serve/thread_pool.h"
+
+/// \file
+/// Sharded mvp-tree — the serving layer's unit of parallelism.
+///
+/// A single mvp-tree search is a sequential recursion; a machine serving
+/// heavy traffic wants both queries-across-cores and, for latency-critical
+/// single queries, one-query-across-cores. ShardedMvpIndex provides the
+/// substrate for both: the dataset is partitioned round-robin over K
+/// independent mvp-trees, built in parallel on a ThreadPool, and every
+/// query fans out per-shard searches whose merged result is EXACTLY the
+/// result one unsharded tree over the same data would return (same ids,
+/// same distances — round-robin keeps global ids stable, and merging sorts
+/// by the library-wide NeighborLess order). tests/sharded_index_test.cc
+/// asserts this equivalence bit for bit.
+///
+/// Trade-off (docs/serving.md discusses it): K shards of n/K points do
+/// slightly more total distance computations than one tree of n points —
+/// each shard pays its own vantage-point evaluations — in exchange for a
+/// build that scales near-linearly with cores and searches that can run
+/// K-wide. Keep K near the core count, not higher.
+///
+/// Every shard tree is built over a CancelChecked metric, so any search —
+/// serial or fanned out — is cancellable mid-flight by the executor's
+/// deadline machinery at the granularity of one distance computation.
+
+namespace mvp::serve {
+
+template <typename Object, metric::MetricFor<Object> Metric>
+class ShardedMvpIndex {
+ public:
+  using Tree = core::MvpTree<Object, CancelChecked<Metric>>;
+
+  struct Options {
+    /// Number of independent mvp-trees the data is partitioned over.
+    std::size_t num_shards = 4;
+    /// Construction parameters for every shard tree. Shard s is built with
+    /// seed `tree.seed + s` so shards make decorrelated vantage choices.
+    typename Tree::Options tree;
+  };
+
+  /// Partitions `objects` round-robin over the shards (global id g lands in
+  /// shard g % K) and builds the shard trees — in parallel on `pool` when
+  /// one is given, serially otherwise. The result is identical either way.
+  static Result<ShardedMvpIndex> Build(std::vector<Object> objects,
+                                       Metric metric, const Options& options,
+                                       ThreadPool* pool = nullptr) {
+    if (options.num_shards < 1) {
+      return Status::InvalidArgument("sharded index needs >= 1 shard");
+    }
+    ShardedMvpIndex index;
+    index.options_ = options;
+    index.size_ = objects.size();
+    const std::size_t k = options.num_shards;
+
+    std::vector<std::vector<Object>> parts(k);
+    std::vector<std::vector<std::size_t>> ids(k);
+    for (std::size_t s = 0; s < k; ++s) {
+      parts[s].reserve(objects.size() / k + 1);
+      ids[s].reserve(objects.size() / k + 1);
+    }
+    for (std::size_t g = 0; g < objects.size(); ++g) {
+      parts[g % k].push_back(std::move(objects[g]));
+      ids[g % k].push_back(g);
+    }
+
+    std::vector<std::optional<Result<Tree>>> built(k);
+    auto build_shard = [&](std::size_t s) {
+      typename Tree::Options tree_options = options.tree;
+      tree_options.seed = options.tree.seed + s;
+      built[s] = Tree::Build(std::move(parts[s]),
+                             CancelChecked<Metric>(metric), tree_options);
+    };
+    if (pool == nullptr || k == 1) {
+      for (std::size_t s = 0; s < k; ++s) build_shard(s);
+    } else {
+      RunAll(*pool, k, build_shard);
+    }
+
+    index.shards_.reserve(k);
+    for (std::size_t s = 0; s < k; ++s) {
+      if (!built[s]->ok()) return built[s]->status();
+      index.shards_.push_back(std::make_unique<Shard>(
+          Shard{std::move(*built[s]).ValueOrDie(), std::move(ids[s])}));
+    }
+    return index;
+  }
+
+  /// All objects within `radius` of `query` (closed ball), sorted by
+  /// distance then global id — exactly the unsharded MvpTree result. With
+  /// a pool, shards are searched in parallel (the calling thread helps).
+  std::vector<Neighbor> RangeSearch(const Object& query, double radius,
+                                    SearchStats* stats = nullptr,
+                                    ThreadPool* pool = nullptr) const {
+    auto search = [&](const Shard& shard, SearchStats* shard_stats) {
+      return shard.tree.RangeSearch(query, radius, shard_stats);
+    };
+    std::vector<Neighbor> merged = FanOut(search, stats, pool);
+    std::sort(merged.begin(), merged.end(), NeighborLess);
+    return merged;
+  }
+
+  /// The k nearest objects, sorted by distance then global id — exactly
+  /// the unsharded result: each shard returns its own best k, and the best
+  /// k of that union are the global best k.
+  std::vector<Neighbor> KnnSearch(const Object& query, std::size_t k,
+                                  SearchStats* stats = nullptr,
+                                  ThreadPool* pool = nullptr) const {
+    auto search = [&](const Shard& shard, SearchStats* shard_stats) {
+      return shard.tree.KnnSearch(query, k, shard_stats);
+    };
+    std::vector<Neighbor> merged = FanOut(search, stats, pool);
+    std::sort(merged.begin(), merged.end(), NeighborLess);
+    if (merged.size() > k) merged.resize(k);
+    return merged;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  const Options& options() const { return options_; }
+  const Tree& shard(std::size_t s) const {
+    MVP_DCHECK(s < shards_.size());
+    return shards_[s]->tree;
+  }
+
+  /// Aggregated structural statistics (construction distances sum over
+  /// shards; height is the tallest shard's).
+  TreeStats Stats() const {
+    TreeStats total;
+    for (const auto& shard : shards_) {
+      const TreeStats s = shard->tree.Stats();
+      total.num_internal_nodes += s.num_internal_nodes;
+      total.num_leaf_nodes += s.num_leaf_nodes;
+      total.num_vantage_points += s.num_vantage_points;
+      total.num_leaf_points += s.num_leaf_points;
+      total.height = std::max(total.height, s.height);
+      total.construction_distance_computations +=
+          s.construction_distance_computations;
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    Tree tree;
+    std::vector<std::size_t> global_ids;  // local id -> global id
+  };
+
+  ShardedMvpIndex() = default;
+
+  /// Runs fn(0..count-1) across the pool, the calling thread running what
+  /// the queue refuses and helping via RunOne while it waits, so this is
+  /// safe to call from inside a pool task (nested fan-out cannot deadlock:
+  /// waiters drain the queue). `fn` must not throw. A task's final access
+  /// to the captured state is the release increment of `done`, so once the
+  /// acquire load observes all offloaded tasks the stack state is free.
+  template <typename Fn>
+  static void RunAll(ThreadPool& pool, std::size_t count, Fn&& fn) {
+    std::atomic<std::size_t> done{0};
+    std::size_t offloaded = 0;
+    for (std::size_t i = 1; i < count; ++i) {
+      const bool queued = pool.TrySubmit([&fn, &done, i] {
+        fn(i);
+        done.fetch_add(1, std::memory_order_release);
+      });
+      if (queued) {
+        ++offloaded;
+      } else {
+        fn(i);
+      }
+    }
+    fn(0);
+    while (done.load(std::memory_order_acquire) < offloaded) {
+      if (!pool.RunOne()) std::this_thread::yield();
+    }
+  }
+
+  /// Runs `search` over every shard, translates local ids to global ids,
+  /// and concatenates the results. Parallel shard searches propagate the
+  /// caller's cancellation context onto the worker threads, so a deadline
+  /// set by the executor aborts all shards of the query, and every shard's
+  /// distance evaluations are flushed into the query's counter.
+  template <typename SearchFn>
+  std::vector<Neighbor> FanOut(const SearchFn& search, SearchStats* stats,
+                               ThreadPool* pool) const {
+    const std::size_t k = shards_.size();
+    std::vector<std::vector<Neighbor>> hits(k);
+    std::vector<SearchStats> shard_stats(k);
+
+    if (pool == nullptr || k == 1) {
+      for (std::size_t s = 0; s < k; ++s) {
+        hits[s] = search(*shards_[s], stats != nullptr ? &shard_stats[s]
+                                                       : nullptr);
+      }
+    } else {
+      const CancelContext context = CancelScope::Current();
+      std::atomic<bool> cancelled{false};
+      RunAll(*pool, k, [&](std::size_t s) {
+        CancelScope scope(context);
+        try {
+          hits[s] = search(*shards_[s], stats != nullptr ? &shard_stats[s]
+                                                         : nullptr);
+        } catch (const CancelledError&) {
+          cancelled.store(true, std::memory_order_relaxed);
+        }
+      });
+      if (cancelled.load(std::memory_order_relaxed)) throw CancelledError();
+    }
+
+    std::size_t total = 0;
+    for (const auto& h : hits) total += h.size();
+    std::vector<Neighbor> merged;
+    merged.reserve(total);
+    for (std::size_t s = 0; s < k; ++s) {
+      for (const Neighbor& n : hits[s]) {
+        merged.push_back(
+            Neighbor{shards_[s]->global_ids[n.id], n.distance});
+      }
+      if (stats != nullptr) {
+        stats->distance_computations += shard_stats[s].distance_computations;
+        stats->nodes_visited += shard_stats[s].nodes_visited;
+        stats->leaf_points_seen += shard_stats[s].leaf_points_seen;
+        stats->leaf_points_filtered += shard_stats[s].leaf_points_filtered;
+      }
+    }
+    return merged;
+  }
+
+  Options options_;
+  std::size_t size_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mvp::serve
+
+#endif  // MVPTREE_SERVE_SHARDED_INDEX_H_

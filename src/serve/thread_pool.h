@@ -1,0 +1,222 @@
+#ifndef MVPTREE_SERVE_THREAD_POOL_H_
+#define MVPTREE_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+/// \file
+/// Fixed-size worker pool for the serving layer.
+///
+/// Design points, in the order they matter for a query-serving engine:
+///
+///  * Bounded queue with backpressure. `Submit` blocks while the queue is
+///    at capacity; `TrySubmit` refuses instead. A serving layer without a
+///    bound turns overload into unbounded memory growth — with one, it
+///    turns into latency, which deadlines then shed.
+///  * Work stealing. Each worker owns a deque; tasks are distributed round
+///    robin, a worker pops from the back of its own deque (LIFO, warm
+///    caches) and steals from the front of a sibling's (FIFO, oldest —
+///    fair) when its own is empty. The deques share one mutex: tasks here
+///    are whole queries or shard searches (microseconds to milliseconds),
+///    so scheduling is far off the critical path and a single lock keeps
+///    the pool easy to reason about under TSAN.
+///  * Helping. `RunOne` lets any thread — typically one blocked waiting
+///    for tasks it just submitted — execute a pending task in place. This
+///    is what makes nested fan-out (a query task spawning per-shard tasks
+///    on the same pool) deadlock-free: waiters drain the queue instead of
+///    holding a worker hostage.
+///  * Clean shutdown. `Shutdown` (also run by the destructor) drains every
+///    queued task, then joins the workers. Work accepted is work done.
+///  * Exceptions propagate. `Submit` returns a std::future; a throwing
+///    task stores its exception there. `TrySubmit` tasks must not throw.
+
+namespace mvp::serve {
+
+class ThreadPool {
+ public:
+  struct Options {
+    /// Fixed number of worker threads (>= 1).
+    std::size_t num_threads = 4;
+    /// Maximum number of queued (not yet running) tasks before Submit
+    /// blocks and TrySubmit refuses.
+    std::size_t queue_capacity = 4096;
+  };
+
+  explicit ThreadPool(std::size_t num_threads)
+      : ThreadPool(Options{num_threads, 4096}) {}
+
+  explicit ThreadPool(const Options& options) : options_(options) {
+    MVP_DCHECK(options_.num_threads >= 1);
+    MVP_DCHECK(options_.queue_capacity >= 1);
+    queues_.resize(options_.num_threads);
+    workers_.reserve(options_.num_threads);
+    for (std::size_t w = 0; w < options_.num_threads; ++w) {
+      workers_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  ~ThreadPool() { Shutdown(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn` and returns a future for its result (or exception).
+  /// Blocks while the queue is full — this is the pool's backpressure.
+  /// Must not be called after Shutdown.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      MVP_DCHECK(!stopping_);
+      space_cv_.wait(lock, [this] {
+        return pending_ < options_.queue_capacity || stopping_;
+      });
+      EnqueueLocked([task] { (*task)(); });
+    }
+    work_cv_.notify_one();
+    return future;
+  }
+
+  /// Schedules `fn` (which must not throw) unless the queue is full or the
+  /// pool is shutting down; returns whether it was accepted.
+  bool TrySubmit(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_ || pending_ >= options_.queue_capacity) return false;
+      EnqueueLocked(std::move(fn));
+    }
+    work_cv_.notify_one();
+    return true;
+  }
+
+  /// Runs one pending task on the calling thread, if any; returns whether
+  /// one was run. Threads waiting for submitted work should call this in
+  /// their wait loop so that nested submissions cannot deadlock.
+  bool RunOne() {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_ == 0) return false;
+      task = PopLocked(/*preferred=*/0);
+      --pending_;
+      ++running_;
+    }
+    space_cv_.notify_one();
+    task();
+    FinishTask();
+    return true;
+  }
+
+  /// Blocks until no task is queued or running. Quiescence, not a fence:
+  /// tasks submitted after WaitIdle returns are not covered.
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0 && running_ == 0; });
+  }
+
+  /// Drains all queued tasks, then joins the workers. Idempotent. Called
+  /// by the destructor; no submissions may race with or follow it.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+    workers_.clear();
+  }
+
+  std::size_t num_threads() const { return options_.num_threads; }
+
+  /// Queued (not yet running) tasks; a snapshot, stale by the time you act
+  /// on it.
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_;
+  }
+
+ private:
+  void EnqueueLocked(std::function<void()> task) {
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++pending_;
+  }
+
+  /// Pops from the preferred worker's deque (back = most recently pushed),
+  /// else steals the oldest task from the first non-empty sibling.
+  /// Precondition: pending_ > 0, mu_ held.
+  std::function<void()> PopLocked(std::size_t preferred) {
+    if (!queues_[preferred].empty()) {
+      std::function<void()> task = std::move(queues_[preferred].back());
+      queues_[preferred].pop_back();
+      return task;
+    }
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      const std::size_t victim = (preferred + 1 + i) % queues_.size();
+      if (queues_[victim].empty()) continue;
+      std::function<void()> task = std::move(queues_[victim].front());
+      queues_[victim].pop_front();
+      return task;
+    }
+    MVP_DCHECK(false);  // pending_ > 0 guarantees a non-empty deque
+    return {};
+  }
+
+  void FinishTask() {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    if (pending_ == 0 && running_ == 0) idle_cv_.notify_all();
+  }
+
+  void WorkerLoop(std::size_t worker_index) {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [this] { return stopping_ || pending_ > 0; });
+        if (pending_ == 0) {
+          if (stopping_) return;  // drained: work accepted is work done
+          continue;
+        }
+        task = PopLocked(worker_index);
+        --pending_;
+        ++running_;
+      }
+      space_cv_.notify_one();
+      task();
+      FinishTask();
+    }
+  }
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: a task or shutdown arrived
+  std::condition_variable space_cv_;  // submitters: queue has room
+  std::condition_variable idle_cv_;   // WaitIdle: nothing queued or running
+  std::vector<std::deque<std::function<void()>>> queues_;  // one per worker
+  std::vector<std::thread> workers_;
+  std::size_t pending_ = 0;  // queued tasks across all deques
+  std::size_t running_ = 0;  // tasks currently executing
+  std::size_t next_queue_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace mvp::serve
+
+#endif  // MVPTREE_SERVE_THREAD_POOL_H_

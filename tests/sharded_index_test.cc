@@ -1,0 +1,157 @@
+// ShardedMvpIndex correctness: the defining property is exact result
+// equality — same ids, same distances, same order — with a single
+// unsharded mvp-tree over the same data, for every shard count, with and
+// without a thread pool, for both range and k-NN queries.
+
+#include "serve/sharded_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mvp_tree.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "serve/thread_pool.h"
+
+namespace mvp::serve {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+using Sharded = ShardedMvpIndex<Vector, L2>;
+using Plain = core::MvpTree<Vector, L2>;
+
+Sharded BuildSharded(const std::vector<Vector>& data, std::size_t shards,
+                     ThreadPool* pool = nullptr) {
+  Sharded::Options options;
+  options.num_shards = shards;
+  auto built = Sharded::Build(data, L2(), options, pool);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(built).ValueOrDie();
+}
+
+TEST(ShardedIndexTest, RangeSearchEqualsUnshardedExactly) {
+  const auto data = dataset::UniformVectors(3000, 10, 21);
+  const auto queries = dataset::UniformQueryVectors(12, 10, 33);
+  const auto plain = Plain::Build(data, L2(), {}).ValueOrDie();
+  for (const std::size_t shards : {1u, 2u, 3u, 5u, 8u}) {
+    const Sharded sharded = BuildSharded(data, shards);
+    for (const auto& q : queries) {
+      for (const double r : {0.2, 0.5, 0.9}) {
+        const auto expected = plain.RangeSearch(q, r);
+        const auto got = sharded.RangeSearch(q, r);
+        EXPECT_EQ(got, expected) << "shards=" << shards << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(ShardedIndexTest, KnnSearchEqualsUnshardedExactly) {
+  const auto data = dataset::UniformVectors(2500, 8, 55);
+  const auto queries = dataset::UniformQueryVectors(12, 8, 66);
+  const auto plain = Plain::Build(data, L2(), {}).ValueOrDie();
+  for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
+    const Sharded sharded = BuildSharded(data, shards);
+    for (const auto& q : queries) {
+      for (const std::size_t k : {1u, 10u, 100u}) {
+        const auto expected = plain.KnnSearch(q, k);
+        const auto got = sharded.KnnSearch(q, k);
+        EXPECT_EQ(got, expected) << "shards=" << shards << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(ShardedIndexTest, ParallelBuildEqualsSerialBuild) {
+  const auto data = dataset::UniformVectors(4000, 8, 77);
+  const auto queries = dataset::UniformQueryVectors(10, 8, 88);
+  ThreadPool pool(4);
+  const Sharded serial = BuildSharded(data, 4);
+  const Sharded parallel = BuildSharded(data, 4, &pool);
+
+  // Shard builds are deterministic given (partition, options, seed), so a
+  // parallel build must produce byte-for-byte the same trees: identical
+  // structural stats AND identical per-query work, not just results.
+  const TreeStats a = serial.Stats();
+  const TreeStats b = parallel.Stats();
+  EXPECT_EQ(a.construction_distance_computations,
+            b.construction_distance_computations);
+  EXPECT_EQ(a.num_internal_nodes, b.num_internal_nodes);
+  EXPECT_EQ(a.num_leaf_nodes, b.num_leaf_nodes);
+  EXPECT_EQ(a.num_vantage_points, b.num_vantage_points);
+  EXPECT_EQ(a.height, b.height);
+  for (const auto& q : queries) {
+    SearchStats sa, sb;
+    EXPECT_EQ(serial.RangeSearch(q, 0.5, &sa), parallel.RangeSearch(q, 0.5, &sb));
+    EXPECT_EQ(sa.distance_computations, sb.distance_computations);
+    EXPECT_EQ(sa.nodes_visited, sb.nodes_visited);
+  }
+}
+
+TEST(ShardedIndexTest, ParallelSearchEqualsSerialSearch) {
+  const auto data = dataset::UniformVectors(3000, 8, 99);
+  const auto queries = dataset::UniformQueryVectors(10, 8, 111);
+  ThreadPool pool(4);
+  const Sharded sharded = BuildSharded(data, 4, &pool);
+  for (const auto& q : queries) {
+    SearchStats serial_stats, parallel_stats;
+    const auto serial = sharded.RangeSearch(q, 0.5, &serial_stats);
+    const auto parallel = sharded.RangeSearch(q, 0.5, &parallel_stats, &pool);
+    EXPECT_EQ(parallel, serial);
+    EXPECT_EQ(parallel_stats.distance_computations,
+              serial_stats.distance_computations);
+    EXPECT_EQ(sharded.KnnSearch(q, 20, nullptr, &pool),
+              sharded.KnnSearch(q, 20));
+  }
+}
+
+TEST(ShardedIndexTest, GlobalIdsSurviveSharding) {
+  // Ids in results must be positions in the ORIGINAL input vector.
+  const auto data = dataset::UniformVectors(500, 6, 13);
+  const Sharded sharded = BuildSharded(data, 3);
+  const auto hits = sharded.KnnSearch(data[123], 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 123u);
+  EXPECT_EQ(hits[0].distance, 0.0);
+}
+
+TEST(ShardedIndexTest, EmptyDatasetIsValid) {
+  const Sharded sharded = BuildSharded({}, 4);
+  EXPECT_EQ(sharded.size(), 0u);
+  EXPECT_TRUE(sharded.RangeSearch(Vector{0.5, 0.5}, 10.0).empty());
+  EXPECT_TRUE(sharded.KnnSearch(Vector{0.5, 0.5}, 3).empty());
+}
+
+TEST(ShardedIndexTest, MoreShardsThanPoints) {
+  const auto data = dataset::UniformVectors(5, 4, 3);
+  const Sharded sharded = BuildSharded(data, 8);
+  const auto plain = Plain::Build(data, L2(), {}).ValueOrDie();
+  const Vector q(4, 0.5);
+  EXPECT_EQ(sharded.KnnSearch(q, 5), plain.KnnSearch(q, 5));
+  EXPECT_EQ(sharded.RangeSearch(q, 2.0), plain.RangeSearch(q, 2.0));
+}
+
+TEST(ShardedIndexTest, ZeroShardsRejected) {
+  Sharded::Options options;
+  options.num_shards = 0;
+  const auto built = Sharded::Build(dataset::UniformVectors(10, 4, 1), L2(),
+                                    options);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedIndexTest, SearchStatsAccumulateAcrossShards) {
+  const auto data = dataset::UniformVectors(2000, 8, 31);
+  const Sharded sharded = BuildSharded(data, 4);
+  SearchStats stats;
+  (void)sharded.RangeSearch(Vector(8, 0.5), 0.5, &stats);
+  EXPECT_GT(stats.distance_computations, 0u);
+  EXPECT_GT(stats.nodes_visited, 0u);
+  // Four shards were all consulted: at least one node per shard.
+  EXPECT_GE(stats.nodes_visited, 4u);
+}
+
+}  // namespace
+}  // namespace mvp::serve

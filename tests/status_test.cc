@@ -21,6 +21,10 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
   EXPECT_EQ(Status::IOError("m").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Corruption("m").code(), StatusCode::kCorruption);
   EXPECT_EQ(Status::NotSupported("m").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::DeadlineExceeded("m").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_NE(Status::DeadlineExceeded("m").ToString().find("deadline"),
+            std::string::npos);
   Status s = Status::Corruption("bad bytes");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.message(), "bad bytes");

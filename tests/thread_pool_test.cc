@@ -1,0 +1,177 @@
+// Unit tests for the serving layer's worker pool: completion and result
+// delivery, behaviour under submitter contention, exception propagation
+// through futures, bounded-queue backpressure, helping via RunOne, and the
+// drain-on-shutdown guarantee.
+
+#include "serve/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mvp::serve {
+namespace {
+
+// Reusable gate: lets a test park the pool's workers on purpose.
+class Gate {
+ public:
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(ThreadPoolTest, SubmittedTasksRunAndReturnValues) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, EveryTaskRunsExactlyOnceUnderContention) {
+  // Several submitter threads race several workers over one bounded queue;
+  // each task must run exactly once — no losses, no duplicates.
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksEach = 200;
+  ThreadPool pool(ThreadPool::Options{3, 16});  // small queue: real pressure
+  std::vector<std::atomic<int>> runs(kSubmitters * kTasksEach);
+  for (auto& r : runs) r.store(0);
+
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int t = 0; t < kTasksEach; ++t) {
+        const int id = s * kTasksEach + t;
+        (void)pool.Submit([&runs, id] {
+          runs[static_cast<std::size_t>(id)].fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  pool.WaitIdle();
+  for (const auto& r : runs) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto bad = pool.Submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task keeps serving.
+  auto good = pool.Submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(ThreadPool::Options{1, 256});
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.Submit([&executed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        executed.fetch_add(1);
+      });
+    }
+    // Destructor (Shutdown) must complete every accepted task.
+  }
+  EXPECT_EQ(executed.load(), 50);
+}
+
+// Parks the pool's single worker inside a task and waits until the worker
+// has actually dequeued it, so the queue is empty when the test proceeds.
+std::future<void> ParkWorker(ThreadPool& pool, Gate& gate) {
+  std::promise<void> started;
+  std::future<void> running = started.get_future();
+  auto parked = pool.Submit([&gate, p = std::move(started)]() mutable {
+    p.set_value();
+    gate.Wait();
+  });
+  running.wait();
+  return parked;
+}
+
+TEST(ThreadPoolTest, TrySubmitRefusesWhenQueueFull) {
+  ThreadPool pool(ThreadPool::Options{1, 2});
+  Gate gate;
+  auto parked = ParkWorker(pool, gate);
+  // The worker is parked; fill the two queue slots.
+  ASSERT_TRUE(pool.TrySubmit([] {}));
+  ASSERT_TRUE(pool.TrySubmit([] {}));
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+  gate.Open();
+  parked.get();
+  pool.WaitIdle();
+  EXPECT_TRUE(pool.TrySubmit([] {}));
+  pool.WaitIdle();
+}
+
+TEST(ThreadPoolTest, SubmitBlocksUntilSpaceThenCompletes) {
+  ThreadPool pool(ThreadPool::Options{1, 1});
+  Gate gate;
+  std::atomic<int> done{0};
+  auto parked = ParkWorker(pool, gate);
+  (void)pool.Submit([&done] { done.fetch_add(1); });  // fills the queue
+  // This submission must wait for queue space, then still execute.
+  std::thread submitter([&] {
+    (void)pool.Submit([&done] { done.fetch_add(1); });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  gate.Open();
+  submitter.join();
+  parked.get();
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(ThreadPoolTest, RunOneExecutesPendingTaskOnCallingThread) {
+  ThreadPool pool(ThreadPool::Options{1, 8});
+  Gate gate;
+  auto parked = ParkWorker(pool, gate);
+  const std::thread::id main_id = std::this_thread::get_id();
+  std::thread::id ran_on{};
+  ASSERT_TRUE(pool.TrySubmit([&ran_on] { ran_on = std::this_thread::get_id(); }));
+  EXPECT_TRUE(pool.RunOne());
+  EXPECT_EQ(ran_on, main_id);
+  EXPECT_FALSE(pool.RunOne());  // nothing pending anymore
+  gate.Open();
+  parked.get();
+}
+
+TEST(ThreadPoolTest, WaitIdleObservesQuiescence) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i) {
+    (void)pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 64);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace mvp::serve

@@ -11,6 +11,10 @@
 //               [--samples N]    # pairwise distance histogram (Figs 4-5)
 //   mvpt validate --index index.mvpt --metric l1|l2|linf
 //                                # deep invariant check of a stored index
+//   mvpt serve-bench [--count N] [--dim D] [--seed S] [--shards K]
+//                    [--threads "1,2,4,8"] [--queries Q]
+//                    [--radius R | --knn K] [--timeout-ms T]
+//                                # concurrent-serving throughput/latency
 //   mvpt selftest          # end-to-end smoke test in a temp directory
 //
 // Text (edit-distance) mode: pass --type words to build/query/validate;
@@ -21,6 +25,7 @@
 // metric is not stored in the index file; pass the same --metric used at
 // build time when querying.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,8 +39,13 @@
 #include "core/mvp_tree.h"
 #include "dataset/histogram.h"
 #include "dataset/vector_gen.h"
+#include "harness/table.h"
 #include "metric/edit_distance.h"
 #include "metric/lp.h"
+#include "serve/executor.h"
+#include "serve/serve_stats.h"
+#include "serve/sharded_index.h"
+#include "serve/thread_pool.h"
 
 namespace mvp::tools {
 namespace {
@@ -73,8 +83,8 @@ int Fail(const std::string& message) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mvpt gen|build|stats|query|hist|validate|selftest "
-               "[--key value ...]\n"
+               "usage: mvpt gen|build|stats|query|hist|validate|serve-bench|"
+               "selftest [--key value ...]\n"
                "see the header of tools/mvpt_cli.cc for full syntax\n");
   return 2;
 }
@@ -408,6 +418,130 @@ int RunStats(const Args& args) {
   return 0;
 }
 
+// ---- serve-bench -----------------------------------------------------------
+
+std::vector<std::size_t> ParseThreadList(const std::string& spec) {
+  std::vector<std::size_t> threads;
+  const char* p = spec.c_str();
+  char* end = nullptr;
+  while (*p != '\0') {
+    const long value = std::strtol(p, &end, 10);
+    if (end == p) break;
+    if (value > 0) threads.push_back(static_cast<std::size_t>(value));
+    p = end;
+    while (*p == ',' || *p == ' ') ++p;
+  }
+  return threads;
+}
+
+/// Throughput/latency benchmark for the serving layer: builds an unsharded
+/// baseline tree and a sharded index over the same data, replays one batch
+/// of queries serially (the baseline) and then on pools of increasing
+/// size, checking every configuration returns bit-identical results.
+int RunServeBench(const Args& args) {
+  const auto count = static_cast<std::size_t>(args.GetInt("count", 20000));
+  const auto dim = static_cast<std::size_t>(args.GetInt("dim", 20));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 42));
+  const auto shards = static_cast<std::size_t>(args.GetInt("shards", 4));
+  const auto num_queries =
+      static_cast<std::size_t>(args.GetInt("queries", 200));
+  const auto timeout_ms = args.GetInt("timeout-ms", 0);  // 0: no deadline
+  const std::vector<std::size_t> thread_counts =
+      ParseThreadList(args.Get("threads", "1,2,4,8"));
+  if (thread_counts.empty()) return Fail("--threads needs e.g. \"1,2,4\"");
+
+  const auto data = dataset::UniformVectors(count, dim, seed);
+  const auto query_points =
+      dataset::UniformQueryVectors(num_queries, dim, seed + 1);
+  std::vector<serve::BatchQuery<Vector>> batch;
+  for (const auto& q : query_points) {
+    serve::BatchQuery<Vector> bq;
+    bq.object = q;
+    if (args.Has("knn")) {
+      bq.kind = serve::BatchQuery<Vector>::Kind::kKnn;
+      bq.k = static_cast<std::size_t>(args.GetInt("knn", 10));
+    } else {
+      bq.radius = args.GetDouble("radius", 0.3);
+    }
+    if (timeout_ms > 0) bq.timeout = std::chrono::milliseconds(timeout_ms);
+    batch.push_back(bq);
+  }
+
+  serve::ThreadPool build_pool(
+      thread_counts.back() > 1 ? thread_counts.back() : 2);
+  serve::ShardedMvpIndex<Vector, metric::L2>::Options options;
+  options.num_shards = shards;
+  auto sharded = serve::ShardedMvpIndex<Vector, metric::L2>::Build(
+      data, metric::L2(), options, &build_pool);
+  if (!sharded.ok()) return Fail(sharded.status().ToString());
+  auto plain = TreeL2::Build(data, metric::L2(), {});
+  if (!plain.ok()) return Fail(plain.status().ToString());
+
+  harness::PrintFigureHeader(
+      std::cout, "serve-bench",
+      "concurrent serving: batch throughput and tail latency",
+      std::to_string(count) + " uniform " + std::to_string(dim) +
+          "-d vectors, L2, " + std::to_string(shards) + " shards, " +
+          std::to_string(batch.size()) + " queries/batch");
+
+  // Baseline: unsharded tree, serial executor on the calling thread.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto baseline = serve::RunBatch(plain.value(), batch,
+                                        /*pool=*/nullptr);
+  const double base_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+
+  harness::Table table({"config", "threads", "wall_ms", "qps", "speedup",
+                        "p50_us", "p95_us", "p99_us", "shed"});
+  table.AddRow({"unsharded-serial", "1", harness::FormatDouble(base_ms, 1),
+                harness::FormatDouble(1000.0 * static_cast<double>(batch.size()) /
+                                          base_ms,
+                                      0),
+                "1.0", "-", "-", "-", "0"});
+
+  bool all_match = true;
+  for (const std::size_t threads : thread_counts) {
+    serve::ThreadPool pool(threads);
+    serve::ServeStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    const auto outcomes = serve::RunBatch(sharded.value(), batch, &pool,
+                                          &stats);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    const auto snap = stats.Snapshot();
+    // Every configuration must return exactly the baseline's results
+    // (unless a deadline was requested, which may legitimately shed).
+    if (timeout_ms <= 0) {
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].status.ok() ||
+            outcomes[i].neighbors != baseline[i].neighbors) {
+          all_match = false;
+        }
+      }
+    }
+    table.AddRow(
+        {"sharded", std::to_string(threads),
+         harness::FormatDouble(wall_ms, 1),
+         harness::FormatDouble(
+             1000.0 * static_cast<double>(batch.size()) / wall_ms, 0),
+         harness::FormatDouble(base_ms / wall_ms, 2),
+         harness::FormatDouble(static_cast<double>(snap.p50.count()) / 1e3, 0),
+         harness::FormatDouble(static_cast<double>(snap.p95.count()) / 1e3, 0),
+         harness::FormatDouble(static_cast<double>(snap.p99.count()) / 1e3, 0),
+         std::to_string(snap.deadline_exceeded)});
+  }
+  std::cout << table.ToText();
+  if (timeout_ms <= 0) {
+    std::printf("results identical across all configurations: %s\n",
+                all_match ? "yes" : "NO (BUG)");
+    if (!all_match) return 1;
+  }
+  return 0;
+}
+
 int RunSelfTest() {
   const std::string dir = std::getenv("TMPDIR") != nullptr
                               ? std::string(std::getenv("TMPDIR"))
@@ -477,6 +611,7 @@ int Main(int argc, char** argv) {
   if (args.command == "hist") return RunHist(args);
   if (args.command == "validate") return RunValidate(args);
   if (args.command == "query") return RunQuery(args);
+  if (args.command == "serve-bench") return RunServeBench(args);
   if (args.command == "selftest") return RunSelfTest();
   return Usage();
 }
