@@ -1,0 +1,141 @@
+// Extension: snapshot store. Measures the snapshot/ subsystem on the
+// paper's §5.1.A workload (uniform 20-d vectors, L2): save throughput of
+// the checksummed container, load (mmap + parallel shard deserialization,
+// all CRCs verified) versus rebuilding from raw vectors, and the
+// time-to-first-query a server pays cold (build) versus warm (snapshot) —
+// across shard counts. Every loaded index is checked to return results
+// bit-identical to the index that was saved.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/figure_common.h"
+#include "common/codec.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "serve/sharded_index.h"
+#include "serve/thread_pool.h"
+#include "snapshot/snapshot_store.h"
+
+namespace mvp::bench {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+using Sharded = serve::ShardedMvpIndex<Vector, L2>;
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string BenchDir() {
+  const char* tmp = std::getenv("TMPDIR");
+  return (tmp != nullptr ? std::string(tmp) : std::string("/tmp")) +
+         "/mvpt_ext_snapshot";
+}
+
+int Run() {
+  const std::size_t n = QuickMode() ? 5000 : 50000;
+  const std::size_t dim = 20;
+  harness::PrintFigureHeader(
+      std::cout, "Extension: snapshot store",
+      "checksummed snapshot save/load vs rebuild, and cold vs warm start",
+      std::to_string(n) + " uniform " + std::to_string(dim) +
+          "-d vectors, L2, CRC32C verified on every load" +
+          (QuickMode() ? "  (quick mode)" : ""));
+
+  const auto data = dataset::UniformVectors(n, dim, 4242);
+  const auto query = dataset::UniformQueryVectors(1, dim, 777)[0];
+  const double radius = 0.3;
+  serve::ThreadPool pool(4);
+
+  harness::Table table({"shards", "file_mb", "save_ms", "save_mb_s",
+                        "load_ms", "rebuild_ms", "load_speedup",
+                        "ttfq_cold_ms", "ttfq_warm_ms"});
+  bool all_match = true;
+
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    const std::string dir = BenchDir() + "/k" + std::to_string(shards);
+    std::filesystem::remove_all(dir);
+    snapshot::SnapshotStore store(dir);
+
+    Sharded::Options options;
+    options.num_shards = shards;
+
+    // Cold start: build from raw vectors, answer one query.
+    const auto build_t0 = Clock::now();
+    const Sharded built =
+        Sharded::Build(data, L2(), options, &pool).ValueOrDie();
+    const double build_ms = MillisSince(build_t0);
+    const auto cold_q0 = Clock::now();
+    const auto cold_hits = built.RangeSearch(query, radius);
+    const double cold_query_ms = MillisSince(cold_q0);
+
+    // Save throughput (container + manifest + commit, fsync included).
+    const auto save_t0 = Clock::now();
+    const auto gen = store.SaveSharded(built, VectorCodec()).ValueOrDie();
+    const double save_ms = MillisSince(save_t0);
+    const auto container_bytes = std::filesystem::file_size(
+        store.GenerationDir(gen) + "/" +
+        snapshot::SnapshotStore::kContainerFile);
+    const double mb = static_cast<double>(container_bytes) / (1024.0 * 1024.0);
+
+    // Warm start: mmap + parallel deserialization + CRC verification.
+    const auto load_t0 = Clock::now();
+    auto loaded = store.LoadSharded<Vector>(L2(), VectorCodec(), &pool);
+    const double load_ms = MillisSince(load_t0);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    const auto warm_q0 = Clock::now();
+    const auto warm_hits = loaded.value().index.RangeSearch(query, radius);
+    const double warm_query_ms = MillisSince(warm_q0);
+
+    // Rebuild-from-scratch comparison point (what a server without
+    // snapshots pays on every restart).
+    const auto rebuild_t0 = Clock::now();
+    const Sharded rebuilt =
+        Sharded::Build(data, L2(), options, &pool).ValueOrDie();
+    const double rebuild_ms = MillisSince(rebuild_t0);
+    (void)rebuilt;
+
+    if (warm_hits.size() != cold_hits.size()) all_match = false;
+    for (std::size_t i = 0; i < warm_hits.size() && all_match; ++i) {
+      if (warm_hits[i].id != cold_hits[i].id ||
+          warm_hits[i].distance != cold_hits[i].distance) {
+        all_match = false;
+      }
+    }
+
+    table.AddRow({std::to_string(shards), harness::FormatDouble(mb, 1),
+                  harness::FormatDouble(save_ms, 1),
+                  harness::FormatDouble(mb / (save_ms / 1000.0), 0),
+                  harness::FormatDouble(load_ms, 1),
+                  harness::FormatDouble(rebuild_ms, 1),
+                  harness::FormatDouble(rebuild_ms / load_ms, 1),
+                  harness::FormatDouble(build_ms + cold_query_ms, 1),
+                  harness::FormatDouble(load_ms + warm_query_ms, 1)});
+    std::filesystem::remove_all(dir);
+  }
+
+  std::cout << table.ToText();
+  std::printf("loaded results bit-identical to the saved index: %s\n",
+              all_match ? "yes" : "NO (BUG)");
+  std::filesystem::remove_all(BenchDir());
+  return all_match ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mvp::bench
+
+int main() { return mvp::bench::Run(); }

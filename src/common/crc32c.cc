@@ -1,0 +1,66 @@
+#include "common/crc32c.h"
+
+namespace mvp {
+namespace {
+
+/// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+/// Eight lookup tables for slice-by-8: table[0] is the classic byte-wise
+/// CRC table; table[k][b] is the CRC of byte b followed by k zero bytes.
+struct Tables {
+  std::uint32_t t[8][256];
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) != 0 ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xffu];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables instance;
+  return instance;
+}
+
+}  // namespace
+
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t size) {
+  const auto& tab = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (size >= 8) {
+    // Fold 8 bytes at once; byte-order independent (explicit shifts).
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    crc = tab.t[7][lo & 0xffu] ^ tab.t[6][(lo >> 8) & 0xffu] ^
+          tab.t[5][(lo >> 16) & 0xffu] ^ tab.t[4][lo >> 24] ^
+          tab.t[3][p[4]] ^ tab.t[2][p[5]] ^ tab.t[1][p[6]] ^ tab.t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p) & 0xffu];
+    ++p;
+    --size;
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32c(const void* data, std::size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+
+}  // namespace mvp

@@ -2,6 +2,11 @@
 
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace mvp {
 
 Status BinaryReader::ReadString(std::string* out) {
@@ -29,6 +34,70 @@ Status WriteFile(const std::string& path,
   }
   return Status::OK();
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+/// fsyncs the directory containing `path` so a just-performed rename in it
+/// survives a crash. Best-effort: some filesystems reject directory fsync.
+void SyncParentDirectory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError("cannot open for write: " + tmp);
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return Status::IOError("write failed: " + tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // Data must be on stable storage BEFORE the rename publishes the file;
+  // otherwise a crash could leave a renamed-but-empty file.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("fsync/close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename failed: " + path);
+  }
+  SyncParentDirectory(path);
+  return Status::OK();
+}
+
+#else  // no POSIX fsync: best-effort write + rename
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  MVP_RETURN_NOT_OK(WriteFile(tmp, bytes));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename failed: " + path);
+  }
+  return Status::OK();
+}
+
+#endif
 
 Result<std::vector<std::uint8_t>> ReadFile(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");

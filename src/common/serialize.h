@@ -77,16 +77,27 @@ class BinaryReader {
 
   Status ReadString(std::string* out);
 
+  /// Reads the u64 length prefix of a sequence of `element_size`-byte items
+  /// and validates it against the remaining buffer BEFORE the caller
+  /// allocates anything: an adversarial length near SIZE_MAX fails here as
+  /// Corruption instead of triggering a multi-gigabyte resize. The check
+  /// divides rather than multiplies, so it cannot itself overflow.
+  Status ReadLengthPrefix(std::size_t element_size, std::uint64_t* count) {
+    MVP_DCHECK(element_size > 0);
+    MVP_RETURN_NOT_OK(Read<std::uint64_t>(count));
+    if (*count > (size_ - pos_) / element_size) {
+      return Status::Corruption("length prefix exceeds remaining buffer");
+    }
+    return Status::OK();
+  }
+
   /// Reads a length-prefixed vector; rejects lengths that exceed the
   /// remaining buffer (corruption guard against huge bogus allocations).
   template <typename T>
   Status ReadVector(std::vector<T>* out) {
     static_assert(std::is_arithmetic_v<T>);
     std::uint64_t count = 0;
-    MVP_RETURN_NOT_OK(Read<std::uint64_t>(&count));
-    if (count > (size_ - pos_) / sizeof(T)) {
-      return Status::Corruption("vector length exceeds remaining buffer");
-    }
+    MVP_RETURN_NOT_OK(ReadLengthPrefix(sizeof(T), &count));
     out->resize(static_cast<std::size_t>(count));
     for (auto& v : *out) MVP_RETURN_NOT_OK(Read<T>(&v));
     return Status::OK();
@@ -102,9 +113,18 @@ class BinaryReader {
   std::size_t pos_ = 0;
 };
 
-/// Writes `bytes` to `path` atomically enough for tests (tmp+rename omitted:
-/// plain write, fsync-free; the index formats carry their own checksums).
+/// Writes `bytes` to `path` directly (no tmp+rename, no fsync) — fine for
+/// scratch outputs whose loss on crash is acceptable. Durable multi-file
+/// artifacts (the snapshot store) use WriteFileAtomic instead.
 Status WriteFile(const std::string& path, const std::vector<std::uint8_t>& bytes);
+
+/// Crash-safe write: writes to `path + ".tmp"`, flushes the data to stable
+/// storage (fsync), atomically renames over `path`, then fsyncs the parent
+/// directory so the rename itself is durable. A kill at any point leaves
+/// either the previous file or the complete new one — never a torn mix.
+/// On platforms without POSIX fsync this degrades to write + rename.
+Status WriteFileAtomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
 
 /// Reads the whole file at `path`.
 Result<std::vector<std::uint8_t>> ReadFile(const std::string& path);

@@ -147,6 +147,10 @@ class MvpForest {
 
   std::size_t size() const { return live_count_; }
 
+  /// The construction/merge parameters this forest runs with (the snapshot
+  /// manifest records the static-tree options so a load can validate them).
+  const Options& options() const { return options_; }
+
   /// Ids issued and later erased (whether or not physically dropped yet).
   std::size_t tombstone_count() const { return state_.size() - live_count_; }
 

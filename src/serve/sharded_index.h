@@ -57,6 +57,21 @@ class ShardedMvpIndex {
     typename Tree::Options tree;
   };
 
+  /// The parameters the index was built with, flattened for recording in a
+  /// snapshot manifest (and for validating a loaded snapshot against what
+  /// its manifest claims — a mismatch means the bytes would deserialize
+  /// into a structurally different index than the one saved).
+  struct BuildParams {
+    std::size_t num_shards = 0;
+    int order = 0;
+    int leaf_capacity = 0;
+    int num_path_distances = 0;
+    std::uint64_t seed = 0;  ///< base seed; shard s used seed + s
+    bool store_exact_bounds = false;
+
+    friend bool operator==(const BuildParams&, const BuildParams&) = default;
+  };
+
   /// Partitions `objects` round-robin over the shards (global id g lands in
   /// shard g % K) and builds the shard trees — in parallel on `pool` when
   /// one is given, serially otherwise. The result is identical either way.
@@ -92,7 +107,7 @@ class ShardedMvpIndex {
     if (pool == nullptr || k == 1) {
       for (std::size_t s = 0; s < k; ++s) build_shard(s);
     } else {
-      RunAll(*pool, k, build_shard);
+      ParallelFor(*pool, k, build_shard);
     }
 
     index.shards_.reserve(k);
@@ -141,6 +156,66 @@ class ShardedMvpIndex {
     return shards_[s]->tree;
   }
 
+  /// Shard s's local-id -> global-id map (round-robin: entry i is the
+  /// global id of the i-th object handed to shard s's tree). The snapshot
+  /// writer persists this next to each shard tree.
+  const std::vector<std::size_t>& shard_global_ids(std::size_t s) const {
+    MVP_DCHECK(s < shards_.size());
+    return shards_[s]->global_ids;
+  }
+
+  BuildParams build_params() const {
+    BuildParams params;
+    params.num_shards = options_.num_shards;
+    params.order = options_.tree.order;
+    params.leaf_capacity = options_.tree.leaf_capacity;
+    params.num_path_distances = options_.tree.num_path_distances;
+    params.seed = options_.tree.seed;
+    params.store_exact_bounds = options_.tree.store_exact_bounds;
+    return params;
+  }
+
+  /// Reassembles an index from deserialized shard trees and their global-id
+  /// maps (the inverse of per-shard serialization). Validates the
+  /// round-robin partition invariant — shard s holds exactly the global
+  /// ids congruent to s mod K, each id exactly once — so a snapshot whose
+  /// chunks were reordered, dropped, or truncated is rejected as
+  /// Corruption instead of producing an index with silently wrong ids.
+  static Result<ShardedMvpIndex> Restore(
+      const Options& options,
+      std::vector<std::pair<Tree, std::vector<std::size_t>>> parts) {
+    const std::size_t k = options.num_shards;
+    if (k < 1 || parts.size() != k) {
+      return Status::Corruption("shard count mismatches restore options");
+    }
+    std::size_t total = 0;
+    for (const auto& [tree, ids] : parts) {
+      if (tree.size() != ids.size()) {
+        return Status::Corruption("shard tree size mismatches its id map");
+      }
+      total += ids.size();
+    }
+    std::vector<bool> seen(total, false);
+    for (std::size_t s = 0; s < k; ++s) {
+      for (const std::size_t id : parts[s].second) {
+        if (id >= total || id % k != s || seen[id]) {
+          return Status::Corruption("shard id map violates the round-robin "
+                                    "partition invariant");
+        }
+        seen[id] = true;
+      }
+    }
+    ShardedMvpIndex index;
+    index.options_ = options;
+    index.size_ = total;
+    index.shards_.reserve(k);
+    for (auto& [tree, ids] : parts) {
+      index.shards_.push_back(std::make_unique<Shard>(
+          Shard{std::move(tree), std::move(ids)}));
+    }
+    return index;
+  }
+
   /// Aggregated structural statistics (construction distances sum over
   /// shards; height is the tallest shard's).
   TreeStats Stats() const {
@@ -166,33 +241,6 @@ class ShardedMvpIndex {
 
   ShardedMvpIndex() = default;
 
-  /// Runs fn(0..count-1) across the pool, the calling thread running what
-  /// the queue refuses and helping via RunOne while it waits, so this is
-  /// safe to call from inside a pool task (nested fan-out cannot deadlock:
-  /// waiters drain the queue). `fn` must not throw. A task's final access
-  /// to the captured state is the release increment of `done`, so once the
-  /// acquire load observes all offloaded tasks the stack state is free.
-  template <typename Fn>
-  static void RunAll(ThreadPool& pool, std::size_t count, Fn&& fn) {
-    std::atomic<std::size_t> done{0};
-    std::size_t offloaded = 0;
-    for (std::size_t i = 1; i < count; ++i) {
-      const bool queued = pool.TrySubmit([&fn, &done, i] {
-        fn(i);
-        done.fetch_add(1, std::memory_order_release);
-      });
-      if (queued) {
-        ++offloaded;
-      } else {
-        fn(i);
-      }
-    }
-    fn(0);
-    while (done.load(std::memory_order_acquire) < offloaded) {
-      if (!pool.RunOne()) std::this_thread::yield();
-    }
-  }
-
   /// Runs `search` over every shard, translates local ids to global ids,
   /// and concatenates the results. Parallel shard searches propagate the
   /// caller's cancellation context onto the worker threads, so a deadline
@@ -213,7 +261,7 @@ class ShardedMvpIndex {
     } else {
       const CancelContext context = CancelScope::Current();
       std::atomic<bool> cancelled{false};
-      RunAll(*pool, k, [&](std::size_t s) {
+      ParallelFor(*pool, k, [&](std::size_t s) {
         CancelScope scope(context);
         try {
           hits[s] = search(*shards_[s], stats != nullptr ? &shard_stats[s]

@@ -1,6 +1,7 @@
 #ifndef MVPTREE_SERVE_THREAD_POOL_H_
 #define MVPTREE_SERVE_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -216,6 +217,36 @@ class ThreadPool {
   std::size_t next_queue_ = 0;
   bool stopping_ = false;
 };
+
+/// Runs fn(0..count-1) across the pool, the calling thread running what
+/// the queue refuses and helping via RunOne while it waits, so this is
+/// safe to call from inside a pool task (nested fan-out cannot deadlock:
+/// waiters drain the queue). `fn` must not throw. A task's final access
+/// to the captured state is the release increment of `done`, so once the
+/// acquire load observes all offloaded tasks the stack state is free.
+/// Used by ShardedMvpIndex (parallel build / fan-out search) and the
+/// snapshot loader (parallel shard deserialization).
+template <typename Fn>
+void ParallelFor(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  if (count == 0) return;
+  std::atomic<std::size_t> done{0};
+  std::size_t offloaded = 0;
+  for (std::size_t i = 1; i < count; ++i) {
+    const bool queued = pool.TrySubmit([&fn, &done, i] {
+      fn(i);
+      done.fetch_add(1, std::memory_order_release);
+    });
+    if (queued) {
+      ++offloaded;
+    } else {
+      fn(i);
+    }
+  }
+  fn(0);
+  while (done.load(std::memory_order_acquire) < offloaded) {
+    if (!pool.RunOne()) std::this_thread::yield();
+  }
+}
 
 }  // namespace mvp::serve
 

@@ -1,0 +1,110 @@
+#ifndef MVPTREE_SNAPSHOT_ASYNC_LOADER_H_
+#define MVPTREE_SNAPSHOT_ASYNC_LOADER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <utility>
+
+#include "common/status.h"
+#include "serve/sharded_index.h"
+#include "serve/thread_pool.h"
+#include "snapshot/snapshot_store.h"
+
+/// \file
+/// Hot-swap snapshot loading: bring a new index generation up behind the
+/// serving path, then publish it with one atomic pointer swap.
+///
+/// The serving side holds a GenerationCell and does `cell.Get()` once per
+/// query — an atomic shared_ptr load, no lock, no reader registration. The
+/// loading side deserializes the whole snapshot off to the side (on the
+/// serve pool, shards in parallel) while queries keep running against the
+/// old generation, and only when the new index is fully built does
+/// Publish() swap the pointer. This is the RCU discipline with shared_ptr
+/// as the grace period: in-flight queries that grabbed the old generation
+/// keep it alive through their own reference; the last one out frees it.
+/// No query ever observes a half-loaded index, and no query ever waits on
+/// a loader.
+
+namespace mvp::snapshot {
+
+/// An atomically swappable, versioned reference to the live index
+/// generation. Readers call Get() (wait-free on the lock-free shared_ptr
+/// implementations; never blocked by writers on any); the loader calls
+/// Publish(). `version()` counts publishes, so a caller can observe "a
+/// swap happened" without comparing pointers.
+template <typename Index>
+class GenerationCell {
+ public:
+  GenerationCell() = default;
+  explicit GenerationCell(std::shared_ptr<const Index> initial) {
+    Publish(std::move(initial));
+  }
+
+  GenerationCell(const GenerationCell&) = delete;
+  GenerationCell& operator=(const GenerationCell&) = delete;
+
+  /// The current generation (may be null before the first Publish). The
+  /// returned shared_ptr keeps the generation alive for as long as the
+  /// query holds it, even across a concurrent Publish.
+  std::shared_ptr<const Index> Get() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Atomically replaces the live generation. The old generation is freed
+  /// when its last in-flight reader drops it.
+  void Publish(std::shared_ptr<const Index> next) {
+    current_.store(std::move(next), std::memory_order_release);
+    version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Number of Publish() calls so far.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const Index>> current_{nullptr};
+  std::atomic<std::uint64_t> version_{0};
+};
+
+/// Loads snapshots on a ThreadPool and publishes them into a
+/// GenerationCell. The returned future resolves to the load's Status; on
+/// error nothing is published and the old generation keeps serving.
+class AsyncSnapshotLoader {
+ public:
+  explicit AsyncSnapshotLoader(serve::ThreadPool* pool) : pool_(pool) {
+    MVP_DCHECK(pool != nullptr);
+  }
+
+  /// Asynchronously loads `store`'s committed sharded-index generation and
+  /// publishes it into `cell` on success. Shard deserialization itself
+  /// also fans out across the pool (ParallelFor's helping protocol makes
+  /// the nested fan-out deadlock-free). `cell` must outlive the returned
+  /// future's completion.
+  template <typename Object, metric::MetricFor<Object> Metric,
+            CodecFor<Object> Codec>
+  std::future<Status> LoadAndSwap(
+      SnapshotStore store, Metric metric, Codec codec,
+      GenerationCell<serve::ShardedMvpIndex<Object, Metric>>* cell) {
+    MVP_DCHECK(cell != nullptr);
+    serve::ThreadPool* pool = pool_;
+    return pool_->Submit([store = std::move(store), metric = std::move(metric),
+                          codec = std::move(codec), cell, pool]() -> Status {
+      auto loaded = store.template LoadSharded<Object>(metric, codec, pool);
+      if (!loaded.ok()) return loaded.status();
+      using Index = serve::ShardedMvpIndex<Object, Metric>;
+      cell->Publish(std::make_shared<const Index>(
+          std::move(loaded).ValueOrDie().index));
+      return Status::OK();
+    });
+  }
+
+ private:
+  serve::ThreadPool* pool_;
+};
+
+}  // namespace mvp::snapshot
+
+#endif  // MVPTREE_SNAPSHOT_ASYNC_LOADER_H_

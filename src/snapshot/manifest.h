@@ -1,0 +1,126 @@
+#ifndef MVPTREE_SNAPSHOT_MANIFEST_H_
+#define MVPTREE_SNAPSHOT_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "common/serialize.h"
+#include "common/status.h"
+
+/// \file
+/// The snapshot manifest: a small self-checksummed file describing what the
+/// container next to it holds — which index kind, how many objects, the
+/// exact build parameters, and a fingerprint binding it to the container's
+/// bytes. Recording the build parameters here is what lets the load path
+/// VALIDATE them against the deserialized index instead of silently
+/// mis-deserializing when a snapshot is paired with the wrong options (the
+/// container stream itself would happily parse under many parameter
+/// combinations).
+
+namespace mvp::snapshot {
+
+inline constexpr std::uint32_t kManifestMagic = 0x4d50564d;  // "MVPM"
+inline constexpr std::uint32_t kManifestVersion = 1;
+
+/// Index kinds a snapshot can hold.
+enum class IndexKind : std::uint8_t {
+  kShardedMvpIndex = 1,
+  kMvpForest = 2,
+};
+
+/// Fingerprint of a container file: CRC32C of all its bytes in the high
+/// word, low 32 bits of its length in the low word. Cheap to recompute at
+/// load time and collision-resistant enough to catch a manifest paired
+/// with the wrong (or regenerated) container.
+inline std::uint64_t ContainerFingerprint(const std::uint8_t* data,
+                                          std::size_t size) {
+  return static_cast<std::uint64_t>(Crc32c(data, size)) << 32 |
+         static_cast<std::uint64_t>(size & 0xffffffffu);
+}
+
+struct SnapshotManifest {
+  IndexKind index_kind = IndexKind::kShardedMvpIndex;
+  std::uint64_t object_count = 0;
+  std::uint64_t num_chunks = 0;
+  std::uint64_t payload_bytes = 0;  ///< container file size
+  std::uint64_t dataset_fingerprint = 0;  ///< ContainerFingerprint(container)
+
+  // Build parameters, recorded for validation on load. For a forest these
+  // describe its static-tree options (num_shards is unused and zero).
+  std::uint64_t num_shards = 0;
+  std::int32_t order = 0;
+  std::int32_t leaf_capacity = 0;
+  std::int32_t num_path_distances = 0;
+  std::uint64_t seed = 0;
+  std::uint8_t store_exact_bounds = 0;
+
+  std::vector<std::uint8_t> Serialize() const {
+    BinaryWriter writer;
+    writer.Write<std::uint32_t>(kManifestMagic);
+    writer.Write<std::uint32_t>(kManifestVersion);
+    writer.Write<std::uint8_t>(static_cast<std::uint8_t>(index_kind));
+    writer.Write<std::uint64_t>(object_count);
+    writer.Write<std::uint64_t>(num_chunks);
+    writer.Write<std::uint64_t>(payload_bytes);
+    writer.Write<std::uint64_t>(dataset_fingerprint);
+    writer.Write<std::uint64_t>(num_shards);
+    writer.Write<std::int32_t>(order);
+    writer.Write<std::int32_t>(leaf_capacity);
+    writer.Write<std::int32_t>(num_path_distances);
+    writer.Write<std::uint64_t>(seed);
+    writer.Write<std::uint8_t>(store_exact_bounds);
+    writer.Write<std::uint32_t>(
+        Crc32c(writer.buffer().data(), writer.buffer().size()));
+    return std::move(writer).TakeBuffer();
+  }
+
+  static Result<SnapshotManifest> Parse(const std::vector<std::uint8_t>& bytes) {
+    if (bytes.size() < 4) {
+      return Status::Corruption("snapshot manifest truncated");
+    }
+    BinaryReader reader(bytes.data(), bytes.size());
+    std::uint32_t magic = 0, version = 0;
+    MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&magic));
+    if (magic != kManifestMagic) {
+      return Status::Corruption("bad snapshot manifest magic");
+    }
+    MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&version));
+    if (version != kManifestVersion) {
+      return Status::NotSupported("unknown snapshot manifest version " +
+                                  std::to_string(version));
+    }
+    SnapshotManifest manifest;
+    std::uint8_t kind = 0;
+    MVP_RETURN_NOT_OK(reader.Read<std::uint8_t>(&kind));
+    if (kind != static_cast<std::uint8_t>(IndexKind::kShardedMvpIndex) &&
+        kind != static_cast<std::uint8_t>(IndexKind::kMvpForest)) {
+      return Status::Corruption("unknown snapshot index kind");
+    }
+    manifest.index_kind = static_cast<IndexKind>(kind);
+    MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&manifest.object_count));
+    MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&manifest.num_chunks));
+    MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&manifest.payload_bytes));
+    MVP_RETURN_NOT_OK(
+        reader.Read<std::uint64_t>(&manifest.dataset_fingerprint));
+    MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&manifest.num_shards));
+    MVP_RETURN_NOT_OK(reader.Read<std::int32_t>(&manifest.order));
+    MVP_RETURN_NOT_OK(reader.Read<std::int32_t>(&manifest.leaf_capacity));
+    MVP_RETURN_NOT_OK(
+        reader.Read<std::int32_t>(&manifest.num_path_distances));
+    MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&manifest.seed));
+    MVP_RETURN_NOT_OK(reader.Read<std::uint8_t>(&manifest.store_exact_bounds));
+    const std::size_t body_end = reader.position();
+    std::uint32_t stored_crc = 0;
+    MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&stored_crc));
+    if (Crc32c(bytes.data(), body_end) != stored_crc) {
+      return Status::Corruption("snapshot manifest CRC mismatch");
+    }
+    return manifest;
+  }
+};
+
+}  // namespace mvp::snapshot
+
+#endif  // MVPTREE_SNAPSHOT_MANIFEST_H_

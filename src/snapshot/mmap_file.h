@@ -1,0 +1,114 @@
+#ifndef MVPTREE_SNAPSHOT_MMAP_FILE_H_
+#define MVPTREE_SNAPSHOT_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MVPTREE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define MVPTREE_HAS_MMAP 0
+#endif
+
+/// \file
+/// Read-only memory-mapped file for the snapshot load path.
+///
+/// Mapping the snapshot container instead of fread-ing it means the load
+/// path deserializes straight out of the page cache with zero intermediate
+/// copies of the payload, the kernel prefetches sequentially-scanned chunks
+/// (MADV_SEQUENTIAL), and N parallel shard loaders share one physical copy
+/// of the bytes. On platforms without mmap the class degrades to reading
+/// the file into an owned buffer — same interface, one extra copy.
+
+namespace mvp::snapshot {
+
+/// Move-only RAII view of a whole file's bytes.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. An empty file yields a valid zero-length view.
+  static Result<MmapFile> Open(const std::string& path) {
+#if MVPTREE_HAS_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IOError("cannot open for mmap: " + path);
+    struct ::stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return Status::IOError("fstat failed: " + path);
+    }
+    MmapFile file;
+    file.size_ = static_cast<std::size_t>(st.st_size);
+    if (file.size_ > 0) {
+      void* map = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (map == MAP_FAILED) {
+        ::close(fd);
+        return Status::IOError("mmap failed: " + path);
+      }
+      ::madvise(map, file.size_, MADV_SEQUENTIAL);
+      file.data_ = static_cast<const std::uint8_t*>(map);
+    }
+    // The mapping keeps the file alive; the descriptor is no longer needed.
+    ::close(fd);
+    return file;
+#else
+    auto bytes = ReadFile(path);
+    if (!bytes.ok()) return bytes.status();
+    MmapFile file;
+    file.fallback_ = std::move(bytes).ValueOrDie();
+    file.data_ = file.fallback_.data();
+    file.size_ = file.fallback_.size();
+    return file;
+#endif
+  }
+
+  MmapFile() = default;
+  ~MmapFile() { Reset(); }
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = other.data_;
+      size_ = other.size_;
+      fallback_ = std::move(other.fallback_);
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  void Reset() {
+#if MVPTREE_HAS_MMAP
+    if (data_ != nullptr) {
+      ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    }
+#endif
+    data_ = nullptr;
+    size_ = 0;
+    fallback_.clear();
+  }
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::vector<std::uint8_t> fallback_;  // non-mmap platforms only
+};
+
+}  // namespace mvp::snapshot
+
+#endif  // MVPTREE_SNAPSHOT_MMAP_FILE_H_

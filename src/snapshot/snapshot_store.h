@@ -1,0 +1,457 @@
+#ifndef MVPTREE_SNAPSHOT_SNAPSHOT_STORE_H_
+#define MVPTREE_SNAPSHOT_SNAPSHOT_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "dynamic/mvp_forest.h"
+#include "serve/sharded_index.h"
+#include "serve/thread_pool.h"
+#include "snapshot/format.h"
+#include "snapshot/manifest.h"
+#include "snapshot/mmap_file.h"
+
+/// \file
+/// Durable generational snapshot store for serving indexes.
+///
+/// Layout (docs/index_format.md has the byte-level formats):
+///
+///   <dir>/CURRENT            names the live generation ("gen-000007")
+///   <dir>/gen-000007/MANIFEST      self-checksummed metadata + build params
+///   <dir>/gen-000007/shards.mvps   chunked CRC32C container (one chunk per
+///                                  shard tree, or one forest stream)
+///
+/// Crash safety is the LevelDB/RocksDB discipline: every file is written
+/// via temp + fsync + atomic rename (WriteFileAtomic), and a generation
+/// becomes live only when CURRENT — itself swapped atomically, last — names
+/// it. A kill at ANY point therefore leaves the previous generation fully
+/// loadable: half-written files live in a generation directory nothing
+/// references yet, and stray `.tmp` files are ignored by the read path.
+///
+/// The read path mmaps the container and hands each shard loader a
+/// zero-copy span of the mapping, so parallel shard deserialization (on a
+/// serve::ThreadPool) shares one physical copy of the bytes and streams
+/// them straight from the page cache.
+
+namespace mvp::snapshot {
+
+/// A sharded index loaded from a snapshot, with its provenance.
+template <typename Object, metric::MetricFor<Object> Metric>
+struct LoadedSharded {
+  serve::ShardedMvpIndex<Object, Metric> index;
+  SnapshotManifest manifest;
+  std::uint64_t generation = 0;
+};
+
+/// A dynamic forest loaded from a snapshot, with its provenance.
+template <typename Object, metric::MetricFor<Object> Metric>
+struct LoadedForest {
+  dynamic::MvpForest<Object, Metric> forest;
+  SnapshotManifest manifest;
+  std::uint64_t generation = 0;
+};
+
+class SnapshotStore {
+ public:
+  static constexpr const char* kCurrentFile = "CURRENT";
+  static constexpr const char* kManifestFile = "MANIFEST";
+  static constexpr const char* kContainerFile = "shards.mvps";
+
+  explicit SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+
+  std::string GenerationDir(std::uint64_t gen) const {
+    return dir_ + "/" + GenerationName(gen);
+  }
+
+  /// The live generation number, or NotFound when the store is empty (no
+  /// committed CURRENT). A store directory that does not exist yet is
+  /// simply an empty store.
+  Result<std::uint64_t> CurrentGeneration() const {
+    auto bytes = ReadFile(dir_ + "/" + kCurrentFile);
+    if (!bytes.ok()) {
+      return Status::NotFound("snapshot store has no committed generation");
+    }
+    std::string name(bytes.value().begin(), bytes.value().end());
+    while (!name.empty() && (name.back() == '\n' || name.back() == '\r')) {
+      name.pop_back();
+    }
+    if (name.rfind("gen-", 0) != 0) {
+      return Status::Corruption("CURRENT does not name a generation");
+    }
+    std::uint64_t gen = 0;
+    for (std::size_t i = 4; i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        return Status::Corruption("CURRENT does not name a generation");
+      }
+      gen = gen * 10 + static_cast<std::uint64_t>(name[i] - '0');
+    }
+    return gen;
+  }
+
+  /// All generation directories present on disk (committed or orphaned),
+  /// ascending.
+  std::vector<std::uint64_t> ListGenerations() const {
+    std::vector<std::uint64_t> gens;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("gen-", 0) != 0) continue;
+      std::uint64_t gen = 0;
+      bool numeric = name.size() > 4;
+      for (std::size_t i = 4; i < name.size(); ++i) {
+        if (name[i] < '0' || name[i] > '9') {
+          numeric = false;
+          break;
+        }
+        gen = gen * 10 + static_cast<std::uint64_t>(name[i] - '0');
+      }
+      if (numeric) gens.push_back(gen);
+    }
+    std::sort(gens.begin(), gens.end());
+    return gens;
+  }
+
+  /// Deletes every generation directory except the committed one — old
+  /// generations and orphans from interrupted saves. Never touches the
+  /// live generation. Returns how many were removed.
+  std::size_t PruneStaleGenerations() {
+    const auto current = CurrentGeneration();
+    std::size_t removed = 0;
+    for (const std::uint64_t gen : ListGenerations()) {
+      if (current.ok() && gen == current.value()) continue;
+      std::error_code ec;
+      std::filesystem::remove_all(GenerationDir(gen), ec);
+      if (!ec) ++removed;
+    }
+    return removed;
+  }
+
+  // ---- sharded index -------------------------------------------------------
+
+  /// Persists `index` as a new generation and commits it. Returns the new
+  /// generation number. The previous generation is left on disk (prune
+  /// explicitly); a crash mid-save leaves it the committed one.
+  template <typename Object, metric::MetricFor<Object> Metric,
+            CodecFor<Object> Codec>
+  Result<std::uint64_t> SaveSharded(
+      const serve::ShardedMvpIndex<Object, Metric>& index,
+      const Codec& codec) {
+    ContainerWriter container;
+    for (std::size_t s = 0; s < index.num_shards(); ++s) {
+      BinaryWriter chunk;
+      chunk.Write<std::uint64_t>(s);
+      const auto& ids = index.shard_global_ids(s);
+      chunk.Write<std::uint64_t>(ids.size());
+      for (const std::size_t id : ids) chunk.Write<std::uint64_t>(id);
+      MVP_RETURN_NOT_OK(index.shard(s).Serialize(&chunk, codec));
+      container.AddChunk(ChunkKind::kShardTree, std::move(chunk).TakeBuffer());
+    }
+
+    const auto params = index.build_params();
+    SnapshotManifest manifest;
+    manifest.index_kind = IndexKind::kShardedMvpIndex;
+    manifest.object_count = index.size();
+    manifest.num_shards = params.num_shards;
+    manifest.order = params.order;
+    manifest.leaf_capacity = params.leaf_capacity;
+    manifest.num_path_distances = params.num_path_distances;
+    manifest.seed = params.seed;
+    manifest.store_exact_bounds = params.store_exact_bounds ? 1 : 0;
+    return CommitGeneration(std::move(container).Finalize(), manifest);
+  }
+
+  /// Loads the committed generation's sharded index. Every chunk's CRC32C
+  /// is verified before its bytes are trusted; the manifest's recorded
+  /// build parameters are validated against the deserialized trees. With a
+  /// pool, shards are verified and deserialized in parallel.
+  template <typename Object, metric::MetricFor<Object> Metric,
+            CodecFor<Object> Codec>
+  Result<LoadedSharded<Object, Metric>> LoadSharded(
+      Metric metric, const Codec& codec,
+      serve::ThreadPool* pool = nullptr) const {
+    using Index = serve::ShardedMvpIndex<Object, Metric>;
+    using Tree = typename Index::Tree;
+    using Part = std::pair<Tree, std::vector<std::size_t>>;
+
+    auto opened = OpenCurrent(IndexKind::kShardedMvpIndex);
+    if (!opened.ok()) return opened.status();
+    OpenedGeneration gen = std::move(opened).ValueOrDie();
+    const SnapshotManifest& manifest = gen.manifest;
+
+    const auto shard_chunks = gen.container.ChunksOfKind(ChunkKind::kShardTree);
+    if (manifest.num_shards < 1 ||
+        shard_chunks.size() != manifest.num_shards ||
+        gen.container.num_chunks() != manifest.num_chunks) {
+      return Status::Corruption("snapshot chunk census mismatches manifest");
+    }
+
+    const std::size_t k = shard_chunks.size();
+    std::vector<std::optional<Part>> parts(k);
+    std::vector<Status> statuses(k);
+    auto load_shard = [&](std::size_t c) {
+      statuses[c] = DeserializeShardChunk<Object, Metric>(
+          gen.container, shard_chunks[c], metric, codec, manifest, k, &parts);
+    };
+    if (pool == nullptr || k == 1) {
+      for (std::size_t c = 0; c < k; ++c) load_shard(c);
+    } else {
+      serve::ParallelFor(*pool, k, load_shard);
+    }
+    for (const Status& status : statuses) MVP_RETURN_NOT_OK(status);
+    MVP_RETURN_NOT_OK(VerifyFingerprint(gen));
+    for (const auto& part : parts) {
+      if (!part.has_value()) {
+        return Status::Corruption("snapshot shard chunks do not cover every "
+                                  "shard exactly once");
+      }
+    }
+
+    typename Index::Options options;
+    options.num_shards = manifest.num_shards;
+    options.tree = parts[0]->first.options();
+    options.tree.seed = manifest.seed;  // not in the tree stream (see docs)
+    std::vector<Part> owned;
+    owned.reserve(k);
+    for (auto& part : parts) owned.push_back(std::move(*part));
+    auto restored = Index::Restore(options, std::move(owned));
+    if (!restored.ok()) return restored.status();
+    if (restored.value().size() != manifest.object_count) {
+      return Status::Corruption("snapshot object count mismatches manifest");
+    }
+
+    LoadedSharded<Object, Metric> loaded{std::move(restored).ValueOrDie(),
+                                         manifest, gen.generation};
+    return loaded;
+  }
+
+  // ---- dynamic forest ------------------------------------------------------
+
+  /// Persists `forest` (buffer, tombstones and all levels) as a new
+  /// committed generation.
+  template <typename Object, metric::MetricFor<Object> Metric,
+            CodecFor<Object> Codec>
+  Result<std::uint64_t> SaveForest(
+      const dynamic::MvpForest<Object, Metric>& forest, const Codec& codec) {
+    BinaryWriter chunk;
+    MVP_RETURN_NOT_OK(forest.Serialize(&chunk, codec));
+    ContainerWriter container;
+    container.AddChunk(ChunkKind::kForest, std::move(chunk).TakeBuffer());
+
+    const auto& tree_options = forest.options().tree;
+    SnapshotManifest manifest;
+    manifest.index_kind = IndexKind::kMvpForest;
+    manifest.object_count = forest.size();
+    manifest.order = tree_options.order;
+    manifest.leaf_capacity = tree_options.leaf_capacity;
+    manifest.num_path_distances = tree_options.num_path_distances;
+    manifest.seed = tree_options.seed;
+    manifest.store_exact_bounds = tree_options.store_exact_bounds ? 1 : 0;
+    return CommitGeneration(std::move(container).Finalize(), manifest);
+  }
+
+  /// Loads the committed generation's forest. The manifest's recorded tree
+  /// parameters are applied to the returned forest's options, so future
+  /// inserts/merges keep building with the saved configuration; the other
+  /// `options` fields (buffer capacity, tombstone policy) are the
+  /// caller's.
+  template <typename Object, metric::MetricFor<Object> Metric,
+            CodecFor<Object> Codec>
+  Result<LoadedForest<Object, Metric>> LoadForest(
+      Metric metric, const Codec& codec,
+      typename dynamic::MvpForest<Object, Metric>::Options options = {}) const {
+    auto opened = OpenCurrent(IndexKind::kMvpForest);
+    if (!opened.ok()) return opened.status();
+    OpenedGeneration gen = std::move(opened).ValueOrDie();
+    const SnapshotManifest& manifest = gen.manifest;
+
+    const auto chunks = gen.container.ChunksOfKind(ChunkKind::kForest);
+    if (chunks.size() != 1 || gen.container.num_chunks() != manifest.num_chunks) {
+      return Status::Corruption("snapshot chunk census mismatches manifest");
+    }
+    MVP_RETURN_NOT_OK(gen.container.VerifyChunk(chunks[0]));
+    MVP_RETURN_NOT_OK(VerifyFingerprint(gen));
+    const auto [payload, length] = gen.container.chunk_payload(chunks[0]);
+
+    options.tree.order = manifest.order;
+    options.tree.leaf_capacity = manifest.leaf_capacity;
+    options.tree.num_path_distances = manifest.num_path_distances;
+    options.tree.seed = manifest.seed;
+    options.tree.store_exact_bounds = manifest.store_exact_bounds != 0;
+
+    BinaryReader reader(payload, length);
+    auto forest = dynamic::MvpForest<Object, Metric>::Deserialize(
+        &reader, std::move(metric), codec, std::move(options));
+    if (!forest.ok()) return forest.status();
+    if (!reader.AtEnd()) {
+      return Status::Corruption("trailing bytes after forest stream");
+    }
+    if (forest.value().size() != manifest.object_count) {
+      return Status::Corruption("snapshot object count mismatches manifest");
+    }
+    LoadedForest<Object, Metric> loaded{std::move(forest).ValueOrDie(),
+                                        manifest, gen.generation};
+    return loaded;
+  }
+
+ private:
+  /// A parsed, integrity-checked (header + manifest, not yet per-chunk)
+  /// view of the committed generation. The mmap member owns the bytes the
+  /// container reader points into.
+  struct OpenedGeneration {
+    std::uint64_t generation = 0;
+    SnapshotManifest manifest;
+    MmapFile mapping;
+    ContainerReader container;
+  };
+
+  /// Binds the manifest to the container's exact bytes. Checked after the
+  /// per-chunk CRCs so that localized damage is reported with its chunk
+  /// index; what this adds is detection of a manifest paired with the
+  /// wrong (individually self-consistent) container.
+  static Status VerifyFingerprint(const OpenedGeneration& gen) {
+    if (ContainerFingerprint(gen.mapping.data(), gen.mapping.size()) !=
+        gen.manifest.dataset_fingerprint) {
+      return Status::Corruption(
+          "snapshot container does not match its manifest fingerprint");
+    }
+    return Status::OK();
+  }
+
+  static std::string GenerationName(std::uint64_t gen) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "gen-%06llu",
+                  static_cast<unsigned long long>(gen));
+    return buf;
+  }
+
+  /// Writes container + manifest into the next generation directory and
+  /// commits it by atomically swapping CURRENT. The commit point is the
+  /// CURRENT rename: everything before it is invisible to readers.
+  Result<std::uint64_t> CommitGeneration(std::vector<std::uint8_t> container,
+                                         SnapshotManifest manifest) {
+    manifest.num_chunks = 0;
+    {
+      // Chunk count lives in the container header we just finalized.
+      auto parsed = ContainerReader::Parse(container.data(), container.size());
+      MVP_DCHECK(parsed.ok());
+      if (parsed.ok()) manifest.num_chunks = parsed.value().num_chunks();
+    }
+    manifest.payload_bytes = container.size();
+    manifest.dataset_fingerprint =
+        ContainerFingerprint(container.data(), container.size());
+
+    const auto current = CurrentGeneration();
+    const std::uint64_t gen = current.ok() ? current.value() + 1 : 1;
+    const std::string gen_dir = GenerationDir(gen);
+    std::error_code ec;
+    std::filesystem::remove_all(gen_dir, ec);  // orphan from an old crash
+    std::filesystem::create_directories(gen_dir, ec);
+    if (ec) {
+      return Status::IOError("cannot create generation dir: " + gen_dir);
+    }
+    MVP_RETURN_NOT_OK(
+        WriteFileAtomic(gen_dir + "/" + kContainerFile, container));
+    MVP_RETURN_NOT_OK(
+        WriteFileAtomic(gen_dir + "/" + kManifestFile, manifest.Serialize()));
+    const std::string name = GenerationName(gen) + std::string("\n");
+    MVP_RETURN_NOT_OK(
+        WriteFileAtomic(dir_ + "/" + kCurrentFile,
+                        std::vector<std::uint8_t>(name.begin(), name.end())));
+    return gen;
+  }
+
+  Result<OpenedGeneration> OpenCurrent(IndexKind expected_kind) const {
+    auto current = CurrentGeneration();
+    if (!current.ok()) return current.status();
+    OpenedGeneration gen;
+    gen.generation = current.value();
+    const std::string gen_dir = GenerationDir(gen.generation);
+
+    auto manifest_bytes = ReadFile(gen_dir + "/" + kManifestFile);
+    if (!manifest_bytes.ok()) return manifest_bytes.status();
+    auto manifest = SnapshotManifest::Parse(manifest_bytes.value());
+    if (!manifest.ok()) return manifest.status();
+    gen.manifest = std::move(manifest).ValueOrDie();
+    if (gen.manifest.index_kind != expected_kind) {
+      return Status::Corruption("snapshot holds a different index kind");
+    }
+
+    auto mapping = MmapFile::Open(gen_dir + "/" + kContainerFile);
+    if (!mapping.ok()) return mapping.status();
+    gen.mapping = std::move(mapping).ValueOrDie();
+    if (gen.mapping.size() != gen.manifest.payload_bytes) {
+      return Status::Corruption("snapshot container size mismatches manifest");
+    }
+    auto container =
+        ContainerReader::Parse(gen.mapping.data(), gen.mapping.size());
+    if (!container.ok()) return container.status();
+    gen.container = std::move(container).ValueOrDie();
+    return gen;
+  }
+
+  /// Verifies and deserializes one shard chunk into parts[shard_index].
+  /// Static helper so parallel loaders share no mutable state but the
+  /// distinct slots they write.
+  template <typename Object, metric::MetricFor<Object> Metric,
+            CodecFor<Object> Codec>
+  static Status DeserializeShardChunk(
+      const ContainerReader& container, std::size_t chunk_index,
+      const Metric& metric, const Codec& codec,
+      const SnapshotManifest& manifest, std::size_t num_shards,
+      std::vector<std::optional<
+          std::pair<typename serve::ShardedMvpIndex<Object, Metric>::Tree,
+                    std::vector<std::size_t>>>>* parts) {
+    using Tree = typename serve::ShardedMvpIndex<Object, Metric>::Tree;
+    MVP_RETURN_NOT_OK(container.VerifyChunk(chunk_index));
+    const auto [payload, length] = container.chunk_payload(chunk_index);
+    BinaryReader reader(payload, length);
+    std::uint64_t shard = 0;
+    MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&shard));
+    if (shard >= num_shards) {
+      return Status::Corruption("shard index out of range in chunk " +
+                                std::to_string(chunk_index));
+    }
+    std::vector<std::uint64_t> raw_ids;
+    MVP_RETURN_NOT_OK(reader.ReadVector(&raw_ids));
+    auto tree = Tree::Deserialize(
+        &reader, serve::CancelChecked<Metric>(metric), codec);
+    if (!tree.ok()) return tree.status();
+    if (!reader.AtEnd()) {
+      return Status::Corruption("trailing bytes after shard tree in chunk " +
+                                std::to_string(chunk_index));
+    }
+    const auto& options = tree.value().options();
+    if (options.order != manifest.order ||
+        options.leaf_capacity != manifest.leaf_capacity ||
+        options.num_path_distances != manifest.num_path_distances ||
+        options.store_exact_bounds != (manifest.store_exact_bounds != 0)) {
+      return Status::Corruption(
+          "shard tree build parameters mismatch manifest");
+    }
+    auto& slot = (*parts)[static_cast<std::size_t>(shard)];
+    if (slot.has_value()) {
+      return Status::Corruption("duplicate shard index in snapshot");
+    }
+    std::vector<std::size_t> ids(raw_ids.begin(), raw_ids.end());
+    slot.emplace(std::move(tree).ValueOrDie(), std::move(ids));
+    return Status::OK();
+  }
+
+  std::string dir_;
+};
+
+}  // namespace mvp::snapshot
+
+#endif  // MVPTREE_SNAPSHOT_SNAPSHOT_STORE_H_

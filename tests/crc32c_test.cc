@@ -1,0 +1,92 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mvp {
+namespace {
+
+std::uint32_t CrcOf(const std::string& s) { return Crc32c(s.data(), s.size()); }
+
+TEST(Crc32cTest, KnownCheckValue) {
+  // The CRC32C check value from the iSCSI spec test suite (RFC 3720 uses
+  // the same Castagnoli polynomial).
+  EXPECT_EQ(CrcOf("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32cTest, KnownZeroVectors) {
+  const std::vector<std::uint8_t> zeros32(32, 0);
+  EXPECT_EQ(Crc32c(zeros32.data(), zeros32.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32c(nullptr, 0), 0u);
+  EXPECT_EQ(Crc32c("x", 0), 0u);
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  EXPECT_NE(CrcOf("hello"), CrcOf("hellp"));
+  EXPECT_NE(CrcOf("hello"), CrcOf("hell"));
+  EXPECT_NE(CrcOf(std::string("\x00\x01", 2)),
+            CrcOf(std::string("\x01\x00", 2)));
+}
+
+TEST(Crc32cTest, SingleBitFlipAlwaysDetected) {
+  const std::string base = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t crc = CrcOf(base);
+  for (std::size_t byte = 0; byte < base.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = base;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_NE(CrcOf(flipped), crc) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32cTest, StreamingExtendMatchesOneShot) {
+  std::vector<std::uint8_t> data(1037);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  const std::uint32_t whole = Crc32c(data.data(), data.size());
+  // Split at every boundary in a coarse sweep, plus awkward small cuts
+  // around the slice-by-8 stride.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                std::size_t{8}, std::size_t{9}, std::size_t{63},
+                                std::size_t{512}, data.size() - 1,
+                                data.size()}) {
+    std::uint32_t crc = Crc32cExtend(0, data.data(), cut);
+    crc = Crc32cExtend(crc, data.data() + cut, data.size() - cut);
+    EXPECT_EQ(crc, whole) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32cTest, ExtendFromZeroEqualsOneShot) {
+  const std::string s = "streaming == one-shot";
+  EXPECT_EQ(Crc32cExtend(0, s.data(), s.size()), CrcOf(s));
+}
+
+TEST(Crc32cTest, UnalignedStartMatchesAligned) {
+  // The slice-by-8 fast path must produce identical results regardless of
+  // the buffer's alignment.
+  std::vector<std::uint8_t> padded(256 + 8, 0);
+  for (std::size_t i = 0; i < padded.size(); ++i) {
+    padded[i] = static_cast<std::uint8_t>(i ^ 0x5a);
+  }
+  const std::uint32_t reference = Crc32c(padded.data(), 256);
+  for (std::size_t shift = 1; shift < 8; ++shift) {
+    std::vector<std::uint8_t> copy(padded.begin() + shift,
+                                   padded.begin() + shift + 256);
+    // Same bytes, different alignment: recompute what they should hash to.
+    EXPECT_EQ(Crc32c(copy.data(), copy.size()),
+              Crc32c(padded.data() + shift, 256));
+  }
+  EXPECT_EQ(reference, Crc32c(padded.data(), 256));  // determinism
+}
+
+}  // namespace
+}  // namespace mvp

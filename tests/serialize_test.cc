@@ -99,5 +99,71 @@ TEST(SerializeTest, EmptyFileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(SerializeTest, AdversarialLengthPrefixFailsBeforeAllocation) {
+  // A length prefix near SIZE_MAX must be rejected by arithmetic on the
+  // remaining-byte count, not by attempting a resize (which would throw
+  // bad_alloc or OOM the process). The division-form check also cannot
+  // overflow the way `count * sizeof(T)` would.
+  for (const std::uint64_t evil :
+       {~std::uint64_t{0}, ~std::uint64_t{0} - 7, std::uint64_t{1} << 63,
+        (std::uint64_t{1} << 61) + 1}) {
+    BinaryWriter w;
+    w.Write<std::uint64_t>(evil);
+    w.Write<double>(1.0);  // some trailing bytes, fewer than claimed
+    BinaryReader r(w.buffer());
+    std::vector<double> v;
+    EXPECT_EQ(r.ReadVector(&v).code(), StatusCode::kCorruption) << evil;
+    EXPECT_TRUE(v.empty());
+
+    BinaryReader rs(w.buffer());
+    std::string s;
+    EXPECT_EQ(rs.ReadString(&s).code(), StatusCode::kCorruption) << evil;
+  }
+}
+
+TEST(SerializeTest, ReadLengthPrefixValidatesAgainstRemaining) {
+  BinaryWriter w;
+  w.Write<std::uint64_t>(3);
+  w.Write<std::uint32_t>(1);
+  w.Write<std::uint32_t>(2);
+  w.Write<std::uint32_t>(3);
+  BinaryReader r(w.buffer());
+  std::uint64_t count = 0;
+  ASSERT_TRUE(r.ReadLengthPrefix(sizeof(std::uint32_t), &count).ok());
+  EXPECT_EQ(count, 3u);
+
+  // Same bytes read as u64 elements: 3 * 8 > 12 remaining.
+  BinaryReader r2(w.buffer());
+  EXPECT_EQ(r2.ReadLengthPrefix(sizeof(std::uint64_t), &count).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, AtomicFileWriteRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mvp_atomic_test.bin";
+  const std::vector<std::uint8_t> bytes{9, 8, 7, 6};
+  ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), bytes);
+  // The temp file must not survive a successful write.
+  EXPECT_EQ(ReadFile(path + ".tmp").status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, AtomicFileWriteReplacesExisting) {
+  const std::string path = ::testing::TempDir() + "/mvp_atomic_replace.bin";
+  ASSERT_TRUE(WriteFileAtomic(path, {1, 1, 1}).ok());
+  ASSERT_TRUE(WriteFileAtomic(path, {2, 2}).ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), (std::vector<std::uint8_t>{2, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, AtomicFileWriteToMissingDirIsIOError) {
+  EXPECT_EQ(WriteFileAtomic("/nonexistent/dir/f.bin", {1}).code(),
+            StatusCode::kIOError);
+}
+
 }  // namespace
 }  // namespace mvp

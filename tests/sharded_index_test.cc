@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
+#include "common/codec.h"
 #include "core/mvp_tree.h"
 #include "dataset/vector_gen.h"
 #include "metric/lp.h"
@@ -151,6 +153,99 @@ TEST(ShardedIndexTest, SearchStatsAccumulateAcrossShards) {
   EXPECT_GT(stats.nodes_visited, 0u);
   // Four shards were all consulted: at least one node per shard.
   EXPECT_GE(stats.nodes_visited, 4u);
+}
+
+TEST(ShardedIndexTest, BuildParamsFlattenOptions) {
+  Sharded::Options options;
+  options.num_shards = 5;
+  options.tree.order = 4;
+  options.tree.leaf_capacity = 11;
+  options.tree.num_path_distances = 6;
+  options.tree.seed = 99;
+  options.tree.store_exact_bounds = true;
+  const auto built =
+      Sharded::Build(dataset::UniformVectors(50, 4, 7), L2(), options);
+  ASSERT_TRUE(built.ok());
+  const Sharded::BuildParams params = built.value().build_params();
+  EXPECT_EQ(params.num_shards, 5u);
+  EXPECT_EQ(params.order, 4);
+  EXPECT_EQ(params.leaf_capacity, 11);
+  EXPECT_EQ(params.num_path_distances, 6);
+  EXPECT_EQ(params.seed, 99u);
+  EXPECT_TRUE(params.store_exact_bounds);
+  EXPECT_EQ(params, built.value().build_params());  // == is usable
+}
+
+TEST(ShardedIndexTest, ShardGlobalIdsAreRoundRobin) {
+  const Sharded sharded = BuildSharded(dataset::UniformVectors(23, 4, 5), 4);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
+    for (const std::size_t id : sharded.shard_global_ids(s)) {
+      EXPECT_EQ(id % sharded.num_shards(), s);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, sharded.size());
+}
+
+TEST(ShardedIndexTest, RestoreRebuildsIdenticalIndex) {
+  const auto data = dataset::UniformVectors(120, 4, 13);
+  const Sharded original = BuildSharded(data, 3);
+
+  // Tear the index down to (tree, id-map) parts the way the snapshot layer
+  // does, rebuilding each tree from its serialized bytes.
+  std::vector<std::pair<Sharded::Tree, std::vector<std::size_t>>> parts;
+  for (std::size_t s = 0; s < original.num_shards(); ++s) {
+    BinaryWriter w;
+    ASSERT_TRUE(original.shard(s).Serialize(&w, VectorCodec()).ok());
+    BinaryReader r(w.buffer());
+    auto tree = Sharded::Tree::Deserialize(&r, CancelChecked<L2>(L2()),
+                                           VectorCodec());
+    ASSERT_TRUE(tree.ok());
+    parts.emplace_back(std::move(tree).ValueOrDie(),
+                       original.shard_global_ids(s));
+  }
+  auto restored = Sharded::Restore(original.options(), std::move(parts));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().size(), original.size());
+
+  const Vector q(4, 0.5);
+  EXPECT_EQ(restored.value().RangeSearch(q, 1.0), original.RangeSearch(q, 1.0));
+  EXPECT_EQ(restored.value().KnnSearch(q, 7), original.KnnSearch(q, 7));
+}
+
+TEST(ShardedIndexTest, RestoreRejectsBrokenPartition) {
+  const auto data = dataset::UniformVectors(30, 4, 17);
+  const Sharded original = BuildSharded(data, 2);
+
+  auto parts_of = [&](bool swap_maps) {
+    std::vector<std::pair<Sharded::Tree, std::vector<std::size_t>>> parts;
+    for (std::size_t s = 0; s < 2; ++s) {
+      BinaryWriter w;
+      EXPECT_TRUE(original.shard(s).Serialize(&w, VectorCodec()).ok());
+      BinaryReader r(w.buffer());
+      auto tree = Sharded::Tree::Deserialize(&r, CancelChecked<L2>(L2()),
+                                             VectorCodec());
+      EXPECT_TRUE(tree.ok());
+      parts.emplace_back(std::move(tree).ValueOrDie(),
+                         original.shard_global_ids(swap_maps ? 1 - s : s));
+    }
+    return parts;
+  };
+
+  // Id maps swapped between shards: ids land in the wrong residue class.
+  auto swapped = Sharded::Restore(original.options(), parts_of(true));
+  EXPECT_EQ(swapped.status().code(), StatusCode::kCorruption);
+
+  // Wrong shard count.
+  auto wrong_count = Sharded::Restore(original.options(), {});
+  EXPECT_EQ(wrong_count.status().code(), StatusCode::kCorruption);
+
+  // Id map shorter than its tree.
+  auto parts = parts_of(false);
+  parts[0].second.pop_back();
+  auto mismatched = Sharded::Restore(original.options(), std::move(parts));
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kCorruption);
 }
 
 }  // namespace

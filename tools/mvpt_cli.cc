@@ -14,7 +14,17 @@
 //   mvpt serve-bench [--count N] [--dim D] [--seed S] [--shards K]
 //                    [--threads "1,2,4,8"] [--queries Q]
 //                    [--radius R | --knn K] [--timeout-ms T]
+//                    [--snapshot-dir DIR]  # also time cold vs warm start
 //                                # concurrent-serving throughput/latency
+//   mvpt snapshot-save --input data.csv --metric l1|l2|linf --dir store/
+//                      [--shards K] [--order M] [--leaf K] [--paths P]
+//                      [--seed S] [--threads N]
+//                                # build a sharded index, persist it as a
+//                                # new checksummed snapshot generation
+//   mvpt snapshot-load --dir store/ --metric l1|l2|linf [--threads N]
+//                      [--point "x1,x2,..." (--radius R | --knn K)]
+//                                # load + verify the committed generation
+//                                # (docs/index_format.md has the layout)
 //   mvpt selftest          # end-to-end smoke test in a temp directory
 //
 // Text (edit-distance) mode: pass --type words to build/query/validate;
@@ -29,6 +39,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <string>
@@ -46,6 +57,7 @@
 #include "serve/serve_stats.h"
 #include "serve/sharded_index.h"
 #include "serve/thread_pool.h"
+#include "snapshot/snapshot_store.h"
 
 namespace mvp::tools {
 namespace {
@@ -84,7 +96,7 @@ int Fail(const std::string& message) {
 int Usage() {
   std::fprintf(stderr,
                "usage: mvpt gen|build|stats|query|hist|validate|serve-bench|"
-               "selftest [--key value ...]\n"
+               "snapshot-save|snapshot-load|selftest [--key value ...]\n"
                "see the header of tools/mvpt_cli.cc for full syntax\n");
   return 2;
 }
@@ -471,8 +483,12 @@ int RunServeBench(const Args& args) {
       thread_counts.back() > 1 ? thread_counts.back() : 2);
   serve::ShardedMvpIndex<Vector, metric::L2>::Options options;
   options.num_shards = shards;
+  const auto build_t0 = std::chrono::steady_clock::now();
   auto sharded = serve::ShardedMvpIndex<Vector, metric::L2>::Build(
       data, metric::L2(), options, &build_pool);
+  const double build_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - build_t0)
+                              .count();
   if (!sharded.ok()) return Fail(sharded.status().ToString());
   auto plain = TreeL2::Build(data, metric::L2(), {});
   if (!plain.ok()) return Fail(plain.status().ToString());
@@ -539,7 +555,172 @@ int RunServeBench(const Args& args) {
                 all_match ? "yes" : "NO (BUG)");
     if (!all_match) return 1;
   }
+
+  // Cold-start (build from raw data) vs warm-start (load a checksummed
+  // snapshot) time to first query.
+  if (args.Has("snapshot-dir")) {
+    snapshot::SnapshotStore store(args.Get("snapshot-dir"));
+    const auto save_t0 = std::chrono::steady_clock::now();
+    auto gen = store.SaveSharded(sharded.value(), VectorCodec());
+    const double save_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - save_t0)
+                               .count();
+    if (!gen.ok()) return Fail(gen.status().ToString());
+
+    const auto load_t0 = std::chrono::steady_clock::now();
+    auto loaded =
+        store.LoadSharded<Vector>(metric::L2(), VectorCodec(), &build_pool);
+    const double load_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - load_t0)
+                               .count();
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+
+    auto first_query_ms = [&](const auto& index) {
+      const auto q0 = std::chrono::steady_clock::now();
+      (void)index.RangeSearch(batch[0].object, batch[0].radius);
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - q0)
+          .count();
+    };
+    const double cold_q = first_query_ms(sharded.value());
+    const double warm_q = first_query_ms(loaded.value().index);
+
+    harness::Table ttfq({"start", "prepare_ms", "first_query_ms", "ttfq_ms"});
+    ttfq.AddRow({"cold (build)", harness::FormatDouble(build_ms, 1),
+                 harness::FormatDouble(cold_q, 2),
+                 harness::FormatDouble(build_ms + cold_q, 1)});
+    ttfq.AddRow({"warm (snapshot)", harness::FormatDouble(load_ms, 1),
+                 harness::FormatDouble(warm_q, 2),
+                 harness::FormatDouble(load_ms + warm_q, 1)});
+    std::cout << ttfq.ToText();
+    std::printf("snapshot generation %llu (save %.1f ms); warm start %.1fx "
+                "faster to first query\n",
+                static_cast<unsigned long long>(gen.value()), save_ms,
+                (build_ms + cold_q) / (load_ms + warm_q));
+  }
   return 0;
+}
+
+// ---- snapshot-save / snapshot-load -----------------------------------------
+
+template <typename Metric>
+int SnapshotSaveWith(const Args& args, std::vector<Vector> data,
+                     Metric metric) {
+  using Index = serve::ShardedMvpIndex<Vector, Metric>;
+  typename Index::Options options;
+  options.num_shards = static_cast<std::size_t>(args.GetInt("shards", 4));
+  options.tree.order = static_cast<int>(args.GetInt("order", 3));
+  options.tree.leaf_capacity = static_cast<int>(args.GetInt("leaf", 80));
+  options.tree.num_path_distances =
+      static_cast<int>(args.GetInt("paths", 5));
+  options.tree.seed = static_cast<std::uint64_t>(args.GetInt("seed", 0));
+
+  const auto threads = static_cast<std::size_t>(args.GetInt("threads", 2));
+  serve::ThreadPool pool(threads > 0 ? threads : 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto built = Index::Build(std::move(data), std::move(metric), options,
+                            &pool);
+  if (!built.ok()) return Fail(built.status().ToString());
+  const double build_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+  snapshot::SnapshotStore store(args.Get("dir"));
+  const auto t1 = std::chrono::steady_clock::now();
+  auto gen = store.SaveSharded(built.value(), VectorCodec());
+  if (!gen.ok()) return Fail(gen.status().ToString());
+  const double save_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t1)
+                             .count();
+  std::printf("snapshot generation %llu committed: %zu objects in %zu "
+              "shards (build %.1f ms, save %.1f ms) -> %s\n",
+              static_cast<unsigned long long>(gen.value()),
+              built.value().size(), built.value().num_shards(), build_ms,
+              save_ms, store.GenerationDir(gen.value()).c_str());
+  return 0;
+}
+
+int RunSnapshotSave(const Args& args) {
+  if (args.Get("input").empty() || args.Get("dir").empty()) {
+    return Fail("snapshot-save requires --input and --dir");
+  }
+  auto data = LoadCsv(args.Get("input"));
+  if (!data.ok()) return Fail(data.status().ToString());
+  const std::string metric = args.Get("metric", "l2");
+  if (metric == "l1") {
+    return SnapshotSaveWith(args, std::move(data).ValueOrDie(), metric::L1());
+  }
+  if (metric == "l2") {
+    return SnapshotSaveWith(args, std::move(data).ValueOrDie(), metric::L2());
+  }
+  if (metric == "linf") {
+    return SnapshotSaveWith(args, std::move(data).ValueOrDie(),
+                            metric::LInf());
+  }
+  return Fail("unknown --metric (l1|l2|linf)");
+}
+
+template <typename Metric>
+int SnapshotLoadWith(const Args& args, Metric metric) {
+  snapshot::SnapshotStore store(args.Get("dir"));
+  const auto threads = static_cast<std::size_t>(args.GetInt("threads", 2));
+  serve::ThreadPool pool(threads > 0 ? threads : 1);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto loaded =
+      store.LoadSharded<Vector>(std::move(metric), VectorCodec(), &pool);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  const double load_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+  const auto& manifest = loaded.value().manifest;
+  std::printf("loaded generation %llu in %.1f ms (checksums verified): "
+              "%llu objects, %llu shards, mvpt(m=%d, k=%d, p=%d), seed %llu\n",
+              static_cast<unsigned long long>(loaded.value().generation),
+              load_ms,
+              static_cast<unsigned long long>(manifest.object_count),
+              static_cast<unsigned long long>(manifest.num_shards),
+              manifest.order, manifest.leaf_capacity,
+              manifest.num_path_distances,
+              static_cast<unsigned long long>(manifest.seed));
+
+  if (args.Has("point")) {
+    auto point = ParseVector(args.Get("point"));
+    if (!point.ok()) return Fail(point.status().ToString());
+    SearchStats stats;
+    std::vector<Neighbor> results;
+    const auto q0 = std::chrono::steady_clock::now();
+    if (args.Has("knn")) {
+      results = loaded.value().index.KnnSearch(
+          point.value(), static_cast<std::size_t>(args.GetInt("knn", 1)),
+          &stats, &pool);
+    } else {
+      results = loaded.value().index.RangeSearch(
+          point.value(), args.GetDouble("radius", 0.3), &stats, &pool);
+    }
+    const double query_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - q0)
+                                .count();
+    std::printf("%zu results in %.2f ms (%llu distance computations); "
+                "time to first query: %.1f ms\n",
+                results.size(), query_ms,
+                static_cast<unsigned long long>(stats.distance_computations),
+                load_ms + query_ms);
+    for (const auto& hit : results) {
+      std::printf("  id=%zu distance=%.6f\n", hit.id, hit.distance);
+    }
+  }
+  return 0;
+}
+
+int RunSnapshotLoad(const Args& args) {
+  if (args.Get("dir").empty()) return Fail("snapshot-load requires --dir");
+  const std::string metric = args.Get("metric", "l2");
+  if (metric == "l1") return SnapshotLoadWith(args, metric::L1());
+  if (metric == "l2") return SnapshotLoadWith(args, metric::L2());
+  if (metric == "linf") return SnapshotLoadWith(args, metric::LInf());
+  return Fail("unknown --metric (l1|l2|linf)");
 }
 
 int RunSelfTest() {
@@ -570,6 +751,19 @@ int RunSelfTest() {
                  {"point", "0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5"},
                  {"knn", "5"}};
   if (RunQuery(query) != 0) return 1;
+  // Snapshot round trip through the store.
+  const std::string snap_dir = dir + "/mvpt_selftest_snap";
+  Args snap_save;
+  snap_save.named = {{"input", csv}, {"metric", "l2"}, {"dir", snap_dir},
+                     {"shards", "3"}};
+  if (RunSnapshotSave(snap_save) != 0) return 1;
+  Args snap_load;
+  snap_load.named = {{"dir", snap_dir},
+                     {"metric", "l2"},
+                     {"point", "0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5"},
+                     {"knn", "3"}};
+  if (RunSnapshotLoad(snap_load) != 0) return 1;
+  std::filesystem::remove_all(snap_dir);
   // Word-mode round trip.
   const std::string words_txt = dir + "/mvpt_selftest_words.txt";
   const std::string words_idx = dir + "/mvpt_selftest_words.mvpt";
@@ -612,6 +806,8 @@ int Main(int argc, char** argv) {
   if (args.command == "validate") return RunValidate(args);
   if (args.command == "query") return RunQuery(args);
   if (args.command == "serve-bench") return RunServeBench(args);
+  if (args.command == "snapshot-save") return RunSnapshotSave(args);
+  if (args.command == "snapshot-load") return RunSnapshotLoad(args);
   if (args.command == "selftest") return RunSelfTest();
   return Usage();
 }
