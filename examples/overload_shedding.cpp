@@ -1,0 +1,130 @@
+// Graceful degradation under overload: the same batch served three ways.
+//
+//   1. complete — generous deadlines, no admission control: every query
+//      returns its full answer (Status OK).
+//   2. partial  — tight deadlines and a distance-computation budget: a
+//      cut-off query returns the neighbors it had already found, flagged
+//      partial with Status DeadlineExceeded, instead of returning nothing.
+//   3. shed     — an AdmissionController bounds the work in flight; the
+//      burst's excess is refused up front with Status ResourceExhausted
+//      (zero distance computations) rather than queued past its deadline.
+//
+// Self-checks that partial answers are subsets of the complete ones and
+// that shed queries did no work (exits non-zero if not).
+//
+//   $ ./build/examples/overload_shedding
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "serve/admission.h"
+#include "serve/executor.h"
+#include "serve/serve_stats.h"
+#include "serve/sharded_index.h"
+#include "serve/thread_pool.h"
+
+using mvp::StatusCode;
+using mvp::metric::L2;
+using mvp::metric::Vector;
+using mvp::serve::AdmissionController;
+using mvp::serve::BatchQuery;
+using mvp::serve::ExecutorOptions;
+using mvp::NeighborLess;
+using mvp::serve::QueryOutcome;
+using mvp::serve::RunBatch;
+using mvp::serve::ServeStats;
+using mvp::serve::ShardedMvpIndex;
+using mvp::serve::ThreadPool;
+
+int main() {
+  const auto data = mvp::dataset::UniformVectors(20000, 20, 7);
+  const auto queries = mvp::dataset::UniformQueryVectors(48, 20, 8);
+
+  ThreadPool pool(4);
+  ShardedMvpIndex<Vector, L2>::Options options;
+  options.num_shards = 4;
+  auto index = ShardedMvpIndex<Vector, L2>::Build(data, L2(), options, &pool)
+                   .ValueOrDie();
+
+  std::vector<BatchQuery<Vector>> batch;
+  for (const auto& q : queries) {
+    BatchQuery<Vector> bq;
+    bq.object = q;
+    bq.radius = 1.6;
+    batch.push_back(bq);
+  }
+
+  int wrong = 0;
+
+  // 1. Complete: unlimited budget, every answer in full.
+  ServeStats complete_stats;
+  const auto complete = RunBatch(index, batch, &pool, &complete_stats);
+  for (const auto& o : complete) {
+    if (!o.status.ok() || o.partial) ++wrong;
+  }
+  const auto complete_snap = complete_stats.Snapshot();
+  std::printf("complete: %llu/%zu queries OK, p99=%lldus\n",
+              static_cast<unsigned long long>(complete_snap.ok), batch.size(),
+              static_cast<long long>(complete_snap.p99.count() / 1000));
+
+  // 2. Partial: cap every query at 512 distance computations. A cut-off
+  // query keeps what it found — a subset of the complete answer.
+  auto capped = batch;
+  for (auto& q : capped) q.max_distance_computations = 512;
+  ServeStats partial_stats;
+  // Serial execution keeps the budget overshoot to at most one check
+  // stride, making the per-query counts below exact enough to print.
+  const auto partial = RunBatch(index, capped, /*pool=*/nullptr,
+                                &partial_stats);
+  std::size_t kept = 0, full = 0;
+  for (std::size_t i = 0; i < partial.size(); ++i) {
+    const QueryOutcome& o = partial[i];
+    kept += o.neighbors.size();
+    full += complete[i].neighbors.size();
+    if (o.status.ok()) continue;  // finished under budget
+    if (o.status.code() != StatusCode::kDeadlineExceeded || !o.partial) {
+      ++wrong;
+      continue;
+    }
+    if (!std::includes(complete[i].neighbors.begin(),
+                       complete[i].neighbors.end(), o.neighbors.begin(),
+                       o.neighbors.end(), NeighborLess)) {
+      ++wrong;  // a partial answer may only shrink, never invent neighbors
+    }
+  }
+  const auto partial_snap = partial_stats.Snapshot();
+  std::printf("partial: %llu OK, %llu cut off by the 512-distance budget; "
+              "%zu/%zu neighbors still served\n",
+              static_cast<unsigned long long>(partial_snap.ok),
+              static_cast<unsigned long long>(partial_snap.partial), kept,
+              full);
+
+  // 3. Shed: at most 4 queries in flight; the rest of the burst is refused
+  // immediately with ResourceExhausted and costs nothing.
+  AdmissionController::Options admission_options;
+  admission_options.max_in_flight = 4;
+  admission_options.num_workers = 4;
+  AdmissionController admission(admission_options);
+  ExecutorOptions exec;
+  exec.admission = &admission;
+  ServeStats shed_stats;
+  const auto shed = RunBatch(index, batch, &pool, &shed_stats, exec);
+  for (const auto& o : shed) {
+    if (o.status.code() == StatusCode::kResourceExhausted &&
+        (o.distance_computations != 0 || !o.neighbors.empty())) {
+      ++wrong;  // a shed query must not have touched the index
+    }
+  }
+  const auto shed_snap = shed_stats.Snapshot();
+  std::printf("shed: %llu served, %llu refused up front "
+              "(max %zu in flight)\n",
+              static_cast<unsigned long long>(shed_snap.ok),
+              static_cast<unsigned long long>(shed_snap.shed),
+              admission_options.max_in_flight);
+
+  std::printf("degradation invariants hold: %s\n", wrong == 0 ? "yes" : "NO");
+  return wrong == 0 ? 0 : 1;
+}

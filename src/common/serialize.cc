@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "fault/fault_fs.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
 #include <unistd.h>
@@ -56,28 +58,33 @@ void SyncParentDirectory(const std::string& path) {
 
 Status WriteFileAtomic(const std::string& path,
                        const std::vector<std::uint8_t>& bytes) {
+  // Every syscall goes through the fault::fs seam so tests can inject
+  // ENOSPC, short writes, fsync failure, rename failure, or a crash at any
+  // point of the commit (see docs/fault_injection.md).
   const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd =
+      fault::fs::Open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::IOError("cannot open for write: " + tmp);
   std::size_t written = 0;
   while (written < bytes.size()) {
-    const ::ssize_t n =
-        ::write(fd, bytes.data() + written, bytes.size() - written);
+    const long n = fault::fs::Write(fd, bytes.data() + written,
+                                    bytes.size() - written, tmp.c_str());
     if (n < 0) {
-      ::close(fd);
-      std::remove(tmp.c_str());
+      fault::fs::Close(fd, tmp.c_str());
+      fault::fs::Remove(tmp.c_str());
       return Status::IOError("write failed: " + tmp);
     }
     written += static_cast<std::size_t>(n);
   }
   // Data must be on stable storage BEFORE the rename publishes the file;
   // otherwise a crash could leave a renamed-but-empty file.
-  if (::fsync(fd) != 0 || ::close(fd) != 0) {
-    std::remove(tmp.c_str());
+  if (fault::fs::Fsync(fd, tmp.c_str()) != 0 ||
+      fault::fs::Close(fd, tmp.c_str()) != 0) {
+    fault::fs::Remove(tmp.c_str());
     return Status::IOError("fsync/close failed: " + tmp);
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
+  if (fault::fs::Rename(tmp.c_str(), path.c_str()) != 0) {
+    fault::fs::Remove(tmp.c_str());
     return Status::IOError("rename failed: " + path);
   }
   SyncParentDirectory(path);

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "not supported";
     case StatusCode::kDeadlineExceeded:
       return "deadline exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
   }
   return "unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kCorruption = 4,       ///< persisted bytes fail validation
   kNotSupported = 5,     ///< valid request this build cannot satisfy
   kDeadlineExceeded = 6, ///< query shed: its deadline passed (src/serve)
+  kResourceExhausted = 7, ///< load shed: admission refused the work (src/serve)
 };
 
 /// Returns the canonical lower-case name of a status code ("ok", ...).
@@ -56,6 +57,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -104,17 +104,33 @@ class MvpTree {
   /// with the PATH[] query-distance array and leaf filtering.
   std::vector<Neighbor> RangeSearch(const Object& query, double radius,
                                     SearchStats* stats = nullptr) const {
-    MVP_DCHECK(radius >= 0);
     std::vector<Neighbor> result;
     SearchStats local;
-    if (root_ != nullptr) {
-      std::vector<double> qpath;
-      qpath.reserve(static_cast<std::size_t>(options_.num_path_distances));
-      RangeSearchNode(*root_, query, radius, qpath, result, local);
-    }
+    RangeSearchInto(query, radius, &result, &local);
     std::sort(result.begin(), result.end(), NeighborLess);
     if (stats != nullptr) MergeStats(stats, local);
     return result;
+  }
+
+  /// RangeSearch appending unsorted hits into the caller-owned `*out` and
+  /// accounting into the caller-owned `*stats` as the search progresses.
+  /// Because both outlive an exception unwind, a search cancelled mid-way
+  /// (see serve/cancel.h) leaves in `*out` exactly the hits found so far —
+  /// each one a true member of the full answer, since every appended
+  /// neighbor passed the d(Q, Xi) <= r test with an exact metric value.
+  /// This is what the serving layer's partial-results harvest builds on.
+  void RangeSearchInto(const Object& query, double radius,
+                       std::vector<Neighbor>* out,
+                       SearchStats* stats = nullptr) const {
+    MVP_DCHECK(radius >= 0);
+    MVP_DCHECK(out != nullptr);
+    SearchStats local;
+    SearchStats& sink = stats != nullptr ? *stats : local;
+    if (root_ != nullptr) {
+      std::vector<double> qpath;
+      qpath.reserve(static_cast<std::size_t>(options_.num_path_distances));
+      RangeSearchNode(*root_, query, radius, qpath, *out, sink);
+    }
   }
 
   /// The k nearest objects via shrinking-radius branch-and-bound; children
@@ -123,16 +139,31 @@ class MvpTree {
   /// so the mvp-tree's leaf-level filtering carries over to k-NN.
   std::vector<Neighbor> KnnSearch(const Object& query, std::size_t k,
                                   SearchStats* stats = nullptr) const {
-    std::vector<Neighbor> heap;  // max-heap under NeighborLess
+    std::vector<Neighbor> heap;
     SearchStats local;
-    if (root_ != nullptr && k > 0) {
-      std::vector<double> qpath;
-      qpath.reserve(static_cast<std::size_t>(options_.num_path_distances));
-      KnnSearchNode(*root_, query, k, qpath, heap, local);
-    }
+    KnnSearchInto(query, k, &heap, &local);
     std::sort_heap(heap.begin(), heap.end(), NeighborLess);
     if (stats != nullptr) MergeStats(stats, local);
     return heap;
+  }
+
+  /// KnnSearch maintaining its candidate set in the caller-owned `*heap`
+  /// (a max-heap under NeighborLess; pass it empty) and accounting into the
+  /// caller-owned `*stats`. On a mid-search cancellation the heap holds the
+  /// best <= k neighbors among the points evaluated so far — a valid
+  /// degraded answer, though not necessarily the true top-k. Callers
+  /// sort (std::sort or std::sort_heap) before presenting.
+  void KnnSearchInto(const Object& query, std::size_t k,
+                     std::vector<Neighbor>* heap,
+                     SearchStats* stats = nullptr) const {
+    MVP_DCHECK(heap != nullptr);
+    SearchStats local;
+    SearchStats& sink = stats != nullptr ? *stats : local;
+    if (root_ != nullptr && k > 0) {
+      std::vector<double> qpath;
+      qpath.reserve(static_cast<std::size_t>(options_.num_path_distances));
+      KnnSearchNode(*root_, query, k, qpath, *heap, sink);
+    }
   }
 
   /// Budgeted (approximate) k-NN: identical to KnnSearch but stops after

@@ -1,0 +1,98 @@
+#include "fault/failpoint.h"
+
+#include <map>
+#include <mutex>
+#include <random>
+#include <utility>
+
+namespace mvp::fault {
+
+std::atomic<int> Failpoints::armed_count_{0};
+
+struct Failpoints::Impl {
+  struct State {
+    FailpointConfig config;
+    std::uint64_t evaluations = 0;  // matching evaluations only
+    std::uint64_t fires = 0;
+    std::mt19937_64 rng;
+  };
+
+  std::mutex mu;
+  std::map<std::string, State> armed;
+};
+
+Failpoints& Failpoints::Instance() {
+  static Failpoints* instance = new Failpoints();  // leaked: outlives statics
+  return *instance;
+}
+
+Failpoints::Impl& Failpoints::impl() {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+void Failpoints::Arm(const std::string& name, FailpointConfig config) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto [it, inserted] = i.armed.try_emplace(name);
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  it->second = Impl::State{};
+  it->second.rng.seed(config.seed);
+  it->second.config = std::move(config);
+}
+
+void Failpoints::Disarm(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  if (i.armed.erase(name) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::DisarmAll() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  armed_count_.fetch_sub(static_cast<int>(i.armed.size()),
+                         std::memory_order_relaxed);
+  i.armed.clear();
+}
+
+bool Failpoints::Fire(const std::string& name, std::string_view detail,
+                      FailpointConfig* config, std::uint64_t* fire_ordinal) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.armed.find(name);
+  if (it == i.armed.end()) return false;
+  Impl::State& state = it->second;
+  const FailpointConfig& cfg = state.config;
+  if (!cfg.match.empty() && detail.find(cfg.match) == std::string_view::npos) {
+    return false;
+  }
+  const std::uint64_t ordinal = state.evaluations++;
+  if (ordinal < cfg.skip) return false;
+  if (state.fires >= cfg.max_fires) return false;
+  if (cfg.probability < 1.0) {
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    if (coin(state.rng) >= cfg.probability) return false;
+  }
+  ++state.fires;
+  if (config != nullptr) *config = cfg;
+  if (fire_ordinal != nullptr) *fire_ordinal = state.fires;
+  return true;
+}
+
+std::uint64_t Failpoints::evaluations(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.armed.find(name);
+  return it == i.armed.end() ? 0 : it->second.evaluations;
+}
+
+std::uint64_t Failpoints::fires(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.armed.find(name);
+  return it == i.armed.end() ? 0 : it->second.fires;
+}
+
+}  // namespace mvp::fault

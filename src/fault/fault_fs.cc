@@ -1,0 +1,123 @@
+#include "fault/fault_fs.h"
+
+#include "fault/failpoint.h"
+
+namespace mvp::fault {
+
+CrashError::~CrashError() = default;
+
+}  // namespace mvp::fault
+
+#if defined(MVPTREE_FAULT_FS_POSIX)
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+namespace mvp::fault::fs {
+namespace {
+
+struct Injection {
+  FailpointConfig config;
+  std::uint64_t ordinal = 0;  // 1-based fire count
+};
+
+/// Evaluates failpoint `name` for `path`; fills `*injection` and returns
+/// true when the site should misbehave. Never throws — crash handling is
+/// per wrapper, since write sites may owe partial progress first.
+bool ShouldFail(const char* name, const char* path, Injection* injection) {
+  if (!Failpoints::AnyArmed()) return false;
+  return Failpoints::Instance().Fire(name, path == nullptr ? "" : path,
+                                     &injection->config,
+                                     &injection->ordinal);
+}
+
+/// The common "fail this syscall" tail: throw on crash configs, otherwise
+/// plant the injected errno and report failure through `fail_value`.
+template <typename T>
+T Fail(const Injection& injection, T fail_value) {
+  if (injection.config.crash) throw CrashError();
+  errno = injection.config.error_code != 0 ? injection.config.error_code
+                                           : EIO;
+  return fail_value;
+}
+
+}  // namespace
+
+int Open(const char* path, int flags, unsigned mode) {
+  Injection injection;
+  if (ShouldFail("fs/open", path, &injection)) return Fail(injection, -1);
+  return ::open(path, flags, static_cast<mode_t>(mode));
+}
+
+long Write(int fd, const void* buf, std::size_t count, const char* path) {
+  Injection injection;
+  if (ShouldFail("fs/write", path, &injection)) {
+    // A configured short write makes real partial progress on the FIRST
+    // fire — those bytes genuinely reach the file, like a disk filling up
+    // mid-write — and fails hard (error or crash) from the second fire on,
+    // so the caller's short-write retry loop cannot quietly complete.
+    if (injection.config.short_write >= 0 && injection.ordinal == 1) {
+      const std::size_t n = std::min(
+          count, static_cast<std::size_t>(injection.config.short_write));
+      const long written = ::write(fd, buf, n);
+      if (injection.config.crash) throw CrashError();
+      return written;
+    }
+    return Fail(injection, static_cast<long>(-1));
+  }
+  return ::write(fd, buf, count);
+}
+
+int Fsync(int fd, const char* path) {
+  Injection injection;
+  if (ShouldFail("fs/fsync", path, &injection)) return Fail(injection, -1);
+  return ::fsync(fd);
+}
+
+int Close(int fd, const char* path) {
+  Injection injection;
+  if (ShouldFail("fs/close", path, &injection)) {
+    // POSIX leaves the fd state unspecified after a failed close; really
+    // close so tests do not leak descriptors (crash configs do leak one —
+    // the simulated process died holding it).
+    if (!injection.config.crash) ::close(fd);
+    return Fail(injection, -1);
+  }
+  return ::close(fd);
+}
+
+int Rename(const char* from, const char* to) {
+  Injection injection;
+  if (ShouldFail("fs/rename", to, &injection)) return Fail(injection, -1);
+  return std::rename(from, to);
+}
+
+int Remove(const char* path) {
+  Injection injection;
+  if (ShouldFail("fs/remove", path, &injection)) return Fail(injection, -1);
+  return std::remove(path);
+}
+
+int Fstat(int fd, struct ::stat* st, const char* path) {
+  Injection injection;
+  if (ShouldFail("fs/fstat", path, &injection)) return Fail(injection, -1);
+  return ::fstat(fd, st);
+}
+
+void* Mmap(std::size_t length, int prot, int flags, int fd,
+           const char* path) {
+  Injection injection;
+  if (ShouldFail("fs/mmap", path, &injection)) {
+    return Fail(injection, MAP_FAILED);
+  }
+  return ::mmap(nullptr, length, prot, flags, fd, 0);
+}
+
+}  // namespace mvp::fault::fs
+
+#endif  // MVPTREE_FAULT_FS_POSIX

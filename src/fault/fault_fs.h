@@ -1,0 +1,89 @@
+#ifndef MVPTREE_FAULT_FAULT_FS_H_
+#define MVPTREE_FAULT_FAULT_FS_H_
+
+#include <exception>
+
+/// \file
+/// Injectable filesystem seam. The durable-write path (WriteFileAtomic in
+/// common/serialize.cc) and the mmap read path (snapshot/mmap_file.h) route
+/// their syscalls through the thin wrappers in `fault::fs` instead of calling
+/// ::open / ::write / ::fsync / ::rename / ::mmap directly. Each wrapper
+/// evaluates a failpoint named after the operation — "fs/open", "fs/write",
+/// "fs/fsync", "fs/close", "fs/rename", "fs/remove", "fs/fstat", "fs/mmap" —
+/// with the file path as the match detail, so a test can make *the fsync of
+/// the MANIFEST specifically* fail with ENOSPC, or the rename of CURRENT
+/// throw CrashError, without touching a real full disk.
+///
+/// When a fired config has `crash = true` the wrapper throws CrashError
+/// *instead of performing the operation*, simulating the process dying at
+/// that exact syscall: everything before the call hit the disk, nothing
+/// after it ran (no cleanup, no temp-file removal). Tests catch CrashError
+/// at the top of the commit they are interrupting and then verify the store
+/// still loads.
+///
+/// Write sites honour `short_write`: the wrapper really writes that many
+/// bytes first (partial progress reached the disk) and then fails or
+/// crashes, which is how "power loss mid-write leaves a truncated temp
+/// file" is reproduced deterministically.
+///
+/// With no failpoint armed every wrapper is the raw syscall plus one relaxed
+/// atomic load.
+
+namespace mvp::fault {
+
+/// Simulated process death at a syscall. Thrown only by the fault::fs seam
+/// (and only when a test armed a crash failpoint); never escapes tests.
+class CrashError : public std::exception {
+ public:
+  ~CrashError() override;
+  const char* what() const noexcept override {
+    return "injected crash at syscall";
+  }
+};
+
+}  // namespace mvp::fault
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MVPTREE_FAULT_FS_POSIX 1
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace mvp::fault::fs {
+
+/// ::open. Failpoint "fs/open" (detail: path) → returns -1 / crashes.
+int Open(const char* path, int flags, unsigned mode);
+
+/// ::write. Failpoint "fs/write" (detail: `path`, the file being written,
+/// passed by the caller since the kernel API is fd-based). A fire with
+/// `short_write >= 0` really writes min(short_write, count) bytes before
+/// failing or crashing.
+long Write(int fd, const void* buf, std::size_t count, const char* path);
+
+/// ::fsync. Failpoint "fs/fsync" (detail: path).
+int Fsync(int fd, const char* path);
+
+/// ::close. Failpoint "fs/close" (detail: path).
+int Close(int fd, const char* path);
+
+/// ::rename. Failpoint "fs/rename" (detail: the destination path — the name
+/// that commits).
+int Rename(const char* from, const char* to);
+
+/// ::unlink via std::remove. Failpoint "fs/remove" (detail: path).
+int Remove(const char* path);
+
+/// ::fstat. Failpoint "fs/fstat" (detail: path).
+int Fstat(int fd, struct ::stat* st, const char* path);
+
+/// ::mmap (read-only mappings; offset 0). Failpoint "fs/mmap" (detail:
+/// path) → returns MAP_FAILED / crashes.
+void* Mmap(std::size_t length, int prot, int flags, int fd, const char* path);
+
+}  // namespace mvp::fault::fs
+
+#endif  // POSIX
+
+#endif  // MVPTREE_FAULT_FAULT_FS_H_

@@ -1,0 +1,161 @@
+#ifndef MVPTREE_SERVE_ADMISSION_H_
+#define MVPTREE_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+/// \file
+/// Admission control: shed excess load instead of absorbing it.
+///
+/// Backpressure alone (the executor's run-it-yourself fallback when the
+/// pool queue is full) keeps the process alive under overload, but it makes
+/// *every* query slower: work queues until deadlines are already blown, then
+/// burns distance computations on answers nobody can use. An
+/// AdmissionController bounds the work in flight and estimates how long a
+/// new query would sit in the queue; queries that would not fit are refused
+/// up front with Status::ResourceExhausted — a cheap, immediate, explicit
+/// "try another replica / later" signal, which is what a load balancer
+/// actually wants. This is the standard serving-system discipline (cf.
+/// SEDA / gRPC admission control): fail fast at the front door, keep the
+/// pipeline inside operating at its capacity.
+///
+/// The wait estimate is queueing theory at its cheapest: with W workers, an
+/// EWMA of per-query service time S, and Q queries already admitted, a new
+/// arrival waits about Q x S / W. If that exceeds the query's own deadline
+/// budget (it would be dead on arrival) or the configured cap, it is shed.
+
+namespace mvp::serve {
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Hard cap on admitted-but-not-completed queries.
+    std::size_t max_in_flight = 1024;
+    /// Worker count draining the queue, for the wait estimate. Set it to
+    /// the ThreadPool size.
+    std::size_t num_workers = 4;
+    /// Cap on the estimated queue wait; a new query whose estimated wait
+    /// exceeds this is shed. Default: no cap (shed on max_in_flight and
+    /// dead-on-arrival only).
+    std::chrono::nanoseconds max_queue_wait = std::chrono::nanoseconds::max();
+    /// EWMA smoothing factor for service time (higher adapts faster).
+    double ewma_alpha = 0.2;
+    /// Service-time estimate used before any completion has been observed.
+    std::chrono::nanoseconds initial_service_estimate =
+        std::chrono::microseconds(100);
+  };
+
+  AdmissionController();  // default Options; defined below the class
+
+  explicit AdmissionController(const Options& options)
+      : options_(options),
+        ewma_service_ns_(
+            static_cast<double>(options.initial_service_estimate.count())) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Decides admission for one query whose remaining deadline budget is
+  /// `timeout`. OK: the query is admitted and the caller MUST call
+  /// Complete() exactly once when it finishes (however it finishes).
+  /// ResourceExhausted: the query is shed; do not run it, do not call
+  /// Complete().
+  Status TryAdmit(std::chrono::nanoseconds timeout =
+                      std::chrono::nanoseconds::max()) {
+    std::size_t in_flight = in_flight_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (in_flight >= options_.max_in_flight) {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        return Status::ResourceExhausted(
+            "admission: in-flight limit reached (" +
+            std::to_string(options_.max_in_flight) + ")");
+      }
+      if (in_flight_.compare_exchange_weak(in_flight, in_flight + 1,
+                                           std::memory_order_acq_rel)) {
+        break;
+      }
+    }
+    // `in_flight` queries are ahead of this one; W workers drain them at
+    // one EWMA service time each.
+    const auto wait = EstimateWait(in_flight);
+    if (wait > options_.max_queue_wait || wait > timeout) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "admission: estimated queue wait " +
+          std::to_string(
+              std::chrono::duration_cast<std::chrono::microseconds>(wait)
+                  .count()) +
+          "us exceeds the query budget");
+    }
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  /// Reports the completion of an admitted query that took `service_time`
+  /// of actual work (queue time excluded — the estimate multiplies it back
+  /// in).
+  void Complete(std::chrono::nanoseconds service_time) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lock(mu_);
+    ewma_service_ns_ +=
+        options_.ewma_alpha *
+        (static_cast<double>(service_time.count()) - ewma_service_ns_);
+  }
+
+  /// Estimated queue wait a query admitted right now would see.
+  std::chrono::nanoseconds EstimatedQueueWait() const {
+    return EstimateWait(in_flight_.load(std::memory_order_relaxed));
+  }
+
+  std::size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+  const Options& options() const { return options_; }
+
+ private:
+  std::chrono::nanoseconds EstimateWait(std::size_t queued_ahead) const {
+    double service_ns;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      service_ns = ewma_service_ns_;
+    }
+    const double workers =
+        static_cast<double>(options_.num_workers > 0 ? options_.num_workers
+                                                     : 1);
+    const double wait_ns =
+        static_cast<double>(queued_ahead) * service_ns / workers;
+    if (wait_ns >=
+        static_cast<double>(std::chrono::nanoseconds::max().count())) {
+      return std::chrono::nanoseconds::max();
+    }
+    return std::chrono::nanoseconds(static_cast<std::int64_t>(wait_ns));
+  }
+
+  const Options options_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  mutable std::mutex mu_;
+  double ewma_service_ns_;  // guarded by mu_
+};
+
+// Out of line: Options{} needs the enclosing class complete before its
+// default member initializers are usable (GCC is strict about this for
+// defaulted arguments and in-class delegation).
+inline AdmissionController::AdmissionController()
+    : AdmissionController(Options{}) {}
+
+}  // namespace mvp::serve
+
+#endif  // MVPTREE_SERVE_ADMISSION_H_

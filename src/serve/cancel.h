@@ -66,6 +66,9 @@ struct CancelContext {
   const metric::AtomicDistanceCounter* counter = nullptr;
   CancelToken* token = nullptr;
   ServeClock::time_point deadline = kNoDeadline;
+  /// Query-wide cap on distance computations (0 = unlimited), enforced
+  /// against `counter` so it spans every thread working on the query.
+  std::uint64_t budget = 0;
 };
 
 /// RAII frame installing a cancellation domain on the current thread.
@@ -77,18 +80,23 @@ struct CancelContext {
 class CancelScope {
  public:
   CancelScope(const metric::AtomicDistanceCounter* counter,
-              CancelToken* token, ServeClock::time_point deadline)
+              CancelToken* token, ServeClock::time_point deadline,
+              std::uint64_t budget = 0)
       : prev_(current_) {
     frame_.counter = counter;
     frame_.token = token;
     frame_.deadline = deadline;
+    frame_.budget = budget;
     current_ = &frame_;
   }
   explicit CancelScope(const CancelContext& context)
-      : CancelScope(context.counter, context.token, context.deadline) {}
+      : CancelScope(context.counter, context.token, context.deadline,
+                    context.budget) {}
 
   ~CancelScope() {
-    if (frame_.counter != nullptr) frame_.counter->Add(frame_.distances);
+    if (frame_.counter != nullptr) {
+      frame_.counter->Add(frame_.distances - frame_.flushed);
+    }
     current_ = prev_;
   }
 
@@ -103,12 +111,20 @@ class CancelScope {
   static CancelContext Current() {
     const Frame* f = current_;
     if (f == nullptr) return CancelContext{};
-    return CancelContext{f->counter, f->token, f->deadline};
+    return CancelContext{f->counter, f->token, f->deadline, f->budget};
   }
 
-  /// True once the active scope (if any) is cancelled or past its deadline.
-  /// Also counts one distance evaluation against the scope — call it
-  /// exactly once per metric evaluation, before evaluating.
+  /// True once the active scope (if any) is cancelled, past its deadline,
+  /// or — when a distance budget is set — the query's cross-thread
+  /// evaluation count has reached it. Also counts one distance evaluation
+  /// against the scope — call it exactly once per metric evaluation,
+  /// before evaluating.
+  ///
+  /// Budget enforcement works by flushing this thread's tally into the
+  /// query's shared counter at every stride boundary and comparing the
+  /// counter (the query-wide total) against the budget, so the cap holds
+  /// across fanned-out shard tasks with a slack of at most
+  /// kCheckStride × threads evaluations.
   static bool ShouldStop() {
     Frame* f = current_;
     if (f == nullptr) return false;
@@ -118,6 +134,14 @@ class CancelScope {
       if (f->deadline != kNoDeadline && ServeClock::now() >= f->deadline) {
         if (f->token != nullptr) f->token->Cancel();
         return true;
+      }
+      if (f->budget > 0 && f->counter != nullptr) {
+        f->counter->Add(f->distances - f->flushed);
+        f->flushed = f->distances;
+        if (f->counter->count() >= f->budget) {
+          if (f->token != nullptr) f->token->Cancel();
+          return true;
+        }
       }
     }
     ++f->distances;
@@ -131,8 +155,10 @@ class CancelScope {
     const metric::AtomicDistanceCounter* counter = nullptr;
     CancelToken* token = nullptr;
     ServeClock::time_point deadline = kNoDeadline;
+    std::uint64_t budget = 0;  // 0 = unlimited
     int countdown = 1;  // check the clock on the first evaluation
     std::uint64_t distances = 0;
+    std::uint64_t flushed = 0;  // prefix of `distances` already in `counter`
   };
 
   inline static thread_local Frame* current_ = nullptr;

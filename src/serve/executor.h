@@ -1,6 +1,7 @@
 #ifndef MVPTREE_SERVE_EXECUTOR_H_
 #define MVPTREE_SERVE_EXECUTOR_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -11,6 +12,7 @@
 #include "common/query.h"
 #include "common/status.h"
 #include "metric/counting.h"
+#include "serve/admission.h"
 #include "serve/cancel.h"
 #include "serve/serve_stats.h"
 #include "serve/thread_pool.h"
@@ -28,8 +30,19 @@
 ///    query whose deadline has already passed when a worker picks it up is
 ///    shed without touching the index (a zero timeout never runs); one
 ///    whose deadline expires mid-search is cancelled cooperatively at the
-///    next distance computation (see serve/cancel.h) and reports
-///    DeadlineExceeded with no partial results.
+///    next distance computation (see serve/cancel.h).
+///  * Graceful degradation: a cancelled query does not discard the work it
+///    already paid for. For indexes exposing the `*SearchInto` harvest
+///    interface (ShardedMvpIndex, MvpTree), the neighbors found before the
+///    cut are returned with `QueryOutcome::partial == true` and status
+///    DeadlineExceeded. Range partials are a true subset of the full
+///    answer (every hit passed the exact d <= r test); k-NN partials are
+///    the best candidates among the points evaluated so far. A per-query
+///    `max_distance_computations` budget degrades the same way.
+///  * Load shedding: with `ExecutorOptions::admission` set, each query asks
+///    the AdmissionController before being submitted; refused queries get
+///    Status::ResourceExhausted immediately — no queueing, no index work —
+///    instead of blocking the submitter unboundedly.
 ///  * Backpressure: at most `ThreadPool::Options::queue_capacity` query
 ///    tasks are queued at once; the submitting thread runs queries itself
 ///    while the queue is full, so submission can never outrun execution.
@@ -37,14 +50,15 @@
 ///    completion, queue time included) and the exact number of distance
 ///    computations the query performed, aggregated across every thread
 ///    that worked on it. Outcomes are optionally folded into a shared
-///    `ServeStats`.
+///    `ServeStats` (ok / partial / deadline_exceeded / shed).
 ///
 /// Mid-search cancellation requires the index's distance evaluations to be
 /// cancellation points, which ShardedMvpIndex guarantees (its shards are
 /// built over CancelChecked metrics). Any index with the standard
-/// RangeSearch/KnnSearch signatures works — a plain MvpTree too — but an
-/// index without cancellation points only honours deadlines at query
-/// start, not mid-search.
+/// RangeSearch/KnnSearch signatures works — but an index without
+/// cancellation points only honours deadlines at query start, not
+/// mid-search, and one without the `*SearchInto` interface reports
+/// cancellation with `partial == false` and no results.
 
 namespace mvp::serve {
 
@@ -60,13 +74,23 @@ struct BatchQuery {
   /// Deadline budget measured from batch start; default: none. Zero means
   /// the query is shed unconditionally.
   std::chrono::nanoseconds timeout = std::chrono::nanoseconds::max();
+  /// Cap on metric evaluations for this query, across all threads working
+  /// on it (0 = unlimited). Exceeding it degrades to a partial answer,
+  /// like a deadline — the cost-bounded flavour of the same knob.
+  std::uint64_t max_distance_computations = 0;
 };
 
 /// Per-query result of RunBatch.
 struct QueryOutcome {
-  /// OK, or DeadlineExceeded when the query was shed or cancelled.
+  /// OK (complete answer), DeadlineExceeded (deadline or distance budget
+  /// hit; `neighbors` holds a partial answer iff `partial`), or
+  /// ResourceExhausted (shed by admission control before running).
   Status status;
-  /// Neighbors (empty on DeadlineExceeded — no partial results).
+  /// True when `neighbors` is a degraded-but-served partial answer from a
+  /// cancelled search. Never true on OK or ResourceExhausted.
+  bool partial = false;
+  /// Neighbors, sorted by (distance, id). Complete on OK; the harvest on
+  /// partial; empty otherwise.
   std::vector<Neighbor> neighbors;
   /// Batch start to query completion, queueing included.
   std::chrono::nanoseconds latency{0};
@@ -79,6 +103,11 @@ struct ExecutorOptions {
   /// only). Lowers single-query latency; for batch throughput the
   /// query-level parallelism is usually enough and cheaper.
   bool parallel_shards = false;
+  /// When set, every query must be admitted before it runs; refusals come
+  /// back as ResourceExhausted outcomes. The controller is the caller's —
+  /// typically shared across many batches so in-flight bounds hold
+  /// process-wide.
+  AdmissionController* admission = nullptr;
 };
 
 namespace internal {
@@ -89,22 +118,49 @@ inline ServeClock::time_point DeadlineFrom(ServeClock::time_point start,
   return start + timeout;
 }
 
-/// Invokes the right search; passes the shard pool through when the index
-/// accepts one (ShardedMvpIndex), with `nullptr` meaning serial shards.
+/// Invokes the right search, preferring the `*SearchInto` harvest
+/// interface (results survive a cancellation unwind in `*out`) and passing
+/// the shard pool through when the index accepts one (ShardedMvpIndex).
+/// Sets `*harvestable` before any index work, so the catch handler knows
+/// whether `*out` is meaningful. Results land in `*out` unsorted.
 template <typename Index, typename Object>
-std::vector<Neighbor> Dispatch(const Index& index,
-                               const BatchQuery<Object>& query,
-                               SearchStats* stats, ThreadPool* shard_pool) {
+void SearchInto(const Index& index, const BatchQuery<Object>& query,
+                std::vector<Neighbor>* out, SearchStats* stats,
+                ThreadPool* shard_pool, bool* harvestable) {
+  using Kind = typename BatchQuery<Object>::Kind;
   if constexpr (requires {
-                  index.RangeSearch(query.object, query.radius, stats,
-                                    shard_pool);
+                  index.RangeSearchInto(query.object, query.radius, out,
+                                        stats, shard_pool);
                 }) {
-    return query.kind == BatchQuery<Object>::Kind::kRange
+    *harvestable = true;
+    if (query.kind == Kind::kRange) {
+      index.RangeSearchInto(query.object, query.radius, out, stats,
+                            shard_pool);
+    } else {
+      index.KnnSearchInto(query.object, query.k, out, stats, shard_pool);
+    }
+  } else if constexpr (requires {
+                         index.RangeSearchInto(query.object, query.radius,
+                                               out, stats);
+                       }) {
+    *harvestable = true;
+    if (query.kind == Kind::kRange) {
+      index.RangeSearchInto(query.object, query.radius, out, stats);
+    } else {
+      index.KnnSearchInto(query.object, query.k, out, stats);
+    }
+  } else if constexpr (requires {
+                         index.RangeSearch(query.object, query.radius, stats,
+                                           shard_pool);
+                       }) {
+    *harvestable = false;
+    *out = query.kind == Kind::kRange
                ? index.RangeSearch(query.object, query.radius, stats,
                                    shard_pool)
                : index.KnnSearch(query.object, query.k, stats, shard_pool);
   } else {
-    return query.kind == BatchQuery<Object>::Kind::kRange
+    *harvestable = false;
+    *out = query.kind == Kind::kRange
                ? index.RangeSearch(query.object, query.radius, stats)
                : index.KnnSearch(query.object, query.k, stats);
   }
@@ -125,47 +181,91 @@ std::vector<QueryOutcome> RunBatch(const Index& index,
   const ServeClock::time_point start = ServeClock::now();
   ThreadPool* shard_pool = options.parallel_shards ? pool : nullptr;
 
+  auto finish = [&](std::size_t i) {
+    QueryOutcome& out = outcomes[i];
+    out.latency = ServeClock::now() - start;
+    if (stats != nullptr) {
+      stats->RecordQuery(out.status, out.partial, out.latency,
+                         out.distance_computations, out.neighbors.size());
+    }
+  };
+
   auto run_one = [&](std::size_t i) {
     const BatchQuery<Object>& query = queries[i];
     QueryOutcome& out = outcomes[i];
     const ServeClock::time_point deadline =
         internal::DeadlineFrom(start, query.timeout);
+    const std::uint64_t budget = query.max_distance_computations;
     metric::AtomicDistanceCounter counter;
     CancelToken token;
     SearchStats search_stats;
-    if (ServeClock::now() >= deadline) {
+    bool harvestable = false;
+    const ServeClock::time_point work_start = ServeClock::now();
+    if (work_start >= deadline) {
       out.status = Status::DeadlineExceeded("deadline passed before search");
     } else {
       try {
-        CancelScope scope(&counter, &token, deadline);
-        out.neighbors =
-            internal::Dispatch(index, query, &search_stats, shard_pool);
+        CancelScope scope(&counter, &token, deadline, budget);
+        internal::SearchInto(index, query, &out.neighbors, &search_stats,
+                             shard_pool, &harvestable);
         out.status = Status::OK();
       } catch (const CancelledError&) {
-        out.status = Status::DeadlineExceeded("deadline expired mid-search");
-        out.neighbors.clear();
+        // The scope (and any shard scopes) flushed into `counter` during
+        // the unwind, so the budget-vs-deadline attribution below sees the
+        // final count.
+        out.partial = harvestable;
+        if (!harvestable) out.neighbors.clear();
+        if (budget > 0 && counter.count() >= budget &&
+            ServeClock::now() < deadline) {
+          out.status =
+              Status::DeadlineExceeded("distance budget exhausted mid-search");
+        } else {
+          out.status = Status::DeadlineExceeded("deadline expired mid-search");
+        }
+      }
+      if (harvestable) {
+        // Harvested hits arrive unsorted (and k-NN as a per-shard union);
+        // normalize to the library-wide presentation order.
+        std::sort(out.neighbors.begin(), out.neighbors.end(), NeighborLess);
+        if (query.kind == BatchQuery<Object>::Kind::kKnn &&
+            out.neighbors.size() > query.k) {
+          out.neighbors.resize(query.k);
+        }
       }
     }
-    // The scope (and any shard scopes) flushed into `counter`; indexes
-    // without cancellation points report through SearchStats instead. On
-    // the success path of a CancelChecked index the two agree exactly.
+    // Indexes without cancellation points report through SearchStats
+    // instead of the counter; on the success path of a CancelChecked index
+    // the two agree exactly.
     out.distance_computations =
         std::max(counter.count(), search_stats.distance_computations);
-    out.latency = ServeClock::now() - start;
-    if (stats != nullptr) {
-      stats->RecordQuery(out.status.ok(), out.latency,
-                         out.distance_computations, out.neighbors.size());
+    if (options.admission != nullptr) {
+      options.admission->Complete(ServeClock::now() - work_start);
     }
+    finish(i);
+  };
+
+  // Admission (when configured) happens at submit time: a refused query
+  // never touches the pool or the index, and its outcome is final here.
+  auto admit = [&](std::size_t i) {
+    if (options.admission == nullptr) return true;
+    Status admitted = options.admission->TryAdmit(queries[i].timeout);
+    if (admitted.ok()) return true;
+    outcomes[i].status = std::move(admitted);
+    finish(i);
+    return false;
   };
 
   if (pool == nullptr) {
-    for (std::size_t i = 0; i < queries.size(); ++i) run_one(i);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (admit(i)) run_one(i);
+    }
     return outcomes;
   }
 
   std::atomic<std::size_t> done{0};
   std::size_t offloaded = 0;
   for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (!admit(i)) continue;
     const bool queued = pool->TrySubmit([&run_one, &done, i] {
       run_one(i);
       done.fetch_add(1, std::memory_order_release);

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "common/status.h"
 #include "metric/counting.h"
 
 /// \file
@@ -95,36 +96,66 @@ class LatencyHistogram {
 };
 
 /// Point-in-time view of a ServeStats (plain values, safe to copy around).
+/// The four outcome counters are disjoint and sum to `queries`:
+/// ok / partial / deadline_exceeded / shed (see ServeStats::RecordQuery).
 struct ServeStatsSnapshot {
   std::uint64_t queries = 0;             ///< completed, any outcome
-  std::uint64_t ok = 0;                  ///< completed successfully
-  std::uint64_t deadline_exceeded = 0;   ///< shed before or during search
+  std::uint64_t ok = 0;                  ///< complete answer
+  std::uint64_t partial = 0;             ///< degraded: partial answer served
+  std::uint64_t deadline_exceeded = 0;   ///< missed deadline, nothing served
+  std::uint64_t shed = 0;                ///< refused by admission control
   std::uint64_t distance_computations = 0;
-  std::uint64_t results_returned = 0;    ///< neighbors across ok queries
+  std::uint64_t results_returned = 0;    ///< neighbors across ok+partial
   std::chrono::nanoseconds p50{0};
   std::chrono::nanoseconds p95{0};
   std::chrono::nanoseconds p99{0};
   std::chrono::nanoseconds max{0};
+  /// Latency distribution of the degraded queries alone (partial +
+  /// deadline_exceeded + shed) — the tail the SLO conversation is about.
+  std::chrono::nanoseconds degraded_p50{0};
+  std::chrono::nanoseconds degraded_p99{0};
+  std::chrono::nanoseconds degraded_max{0};
 };
 
 /// Thread-safe counters + latency histogram for a serving endpoint. One
 /// instance is shared by every worker; all methods may race freely.
 class ServeStats {
  public:
-  void RecordQuery(bool ok, std::chrono::nanoseconds latency,
+  /// Folds one completed query in. Classification (disjoint):
+  ///  * `status.ok() && !partial`        -> ok
+  ///  * `partial`                        -> partial (degraded but served;
+  ///                                        status is DeadlineExceeded)
+  ///  * ResourceExhausted                -> shed (admission refused it)
+  ///  * any other failure                -> deadline_exceeded
+  /// Degraded queries (everything but ok) are additionally recorded into a
+  /// separate latency histogram so the tail of degraded work is visible
+  /// next to the overall distribution.
+  void RecordQuery(const Status& status, bool partial,
+                   std::chrono::nanoseconds latency,
                    std::uint64_t distance_computations,
                    std::uint64_t results_returned) {
-    if (ok) {
+    if (status.ok() && !partial) {
       ok_.fetch_add(1, std::memory_order_relaxed);
       results_.fetch_add(results_returned, std::memory_order_relaxed);
     } else {
-      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      if (partial) {
+        partial_.fetch_add(1, std::memory_order_relaxed);
+        results_.fetch_add(results_returned, std::memory_order_relaxed);
+      } else if (status.code() == StatusCode::kResourceExhausted) {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      }
+      degraded_latency_.Record(latency);
     }
     distances_.Add(distance_computations);
     latency_.Record(latency);
   }
 
   const LatencyHistogram& latency() const { return latency_; }
+  const LatencyHistogram& degraded_latency() const {
+    return degraded_latency_;
+  }
   const metric::AtomicDistanceCounter& distance_counter() const {
     return distances_;
   }
@@ -132,24 +163,33 @@ class ServeStats {
   ServeStatsSnapshot Snapshot() const {
     ServeStatsSnapshot snap;
     snap.ok = ok_.load(std::memory_order_relaxed);
+    snap.partial = partial_.load(std::memory_order_relaxed);
     snap.deadline_exceeded =
         deadline_exceeded_.load(std::memory_order_relaxed);
-    snap.queries = snap.ok + snap.deadline_exceeded;
+    snap.shed = shed_.load(std::memory_order_relaxed);
+    snap.queries =
+        snap.ok + snap.partial + snap.deadline_exceeded + snap.shed;
     snap.distance_computations = distances_.count();
     snap.results_returned = results_.load(std::memory_order_relaxed);
     snap.p50 = latency_.Quantile(0.50);
     snap.p95 = latency_.Quantile(0.95);
     snap.p99 = latency_.Quantile(0.99);
     snap.max = latency_.max();
+    snap.degraded_p50 = degraded_latency_.Quantile(0.50);
+    snap.degraded_p99 = degraded_latency_.Quantile(0.99);
+    snap.degraded_max = degraded_latency_.max();
     return snap;
   }
 
  private:
   std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> partial_{0};
   std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> results_{0};
   metric::AtomicDistanceCounter distances_;
   LatencyHistogram latency_;
+  LatencyHistogram degraded_latency_;
 };
 
 }  // namespace mvp::serve

@@ -125,12 +125,28 @@ class ShardedMvpIndex {
   std::vector<Neighbor> RangeSearch(const Object& query, double radius,
                                     SearchStats* stats = nullptr,
                                     ThreadPool* pool = nullptr) const {
-    auto search = [&](const Shard& shard, SearchStats* shard_stats) {
-      return shard.tree.RangeSearch(query, radius, shard_stats);
-    };
-    std::vector<Neighbor> merged = FanOut(search, stats, pool);
+    std::vector<Neighbor> merged;
+    RangeSearchInto(query, radius, &merged, stats, pool);
     std::sort(merged.begin(), merged.end(), NeighborLess);
     return merged;
+  }
+
+  /// RangeSearch appending unsorted hits (global ids) into the caller-owned
+  /// `*out`. On a mid-search cancellation, everything every shard had found
+  /// by then — including shards that were interrupted — is harvested into
+  /// `*out` and accounted into `*stats` before CancelledError is rethrown,
+  /// so the executor can serve the partial answer. Every harvested hit is a
+  /// true member of the full answer (it passed the exact d <= r test).
+  void RangeSearchInto(const Object& query, double radius,
+                       std::vector<Neighbor>* out,
+                       SearchStats* stats = nullptr,
+                       ThreadPool* pool = nullptr) const {
+    FanOutInto(
+        [&](const Shard& shard, std::vector<Neighbor>* sink,
+            SearchStats* shard_stats) {
+          shard.tree.RangeSearchInto(query, radius, sink, shard_stats);
+        },
+        out, stats, pool);
   }
 
   /// The k nearest objects, sorted by distance then global id — exactly
@@ -139,13 +155,28 @@ class ShardedMvpIndex {
   std::vector<Neighbor> KnnSearch(const Object& query, std::size_t k,
                                   SearchStats* stats = nullptr,
                                   ThreadPool* pool = nullptr) const {
-    auto search = [&](const Shard& shard, SearchStats* shard_stats) {
-      return shard.tree.KnnSearch(query, k, shard_stats);
-    };
-    std::vector<Neighbor> merged = FanOut(search, stats, pool);
+    std::vector<Neighbor> merged;
+    KnnSearchInto(query, k, &merged, stats, pool);
     std::sort(merged.begin(), merged.end(), NeighborLess);
     if (merged.size() > k) merged.resize(k);
     return merged;
+  }
+
+  /// KnnSearch appending each shard's (unsorted) candidate set into the
+  /// caller-owned `*out` — up to k per shard, so the caller sorts and trims
+  /// to k. On cancellation the harvested union holds the best candidates
+  /// among the points evaluated so far (a valid degraded answer; not
+  /// necessarily the true top-k), appended before CancelledError is
+  /// rethrown.
+  void KnnSearchInto(const Object& query, std::size_t k,
+                     std::vector<Neighbor>* out, SearchStats* stats = nullptr,
+                     ThreadPool* pool = nullptr) const {
+    FanOutInto(
+        [&](const Shard& shard, std::vector<Neighbor>* sink,
+            SearchStats* shard_stats) {
+          shard.tree.KnnSearchInto(query, k, sink, shard_stats);
+        },
+        out, stats, pool);
   }
 
   std::size_t size() const { return size_; }
@@ -241,46 +272,57 @@ class ShardedMvpIndex {
 
   ShardedMvpIndex() = default;
 
-  /// Runs `search` over every shard, translates local ids to global ids,
-  /// and concatenates the results. Parallel shard searches propagate the
-  /// caller's cancellation context onto the worker threads, so a deadline
-  /// set by the executor aborts all shards of the query, and every shard's
-  /// distance evaluations are flushed into the query's counter.
+  /// Runs `search` over every shard into a per-shard sink, translates local
+  /// ids to global ids, and appends everything into `*out`. Parallel shard
+  /// searches propagate the caller's cancellation context onto the worker
+  /// threads, so a deadline set by the executor aborts all shards of the
+  /// query, and every shard's distance evaluations are flushed into the
+  /// query's counter.
+  ///
+  /// Cancellation (serial or parallel) is caught per shard: whatever every
+  /// shard accumulated before being interrupted is still translated,
+  /// appended and accounted — the partial-results harvest — and only then
+  /// is CancelledError rethrown to signal the caller the answer is
+  /// incomplete.
   template <typename SearchFn>
-  std::vector<Neighbor> FanOut(const SearchFn& search, SearchStats* stats,
-                               ThreadPool* pool) const {
+  void FanOutInto(const SearchFn& search, std::vector<Neighbor>* out,
+                  SearchStats* stats, ThreadPool* pool) const {
+    MVP_DCHECK(out != nullptr);
     const std::size_t k = shards_.size();
     std::vector<std::vector<Neighbor>> hits(k);
     std::vector<SearchStats> shard_stats(k);
+    bool cancelled = false;
 
     if (pool == nullptr || k == 1) {
-      for (std::size_t s = 0; s < k; ++s) {
-        hits[s] = search(*shards_[s], stats != nullptr ? &shard_stats[s]
-                                                       : nullptr);
+      try {
+        for (std::size_t s = 0; s < k; ++s) {
+          search(*shards_[s], &hits[s],
+                 stats != nullptr ? &shard_stats[s] : nullptr);
+        }
+      } catch (const CancelledError&) {
+        cancelled = true;
       }
     } else {
       const CancelContext context = CancelScope::Current();
-      std::atomic<bool> cancelled{false};
+      std::atomic<bool> flag{false};
       ParallelFor(*pool, k, [&](std::size_t s) {
         CancelScope scope(context);
         try {
-          hits[s] = search(*shards_[s], stats != nullptr ? &shard_stats[s]
-                                                         : nullptr);
+          search(*shards_[s], &hits[s],
+                 stats != nullptr ? &shard_stats[s] : nullptr);
         } catch (const CancelledError&) {
-          cancelled.store(true, std::memory_order_relaxed);
+          flag.store(true, std::memory_order_relaxed);
         }
       });
-      if (cancelled.load(std::memory_order_relaxed)) throw CancelledError();
+      cancelled = flag.load(std::memory_order_relaxed);
     }
 
     std::size_t total = 0;
     for (const auto& h : hits) total += h.size();
-    std::vector<Neighbor> merged;
-    merged.reserve(total);
+    out->reserve(out->size() + total);
     for (std::size_t s = 0; s < k; ++s) {
       for (const Neighbor& n : hits[s]) {
-        merged.push_back(
-            Neighbor{shards_[s]->global_ids[n.id], n.distance});
+        out->push_back(Neighbor{shards_[s]->global_ids[n.id], n.distance});
       }
       if (stats != nullptr) {
         stats->distance_computations += shard_stats[s].distance_computations;
@@ -289,7 +331,7 @@ class ShardedMvpIndex {
         stats->leaf_points_filtered += shard_stats[s].leaf_points_filtered;
       }
     }
-    return merged;
+    if (cancelled) throw CancelledError();
   }
 
   Options options_;

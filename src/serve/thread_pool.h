@@ -73,7 +73,9 @@ class ThreadPool {
 
   /// Schedules `fn` and returns a future for its result (or exception).
   /// Blocks while the queue is full — this is the pool's backpressure.
-  /// Must not be called after Shutdown.
+  /// Calling it after (or racing with) Shutdown is safe: the task is
+  /// refused and the returned future reports std::future_errc::
+  /// broken_promise instead of enqueueing work no worker will run.
   template <typename F>
   auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
@@ -82,10 +84,14 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     {
       std::unique_lock<std::mutex> lock(mu_);
-      MVP_DCHECK(!stopping_);
       space_cv_.wait(lock, [this] {
         return pending_ < options_.queue_capacity || stopping_;
       });
+      // A stopping pool has (or will have) no workers; enqueueing would
+      // strand the task ("work accepted is work done" only covers work
+      // accepted before Shutdown). Dropping the packaged_task breaks its
+      // promise, which is exactly what the future should observe.
+      if (stopping_) return future;
       EnqueueLocked([task] { (*task)(); });
     }
     work_cv_.notify_one();
@@ -130,7 +136,8 @@ class ThreadPool {
   }
 
   /// Drains all queued tasks, then joins the workers. Idempotent. Called
-  /// by the destructor; no submissions may race with or follow it.
+  /// by the destructor. Submissions racing with or following it are safe:
+  /// TrySubmit returns false, Submit returns a broken-promise future.
   void Shutdown() {
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "common/status.h"
+#include "fault/failpoint.h"
+#include "fault/retry.h"
 #include "serve/sharded_index.h"
 #include "serve/thread_pool.h"
 #include "snapshot/snapshot_store.h"
@@ -83,21 +85,35 @@ class AsyncSnapshotLoader {
   /// also fans out across the pool (ParallelFor's helping protocol makes
   /// the nested fan-out deadlock-free). `cell` must outlive the returned
   /// future's completion.
+  ///
+  /// Transient I/O failures (per `retry.retryable`; default: IOError only)
+  /// are retried with exponential backoff + jitter. The cell is published
+  /// exactly once, on the attempt that succeeds; exhausted retries — or a
+  /// non-retryable failure such as Corruption — publish nothing, and the
+  /// old generation keeps serving. The failpoint "snapshot/load" injects a
+  /// failure before each load attempt (see docs/fault_injection.md).
   template <typename Object, metric::MetricFor<Object> Metric,
             CodecFor<Object> Codec>
   std::future<Status> LoadAndSwap(
       SnapshotStore store, Metric metric, Codec codec,
-      GenerationCell<serve::ShardedMvpIndex<Object, Metric>>* cell) {
+      GenerationCell<serve::ShardedMvpIndex<Object, Metric>>* cell,
+      fault::RetryOptions retry = {}) {
     MVP_DCHECK(cell != nullptr);
     serve::ThreadPool* pool = pool_;
     return pool_->Submit([store = std::move(store), metric = std::move(metric),
-                          codec = std::move(codec), cell, pool]() -> Status {
-      auto loaded = store.template LoadSharded<Object>(metric, codec, pool);
-      if (!loaded.ok()) return loaded.status();
-      using Index = serve::ShardedMvpIndex<Object, Metric>;
-      cell->Publish(std::make_shared<const Index>(
-          std::move(loaded).ValueOrDie().index));
-      return Status::OK();
+                          codec = std::move(codec), cell, pool,
+                          retry = std::move(retry)]() -> Status {
+      return fault::RetryWithBackoff(retry, [&]() -> Status {
+        if (MVP_FAILPOINT("snapshot/load")) {
+          return Status::IOError("injected transient snapshot load failure");
+        }
+        auto loaded = store.template LoadSharded<Object>(metric, codec, pool);
+        if (!loaded.ok()) return loaded.status();
+        using Index = serve::ShardedMvpIndex<Object, Metric>;
+        cell->Publish(std::make_shared<const Index>(
+            std::move(loaded).ValueOrDie().index));
+        return Status::OK();
+      });
     });
   }
 

@@ -1,6 +1,7 @@
 #ifndef MVPTREE_SNAPSHOT_MMAP_FILE_H_
 #define MVPTREE_SNAPSHOT_MMAP_FILE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -9,6 +10,7 @@
 
 #include "common/serialize.h"
 #include "common/status.h"
+#include "fault/fault_fs.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define MVPTREE_HAS_MMAP 1
@@ -27,8 +29,12 @@
 /// path deserializes straight out of the page cache with zero intermediate
 /// copies of the payload, the kernel prefetches sequentially-scanned chunks
 /// (MADV_SEQUENTIAL), and N parallel shard loaders share one physical copy
-/// of the bytes. On platforms without mmap the class degrades to reading
-/// the file into an owned buffer — same interface, one extra copy.
+/// of the bytes. The heap-fallback path (read the file into an owned
+/// buffer — same interface, one extra copy) is always compiled: it is the
+/// only path off-POSIX, and on POSIX it can be forced per process with
+/// `MmapFile::ForceHeapFallback(true)` so tests exercise it on Linux too.
+/// The mmap path routes open/fstat/mmap through the fault::fs seam for
+/// fault-injection tests.
 
 namespace mvp::snapshot {
 
@@ -38,28 +44,33 @@ class MmapFile {
   /// Maps `path` read-only. An empty file yields a valid zero-length view.
   static Result<MmapFile> Open(const std::string& path) {
 #if MVPTREE_HAS_MMAP
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0) return Status::IOError("cannot open for mmap: " + path);
-    struct ::stat st {};
-    if (::fstat(fd, &st) != 0) {
-      ::close(fd);
-      return Status::IOError("fstat failed: " + path);
-    }
-    MmapFile file;
-    file.size_ = static_cast<std::size_t>(st.st_size);
-    if (file.size_ > 0) {
-      void* map = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
-      if (map == MAP_FAILED) {
+    if (!force_fallback_.load(std::memory_order_relaxed)) {
+      const int fd = fault::fs::Open(path.c_str(), O_RDONLY, 0);
+      if (fd < 0) return Status::IOError("cannot open for mmap: " + path);
+      struct ::stat st {};
+      if (fault::fs::Fstat(fd, &st, path.c_str()) != 0) {
         ::close(fd);
-        return Status::IOError("mmap failed: " + path);
+        return Status::IOError("fstat failed: " + path);
       }
-      ::madvise(map, file.size_, MADV_SEQUENTIAL);
-      file.data_ = static_cast<const std::uint8_t*>(map);
+      MmapFile file;
+      file.size_ = static_cast<std::size_t>(st.st_size);
+      if (file.size_ > 0) {
+        void* map = fault::fs::Mmap(file.size_, PROT_READ, MAP_PRIVATE, fd,
+                                    path.c_str());
+        if (map == MAP_FAILED) {
+          ::close(fd);
+          return Status::IOError("mmap failed: " + path);
+        }
+        ::madvise(map, file.size_, MADV_SEQUENTIAL);
+        file.data_ = static_cast<const std::uint8_t*>(map);
+        file.mapped_ = true;
+      }
+      // The mapping keeps the file alive; the descriptor is no longer
+      // needed.
+      ::close(fd);
+      return file;
     }
-    // The mapping keeps the file alive; the descriptor is no longer needed.
-    ::close(fd);
-    return file;
-#else
+#endif
     auto bytes = ReadFile(path);
     if (!bytes.ok()) return bytes.status();
     MmapFile file;
@@ -67,8 +78,20 @@ class MmapFile {
     file.data_ = file.fallback_.data();
     file.size_ = file.fallback_.size();
     return file;
-#endif
   }
+
+  /// Process-wide switch forcing every subsequent Open onto the heap
+  /// fallback, so the fallback path can be tested on platforms that have
+  /// mmap. Affects only future opens; existing views are untouched.
+  static void ForceHeapFallback(bool on) {
+    force_fallback_.store(on, std::memory_order_relaxed);
+  }
+  static bool heap_fallback_forced() {
+    return force_fallback_.load(std::memory_order_relaxed);
+  }
+
+  /// True when this view is an actual kernel mapping (false: heap copy).
+  bool mapped() const { return mapped_; }
 
   MmapFile() = default;
   ~MmapFile() { Reset(); }
@@ -79,9 +102,11 @@ class MmapFile {
       Reset();
       data_ = other.data_;
       size_ = other.size_;
+      mapped_ = other.mapped_;
       fallback_ = std::move(other.fallback_);
       other.data_ = nullptr;
       other.size_ = 0;
+      other.mapped_ = false;
     }
     return *this;
   }
@@ -95,18 +120,22 @@ class MmapFile {
  private:
   void Reset() {
 #if MVPTREE_HAS_MMAP
-    if (data_ != nullptr) {
+    if (mapped_ && data_ != nullptr) {
       ::munmap(const_cast<std::uint8_t*>(data_), size_);
     }
 #endif
     data_ = nullptr;
     size_ = 0;
+    mapped_ = false;
     fallback_.clear();
   }
 
+  inline static std::atomic<bool> force_fallback_{false};
+
   const std::uint8_t* data_ = nullptr;
   std::size_t size_ = 0;
-  std::vector<std::uint8_t> fallback_;  // non-mmap platforms only
+  bool mapped_ = false;
+  std::vector<std::uint8_t> fallback_;  // owned copy when not mapped
 };
 
 }  // namespace mvp::snapshot

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -14,6 +15,8 @@
 
 #include "common/codec.h"
 #include "dataset/vector_gen.h"
+#include "fault/failpoint.h"
+#include "fault/retry.h"
 #include "metric/lp.h"
 #include "snapshot/snapshot_store.h"
 
@@ -194,6 +197,61 @@ TEST_F(AsyncLoaderTest, BackToBackLoadsPublishMonotonically) {
     ASSERT_NE(generation, nullptr);
     EXPECT_EQ(generation->size(), 30 * round);
   }
+}
+
+TEST_F(AsyncLoaderTest, TransientLoadFailureIsRetriedAndSwapsExactlyOnce) {
+  SnapshotStore store(dir_);
+  const Index next = BuildIndex(100, 8);
+  ASSERT_TRUE(store.SaveSharded(next, VectorCodec()).ok());
+
+  auto old_gen = std::make_shared<const Index>(BuildIndex(30, 9));
+  Cell cell{old_gen};
+  serve::ThreadPool pool(2);
+  AsyncSnapshotLoader loader(&pool);
+
+  // The first load attempt fails with an injected transient IOError; the
+  // retry succeeds. No real sleeping — the backoff goes through the seam.
+  fault::FailpointConfig config;
+  config.max_fires = 1;
+  fault::ScopedFailpoint fp("snapshot/load", config);
+  fault::RetryOptions retry;
+  retry.max_attempts = 3;
+  std::atomic<int> sleeps{0};
+  retry.sleep = [&sleeps](std::chrono::nanoseconds) { ++sleeps; };
+
+  auto future =
+      loader.LoadAndSwap<Vector>(store, L2(), VectorCodec(), &cell, retry);
+  ASSERT_TRUE(future.get().ok());
+  EXPECT_EQ(sleeps.load(), 1);   // exactly one failed attempt
+  EXPECT_EQ(cell.version(), 2u); // swapped exactly once
+  auto generation = cell.Get();
+  ASSERT_NE(generation, nullptr);
+  EXPECT_EQ(generation->size(), 100u);
+}
+
+TEST_F(AsyncLoaderTest, ExhaustedRetriesPublishNothing) {
+  SnapshotStore store(dir_);
+  ASSERT_TRUE(store.SaveSharded(BuildIndex(100, 10), VectorCodec()).ok());
+
+  auto old_gen = std::make_shared<const Index>(BuildIndex(30, 11));
+  Cell cell{old_gen};
+  serve::ThreadPool pool(2);
+  AsyncSnapshotLoader loader(&pool);
+
+  fault::ScopedFailpoint fp("snapshot/load", {});  // every attempt fails
+  fault::RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.sleep = [](std::chrono::nanoseconds) {};
+
+  auto future =
+      loader.LoadAndSwap<Vector>(store, L2(), VectorCodec(), &cell, retry);
+  const Status status = future.get();
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(fault::Failpoints::Instance().fires("snapshot/load"), 3u);
+  EXPECT_EQ(cell.version(), 1u);  // old generation still serving
+  auto generation = cell.Get();
+  ASSERT_NE(generation, nullptr);
+  EXPECT_EQ(generation->size(), 30u);
 }
 
 TEST_F(AsyncLoaderTest, GenerationCellKeepsOldAliveAcrossPublish) {

@@ -1,0 +1,182 @@
+// Failpoint registry semantics: count-based triggers (skip / max_fires),
+// one-shot fires, seeded-probability determinism, detail-substring matching,
+// arm/disarm lifecycle, and thread safety of the fire counters.
+
+#include "fault/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mvp::fault {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::Instance().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedFailpointNeverFires) {
+  EXPECT_FALSE(Failpoints::AnyArmed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(MVP_FAILPOINT("test/nothing-armed"));
+  }
+  EXPECT_EQ(Failpoints::Instance().evaluations("test/nothing-armed"), 0u);
+}
+
+TEST_F(FailpointTest, SkipFiresOnNthEvaluation) {
+  FailpointConfig config;
+  config.skip = 2;  // fire starting with the 3rd evaluation
+  Failpoints::Instance().Arm("test/skip", config);
+  EXPECT_TRUE(Failpoints::AnyArmed());
+
+  EXPECT_FALSE(MVP_FAILPOINT("test/skip"));
+  EXPECT_FALSE(MVP_FAILPOINT("test/skip"));
+  EXPECT_TRUE(MVP_FAILPOINT("test/skip"));
+  EXPECT_TRUE(MVP_FAILPOINT("test/skip"));  // and keeps firing (no max)
+  EXPECT_EQ(Failpoints::Instance().evaluations("test/skip"), 4u);
+  EXPECT_EQ(Failpoints::Instance().fires("test/skip"), 2u);
+}
+
+TEST_F(FailpointTest, OneShotFiresExactlyOnce) {
+  FailpointConfig config;
+  config.max_fires = 1;
+  Failpoints::Instance().Arm("test/oneshot", config);
+
+  EXPECT_TRUE(MVP_FAILPOINT("test/oneshot"));
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(MVP_FAILPOINT("test/oneshot"));
+  EXPECT_EQ(Failpoints::Instance().fires("test/oneshot"), 1u);
+}
+
+TEST_F(FailpointTest, SkipAndMaxFiresComposeIntoAWindow) {
+  FailpointConfig config;
+  config.skip = 3;
+  config.max_fires = 2;  // fire exactly on evaluations 4 and 5
+  Failpoints::Instance().Arm("test/window", config);
+
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(MVP_FAILPOINT("test/window"));
+  const std::vector<bool> expected{false, false, false, true,
+                                   true,  false, false, false};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST_F(FailpointTest, SeededProbabilityReplaysExactly) {
+  auto run = [](std::uint64_t seed) {
+    FailpointConfig config;
+    config.probability = 0.5;
+    config.seed = seed;
+    Failpoints::Instance().Arm("test/coin", config);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(MVP_FAILPOINT("test/coin"));
+    Failpoints::Instance().Disarm("test/coin");
+    return fired;
+  };
+
+  const auto a = run(42);
+  const auto b = run(42);
+  const auto c = run(43);
+  EXPECT_EQ(a, b);  // same seed, same fire sequence
+  EXPECT_NE(a, c);  // different seed, (overwhelmingly) different sequence
+
+  // A fair-ish number of fires: p=0.5 over 200 trials is within [60, 140]
+  // with probability ~1 - 1e-8.
+  const auto fires = static_cast<std::size_t>(
+      std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 60u);
+  EXPECT_LT(fires, 140u);
+}
+
+TEST_F(FailpointTest, MatchFiltersByDetailSubstring) {
+  FailpointConfig config;
+  config.match = "MANIFEST";
+  Failpoints::Instance().Arm("test/match", config);
+  auto& fp = Failpoints::Instance();
+
+  EXPECT_FALSE(fp.Fire("test/match", "/store/gen-000001/shards.mvps"));
+  EXPECT_TRUE(fp.Fire("test/match", "/store/gen-000001/MANIFEST"));
+  EXPECT_FALSE(fp.Fire("test/match", "/store/CURRENT"));
+  // Non-matching evaluations are invisible: not counted, not skipped.
+  EXPECT_EQ(fp.evaluations("test/match"), 1u);
+  EXPECT_EQ(fp.fires("test/match"), 1u);
+}
+
+TEST_F(FailpointTest, ConfigAndOrdinalAreCopiedOutOnFire) {
+  FailpointConfig config;
+  config.error_code = 28;  // ENOSPC
+  config.short_write = 7;
+  Failpoints::Instance().Arm("test/out", config);
+
+  FailpointConfig got;
+  std::uint64_t ordinal = 0;
+  ASSERT_TRUE(Failpoints::Instance().Fire("test/out", {}, &got, &ordinal));
+  EXPECT_EQ(got.error_code, 28);
+  EXPECT_EQ(got.short_write, 7);
+  EXPECT_EQ(ordinal, 1u);
+  ASSERT_TRUE(Failpoints::Instance().Fire("test/out", {}, &got, &ordinal));
+  EXPECT_EQ(ordinal, 2u);
+}
+
+TEST_F(FailpointTest, DisarmAllResetsEverything) {
+  Failpoints::Instance().Arm("test/a", {});
+  Failpoints::Instance().Arm("test/b", {});
+  EXPECT_TRUE(Failpoints::AnyArmed());
+  Failpoints::Instance().DisarmAll();
+  EXPECT_FALSE(Failpoints::AnyArmed());
+  EXPECT_FALSE(MVP_FAILPOINT("test/a"));
+  EXPECT_FALSE(MVP_FAILPOINT("test/b"));
+}
+
+TEST_F(FailpointTest, RearmingResetsCounters) {
+  FailpointConfig config;
+  config.max_fires = 1;
+  Failpoints::Instance().Arm("test/rearm", config);
+  EXPECT_TRUE(MVP_FAILPOINT("test/rearm"));
+  EXPECT_FALSE(MVP_FAILPOINT("test/rearm"));  // exhausted
+
+  Failpoints::Instance().Arm("test/rearm", config);  // re-arm: fresh counters
+  EXPECT_TRUE(MVP_FAILPOINT("test/rearm"));
+  EXPECT_EQ(Failpoints::Instance().fires("test/rearm"), 1u);
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  {
+    ScopedFailpoint scoped("test/scoped", {});
+    EXPECT_TRUE(MVP_FAILPOINT("test/scoped"));
+  }
+  EXPECT_FALSE(Failpoints::AnyArmed());
+  EXPECT_FALSE(MVP_FAILPOINT("test/scoped"));
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluationsHonorMaxFiresExactly) {
+  FailpointConfig config;
+  config.max_fires = 100;
+  Failpoints::Instance().Arm("test/threads", config);
+
+  constexpr int kThreads = 4;
+  constexpr int kEvals = 10000;
+  std::vector<std::uint64_t> fired(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &fired] {
+      for (int i = 0; i < kEvals; ++i) {
+        if (MVP_FAILPOINT("test/threads")) ++fired[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::uint64_t total = 0;
+  for (const auto f : fired) total += f;
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(Failpoints::Instance().fires("test/threads"), 100u);
+  EXPECT_EQ(Failpoints::Instance().evaluations("test/threads"),
+            static_cast<std::uint64_t>(kThreads) * kEvals);
+}
+
+}  // namespace
+}  // namespace mvp::fault

@@ -1,0 +1,223 @@
+// The fault::fs syscall seam, exercised through WriteFileAtomic and
+// MmapFile: injected open/write/fsync/close/rename failures surface as
+// IOError with the temp file cleaned up, ENOSPC-style error codes pass
+// through, benign short writes are absorbed by the retry loop, short-
+// write-then-fail leaves partial progress behind, and CrashError unwinds
+// from the exact syscall it was armed on.
+
+#include "fault/fault_fs.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "fault/failpoint.h"
+#include "snapshot/mmap_file.h"
+
+namespace mvp::fault {
+namespace {
+
+class FaultFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/faultfs_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    Failpoints::Instance().DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  static std::vector<std::uint8_t> Payload(std::size_t n) {
+    std::vector<std::uint8_t> bytes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bytes[i] = static_cast<std::uint8_t>(i * 131 + 7);
+    }
+    return bytes;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(FaultFsTest, NoInjectionWritesNormally) {
+  const auto payload = Payload(1000);
+  ASSERT_TRUE(WriteFileAtomic(Path("f"), payload).ok());
+  auto read = ReadFile(Path("f"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), payload);
+}
+
+TEST_F(FaultFsTest, InjectedOpenFailureReturnsIOError) {
+  ScopedFailpoint fp("fs/open", {});
+  const Status status = WriteFileAtomic(Path("f"), Payload(100));
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_FALSE(std::filesystem::exists(Path("f")));
+  EXPECT_FALSE(std::filesystem::exists(Path("f.tmp")));
+}
+
+TEST_F(FaultFsTest, InjectedWriteFailureCleansUpTempFile) {
+  ScopedFailpoint fp("fs/write", {});
+  const Status status = WriteFileAtomic(Path("f"), Payload(100));
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("write failed"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(Path("f")));
+  EXPECT_FALSE(std::filesystem::exists(Path("f.tmp")));
+}
+
+TEST_F(FaultFsTest, EnospcErrorCodePassesThroughTheSeam) {
+  FailpointConfig config;
+  config.error_code = ENOSPC;
+  Failpoints::Instance().Arm("fs/write", config);
+
+  // Probe the seam directly so errno is observed right at the failing call.
+  const std::string path = Path("raw");
+  const int fd = fault::fs::Open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  ASSERT_GE(fd, 0);
+  errno = 0;
+  const char byte = 'x';
+  EXPECT_EQ(fault::fs::Write(fd, &byte, 1, path.c_str()), -1);
+  EXPECT_EQ(errno, ENOSPC);
+  Failpoints::Instance().DisarmAll();
+  EXPECT_EQ(fault::fs::Close(fd, path.c_str()), 0);
+
+  // And end to end: the injected ENOSPC makes WriteFileAtomic fail cleanly.
+  Failpoints::Instance().Arm("fs/write", config);
+  EXPECT_EQ(WriteFileAtomic(Path("f"), Payload(100)).code(),
+            StatusCode::kIOError);
+}
+
+TEST_F(FaultFsTest, InjectedFsyncFailureCleansUpTempFile) {
+  ScopedFailpoint fp("fs/fsync", {});
+  const Status status = WriteFileAtomic(Path("f"), Payload(100));
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("fsync"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(Path("f")));
+  EXPECT_FALSE(std::filesystem::exists(Path("f.tmp")));
+}
+
+TEST_F(FaultFsTest, InjectedRenameFailureLeavesNoDestination) {
+  ScopedFailpoint fp("fs/rename", {});
+  const Status status = WriteFileAtomic(Path("f"), Payload(100));
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("rename"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(Path("f")));
+  EXPECT_FALSE(std::filesystem::exists(Path("f.tmp")));
+}
+
+TEST_F(FaultFsTest, BenignShortWriteIsAbsorbedByTheRetryLoop) {
+  // One short write of 7 bytes; every later ::write is real, so the
+  // caller's retry loop finishes the file and the result is byte-perfect.
+  FailpointConfig config;
+  config.short_write = 7;
+  config.max_fires = 1;
+  Failpoints::Instance().Arm("fs/write", config);
+
+  const auto payload = Payload(1000);
+  ASSERT_TRUE(WriteFileAtomic(Path("f"), payload).ok());
+  auto read = ReadFile(Path("f"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), payload);
+  EXPECT_EQ(Failpoints::Instance().fires("fs/write"), 1u);
+}
+
+TEST_F(FaultFsTest, ShortWriteThenHardFailureLeavesPartialTempOnly) {
+  // Unlimited fires: the first makes 7 bytes of real progress, the second
+  // fails the retry — the loop cannot quietly complete 7 bytes at a time.
+  FailpointConfig config;
+  config.short_write = 7;
+  Failpoints::Instance().Arm("fs/write", config);
+
+  const Status status = WriteFileAtomic(Path("f"), Payload(1000));
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(Failpoints::Instance().fires("fs/write"), 2u);
+  EXPECT_FALSE(std::filesystem::exists(Path("f")));
+  EXPECT_FALSE(std::filesystem::exists(Path("f.tmp")));  // cleaned up
+}
+
+TEST_F(FaultFsTest, MatchTargetsOneFileAmongMany) {
+  FailpointConfig config;
+  config.match = "victim";
+  Failpoints::Instance().Arm("fs/fsync", config);
+
+  EXPECT_TRUE(WriteFileAtomic(Path("innocent"), Payload(64)).ok());
+  EXPECT_EQ(WriteFileAtomic(Path("victim"), Payload(64)).code(),
+            StatusCode::kIOError);
+  EXPECT_TRUE(WriteFileAtomic(Path("bystander"), Payload(64)).ok());
+}
+
+TEST_F(FaultFsTest, CrashAtWriteUnwindsAsCrashError) {
+  FailpointConfig config;
+  config.crash = true;
+  Failpoints::Instance().Arm("fs/write", config);
+  EXPECT_THROW(
+      { (void)WriteFileAtomic(Path("f"), Payload(100)); }, CrashError);
+  // The simulated process died mid-write: the temp file (whatever made it
+  // to disk) is still there, the destination never appeared.
+  EXPECT_FALSE(std::filesystem::exists(Path("f")));
+}
+
+TEST_F(FaultFsTest, CrashAfterShortWritePersistsThePartialBytes) {
+  FailpointConfig config;
+  config.crash = true;
+  config.short_write = 7;
+  Failpoints::Instance().Arm("fs/write", config);
+  EXPECT_THROW(
+      { (void)WriteFileAtomic(Path("f"), Payload(100)); }, CrashError);
+  Failpoints::Instance().DisarmAll();
+
+  ASSERT_TRUE(std::filesystem::exists(Path("f.tmp")));
+  auto read = ReadFile(Path("f.tmp"));
+  ASSERT_TRUE(read.ok());
+  const auto expected = Payload(100);
+  ASSERT_EQ(read.value().size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(read.value()[i], expected[i]);
+  EXPECT_FALSE(std::filesystem::exists(Path("f")));
+}
+
+TEST_F(FaultFsTest, CrashAtRenameLeavesOnlyTheTempFile) {
+  FailpointConfig config;
+  config.crash = true;
+  Failpoints::Instance().Arm("fs/rename", config);
+  EXPECT_THROW(
+      { (void)WriteFileAtomic(Path("f"), Payload(100)); }, CrashError);
+  Failpoints::Instance().DisarmAll();
+
+  // Everything up to the rename really ran: full temp file, no destination.
+  EXPECT_TRUE(std::filesystem::exists(Path("f.tmp")));
+  EXPECT_FALSE(std::filesystem::exists(Path("f")));
+  auto read = ReadFile(Path("f.tmp"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), Payload(100));
+}
+
+TEST_F(FaultFsTest, InjectedMmapFailureSurfacesThroughMmapFile) {
+  const auto payload = Payload(512);
+  ASSERT_TRUE(WriteFileAtomic(Path("f"), payload).ok());
+
+  ScopedFailpoint fp("fs/mmap", {});
+  auto mapped = snapshot::MmapFile::Open(Path("f"));
+  EXPECT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(FaultFsTest, InjectedOpenFailureSurfacesThroughMmapFile) {
+  ASSERT_TRUE(WriteFileAtomic(Path("f"), Payload(512)).ok());
+  ScopedFailpoint fp("fs/open", {});
+  auto mapped = snapshot::MmapFile::Open(Path("f"));
+  EXPECT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace mvp::fault

@@ -1,0 +1,160 @@
+// RetryWithBackoff semantics: attempt counting, retryable-vs-terminal
+// classification, the exponential backoff + jitter schedule (observed
+// through the injectable sleep seam), and Result<T> pass-through.
+
+#include "fault/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mvp::fault {
+namespace {
+
+using std::chrono::nanoseconds;
+
+RetryOptions NoSleep(int max_attempts) {
+  RetryOptions options;
+  options.max_attempts = max_attempts;
+  options.sleep = [](nanoseconds) {};
+  return options;
+}
+
+TEST(RetryTest, FirstSuccessReturnsImmediately) {
+  int calls = 0;
+  const Status status = RetryWithBackoff(NoSleep(5), [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, TransientFailureIsRetriedUntilSuccess) {
+  int calls = 0;
+  const Status status = RetryWithBackoff(NoSleep(5), [&] {
+    ++calls;
+    if (calls < 3) return Status::IOError("transient");
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, ExhaustedAttemptsReturnLastFailure) {
+  int calls = 0;
+  const Status status = RetryWithBackoff(NoSleep(4), [&] {
+    ++calls;
+    return Status::IOError("still down");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, CorruptionIsNotRetried) {
+  int calls = 0;
+  const Status status = RetryWithBackoff(NoSleep(5), [&] {
+    ++calls;
+    return Status::Corruption("bad checksum");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 1);  // a second read of corrupt bytes would not help
+}
+
+TEST(RetryTest, SingleAttemptMeansNoRetry) {
+  int calls = 0;
+  const Status status = RetryWithBackoff(NoSleep(1), [&] {
+    ++calls;
+    return Status::IOError("transient");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, CustomRetryablePredicateIsHonored) {
+  RetryOptions options = NoSleep(3);
+  options.retryable = [](const Status& s) {
+    return s.code() == StatusCode::kNotFound;
+  };
+  int calls = 0;
+  const Status status = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::IOError("transient");  // not retryable under the override
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyWithinJitterBounds) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff = nanoseconds(1000);
+  options.backoff_multiplier = 2.0;
+  options.max_backoff = std::chrono::seconds(1);
+  options.jitter = 0.5;
+  std::vector<nanoseconds> slept;
+  options.sleep = [&](nanoseconds d) { slept.push_back(d); };
+
+  (void)RetryWithBackoff(options, [] { return Status::IOError("x"); });
+
+  // 4 attempts -> 3 sleeps of nominally 1000, 2000, 4000ns, each scaled by
+  // a factor in [1 - jitter, 1] = [0.5, 1].
+  ASSERT_EQ(slept.size(), 3u);
+  const std::int64_t nominal[] = {1000, 2000, 4000};
+  for (std::size_t i = 0; i < slept.size(); ++i) {
+    EXPECT_GE(slept[i].count(), nominal[i] / 2) << "sleep " << i;
+    EXPECT_LE(slept[i].count(), nominal[i]) << "sleep " << i;
+  }
+}
+
+TEST(RetryTest, BackoffIsCappedAtMaxBackoff) {
+  RetryOptions options;
+  options.max_attempts = 6;
+  options.initial_backoff = nanoseconds(1000);
+  options.backoff_multiplier = 10.0;
+  options.max_backoff = nanoseconds(5000);
+  options.jitter = 0.0;  // exact schedule
+  std::vector<nanoseconds> slept;
+  options.sleep = [&](nanoseconds d) { slept.push_back(d); };
+
+  (void)RetryWithBackoff(options, [] { return Status::IOError("x"); });
+
+  ASSERT_EQ(slept.size(), 5u);
+  EXPECT_EQ(slept[0].count(), 1000);
+  EXPECT_EQ(slept[1].count(), 5000);  // 10000 capped
+  EXPECT_EQ(slept[2].count(), 5000);
+  EXPECT_EQ(slept[4].count(), 5000);
+}
+
+TEST(RetryTest, SameSeedReplaysTheSameSleepSchedule) {
+  auto run = [](std::uint64_t seed) {
+    RetryOptions options;
+    options.max_attempts = 5;
+    options.initial_backoff = nanoseconds(1 << 20);
+    options.seed = seed;
+    std::vector<nanoseconds> slept;
+    options.sleep = [&](nanoseconds d) { slept.push_back(d); };
+    (void)RetryWithBackoff(options, [] { return Status::IOError("x"); });
+    return slept;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(RetryTest, ResultValuesPassThrough) {
+  int calls = 0;
+  const Result<int> result = RetryWithBackoff(NoSleep(5), [&]() -> Result<int> {
+    ++calls;
+    if (calls < 2) return Status::IOError("transient");
+    return 42;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace mvp::fault

@@ -1,13 +1,15 @@
 // Batch executor semantics: result fidelity against direct searches,
 // per-query deadline enforcement (zero-budget queries never touch the
-// index; expiry mid-search cancels cooperatively and reports
-// DeadlineExceeded), distance accounting, and the serving stats sink —
-// including the lock-free latency histogram.
+// index; expiry mid-search cancels cooperatively, reports DeadlineExceeded,
+// and harvests the partial answer found so far), the distance-computation
+// budget degrading the same way, distance accounting, and the serving
+// stats sink — including the lock-free latency histogram.
 
 #include "serve/executor.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -147,7 +149,7 @@ TEST(ExecutorTest, ZeroTimeoutQueriesNeverRun) {
   EXPECT_EQ(snap.distance_computations, 0u);
 }
 
-TEST(ExecutorTest, DeadlineExpiryMidSearchReturnsDeadlineExceeded) {
+TEST(ExecutorTest, DeadlineExpiryMidSearchHarvestsPartialResults) {
   const auto data = dataset::UniformVectors(1500, 8, 13);
   ThrottledL2 throttled;
   ShardedMvpIndex<Vector, ThrottledL2>::Options options;
@@ -155,6 +157,10 @@ TEST(ExecutorTest, DeadlineExpiryMidSearchReturnsDeadlineExceeded) {
   const auto index = ShardedMvpIndex<Vector, ThrottledL2>::Build(
                          data, throttled, options)
                          .ValueOrDie();
+  // The full answer, for subset verification (fast metric, no stall).
+  const auto queries = dataset::UniformQueryVectors(1, 8, 14);
+  const auto full = index.RangeSearch(queries[0], 0.6);
+
   // ~200us per distance computation: a full search (hundreds of
   // evaluations) takes far longer than the 10ms budget, so the deadline
   // must fire mid-search. Run serially — the query then starts the moment
@@ -162,17 +168,101 @@ TEST(ExecutorTest, DeadlineExpiryMidSearchReturnsDeadlineExceeded) {
   // deterministic even on a loaded single-core machine.
   throttled.set_stall_us(200);
 
-  auto batch = MakeRangeBatch(dataset::UniformQueryVectors(1, 8, 14), 0.6);
+  auto batch = MakeRangeBatch(queries, 0.6);
   for (auto& q : batch) q.timeout = std::chrono::milliseconds(10);
   ServeStats stats;
   const auto outcomes = RunBatch(index, batch, /*pool=*/nullptr, &stats);
+  throttled.set_stall_us(0);
   for (const auto& out : outcomes) {
     EXPECT_EQ(out.status.code(), StatusCode::kDeadlineExceeded);
-    EXPECT_TRUE(out.neighbors.empty());       // no partial results
-    EXPECT_GT(out.distance_computations, 0u); // it did start searching
+    EXPECT_TRUE(out.partial);                  // degraded, not discarded
+    EXPECT_GT(out.distance_computations, 0u);  // it did start searching
     EXPECT_LT(out.distance_computations, 1500u);  // and was cut short
+    // Every harvested neighbor is a true answer: it passed the exact
+    // d <= r test before the cut, so the harvest is a subset of the full
+    // result set, sorted the same way.
+    EXPECT_LE(out.neighbors.size(), full.size());
+    EXPECT_TRUE(std::is_sorted(out.neighbors.begin(), out.neighbors.end(),
+                               NeighborLess));
+    EXPECT_TRUE(std::includes(full.begin(), full.end(),
+                              out.neighbors.begin(), out.neighbors.end(),
+                              NeighborLess));
   }
-  EXPECT_EQ(stats.Snapshot().deadline_exceeded, batch.size());
+  const auto snap = stats.Snapshot();
+  // Disjoint outcome classes: a harvest-bearing expiry counts as partial,
+  // not as deadline_exceeded (that class is for dead-on-arrival queries).
+  EXPECT_EQ(snap.partial, batch.size());
+  EXPECT_EQ(snap.deadline_exceeded, 0u);
+}
+
+TEST(ExecutorTest, DistanceBudgetDegradesToPartialResults) {
+  const auto data = dataset::UniformVectors(4000, 8, 23);
+  ShardedMvpIndex<Vector, L2>::Options options;
+  options.num_shards = 2;
+  const auto index =
+      ShardedMvpIndex<Vector, L2>::Build(data, L2(), options).ValueOrDie();
+  const auto queries = dataset::UniformQueryVectors(4, 8, 24);
+  const auto unbounded = RunBatch(index, MakeRangeBatch(queries, 0.6),
+                                  /*pool=*/nullptr);
+
+  auto batch = MakeRangeBatch(queries, 0.6);
+  for (auto& q : batch) q.max_distance_computations = 256;
+  ServeStats stats;
+  const auto outcomes = RunBatch(index, batch, /*pool=*/nullptr, &stats);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& out = outcomes[i];
+    ASSERT_GT(unbounded[i].distance_computations, 256u)
+        << "query too easy to exercise the budget";
+    EXPECT_EQ(out.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_NE(out.status.message().find("distance budget"), std::string::npos);
+    EXPECT_TRUE(out.partial);
+    // The budget is enforced at stride boundaries (serially: one frame),
+    // so the overshoot is bounded by one check stride.
+    EXPECT_GE(out.distance_computations, 256u);
+    EXPECT_LE(out.distance_computations, 256u + 64u);
+    // Partial range answers are a subset of the unbounded answer.
+    EXPECT_TRUE(std::includes(unbounded[i].neighbors.begin(),
+                              unbounded[i].neighbors.end(),
+                              out.neighbors.begin(), out.neighbors.end(),
+                              NeighborLess));
+  }
+  const auto snap = stats.Snapshot();
+  EXPECT_EQ(snap.partial, batch.size());
+  EXPECT_EQ(snap.deadline_exceeded, 0u);
+}
+
+TEST(ExecutorTest, DegradedOutcomeClassesFoldIntoStatsDisjointly) {
+  const auto data = dataset::UniformVectors(3000, 8, 25);
+  ShardedMvpIndex<Vector, L2>::Options options;
+  options.num_shards = 2;
+  const auto index =
+      ShardedMvpIndex<Vector, L2>::Build(data, L2(), options).ValueOrDie();
+
+  // 3 healthy + 3 shed-at-start (zero timeout) + 3 budget-degraded.
+  auto batch = MakeRangeBatch(dataset::UniformQueryVectors(9, 8, 26), 0.6);
+  for (std::size_t i = 3; i < 6; ++i) {
+    batch[i].timeout = std::chrono::nanoseconds(0);
+  }
+  for (std::size_t i = 6; i < 9; ++i) {
+    batch[i].max_distance_computations = 128;
+  }
+  ServeStats stats;
+  const auto outcomes = RunBatch(index, batch, /*pool=*/nullptr, &stats);
+
+  const auto snap = stats.Snapshot();
+  EXPECT_EQ(snap.queries, 9u);
+  EXPECT_EQ(snap.ok, 3u);
+  EXPECT_EQ(snap.deadline_exceeded, 3u);  // expired before any search work
+  EXPECT_EQ(snap.partial, 3u);            // budget-degraded, harvest served
+  EXPECT_EQ(snap.shed, 0u);
+  EXPECT_EQ(snap.ok + snap.partial + snap.deadline_exceeded + snap.shed,
+            snap.queries);
+  // Degraded latencies (everything that was not a complete OK answer) have
+  // their own histogram: 3 zero-timeout + 3 budget-cut queries.
+  EXPECT_EQ(stats.degraded_latency().count(), 6u);
+  for (std::size_t i = 6; i < 9; ++i) {
+    EXPECT_TRUE(outcomes[i].partial);
+  }
 }
 
 TEST(ExecutorTest, MixedDeadlinesAreEnforcedPerQuery) {

@@ -25,6 +25,10 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
             StatusCode::kDeadlineExceeded);
   EXPECT_NE(Status::DeadlineExceeded("m").ToString().find("deadline"),
             std::string::npos);
+  EXPECT_EQ(Status::ResourceExhausted("m").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_NE(Status::ResourceExhausted("m").ToString().find("resource"),
+            std::string::npos);
   Status s = Status::Corruption("bad bytes");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.message(), "bad bytes");

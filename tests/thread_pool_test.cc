@@ -11,6 +11,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -171,6 +172,79 @@ TEST(ThreadPoolTest, WaitIdleObservesQuiescence) {
   pool.WaitIdle();
   EXPECT_EQ(count.load(), 64);
   EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownReturnsBrokenPromise) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  // Refused, not deadlocked and not aborted: the future exists but its
+  // promise was dropped, which surfaces as broken_promise on get().
+  auto future = pool.Submit([] { return 7; });
+  EXPECT_THROW(
+      {
+        try {
+          (void)future.get();
+        } catch (const std::future_error& e) {
+          EXPECT_EQ(e.code(), std::future_errc::broken_promise);
+          throw;
+        }
+      },
+      std::future_error);
+}
+
+TEST(ThreadPoolTest, TrySubmitAfterShutdownReturnsFalse) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+}
+
+TEST(ThreadPoolTest, SubmissionsRacingShutdownNeverDeadlockOrLoseWork) {
+  // Hammer Submit/TrySubmit from several threads while Shutdown runs
+  // concurrently. Accepted work must all execute (drain-on-shutdown);
+  // refused work must be observably refused; nothing may hang or crash.
+  for (int round = 0; round < 20; ++round) {
+    auto pool = std::make_unique<ThreadPool>(ThreadPool::Options{2, 8});
+    std::atomic<int> executed{0};
+    std::atomic<int> submit_ran{0};
+    std::atomic<int> submit_broken{0};
+    std::atomic<int> try_accepted{0};
+    constexpr int kSubmitters = 4;
+    constexpr int kPerThread = 50;
+
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          if ((t + i) % 2 == 0) {
+            auto future = pool->Submit([&executed] {
+              executed.fetch_add(1, std::memory_order_relaxed);
+              return 0;
+            });
+            try {
+              (void)future.get();  // either ran or broken_promise
+              submit_ran.fetch_add(1, std::memory_order_relaxed);
+            } catch (const std::future_error&) {
+              submit_broken.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else if (pool->TrySubmit([&executed] {
+                       executed.fetch_add(1, std::memory_order_relaxed);
+                     })) {
+            try_accepted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    std::thread closer([&] { pool->Shutdown(); });
+    for (auto& th : submitters) th.join();
+    closer.join();
+    pool.reset();  // destructor re-runs Shutdown: must be idempotent
+
+    // Every Submit resolved one way or the other, and exactly the accepted
+    // tasks executed — drain-on-shutdown loses nothing it accepted.
+    EXPECT_EQ(submit_ran.load() + submit_broken.load(),
+              kSubmitters * kPerThread / 2);
+    EXPECT_EQ(executed.load(), submit_ran.load() + try_accepted.load());
+  }
 }
 
 }  // namespace

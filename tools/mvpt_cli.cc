@@ -15,6 +15,12 @@
 //                    [--threads "1,2,4,8"] [--queries Q]
 //                    [--radius R | --knn K] [--timeout-ms T]
 //                    [--snapshot-dir DIR]  # also time cold vs warm start
+//                    [--deadline-partial MS]  # replay with an MS-millisecond
+//                                # deadline; expired queries return their
+//                                # partial harvest instead of nothing
+//                    [--overload N]  # replay through admission control with
+//                                # at most N queries in flight; the excess
+//                                # is shed with ResourceExhausted
 //                                # concurrent-serving throughput/latency
 //   mvpt snapshot-save --input data.csv --metric l1|l2|linf --dir store/
 //                      [--shards K] [--order M] [--leaf K] [--paths P]
@@ -554,6 +560,82 @@ int RunServeBench(const Args& args) {
     std::printf("results identical across all configurations: %s\n",
                 all_match ? "yes" : "NO (BUG)");
     if (!all_match) return 1;
+  }
+
+  // Graceful-degradation demo: replay the batch with a tight deadline and
+  // show how much of each answer survives as a harvested partial result.
+  if (args.Has("deadline-partial")) {
+    const long partial_ms = args.GetInt("deadline-partial", 1);
+    auto degraded = batch;
+    for (auto& bq : degraded) {
+      bq.timeout = std::chrono::milliseconds(partial_ms > 0 ? partial_ms : 1);
+    }
+    serve::ThreadPool pool(thread_counts.back());
+    serve::ServeStats stats;
+    const auto outcomes =
+        serve::RunBatch(sharded.value(), degraded, &pool, &stats);
+    std::size_t harvested = 0, full_answers = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      harvested += outcomes[i].neighbors.size();
+      full_answers += baseline[i].neighbors.size();
+    }
+    const auto snap = stats.Snapshot();
+    harness::Table deg({"deadline_ms", "ok", "partial", "expired", "answer_%",
+                        "degr_p50_us", "degr_p99_us"});
+    deg.AddRow(
+        {std::to_string(partial_ms), std::to_string(snap.ok),
+         std::to_string(snap.partial), std::to_string(snap.deadline_exceeded),
+         harness::FormatDouble(full_answers == 0
+                                   ? 100.0
+                                   : 100.0 * static_cast<double>(harvested) /
+                                         static_cast<double>(full_answers),
+                               1),
+         harness::FormatDouble(
+             static_cast<double>(snap.degraded_p50.count()) / 1e3, 0),
+         harness::FormatDouble(
+             static_cast<double>(snap.degraded_p99.count()) / 1e3, 0)});
+    std::cout << deg.ToText();
+    std::printf("deadline-expired queries returned their harvest instead of "
+                "nothing: %zu/%zu neighbors served\n",
+                harvested, full_answers);
+  }
+
+  // Overload demo: admission control bounds the work in flight; the excess
+  // of a burst is shed immediately with ResourceExhausted, not queued into
+  // uselessness.
+  if (args.Has("overload")) {
+    const auto in_flight =
+        static_cast<std::size_t>(args.GetInt("overload", 8));
+    serve::AdmissionController::Options admission_options;
+    admission_options.max_in_flight = in_flight > 0 ? in_flight : 1;
+    admission_options.num_workers = thread_counts.back();
+    serve::AdmissionController admission(admission_options);
+    serve::ExecutorOptions exec;
+    exec.admission = &admission;
+
+    serve::ThreadPool pool(thread_counts.back());
+    serve::ServeStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    const auto outcomes =
+        serve::RunBatch(sharded.value(), batch, &pool, &stats, exec);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    (void)outcomes;
+    const auto snap = stats.Snapshot();
+    harness::Table shed_table({"max_in_flight", "queries", "ok", "shed",
+                               "wall_ms", "p99_us"});
+    shed_table.AddRow(
+        {std::to_string(admission_options.max_in_flight),
+         std::to_string(snap.queries), std::to_string(snap.ok),
+         std::to_string(snap.shed), harness::FormatDouble(wall_ms, 1),
+         harness::FormatDouble(static_cast<double>(snap.p99.count()) / 1e3,
+                               0)});
+    std::cout << shed_table.ToText();
+    std::printf("admission control shed %llu of %llu queries immediately "
+                "(ResourceExhausted) instead of queueing them\n",
+                static_cast<unsigned long long>(snap.shed),
+                static_cast<unsigned long long>(snap.queries));
   }
 
   // Cold-start (build from raw data) vs warm-start (load a checksummed
