@@ -83,12 +83,12 @@ int Run() {
   for (std::size_t i = 0; i < n; i += 2) {
     const auto st = forest.Erase(i);
     MVP_DCHECK(st.ok());
-    (void)st;
+    (void)st;  // checked by MVP_DCHECK; unused in release builds
   }
   {
     const auto st = forest.Erase(1);
     MVP_DCHECK(st.ok());
-    (void)st;
+    (void)st;  // checked by MVP_DCHECK; unused in release builds
   }
   std::printf("after erasing 50%% (live=%zu, tombstones=%zu, trees=%zu):\n",
               forest.size(), forest.tombstone_count(), forest.num_trees());

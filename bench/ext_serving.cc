@@ -160,6 +160,7 @@ int Run() {
         std::chrono::microseconds(QuickMode() ? 500 : 2000);
     for (auto& q : burst) q.timeout = budget;
     const auto start = Clock::now();
+    // Outcomes land in `stats`; the burst is measured in aggregate.
     (void)serve::RunBatch(index, burst, &pool, &stats, exec);
     const double wall_ms = MillisSince(start);
     const auto snap = stats.Snapshot();

@@ -107,7 +107,7 @@ int Run() {
     const Sharded rebuilt =
         Sharded::Build(data, L2(), options, &pool).ValueOrDie();
     const double rebuild_ms = MillisSince(rebuild_t0);
-    (void)rebuilt;
+    (void)rebuilt;  // built only to time the from-scratch baseline
 
     if (warm_hits.size() != cold_hits.size()) all_match = false;
     for (std::size_t i = 0; i < warm_hits.size() && all_match; ++i) {

@@ -110,8 +110,8 @@ void WordShootout() {
   const auto words = dataset::SyntheticWords(count, 4242);
   std::vector<std::string> queries;
   for (std::size_t i = 0; i < 50; ++i) {
-    queries.push_back(
-        dataset::MutateWord(words[(i * 131) % words.size()], 1 + i % 3, i));
+    queries.push_back(dataset::MutateWord(words[(i * 131) % words.size()],
+                                          static_cast<unsigned>(1 + i % 3), i));
   }
   const std::vector<double> radii{1, 2, 3};
   using Lev = metric::Levenshtein;

@@ -128,7 +128,7 @@ class BkTree {
   };
 
   static bool IsDiscrete(double d) {
-    return std::abs(d - std::lround(d)) < 1e-9;
+    return std::abs(d - static_cast<double>(std::lround(d))) < 1e-9;
   }
 
   void RangeSearchNode(const Node& node, const Object& query, double radius,

@@ -42,16 +42,20 @@ Status WriteFile(const std::string& path,
 namespace {
 
 /// fsyncs the directory containing `path` so a just-performed rename in it
-/// survives a crash. Best-effort: some filesystems reject directory fsync.
+/// survives a crash. Best-effort: some filesystems reject directory fsync,
+/// so error returns are ignored — but the syscalls still go through the
+/// fault::fs seam (detail: the directory path) so crash drills can simulate
+/// dying between the rename and the directory flush, and so the
+/// tools/lint/ syscall-seam check holds repo-wide.
 void SyncParentDirectory(const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos
                               ? std::string(".")
                               : path.substr(0, slash == 0 ? 1 : slash);
-  const int fd = ::open(dir.c_str(), O_RDONLY);
+  const int fd = fault::fs::Open(dir.c_str(), O_RDONLY, 0);
   if (fd < 0) return;
-  ::fsync(fd);
-  ::close(fd);
+  fault::fs::Fsync(fd, dir.c_str());
+  fault::fs::Close(fd, dir.c_str());
 }
 
 }  // namespace

@@ -31,7 +31,13 @@ const char* StatusCodeName(StatusCode code);
 
 /// Outcome of a fallible operation: a code plus a human-readable message.
 /// Cheap to copy in the OK case (empty message).
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how I/O errors turn into
+/// corruption discovered three PRs later, so the compiler rejects it. The
+/// rare call site that really means to ignore a failure writes
+/// `(void)DoThing();` with a comment saying why ignoring is correct —
+/// tools/lint/check_source.py flags `(void)` discards without one.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -75,13 +81,17 @@ class Status {
 };
 
 /// A value of type T or the Status explaining why it could not be produced.
+/// [[nodiscard]] for the same reason as Status: an unexamined Result is an
+/// unexamined failure.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or an error keeps call sites terse
   /// (`return value;` / `return Status::InvalidArgument(...);`).
-  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
-  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design (above).
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design (above).
+  Result(Status status) : repr_(std::move(status)) {
     MVP_DCHECK(!std::get<Status>(repr_).ok());
   }
 

@@ -1,0 +1,212 @@
+#ifndef MVPTREE_COMMON_THREAD_ANNOTATIONS_H_
+#define MVPTREE_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+/// \file
+/// Clang Thread Safety Analysis support — the compile-time half of the
+/// lock-discipline story (the runtime half is the TSAN CI job).
+///
+/// Two pieces:
+///
+///  1. `MVP_*` capability-annotation macros. Under Clang they expand to the
+///     `__attribute__((...))` thread-safety attributes, so building with
+///     `-Wthread-safety -Werror=thread-safety` (the
+///     `MVPTREE_THREAD_SAFETY_ANALYSIS` CMake option) turns every
+///     guarded-field access without the guarding lock into a compile
+///     error. Under every other compiler they expand to nothing and cost
+///     nothing.
+///
+///  2. Annotated lockable wrappers (`Mutex`, `SharedMutex`, `CondVar`,
+///     `MutexLock`, ...). libstdc++'s `std::mutex` carries no capability
+///     attributes, so the analysis cannot see through it; these wrappers
+///     are the thinnest possible shims (LevelDB's port_stdcxx.h idiom)
+///     that make lock acquisition visible to the analysis. Components in
+///     the annotated directories (`src/serve/`, `src/snapshot/`,
+///     `src/fault/`) must use them instead of raw `std::mutex` —
+///     `tools/lint/check_source.py` enforces this.
+///
+/// The analysis is function-local and sound only for what is annotated:
+/// a `GUARDED_BY` field is protected everywhere or the build breaks, but
+/// an unannotated field is simply not checked. Annotate every field a
+/// mutex protects, not just the ones that look racy.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MVP_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define MVP_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Declares a type to be a capability ("mutex", "role", ...).
+#define MVP_CAPABILITY(x) MVP_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type whose lifetime is a critical section.
+#define MVP_SCOPED_CAPABILITY MVP_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field is protected by the given capability: reads require the lock held
+/// (shared or exclusive), writes require it held exclusively.
+#define MVP_GUARDED_BY(x) MVP_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given capability.
+#define MVP_PT_GUARDED_BY(x) MVP_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function requires the capability held (exclusively / shared) on entry,
+/// and does not release it.
+#define MVP_REQUIRES(...) \
+  MVP_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define MVP_REQUIRES_SHARED(...) \
+  MVP_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and holds it on
+/// return.
+#define MVP_ACQUIRE(...) \
+  MVP_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define MVP_ACQUIRE_SHARED(...) \
+  MVP_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability, which must be held on entry.
+#define MVP_RELEASE(...) \
+  MVP_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define MVP_RELEASE_SHARED(...) \
+  MVP_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; the first argument is the
+/// return value that means success.
+#define MVP_TRY_ACQUIRE(...) \
+  MVP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard for
+/// non-reentrant locks).
+#define MVP_EXCLUDES(...) \
+  MVP_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability (for accessors that
+/// expose the lock itself).
+#define MVP_RETURN_CAPABILITY(x) \
+  MVP_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function's locking is deliberately invisible to the
+/// analysis. Every use must carry a comment justifying why.
+#define MVP_NO_THREAD_SAFETY_ANALYSIS \
+  MVP_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+/// Asserts (to the analysis, not at runtime) that the capability is held.
+#define MVP_ASSERT_CAPABILITY(x) \
+  MVP_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+namespace mvp {
+
+/// Annotated exclusive mutex: std::mutex made visible to the analysis.
+class MVP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MVP_ACQUIRE() { mu_.lock(); }
+  void Unlock() MVP_RELEASE() { mu_.unlock(); }
+  bool TryLock() MVP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Annotated shared (reader/writer) mutex.
+class MVP_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() MVP_ACQUIRE() { mu_.lock(); }
+  void Unlock() MVP_RELEASE() { mu_.unlock(); }
+  void LockShared() MVP_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() MVP_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII critical section over a Mutex (the std::lock_guard analogue).
+class MVP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) MVP_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() MVP_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII shared (reader) critical section over a SharedMutex.
+class MVP_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) MVP_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() MVP_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// RAII exclusive (writer) critical section over a SharedMutex.
+class MVP_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) MVP_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() MVP_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable over the annotated Mutex. `Wait` takes the mutex as
+/// a parameter (instead of binding it at construction, the LevelDB shape)
+/// because the analysis resolves the MVP_REQUIRES(mu) capability
+/// expression to the caller's own lock at each call site — that is what
+/// makes `cv.Wait(mu_)` inside a critical section check, while a
+/// bound-member design would demand a capability (`cv.mu_`) the caller can
+/// never be known to hold. As with std::condition_variable, every waiter
+/// of one CondVar must pass the same Mutex. Callers keep their
+/// `while (!predicate) cv.Wait(mu_);` loops in the annotated function
+/// body, where the guarded-field reads of the predicate are checked.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks until notified; `mu` is
+  /// reacquired before returning (so to the analysis it is simply held
+  /// across the call). Spurious wakeups happen: always wait in a
+  /// predicate loop.
+  void Wait(Mutex& mu) MVP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mvp
+
+#endif  // MVPTREE_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,9 +1,10 @@
 #include "fault/failpoint.h"
 
 #include <map>
-#include <mutex>
 #include <random>
 #include <utility>
+
+#include "common/thread_annotations.h"
 
 namespace mvp::fault {
 
@@ -17,8 +18,8 @@ struct Failpoints::Impl {
     std::mt19937_64 rng;
   };
 
-  std::mutex mu;
-  std::map<std::string, State> armed;
+  Mutex mu;
+  std::map<std::string, State> armed MVP_GUARDED_BY(mu);
 };
 
 Failpoints& Failpoints::Instance() {
@@ -33,7 +34,7 @@ Failpoints::Impl& Failpoints::impl() {
 
 void Failpoints::Arm(const std::string& name, FailpointConfig config) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(&i.mu);
   auto [it, inserted] = i.armed.try_emplace(name);
   if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
   it->second = Impl::State{};
@@ -43,7 +44,7 @@ void Failpoints::Arm(const std::string& name, FailpointConfig config) {
 
 void Failpoints::Disarm(const std::string& name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(&i.mu);
   if (i.armed.erase(name) > 0) {
     armed_count_.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -51,7 +52,7 @@ void Failpoints::Disarm(const std::string& name) {
 
 void Failpoints::DisarmAll() {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(&i.mu);
   armed_count_.fetch_sub(static_cast<int>(i.armed.size()),
                          std::memory_order_relaxed);
   i.armed.clear();
@@ -60,7 +61,7 @@ void Failpoints::DisarmAll() {
 bool Failpoints::Fire(const std::string& name, std::string_view detail,
                       FailpointConfig* config, std::uint64_t* fire_ordinal) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(&i.mu);
   auto it = i.armed.find(name);
   if (it == i.armed.end()) return false;
   Impl::State& state = it->second;
@@ -83,14 +84,14 @@ bool Failpoints::Fire(const std::string& name, std::string_view detail,
 
 std::uint64_t Failpoints::evaluations(const std::string& name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(&i.mu);
   auto it = i.armed.find(name);
   return it == i.armed.end() ? 0 : it->second.evaluations;
 }
 
 std::uint64_t Failpoints::fires(const std::string& name) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
+  MutexLock lock(&i.mu);
   auto it = i.armed.find(name);
   return it == i.armed.end() ? 0 : it->second.fires;
 }

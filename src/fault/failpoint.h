@@ -25,6 +25,10 @@
 /// This header depends on nothing but the standard library so that low-level
 /// code (common/serialize.cc, snapshot/mmap_file.h) can include it without
 /// layering cycles.
+///
+/// Thread-safety analysis: the registry's map lives behind an annotated
+/// mvp::Mutex in failpoint.cc (MVP_GUARDED_BY); the armed-count fast path
+/// is a lone relaxed atomic, deliberately outside any capability.
 
 namespace mvp::fault {
 

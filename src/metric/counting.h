@@ -19,6 +19,11 @@
 /// AtomicCountingMetric may be shared freely across threads — the serving
 /// layer (src/serve/) uses the atomic flavour for per-query and global
 /// accounting when one index is searched from many threads at once.
+///
+/// Thread-safety analysis: AtomicDistanceCounter is a shared atomic with
+/// relaxed increments — intentionally capability-free (it is a statistic,
+/// not a synchronization point). DistanceCounter is single-threaded by
+/// contract; the TSA build keeps both free of unannotated locking.
 
 namespace mvp::metric {
 

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 /// \file
 /// Admission control: shed excess load instead of absorbing it.
@@ -66,7 +66,7 @@ class AdmissionController {
   /// ResourceExhausted: the query is shed; do not run it, do not call
   /// Complete().
   Status TryAdmit(std::chrono::nanoseconds timeout =
-                      std::chrono::nanoseconds::max()) {
+                      std::chrono::nanoseconds::max()) MVP_EXCLUDES(mu_) {
     std::size_t in_flight = in_flight_.load(std::memory_order_relaxed);
     for (;;) {
       if (in_flight >= options_.max_in_flight) {
@@ -100,16 +100,16 @@ class AdmissionController {
   /// Reports the completion of an admitted query that took `service_time`
   /// of actual work (queue time excluded — the estimate multiplies it back
   /// in).
-  void Complete(std::chrono::nanoseconds service_time) {
+  void Complete(std::chrono::nanoseconds service_time) MVP_EXCLUDES(mu_) {
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ewma_service_ns_ +=
         options_.ewma_alpha *
         (static_cast<double>(service_time.count()) - ewma_service_ns_);
   }
 
   /// Estimated queue wait a query admitted right now would see.
-  std::chrono::nanoseconds EstimatedQueueWait() const {
+  std::chrono::nanoseconds EstimatedQueueWait() const MVP_EXCLUDES(mu_) {
     return EstimateWait(in_flight_.load(std::memory_order_relaxed));
   }
 
@@ -124,10 +124,11 @@ class AdmissionController {
   const Options& options() const { return options_; }
 
  private:
-  std::chrono::nanoseconds EstimateWait(std::size_t queued_ahead) const {
+  std::chrono::nanoseconds EstimateWait(std::size_t queued_ahead) const
+      MVP_EXCLUDES(mu_) {
     double service_ns;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       service_ns = ewma_service_ns_;
     }
     const double workers =
@@ -146,8 +147,8 @@ class AdmissionController {
   std::atomic<std::size_t> in_flight_{0};
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> shed_{0};
-  mutable std::mutex mu_;
-  double ewma_service_ns_;  // guarded by mu_
+  mutable Mutex mu_;
+  double ewma_service_ns_ MVP_GUARDED_BY(mu_);
 };
 
 // Out of line: Options{} needs the enclosing class complete before its

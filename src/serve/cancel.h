@@ -29,6 +29,11 @@
 /// `metric::AtomicDistanceCounter` on destruction, so a query fanned out
 /// over several pool threads still gets one exact per-query count even when
 /// a deadline aborts some shards mid-search.
+///
+/// Thread-safety analysis: lock-free by design. CancelToken is a single
+/// atomic flag; CancelScope's Frame is thread-local (never shared), so
+/// neither carries a capability. The TSA build verifies no unannotated
+/// lock sneaks in.
 
 namespace mvp::serve {
 

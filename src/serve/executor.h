@@ -59,6 +59,12 @@
 /// cancellation points only honours deadlines at query start, not
 /// mid-search, and one without the `*SearchInto` interface reports
 /// cancellation with `partial == false` and no results.
+///
+/// Thread-safety analysis: RunBatch owns all cross-thread state either
+/// per-task (each worker touches only its own QueryOutcome slot) or as a
+/// std::atomic completion counter, so there is no lock and no capability
+/// to annotate; the locked components it drives (ThreadPool,
+/// AdmissionController) carry the annotations instead.
 
 namespace mvp::serve {
 

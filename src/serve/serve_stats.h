@@ -27,6 +27,12 @@
 /// index that is one `bit_width` instruction. Quantiles report the upper
 /// edge of the bucket containing the requested rank — a pessimistic bound,
 /// never an underestimate.
+///
+/// Thread-safety analysis (common/thread_annotations.h): this file is
+/// deliberately lock-free — every shared field is a std::atomic and there
+/// is no capability to annotate. The TSA build checks it for accidental
+/// reintroduction of unannotated locking; the repo lint forbids raw
+/// std::mutex members here.
 
 namespace mvp::serve {
 

@@ -41,6 +41,11 @@
 /// Every shard tree is built over a CancelChecked metric, so any search —
 /// serial or fanned out — is cancellable mid-flight by the executor's
 /// deadline machinery at the granularity of one distance computation.
+///
+/// Thread-safety analysis: the index is immutable after Build/Restore and
+/// searched concurrently without locks; per-query fan-out state is either
+/// task-private or a std::atomic. No capabilities to annotate — the TSA
+/// build (and the raw-mutex lint) keep it that way.
 
 namespace mvp::serve {
 

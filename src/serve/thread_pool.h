@@ -2,18 +2,17 @@
 #define MVPTREE_SERVE_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/thread_annotations.h"
 
 /// \file
 /// Fixed-size worker pool for the serving layer.
@@ -77,16 +76,17 @@ class ThreadPool {
   /// refused and the returned future reports std::future_errc::
   /// broken_promise instead of enqueueing work no worker will run.
   template <typename F>
-  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+  auto Submit(F&& fn) MVP_EXCLUDES(mu_)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      space_cv_.wait(lock, [this] {
-        return pending_ < options_.queue_capacity || stopping_;
-      });
+      MutexLock lock(&mu_);
+      while (pending_ >= options_.queue_capacity && !stopping_) {
+        space_cv_.Wait(mu_);
+      }
       // A stopping pool has (or will have) no workers; enqueueing would
       // strand the task ("work accepted is work done" only covers work
       // accepted before Shutdown). Dropping the packaged_task breaks its
@@ -94,35 +94,35 @@ class ThreadPool {
       if (stopping_) return future;
       EnqueueLocked([task] { (*task)(); });
     }
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
     return future;
   }
 
   /// Schedules `fn` (which must not throw) unless the queue is full or the
   /// pool is shutting down; returns whether it was accepted.
-  bool TrySubmit(std::function<void()> fn) {
+  bool TrySubmit(std::function<void()> fn) MVP_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (stopping_ || pending_ >= options_.queue_capacity) return false;
       EnqueueLocked(std::move(fn));
     }
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
     return true;
   }
 
   /// Runs one pending task on the calling thread, if any; returns whether
   /// one was run. Threads waiting for submitted work should call this in
   /// their wait loop so that nested submissions cannot deadlock.
-  bool RunOne() {
+  bool RunOne() MVP_EXCLUDES(mu_) {
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (pending_ == 0) return false;
       task = PopLocked(/*preferred=*/0);
       --pending_;
       ++running_;
     }
-    space_cv_.notify_one();
+    space_cv_.NotifyOne();
     task();
     FinishTask();
     return true;
@@ -130,22 +130,22 @@ class ThreadPool {
 
   /// Blocks until no task is queued or running. Quiescence, not a fence:
   /// tasks submitted after WaitIdle returns are not covered.
-  void WaitIdle() {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock, [this] { return pending_ == 0 && running_ == 0; });
+  void WaitIdle() MVP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (pending_ != 0 || running_ != 0) idle_cv_.Wait(mu_);
   }
 
   /// Drains all queued tasks, then joins the workers. Idempotent. Called
   /// by the destructor. Submissions racing with or following it are safe:
   /// TrySubmit returns false, Submit returns a broken-promise future.
-  void Shutdown() {
+  void Shutdown() MVP_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (stopping_) return;
       stopping_ = true;
     }
-    work_cv_.notify_all();
-    space_cv_.notify_all();
+    work_cv_.NotifyAll();
+    space_cv_.NotifyAll();
     for (auto& worker : workers_) worker.join();
     workers_.clear();
   }
@@ -154,13 +154,13 @@ class ThreadPool {
 
   /// Queued (not yet running) tasks; a snapshot, stale by the time you act
   /// on it.
-  std::size_t pending() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t pending() const MVP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return pending_;
   }
 
  private:
-  void EnqueueLocked(std::function<void()> task) {
+  void EnqueueLocked(std::function<void()> task) MVP_REQUIRES(mu_) {
     queues_[next_queue_].push_back(std::move(task));
     next_queue_ = (next_queue_ + 1) % queues_.size();
     ++pending_;
@@ -169,7 +169,7 @@ class ThreadPool {
   /// Pops from the preferred worker's deque (back = most recently pushed),
   /// else steals the oldest task from the first non-empty sibling.
   /// Precondition: pending_ > 0, mu_ held.
-  std::function<void()> PopLocked(std::size_t preferred) {
+  std::function<void()> PopLocked(std::size_t preferred) MVP_REQUIRES(mu_) {
     if (!queues_[preferred].empty()) {
       std::function<void()> task = std::move(queues_[preferred].back());
       queues_[preferred].pop_back();
@@ -186,18 +186,18 @@ class ThreadPool {
     return {};
   }
 
-  void FinishTask() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void FinishTask() MVP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     --running_;
-    if (pending_ == 0 && running_ == 0) idle_cv_.notify_all();
+    if (pending_ == 0 && running_ == 0) idle_cv_.NotifyAll();
   }
 
-  void WorkerLoop(std::size_t worker_index) {
+  void WorkerLoop(std::size_t worker_index) MVP_EXCLUDES(mu_) {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_cv_.wait(lock, [this] { return stopping_ || pending_ > 0; });
+        MutexLock lock(&mu_);
+        while (!stopping_ && pending_ == 0) work_cv_.Wait(mu_);
         if (pending_ == 0) {
           if (stopping_) return;  // drained: work accepted is work done
           continue;
@@ -206,23 +206,24 @@ class ThreadPool {
         --pending_;
         ++running_;
       }
-      space_cv_.notify_one();
+      space_cv_.NotifyOne();
       task();
       FinishTask();
     }
   }
 
   const Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers: a task or shutdown arrived
-  std::condition_variable space_cv_;  // submitters: queue has room
-  std::condition_variable idle_cv_;   // WaitIdle: nothing queued or running
-  std::vector<std::deque<std::function<void()>>> queues_;  // one per worker
-  std::vector<std::thread> workers_;
-  std::size_t pending_ = 0;  // queued tasks across all deques
-  std::size_t running_ = 0;  // tasks currently executing
-  std::size_t next_queue_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar work_cv_;   // workers: a task or shutdown arrived
+  CondVar space_cv_;  // submitters: queue has room
+  CondVar idle_cv_;   // WaitIdle: nothing queued or running
+  /// One deque per worker; all of them share mu_.
+  std::vector<std::deque<std::function<void()>>> queues_ MVP_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // written by ctor/Shutdown only
+  std::size_t pending_ MVP_GUARDED_BY(mu_) = 0;  // queued across all deques
+  std::size_t running_ MVP_GUARDED_BY(mu_) = 0;  // currently executing
+  std::size_t next_queue_ MVP_GUARDED_BY(mu_) = 0;
+  bool stopping_ MVP_GUARDED_BY(mu_) = false;
 };
 
 /// Runs fn(0..count-1) across the pool, the calling thread running what

@@ -28,6 +28,11 @@
 /// keep it alive through their own reference; the last one out frees it.
 /// No query ever observes a half-loaded index, and no query ever waits on
 /// a loader.
+///
+/// Thread-safety analysis: the publication point is a single
+/// std::atomic<std::shared_ptr> — lock-free on the reader side by
+/// construction, so there is no capability to annotate here; the pool the
+/// loader runs on carries the lock annotations.
 
 namespace mvp::snapshot {
 

@@ -35,6 +35,11 @@
 /// `MmapFile::ForceHeapFallback(true)` so tests exercise it on Linux too.
 /// The mmap path routes open/fstat/mmap through the fault::fs seam for
 /// fault-injection tests.
+///
+/// Thread-safety analysis: an open MmapFile is an immutable view (readers
+/// share it freely); the only mutable shared state is the process-wide
+/// force_fallback_ atomic. No locks, no capabilities — verified by the
+/// TSA build.
 
 namespace mvp::snapshot {
 

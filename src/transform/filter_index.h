@@ -77,7 +77,7 @@ Status CheckContractive(const std::vector<Object>& sample,
       const double high = metric(sample[i], sample[j]);
       const double lo = low_metric(low[i], low[j]);
       if (lo > high + tolerance) {
-        char msg[96];
+        char msg[128];
         std::snprintf(msg, sizeof(msg),
                       "transform not contractive at pair (%zu,%zu): "
                       "%.6f > %.6f",

@@ -1,0 +1,33 @@
+// Negative fixture for the thread-safety-annotation compile test.
+//
+// Touches an MVP_GUARDED_BY field without holding its mutex. Under Clang
+// with -Werror=thread-safety this file MUST fail to compile; the ctest
+// entry that builds it is registered with WILL_FAIL TRUE, so a toolchain
+// or annotation regression that lets this compile turns the test red.
+// (Under GCC the annotations are no-ops and the file compiles, which is
+// why the test is only registered for Clang + MVPTREE_THREAD_SAFETY_ANALYSIS.)
+
+#include <cstddef>
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(std::size_t n) MVP_EXCLUDES(mu_) {
+    total_ += n;  // BUG: guarded field written without holding mu_.
+  }
+
+ private:
+  mvp::Mutex mu_;
+  std::size_t total_ MVP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return 0;
+}

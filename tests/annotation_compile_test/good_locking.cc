@@ -1,0 +1,72 @@
+// Positive fixture for the thread-safety-annotation compile test.
+//
+// Exercises every annotation shape the repo uses — MVP_GUARDED_BY fields
+// accessed under MutexLock, MVP_REQUIRES helper functions, MVP_EXCLUDES
+// entry points, CondVar::Wait re-checking a guarded predicate, and
+// SharedMutex reader/writer scopes. This file must compile cleanly with
+// `-Wthread-safety -Werror=thread-safety` under Clang (and trivially under
+// GCC, where the macros are no-ops). Its sibling bad_locking.cc is the
+// negative: identical structure minus the locks, and must NOT compile
+// under Clang TSA.
+
+#include <cstddef>
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add(std::size_t n) MVP_EXCLUDES(mu_) {
+    mvp::MutexLock lock(&mu_);
+    total_ += n;
+    cv_.NotifyAll();
+  }
+
+  void WaitForAtLeast(std::size_t n) MVP_EXCLUDES(mu_) {
+    mvp::MutexLock lock(&mu_);
+    while (total_ < n) {
+      cv_.Wait(mu_);
+    }
+  }
+
+  std::size_t Snapshot() MVP_EXCLUDES(mu_) {
+    mvp::MutexLock lock(&mu_);
+    return TotalLocked();
+  }
+
+ private:
+  std::size_t TotalLocked() const MVP_REQUIRES(mu_) { return total_; }
+
+  mutable mvp::Mutex mu_;
+  mvp::CondVar cv_;
+  std::size_t total_ MVP_GUARDED_BY(mu_) = 0;
+};
+
+class Registry {
+ public:
+  void Set(int v) MVP_EXCLUDES(smu_) {
+    mvp::WriterMutexLock lock(&smu_);
+    value_ = v;
+  }
+
+  int Get() const MVP_EXCLUDES(smu_) {
+    mvp::ReaderMutexLock lock(&smu_);
+    return value_;
+  }
+
+ private:
+  mutable mvp::SharedMutex smu_;
+  int value_ MVP_GUARDED_BY(smu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add(3);
+  c.WaitForAtLeast(1);
+  Registry r;
+  r.Set(42);
+  return c.Snapshot() == 3 && r.Get() == 42 ? 0 : 1;
+}

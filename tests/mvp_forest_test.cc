@@ -307,8 +307,9 @@ TEST(MvpForestTest, DeserializeRejectsCorruptInput) {
   ASSERT_TRUE(forest.Serialize(&writer, VectorCodec()).ok());
   const auto bytes = writer.TakeBuffer();
   for (const double fraction : {0.1, 0.5, 0.9}) {
-    BinaryReader reader(bytes.data(),
-                        static_cast<std::size_t>(bytes.size() * fraction));
+    BinaryReader reader(
+        bytes.data(),
+        static_cast<std::size_t>(static_cast<double>(bytes.size()) * fraction));
     EXPECT_FALSE(
         Forest::Deserialize(&reader, L2(), VectorCodec(), SmallOptions())
             .ok());

@@ -53,7 +53,9 @@ TEST(MvpTreeFarthestTest, FarthestRangeMatchesBruteForce) {
       // Sorted by decreasing distance, all >= r.
       for (std::size_t i = 0; i < got.size(); ++i) {
         EXPECT_GE(got[i].distance, r);
-        if (i > 0) EXPECT_LE(got[i].distance, got[i - 1].distance);
+        if (i > 0) {
+          EXPECT_LE(got[i].distance, got[i - 1].distance);
+        }
       }
     }
   }

@@ -173,7 +173,8 @@ TEST(MvpTreeSerializeTest, TruncatedBufferRejectedEverywhere) {
   // Truncate at a spread of offsets; every prefix must fail cleanly, never
   // crash or return a half-valid tree.
   for (const double fraction : {0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
-    const auto cut = static_cast<std::size_t>(bytes.size() * fraction);
+    const auto cut =
+        static_cast<std::size_t>(static_cast<double>(bytes.size()) * fraction);
     BinaryReader reader(bytes.data(), cut);
     auto loaded = VecTree::Deserialize(&reader, L2(), VectorCodec());
     EXPECT_FALSE(loaded.ok()) << "prefix " << cut;

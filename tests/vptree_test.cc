@@ -261,8 +261,9 @@ TEST(VpTreeTest, DeserializeRejectsCorruptInput) {
               StatusCode::kCorruption);
   }
   for (const double fraction : {0.2, 0.6, 0.95}) {
-    BinaryReader reader(bytes.data(),
-                        static_cast<std::size_t>(bytes.size() * fraction));
+    BinaryReader reader(
+        bytes.data(),
+        static_cast<std::size_t>(static_cast<double>(bytes.size()) * fraction));
     EXPECT_FALSE(VecTree::Deserialize(&reader, L2(), VectorCodec()).ok());
   }
 }

@@ -1,0 +1,361 @@
+#!/usr/bin/env python3
+"""Repo-specific lints for the mvptree codebase.
+
+Three classes of rule, each guarding an invariant the compilers cannot (or
+that must not silently regress):
+
+  raw-syscall      ::open/::write/::fsync/::rename/::mmap outside src/fault/
+                   bypass the fault-injection seam (fault::fs), silently
+                   shrinking crash-drill coverage. Route syscalls through
+                   the seam instead (docs/fault_injection.md).
+
+  raw-mutex        std::mutex / std::shared_mutex / std::condition_variable
+                   in the annotated directories (src/serve, src/snapshot,
+                   src/fault, src/metric) are invisible to Clang Thread
+                   Safety Analysis. Use the annotated wrappers from
+                   src/common/thread_annotations.h.
+
+  unannotated-mutex  An mvp::Mutex member that no MVP_GUARDED_BY /
+                   MVP_REQUIRES / MVP_ACQUIRE / MVP_EXCLUDES in the same
+                   file refers to protects nothing the analysis can check —
+                   annotate what it guards.
+
+  status-discard   `(void)expr;` discards (the only way past Status's
+                   [[nodiscard]]) must carry a justification comment on the
+                   same or the preceding line. Guards the dynamic half too:
+                   nodiscard-annotations ensure the compiler flags silent
+                   discards, this rule ensures the explicit ones say why.
+
+  nodiscard-guard  src/common/status.h must keep [[nodiscard]] on Status
+                   and Result — without it every status-discard guarantee
+                   in the tree evaporates at once.
+
+  nolint-reason    NOLINT suppressions must name the check and give a
+                   reason: `// NOLINTNEXTLINE(check-name): why`. A bare
+                   NOLINT silences everything and explains nothing.
+
+Suppression: append `// lint:allow(<rule>): <reason>` to the offending
+line. An allow without a reason string is itself a finding.
+
+Exit status: 0 when clean, 1 when findings were printed, 2 on usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Directories scanned by default, relative to --root.
+DEFAULT_SCAN_DIRS = ("src", "tools", "bench")
+
+# Directories whose components must use the annotated lock wrappers.
+ANNOTATED_DIRS = ("src/serve", "src/snapshot", "src/fault", "src/metric")
+
+# The fault seam itself is the one place raw syscalls are legal.
+SYSCALL_SEAM_DIR = "src/fault"
+
+# Fixture tree with seeded violations; never part of a repo-wide scan.
+TESTDATA_DIR = "tools/lint/testdata"
+
+SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
+
+RAW_SYSCALL_RE = re.compile(r"(?<![\w:])::(open|write|fsync|rename|mmap)\s*\(")
+RAW_MUTEX_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|condition_variable(_any)?)\b")
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:mvp::)?Mutex\s+(\w+)\s*;")
+VOID_DISCARD_RE = re.compile(r"^\s*\(void\)\s*[A-Za-z_:(]")
+NOLINT_RE = re.compile(r"NOLINT(NEXTLINE)?\b")
+NOLINT_OK_RE = re.compile(r"NOLINT(NEXTLINE)?\([^)]+\)\s*:\s*\S")
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([\w-]+)\)(:\s*\S)?")
+COMMENT_RE = re.compile(r"//.*$")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_strings(line):
+    """Blanks out string and char literals so tokens inside them never match."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            out.append(quote)
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def code_view(lines):
+    """Lines with strings blanked and //- and /* */-comments removed.
+
+    Line-oriented on purpose: the repo's style keeps block comments on their
+    own lines, and a line-oriented view keeps findings' line numbers exact.
+    """
+    view = []
+    in_block = False
+    for line in lines:
+        line = strip_strings(line)
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                view.append("")
+                continue
+            line = line[end + 2:]
+            in_block = False
+        # Remove complete /* ... */ runs, then a trailing unterminated one.
+        line = re.sub(r"/\*.*?\*/", "", line)
+        start = line.find("/*")
+        if start >= 0:
+            line = line[:start]
+            in_block = True
+        view.append(COMMENT_RE.sub("", line))
+    return view
+
+
+def allowed(raw_line, rule, findings, path, lineno):
+    """True if the line carries a well-formed lint:allow for `rule`."""
+    m = ALLOW_RE.search(raw_line)
+    if not m:
+        return False
+    if m.group(1) != rule:
+        return False
+    if not m.group(2):
+        findings.append(Finding(
+            path, lineno, rule,
+            "lint:allow must carry a reason: // lint:allow(%s): <why>" % rule))
+        return True  # suppressed, but the empty reason is its own finding
+    return True
+
+
+def in_dir(rel, prefix):
+    return rel == prefix or rel.startswith(prefix + "/")
+
+
+def check_file(root, rel, findings, logical_rel=None):
+    """Checks one file. `logical_rel` (default: `rel`) decides the
+    directory-scoped rules — the self-test uses it to scan fixtures under
+    tools/lint/testdata/ as if they lived at their mirrored src/ paths."""
+    logical = logical_rel if logical_rel is not None else rel
+    path = os.path.join(root, rel)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            raw = f.read().splitlines()
+    except OSError as err:
+        findings.append(Finding(rel, 0, "io", f"unreadable: {err}"))
+        return
+    code = code_view(raw)
+
+    annotated = any(in_dir(logical, d) for d in ANNOTATED_DIRS)
+    seam = in_dir(logical, SYSCALL_SEAM_DIR)
+    is_annotation_header = logical == "src/common/thread_annotations.h"
+
+    mutex_members = {}  # name -> first declaration line
+
+    for i, (raw_line, code_line) in enumerate(zip(raw, code), start=1):
+        if not seam:
+            m = RAW_SYSCALL_RE.search(code_line)
+            if m and not allowed(raw_line, "raw-syscall", findings, rel, i):
+                findings.append(Finding(
+                    rel, i, "raw-syscall",
+                    f"raw ::{m.group(1)}() bypasses the fault::fs seam; "
+                    f"use fault::fs::{m.group(1).capitalize()} "
+                    "(src/fault/fault_fs.h)"))
+
+        if annotated and not is_annotation_header:
+            m = RAW_MUTEX_RE.search(code_line)
+            if m and not allowed(raw_line, "raw-mutex", findings, rel, i):
+                findings.append(Finding(
+                    rel, i, "raw-mutex",
+                    f"std::{m.group(1)} is invisible to thread-safety "
+                    "analysis; use the annotated wrappers in "
+                    "src/common/thread_annotations.h"))
+            m = MUTEX_MEMBER_RE.match(code_line)
+            if m and not allowed(raw_line, "unannotated-mutex", findings,
+                                 rel, i):
+                mutex_members.setdefault(m.group(1), i)
+
+        if VOID_DISCARD_RE.match(code_line):
+            has_comment = "//" in raw_line or (
+                i >= 2 and raw[i - 2].lstrip().startswith("//"))
+            if not has_comment and not allowed(raw_line, "status-discard",
+                                               findings, rel, i):
+                findings.append(Finding(
+                    rel, i, "status-discard",
+                    "(void) discard without a justification comment on the "
+                    "same or preceding line"))
+
+        if NOLINT_RE.search(raw_line) and "lint:allow" not in raw_line:
+            if not NOLINT_OK_RE.search(raw_line) and not allowed(
+                    raw_line, "nolint-reason", findings, rel, i):
+                findings.append(Finding(
+                    rel, i, "nolint-reason",
+                    "NOLINT must name its check and reason: "
+                    "// NOLINTNEXTLINE(check-name): why"))
+
+    if mutex_members:
+        body = "\n".join(code)
+        for name, lineno in sorted(mutex_members.items(),
+                                   key=lambda kv: kv[1]):
+            ref = re.compile(
+                r"MVP_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|"
+                r"ACQUIRE|ACQUIRE_SHARED|RELEASE|RELEASE_SHARED|"
+                r"TRY_ACQUIRE|EXCLUDES)\s*\([^)]*\b" + re.escape(name))
+            if not ref.search(body):
+                findings.append(Finding(
+                    rel, lineno, "unannotated-mutex",
+                    f"Mutex member '{name}' has no MVP_GUARDED_BY / "
+                    "MVP_REQUIRES / MVP_EXCLUDES companion annotation in "
+                    "this file"))
+
+
+def check_nodiscard_guard(root, findings):
+    rel = os.path.join("src", "common", "status.h")
+    path = os.path.join(root, rel)
+    if not os.path.exists(path):
+        return
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    if not re.search(r"class\s+\[\[nodiscard\]\]\s+Status\b", text):
+        findings.append(Finding(
+            rel, 1, "nodiscard-guard",
+            "Status must stay `class [[nodiscard]] Status` — the entire "
+            "status-discard guarantee rests on it"))
+    if not re.search(r"class\s+\[\[nodiscard\]\]\s+Result\b", text):
+        findings.append(Finding(
+            rel, 1, "nodiscard-guard",
+            "Result must stay `class [[nodiscard]] Result`"))
+
+
+def iter_sources(root, scan_dirs, include_testdata=False):
+    for d in scan_dirs:
+        top = os.path.join(root, d)
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(SOURCE_EXTENSIONS):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                if not include_testdata and in_dir(rel, TESTDATA_DIR):
+                    continue
+                yield rel
+
+
+def run(root, scan_dirs, files=None):
+    findings = []
+    rels = files if files else list(iter_sources(root, scan_dirs))
+    for rel in rels:
+        check_file(root, rel, findings)
+    check_nodiscard_guard(root, findings)
+    return findings
+
+
+def selftest(root):
+    """Runs the checker over its seeded-violation fixtures.
+
+    Fixtures live under tools/lint/testdata/<mirrored path>; each is
+    checked as if it lived at the mirrored path (so directory-scoped rules
+    apply). Each line that must be flagged carries a `seed:<rule>` marker
+    in a trailing comment — `seed:<rule>@<delta>` when the violating line
+    is `delta` lines away from the marker (needed when a marker comment on
+    the violating line would itself satisfy the rule, as for
+    status-discard). The self-test asserts an exact match between seeded
+    markers and reported findings: extra findings and missed seeds both
+    fail, so it pins recall and precision at once.
+    """
+    testdata = os.path.join(root, TESTDATA_DIR)
+    if not os.path.isdir(testdata):
+        print(f"selftest: fixture dir missing: {testdata}", file=sys.stderr)
+        return 1
+    expected = set()  # (rel, line, rule)
+    fixture_rels = []
+    for dirpath, dirnames, filenames in os.walk(testdata):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(SOURCE_EXTENSIONS):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, name), root)
+            fixture_rels.append(rel)
+            with open(os.path.join(root, rel), encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    for m in re.finditer(r"seed:([\w-]+)(@(-?\d+))?", line):
+                        delta = int(m.group(3)) if m.group(3) else 0
+                        expected.add((rel, lineno + delta, m.group(1)))
+
+    findings = []
+    for rel in fixture_rels:
+        logical = os.path.relpath(rel, TESTDATA_DIR)
+        check_file(root, rel, findings, logical_rel=logical)
+    got = {(f.path, f.line, f.rule) for f in findings}
+
+    ok = True
+    for miss in sorted(expected - got):
+        print("selftest: MISSED  %s:%d [%s]" % miss, file=sys.stderr)
+        ok = False
+    for extra in sorted(got - expected):
+        print("selftest: SPURIOUS %s:%d [%s]" % extra, file=sys.stderr)
+        ok = False
+
+    # And the clean tree must be clean: the fixtures prove detection, the
+    # repo scan proves zero false positives on real code.
+    repo_findings = run(root, DEFAULT_SCAN_DIRS)
+    for f in repo_findings:
+        print(f"selftest: DIRTY TREE {f}", file=sys.stderr)
+        ok = False
+
+    if ok:
+        print(f"selftest: ok ({len(expected)} seeded violations detected, "
+              "clean tree reports zero findings)")
+        return 0
+    return 1
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the checker against its fixtures")
+    parser.add_argument("files", nargs="*",
+                        help="specific files (relative to --root); default: "
+                             "scan " + ", ".join(DEFAULT_SCAN_DIRS))
+    args = parser.parse_args(argv)
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"no such root: {root}", file=sys.stderr)
+        return 2
+
+    if args.selftest:
+        return selftest(root)
+
+    findings = run(root, DEFAULT_SCAN_DIRS, args.files or None)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\n{len(findings)} finding(s). See tools/lint/README.md or "
+              "docs/static_analysis.md for the rules and how to suppress "
+              "with justification.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

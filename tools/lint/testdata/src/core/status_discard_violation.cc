@@ -1,0 +1,29 @@
+// Fixture: Status-discard and suppression hygiene. Scanned by
+// `check_source.py --selftest` as if it lived at src/core/.
+
+#include "common/status.h"
+
+namespace mvp {
+
+Status MightFail();
+
+void Discards() {
+  (void)MightFail();
+  // seed:status-discard@-1  (bare (void) discard, no justification comment)
+
+  // Benign: a justified discard on the preceding line.
+  (void)MightFail();
+
+  (void)MightFail();  // justified on the same line: best-effort probe
+}
+
+int BadNolint(int wide) {
+  return static_cast<short>(wide);  // NOLINT seed:nolint-reason
+}
+
+int GoodNolint(int wide) {
+  // NOLINTNEXTLINE(bugprone-narrowing-conversions): fixture, value is bounded
+  return static_cast<short>(wide);
+}
+
+}  // namespace mvp

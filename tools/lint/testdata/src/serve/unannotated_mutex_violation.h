@@ -1,0 +1,43 @@
+// Fixture: lock-discipline violations in an annotated directory. Scanned by
+// `check_source.py --selftest` as if it lived at src/serve/.
+
+#ifndef MVPTREE_TOOLS_LINT_TESTDATA_SRC_SERVE_UNANNOTATED_MUTEX_VIOLATION_H_
+#define MVPTREE_TOOLS_LINT_TESTDATA_SRC_SERVE_UNANNOTATED_MUTEX_VIOLATION_H_
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace mvp::serve {
+
+class BadLocking {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(raw_mu_);  // seed:raw-mutex
+    ++count_;
+  }
+
+ private:
+  std::mutex raw_mu_;  // seed:raw-mutex
+  // An mvp::Mutex with no MVP_GUARDED_BY / MVP_REQUIRES companion: the
+  // analysis can prove nothing about what it protects.
+  Mutex naked_mu_;  // seed:unannotated-mutex
+  int count_ = 0;
+};
+
+// Correctly annotated: mvp::Mutex with a guarded field. Not a finding.
+class GoodLocking {
+ public:
+  void Touch() {
+    MutexLock lock(&mu_);
+    ++count_;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ MVP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace mvp::serve
+
+#endif  // MVPTREE_TOOLS_LINT_TESTDATA_SRC_SERVE_UNANNOTATED_MUTEX_VIOLATION_H_

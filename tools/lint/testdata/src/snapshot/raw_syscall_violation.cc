@@ -1,0 +1,31 @@
+// Fixture: raw syscalls outside src/fault/ bypass the fault-injection seam.
+// Not real code — scanned only by `check_source.py --selftest`, which
+// checks it as if it lived at src/snapshot/raw_syscall_violation.cc.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace mvp::snapshot {
+
+int BadDirectWrite(const char* path) {
+  const int fd = ::open(path, O_WRONLY, 0644);  // seed:raw-syscall
+  if (fd < 0) return -1;
+  const char byte = 'x';
+  ::write(fd, &byte, 1);  // seed:raw-syscall
+  ::fsync(fd);            // seed:raw-syscall
+  ::close(fd);            // legal: close is not a seam-guarded commit step
+  ::rename(path, path);   // seed:raw-syscall
+  return 0;
+}
+
+// A justified same-line suppression: not a finding.
+int AllowedDirectOpen(const char* path) {
+  return ::open(path, O_RDONLY, 0);  // lint:allow(raw-syscall): fixture demo
+}
+
+// A suppression without a reason is itself a finding.
+int AllowedWithoutReason(const char* path) {
+  return ::open(path, O_RDONLY, 0);  // lint:allow(raw-syscall) seed:raw-syscall
+}
+
+}  // namespace mvp::snapshot

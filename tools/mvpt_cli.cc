@@ -621,6 +621,8 @@ int RunServeBench(const Args& args) {
     const double wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - start)
                                .count();
+    // Per-query outcomes are summarized through `stats`; the table below
+    // reads the aggregate snapshot.
     (void)outcomes;
     const auto snap = stats.Snapshot();
     harness::Table shed_table({"max_in_flight", "queries", "ok", "shed",
@@ -659,6 +661,7 @@ int RunServeBench(const Args& args) {
 
     auto first_query_ms = [&](const auto& index) {
       const auto q0 = std::chrono::steady_clock::now();
+      // Timing probe: only the wall clock matters, not the hits.
       (void)index.RangeSearch(batch[0].object, batch[0].radius);
       return std::chrono::duration<double, std::milli>(
                  std::chrono::steady_clock::now() - q0)

@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Runs clang-tidy over src/, tools/, and bench/ using the compilation
+# database from a cmake build directory.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#
+#   build-dir   directory holding compile_commands.json (default: build).
+#               Configure first: cmake -B build -S .
+#               (CMAKE_EXPORT_COMPILE_COMMANDS is on by default.)
+#
+# Exit status: 0 clean, 1 findings, 2 environment problem. When no
+# clang-tidy binary is installed the script prints a notice and exits 0 so
+# local non-Clang setups are not blocked; CI pins a clang toolchain and
+# always runs the real thing.
+set -u
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR=${1:-"$ROOT/build"}
+
+TIDY=
+for cand in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+            clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    TIDY=$cand
+    break
+  fi
+done
+
+if [ -z "$TIDY" ]; then
+  echo "run_clang_tidy: no clang-tidy binary found on PATH; skipping." >&2
+  echo "run_clang_tidy: install clang-tidy or rely on the CI static-analysis job." >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json not found." >&2
+  echo "run_clang_tidy: configure first: cmake -B $BUILD_DIR -S $ROOT" >&2
+  exit 2
+fi
+
+# Translation units only; headers are covered through HeaderFilterRegex in
+# .clang-tidy. Fixture/testdata sources are never in the compilation DB.
+FILES=$(find "$ROOT/src" "$ROOT/tools" "$ROOT/bench" -name '*.cc' \
+          -not -path '*/lint/testdata/*' | sort)
+
+if [ -z "$FILES" ]; then
+  echo "run_clang_tidy: no sources found under src/ tools/ bench/." >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: $TIDY over $(printf '%s\n' "$FILES" | wc -l) files"
+
+STATUS=0
+for f in $FILES; do
+  if ! "$TIDY" -p "$BUILD_DIR" --quiet "$f"; then
+    STATUS=1
+  fi
+done
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "run_clang_tidy: clean"
+else
+  echo "run_clang_tidy: findings above; fix them (or suppress with" >&2
+  echo "  // NOLINTNEXTLINE(check): reason  — bare NOLINT fails repo_lint)." >&2
+fi
+exit $STATUS
