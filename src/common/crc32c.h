@@ -12,9 +12,13 @@
 /// payloads and because it is the de-facto standard for on-disk formats
 /// (iSCSI, ext4, LevelDB/RocksDB, Snappy framing).
 ///
-/// The implementation is portable slice-by-8 table lookup (~1 byte/cycle);
-/// hardware CRC32 instructions would be faster but the snapshot paths are
-/// dominated by serialization and I/O, not checksumming.
+/// The implementation dispatches at runtime: on x86-64 CPUs with SSE4.2
+/// the native CRC32 instruction is used, with large buffers split into
+/// three interleaved lanes to hide the instruction's latency behind its
+/// single-cycle throughput (it keeps the flat snapshot open path, which is
+/// pure checksum + validation, out of the checksum's shadow); everywhere
+/// else a portable slice-by-8 table fallback (~1 byte/cycle) produces
+/// identical values.
 
 namespace mvp {
 
@@ -25,6 +29,15 @@ std::uint32_t Crc32c(const void* data, std::size_t size);
 /// feed pieces in order and get the same value as one whole-buffer call.
 std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
                            std::size_t size);
+
+/// Combines two independently computed CRCs: given crc1 = Crc32c(A) and
+/// crc2 = Crc32c(B), returns Crc32c(A ++ B) in O(log len2) time (zlib's
+/// GF(2) matrix method). Lets callers checksum disjoint blocks of one
+/// buffer on separate threads and stitch the block CRCs into the exact
+/// whole-buffer value — the snapshot load path fingerprints multi-megabyte
+/// containers this way.
+std::uint32_t Crc32cCombine(std::uint32_t crc1, std::uint32_t crc2,
+                            std::size_t len2);
 
 }  // namespace mvp
 

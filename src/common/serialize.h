@@ -24,18 +24,23 @@ class BinaryWriter {
   template <typename T>
   void Write(T value) {
     static_assert(std::is_arithmetic_v<T>);
-    unsigned char bytes[sizeof(T)];
-    std::memcpy(bytes, &value, sizeof(T));
     // All supported build targets are little-endian; a static_assert-like
     // runtime check lives in serialize.cc (VerifyLittleEndian).
-    buffer_.insert(buffer_.end(), bytes, bytes + sizeof(T));
+    // resize+memcpy rather than a pointer-range insert: GCC 12 raises
+    // -Wnonnull false positives inside vector::_M_range_insert<unsigned
+    // char*> clones, so that template is kept uninstantiated.
+    const std::size_t base = buffer_.size();
+    buffer_.resize(base + sizeof(T));
+    std::memcpy(buffer_.data() + base, &value, sizeof(T));
   }
 
   /// Length-prefixed (u64) byte string.
   void WriteBytes(const void* data, std::size_t size) {
     Write<std::uint64_t>(size);
-    const auto* p = static_cast<const unsigned char*>(data);
-    buffer_.insert(buffer_.end(), p, p + size);
+    if (size == 0) return;  // an empty string's data() may be null
+    const std::size_t base = buffer_.size();
+    buffer_.resize(base + size);
+    std::memcpy(buffer_.data() + base, data, size);
   }
 
   void WriteString(const std::string& s) { WriteBytes(s.data(), s.size()); }

@@ -14,6 +14,7 @@
 #include "common/query.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "core/search_shared.h"
 #include "metric/metric.h"
 #include "vptree/vp_select.h"
 
@@ -326,10 +327,14 @@ class MvpTree {
     return tree;
   }
 
- private:
+  /// On-disk stream identity, public so other readers of the serialized
+  /// stream (the flat-arena transcoder, the snapshot store's fail-fast
+  /// options peek) share one definition instead of re-declaring magics.
   static constexpr std::uint32_t kMagic = 0x5450564d;  // "MVPT"
   static constexpr std::uint32_t kFormatVersion = 1;
   static constexpr std::size_t kMaxDeserializeDepth = 512;
+
+ private:
   /// One data point stored in a leaf: its id, exact distances to the leaf's
   /// two vantage points (the paper's D1[i], D2[i] arrays), and its PATH
   /// distances to the first p ancestor vantage points, stored in a shared
@@ -557,8 +562,11 @@ class MvpTree {
 
   // ---------------------------------------------------------------- search
 
+  // Shell/annulus pruning and the k-NN candidate heap are shared with the
+  // flat mmap-native representation (core/search_shared.h) so both
+  // traversals provably apply identical arithmetic.
   static bool Intersects(double d, double r, double lo, double hi) {
-    return d - r <= hi && d + r >= lo;
+    return ShellIntersects(d, r, lo, hi);
   }
 
   /// §4.3 range search. `qpath` holds PATH[l] = d(Q, ancestor vantage
@@ -653,19 +661,11 @@ class MvpTree {
   }
 
   static double Tau(const std::vector<Neighbor>& heap, std::size_t k) {
-    return heap.size() < k ? std::numeric_limits<double>::infinity()
-                           : heap.front().distance;
+    return KnnTau(heap, k);
   }
 
   static void Offer(std::vector<Neighbor>& heap, std::size_t k, Neighbor n) {
-    if (heap.size() < k) {
-      heap.push_back(n);
-      std::push_heap(heap.begin(), heap.end(), NeighborLess);
-    } else if (NeighborLess(n, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), NeighborLess);
-      heap.back() = n;
-      std::push_heap(heap.begin(), heap.end(), NeighborLess);
-    }
+    KnnOffer(heap, k, n);
   }
 
   void KnnSearchNode(const Node& node, const Object& query, std::size_t k,
@@ -1193,10 +1193,7 @@ class MvpTree {
   }
 
   static void MergeStats(SearchStats* out, const SearchStats& in) {
-    out->distance_computations += in.distance_computations;
-    out->nodes_visited += in.nodes_visited;
-    out->leaf_points_seen += in.leaf_points_seen;
-    out->leaf_points_filtered += in.leaf_points_filtered;
+    MergeSearchStats(out, in);
   }
 
   std::vector<Object> objects_;

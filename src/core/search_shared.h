@@ -1,0 +1,59 @@
+#ifndef MVPTREE_CORE_SEARCH_SHARED_H_
+#define MVPTREE_CORE_SEARCH_SHARED_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/query.h"
+
+/// \file
+/// Search primitives shared by every representation of an mvp-tree.
+///
+/// The heap tree (core/mvp_tree.h) and the flat mmap-native view
+/// (snapshot/flat_tree.h) must return bit-identical results for the same
+/// logical tree — the equivalence suite asserts it query by query. The
+/// pruning and candidate-set arithmetic both traversals rely on therefore
+/// lives here, once: an annulus/shell intersection test, the k-NN
+/// shrinking-radius bookkeeping, and stats merging. Keeping these shared
+/// makes "the two representations agree" a structural property instead of
+/// a discipline.
+
+namespace mvp::core {
+
+/// Does the query annulus [d-r, d+r] intersect the shell [lo, hi]?
+inline bool ShellIntersects(double d, double r, double lo, double hi) {
+  return d - r <= hi && d + r >= lo;
+}
+
+/// Current k-NN pruning radius: the k-th best distance so far, or infinity
+/// while the candidate heap is not yet full.
+inline double KnnTau(const std::vector<Neighbor>& heap, std::size_t k) {
+  return heap.size() < k ? std::numeric_limits<double>::infinity()
+                         : heap.front().distance;
+}
+
+/// Offers a candidate to the max-heap (under NeighborLess) of the best k.
+inline void KnnOffer(std::vector<Neighbor>& heap, std::size_t k, Neighbor n) {
+  if (heap.size() < k) {
+    heap.push_back(n);
+    std::push_heap(heap.begin(), heap.end(), NeighborLess);
+  } else if (NeighborLess(n, heap.front())) {
+    std::pop_heap(heap.begin(), heap.end(), NeighborLess);
+    heap.back() = n;
+    std::push_heap(heap.begin(), heap.end(), NeighborLess);
+  }
+}
+
+/// Accumulates one search's counters into an aggregate.
+inline void MergeSearchStats(SearchStats* out, const SearchStats& in) {
+  out->distance_computations += in.distance_computations;
+  out->nodes_visited += in.nodes_visited;
+  out->leaf_points_seen += in.leaf_points_seen;
+  out->leaf_points_filtered += in.leaf_points_filtered;
+}
+
+}  // namespace mvp::core
+
+#endif  // MVPTREE_CORE_SEARCH_SHARED_H_

@@ -13,8 +13,15 @@
 /// "Any Lp metric can be used just like L1 or L2", including a per-dimension
 /// weighted variant, which "can be easily shown to be metric").
 ///
-/// All metrics operate on std::vector<double> and require equal dimensions
+/// All metrics operate on dense real vectors and require equal dimensions
 /// (checked with MVP_DCHECK — mixing dimensions is a programming error).
+/// Each operator() is a template over two vector-like arguments (anything
+/// with size() and operator[]), so the same metric — and the same floating
+/// point expression, hence bit-identical distances — applies to an owned
+/// std::vector<double> and to a zero-copy view over an mmap'd flat arena
+/// (snapshot/flat_tree.h). A concrete (Vector, Vector) overload delegates
+/// to the template so braced-initializer calls like d({0, 1}, {1, 0})
+/// still deduce.
 
 namespace mvp::metric {
 
@@ -22,7 +29,8 @@ using Vector = std::vector<double>;
 
 /// L2 (Euclidean) distance.
 struct L2 {
-  double operator()(const Vector& a, const Vector& b) const {
+  template <typename A, typename B>
+  double operator()(const A& a, const B& b) const {
     MVP_DCHECK(a.size() == b.size());
     double sum = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {
@@ -31,11 +39,15 @@ struct L2 {
     }
     return std::sqrt(sum);
   }
+  double operator()(const Vector& a, const Vector& b) const {
+    return operator()<Vector, Vector>(a, b);
+  }
 };
 
 /// L1 (Manhattan) distance: accumulated absolute differences per dimension.
 struct L1 {
-  double operator()(const Vector& a, const Vector& b) const {
+  template <typename A, typename B>
+  double operator()(const A& a, const B& b) const {
     MVP_DCHECK(a.size() == b.size());
     double sum = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {
@@ -43,11 +55,15 @@ struct L1 {
     }
     return sum;
   }
+  double operator()(const Vector& a, const Vector& b) const {
+    return operator()<Vector, Vector>(a, b);
+  }
 };
 
 /// L-infinity (Chebyshev) distance: the limit of Lp as p -> inf.
 struct LInf {
-  double operator()(const Vector& a, const Vector& b) const {
+  template <typename A, typename B>
+  double operator()(const A& a, const B& b) const {
     MVP_DCHECK(a.size() == b.size());
     double best = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {
@@ -55,6 +71,9 @@ struct LInf {
       if (diff > best) best = diff;
     }
     return best;
+  }
+  double operator()(const Vector& a, const Vector& b) const {
+    return operator()<Vector, Vector>(a, b);
   }
 };
 
@@ -64,13 +83,17 @@ class Lp {
  public:
   explicit Lp(double p) : p_(p) { MVP_DCHECK(p >= 1.0); }
 
-  double operator()(const Vector& a, const Vector& b) const {
+  template <typename A, typename B>
+  double operator()(const A& a, const B& b) const {
     MVP_DCHECK(a.size() == b.size());
     double sum = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {
       sum += std::pow(std::fabs(a[i] - b[i]), p_);
     }
     return std::pow(sum, 1.0 / p_);
+  }
+  double operator()(const Vector& a, const Vector& b) const {
+    return operator()<Vector, Vector>(a, b);
   }
 
   double p() const { return p_; }
@@ -91,7 +114,8 @@ class WeightedLp {
 #endif
   }
 
-  double operator()(const Vector& a, const Vector& b) const {
+  template <typename A, typename B>
+  double operator()(const A& a, const B& b) const {
     MVP_DCHECK(a.size() == b.size());
     MVP_DCHECK(a.size() == weights_.size());
     double sum = 0.0;
@@ -99,6 +123,9 @@ class WeightedLp {
       sum += std::pow(weights_[i] * std::fabs(a[i] - b[i]), p_);
     }
     return std::pow(sum, 1.0 / p_);
+  }
+  double operator()(const Vector& a, const Vector& b) const {
+    return operator()<Vector, Vector>(a, b);
   }
 
   const Vector& weights() const { return weights_; }

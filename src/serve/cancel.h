@@ -185,8 +185,10 @@ class CancelChecked {
  public:
   explicit CancelChecked(M inner) : inner_(std::move(inner)) {}
 
-  template <typename O>
-  double operator()(const O& a, const O& b) const {
+  // Two independent type parameters: the flat serving path evaluates
+  // d(query, view-into-arena) without materializing the stored vector.
+  template <typename A, typename B>
+  double operator()(const A& a, const B& b) const {
     CancellationPoint();
     return inner_(a, b);
   }

@@ -7,6 +7,7 @@
 #include <memory>
 #include <optional>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "metric/metric.h"
 #include "serve/cancel.h"
 #include "serve/thread_pool.h"
+#include "snapshot/flat_tree.h"
 
 /// \file
 /// Sharded mvp-tree — the serving layer's unit of parallelism.
@@ -42,6 +44,15 @@
 /// serial or fanned out — is cancellable mid-flight by the executor's
 /// deadline machinery at the granularity of one distance computation.
 ///
+/// Each shard holds ONE of two representations behind the same search
+/// interface: the heap tree (Build/Restore — owns its objects, supports
+/// any Object type) or a flat mmap-native view (RestoreFlat — vector
+/// datasets served directly out of a snapshot mapping with zero
+/// deserialization; snapshot/flat_tree.h). Searches dispatch per shard and
+/// return bit-identical results either way; flat shards recover global ids
+/// arithmetically (local i in shard s of K is global i*K + s) instead of
+/// from a stored map.
+///
 /// Thread-safety analysis: the index is immutable after Build/Restore and
 /// searched concurrently without locks; per-query fan-out state is either
 /// task-private or a std::atomic. No capabilities to annotate — the TSA
@@ -53,6 +64,16 @@ template <typename Object, metric::MetricFor<Object> Metric>
 class ShardedMvpIndex {
  public:
   using Tree = core::MvpTree<Object, CancelChecked<Metric>>;
+  using FlatView = snapshot::flat::FlatTreeView<CancelChecked<Metric>>;
+
+  /// Whether this instantiation can serve the flat representation: vector
+  /// objects AND a metric that evaluates against a zero-copy VectorView
+  /// (all bundled Lp metrics do; a metric restricted to owned vectors
+  /// simply never sees flat shards).
+  static constexpr bool kFlatCapable =
+      std::is_same_v<Object, std::vector<double>> &&
+      std::is_invocable_r_v<double, const Metric&, const Object&,
+                            const snapshot::flat::VectorView&>;
 
   struct Options {
     /// Number of independent mvp-trees the data is partitioned over.
@@ -119,7 +140,8 @@ class ShardedMvpIndex {
     for (std::size_t s = 0; s < k; ++s) {
       if (!built[s]->ok()) return built[s]->status();
       index.shards_.push_back(std::make_unique<Shard>(
-          Shard{std::move(*built[s]).ValueOrDie(), std::move(ids[s])}));
+          Shard{std::move(*built[s]).ValueOrDie(), std::move(ids[s]),
+                std::nullopt}));
     }
     return index;
   }
@@ -149,7 +171,13 @@ class ShardedMvpIndex {
     FanOutInto(
         [&](const Shard& shard, std::vector<Neighbor>* sink,
             SearchStats* shard_stats) {
-          shard.tree.RangeSearchInto(query, radius, sink, shard_stats);
+          if (shard.tree.has_value()) {
+            shard.tree->RangeSearchInto(query, radius, sink, shard_stats);
+          } else if constexpr (kFlatCapable) {
+            shard.flat->RangeSearchInto(query, radius, sink, shard_stats);
+          } else {
+            MVP_DCHECK(false);  // flat shards need a flat-capable metric
+          }
         },
         out, stats, pool);
   }
@@ -179,7 +207,13 @@ class ShardedMvpIndex {
     FanOutInto(
         [&](const Shard& shard, std::vector<Neighbor>* sink,
             SearchStats* shard_stats) {
-          shard.tree.KnnSearchInto(query, k, sink, shard_stats);
+          if (shard.tree.has_value()) {
+            shard.tree->KnnSearchInto(query, k, sink, shard_stats);
+          } else if constexpr (kFlatCapable) {
+            shard.flat->KnnSearchInto(query, k, sink, shard_stats);
+          } else {
+            MVP_DCHECK(false);  // flat shards need a flat-capable metric
+          }
         },
         out, stats, pool);
   }
@@ -187,16 +221,31 @@ class ShardedMvpIndex {
   std::size_t size() const { return size_; }
   std::size_t num_shards() const { return shards_.size(); }
   const Options& options() const { return options_; }
+
+  /// True when this index serves from flat arenas (RestoreFlat) rather than
+  /// heap trees. Heap-only accessors below must not be called on it.
+  bool flat_serving() const {
+    return !shards_.empty() && shards_[0]->flat.has_value();
+  }
+
+  /// Heap representation only.
   const Tree& shard(std::size_t s) const {
-    MVP_DCHECK(s < shards_.size());
-    return shards_[s]->tree;
+    MVP_DCHECK(s < shards_.size() && shards_[s]->tree.has_value());
+    return *shards_[s]->tree;
+  }
+
+  /// Flat representation only.
+  const FlatView& flat_shard(std::size_t s) const {
+    MVP_DCHECK(s < shards_.size() && shards_[s]->flat.has_value());
+    return *shards_[s]->flat;
   }
 
   /// Shard s's local-id -> global-id map (round-robin: entry i is the
   /// global id of the i-th object handed to shard s's tree). The snapshot
-  /// writer persists this next to each shard tree.
+  /// writer persists this next to each shard tree. Heap representation
+  /// only — flat shards derive the mapping arithmetically.
   const std::vector<std::size_t>& shard_global_ids(std::size_t s) const {
-    MVP_DCHECK(s < shards_.size());
+    MVP_DCHECK(s < shards_.size() && shards_[s]->tree.has_value());
     return shards_[s]->global_ids;
   }
 
@@ -247,17 +296,60 @@ class ShardedMvpIndex {
     index.shards_.reserve(k);
     for (auto& [tree, ids] : parts) {
       index.shards_.push_back(std::make_unique<Shard>(
-          Shard{std::move(tree), std::move(ids)}));
+          Shard{std::move(tree), std::move(ids), std::nullopt}));
+    }
+    return index;
+  }
+
+  /// Reassembles an index serving directly out of flat arenas in a mapped
+  /// snapshot — zero deserialization; the shards alias `arena_owner`'s
+  /// bytes, which the index keeps alive. `views` is one validated
+  /// FlatTreeView per shard, in shard order. Flat chunks carry no id map,
+  /// so the round-robin invariant is enforced arithmetically: shard s of K
+  /// must hold exactly ceil((total - s) / K) objects, and local id i maps
+  /// to global id i*K + s (SaveFlat refuses indexes whose id maps are not
+  /// in this canonical form).
+  static Result<ShardedMvpIndex> RestoreFlat(
+      const Options& options, std::size_t total, std::vector<FlatView> views,
+      std::shared_ptr<const void> arena_owner) {
+    const std::size_t k = options.num_shards;
+    if (k < 1 || views.size() != k) {
+      return Status::Corruption("shard count mismatches restore options");
+    }
+    for (std::size_t s = 0; s < k; ++s) {
+      const std::size_t expected = total > s ? (total - s - 1) / k + 1 : 0;
+      if (views[s].size() != expected) {
+        return Status::Corruption(
+            "flat shard size violates the round-robin partition invariant");
+      }
+      if (views[s].order() != options.tree.order ||
+          views[s].leaf_capacity() != options.tree.leaf_capacity ||
+          views[s].num_path_distances() != options.tree.num_path_distances ||
+          views[s].store_exact_bounds() != options.tree.store_exact_bounds) {
+        return Status::InvalidArgument(
+            "flat shard build parameters mismatch restore options");
+      }
+    }
+    ShardedMvpIndex index;
+    index.options_ = options;
+    index.size_ = total;
+    index.arena_owner_ = std::move(arena_owner);
+    index.shards_.reserve(k);
+    for (auto& view : views) {
+      index.shards_.push_back(std::make_unique<Shard>(
+          Shard{std::nullopt, {}, std::move(view)}));
     }
     return index;
   }
 
   /// Aggregated structural statistics (construction distances sum over
-  /// shards; height is the tallest shard's).
+  /// shards; height is the tallest shard's). Heap representation only —
+  /// flat arenas do not record construction-time statistics.
   TreeStats Stats() const {
     TreeStats total;
     for (const auto& shard : shards_) {
-      const TreeStats s = shard->tree.Stats();
+      MVP_DCHECK(shard->tree.has_value());
+      const TreeStats s = shard->tree->Stats();
       total.num_internal_nodes += s.num_internal_nodes;
       total.num_leaf_nodes += s.num_leaf_nodes;
       total.num_vantage_points += s.num_vantage_points;
@@ -270,12 +362,22 @@ class ShardedMvpIndex {
   }
 
  private:
+  /// Exactly one representation is engaged: `tree` (heap, with its stored
+  /// id map) or `flat` (arena view; global ids are arithmetic).
   struct Shard {
-    Tree tree;
-    std::vector<std::size_t> global_ids;  // local id -> global id
+    std::optional<Tree> tree;
+    std::vector<std::size_t> global_ids;  // heap only: local id -> global id
+    std::optional<FlatView> flat;
   };
 
   ShardedMvpIndex() = default;
+
+  /// Local -> global id for shard s under either representation.
+  std::size_t GlobalId(std::size_t s, std::size_t local) const {
+    const Shard& shard = *shards_[s];
+    return shard.tree.has_value() ? shard.global_ids[local]
+                                  : local * shards_.size() + s;
+  }
 
   /// Runs `search` over every shard into a per-shard sink, translates local
   /// ids to global ids, and appends everything into `*out`. Parallel shard
@@ -327,7 +429,7 @@ class ShardedMvpIndex {
     out->reserve(out->size() + total);
     for (std::size_t s = 0; s < k; ++s) {
       for (const Neighbor& n : hits[s]) {
-        out->push_back(Neighbor{shards_[s]->global_ids[n.id], n.distance});
+        out->push_back(Neighbor{GlobalId(s, n.id), n.distance});
       }
       if (stats != nullptr) {
         stats->distance_computations += shard_stats[s].distance_computations;
@@ -342,6 +444,9 @@ class ShardedMvpIndex {
   Options options_;
   std::size_t size_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Keeps the mapped snapshot (or heap-fallback buffer) the flat views
+  /// alias alive for the index's lifetime. Null for heap indexes.
+  std::shared_ptr<const void> arena_owner_;
 };
 
 }  // namespace mvp::serve

@@ -6,6 +6,7 @@
 #include <future>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "fault/failpoint.h"
@@ -115,6 +116,36 @@ class AsyncSnapshotLoader {
         auto loaded = store.template LoadSharded<Object>(metric, codec, pool);
         if (!loaded.ok()) return loaded.status();
         using Index = serve::ShardedMvpIndex<Object, Metric>;
+        cell->Publish(std::make_shared<const Index>(
+            std::move(loaded).ValueOrDie().index));
+        return Status::OK();
+      });
+    });
+  }
+
+  /// LoadAndSwap for a flat snapshot (SaveFlat/OpenFlat): the published
+  /// generation serves straight off the mmap'd container with zero
+  /// deserialization, and it lands in the SAME GenerationCell type as a
+  /// heap load — the serving path cannot tell (and need not care) which
+  /// representation a swap brought in. Same retry/failpoint/publish-once
+  /// contract as LoadAndSwap.
+  template <metric::MetricFor<std::vector<double>> Metric>
+  std::future<Status> LoadAndSwapFlat(
+      SnapshotStore store, Metric metric,
+      GenerationCell<serve::ShardedMvpIndex<std::vector<double>, Metric>>*
+          cell,
+      fault::RetryOptions retry = {}) {
+    MVP_DCHECK(cell != nullptr);
+    serve::ThreadPool* pool = pool_;
+    return pool_->Submit([store = std::move(store), metric = std::move(metric),
+                          cell, pool, retry = std::move(retry)]() -> Status {
+      return fault::RetryWithBackoff(retry, [&]() -> Status {
+        if (MVP_FAILPOINT("snapshot/load")) {
+          return Status::IOError("injected transient snapshot load failure");
+        }
+        auto loaded = store.OpenFlat(metric, pool);
+        if (!loaded.ok()) return loaded.status();
+        using Index = serve::ShardedMvpIndex<std::vector<double>, Metric>;
         cell->Publish(std::make_shared<const Index>(
             std::move(loaded).ValueOrDie().index));
         return Status::OK();

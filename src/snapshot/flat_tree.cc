@@ -1,0 +1,396 @@
+#include "snapshot/flat_tree.h"
+
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/serialize.h"
+#include "core/mvp_tree.h"
+#include "metric/lp.h"
+
+/// \file
+/// Flat-arena transcoding (serialized MvpTree stream -> contiguous arena)
+/// and untrusted-arena validation. Non-template code: the arena layout is
+/// object-type-specific (dense real vectors), which is what makes the
+/// in-place VectorView serving possible at all.
+
+namespace mvp::snapshot::flat {
+namespace {
+
+// The stream being transcoded is exactly what MvpTree::Serialize emits;
+// share its identity constants (any instantiation carries the same values).
+using SourceTree = core::MvpTree<metric::Vector, metric::L2>;
+
+constexpr std::size_t kHeaderBytes = sizeof(FlatHeaderRec);
+
+std::uint64_t Align8(std::uint64_t v) { return (v + 7) & ~std::uint64_t{7}; }
+
+/// Mutable arena-in-progress: section vectors appended during the preorder
+/// walk of the stream, assembled into one buffer at the end.
+struct ArenaBuilder {
+  std::vector<double> objects;
+  std::size_t object_count = 0;
+  std::size_t dim = 0;
+  std::vector<double> path;
+  std::vector<double> bounds;
+  std::vector<FlatLeafEntryRec> entries;
+  std::vector<FlatNodeRec> nodes;
+  std::vector<std::uint32_t> children;
+};
+
+/// Transcodes one serialized node (and, preorder, its subtree). Returns the
+/// flat node index, or kNoNode for a null child. Mirrors the validation of
+/// MvpTree::ReadNode so a stream the heap path would reject is rejected
+/// here too.
+Result<std::uint64_t> TranscodeNode(BinaryReader* reader, ArenaBuilder* b,
+                                    std::size_t m, std::size_t depth) {
+  if (depth > kMaxFlatDepth) {
+    return Status::Corruption("mvp-tree nesting too deep");
+  }
+  std::uint8_t tag = 0;
+  MVP_RETURN_NOT_OK(reader->Read<std::uint8_t>(&tag));
+  if (tag == 0) return kNoNode;
+  if (tag > 2) return Status::Corruption("bad mvp-tree node tag");
+
+  std::uint64_t vp1 = 0, vp2 = 0;
+  std::uint8_t has_vp2 = 0;
+  MVP_RETURN_NOT_OK(reader->Read<std::uint64_t>(&vp1));
+  MVP_RETURN_NOT_OK(reader->Read<std::uint8_t>(&has_vp2));
+  MVP_RETURN_NOT_OK(reader->Read<std::uint64_t>(&vp2));
+  if (vp1 >= b->object_count || (has_vp2 != 0 && vp2 >= b->object_count)) {
+    return Status::Corruption("vantage point id out of range");
+  }
+
+  const std::uint64_t index = b->nodes.size();
+  if (index >= kNullChild) {
+    return Status::Corruption("flat tree node count exceeds format limit");
+  }
+  b->nodes.emplace_back();  // filled below; children recurse after it
+  FlatNodeRec rec;
+  rec.vp1 = static_cast<std::uint32_t>(vp1);
+  rec.vp2 = static_cast<std::uint32_t>(vp2);
+  if (has_vp2 != 0) rec.flags |= kNodeHasVp2;
+
+  if (tag == 1) {  // leaf
+    rec.flags |= kNodeLeaf;
+    std::uint64_t bucket_size = 0;
+    MVP_RETURN_NOT_OK(reader->Read<std::uint64_t>(&bucket_size));
+    if (bucket_size > reader->remaining()) {
+      return Status::Corruption("leaf bucket size exceeds buffer");
+    }
+    rec.begin = b->entries.size();
+    rec.count = static_cast<std::uint32_t>(bucket_size);
+    for (std::uint64_t i = 0; i < bucket_size; ++i) {
+      FlatLeafEntryRec e;
+      std::uint64_t id = 0;
+      MVP_RETURN_NOT_OK(reader->Read<std::uint64_t>(&id));
+      MVP_RETURN_NOT_OK(reader->Read<double>(&e.d1));
+      MVP_RETURN_NOT_OK(reader->Read<double>(&e.d2));
+      MVP_RETURN_NOT_OK(reader->Read<std::uint32_t>(&e.path_offset));
+      MVP_RETURN_NOT_OK(reader->Read<std::uint32_t>(&e.path_length));
+      if (id >= b->object_count) {
+        return Status::Corruption("leaf point id out of range");
+      }
+      if (static_cast<std::size_t>(e.path_offset) + e.path_length >
+          b->path.size()) {
+        return Status::Corruption("leaf PATH slice out of pool range");
+      }
+      e.id = static_cast<std::uint32_t>(id);
+      b->entries.push_back(e);
+    }
+    b->nodes[static_cast<std::size_t>(index)] = rec;
+    return index;
+  }
+
+  // Internal node: bounds arrays, then m*m children, preorder.
+  std::vector<double> lower1, upper1, lower2, upper2;
+  MVP_RETURN_NOT_OK(reader->ReadVector(&lower1));
+  MVP_RETURN_NOT_OK(reader->ReadVector(&upper1));
+  MVP_RETURN_NOT_OK(reader->ReadVector(&lower2));
+  MVP_RETURN_NOT_OK(reader->ReadVector(&upper2));
+  if (lower1.size() != m || upper1.size() != m || lower2.size() != m * m ||
+      upper2.size() != m * m) {
+    return Status::Corruption("internal node bound arrays malformed");
+  }
+  rec.begin = b->bounds.size();
+  b->bounds.insert(b->bounds.end(), lower1.begin(), lower1.end());
+  b->bounds.insert(b->bounds.end(), upper1.begin(), upper1.end());
+  b->bounds.insert(b->bounds.end(), lower2.begin(), lower2.end());
+  b->bounds.insert(b->bounds.end(), upper2.begin(), upper2.end());
+  rec.children = b->children.size();
+  b->children.insert(b->children.end(), m * m, kNullChild);
+  b->nodes[static_cast<std::size_t>(index)] = rec;
+
+  for (std::size_t c = 0; c < m * m; ++c) {
+    auto child = TranscodeNode(reader, b, m, depth + 1);
+    if (!child.ok()) return child.status();
+    const std::uint64_t ci = child.value();
+    b->children[static_cast<std::size_t>(rec.children) + c] =
+        ci == kNoNode ? kNullChild : static_cast<std::uint32_t>(ci);
+  }
+  return index;
+}
+
+template <typename T>
+void CopySection(std::vector<std::uint8_t>* arena, std::uint64_t offset,
+                 const std::vector<T>& values) {
+  if (values.empty()) return;
+  std::memcpy(arena->data() + offset, values.data(),
+              values.size() * sizeof(T));
+}
+
+}  // namespace
+
+Result<std::vector<std::uint8_t>> BuildFlatArena(const std::uint8_t* stream,
+                                                 std::size_t length) {
+  BinaryReader reader(stream, length);
+  std::uint32_t magic = 0, version = 0;
+  MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&magic));
+  if (magic != SourceTree::kMagic) {
+    return Status::Corruption("bad mvp-tree magic");
+  }
+  MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&version));
+  if (version != SourceTree::kFormatVersion) {
+    return Status::NotSupported("unknown mvp-tree format version");
+  }
+  std::int32_t order = 0, leaf_capacity = 0, num_paths = 0;
+  std::uint8_t bounds_flag = 0;
+  MVP_RETURN_NOT_OK(reader.Read<std::int32_t>(&order));
+  MVP_RETURN_NOT_OK(reader.Read<std::int32_t>(&leaf_capacity));
+  MVP_RETURN_NOT_OK(reader.Read<std::int32_t>(&num_paths));
+  MVP_RETURN_NOT_OK(reader.Read<std::uint8_t>(&bounds_flag));
+  if (order < 2 || leaf_capacity < 1 || num_paths < 0) {
+    return Status::Corruption("mvp-tree options out of range");
+  }
+
+  std::uint64_t count = 0;
+  MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&count));
+  if (count > reader.remaining()) {
+    return Status::Corruption("object count exceeds buffer");
+  }
+  if (count > std::numeric_limits<std::uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "flat arenas hold at most 2^32-1 objects per shard");
+  }
+
+  ArenaBuilder b;
+  b.object_count = static_cast<std::size_t>(count);
+  b.objects.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::vector<double> v;
+    MVP_RETURN_NOT_OK(reader.ReadVector(&v));
+    if (i == 0) {
+      b.dim = v.size();
+    } else if (v.size() != b.dim) {
+      return Status::InvalidArgument(
+          "flat arenas require equal-dimension vectors");
+    }
+    b.objects.insert(b.objects.end(), v.begin(), v.end());
+  }
+  if (b.dim > std::numeric_limits<std::uint32_t>::max()) {
+    return Status::InvalidArgument("vector dimension exceeds format limit");
+  }
+  MVP_RETURN_NOT_OK(reader.ReadVector(&b.path));
+
+  auto root = TranscodeNode(&reader, &b, static_cast<std::size_t>(order), 0);
+  if (!root.ok()) return root.status();
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after mvp-tree stream");
+  }
+  if (root.value() == kNoNode && b.object_count != 0) {
+    return Status::Corruption("non-empty tree has no root");
+  }
+
+  FlatHeaderRec h;
+  h.order = static_cast<std::uint32_t>(order);
+  h.leaf_capacity = static_cast<std::uint32_t>(leaf_capacity);
+  h.num_path_distances = static_cast<std::uint32_t>(num_paths);
+  if (bounds_flag != 0) h.flags |= kHeaderExactBounds;
+  h.dim = static_cast<std::uint32_t>(b.dim);
+  h.object_count = count;
+  h.node_count = b.nodes.size();
+  h.root = root.value();
+
+  std::uint64_t offset = kHeaderBytes;
+  h.objects_offset = offset;
+  offset += b.objects.size() * sizeof(double);
+  h.path_offset = offset;
+  h.path_count = b.path.size();
+  offset += b.path.size() * sizeof(double);
+  h.bounds_offset = offset;
+  h.bounds_count = b.bounds.size();
+  offset += b.bounds.size() * sizeof(double);
+  h.entries_offset = offset;
+  h.entry_count = b.entries.size();
+  offset += b.entries.size() * sizeof(FlatLeafEntryRec);
+  h.nodes_offset = offset;
+  offset += b.nodes.size() * sizeof(FlatNodeRec);
+  h.children_offset = offset;
+  h.children_count = b.children.size();
+  offset += b.children.size() * sizeof(std::uint32_t);
+  offset = Align8(offset);
+  h.arena_bytes = offset;
+
+  std::vector<std::uint8_t> arena(static_cast<std::size_t>(offset), 0);
+  std::memcpy(arena.data(), &h, sizeof(h));
+  CopySection(&arena, h.objects_offset, b.objects);
+  CopySection(&arena, h.path_offset, b.path);
+  CopySection(&arena, h.bounds_offset, b.bounds);
+  CopySection(&arena, h.entries_offset, b.entries);
+  CopySection(&arena, h.nodes_offset, b.nodes);
+  CopySection(&arena, h.children_offset, b.children);
+  return arena;
+}
+
+namespace {
+
+Status SectionInBounds(std::uint64_t offset, std::uint64_t count,
+                       std::uint64_t element_size, std::uint64_t size,
+                       const char* what) {
+  if (offset % kFlatAlignment != 0) {
+    return Status::Corruption(std::string("flat arena ") + what +
+                              " section misaligned");
+  }
+  if (offset > size || count > (size - offset) / element_size) {
+    return Status::Corruption(std::string("flat arena ") + what +
+                              " section out of bounds");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FlatArenaParts> ParseFlatArena(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (reinterpret_cast<std::uintptr_t>(data) % kFlatAlignment != 0) {
+    return Status::InvalidArgument("flat arena base address misaligned");
+  }
+  if (size < kHeaderBytes) {
+    return Status::Corruption("flat arena smaller than its header");
+  }
+  FlatHeaderRec h;
+  std::memcpy(&h, data, sizeof(h));
+  if (h.magic != kFlatMagic) {
+    return Status::Corruption("bad flat arena magic");
+  }
+  if (h.version != kFlatVersion) {
+    return Status::NotSupported("unknown flat arena version " +
+                                std::to_string(h.version));
+  }
+  constexpr std::uint32_t kMaxI32 = 0x7fffffffu;
+  if (h.order < 2 || h.order > kMaxI32 || h.leaf_capacity < 1 ||
+      h.leaf_capacity > kMaxI32 || h.num_path_distances > kMaxI32 ||
+      (h.flags & ~kHeaderExactBounds) != 0) {
+    return Status::Corruption("flat arena options out of range");
+  }
+  if (h.arena_bytes != size) {
+    return Status::Corruption("flat arena size mismatches header");
+  }
+  if (h.object_count > std::numeric_limits<std::uint32_t>::max()) {
+    return Status::Corruption("flat arena object count out of range");
+  }
+
+  // Section bounds. Objects need count*dim doubles; guard the product.
+  const std::uint64_t m = h.order;
+  MVP_RETURN_NOT_OK(SectionInBounds(h.objects_offset,
+                                    h.dim == 0 ? 0 : h.object_count,
+                                    sizeof(double) * std::uint64_t{h.dim},
+                                    size, "objects"));
+  MVP_RETURN_NOT_OK(SectionInBounds(h.path_offset, h.path_count,
+                                    sizeof(double), size, "path"));
+  MVP_RETURN_NOT_OK(SectionInBounds(h.bounds_offset, h.bounds_count,
+                                    sizeof(double), size, "bounds"));
+  MVP_RETURN_NOT_OK(SectionInBounds(h.entries_offset, h.entry_count,
+                                    sizeof(FlatLeafEntryRec), size,
+                                    "entries"));
+  MVP_RETURN_NOT_OK(SectionInBounds(h.nodes_offset, h.node_count,
+                                    sizeof(FlatNodeRec), size, "nodes"));
+  MVP_RETURN_NOT_OK(SectionInBounds(h.children_offset, h.children_count,
+                                    sizeof(std::uint32_t), size, "children"));
+
+  FlatArenaParts parts;
+  parts.header = h;
+  parts.objects = reinterpret_cast<const double*>(data + h.objects_offset);
+  parts.path = reinterpret_cast<const double*>(data + h.path_offset);
+  parts.bounds = reinterpret_cast<const double*>(data + h.bounds_offset);
+  parts.entries =
+      reinterpret_cast<const FlatLeafEntryRec*>(data + h.entries_offset);
+  parts.nodes = reinterpret_cast<const FlatNodeRec*>(data + h.nodes_offset);
+  parts.children =
+      reinterpret_cast<const std::uint32_t*>(data + h.children_offset);
+
+  // Every leaf entry's id and PATH slice, in one linear pass.
+  for (std::uint64_t i = 0; i < h.entry_count; ++i) {
+    const FlatLeafEntryRec& e = parts.entries[i];
+    if (e.id >= h.object_count) {
+      return Status::Corruption("flat leaf entry id out of range");
+    }
+    if (std::uint64_t{e.path_offset} + e.path_length > h.path_count) {
+      return Status::Corruption("flat leaf PATH slice out of pool range");
+    }
+  }
+
+  // Structural pass over the nodes. Preorder is the invariant that makes
+  // one forward scan sufficient AND guarantees traversal termination:
+  // every child index must point strictly forward, every non-root node
+  // must have been referenced by an earlier parent (exactly once), and
+  // depth — assigned parent-before-child — must stay under the cap.
+  if (h.node_count == 0) {
+    if (h.root != kNoNode || h.object_count != 0) {
+      return Status::Corruption("flat arena root mismatches empty tree");
+    }
+    return parts;
+  }
+  if (h.root != 0) {
+    return Status::Corruption("flat arena root must be the first node");
+  }
+  std::vector<std::uint32_t> depth(static_cast<std::size_t>(h.node_count), 0);
+  depth[0] = 1;
+  for (std::uint64_t i = 0; i < h.node_count; ++i) {
+    const FlatNodeRec& node = parts.nodes[i];
+    if (depth[static_cast<std::size_t>(i)] == 0) {
+      return Status::Corruption("flat arena node unreachable from root");
+    }
+    if ((node.flags & ~(kNodeLeaf | kNodeHasVp2)) != 0) {
+      return Status::Corruption("flat arena node has unknown flags");
+    }
+    if (node.vp1 >= h.object_count ||
+        ((node.flags & kNodeHasVp2) != 0 && node.vp2 >= h.object_count)) {
+      return Status::Corruption("flat arena vantage point id out of range");
+    }
+    if ((node.flags & kNodeLeaf) != 0) {
+      if (node.begin > h.entry_count ||
+          node.count > h.entry_count - node.begin) {
+        return Status::Corruption("flat arena leaf entry range out of bounds");
+      }
+      continue;
+    }
+    const std::uint64_t bounds_needed = 2 * m + 2 * m * m;
+    if (node.begin > h.bounds_count ||
+        bounds_needed > h.bounds_count - node.begin) {
+      return Status::Corruption("flat arena bounds range out of bounds");
+    }
+    if (node.children > h.children_count ||
+        m * m > h.children_count - node.children) {
+      return Status::Corruption("flat arena children range out of bounds");
+    }
+    if (depth[static_cast<std::size_t>(i)] >= kMaxFlatDepth) {
+      return Status::Corruption("flat tree nesting too deep");
+    }
+    for (std::uint64_t c = 0; c < m * m; ++c) {
+      const std::uint32_t child =
+          parts.children[static_cast<std::size_t>(node.children + c)];
+      if (child == kNullChild) continue;
+      if (child >= h.node_count || child <= i) {
+        return Status::Corruption("flat arena child link is not preorder");
+      }
+      if (depth[child] != 0) {
+        return Status::Corruption("flat arena node referenced twice");
+      }
+      depth[child] = depth[static_cast<std::size_t>(i)] + 1;
+    }
+  }
+  return parts;
+}
+
+}  // namespace mvp::snapshot::flat

@@ -1,0 +1,438 @@
+#ifndef MVPTREE_SNAPSHOT_FLAT_TREE_H_
+#define MVPTREE_SNAPSHOT_FLAT_TREE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/query.h"
+#include "common/status.h"
+#include "core/search_shared.h"
+
+/// \file
+/// The flat mvp-tree: a position-independent, offset-based encoding of one
+/// shard tree in a single contiguous arena, searched directly out of the
+/// mmap'd snapshot container — zero deserialization, zero per-load
+/// allocation. Where the heap tree pays a full pointer-tree reconstruction
+/// (object decode, node allocation, bound-vector copies) before its first
+/// query, opening a flat arena is: map the file, CRC the chunk, validate
+/// the arena's offsets once, and search.
+///
+/// Layout (all integers little-endian; docs/index_format.md has the
+/// byte-level diagrams; every section starts on an 8-byte boundary within
+/// the arena, and the snapshot writer 8-aligns the arena's file offset so
+/// in-memory records are naturally aligned under both mmap and the heap
+/// fallback):
+///
+///   FlatHeaderRec          fixed 144 bytes
+///   objects   f64[object_count * dim]   vectors, row-major, viewed in place
+///   path      f64[path_count]           the tree's shared PATH pool
+///   bounds    f64[bounds_count]         per internal node at `begin`:
+///                                       lower1[m] upper1[m]
+///                                       lower2[m*m] upper2[m*m]
+///   entries   FlatLeafEntryRec[entry_count]   leaf points (D1/D2 + PATH ref)
+///   nodes     FlatNodeRec[node_count]         preorder; root is node 0
+///   children  u32[children_count]       m*m slots per internal node;
+///                                       0xFFFFFFFF = absent child
+///
+/// Safety: the arena is untrusted bytes. ParseFlatArena bounds-checks every
+/// offset/count, and a structural pass enforces that child links point
+/// strictly forward (preorder), that every node is referenced exactly once,
+/// and that depth stays within the same cap as heap deserialization — so a
+/// corrupted arena yields Status::Corruption at open, never a crash or an
+/// unterminated traversal. The searches mirror core::MvpTree statement for
+/// statement (sharing core/search_shared.h) so results and
+/// distance-computation counts are bit-identical to the heap tree built
+/// from the same stream.
+
+namespace mvp::snapshot::flat {
+
+inline constexpr std::uint32_t kFlatMagic = 0x5a50564d;  // "MVPZ"
+inline constexpr std::uint32_t kFlatVersion = 1;
+inline constexpr std::uint64_t kNoNode = ~std::uint64_t{0};
+inline constexpr std::uint32_t kNullChild = 0xffffffffu;
+inline constexpr std::size_t kFlatAlignment = 8;
+/// Same nesting cap as MvpTree deserialization.
+inline constexpr std::size_t kMaxFlatDepth = 512;
+
+/// Fixed arena header. POD with explicit field order chosen so the struct
+/// has no padding; written/read by memcpy on the (little-endian,
+/// byte-addressable) targets this library supports.
+struct FlatHeaderRec {
+  std::uint32_t magic = kFlatMagic;
+  std::uint32_t version = kFlatVersion;
+  std::uint32_t order = 0;               ///< m
+  std::uint32_t leaf_capacity = 0;       ///< k
+  std::uint32_t num_path_distances = 0;  ///< p
+  std::uint32_t flags = 0;               ///< bit0 = store_exact_bounds
+  std::uint32_t dim = 0;                 ///< dimensions per stored vector
+  std::uint32_t reserved = 0;
+  std::uint64_t object_count = 0;
+  std::uint64_t node_count = 0;
+  std::uint64_t root = kNoNode;
+  std::uint64_t objects_offset = 0;
+  std::uint64_t path_offset = 0;
+  std::uint64_t path_count = 0;
+  std::uint64_t bounds_offset = 0;
+  std::uint64_t bounds_count = 0;
+  std::uint64_t entries_offset = 0;
+  std::uint64_t entry_count = 0;
+  std::uint64_t nodes_offset = 0;
+  std::uint64_t children_offset = 0;
+  std::uint64_t children_count = 0;
+  std::uint64_t arena_bytes = 0;
+};
+static_assert(sizeof(FlatHeaderRec) == 144, "header layout drifted");
+
+inline constexpr std::uint32_t kHeaderExactBounds = 1u << 0;
+
+/// One tree node, 32 bytes. Leaves: `begin`/`count` select a run of leaf
+/// entries. Internal nodes: `begin` indexes the bounds pool (2m + 2m*m
+/// doubles), `children` indexes m*m slots in the children pool.
+struct FlatNodeRec {
+  std::uint32_t flags = 0;  ///< bit0 = leaf, bit1 = has_vp2
+  std::uint32_t vp1 = 0;
+  std::uint32_t vp2 = 0;
+  std::uint32_t count = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t children = 0;
+};
+static_assert(sizeof(FlatNodeRec) == 32, "node layout drifted");
+
+inline constexpr std::uint32_t kNodeLeaf = 1u << 0;
+inline constexpr std::uint32_t kNodeHasVp2 = 1u << 1;
+
+/// One leaf point, 32 bytes: the paper's D1[i]/D2[i] plus its PATH slice.
+struct FlatLeafEntryRec {
+  std::uint32_t id = 0;
+  std::uint32_t path_offset = 0;
+  std::uint32_t path_length = 0;
+  std::uint32_t reserved = 0;
+  double d1 = 0.0;
+  double d2 = 0.0;
+};
+static_assert(sizeof(FlatLeafEntryRec) == 32, "leaf entry layout drifted");
+
+/// Zero-copy view of one stored vector inside the arena. Duck-compatible
+/// with std::vector<double> for the Lp metrics' templated operator(), so
+/// d(query, stored) runs on the mapped bytes with no materialization.
+class VectorView {
+ public:
+  VectorView(const double* data, std::size_t dim) : data_(data), dim_(dim) {}
+  std::size_t size() const { return dim_; }
+  double operator[](std::size_t i) const { return data_[i]; }
+  const double* data() const { return data_; }
+
+ private:
+  const double* data_;
+  std::size_t dim_;
+};
+
+/// Transcodes one serialized MvpTree stream (the exact bytes
+/// MvpTree::Serialize + VectorCodec emit — vector objects only) into a
+/// self-contained flat arena. Validates the stream as strictly as
+/// MvpTree::Deserialize does; the result is byte-stable for a given stream.
+Result<std::vector<std::uint8_t>> BuildFlatArena(const std::uint8_t* stream,
+                                                 std::size_t length);
+
+/// A bounds-checked, structurally validated view into a flat arena. All
+/// pointers alias the caller's bytes, which must outlive the view.
+struct FlatArenaParts {
+  FlatHeaderRec header;
+  const double* objects = nullptr;
+  const double* path = nullptr;
+  const double* bounds = nullptr;
+  const FlatLeafEntryRec* entries = nullptr;
+  const FlatNodeRec* nodes = nullptr;
+  const std::uint32_t* children = nullptr;
+};
+
+/// Parses + validates an arena (untrusted bytes): header sanity, section
+/// bounds, id ranges, PATH slices, preorder child links, depth cap. Every
+/// corrupt offset yields Corruption; a returned view is safe to traverse.
+Result<FlatArenaParts> ParseFlatArena(const std::uint8_t* data,
+                                      std::size_t size);
+
+/// Read-only mvp-tree over a validated flat arena. Query objects are dense
+/// real vectors; `Metric` must accept (query, VectorView) — all bundled Lp
+/// metrics (and serve::CancelChecked wrappers of them) do.
+///
+/// Search results, their order of discovery, and every SearchStats counter
+/// are bit-identical to core::MvpTree over the same logical tree: both
+/// traversals evaluate the same metric calls in the same sequence
+/// (tests/flat_equivalence_test.cc holds this to 1k+ random queries).
+/// Thread safety: immutable after Open; const searches are freely
+/// concurrent (same contract as MvpTree).
+template <typename Metric>
+class FlatTreeView {
+ public:
+  /// Validates `data` and binds the view. The bytes must stay alive and
+  /// unmodified for the view's lifetime (the snapshot path guarantees this
+  /// by keeping the MmapFile alive alongside the index).
+  static Result<FlatTreeView> Open(const std::uint8_t* data, std::size_t size,
+                                   Metric metric) {
+    auto parts = ParseFlatArena(data, size);
+    if (!parts.ok()) return parts.status();
+    return FlatTreeView(std::move(parts).ValueOrDie(), std::move(metric));
+  }
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(p_.header.object_count);
+  }
+  int order() const { return static_cast<int>(p_.header.order); }
+  int leaf_capacity() const {
+    return static_cast<int>(p_.header.leaf_capacity);
+  }
+  int num_path_distances() const {
+    return static_cast<int>(p_.header.num_path_distances);
+  }
+  bool store_exact_bounds() const {
+    return (p_.header.flags & kHeaderExactBounds) != 0;
+  }
+  std::size_t dim() const { return p_.header.dim; }
+  std::size_t node_count() const {
+    return static_cast<std::size_t>(p_.header.node_count);
+  }
+  const Metric& metric() const { return metric_; }
+
+  VectorView object(std::size_t id) const {
+    MVP_DCHECK(id < p_.header.object_count);
+    return VectorView(p_.objects + id * p_.header.dim, p_.header.dim);
+  }
+
+  /// Mirrors MvpTree::RangeSearch (sorted by distance then id).
+  template <typename Query>
+  std::vector<Neighbor> RangeSearch(const Query& query, double radius,
+                                    SearchStats* stats = nullptr) const {
+    std::vector<Neighbor> result;
+    SearchStats local;
+    RangeSearchInto(query, radius, &result, &local);
+    std::sort(result.begin(), result.end(), NeighborLess);
+    if (stats != nullptr) core::MergeSearchStats(stats, local);
+    return result;
+  }
+
+  /// Mirrors MvpTree::RangeSearchInto — unsorted append into `*out`; a
+  /// cancellation unwinding mid-search leaves the hits found so far.
+  template <typename Query>
+  void RangeSearchInto(const Query& query, double radius,
+                       std::vector<Neighbor>* out,
+                       SearchStats* stats = nullptr) const {
+    MVP_DCHECK(radius >= 0);
+    MVP_DCHECK(out != nullptr);
+    SearchStats local;
+    SearchStats& sink = stats != nullptr ? *stats : local;
+    if (p_.header.root != kNoNode) {
+      std::vector<double> qpath;
+      qpath.reserve(p_.header.num_path_distances);
+      RangeSearchNode(p_.header.root, query, radius, qpath, *out, sink);
+    }
+  }
+
+  /// Mirrors MvpTree::KnnSearch (sorted by distance then id).
+  template <typename Query>
+  std::vector<Neighbor> KnnSearch(const Query& query, std::size_t k,
+                                  SearchStats* stats = nullptr) const {
+    std::vector<Neighbor> heap;
+    SearchStats local;
+    KnnSearchInto(query, k, &heap, &local);
+    std::sort_heap(heap.begin(), heap.end(), NeighborLess);
+    if (stats != nullptr) core::MergeSearchStats(stats, local);
+    return heap;
+  }
+
+  /// Mirrors MvpTree::KnnSearchInto — `*heap` is a max-heap under
+  /// NeighborLess holding the best <= k seen so far.
+  template <typename Query>
+  void KnnSearchInto(const Query& query, std::size_t k,
+                     std::vector<Neighbor>* heap,
+                     SearchStats* stats = nullptr) const {
+    MVP_DCHECK(heap != nullptr);
+    SearchStats local;
+    SearchStats& sink = stats != nullptr ? *stats : local;
+    if (p_.header.root != kNoNode && k > 0) {
+      std::vector<double> qpath;
+      qpath.reserve(p_.header.num_path_distances);
+      KnnSearchNode(p_.header.root, query, k, qpath, *heap, sink);
+    }
+  }
+
+ private:
+  FlatTreeView(FlatArenaParts parts, Metric metric)
+      : p_(parts), metric_(std::move(metric)) {}
+
+  bool IsLeaf(const FlatNodeRec& n) const { return (n.flags & kNodeLeaf) != 0; }
+  bool HasVp2(const FlatNodeRec& n) const {
+    return (n.flags & kNodeHasVp2) != 0;
+  }
+
+  // The traversals below are line-for-line transcriptions of
+  // MvpTree::RangeSearchNode / KnnSearchNode / FilterLeaf with pointer
+  // dereferences replaced by arena index arithmetic. Keep them in lockstep
+  // with core/mvp_tree.h: any divergence is a bug the equivalence suite
+  // is designed to catch.
+
+  template <typename Query>
+  void RangeSearchNode(std::uint64_t ni, const Query& query, double radius,
+                       std::vector<double>& qpath,
+                       std::vector<Neighbor>& result,
+                       SearchStats& stats) const {
+    const FlatNodeRec& node = p_.nodes[ni];
+    ++stats.nodes_visited;
+    const double d1 = metric_(query, object(node.vp1));
+    ++stats.distance_computations;
+    if (d1 <= radius) result.push_back(Neighbor{node.vp1, d1});
+    double d2 = 0.0;
+    if (HasVp2(node)) {
+      d2 = metric_(query, object(node.vp2));
+      ++stats.distance_computations;
+      if (d2 <= radius) result.push_back(Neighbor{node.vp2, d2});
+    }
+
+    if (IsLeaf(node)) {
+      FilterLeaf(node, query, radius, d1, d2, qpath, &result, nullptr, 0,
+                 stats);
+      return;
+    }
+
+    const std::size_t p = p_.header.num_path_distances;
+    std::size_t pushed = 0;
+    if (qpath.size() < p) {
+      qpath.push_back(d1);
+      ++pushed;
+      if (qpath.size() < p) {
+        qpath.push_back(d2);
+        ++pushed;
+      }
+    }
+
+    const std::size_t m = p_.header.order;
+    const double* lower1 = p_.bounds + node.begin;
+    const double* upper1 = lower1 + m;
+    const double* lower2 = upper1 + m;
+    const double* upper2 = lower2 + m * m;
+    const std::uint32_t* kids = p_.children + node.children;
+    for (std::size_t g = 0; g < m; ++g) {
+      if (!core::ShellIntersects(d1, radius, lower1[g], upper1[g])) continue;
+      for (std::size_t s = 0; s < m; ++s) {
+        const std::size_t c = g * m + s;
+        if (kids[c] == kNullChild) continue;
+        if (!core::ShellIntersects(d2, radius, lower2[c], upper2[c])) continue;
+        RangeSearchNode(kids[c], query, radius, qpath, result, stats);
+      }
+    }
+    qpath.resize(qpath.size() - pushed);
+  }
+
+  template <typename Query>
+  void FilterLeaf(const FlatNodeRec& node, const Query& query, double radius,
+                  double d1, double d2, const std::vector<double>& qpath,
+                  std::vector<Neighbor>* range_out,
+                  std::vector<Neighbor>* heap_out, std::size_t k,
+                  SearchStats& stats) const {
+    const FlatLeafEntryRec* bucket = p_.entries + node.begin;
+    const bool has_vp2 = HasVp2(node);
+    for (std::uint32_t i = 0; i < node.count; ++i) {
+      const FlatLeafEntryRec& x = bucket[i];
+      ++stats.leaf_points_seen;
+      const double r = heap_out != nullptr ? core::KnnTau(*heap_out, k) : radius;
+      bool pass = std::abs(d1 - x.d1) <= r &&
+                  (!has_vp2 || std::abs(d2 - x.d2) <= r);
+      if (pass) {
+        const std::size_t checks =
+            std::min(qpath.size(), static_cast<std::size_t>(x.path_length));
+        for (std::size_t j = 0; j < checks; ++j) {
+          if (std::abs(qpath[j] - p_.path[x.path_offset + j]) > r) {
+            pass = false;
+            break;
+          }
+        }
+      }
+      if (!pass) {
+        ++stats.leaf_points_filtered;
+        continue;
+      }
+      const double d = metric_(query, object(x.id));
+      ++stats.distance_computations;
+      if (range_out != nullptr) {
+        if (d <= radius) range_out->push_back(Neighbor{x.id, d});
+      } else {
+        core::KnnOffer(*heap_out, k, Neighbor{x.id, d});
+      }
+    }
+  }
+
+  template <typename Query>
+  void KnnSearchNode(std::uint64_t ni, const Query& query, std::size_t k,
+                     std::vector<double>& qpath, std::vector<Neighbor>& heap,
+                     SearchStats& stats) const {
+    const FlatNodeRec& node = p_.nodes[ni];
+    ++stats.nodes_visited;
+    const double d1 = metric_(query, object(node.vp1));
+    ++stats.distance_computations;
+    core::KnnOffer(heap, k, Neighbor{node.vp1, d1});
+    double d2 = 0.0;
+    if (HasVp2(node)) {
+      d2 = metric_(query, object(node.vp2));
+      ++stats.distance_computations;
+      core::KnnOffer(heap, k, Neighbor{node.vp2, d2});
+    }
+
+    if (IsLeaf(node)) {
+      FilterLeaf(node, query, 0.0, d1, d2, qpath, nullptr, &heap, k, stats);
+      return;
+    }
+
+    const std::size_t p = p_.header.num_path_distances;
+    std::size_t pushed = 0;
+    if (qpath.size() < p) {
+      qpath.push_back(d1);
+      ++pushed;
+      if (qpath.size() < p) {
+        qpath.push_back(d2);
+        ++pushed;
+      }
+    }
+
+    struct Ranked {
+      double bound;
+      std::size_t child;
+    };
+    const std::size_t m = p_.header.order;
+    const double* lower1 = p_.bounds + node.begin;
+    const double* upper1 = lower1 + m;
+    const double* lower2 = upper1 + m;
+    const double* upper2 = lower2 + m * m;
+    const std::uint32_t* kids = p_.children + node.children;
+    std::vector<Ranked> ranked;
+    ranked.reserve(m * m);
+    for (std::size_t g = 0; g < m; ++g) {
+      const double b1 = std::max({0.0, lower1[g] - d1, d1 - upper1[g]});
+      for (std::size_t s = 0; s < m; ++s) {
+        const std::size_t c = g * m + s;
+        if (kids[c] == kNullChild) continue;
+        const double b2 = std::max({0.0, lower2[c] - d2, d2 - upper2[c]});
+        ranked.push_back(Ranked{std::max(b1, b2), c});
+      }
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Ranked& a, const Ranked& b) { return a.bound < b.bound; });
+    for (const Ranked& r : ranked) {
+      if (r.bound > core::KnnTau(heap, k)) break;
+      KnnSearchNode(kids[r.child], query, k, qpath, heap, stats);
+    }
+    qpath.resize(qpath.size() - pushed);
+  }
+
+  FlatArenaParts p_;
+  Metric metric_;
+};
+
+}  // namespace mvp::snapshot::flat
+
+#endif  // MVPTREE_SNAPSHOT_FLAT_TREE_H_

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/crc32c.h"
+#include "common/macros.h"
 #include "common/serialize.h"
 #include "common/status.h"
 
@@ -33,7 +34,16 @@ inline constexpr std::uint32_t kContainerVersion = 1;
 enum class ChunkKind : std::uint32_t {
   kShardTree = 1,  ///< u64 shard index, u64v global ids, mvp-tree stream
   kForest = 2,     ///< one MvpForest stream
+  kFlatShard = 3,  ///< u64 shard index, then one flat mvp-tree arena
+                   ///< (snapshot/flat_tree.h), searched in place
 };
+
+/// File-offset alignment required for ChunkKind::kFlatShard payloads: the
+/// arena that follows the payload's 8-byte shard index is read in place as
+/// u64/double/32-byte records, so the payload must start on an 8-byte file
+/// offset (which mmap's page alignment — and the heap fallback's allocator
+/// alignment — then carries into memory).
+inline constexpr std::size_t kFlatChunkAlignment = 8;
 
 /// One entry of the container's chunk table.
 struct ChunkEntry {
@@ -56,12 +66,19 @@ inline std::size_t ContainerHeaderBytes(std::size_t chunks) {
 /// simple and sufficient write path.
 class ContainerWriter {
  public:
-  void AddChunk(ChunkKind kind, std::vector<std::uint8_t> payload) {
+  /// Queues a chunk. `alignment` (a power of two) constrains the payload's
+  /// file offset; Finalize zero-pads the gap before an aligned chunk.
+  /// Readers are oblivious to padding — chunks are located by (offset,
+  /// length) — so aligned and unaligned chunks mix freely in one container.
+  void AddChunk(ChunkKind kind, std::vector<std::uint8_t> payload,
+                std::size_t alignment = 1) {
+    MVP_DCHECK(alignment > 0 && (alignment & (alignment - 1)) == 0);
     ChunkEntry entry;
     entry.kind = static_cast<std::uint32_t>(kind);
     entry.length = payload.size();
     entry.crc32c = Crc32c(payload.data(), payload.size());
     entries_.push_back(entry);
+    alignments_.push_back(alignment);
     payloads_.push_back(std::move(payload));
   }
 
@@ -70,9 +87,11 @@ class ContainerWriter {
   /// Lays out header + payloads and returns the whole file's bytes.
   std::vector<std::uint8_t> Finalize() && {
     std::uint64_t offset = ContainerHeaderBytes(entries_.size());
-    for (ChunkEntry& entry : entries_) {
-      entry.offset = offset;
-      offset += entry.length;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const std::uint64_t align = alignments_[i];
+      offset = (offset + align - 1) & ~(align - 1);
+      entries_[i].offset = offset;
+      offset += entries_[i].length;
     }
     BinaryWriter header;
     header.Write<std::uint32_t>(kContainerMagic);
@@ -92,14 +111,23 @@ class ContainerWriter {
 
     std::vector<std::uint8_t> file = std::move(header).TakeBuffer();
     file.reserve(static_cast<std::size_t>(offset));
-    for (const auto& payload : payloads_) {
-      file.insert(file.end(), payload.begin(), payload.end());
+    for (std::size_t i = 0; i < payloads_.size(); ++i) {
+      file.resize(static_cast<std::size_t>(entries_[i].offset), 0);
+      // resize+memcpy rather than a range insert — see the note on
+      // BinaryWriter::Write (GCC 12 -Wnonnull false positive).
+      if (!payloads_[i].empty()) {
+        const std::size_t base = file.size();
+        file.resize(base + payloads_[i].size());
+        std::memcpy(file.data() + base, payloads_[i].data(),
+                    payloads_[i].size());
+      }
     }
     return file;
   }
 
  private:
   std::vector<ChunkEntry> entries_;
+  std::vector<std::size_t> alignments_;
   std::vector<std::vector<std::uint8_t>> payloads_;
 };
 

@@ -28,16 +28,24 @@ inline constexpr std::uint32_t kManifestVersion = 1;
 enum class IndexKind : std::uint8_t {
   kShardedMvpIndex = 1,
   kMvpForest = 2,
+  /// A sharded mvp-index stored as flat arenas (ChunkKind::kFlatShard)
+  /// served directly out of the mapping — no deserialization on load.
+  kFlatShardedMvpIndex = 3,
 };
 
 /// Fingerprint of a container file: CRC32C of all its bytes in the high
 /// word, low 32 bits of its length in the low word. Cheap to recompute at
 /// load time and collision-resistant enough to catch a manifest paired
 /// with the wrong (or regenerated) container.
+inline std::uint64_t FingerprintFromCrc(std::uint32_t crc,
+                                        std::size_t size) {
+  return static_cast<std::uint64_t>(crc) << 32 |
+         static_cast<std::uint64_t>(size & 0xffffffffu);
+}
+
 inline std::uint64_t ContainerFingerprint(const std::uint8_t* data,
                                           std::size_t size) {
-  return static_cast<std::uint64_t>(Crc32c(data, size)) << 32 |
-         static_cast<std::uint64_t>(size & 0xffffffffu);
+  return FingerprintFromCrc(Crc32c(data, size), size);
 }
 
 struct SnapshotManifest {
@@ -95,7 +103,8 @@ struct SnapshotManifest {
     std::uint8_t kind = 0;
     MVP_RETURN_NOT_OK(reader.Read<std::uint8_t>(&kind));
     if (kind != static_cast<std::uint8_t>(IndexKind::kShardedMvpIndex) &&
-        kind != static_cast<std::uint8_t>(IndexKind::kMvpForest)) {
+        kind != static_cast<std::uint8_t>(IndexKind::kMvpForest) &&
+        kind != static_cast<std::uint8_t>(IndexKind::kFlatShardedMvpIndex)) {
       return Status::Corruption("unknown snapshot index kind");
     }
     manifest.index_kind = static_cast<IndexKind>(kind);

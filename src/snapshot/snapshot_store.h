@@ -5,18 +5,23 @@
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/codec.h"
 #include "common/serialize.h"
 #include "common/status.h"
+#include "core/mvp_tree.h"
 #include "dynamic/mvp_forest.h"
+#include "metric/lp.h"
 #include "serve/sharded_index.h"
 #include "serve/thread_pool.h"
+#include "snapshot/flat_tree.h"
 #include "snapshot/format.h"
 #include "snapshot/manifest.h"
 #include "snapshot/mmap_file.h"
@@ -189,6 +194,7 @@ class SnapshotStore {
     if (!opened.ok()) return opened.status();
     OpenedGeneration gen = std::move(opened).ValueOrDie();
     const SnapshotManifest& manifest = gen.manifest;
+    MVP_RETURN_NOT_OK(ValidateManifestParams(manifest));
 
     const auto shard_chunks = gen.container.ChunksOfKind(ChunkKind::kShardTree);
     if (manifest.num_shards < 1 ||
@@ -210,7 +216,7 @@ class SnapshotStore {
       serve::ParallelFor(*pool, k, load_shard);
     }
     for (const Status& status : statuses) MVP_RETURN_NOT_OK(status);
-    MVP_RETURN_NOT_OK(VerifyFingerprint(gen));
+    MVP_RETURN_NOT_OK(VerifyFingerprint(gen, pool));
     for (const auto& part : parts) {
       if (!part.has_value()) {
         return Status::Corruption("snapshot shard chunks do not cover every "
@@ -233,6 +239,151 @@ class SnapshotStore {
 
     LoadedSharded<Object, Metric> loaded{std::move(restored).ValueOrDie(),
                                          manifest, gen.generation};
+    return loaded;
+  }
+
+  // ---- flat sharded index --------------------------------------------------
+
+  /// Persists `index` as flat arenas — one ChunkKind::kFlatShard chunk per
+  /// shard, each holding a position-independent encoding the read path
+  /// serves DIRECTLY out of the mmap'd container (OpenFlat). Vector
+  /// datasets only (the arena views stored vectors in place). The index
+  /// must be in the canonical round-robin layout Build produces (global id
+  /// g in shard g % K at local slot g / K): flat chunks store no id map,
+  /// so the reader reconstructs ids arithmetically.
+  template <metric::MetricFor<std::vector<double>> Metric>
+  Result<std::uint64_t> SaveFlat(
+      const serve::ShardedMvpIndex<std::vector<double>, Metric>& index) {
+    const std::size_t k = index.num_shards();
+    ContainerWriter container;
+    for (std::size_t s = 0; s < k; ++s) {
+      const auto& ids = index.shard_global_ids(s);
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (ids[i] != i * k + s) {
+          return Status::InvalidArgument(
+              "flat snapshots require the canonical round-robin id layout");
+        }
+      }
+      BinaryWriter stream;
+      MVP_RETURN_NOT_OK(index.shard(s).Serialize(&stream, VectorCodec{}));
+      auto arena = flat::BuildFlatArena(stream.buffer().data(),
+                                       stream.buffer().size());
+      if (!arena.ok()) return arena.status();
+      // Payload: u64 shard index, then the arena. The 8-byte chunk
+      // alignment keeps the arena (at payload + 8) on an 8-byte file
+      // offset, which mmap carries into memory.
+      BinaryWriter payload;
+      payload.Write<std::uint64_t>(s);
+      std::vector<std::uint8_t> bytes = std::move(payload).TakeBuffer();
+      // resize+memcpy rather than a range insert — see the note on
+      // BinaryWriter::Write (GCC 12 -Wnonnull false positive).
+      const std::size_t base = bytes.size();
+      bytes.resize(base + arena.value().size());
+      std::memcpy(bytes.data() + base, arena.value().data(),
+                  arena.value().size());
+      container.AddChunk(ChunkKind::kFlatShard, std::move(bytes),
+                         kFlatChunkAlignment);
+    }
+
+    const auto params = index.build_params();
+    SnapshotManifest manifest;
+    manifest.index_kind = IndexKind::kFlatShardedMvpIndex;
+    manifest.object_count = index.size();
+    manifest.num_shards = params.num_shards;
+    manifest.order = params.order;
+    manifest.leaf_capacity = params.leaf_capacity;
+    manifest.num_path_distances = params.num_path_distances;
+    manifest.seed = params.seed;
+    manifest.store_exact_bounds = params.store_exact_bounds ? 1 : 0;
+    return CommitGeneration(std::move(container).Finalize(), manifest);
+  }
+
+  /// Opens the committed generation's flat index for zero-deserialization
+  /// serving: map the container, CRC each chunk, validate each arena's
+  /// offsets once, and serve searches straight off the mapping. No object
+  /// decode, no tree reconstruction, no per-load allocation proportional
+  /// to the index — time-to-first-query is the validation scan, not a
+  /// rebuild. The returned index keeps the mapping alive; results are
+  /// bit-identical to LoadSharded of the same logical index.
+  template <metric::MetricFor<std::vector<double>> Metric>
+  Result<LoadedSharded<std::vector<double>, Metric>> OpenFlat(
+      Metric metric, serve::ThreadPool* pool = nullptr) const {
+    using Index = serve::ShardedMvpIndex<std::vector<double>, Metric>;
+    using View = typename Index::FlatView;
+
+    // Prefault the mapping: the fingerprint pass below streams every byte
+    // immediately, so batch page-table population beats demand faulting.
+    auto opened = OpenCurrent(IndexKind::kFlatShardedMvpIndex,
+                              /*prefault=*/true);
+    if (!opened.ok()) return opened.status();
+    OpenedGeneration gen = std::move(opened).ValueOrDie();
+    const SnapshotManifest& manifest = gen.manifest;
+    MVP_RETURN_NOT_OK(ValidateManifestParams(manifest));
+
+    const auto chunks = gen.container.ChunksOfKind(ChunkKind::kFlatShard);
+    if (manifest.num_shards < 1 || chunks.size() != manifest.num_shards ||
+        gen.container.num_chunks() != manifest.num_chunks) {
+      return Status::Corruption("snapshot chunk census mismatches manifest");
+    }
+
+    // The views alias the mapping for the index's whole lifetime, so move
+    // it into shared ownership now (its data pointer is stable under move,
+    // keeping the ContainerReader's spans valid).
+    auto mapping = std::make_shared<MmapFile>(std::move(gen.mapping));
+
+    // One checksum pass, not two: a matching whole-file fingerprint
+    // (CRC32C over every byte, plus the length) proves the container is
+    // byte-for-byte what was committed, which subsumes each chunk's CRC —
+    // so the per-chunk verification is skipped below. Running it first
+    // also lets the block-parallel CRC fault the fresh mapping's pages in
+    // from all pool threads at once; this pass IS the flat open's cost
+    // (arena validation is microseconds), so it is worth spreading.
+    if (FingerprintFromCrc(
+            ParallelCrc32c(mapping->data(), mapping->size(), pool),
+            mapping->size()) != manifest.dataset_fingerprint) {
+      return Status::Corruption(
+          "snapshot container does not match its manifest fingerprint");
+    }
+
+    const std::size_t k = chunks.size();
+    std::vector<std::optional<View>> views(k);
+    std::vector<Status> statuses(k);
+    auto open_shard = [&](std::size_t c) {
+      statuses[c] = OpenFlatChunk<Metric>(gen.container, chunks[c], metric,
+                                          manifest, k, &views,
+                                          /*verify_chunk_crc=*/false);
+    };
+    if (pool == nullptr || k == 1) {
+      for (std::size_t c = 0; c < k; ++c) open_shard(c);
+    } else {
+      serve::ParallelFor(*pool, k, open_shard);
+    }
+    for (const Status& status : statuses) MVP_RETURN_NOT_OK(status);
+
+    typename Index::Options options;
+    options.num_shards = manifest.num_shards;
+    options.tree.order = manifest.order;
+    options.tree.leaf_capacity = manifest.leaf_capacity;
+    options.tree.num_path_distances = manifest.num_path_distances;
+    options.tree.seed = manifest.seed;
+    options.tree.store_exact_bounds = manifest.store_exact_bounds != 0;
+
+    std::vector<View> owned;
+    owned.reserve(k);
+    for (auto& view : views) {
+      if (!view.has_value()) {
+        return Status::Corruption("snapshot shard chunks do not cover every "
+                                  "shard exactly once");
+      }
+      owned.push_back(std::move(*view));
+    }
+    auto restored =
+        Index::RestoreFlat(options, manifest.object_count, std::move(owned),
+                           std::shared_ptr<const void>(mapping));
+    if (!restored.ok()) return restored.status();
+
+    LoadedSharded<std::vector<double>, Metric> loaded{
+        std::move(restored).ValueOrDie(), manifest, gen.generation};
     return loaded;
   }
 
@@ -275,6 +426,7 @@ class SnapshotStore {
     if (!opened.ok()) return opened.status();
     OpenedGeneration gen = std::move(opened).ValueOrDie();
     const SnapshotManifest& manifest = gen.manifest;
+    MVP_RETURN_NOT_OK(ValidateManifestParams(manifest));
 
     const auto chunks = gen.container.ChunksOfKind(ChunkKind::kForest);
     if (chunks.size() != 1 || gen.container.num_chunks() != manifest.num_chunks) {
@@ -316,13 +468,97 @@ class SnapshotStore {
     ContainerReader container;
   };
 
+  /// Fail-fast gate run right after the manifest parses, BEFORE any chunk
+  /// bytes are decoded: build parameters that are not even self-consistent
+  /// mean the snapshot cannot possibly restore the index it claims, so the
+  /// load is rejected as InvalidArgument immediately instead of after
+  /// paying (and possibly mis-attributing) a full deserialization.
+  static Status ValidateManifestParams(const SnapshotManifest& manifest) {
+    if (manifest.order < 2 || manifest.leaf_capacity < 1 ||
+        manifest.num_path_distances < 0) {
+      return Status::InvalidArgument(
+          "snapshot manifest records invalid build parameters");
+    }
+    return Status::OK();
+  }
+
+  /// Fail-fast options check for one shard chunk: peeks the fixed prefix
+  /// of the mvp-tree stream (magic, version, m/k/p, bounds flag — the
+  /// first 21 bytes) and compares it against the manifest BEFORE the full
+  /// tree decode. A readable stream whose recorded parameters disagree
+  /// with the manifest is a snapshot paired with the wrong options —
+  /// InvalidArgument, caught in microseconds instead of after
+  /// deserializing every object. An unreadable/garbled prefix is left for
+  /// Tree::Deserialize to diagnose (Corruption/NotSupported, as before).
+  static Status ValidateTreeStreamPrefix(const std::uint8_t* stream,
+                                         std::size_t length,
+                                         const SnapshotManifest& manifest) {
+    // Any instantiation carries the same stream-format constants.
+    using SourceTree = core::MvpTree<std::vector<double>, metric::L2>;
+    BinaryReader peek(stream, length);
+    std::uint32_t magic = 0, version = 0;
+    std::int32_t order = 0, leaf_capacity = 0, num_paths = 0;
+    std::uint8_t bounds = 0;
+    if (!peek.Read<std::uint32_t>(&magic).ok() ||
+        !peek.Read<std::uint32_t>(&version).ok() ||
+        !peek.Read<std::int32_t>(&order).ok() ||
+        !peek.Read<std::int32_t>(&leaf_capacity).ok() ||
+        !peek.Read<std::int32_t>(&num_paths).ok() ||
+        !peek.Read<std::uint8_t>(&bounds).ok() ||
+        magic != SourceTree::kMagic || version != SourceTree::kFormatVersion) {
+      return Status::OK();  // not a parseable prefix; defer to Deserialize
+    }
+    if (order != manifest.order || leaf_capacity != manifest.leaf_capacity ||
+        num_paths != manifest.num_path_distances ||
+        (bounds != 0) != (manifest.store_exact_bounds != 0)) {
+      return Status::InvalidArgument(
+          "shard tree build parameters mismatch manifest (snapshot was "
+          "written with different options)");
+    }
+    return Status::OK();
+  }
+
+  /// CRC32C of `data[0..size)`, block-parallel when a pool is given:
+  /// disjoint 4 MiB blocks are checksummed concurrently and stitched with
+  /// Crc32cCombine into the exact serial value. On the flat open path the
+  /// whole-file fingerprint is the dominant cost (there is no per-node
+  /// decode left to hide it behind), so it is worth spreading.
+  static std::uint32_t ParallelCrc32c(const std::uint8_t* data,
+                                      std::size_t size,
+                                      serve::ThreadPool* pool) {
+    // 1 MiB blocks: small enough that a ~10 MB container splits across
+    // every pool thread, large enough that the per-block Combine stitch
+    // (microseconds) stays invisible. On a single-core host the pool adds
+    // only context-switch overhead, so fall through to the serial (still
+    // instruction-level-parallel) path there.
+    constexpr std::size_t kBlock = std::size_t{1} << 20;
+    if (pool == nullptr || size <= kBlock ||
+        std::thread::hardware_concurrency() < 2) {
+      return Crc32c(data, size);
+    }
+    const std::size_t blocks = (size + kBlock - 1) / kBlock;
+    std::vector<std::uint32_t> crcs(blocks);
+    serve::ParallelFor(*pool, blocks, [&](std::size_t b) {
+      const std::size_t begin = b * kBlock;
+      crcs[b] = Crc32c(data + begin, std::min(kBlock, size - begin));
+    });
+    std::uint32_t crc = crcs[0];
+    for (std::size_t b = 1; b < blocks; ++b) {
+      const std::size_t begin = b * kBlock;
+      crc = Crc32cCombine(crc, crcs[b], std::min(kBlock, size - begin));
+    }
+    return crc;
+  }
+
   /// Binds the manifest to the container's exact bytes. Checked after the
   /// per-chunk CRCs so that localized damage is reported with its chunk
   /// index; what this adds is detection of a manifest paired with the
   /// wrong (individually self-consistent) container.
-  static Status VerifyFingerprint(const OpenedGeneration& gen) {
-    if (ContainerFingerprint(gen.mapping.data(), gen.mapping.size()) !=
-        gen.manifest.dataset_fingerprint) {
+  static Status VerifyFingerprint(const OpenedGeneration& gen,
+                                  serve::ThreadPool* pool = nullptr) {
+    if (FingerprintFromCrc(
+            ParallelCrc32c(gen.mapping.data(), gen.mapping.size(), pool),
+            gen.mapping.size()) != gen.manifest.dataset_fingerprint) {
       return Status::Corruption(
           "snapshot container does not match its manifest fingerprint");
     }
@@ -372,7 +608,8 @@ class SnapshotStore {
     return gen;
   }
 
-  Result<OpenedGeneration> OpenCurrent(IndexKind expected_kind) const {
+  Result<OpenedGeneration> OpenCurrent(IndexKind expected_kind,
+                                       bool prefault = false) const {
     auto current = CurrentGeneration();
     if (!current.ok()) return current.status();
     OpenedGeneration gen;
@@ -388,7 +625,7 @@ class SnapshotStore {
       return Status::Corruption("snapshot holds a different index kind");
     }
 
-    auto mapping = MmapFile::Open(gen_dir + "/" + kContainerFile);
+    auto mapping = MmapFile::Open(gen_dir + "/" + kContainerFile, prefault);
     if (!mapping.ok()) return mapping.status();
     gen.mapping = std::move(mapping).ValueOrDie();
     if (gen.mapping.size() != gen.manifest.payload_bytes) {
@@ -425,6 +662,8 @@ class SnapshotStore {
     }
     std::vector<std::uint64_t> raw_ids;
     MVP_RETURN_NOT_OK(reader.ReadVector(&raw_ids));
+    MVP_RETURN_NOT_OK(ValidateTreeStreamPrefix(
+        payload + reader.position(), length - reader.position(), manifest));
     auto tree = Tree::Deserialize(
         &reader, serve::CancelChecked<Metric>(metric), codec);
     if (!tree.ok()) return tree.status();
@@ -446,6 +685,54 @@ class SnapshotStore {
     }
     std::vector<std::size_t> ids(raw_ids.begin(), raw_ids.end());
     slot.emplace(std::move(tree).ValueOrDie(), std::move(ids));
+    return Status::OK();
+  }
+
+  /// Verifies and opens one flat shard chunk into views[shard_index]:
+  /// chunk CRC (unless the caller already proved the whole file's bytes
+  /// via the manifest fingerprint, which subsumes every chunk CRC),
+  /// shard-index range, arena validation (ParseFlatArena), and the
+  /// fail-fast options-vs-manifest comparison — all without decoding a
+  /// single object.
+  template <metric::MetricFor<std::vector<double>> Metric>
+  static Status OpenFlatChunk(
+      const ContainerReader& container, std::size_t chunk_index,
+      const Metric& metric, const SnapshotManifest& manifest,
+      std::size_t num_shards,
+      std::vector<std::optional<typename serve::ShardedMvpIndex<
+          std::vector<double>, Metric>::FlatView>>* views,
+      bool verify_chunk_crc) {
+    using View = typename serve::ShardedMvpIndex<std::vector<double>,
+                                                 Metric>::FlatView;
+    if (verify_chunk_crc) {
+      MVP_RETURN_NOT_OK(container.VerifyChunk(chunk_index));
+    }
+    const auto [payload, length] = container.chunk_payload(chunk_index);
+    BinaryReader reader(payload, length);
+    std::uint64_t shard = 0;
+    MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&shard));
+    if (shard >= num_shards) {
+      return Status::Corruption("shard index out of range in chunk " +
+                                std::to_string(chunk_index));
+    }
+    auto view = View::Open(payload + sizeof(std::uint64_t),
+                           length - sizeof(std::uint64_t),
+                           serve::CancelChecked<Metric>(metric));
+    if (!view.ok()) return view.status();
+    if (view.value().order() != manifest.order ||
+        view.value().leaf_capacity() != manifest.leaf_capacity ||
+        view.value().num_path_distances() != manifest.num_path_distances ||
+        view.value().store_exact_bounds() !=
+            (manifest.store_exact_bounds != 0)) {
+      return Status::InvalidArgument(
+          "flat shard build parameters mismatch manifest (snapshot was "
+          "written with different options)");
+    }
+    auto& slot = (*views)[static_cast<std::size_t>(shard)];
+    if (slot.has_value()) {
+      return Status::Corruption("duplicate shard index in snapshot");
+    }
+    slot.emplace(std::move(view).ValueOrDie());
     return Status::OK();
   }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -68,6 +69,69 @@ TEST(Crc32cTest, StreamingExtendMatchesOneShot) {
 TEST(Crc32cTest, ExtendFromZeroEqualsOneShot) {
   const std::string s = "streaming == one-shot";
   EXPECT_EQ(Crc32cExtend(0, s.data(), s.size()), CrcOf(s));
+}
+
+TEST(Crc32cTest, CombineMatchesConcatenation) {
+  std::vector<std::uint8_t> data(4096 + 37);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  }
+  const std::uint32_t whole = Crc32c(data.data(), data.size());
+  // Combining the CRCs of any prefix/suffix split must reproduce the
+  // whole-buffer value — this is what lets the snapshot load path checksum
+  // disjoint blocks on separate threads and stitch the results.
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{1}, std::size_t{8}, std::size_t{100},
+        std::size_t{4096}, data.size() - 1, data.size()}) {
+    const std::uint32_t a = Crc32c(data.data(), cut);
+    const std::uint32_t b = Crc32c(data.data() + cut, data.size() - cut);
+    EXPECT_EQ(Crc32cCombine(a, b, data.size() - cut), whole)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Crc32cTest, CombineManyBlocksMatchesSerial) {
+  std::vector<std::uint8_t> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i ^ (i >> 3));
+  }
+  const std::uint32_t whole = Crc32c(data.data(), data.size());
+  for (const std::size_t block : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{1024}, std::size_t{4096}}) {
+    std::uint32_t crc = 0;
+    for (std::size_t begin = 0; begin < data.size(); begin += block) {
+      const std::size_t len = std::min(block, data.size() - begin);
+      crc = Crc32cCombine(crc, Crc32c(data.data() + begin, len), len);
+    }
+    EXPECT_EQ(crc, whole) << "block size " << block;
+  }
+}
+
+TEST(Crc32cTest, LargeBufferMatchesSmallChunkStreaming) {
+  // Large one-shot CRCs take the multi-lane fast path; tiny streamed
+  // chunks do not. Composing the two must agree bit-for-bit, for sizes
+  // straddling the lane cutoff and awkward tails.
+  for (const std::size_t total :
+       {std::size_t{6143}, std::size_t{6144}, std::size_t{6145},
+        std::size_t{65536}, std::size_t{1000003}}) {
+    std::vector<std::uint8_t> data(total);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::uint8_t>(i * 2654435761u >> 13);
+    }
+    const std::uint32_t whole = Crc32c(data.data(), data.size());
+    std::uint32_t streamed = 0;
+    for (std::size_t begin = 0; begin < total; begin += 509) {
+      const std::size_t len = std::min(std::size_t{509}, total - begin);
+      streamed = Crc32cExtend(streamed, data.data() + begin, len);
+    }
+    EXPECT_EQ(streamed, whole) << "total " << total;
+  }
+}
+
+TEST(Crc32cTest, CombineWithEmptySideIsIdentity) {
+  const std::string s = "nonempty";
+  EXPECT_EQ(Crc32cCombine(CrcOf(s), 0u, 0), CrcOf(s));
+  EXPECT_EQ(Crc32cCombine(0u, CrcOf(s), s.size()), CrcOf(s));
 }
 
 TEST(Crc32cTest, UnalignedStartMatchesAligned) {

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/query.h"
+#include "common/rng.h"
+#include "dataset/vector_gen.h"
+#include "metric/counting.h"
+#include "metric/lp.h"
+#include "serve/cancel.h"
+#include "serve/sharded_index.h"
+#include "snapshot/flat_tree.h"
+#include "snapshot/snapshot_store.h"
+
+/// The equivalence layer for zero-deserialization serving: a flat index
+/// opened off a snapshot mapping must be INDISTINGUISHABLE from the heap
+/// index deserialized from the same logical snapshot — same result sets
+/// (ids and bit-identical distances), same SearchStats down to the exact
+/// distance-computation count, over thousands of seeded queries on both of
+/// the paper's workload shapes. Partial results under a tight distance
+/// budget must match too: both representations evaluate the same metric
+/// sequence, so a budget cancels both at the same evaluation.
+
+namespace mvp::snapshot {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+using Index = serve::ShardedMvpIndex<Vector, L2>;
+
+std::vector<Vector> ClusteredData(std::size_t count, std::size_t dim,
+                                  std::uint64_t seed) {
+  dataset::ClusterParams params;
+  params.count = count;
+  params.dim = dim;
+  params.cluster_size = 50;
+  return dataset::ClusteredVectors(params, seed);
+}
+
+/// Heap + flat loads of one snapshot pair over the same dataset.
+class FlatEquivalenceTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/flateq_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_ + "_heap");
+    std::filesystem::remove_all(dir_ + "_flat");
+
+    const bool clustered = GetParam();
+    data_ = clustered ? ClusteredData(600, 8, 101)
+                      : dataset::UniformVectors(600, 8, 101);
+
+    Index::Options options;
+    options.num_shards = 3;
+    options.tree.order = 3;
+    options.tree.leaf_capacity = 8;
+    options.tree.num_path_distances = 4;
+    auto built = Index::Build(data_, L2(), options);
+    ASSERT_TRUE(built.ok());
+
+    SnapshotStore heap_store(dir_ + "_heap");
+    ASSERT_TRUE(heap_store.SaveSharded(built.value(), VectorCodec()).ok());
+    auto heap = heap_store.LoadSharded<Vector>(L2(), VectorCodec());
+    ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+    heap_.emplace(std::move(heap).ValueOrDie().index);
+    ASSERT_FALSE(heap_->flat_serving());
+
+    SnapshotStore flat_store(dir_ + "_flat");
+    ASSERT_TRUE(flat_store.SaveFlat(built.value()).ok());
+    auto flat = flat_store.OpenFlat(L2());
+    ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+    flat_.emplace(std::move(flat).ValueOrDie().index);
+    ASSERT_TRUE(flat_->flat_serving());
+  }
+  void TearDown() override {
+    heap_.reset();
+    flat_.reset();  // views die before the mapping-owning index they alias
+    std::filesystem::remove_all(dir_ + "_heap");
+    std::filesystem::remove_all(dir_ + "_flat");
+  }
+
+  static void ExpectIdentical(const std::vector<Neighbor>& a,
+                              const std::vector<Neighbor>& b,
+                              const SearchStats& sa, const SearchStats& sb,
+                              std::size_t q) {
+    ASSERT_EQ(a.size(), b.size()) << "query " << q;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id) << "query " << q << " result " << i;
+      // Bit-identical, not approximately equal: both representations run
+      // the same floating-point expressions on the same values.
+      EXPECT_EQ(a[i].distance, b[i].distance) << "query " << q;
+    }
+    EXPECT_EQ(sa.distance_computations, sb.distance_computations)
+        << "query " << q;
+    EXPECT_EQ(sa.nodes_visited, sb.nodes_visited) << "query " << q;
+    EXPECT_EQ(sa.leaf_points_seen, sb.leaf_points_seen) << "query " << q;
+    EXPECT_EQ(sa.leaf_points_filtered, sb.leaf_points_filtered)
+        << "query " << q;
+  }
+
+  std::string dir_;
+  std::vector<Vector> data_;
+  std::optional<Index> heap_;
+  std::optional<Index> flat_;
+};
+
+TEST_P(FlatEquivalenceTest, RangeSearchBitIdentical) {
+  const auto queries = dataset::UniformQueryVectors(500, 8, 777);
+  const double radii[] = {0.2, 0.6, 1.1};
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const double radius = radii[q % 3];
+    SearchStats hs, fs;
+    const auto heap_result = heap_->RangeSearch(queries[q], radius, &hs);
+    const auto flat_result = flat_->RangeSearch(queries[q], radius, &fs);
+    ExpectIdentical(heap_result, flat_result, hs, fs, q);
+  }
+}
+
+TEST_P(FlatEquivalenceTest, KnnSearchBitIdentical) {
+  const auto queries = dataset::UniformQueryVectors(500, 8, 778);
+  const std::size_t ks[] = {1, 5, 17};
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const std::size_t k = ks[q % 3];
+    SearchStats hs, fs;
+    const auto heap_result = heap_->KnnSearch(queries[q], k, &hs);
+    const auto flat_result = flat_->KnnSearch(queries[q], k, &fs);
+    ExpectIdentical(heap_result, flat_result, hs, fs, q);
+  }
+}
+
+TEST_P(FlatEquivalenceTest, RangeResultsMatchBruteForce) {
+  // Anchor the pair to ground truth, not just to each other.
+  const auto queries = dataset::UniformQueryVectors(50, 8, 779);
+  const L2 l2;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const double radius = 0.8;
+    std::vector<Neighbor> expected;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      const double d = l2(queries[q], data_[i]);
+      if (d <= radius) expected.push_back(Neighbor{i, d});
+    }
+    std::sort(expected.begin(), expected.end(), NeighborLess);
+    const auto flat_result = flat_->RangeSearch(queries[q], radius);
+    ASSERT_EQ(flat_result.size(), expected.size()) << "query " << q;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(flat_result[i].id, expected[i].id) << "query " << q;
+      EXPECT_EQ(flat_result[i].distance, expected[i].distance);
+    }
+  }
+}
+
+/// One search under a hard distance-computation budget, run serially so the
+/// cancellation point is deterministic. Returns the partial harvest.
+template <typename SearchFn>
+std::vector<Neighbor> RunBudgeted(std::uint64_t budget, bool* cancelled,
+                                  SearchStats* stats, const SearchFn& search) {
+  metric::AtomicDistanceCounter counter;
+  serve::CancelToken token;
+  std::vector<Neighbor> out;
+  *cancelled = false;
+  serve::CancelScope scope(&counter, &token, serve::kNoDeadline, budget);
+  try {
+    search(&out, stats);
+  } catch (const serve::CancelledError&) {
+    *cancelled = true;
+  }
+  return out;
+}
+
+TEST_P(FlatEquivalenceTest, PartialResultsUnderBudgetBitIdentical) {
+  // Deadline flavor chosen for determinism: a distance budget trips at an
+  // exact evaluation index, and serial fan-out makes that index identical
+  // across representations — so even INTERRUPTED searches must agree.
+  const auto queries = dataset::UniformQueryVectors(100, 8, 780);
+  std::size_t cancels = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (const std::uint64_t budget : {std::uint64_t{70}, std::uint64_t{200}}) {
+      bool hc = false, fc = false;
+      SearchStats hs, fs;
+      auto heap_result =
+          RunBudgeted(budget, &hc, &hs, [&](auto* out, auto* stats) {
+            heap_->RangeSearchInto(queries[q], 0.8, out, stats);
+          });
+      auto flat_result =
+          RunBudgeted(budget, &fc, &fs, [&](auto* out, auto* stats) {
+            flat_->RangeSearchInto(queries[q], 0.8, out, stats);
+          });
+      EXPECT_EQ(hc, fc) << "query " << q << " budget " << budget;
+      if (hc) ++cancels;
+      std::sort(heap_result.begin(), heap_result.end(), NeighborLess);
+      std::sort(flat_result.begin(), flat_result.end(), NeighborLess);
+      ExpectIdentical(heap_result, flat_result, hs, fs, q);
+
+      bool hkc = false, fkc = false;
+      SearchStats hks, fks;
+      auto heap_knn =
+          RunBudgeted(budget, &hkc, &hks, [&](auto* out, auto* stats) {
+            heap_->KnnSearchInto(queries[q], 9, out, stats);
+          });
+      auto flat_knn =
+          RunBudgeted(budget, &fkc, &fks, [&](auto* out, auto* stats) {
+            flat_->KnnSearchInto(queries[q], 9, out, stats);
+          });
+      EXPECT_EQ(hkc, fkc) << "query " << q << " budget " << budget;
+      std::sort(heap_knn.begin(), heap_knn.end(), NeighborLess);
+      std::sort(flat_knn.begin(), flat_knn.end(), NeighborLess);
+      ExpectIdentical(heap_knn, flat_knn, hks, fks, q);
+    }
+  }
+  // The tight budget must actually have interrupted some searches, or this
+  // test is vacuous.
+  EXPECT_GT(cancels, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, FlatEquivalenceTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Clustered" : "Uniform";
+                         });
+
+}  // namespace
+}  // namespace mvp::snapshot

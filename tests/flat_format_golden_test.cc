@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/serialize.h"
+#include "dataset/vector_gen.h"
+#include "metric/lp.h"
+#include "serve/sharded_index.h"
+#include "snapshot/snapshot_store.h"
+
+/// Golden-file layer for the snapshot formats: canonical fixture stores
+/// (heap-tree and flat-arena) are COMMITTED under tests/testdata/, and this
+/// suite regenerates each from its fixed recipe and byte-compares every
+/// file. Any change to the on-disk encoding — field order, alignment,
+/// checksum placement, container layout — fails here first, forcing an
+/// explicit decision: bump the format version and re-bless, or fix the
+/// accidental incompatibility.
+///
+/// Re-bless (after an INTENTIONAL format change):
+///   MVPT_BLESS_GOLDEN=1 ./flat_format_golden_test
+/// then commit the rewritten tests/testdata/ contents.
+
+namespace mvp::snapshot {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+using Index = serve::ShardedMvpIndex<Vector, L2>;
+
+#ifndef MVPT_TESTDATA_DIR
+#error "flat_format_golden_test requires the MVPT_TESTDATA_DIR definition"
+#endif
+
+/// The fixture recipe. Everything is pinned — dataset seed, build
+/// parameters, shard count — so the snapshot bytes are a pure function of
+/// the format. Small on purpose: the fixtures live in the repository.
+std::vector<Vector> GoldenData() { return dataset::UniformVectors(48, 4, 7); }
+
+Index GoldenIndex() {
+  Index::Options options;
+  options.num_shards = 2;
+  options.tree.order = 3;
+  options.tree.leaf_capacity = 4;
+  options.tree.num_path_distances = 2;
+  auto built = Index::Build(GoldenData(), L2(), options);
+  EXPECT_TRUE(built.ok());
+  return std::move(built).ValueOrDie();
+}
+
+bool BlessMode() {
+  const char* env = std::getenv("MVPT_BLESS_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string GoldenDir(const std::string& name) {
+  return std::string(MVPT_TESTDATA_DIR) + "/" + name;
+}
+
+/// Writes the recipe's snapshot into `dir` with the given saver.
+template <typename SaveFn>
+void WriteStore(const std::string& dir, const SaveFn& save) {
+  std::filesystem::remove_all(dir);
+  SnapshotStore store(dir);
+  const auto saved = save(store);
+  ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+  ASSERT_EQ(saved.value(), 1u);  // fixture is always generation 1
+}
+
+std::vector<std::uint8_t> MustRead(const std::string& path) {
+  auto bytes = ReadFile(path);
+  EXPECT_TRUE(bytes.ok()) << path << ": " << bytes.status().ToString()
+                          << " (run with MVPT_BLESS_GOLDEN=1 to create)";
+  return bytes.ok() ? std::move(bytes).ValueOrDie()
+                    : std::vector<std::uint8_t>{};
+}
+
+void ExpectFileBytesEqual(const std::string& golden,
+                          const std::string& fresh) {
+  const auto want = MustRead(golden);
+  const auto got = MustRead(fresh);
+  ASSERT_EQ(want.size(), got.size())
+      << golden << ": size drifted — the on-disk format changed";
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i], got[i])
+        << golden << ": byte " << i << " drifted — the on-disk format changed";
+  }
+}
+
+void CheckGolden(const std::string& name,
+                 const std::function<Result<std::uint64_t>(SnapshotStore&)>&
+                     save) {
+  const std::string golden = GoldenDir(name);
+  if (BlessMode()) {
+    WriteStore(golden, save);
+    GTEST_SKIP() << "blessed " << golden;
+  }
+  const std::string fresh = ::testing::TempDir() + "/golden_" + name;
+  WriteStore(fresh, save);
+  for (const char* file :
+       {"CURRENT", "gen-000001/MANIFEST", "gen-000001/shards.mvps"}) {
+    ExpectFileBytesEqual(golden + "/" + file, fresh + "/" + file);
+  }
+  std::filesystem::remove_all(fresh);
+}
+
+TEST(FlatFormatGoldenTest, HeapSnapshotBytesStable) {
+  CheckGolden("golden_heap", [](SnapshotStore& store) {
+    return store.SaveSharded(GoldenIndex(), VectorCodec());
+  });
+}
+
+TEST(FlatFormatGoldenTest, FlatSnapshotBytesStable) {
+  CheckGolden("golden_flat", [](SnapshotStore& store) {
+    return store.SaveFlat(GoldenIndex());
+  });
+}
+
+TEST(FlatFormatGoldenTest, GoldenHeapFixtureLoadsAndMatchesRebuild) {
+  if (BlessMode()) GTEST_SKIP();
+  SnapshotStore store(GoldenDir("golden_heap"));
+  auto loaded = store.LoadSharded<Vector>(L2(), VectorCodec());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Index rebuilt = GoldenIndex();
+  const auto queries = dataset::UniformQueryVectors(40, 4, 11);
+  for (const auto& q : queries) {
+    const auto a = loaded.value().index.KnnSearch(q, 5);
+    const auto b = rebuilt.KnnSearch(q, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+}
+
+TEST(FlatFormatGoldenTest, GoldenFlatFixtureLoadsAndMatchesRebuild) {
+  if (BlessMode()) GTEST_SKIP();
+  SnapshotStore store(GoldenDir("golden_flat"));
+  auto loaded = store.OpenFlat(L2());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded.value().index.flat_serving());
+  const Index rebuilt = GoldenIndex();
+  const auto queries = dataset::UniformQueryVectors(40, 4, 11);
+  for (const auto& q : queries) {
+    const auto a = loaded.value().index.RangeSearch(q, 0.5);
+    const auto b = rebuilt.RangeSearch(q, 0.5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+}
+
+TEST(FlatFormatGoldenTest, GoldenFixturesAgreeWithEachOther) {
+  if (BlessMode()) GTEST_SKIP();
+  SnapshotStore heap_store(GoldenDir("golden_heap"));
+  SnapshotStore flat_store(GoldenDir("golden_flat"));
+  auto heap = heap_store.LoadSharded<Vector>(L2(), VectorCodec());
+  auto flat = flat_store.OpenFlat(L2());
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  const auto queries = dataset::UniformQueryVectors(40, 4, 12);
+  for (const auto& q : queries) {
+    SearchStats hs, fs;
+    const auto a = heap.value().index.KnnSearch(q, 7, &hs);
+    const auto b = flat.value().index.KnnSearch(q, 7, &fs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].distance, b[i].distance);
+    }
+    EXPECT_EQ(hs.distance_computations, fs.distance_computations);
+  }
+}
+
+}  // namespace
+}  // namespace mvp::snapshot

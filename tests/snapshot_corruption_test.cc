@@ -175,8 +175,9 @@ TEST_F(SnapshotCorruptionTest, ManifestFlipsRejected) {
 
 TEST_F(SnapshotCorruptionTest, ManifestTamperRejectedByStore) {
   // Rewrite the manifest claiming different build params with a VALID CRC;
-  // the load path must still reject via cross-validation against the
-  // deserialized trees.
+  // the load path must reject the mismatch FAST — by peeking the tree
+  // stream's recorded options before the full decode — as InvalidArgument
+  // (a snapshot paired with the wrong options, not damaged bytes).
   auto parsed = SnapshotManifest::Parse(manifest_);
   ASSERT_TRUE(parsed.ok());
   SnapshotManifest tampered = parsed.value();
@@ -187,7 +188,23 @@ TEST_F(SnapshotCorruptionTest, ManifestTamperRejectedByStore) {
           .ok());
   SnapshotStore store(dir_);
   EXPECT_EQ(store.LoadSharded<Vector>(L2(), VectorCodec()).status().code(),
-            StatusCode::kCorruption);
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotCorruptionTest, NonsenseManifestParamsFailFast) {
+  // Build parameters that are not even self-consistent (order < 2) must be
+  // rejected before any chunk decode.
+  auto parsed = SnapshotManifest::Parse(manifest_);
+  ASSERT_TRUE(parsed.ok());
+  SnapshotManifest tampered = parsed.value();
+  tampered.order = 1;
+  ASSERT_TRUE(
+      WriteFile(gen_dir_ + "/" + SnapshotStore::kManifestFile,
+                tampered.Serialize())
+          .ok());
+  SnapshotStore store(dir_);
+  EXPECT_EQ(store.LoadSharded<Vector>(L2(), VectorCodec()).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST_F(SnapshotCorruptionTest, SwappedChunkOrderStillLoadsCorrectly) {
@@ -235,6 +252,262 @@ TEST_F(SnapshotCorruptionTest, DuplicatedShardChunkRejected) {
                         updated.Serialize())
                   .ok());
   EXPECT_EQ(LoadWithContainer(bytes).code(), StatusCode::kCorruption);
+}
+
+// ---- flat (zero-deserialization) container ---------------------------------
+//
+// The flat read path trusts NOTHING it maps: the chunk CRC catches byte
+// damage, and ParseFlatArena's structural validation catches arenas whose
+// checksums are valid but whose offsets/links lie. The second half of this
+// fixture rebuilds every checksum after corrupting, so the structural layer
+// alone must do the rejecting.
+
+class FlatSnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/flatcorrupt_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+
+    Index::Options options;
+    options.num_shards = 3;
+    options.tree.leaf_capacity = 6;
+    auto built =
+        Index::Build(dataset::UniformVectors(90, 5, 19), L2(), options);
+    ASSERT_TRUE(built.ok());
+
+    SnapshotStore store(dir_);
+    ASSERT_TRUE(store.SaveFlat(built.value()).ok());
+    gen_dir_ = store.GenerationDir(1);
+    auto bytes = ReadFile(gen_dir_ + "/" + SnapshotStore::kContainerFile);
+    ASSERT_TRUE(bytes.ok());
+    container_ = std::move(bytes).ValueOrDie();
+    auto manifest = ReadFile(gen_dir_ + "/" + SnapshotStore::kManifestFile);
+    ASSERT_TRUE(manifest.ok());
+    manifest_ = std::move(manifest).ValueOrDie();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  Status OpenWithContainer(const std::vector<std::uint8_t>& bytes) {
+    EXPECT_TRUE(
+        WriteFile(gen_dir_ + "/" + SnapshotStore::kContainerFile, bytes).ok());
+    SnapshotStore store(dir_);
+    return store.OpenFlat(L2()).status();
+  }
+
+  /// Applies `mutate` to chunk 0's arena bytes, then REBUILDS every
+  /// checksum on the way out — chunk CRC, container header CRC, manifest
+  /// fingerprint — so the only layer left to reject the result is the
+  /// arena's own structural validation.
+  template <typename Fn>
+  Status OpenWithMutatedArena(Fn mutate) {
+    auto parsed = ContainerReader::Parse(container_.data(), container_.size());
+    EXPECT_TRUE(parsed.ok());
+    ContainerWriter writer;
+    for (std::size_t c = 0; c < parsed.value().num_chunks(); ++c) {
+      const auto [payload, length] = parsed.value().chunk_payload(c);
+      std::vector<std::uint8_t> bytes(payload, payload + length);
+      if (c == 0) {
+        std::vector<std::uint8_t> arena(bytes.begin() + 8, bytes.end());
+        mutate(arena);
+        bytes.resize(8);
+        bytes.insert(bytes.end(), arena.begin(), arena.end());
+      }
+      writer.AddChunk(ChunkKind::kFlatShard, std::move(bytes),
+                      kFlatChunkAlignment);
+    }
+    auto file = std::move(writer).Finalize();
+    auto manifest = SnapshotManifest::Parse(manifest_);
+    EXPECT_TRUE(manifest.ok());
+    SnapshotManifest updated = manifest.value();
+    updated.payload_bytes = file.size();
+    updated.dataset_fingerprint =
+        ContainerFingerprint(file.data(), file.size());
+    EXPECT_TRUE(WriteFile(gen_dir_ + "/" + SnapshotStore::kManifestFile,
+                          updated.Serialize())
+                    .ok());
+    return OpenWithContainer(file);
+  }
+
+  static void PokeU32(std::vector<std::uint8_t>& arena, std::size_t offset,
+                      std::uint32_t value) {
+    ASSERT_LE(offset + 4, arena.size());
+    for (int i = 0; i < 4; ++i) {
+      arena[offset + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(value >> (8 * i));
+    }
+  }
+  static void PokeU64(std::vector<std::uint8_t>& arena, std::size_t offset,
+                      std::uint64_t value) {
+    ASSERT_LE(offset + 8, arena.size());
+    for (int i = 0; i < 8; ++i) {
+      arena[offset + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(value >> (8 * i));
+    }
+  }
+  static std::uint64_t PeekU64(const std::vector<std::uint8_t>& arena,
+                               std::size_t offset) {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= std::uint64_t{arena[offset + static_cast<std::size_t>(i)]}
+               << (8 * i);
+    }
+    return value;
+  }
+
+  std::string dir_;
+  std::string gen_dir_;
+  std::vector<std::uint8_t> container_;
+  std::vector<std::uint8_t> manifest_;
+};
+
+TEST_F(FlatSnapshotCorruptionTest, FixtureRoundTrips) {
+  SnapshotStore store(dir_);
+  auto loaded = store.OpenFlat(L2());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().index.size(), 90u);
+  EXPECT_TRUE(loaded.value().index.flat_serving());
+}
+
+TEST_F(FlatSnapshotCorruptionTest, EveryTruncationPrefixRejected) {
+  for (std::size_t cut = 0; cut < container_.size();
+       cut += (cut < 256 ? 1 : 23)) {
+    std::vector<std::uint8_t> truncated(container_.begin(),
+                                        container_.begin() + cut);
+    EXPECT_FALSE(OpenWithContainer(truncated).ok()) << "prefix " << cut;
+  }
+}
+
+TEST_F(FlatSnapshotCorruptionTest, BitFlipSweepRejected) {
+  // Flips across the whole file — header, chunk table, padding, and every
+  // region of every arena — must all surface as a non-OK Status (the CRCs
+  // and the container fingerprint cover every byte).
+  for (std::size_t pos = 0; pos < container_.size(); pos += 7) {
+    for (const std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      auto corrupted = container_;
+      corrupted[pos] ^= mask;
+      EXPECT_FALSE(OpenWithContainer(corrupted).ok())
+          << "byte " << pos << " flip 0x" << std::hex << int{mask};
+    }
+  }
+}
+
+TEST_F(FlatSnapshotCorruptionTest, StructuralHeaderCorruptionRejected) {
+  // FlatHeaderRec field offsets (layout is static_asserted in
+  // snapshot/flat_tree.h).
+  constexpr std::size_t kMagicOff = 0, kVersionOff = 4, kOrderOff = 8,
+                        kLeafOff = 12, kFlagsOff = 20, kCountOff = 32,
+                        kNodeCountOff = 40, kRootOff = 48, kObjectsOff = 56,
+                        kPathCountOff = 72, kBoundsOff = 80,
+                        kEntriesCountOff = 104, kNodesOff = 112,
+                        kChildrenCountOff = 128, kArenaBytesOff = 136;
+  struct Mutation {
+    const char* name;
+    std::size_t offset;
+    std::uint64_t value;
+    bool is_u32;
+  };
+  const Mutation mutations[] = {
+      {"bad magic", kMagicOff, 0xdeadbeefu, true},
+      {"future version", kVersionOff, 99, true},
+      {"order below 2", kOrderOff, 1, true},
+      {"order huge", kOrderOff, 0xffffffffu, true},
+      {"leaf capacity zero", kLeafOff, 0, true},
+      {"unknown flags", kFlagsOff, 0xff, true},
+      {"object count over u32", kCountOff, std::uint64_t{1} << 32, false},
+      {"node count zero", kNodeCountOff, 0, false},
+      {"node count huge", kNodeCountOff, std::uint64_t{1} << 40, false},
+      {"root not first node", kRootOff, 1, false},
+      {"root absent", kRootOff, ~std::uint64_t{0}, false},
+      {"objects misaligned", kObjectsOff, 145, false},
+      {"objects out of bounds", kObjectsOff, std::uint64_t{1} << 60, false},
+      {"path count huge", kPathCountOff, std::uint64_t{1} << 60, false},
+      {"bounds out of bounds", kBoundsOff, std::uint64_t{1} << 60, false},
+      {"entry count huge", kEntriesCountOff, std::uint64_t{1} << 60, false},
+      {"nodes out of bounds", kNodesOff, std::uint64_t{1} << 60, false},
+      {"children count zero", kChildrenCountOff, 0, false},
+      {"arena size lie", kArenaBytesOff, 8, false},
+  };
+  for (const Mutation& m : mutations) {
+    const Status status = OpenWithMutatedArena([&](auto& arena) {
+      if (m.is_u32) {
+        PokeU32(arena, m.offset, static_cast<std::uint32_t>(m.value));
+      } else {
+        PokeU64(arena, m.offset, m.value);
+      }
+    });
+    EXPECT_FALSE(status.ok()) << m.name << " was accepted";
+  }
+}
+
+TEST_F(FlatSnapshotCorruptionTest, StructuralNodeAndEntryCorruptionRejected) {
+  auto parsed = ContainerReader::Parse(container_.data(), container_.size());
+  ASSERT_TRUE(parsed.ok());
+  const auto [payload, length] = parsed.value().chunk_payload(0);
+  const std::vector<std::uint8_t> arena0(payload + 8, payload + length);
+  const std::uint64_t entries_offset = PeekU64(arena0, 96);
+  const std::uint64_t nodes_offset = PeekU64(arena0, 112);
+  const std::uint64_t children_offset = PeekU64(arena0, 120);
+  const std::uint64_t children_count = PeekU64(arena0, 128);
+  ASSERT_GT(children_count, 0u);  // 90 points, leaf 6: root is internal
+
+  // Root node's flags carry an undefined bit.
+  EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
+                 PokeU32(arena, static_cast<std::size_t>(nodes_offset), 0xf0);
+               }).ok());
+  // Root's vp1 points past the object table.
+  EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
+                 PokeU32(arena, static_cast<std::size_t>(nodes_offset) + 4,
+                         0x0fffffffu);
+               }).ok());
+  // A child link pointing backwards (to the root itself) — a cycle the
+  // preorder rule must reject before any traversal can loop on it.
+  EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
+                 PokeU32(arena, static_cast<std::size_t>(children_offset), 0);
+               }).ok());
+  // First leaf entry's id out of range.
+  EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
+                 PokeU32(arena, static_cast<std::size_t>(entries_offset),
+                         0x0fffffffu);
+               }).ok());
+  // First leaf entry's PATH slice out of the pool.
+  EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
+                 PokeU32(arena, static_cast<std::size_t>(entries_offset) + 4,
+                         0x0fffffffu);
+               }).ok());
+}
+
+TEST_F(FlatSnapshotCorruptionTest, TamperedManifestParamsFailFast) {
+  auto parsed = SnapshotManifest::Parse(manifest_);
+  ASSERT_TRUE(parsed.ok());
+  SnapshotManifest tampered = parsed.value();
+  tampered.leaf_capacity += 1;
+  ASSERT_TRUE(
+      WriteFile(gen_dir_ + "/" + SnapshotStore::kManifestFile,
+                tampered.Serialize())
+          .ok());
+  SnapshotStore store(dir_);
+  EXPECT_EQ(store.OpenFlat(L2()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FlatSnapshotCorruptionTest, HeapSnapshotRejectedByFlatOpen) {
+  // A heap-tree snapshot must not open through the flat path (and vice
+  // versa): the manifest's index kind gates the representation.
+  Index::Options options;
+  options.num_shards = 3;
+  options.tree.leaf_capacity = 6;
+  auto built = Index::Build(dataset::UniformVectors(90, 5, 19), L2(), options);
+  ASSERT_TRUE(built.ok());
+  SnapshotStore store(dir_);
+  // While the fixture's flat generation is current, the heap loader must
+  // refuse it...
+  EXPECT_FALSE(store.LoadSharded<Vector>(L2(), VectorCodec()).ok());
+  // ...and once a heap generation is current, the flat opener must refuse
+  // that.
+  ASSERT_TRUE(store.SaveSharded(built.value(), VectorCodec()).ok());
+  EXPECT_FALSE(store.OpenFlat(L2()).ok());
+  EXPECT_TRUE(store.LoadSharded<Vector>(L2(), VectorCodec()).ok());
 }
 
 }  // namespace

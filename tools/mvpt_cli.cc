@@ -15,6 +15,10 @@
 //                    [--threads "1,2,4,8"] [--queries Q]
 //                    [--radius R | --knn K] [--timeout-ms T]
 //                    [--snapshot-dir DIR]  # also time cold vs warm start
+//                    [--flat]    # with --snapshot-dir: additionally save a
+//                                # flat (mmap-native) snapshot and report its
+//                                # zero-deserialization time to first query,
+//                                # checking results stay bit-identical
 //                    [--deadline-partial MS]  # replay with an MS-millisecond
 //                                # deadline; expired queries return their
 //                                # partial harvest instead of nothing
@@ -24,13 +28,15 @@
 //                                # concurrent-serving throughput/latency
 //   mvpt snapshot-save --input data.csv --metric l1|l2|linf --dir store/
 //                      [--shards K] [--order M] [--leaf K] [--paths P]
-//                      [--seed S] [--threads N]
+//                      [--seed S] [--threads N] [--flat]
 //                                # build a sharded index, persist it as a
-//                                # new checksummed snapshot generation
+//                                # new checksummed snapshot generation;
+//                                # --flat writes the mmap-native flat layout
 //   mvpt snapshot-load --dir store/ --metric l1|l2|linf [--threads N]
-//                      [--point "x1,x2,..." (--radius R | --knn K)]
+//                      [--point "x1,x2,..." (--radius R | --knn K)] [--flat]
 //                                # load + verify the committed generation
-//                                # (docs/index_format.md has the layout)
+//                                # (docs/index_format.md has the layout);
+//                                # --flat serves straight out of the mapping
 //   mvpt selftest          # end-to-end smoke test in a temp directory
 //
 // Text (edit-distance) mode: pass --type words to build/query/validate;
@@ -677,11 +683,66 @@ int RunServeBench(const Args& args) {
     ttfq.AddRow({"warm (snapshot)", harness::FormatDouble(load_ms, 1),
                  harness::FormatDouble(warm_q, 2),
                  harness::FormatDouble(load_ms + warm_q, 1)});
-    std::cout << ttfq.ToText();
+
+    // Zero-deserialization flavor: write the flat layout, open it straight
+    // off the mapping (one mmap + checksum pass, no per-node decode), and
+    // confirm it answers every query bit-identically to the heap index.
+    double flat_open_ms = 0.0, flat_q = 0.0;
+    if (args.Has("flat")) {
+      const auto fsave_t0 = std::chrono::steady_clock::now();
+      auto flat_gen = store.SaveFlat(sharded.value());
+      const double flat_save_ms = std::chrono::duration<double, std::milli>(
+                                      std::chrono::steady_clock::now() -
+                                      fsave_t0)
+                                      .count();
+      if (!flat_gen.ok()) return Fail(flat_gen.status().ToString());
+      const auto fopen_t0 = std::chrono::steady_clock::now();
+      auto flat = store.OpenFlat(metric::L2(), &build_pool);
+      flat_open_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - fopen_t0)
+                         .count();
+      if (!flat.ok()) return Fail(flat.status().ToString());
+      flat_q = first_query_ms(flat.value().index);
+      ttfq.AddRow({"flat (mmap)", harness::FormatDouble(flat_open_ms, 1),
+                   harness::FormatDouble(flat_q, 2),
+                   harness::FormatDouble(flat_open_ms + flat_q, 1)});
+
+      bool flat_match = true;
+      for (const auto& bq : batch) {
+        SearchStats hs, fs;
+        if (bq.kind == serve::BatchQuery<Vector>::Kind::kKnn) {
+          if (sharded.value().KnnSearch(bq.object, bq.k, &hs) !=
+              flat.value().index.KnnSearch(bq.object, bq.k, &fs)) {
+            flat_match = false;
+          }
+        } else {
+          if (sharded.value().RangeSearch(bq.object, bq.radius, &hs) !=
+              flat.value().index.RangeSearch(bq.object, bq.radius, &fs)) {
+            flat_match = false;
+          }
+        }
+        if (hs.distance_computations != fs.distance_computations) {
+          flat_match = false;
+        }
+      }
+      std::cout << ttfq.ToText();
+      std::printf("flat generation %llu (save %.1f ms); flat results and "
+                  "distance counts identical to heap: %s\n",
+                  static_cast<unsigned long long>(flat_gen.value()),
+                  flat_save_ms, flat_match ? "yes" : "NO (BUG)");
+      if (!flat_match) return 1;
+    } else {
+      std::cout << ttfq.ToText();
+    }
     std::printf("snapshot generation %llu (save %.1f ms); warm start %.1fx "
                 "faster to first query\n",
                 static_cast<unsigned long long>(gen.value()), save_ms,
                 (build_ms + cold_q) / (load_ms + warm_q));
+    if (args.Has("flat")) {
+      std::printf("flat start %.1fx faster to first query than heap warm "
+                  "start\n",
+                  (load_ms + warm_q) / (flat_open_ms + flat_q));
+    }
   }
   return 0;
 }
@@ -711,14 +772,17 @@ int SnapshotSaveWith(const Args& args, std::vector<Vector> data,
                               .count();
 
   snapshot::SnapshotStore store(args.Get("dir"));
+  const bool flat = args.Has("flat");
   const auto t1 = std::chrono::steady_clock::now();
-  auto gen = store.SaveSharded(built.value(), VectorCodec());
+  auto gen = flat ? store.SaveFlat(built.value())
+                  : store.SaveSharded(built.value(), VectorCodec());
   if (!gen.ok()) return Fail(gen.status().ToString());
   const double save_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - t1)
                              .count();
-  std::printf("snapshot generation %llu committed: %zu objects in %zu "
+  std::printf("%s snapshot generation %llu committed: %zu objects in %zu "
               "shards (build %.1f ms, save %.1f ms) -> %s\n",
+              flat ? "flat" : "heap",
               static_cast<unsigned long long>(gen.value()),
               built.value().size(), built.value().num_shards(), build_ms,
               save_ms, store.GenerationDir(gen.value()).c_str());
@@ -751,17 +815,21 @@ int SnapshotLoadWith(const Args& args, Metric metric) {
   const auto threads = static_cast<std::size_t>(args.GetInt("threads", 2));
   serve::ThreadPool pool(threads > 0 ? threads : 1);
 
+  const bool flat = args.Has("flat");
   const auto t0 = std::chrono::steady_clock::now();
   auto loaded =
-      store.LoadSharded<Vector>(std::move(metric), VectorCodec(), &pool);
+      flat ? store.OpenFlat(metric, &pool)
+           : store.LoadSharded<Vector>(std::move(metric), VectorCodec(),
+                                       &pool);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   const double load_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
 
   const auto& manifest = loaded.value().manifest;
-  std::printf("loaded generation %llu in %.1f ms (checksums verified): "
+  std::printf("%s generation %llu in %.1f ms (checksums verified): "
               "%llu objects, %llu shards, mvpt(m=%d, k=%d, p=%d), seed %llu\n",
+              flat ? "opened flat (zero-deserialization)" : "loaded",
               static_cast<unsigned long long>(loaded.value().generation),
               load_ms,
               static_cast<unsigned long long>(manifest.object_count),
@@ -881,8 +949,15 @@ int Main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--", 2) != 0) return Usage();
     const std::string key = arg + 2;
-    if (i + 1 >= argc) return Usage();
-    args.named[key] = argv[++i];
+    // A key followed by another --key (or nothing) is a bare flag, e.g.
+    // --flat; Has() sees it and GetInt falls back to its default.
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (value == nullptr || std::strncmp(value, "--", 2) == 0) {
+      args.named[key] = std::string("1");
+    } else {
+      args.named[key] = std::string(value);
+      ++i;
+    }
   }
   if (args.command == "gen") return RunGen(args);
   if (args.command == "build") return RunBuild(args);
