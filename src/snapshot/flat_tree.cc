@@ -251,7 +251,21 @@ Status SectionInBounds(std::uint64_t offset, std::uint64_t count,
     return Status::Corruption(std::string("flat arena ") + what +
                               " section misaligned");
   }
-  if (offset > size || count > (size - offset) / element_size) {
+  if (offset > size) {
+    return Status::Corruption(std::string("flat arena ") + what +
+                              " section out of bounds");
+  }
+  if (element_size == 0) {
+    // Only the objects section of an empty arena (dim == 0) has zero-size
+    // elements; any element would make the section unbounded, and the
+    // division below would be undefined.
+    if (count != 0) {
+      return Status::Corruption(std::string("flat arena ") + what +
+                                " section out of bounds");
+    }
+    return Status::OK();
+  }
+  if (count > (size - offset) / element_size) {
     return Status::Corruption(std::string("flat arena ") + what +
                               " section out of bounds");
   }
@@ -289,11 +303,13 @@ Result<FlatArenaParts> ParseFlatArena(const std::uint8_t* data,
   if (h.object_count > std::numeric_limits<std::uint32_t>::max()) {
     return Status::Corruption("flat arena object count out of range");
   }
+  if (h.dim == 0 && h.object_count != 0) {
+    return Status::Corruption("flat arena stores objects but dim is zero");
+  }
 
   // Section bounds. Objects need count*dim doubles; guard the product.
   const std::uint64_t m = h.order;
-  MVP_RETURN_NOT_OK(SectionInBounds(h.objects_offset,
-                                    h.dim == 0 ? 0 : h.object_count,
+  MVP_RETURN_NOT_OK(SectionInBounds(h.objects_offset, h.object_count,
                                     sizeof(double) * std::uint64_t{h.dim},
                                     size, "objects"));
   MVP_RETURN_NOT_OK(SectionInBounds(h.path_offset, h.path_count,

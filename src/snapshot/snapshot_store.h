@@ -153,6 +153,10 @@ class SnapshotStore {
   Result<std::uint64_t> SaveSharded(
       const serve::ShardedMvpIndex<Object, Metric>& index,
       const Codec& codec) {
+    if (index.flat_serving()) {
+      return Status::InvalidArgument(
+          "flat-serving indexes cannot be re-serialized");
+    }
     ContainerWriter container;
     for (std::size_t s = 0; s < index.num_shards(); ++s) {
       BinaryWriter chunk;
@@ -254,6 +258,10 @@ class SnapshotStore {
   template <metric::MetricFor<std::vector<double>> Metric>
   Result<std::uint64_t> SaveFlat(
       const serve::ShardedMvpIndex<std::vector<double>, Metric>& index) {
+    if (index.flat_serving()) {
+      return Status::InvalidArgument(
+          "flat-serving indexes cannot be re-serialized");
+    }
     const std::size_t k = index.num_shards();
     ContainerWriter container;
     for (std::size_t s = 0; s < k; ++s) {

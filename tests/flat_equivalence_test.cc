@@ -218,6 +218,61 @@ TEST_P(FlatEquivalenceTest, PartialResultsUnderBudgetBitIdentical) {
   EXPECT_GT(cancels, 0u);
 }
 
+TEST(FlatEmptyShardTest, FewerObjectsThanShardsRoundTrips) {
+  // SaveFlat of an index with object_count < num_shards writes empty-shard
+  // arenas (dim 0, zero objects). OpenFlat must serve them — the empty
+  // objects section once tripped a division by zero in arena validation.
+  const std::string dir = ::testing::TempDir() + "/flateq_empty_shard";
+  std::filesystem::remove_all(dir);
+  const auto data = dataset::UniformVectors(2, 8, 404);
+  Index::Options options;
+  options.num_shards = 4;
+  auto built = Index::Build(data, L2(), options);
+  ASSERT_TRUE(built.ok());
+
+  SnapshotStore store(dir);
+  auto saved = store.SaveFlat(built.value());
+  ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+  auto flat = store.OpenFlat(L2());
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  {
+    const Index index = std::move(flat).ValueOrDie().index;
+    EXPECT_TRUE(index.flat_serving());
+    EXPECT_EQ(index.size(), 2u);
+    const auto result = index.KnnSearch(data[0], 2);
+    ASSERT_EQ(result.size(), 2u);
+    EXPECT_EQ(result[0].id, 0u);
+    EXPECT_EQ(result[0].distance, 0.0);
+  }  // views die before the directory goes away
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FlatServingTest, ReSerializationFailsFast) {
+  // A flat-serving index has no heap trees to serialize; both save paths
+  // must reject it with InvalidArgument instead of dereferencing the
+  // disengaged heap representation.
+  const std::string dir = ::testing::TempDir() + "/flateq_reserialize";
+  std::filesystem::remove_all(dir);
+  Index::Options options;
+  options.num_shards = 3;
+  auto built = Index::Build(dataset::UniformVectors(60, 8, 405), L2(), options);
+  ASSERT_TRUE(built.ok());
+
+  SnapshotStore store(dir);
+  ASSERT_TRUE(store.SaveFlat(built.value()).ok());
+  auto flat = store.OpenFlat(L2());
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  {
+    const Index index = std::move(flat).ValueOrDie().index;
+    ASSERT_TRUE(index.flat_serving());
+    EXPECT_EQ(store.SaveFlat(index).status().code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(store.SaveSharded(index, VectorCodec()).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  std::filesystem::remove_all(dir);
+}
+
 INSTANTIATE_TEST_SUITE_P(Workloads, FlatEquivalenceTest,
                          ::testing::Values(false, true),
                          [](const ::testing::TestParamInfo<bool>& info) {

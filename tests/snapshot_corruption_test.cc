@@ -396,7 +396,8 @@ TEST_F(FlatSnapshotCorruptionTest, StructuralHeaderCorruptionRejected) {
   // FlatHeaderRec field offsets (layout is static_asserted in
   // snapshot/flat_tree.h).
   constexpr std::size_t kMagicOff = 0, kVersionOff = 4, kOrderOff = 8,
-                        kLeafOff = 12, kFlagsOff = 20, kCountOff = 32,
+                        kLeafOff = 12, kFlagsOff = 20, kDimOff = 24,
+                        kCountOff = 32,
                         kNodeCountOff = 40, kRootOff = 48, kObjectsOff = 56,
                         kPathCountOff = 72, kBoundsOff = 80,
                         kEntriesCountOff = 104, kNodesOff = 112,
@@ -414,6 +415,9 @@ TEST_F(FlatSnapshotCorruptionTest, StructuralHeaderCorruptionRejected) {
       {"order huge", kOrderOff, 0xffffffffu, true},
       {"leaf capacity zero", kLeafOff, 0, true},
       {"unknown flags", kFlagsOff, 0xff, true},
+      // Zero dim with a non-zero object count once divided by zero inside
+      // the objects-section bounds check (SIGFPE, not a Status).
+      {"dim zero with objects", kDimOff, 0, true},
       {"object count over u32", kCountOff, std::uint64_t{1} << 32, false},
       {"node count zero", kNodeCountOff, 0, false},
       {"node count huge", kNodeCountOff, std::uint64_t{1} << 40, false},
