@@ -2,14 +2,20 @@
 // MvpForest static-to-dynamic transformation: amortized insert cost, query
 // overhead relative to a monolithic static mvp-tree, and delete behaviour.
 
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
+#include <thread>
 
 #include "bench/figure_common.h"
+#include "common/codec.h"
 #include "core/mvp_tree.h"
 #include "dataset/vector_gen.h"
+#include "dynamic/dynamic_overlay.h"
 #include "dynamic/mvp_forest.h"
 #include "metric/lp.h"
+#include "snapshot/snapshot_store.h"
 
 namespace mvp::bench {
 namespace {
@@ -98,6 +104,133 @@ int Run() {
       "log-method forest pays a small query multiplier over one static\n"
       "tree (it holds O(log n) trees) which Compact() removes entirely;\n"
       "the balance of every component tree is preserved by construction.\n";
+
+  // --- durable overlay: the WAL + memtable + tombstone layer over a
+  // committed snapshot generation. Measures (a) query overhead as churn
+  // accumulates on top of the base, (b) WAL append throughput under group
+  // commit, (c) checkpoint I/O as a function of churn (the delta container
+  // scales with what changed, not with the index).
+  using Overlay = dynamic::DynamicOverlay<Vector, L2, VectorCodec>;
+  const std::size_t base_n = QuickMode() ? 2000 : 10000;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "mvpt_bench_dynamic").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  Overlay::Options ovl_options;
+  ovl_options.memtable = options;
+  ovl_options.rebuild.num_shards = 4;
+  // The base index's tree options are a distinct instantiation (its metric
+  // is wrapped for cancellation checks); copy the fields across.
+  ovl_options.rebuild.tree.order = options.tree.order;
+  ovl_options.rebuild.tree.leaf_capacity = options.tree.leaf_capacity;
+  ovl_options.rebuild.tree.num_path_distances = options.tree.num_path_distances;
+  auto opened = Overlay::Open(dir, L2(), VectorCodec(), ovl_options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "overlay open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  Overlay& overlay = *opened.value();
+  const auto extra = dataset::UniformVectors(base_n, 20, 5151);
+  for (std::size_t i = 0; i < base_n; ++i) {
+    // ValueOrDie aborts on failure; the id itself is not needed here.
+    (void)overlay.Insert(data[i % data.size()]).ValueOrDie();
+  }
+  // ValueOrDie aborts on failure; the generation number is not needed.
+  (void)overlay.Compact().ValueOrDie();
+  snapshot::SnapshotStore store(dir);
+  const auto base_bytes =
+      store.ReadManifest(overlay.generation()).ValueOrDie().payload_bytes;
+
+  std::printf("overlay range queries (r=0.3) vs churn on a %zu-object "
+              "base:\n", base_n);
+  std::size_t churned = 0, next_extra = 0;
+  for (const double churn : {0.0, 0.01, 0.10}) {
+    const auto target = static_cast<std::size_t>(churn * base_n);
+    for (; churned < target; ++churned) {
+      // Half the churn deletes base objects, half inserts fresh ones.
+      const Status mutated =
+          churned % 2 == 0
+              ? overlay.Erase(churned)
+              : overlay.Insert(extra[next_extra++]).status();
+      if (!mutated.ok()) {
+        std::fprintf(stderr, "mutation failed: %s\n",
+                     mutated.ToString().c_str());
+        return 1;
+      }
+    }
+    SearchStats stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& q : queries) overlay.RangeSearch(q, 0.3, &stats);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    std::printf("  churn %4.0f%%: %8.1f dists/query, %6.3f ms/query",
+                churn * 100,
+                static_cast<double>(stats.distance_computations) /
+                    static_cast<double>(queries.size()),
+                ms / static_cast<double>(queries.size()));
+    if (target == 0) {
+      std::printf("  (pure base, nothing to checkpoint)\n");
+      continue;
+    }
+    const auto checkpoint_t0 = std::chrono::steady_clock::now();
+    const auto gen = overlay.Checkpoint().ValueOrDie();
+    const double checkpoint_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - checkpoint_t0)
+            .count();
+    const auto delta_bytes = store.ReadManifest(gen).ValueOrDie().payload_bytes;
+    std::printf("; checkpoint %.1f ms, delta %llu bytes (%5.2f%% of base)\n",
+                checkpoint_ms, static_cast<unsigned long long>(delta_bytes),
+                100.0 * static_cast<double>(delta_bytes) /
+                    static_cast<double>(base_bytes));
+  }
+
+  // --- WAL group-commit throughput: concurrent writers amortize one fsync
+  // across many acknowledged inserts.
+  std::printf("wal append throughput (%zu-d vectors, fsync before ack):\n",
+              static_cast<std::size_t>(20));
+  for (const std::size_t writers : {1u, 4u, 8u}) {
+    const std::string wal_dir = dir + "/wal_bench_" + std::to_string(writers);
+    std::filesystem::create_directories(wal_dir);
+    auto bench_overlay =
+        Overlay::Open(wal_dir, L2(), VectorCodec(), ovl_options).ValueOrDie();
+    const std::size_t per_writer = (QuickMode() ? 400 : 2000) / writers;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < writers; ++w) {
+      threads.emplace_back([&, w] {
+        for (std::size_t i = 0; i < per_writer; ++i) {
+          const auto id =
+              bench_overlay->Insert(extra[(w * per_writer + i) %
+                                          extra.size()]);
+          MVP_DCHECK(id.ok());
+          (void)id;  // checked by MVP_DCHECK; benign to drop in a bench
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    const auto wal = bench_overlay->wal_stats();
+    std::printf("  %zu writer(s): %7.0f inserts/s, %5.1f records per fsync "
+                "batch\n",
+                writers,
+                static_cast<double>(wal.records_synced) / secs,
+                static_cast<double>(wal.records_synced) /
+                    static_cast<double>(wal.sync_batches > 0
+                                            ? wal.sync_batches
+                                            : 1));
+  }
+  std::filesystem::remove_all(dir);
+  std::cout <<
+      "expected: overlay query cost rises gently with churn (tombstone\n"
+      "over-fetch + memtable probe) and resets after compaction; the\n"
+      "checkpoint delta stays proportional to churn, not to the base; and\n"
+      "group commit raises records-per-fsync with writer concurrency.\n";
   return 0;
 }
 

@@ -1,0 +1,51 @@
+#ifndef MVPTREE_DYNAMIC_DYNAMIC_INDEX_H_
+#define MVPTREE_DYNAMIC_DYNAMIC_INDEX_H_
+
+#include <concepts>
+#include <cstddef>
+#include <vector>
+
+#include "common/query.h"
+#include "common/status.h"
+
+/// \file
+/// The mutable-index interface the serving overlay builds on.
+///
+/// A DynamicIndex is anything that can absorb inserts and erases online and
+/// answer the two metric queries over its live contents: the contract the
+/// memtable slot of dynamic/dynamic_overlay.h requires. MvpForest (the
+/// Bentley-Saxe logarithmic method) is the bundled implementation; the
+/// concept is what keeps it honest — the overlay and the tier-1 tests
+/// static_assert against the interface, so an accidental signature change
+/// in the merge machinery is a compile error, not a silent drift.
+///
+/// Contract:
+///  - Insert returns a stable id: dense, starting at 0, issued in call
+///    order, never reused. Queries report these ids.
+///  - Erase tombstones a live id (NotFound otherwise); the object stops
+///    appearing in results immediately.
+///  - RangeSearch returns every live object within the radius, sorted by
+///    (distance, id); KnnSearch the k nearest live objects, same order.
+///  - size() is the live count (inserts minus erases).
+
+namespace mvp::dynamic {
+
+template <typename Index, typename Object>
+concept DynamicIndexFor =
+    requires(Index index, const Index const_index, Object object,
+             std::size_t id, double radius, std::size_t k,
+             SearchStats* stats) {
+      { index.Insert(std::move(object)) } -> std::same_as<std::size_t>;
+      { index.Erase(id) } -> std::same_as<Status>;
+      {
+        const_index.RangeSearch(object, radius, stats)
+      } -> std::same_as<std::vector<Neighbor>>;
+      {
+        const_index.KnnSearch(object, k, stats)
+      } -> std::same_as<std::vector<Neighbor>>;
+      { const_index.size() } -> std::convertible_to<std::size_t>;
+    };
+
+}  // namespace mvp::dynamic
+
+#endif  // MVPTREE_DYNAMIC_DYNAMIC_INDEX_H_

@@ -147,6 +147,31 @@ class MvpForest {
 
   std::size_t size() const { return live_count_; }
 
+  /// True when `id` was issued and is still live. Lets a caller validate an
+  /// erase BEFORE committing to it elsewhere (the dynamic overlay logs the
+  /// erase to its WAL first, and must not log one that would fail).
+  bool contains(std::size_t id) const {
+    return id < state_.size() && state_[id] == kLive;
+  }
+
+  /// Visits every live object as (stable id, object), in no particular
+  /// order. This is how the checkpoint/compaction path (dynamic overlay)
+  /// drains a memtable into a rebuilt static index without reaching into
+  /// the forest's level structure.
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (const auto& entry : buffer_) {
+      fn(entry.id, entry.object);
+    }
+    for (const auto& level : levels_) {
+      if (!level.has_value()) continue;
+      for (std::size_t local = 0; local < level->ids.size(); ++local) {
+        const std::size_t id = level->ids[local];
+        if (state_[id] == kLive) fn(id, level->tree->object(local));
+      }
+    }
+  }
+
   /// The construction/merge parameters this forest runs with (the snapshot
   /// manifest records the static-tree options so a load can validate them).
   const Options& options() const { return options_; }

@@ -109,6 +109,12 @@ int Fstat(int fd, struct ::stat* st, const char* path) {
   return ::fstat(fd, st);
 }
 
+int Ftruncate(int fd, long long length, const char* path) {
+  Injection injection;
+  if (ShouldFail("fs/ftruncate", path, &injection)) return Fail(injection, -1);
+  return ::ftruncate(fd, static_cast<off_t>(length));
+}
+
 void* Mmap(std::size_t length, int prot, int flags, int fd,
            const char* path) {
   Injection injection;

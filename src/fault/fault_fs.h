@@ -9,7 +9,8 @@
 /// their syscalls through the thin wrappers in `fault::fs` instead of calling
 /// ::open / ::write / ::fsync / ::rename / ::mmap directly. Each wrapper
 /// evaluates a failpoint named after the operation — "fs/open", "fs/write",
-/// "fs/fsync", "fs/close", "fs/rename", "fs/remove", "fs/fstat", "fs/mmap" —
+/// "fs/fsync", "fs/close", "fs/rename", "fs/remove", "fs/fstat",
+/// "fs/ftruncate", "fs/mmap" —
 /// with the file path as the match detail, so a test can make *the fsync of
 /// the MANIFEST specifically* fail with ENOSPC, or the rename of CURRENT
 /// throw CrashError, without touching a real full disk.
@@ -77,6 +78,11 @@ int Remove(const char* path);
 
 /// ::fstat. Failpoint "fs/fstat" (detail: path).
 int Fstat(int fd, struct ::stat* st, const char* path);
+
+/// ::ftruncate. Failpoint "fs/ftruncate" (detail: path). Used by the WAL to
+/// discard a torn tail on recovery and to reset the log after a checkpoint
+/// folded its records into a committed generation.
+int Ftruncate(int fd, long long length, const char* path);
 
 /// ::mmap (read-only mappings; offset 0). Failpoint "fs/mmap" (detail:
 /// path) → returns MAP_FAILED / crashes.

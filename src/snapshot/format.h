@@ -36,6 +36,13 @@ enum class ChunkKind : std::uint32_t {
   kForest = 2,     ///< one MvpForest stream
   kFlatShard = 3,  ///< u64 shard index, then one flat mvp-tree arena
                    ///< (snapshot/flat_tree.h), searched in place
+  /// u64v: ascending stable ids, entry g is the stable id of global id g.
+  /// Written by the online-update checkpoint/compaction path; absent means
+  /// the identity mapping (a generation built directly from a dataset).
+  kStableIds = 4,
+  /// u64v: sorted stable ids erased from the base generation (a delta
+  /// generation's tombstone set).
+  kTombstones = 5,
 };
 
 /// File-offset alignment required for ChunkKind::kFlatShard payloads: the

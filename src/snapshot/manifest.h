@@ -23,6 +23,13 @@ namespace mvp::snapshot {
 
 inline constexpr std::uint32_t kManifestMagic = 0x4d50564d;  // "MVPM"
 inline constexpr std::uint32_t kManifestVersion = 1;
+/// Version 2 appends the generation-lineage fields used by online updates
+/// (base_generation, last_applied_seq, next_stable_id). A v2 manifest is
+/// written ONLY when one of those fields is meaningful — plain dataset
+/// builds keep writing v1, so older binaries stay compatible with them and
+/// reject lineage-bearing generations with NotSupported instead of serving
+/// them with wrong ids.
+inline constexpr std::uint32_t kManifestVersionLineage = 2;
 
 /// Index kinds a snapshot can hold.
 enum class IndexKind : std::uint8_t {
@@ -31,6 +38,11 @@ enum class IndexKind : std::uint8_t {
   /// A sharded mvp-index stored as flat arenas (ChunkKind::kFlatShard)
   /// served directly out of the mapping — no deserialization on load.
   kFlatShardedMvpIndex = 3,
+  /// A delta generation: an MvpForest of mutations (plus its stable-id map
+  /// and a tombstone set) layered on the full generation named by
+  /// base_generation. Written by the online-update checkpoint; always a
+  /// version-2 manifest.
+  kDynamicDelta = 4,
 };
 
 /// Fingerprint of a container file: CRC32C of all its bytes in the high
@@ -64,10 +76,29 @@ struct SnapshotManifest {
   std::uint64_t seed = 0;
   std::uint8_t store_exact_bounds = 0;
 
+  // Generation lineage (online updates; zero/defaulted on v1 manifests).
+  // `base_generation` names the full generation a kDynamicDelta layers on
+  // (0 = none). `last_applied_seq` is the WAL sequence watermark folded
+  // into this generation: recovery replays only records above it, which is
+  // what makes replay idempotent. `next_stable_id` is the next id the
+  // overlay will issue (0 = derive as object_count, the v1/identity case).
+  std::uint64_t base_generation = 0;
+  std::uint64_t last_applied_seq = 0;
+  std::uint64_t next_stable_id = 0;
+
+  /// True when this manifest must carry the lineage fields, i.e. must be
+  /// written as version 2 (and therefore be rejected by pre-lineage
+  /// binaries instead of misread).
+  bool needs_lineage() const {
+    return index_kind == IndexKind::kDynamicDelta || base_generation != 0 ||
+           last_applied_seq != 0 || next_stable_id != 0;
+  }
+
   std::vector<std::uint8_t> Serialize() const {
     BinaryWriter writer;
     writer.Write<std::uint32_t>(kManifestMagic);
-    writer.Write<std::uint32_t>(kManifestVersion);
+    writer.Write<std::uint32_t>(needs_lineage() ? kManifestVersionLineage
+                                                : kManifestVersion);
     writer.Write<std::uint8_t>(static_cast<std::uint8_t>(index_kind));
     writer.Write<std::uint64_t>(object_count);
     writer.Write<std::uint64_t>(num_chunks);
@@ -79,6 +110,11 @@ struct SnapshotManifest {
     writer.Write<std::int32_t>(num_path_distances);
     writer.Write<std::uint64_t>(seed);
     writer.Write<std::uint8_t>(store_exact_bounds);
+    if (needs_lineage()) {
+      writer.Write<std::uint64_t>(base_generation);
+      writer.Write<std::uint64_t>(last_applied_seq);
+      writer.Write<std::uint64_t>(next_stable_id);
+    }
     writer.Write<std::uint32_t>(
         Crc32c(writer.buffer().data(), writer.buffer().size()));
     return std::move(writer).TakeBuffer();
@@ -95,7 +131,7 @@ struct SnapshotManifest {
       return Status::Corruption("bad snapshot manifest magic");
     }
     MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&version));
-    if (version != kManifestVersion) {
+    if (version != kManifestVersion && version != kManifestVersionLineage) {
       return Status::NotSupported("unknown snapshot manifest version " +
                                   std::to_string(version));
     }
@@ -104,7 +140,8 @@ struct SnapshotManifest {
     MVP_RETURN_NOT_OK(reader.Read<std::uint8_t>(&kind));
     if (kind != static_cast<std::uint8_t>(IndexKind::kShardedMvpIndex) &&
         kind != static_cast<std::uint8_t>(IndexKind::kMvpForest) &&
-        kind != static_cast<std::uint8_t>(IndexKind::kFlatShardedMvpIndex)) {
+        kind != static_cast<std::uint8_t>(IndexKind::kFlatShardedMvpIndex) &&
+        kind != static_cast<std::uint8_t>(IndexKind::kDynamicDelta)) {
       return Status::Corruption("unknown snapshot index kind");
     }
     manifest.index_kind = static_cast<IndexKind>(kind);
@@ -120,6 +157,12 @@ struct SnapshotManifest {
         reader.Read<std::int32_t>(&manifest.num_path_distances));
     MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&manifest.seed));
     MVP_RETURN_NOT_OK(reader.Read<std::uint8_t>(&manifest.store_exact_bounds));
+    if (version >= kManifestVersionLineage) {
+      MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&manifest.base_generation));
+      MVP_RETURN_NOT_OK(
+          reader.Read<std::uint64_t>(&manifest.last_applied_seq));
+      MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&manifest.next_stable_id));
+    }
     const std::size_t body_end = reader.position();
     std::uint32_t stored_crc = 0;
     MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&stored_crc));

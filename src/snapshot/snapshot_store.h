@@ -56,6 +56,20 @@ struct LoadedSharded {
   serve::ShardedMvpIndex<Object, Metric> index;
   SnapshotManifest manifest;
   std::uint64_t generation = 0;
+  /// Global id -> stable id, ascending (ChunkKind::kStableIds). Empty means
+  /// the identity mapping — a generation built directly from a dataset.
+  std::vector<std::uint64_t> stable_ids;
+};
+
+/// A delta generation's pieces (kDynamicDelta): the mutation forest, its
+/// forest-id -> stable-id map, and the stable ids erased from the base.
+template <typename Object, metric::MetricFor<Object> Metric>
+struct LoadedDelta {
+  dynamic::MvpForest<Object, Metric> forest;
+  std::vector<std::uint64_t> forest_stable_ids;
+  std::vector<std::uint64_t> base_tombstones;
+  SnapshotManifest manifest;
+  std::uint64_t generation = 0;
 };
 
 /// A dynamic forest loaded from a snapshot, with its provenance.
@@ -128,14 +142,37 @@ class SnapshotStore {
     return gens;
   }
 
-  /// Deletes every generation directory except the committed one — old
-  /// generations and orphans from interrupted saves. Never touches the
-  /// live generation. Returns how many were removed.
+  /// The parsed manifest of generation `gen` (committed or not).
+  Result<SnapshotManifest> ReadManifest(std::uint64_t gen) const {
+    auto bytes = ReadFile(GenerationDir(gen) + "/" + kManifestFile);
+    if (!bytes.ok()) return bytes.status();
+    return SnapshotManifest::Parse(bytes.value());
+  }
+
+  /// Deletes every generation directory except the committed one and its
+  /// lineage — a committed delta generation keeps the full generation it
+  /// layers on (base_generation) alive, transitively. Everything else is an
+  /// old generation or an orphan from an interrupted save. Returns how many
+  /// were removed.
   std::size_t PruneStaleGenerations() {
-    const auto current = CurrentGeneration();
+    std::vector<std::uint64_t> keep;
+    auto current = CurrentGeneration();
+    if (current.ok()) {
+      std::uint64_t gen = current.value();
+      // Walk the base chain (bounded: bases strictly decrease). A manifest
+      // that cannot be read keeps only what was already collected — prune
+      // must never delete a base it cannot prove stale.
+      while (gen != 0 &&
+             std::find(keep.begin(), keep.end(), gen) == keep.end()) {
+        keep.push_back(gen);
+        auto manifest = ReadManifest(gen);
+        if (!manifest.ok() || manifest.value().base_generation >= gen) break;
+        gen = manifest.value().base_generation;
+      }
+    }
     std::size_t removed = 0;
     for (const std::uint64_t gen : ListGenerations()) {
-      if (current.ok() && gen == current.value()) continue;
+      if (std::find(keep.begin(), keep.end(), gen) != keep.end()) continue;
       std::error_code ec;
       std::filesystem::remove_all(GenerationDir(gen), ec);
       if (!ec) ++removed;
@@ -153,58 +190,213 @@ class SnapshotStore {
   Result<std::uint64_t> SaveSharded(
       const serve::ShardedMvpIndex<Object, Metric>& index,
       const Codec& codec) {
-    if (index.flat_serving()) {
-      return Status::InvalidArgument(
-          "flat-serving indexes cannot be re-serialized");
-    }
+    MVP_RETURN_NOT_OK(RequireHeapRepresentation(index, "SaveSharded"));
     ContainerWriter container;
-    for (std::size_t s = 0; s < index.num_shards(); ++s) {
-      BinaryWriter chunk;
-      chunk.Write<std::uint64_t>(s);
-      const auto& ids = index.shard_global_ids(s);
-      chunk.Write<std::uint64_t>(ids.size());
-      for (const std::size_t id : ids) chunk.Write<std::uint64_t>(id);
-      MVP_RETURN_NOT_OK(index.shard(s).Serialize(&chunk, codec));
-      container.AddChunk(ChunkKind::kShardTree, std::move(chunk).TakeBuffer());
-    }
-
-    const auto params = index.build_params();
     SnapshotManifest manifest;
-    manifest.index_kind = IndexKind::kShardedMvpIndex;
-    manifest.object_count = index.size();
-    manifest.num_shards = params.num_shards;
-    manifest.order = params.order;
-    manifest.leaf_capacity = params.leaf_capacity;
-    manifest.num_path_distances = params.num_path_distances;
-    manifest.seed = params.seed;
-    manifest.store_exact_bounds = params.store_exact_bounds ? 1 : 0;
+    MVP_RETURN_NOT_OK(
+        AppendShardedChunks(index, codec, &container, &manifest));
     return CommitGeneration(std::move(container).Finalize(), manifest);
   }
 
-  /// Loads the committed generation's sharded index. Every chunk's CRC32C
-  /// is verified before its bytes are trusted; the manifest's recorded
-  /// build parameters are validated against the deserialized trees. With a
-  /// pool, shards are verified and deserialized in parallel.
+  /// Persists a checkpoint/compaction result: a sharded index whose global
+  /// id g stands for stable id `stable_ids[g]` (ascending; the live ids
+  /// that survived erasure), plus the WAL watermark and id high-water mark
+  /// that make recovery idempotent. Written as a version-2 manifest so
+  /// pre-lineage binaries reject it instead of serving the wrong ids.
+  template <typename Object, metric::MetricFor<Object> Metric,
+            CodecFor<Object> Codec>
+  Result<std::uint64_t> SaveCompacted(
+      const serve::ShardedMvpIndex<Object, Metric>& index,
+      const std::vector<std::uint64_t>& stable_ids,
+      std::uint64_t last_applied_seq, std::uint64_t next_stable_id,
+      const Codec& codec) {
+    MVP_RETURN_NOT_OK(RequireHeapRepresentation(index, "SaveCompacted"));
+    if (stable_ids.size() != index.size()) {
+      return Status::InvalidArgument(
+          "stable-id map size mismatches the index");
+    }
+    for (std::size_t g = 1; g < stable_ids.size(); ++g) {
+      if (stable_ids[g] <= stable_ids[g - 1]) {
+        return Status::InvalidArgument("stable ids must be ascending");
+      }
+    }
+    ContainerWriter container;
+    SnapshotManifest manifest;
+    MVP_RETURN_NOT_OK(
+        AppendShardedChunks(index, codec, &container, &manifest));
+    {
+      BinaryWriter chunk;
+      chunk.WriteVector(stable_ids);
+      container.AddChunk(ChunkKind::kStableIds, std::move(chunk).TakeBuffer());
+    }
+    manifest.last_applied_seq = last_applied_seq;
+    manifest.next_stable_id = next_stable_id;
+    return CommitGeneration(std::move(container).Finalize(), manifest);
+  }
+
+  /// Persists a delta generation: the mutation forest (memtable), its
+  /// forest-id -> stable-id map, and the stable ids erased from the base —
+  /// WITHOUT rewriting the base generation's container. Re-snapshot I/O is
+  /// therefore proportional to the churn since the base was written, not
+  /// to the index size; the base's chunks are reused in place on load.
+  template <typename Object, metric::MetricFor<Object> Metric,
+            CodecFor<Object> Codec>
+  Result<std::uint64_t> SaveDelta(
+      const dynamic::MvpForest<Object, Metric>& forest,
+      const std::vector<std::uint64_t>& forest_stable_ids,
+      const std::vector<std::uint64_t>& base_tombstones,
+      std::uint64_t base_generation, std::uint64_t last_applied_seq,
+      std::uint64_t next_stable_id, const Codec& codec) {
+    ContainerWriter container;
+    {
+      BinaryWriter chunk;
+      MVP_RETURN_NOT_OK(forest.Serialize(&chunk, codec));
+      container.AddChunk(ChunkKind::kForest, std::move(chunk).TakeBuffer());
+    }
+    {
+      BinaryWriter chunk;
+      chunk.WriteVector(forest_stable_ids);
+      container.AddChunk(ChunkKind::kStableIds, std::move(chunk).TakeBuffer());
+    }
+    {
+      BinaryWriter chunk;
+      chunk.WriteVector(base_tombstones);
+      container.AddChunk(ChunkKind::kTombstones,
+                         std::move(chunk).TakeBuffer());
+    }
+    const auto& tree_options = forest.options().tree;
+    SnapshotManifest manifest;
+    manifest.index_kind = IndexKind::kDynamicDelta;
+    manifest.object_count = forest.size();
+    manifest.order = tree_options.order;
+    manifest.leaf_capacity = tree_options.leaf_capacity;
+    manifest.num_path_distances = tree_options.num_path_distances;
+    manifest.seed = tree_options.seed;
+    manifest.store_exact_bounds = tree_options.store_exact_bounds ? 1 : 0;
+    manifest.base_generation = base_generation;
+    manifest.last_applied_seq = last_applied_seq;
+    manifest.next_stable_id = next_stable_id;
+    return CommitGeneration(std::move(container).Finalize(), manifest);
+  }
+
+  /// Loads a delta generation's pieces (see SaveDelta). `at_generation`
+  /// defaults to the committed generation.
+  template <typename Object, metric::MetricFor<Object> Metric,
+            CodecFor<Object> Codec>
+  Result<LoadedDelta<Object, Metric>> LoadDelta(
+      Metric metric, const Codec& codec,
+      typename dynamic::MvpForest<Object, Metric>::Options options = {},
+      std::optional<std::uint64_t> at_generation = std::nullopt) const {
+    auto opened = OpenGeneration(at_generation, IndexKind::kDynamicDelta);
+    if (!opened.ok()) return opened.status();
+    OpenedGeneration gen = std::move(opened).ValueOrDie();
+    const SnapshotManifest& manifest = gen.manifest;
+    MVP_RETURN_NOT_OK(ValidateManifestParams(manifest));
+
+    const auto forest_chunks = gen.container.ChunksOfKind(ChunkKind::kForest);
+    const auto id_chunks = gen.container.ChunksOfKind(ChunkKind::kStableIds);
+    const auto tomb_chunks =
+        gen.container.ChunksOfKind(ChunkKind::kTombstones);
+    if (forest_chunks.size() != 1 || id_chunks.size() != 1 ||
+        tomb_chunks.size() != 1 ||
+        gen.container.num_chunks() != manifest.num_chunks) {
+      return Status::Corruption("snapshot chunk census mismatches manifest");
+    }
+    for (const std::size_t c :
+         {forest_chunks[0], id_chunks[0], tomb_chunks[0]}) {
+      MVP_RETURN_NOT_OK(gen.container.VerifyChunk(c));
+    }
+    MVP_RETURN_NOT_OK(VerifyFingerprint(gen));
+
+    LoadedDelta<Object, Metric> loaded{
+        dynamic::MvpForest<Object, Metric>(metric, options), {}, {},
+        manifest, gen.generation};
+    {
+      const auto [payload, length] =
+          gen.container.chunk_payload(id_chunks[0]);
+      BinaryReader reader(payload, length);
+      MVP_RETURN_NOT_OK(reader.ReadVector(&loaded.forest_stable_ids));
+      if (!reader.AtEnd()) {
+        return Status::Corruption("trailing bytes after stable-id chunk");
+      }
+    }
+    {
+      const auto [payload, length] =
+          gen.container.chunk_payload(tomb_chunks[0]);
+      BinaryReader reader(payload, length);
+      MVP_RETURN_NOT_OK(reader.ReadVector(&loaded.base_tombstones));
+      if (!reader.AtEnd()) {
+        return Status::Corruption("trailing bytes after tombstone chunk");
+      }
+    }
+    options.tree.order = manifest.order;
+    options.tree.leaf_capacity = manifest.leaf_capacity;
+    options.tree.num_path_distances = manifest.num_path_distances;
+    options.tree.seed = manifest.seed;
+    options.tree.store_exact_bounds = manifest.store_exact_bounds != 0;
+    {
+      const auto [payload, length] =
+          gen.container.chunk_payload(forest_chunks[0]);
+      BinaryReader reader(payload, length);
+      auto forest = dynamic::MvpForest<Object, Metric>::Deserialize(
+          &reader, std::move(metric), codec, std::move(options));
+      if (!forest.ok()) return forest.status();
+      if (!reader.AtEnd()) {
+        return Status::Corruption("trailing bytes after forest stream");
+      }
+      if (forest.value().size() != manifest.object_count) {
+        return Status::Corruption("snapshot object count mismatches manifest");
+      }
+      loaded.forest = std::move(forest).ValueOrDie();
+    }
+    return loaded;
+  }
+
+  /// Loads a generation's sharded index (`at_generation` defaults to the
+  /// committed one). Every chunk's CRC32C is verified before its bytes are
+  /// trusted; the manifest's recorded build parameters are validated
+  /// against the deserialized trees. With a pool, shards are verified and
+  /// deserialized in parallel.
   template <typename Object, metric::MetricFor<Object> Metric,
             CodecFor<Object> Codec>
   Result<LoadedSharded<Object, Metric>> LoadSharded(
-      Metric metric, const Codec& codec,
-      serve::ThreadPool* pool = nullptr) const {
+      Metric metric, const Codec& codec, serve::ThreadPool* pool = nullptr,
+      std::optional<std::uint64_t> at_generation = std::nullopt) const {
     using Index = serve::ShardedMvpIndex<Object, Metric>;
     using Tree = typename Index::Tree;
     using Part = std::pair<Tree, std::vector<std::size_t>>;
 
-    auto opened = OpenCurrent(IndexKind::kShardedMvpIndex);
+    auto opened = OpenGeneration(at_generation, IndexKind::kShardedMvpIndex);
     if (!opened.ok()) return opened.status();
     OpenedGeneration gen = std::move(opened).ValueOrDie();
     const SnapshotManifest& manifest = gen.manifest;
     MVP_RETURN_NOT_OK(ValidateManifestParams(manifest));
 
     const auto shard_chunks = gen.container.ChunksOfKind(ChunkKind::kShardTree);
+    const auto id_chunks = gen.container.ChunksOfKind(ChunkKind::kStableIds);
     if (manifest.num_shards < 1 ||
-        shard_chunks.size() != manifest.num_shards ||
+        shard_chunks.size() != manifest.num_shards || id_chunks.size() > 1 ||
         gen.container.num_chunks() != manifest.num_chunks) {
       return Status::Corruption("snapshot chunk census mismatches manifest");
+    }
+    std::vector<std::uint64_t> stable_ids;
+    if (!id_chunks.empty()) {
+      MVP_RETURN_NOT_OK(gen.container.VerifyChunk(id_chunks[0]));
+      const auto [payload, length] = gen.container.chunk_payload(id_chunks[0]);
+      BinaryReader reader(payload, length);
+      MVP_RETURN_NOT_OK(reader.ReadVector(&stable_ids));
+      if (!reader.AtEnd()) {
+        return Status::Corruption("trailing bytes after stable-id chunk");
+      }
+      if (stable_ids.size() != manifest.object_count) {
+        return Status::Corruption(
+            "stable-id map size mismatches snapshot object count");
+      }
+      for (std::size_t g = 1; g < stable_ids.size(); ++g) {
+        if (stable_ids[g] <= stable_ids[g - 1]) {
+          return Status::Corruption("snapshot stable ids are not ascending");
+        }
+      }
     }
 
     const std::size_t k = shard_chunks.size();
@@ -242,7 +434,8 @@ class SnapshotStore {
     }
 
     LoadedSharded<Object, Metric> loaded{std::move(restored).ValueOrDie(),
-                                         manifest, gen.generation};
+                                         manifest, gen.generation,
+                                         std::move(stable_ids)};
     return loaded;
   }
 
@@ -258,10 +451,7 @@ class SnapshotStore {
   template <metric::MetricFor<std::vector<double>> Metric>
   Result<std::uint64_t> SaveFlat(
       const serve::ShardedMvpIndex<std::vector<double>, Metric>& index) {
-    if (index.flat_serving()) {
-      return Status::InvalidArgument(
-          "flat-serving indexes cannot be re-serialized");
-    }
+    MVP_RETURN_NOT_OK(RequireHeapRepresentation(index, "SaveFlat"));
     const std::size_t k = index.num_shards();
     ContainerWriter container;
     for (std::size_t s = 0; s < k; ++s) {
@@ -315,14 +505,15 @@ class SnapshotStore {
   /// bit-identical to LoadSharded of the same logical index.
   template <metric::MetricFor<std::vector<double>> Metric>
   Result<LoadedSharded<std::vector<double>, Metric>> OpenFlat(
-      Metric metric, serve::ThreadPool* pool = nullptr) const {
+      Metric metric, serve::ThreadPool* pool = nullptr,
+      std::optional<std::uint64_t> at_generation = std::nullopt) const {
     using Index = serve::ShardedMvpIndex<std::vector<double>, Metric>;
     using View = typename Index::FlatView;
 
     // Prefault the mapping: the fingerprint pass below streams every byte
     // immediately, so batch page-table population beats demand faulting.
-    auto opened = OpenCurrent(IndexKind::kFlatShardedMvpIndex,
-                              /*prefault=*/true);
+    auto opened = OpenGeneration(at_generation, IndexKind::kFlatShardedMvpIndex,
+                                 /*prefault=*/true);
     if (!opened.ok()) return opened.status();
     OpenedGeneration gen = std::move(opened).ValueOrDie();
     const SnapshotManifest& manifest = gen.manifest;
@@ -391,7 +582,8 @@ class SnapshotStore {
     if (!restored.ok()) return restored.status();
 
     LoadedSharded<std::vector<double>, Metric> loaded{
-        std::move(restored).ValueOrDie(), manifest, gen.generation};
+        std::move(restored).ValueOrDie(), manifest, gen.generation,
+        /*stable_ids=*/{}};  // flat generations use the identity mapping
     return loaded;
   }
 
@@ -430,7 +622,7 @@ class SnapshotStore {
   Result<LoadedForest<Object, Metric>> LoadForest(
       Metric metric, const Codec& codec,
       typename dynamic::MvpForest<Object, Metric>::Options options = {}) const {
-    auto opened = OpenCurrent(IndexKind::kMvpForest);
+    auto opened = OpenGeneration(std::nullopt, IndexKind::kMvpForest);
     if (!opened.ok()) return opened.status();
     OpenedGeneration gen = std::move(opened).ValueOrDie();
     const SnapshotManifest& manifest = gen.manifest;
@@ -475,6 +667,58 @@ class SnapshotStore {
     MmapFile mapping;
     ContainerReader container;
   };
+
+  /// Fail-fast guard for every save path that walks heap shard trees: a
+  /// flat-serving index has no heap trees to serialize (its shards are
+  /// searched in place from the mmap'd snapshot), so saving it again would
+  /// dereference nothing useful. The message names BOTH representations —
+  /// what the index is (flat/mmap-backed) and what the operation needs
+  /// (heap) — so the caller knows which side to change.
+  template <typename Object, metric::MetricFor<Object> Metric>
+  static Status RequireHeapRepresentation(
+      const serve::ShardedMvpIndex<Object, Metric>& index, const char* op) {
+    if (index.flat_serving()) {
+      return Status::InvalidArgument(
+          std::string(op) +
+          " requires the heap (deserialized) representation, but this index "
+          "is flat-serving (searched in place from the mmap'd snapshot); "
+          "reload it with LoadSharded to re-serialize");
+    }
+    return Status::OK();
+  }
+
+  /// Serializes every heap shard (id map + tree stream) into `container`
+  /// and fills `manifest` with the index's kind, size and build parameters.
+  /// Shared by SaveSharded and SaveCompacted, which differ only in the
+  /// extra chunks/lineage they add on top.
+  template <typename Object, metric::MetricFor<Object> Metric,
+            CodecFor<Object> Codec>
+  static Status AppendShardedChunks(
+      const serve::ShardedMvpIndex<Object, Metric>& index, const Codec& codec,
+      ContainerWriter* container, SnapshotManifest* manifest) {
+    for (std::size_t s = 0; s < index.num_shards(); ++s) {
+      BinaryWriter chunk;
+      chunk.Write<std::uint64_t>(s);
+      const auto& ids = index.shard_global_ids(s);
+      chunk.Write<std::uint64_t>(ids.size());
+      for (const std::size_t id : ids) {
+        chunk.Write<std::uint64_t>(id);
+      }
+      MVP_RETURN_NOT_OK(index.shard(s).Serialize(&chunk, codec));
+      container->AddChunk(ChunkKind::kShardTree,
+                          std::move(chunk).TakeBuffer());
+    }
+    const auto params = index.build_params();
+    manifest->index_kind = IndexKind::kShardedMvpIndex;
+    manifest->object_count = index.size();
+    manifest->num_shards = params.num_shards;
+    manifest->order = params.order;
+    manifest->leaf_capacity = params.leaf_capacity;
+    manifest->num_path_distances = params.num_path_distances;
+    manifest->seed = params.seed;
+    manifest->store_exact_bounds = params.store_exact_bounds ? 1 : 0;
+    return Status::OK();
+  }
 
   /// Fail-fast gate run right after the manifest parses, BEFORE any chunk
   /// bytes are decoded: build parameters that are not even self-consistent
@@ -616,12 +860,20 @@ class SnapshotStore {
     return gen;
   }
 
-  Result<OpenedGeneration> OpenCurrent(IndexKind expected_kind,
-                                       bool prefault = false) const {
-    auto current = CurrentGeneration();
-    if (!current.ok()) return current.status();
+  /// Opens a generation (header + manifest validation; `at_generation`
+  /// empty means the committed one) for a load path expecting a specific
+  /// index kind.
+  Result<OpenedGeneration> OpenGeneration(
+      std::optional<std::uint64_t> at_generation, IndexKind expected_kind,
+      bool prefault = false) const {
     OpenedGeneration gen;
-    gen.generation = current.value();
+    if (at_generation.has_value()) {
+      gen.generation = *at_generation;
+    } else {
+      auto current = CurrentGeneration();
+      if (!current.ok()) return current.status();
+      gen.generation = current.value();
+    }
     const std::string gen_dir = GenerationDir(gen.generation);
 
     auto manifest_bytes = ReadFile(gen_dir + "/" + kManifestFile);

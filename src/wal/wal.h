@@ -1,0 +1,161 @@
+#ifndef MVPTREE_WAL_WAL_H_
+#define MVPTREE_WAL_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+/// \file
+/// Write-ahead log for online index mutations (docs/online_updates.md).
+///
+/// The WAL is what turns the in-memory overlay (dynamic/dynamic_overlay.h)
+/// into a durable index: every insert/erase is framed, checksummed, and
+/// fsynced into `wal.log` BEFORE it is acknowledged, so a crash at any
+/// point loses only unacknowledged mutations. Recovery replays the log
+/// against the last committed snapshot generation; a checkpoint folds the
+/// logged mutations into a new generation and truncates the log.
+///
+/// Record framing (little-endian, docs/index_format.md):
+///
+///   [u32 frame_len][u32 crc32c(frame)][frame]
+///   frame = u8 op, u64 seq, u64 id, u64 payload_len, payload bytes
+///
+/// `seq` is a strictly increasing operation number; the snapshot manifest
+/// records the last sequence folded into a generation, which makes replay
+/// idempotent (records at or below the watermark are skipped). The payload
+/// is the codec-encoded object for inserts and empty for erases — the WAL
+/// layer itself is untemplated and treats payloads as opaque bytes.
+///
+/// Torn tails: a crash mid-append can leave a truncated or CRC-corrupt
+/// final frame. ReadWal stops at the first bad frame and reports the valid
+/// prefix length; recovery truncates the file there (the standard WAL tail
+/// discipline — a torn tail is an unacknowledged mutation, not corruption).
+///
+/// Every syscall goes through the fault::fs seam, and the logical phases
+/// carry their own failpoints ("wal/append", "wal/sync", "wal/truncate"),
+/// so crash drills can kill the process at any point of the
+/// append/commit/truncate path.
+
+namespace mvp::wal {
+
+/// The file name a store's log lives under, next to CURRENT.
+inline constexpr const char* kWalFileName = "wal.log";
+
+enum class WalOp : std::uint8_t {
+  kInsert = 1,  ///< payload = codec-encoded object
+  kErase = 2,   ///< payload empty
+};
+
+/// Fixed frame bytes before the payload: op + seq + id + payload_len.
+inline constexpr std::size_t kFrameFixedBytes = 1 + 8 + 8 + 8;
+
+struct WalRecord {
+  WalOp op = WalOp::kInsert;
+  std::uint64_t seq = 0;  ///< strictly increasing, 1-based
+  std::uint64_t id = 0;   ///< stable object id
+  std::vector<std::uint8_t> payload;
+};
+
+/// Appends one complete frame (length prefix, CRC, frame body) for
+/// `record` to `*out`. Exposed for tests and the wal-dump tool.
+void EncodeRecord(const WalRecord& record, std::vector<std::uint8_t>* out);
+
+struct WalReadResult {
+  std::vector<WalRecord> records;  ///< the valid prefix, in seq order
+  std::uint64_t valid_bytes = 0;   ///< file prefix holding those records
+  /// True when bytes after the valid prefix did not parse as a complete,
+  /// checksummed frame — a torn append from a crash. Recovery truncates
+  /// the file to `valid_bytes` before appending again.
+  bool torn_tail = false;
+};
+
+/// Reads and validates the log at `path`. A missing file is an empty log
+/// (fresh store), not an error. Frames are validated strictly: length
+/// bounds, CRC32C, known op, strictly increasing seq — the first frame
+/// failing any check ends the valid prefix and sets `torn_tail`.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+/// Truncates the file at `path` to `valid_bytes` and fsyncs it — recovery's
+/// torn-tail repair. A missing file is a no-op when `valid_bytes` is zero.
+Status TruncateWal(const std::string& path, std::uint64_t valid_bytes);
+
+struct WalWriterStats {
+  std::uint64_t records_appended = 0;
+  std::uint64_t records_synced = 0;
+  /// fsync batches that covered at least one record. records_synced /
+  /// sync_batches is the group-commit amortization factor the bench
+  /// reports: under concurrent writers one fsync acknowledges many appends.
+  std::uint64_t sync_batches = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+/// Append-only log writer with group commit.
+///
+/// Append buffers a frame in memory (no syscall); Sync(seq) makes every
+/// record up to `seq` durable. Concurrent Sync callers elect a leader: the
+/// first thread in swaps the whole pending buffer, writes it with one
+/// write+fsync pair while the lock is dropped, and wakes the others —
+/// whoever's records rode along returns without ever touching the disk.
+///
+/// After any write/fsync failure the writer latches into a failed state
+/// (every later Append/Sync reports it): the file's tail is now undefined,
+/// and the only safe continuation is recovery — reopen via ReadWal, which
+/// treats the un-fsynced tail as torn.
+class WalWriter {
+ public:
+  /// Opens `path` for appending (creating it if absent). The caller must
+  /// have repaired any torn tail first (ReadWal + TruncateWal): appending
+  /// after garbage would hide valid records behind an unparseable frame.
+  static Result<std::unique_ptr<WalWriter>> Open(std::string path);
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Buffers one record. Failpoint "wal/append".
+  Status Append(const WalRecord& record) MVP_EXCLUDES(mu_);
+
+  /// Blocks until every appended record with sequence <= `seq` is durable
+  /// (group commit). Failpoint "wal/sync" fires on the leader's flush.
+  Status Sync(std::uint64_t seq) MVP_EXCLUDES(mu_);
+
+  /// Sync up to the last appended record.
+  Status SyncAll() MVP_EXCLUDES(mu_);
+
+  /// Resets the log to empty after a checkpoint folded its records into a
+  /// committed generation. Requires every appended record to be synced
+  /// (the pending buffer empty) — truncating unsynced records would lose
+  /// acknowledged-to-nobody data silently instead of by explicit contract.
+  /// Failpoint "wal/truncate", plus "fs/ftruncate" underneath.
+  Status TruncateToEmpty() MVP_EXCLUDES(mu_);
+
+  WalWriterStats stats() const MVP_EXCLUDES(mu_);
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit WalWriter(std::string path, int fd);
+
+  /// Writes `batch` fully and fsyncs. Runs unlocked (group-commit leader).
+  Status WriteDurable(const std::vector<std::uint8_t>& batch);
+
+  const std::string path_;
+  const int fd_;
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<std::uint8_t> pending_ MVP_GUARDED_BY(mu_);
+  std::uint64_t pending_records_ MVP_GUARDED_BY(mu_) = 0;
+  std::uint64_t last_appended_seq_ MVP_GUARDED_BY(mu_) = 0;
+  std::uint64_t synced_seq_ MVP_GUARDED_BY(mu_) = 0;
+  bool sync_in_progress_ MVP_GUARDED_BY(mu_) = false;
+  bool failed_ MVP_GUARDED_BY(mu_) = false;
+  WalWriterStats stats_ MVP_GUARDED_BY(mu_);
+};
+
+}  // namespace mvp::wal
+
+#endif  // MVPTREE_WAL_WAL_H_

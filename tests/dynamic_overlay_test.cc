@@ -1,0 +1,454 @@
+// The dynamic overlay's core contract: query results over base + memtable
+// + tombstones are BIT-IDENTICAL to an index rebuilt from scratch over the
+// current live set — across randomized insert/erase workloads (including
+// erases of base objects, memtable objects, and re-inserted keys),
+// checkpoints, compactions, reopens, and flat (mmap-served) bases. Plus
+// the DynamicIndex interface wiring and the representation-naming save
+// guards.
+
+#include "dynamic/dynamic_overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/query.h"
+#include "common/status.h"
+#include "dynamic/dynamic_index.h"
+#include "dynamic/mvp_forest.h"
+#include "metric/edit_distance.h"
+#include "metric/lp.h"
+#include "serve/sharded_index.h"
+#include "snapshot/manifest.h"
+#include "snapshot/snapshot_store.h"
+#include "wal/wal.h"
+
+namespace mvp::dynamic {
+namespace {
+
+using Vec = std::vector<double>;
+using Overlay = DynamicOverlay<Vec, metric::L2, VectorCodec>;
+using Oracle = serve::ShardedMvpIndex<Vec, metric::L2>;
+
+// Satellite: the memtable implementation is typed against the
+// DynamicIndex interface — checked here at compile time, in tier-1.
+static_assert(DynamicIndexFor<MvpForest<Vec, metric::L2>, Vec>);
+static_assert(DynamicIndexFor<MvpForest<std::string, metric::Levenshtein>,
+                              std::string>);
+static_assert(!DynamicIndexFor<Oracle, Vec>);  // static index: no Insert
+
+class DynamicOverlayTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kDim = 6;
+
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/overlay_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  Overlay::Options SmallOptions() const {
+    Overlay::Options options;
+    options.memtable.buffer_capacity = 16;
+    options.memtable.tree.order = 2;
+    options.memtable.tree.leaf_capacity = 8;
+    options.memtable.tree.num_path_distances = 2;
+    options.rebuild.num_shards = 3;
+    options.rebuild.tree.order = 2;
+    options.rebuild.tree.leaf_capacity = 8;
+    options.rebuild.tree.num_path_distances = 2;
+    return options;
+  }
+
+  Result<std::unique_ptr<Overlay>> OpenOverlay() {
+    return Overlay::Open(dir_, metric::L2{}, VectorCodec{}, SmallOptions());
+  }
+
+  Vec RandomVec(std::mt19937_64& rng) const {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    Vec v(kDim);
+    for (double& x : v) x = uniform(rng);
+    return v;
+  }
+
+  /// From-scratch oracle over the live set: a ShardedMvpIndex built over
+  /// the live objects in ascending stable-id order, whose dense result ids
+  /// are translated back through that order.
+  struct RebuiltOracle {
+    Oracle index;
+    std::vector<std::uint64_t> stable;  // dense id -> stable id
+
+    std::vector<Neighbor> RangeSearch(const Vec& q, double r) const {
+      auto hits = index.RangeSearch(q, r);
+      for (Neighbor& n : hits) n.id = static_cast<std::size_t>(stable[n.id]);
+      return hits;
+    }
+    std::vector<Neighbor> KnnSearch(const Vec& q, std::size_t k) const {
+      auto hits = index.KnnSearch(q, k);
+      for (Neighbor& n : hits) n.id = static_cast<std::size_t>(stable[n.id]);
+      return hits;
+    }
+  };
+
+  RebuiltOracle Rebuild(const std::map<std::uint64_t, Vec>& live) const {
+    std::vector<std::uint64_t> stable;
+    std::vector<Vec> objects;
+    for (const auto& [stable_id, object] : live) {
+      stable.push_back(stable_id);
+      objects.push_back(object);
+    }
+    auto built = Oracle::Build(std::move(objects), metric::L2{},
+                               SmallOptions().rebuild);
+    EXPECT_TRUE(built.ok()) << built.status().message();
+    return RebuiltOracle{std::move(built).ValueOrDie(), std::move(stable)};
+  }
+
+  static void ExpectSameHits(const std::vector<Neighbor>& got,
+                             const std::vector<Neighbor>& want,
+                             const std::string& what) {
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, want[i].id) << what << " hit " << i;
+      // Bit-identical, not approximately equal: both sides run the same
+      // metric over the same stored doubles.
+      EXPECT_EQ(got[i].distance, want[i].distance) << what << " hit " << i;
+    }
+  }
+
+  /// Cross-checks `queries` range + knn queries against a fresh rebuild.
+  void ExpectEquivalent(const Overlay& overlay,
+                        const std::map<std::uint64_t, Vec>& live,
+                        std::mt19937_64& rng, int queries,
+                        const std::string& what) {
+    ASSERT_EQ(overlay.size(), live.size()) << what;
+    const RebuiltOracle oracle = Rebuild(live);
+    for (int q = 0; q < queries; ++q) {
+      const Vec query = RandomVec(rng);
+      const double radius = 0.2 + 0.2 * static_cast<double>(q % 4);
+      ExpectSameHits(overlay.RangeSearch(query, radius),
+                     oracle.RangeSearch(query, radius),
+                     what + " range q" + std::to_string(q));
+      const std::size_t k = 1 + static_cast<std::size_t>(q % 12);
+      ExpectSameHits(overlay.KnnSearch(query, k), oracle.KnnSearch(query, k),
+                     what + " knn q" + std::to_string(q));
+    }
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DynamicOverlayTest, FreshStoreInsertsAndSearches) {
+  auto opened = OpenOverlay();
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  Overlay& overlay = *opened.value();
+
+  std::mt19937_64 rng(7);
+  std::map<std::uint64_t, Vec> live;
+  for (int i = 0; i < 40; ++i) {
+    Vec v = RandomVec(rng);
+    auto id = overlay.Insert(v);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(id.value(), static_cast<std::size_t>(i));  // dense, in order
+    live[id.value()] = std::move(v);
+  }
+  ExpectEquivalent(overlay, live, rng, 30, "fresh");
+}
+
+TEST_F(DynamicOverlayTest, EraseContract) {
+  auto opened = OpenOverlay();
+  ASSERT_TRUE(opened.ok());
+  Overlay& overlay = *opened.value();
+
+  std::mt19937_64 rng(11);
+  const Vec kept = RandomVec(rng);
+  const Vec dropped = RandomVec(rng);
+  auto kept_id = overlay.Insert(kept);
+  auto dropped_id = overlay.Insert(dropped);
+  ASSERT_TRUE(kept_id.ok());
+  ASSERT_TRUE(dropped_id.ok());
+
+  ASSERT_TRUE(overlay.Erase(dropped_id.value()).ok());
+  EXPECT_EQ(overlay.Erase(dropped_id.value()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(overlay.Erase(999).code(), StatusCode::kNotFound);
+  EXPECT_EQ(overlay.size(), 1u);
+
+  // The erased object is gone from results immediately; a re-insert of the
+  // same payload gets a FRESH id, never the old one back.
+  auto hits = overlay.RangeSearch(dropped, 1e-12);
+  EXPECT_TRUE(hits.empty());
+  auto again = overlay.Insert(dropped);
+  ASSERT_TRUE(again.ok());
+  EXPECT_GT(again.value(), dropped_id.value());
+  hits = overlay.RangeSearch(dropped, 1e-12);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, again.value());
+}
+
+// The tentpole acceptance test: a randomized insert/erase workload with
+// checkpoints, compactions, and full reopens interleaved, cross-checked
+// against a from-scratch rebuild after every batch. Over the run this
+// executes well over a thousand range/k-NN queries, covering erased base
+// objects, erased memtable objects, and keys re-inserted after erasure.
+TEST_F(DynamicOverlayTest, RandomizedWorkloadMatchesRebuildExactly) {
+  auto opened = OpenOverlay();
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<Overlay> overlay = std::move(opened).ValueOrDie();
+
+  std::mt19937_64 rng(1234);
+  std::map<std::uint64_t, Vec> live;
+
+  constexpr int kBatches = 10;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    // Mutate: ~30 inserts (some re-using previously erased payloads) and
+    // ~10 erases per batch.
+    for (int i = 0; i < 30; ++i) {
+      Vec v = RandomVec(rng);
+      auto id = overlay->Insert(v);
+      ASSERT_TRUE(id.ok()) << id.status().message();
+      live[id.value()] = std::move(v);
+    }
+    for (int i = 0; i < 10 && !live.empty(); ++i) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng() % live.size()));
+      if (rng() % 3 == 0) {
+        // Erase-then-reinsert: the payload returns under a fresh id.
+        Vec v = it->second;
+        ASSERT_TRUE(overlay->Erase(it->first).ok());
+        live.erase(it);
+        auto id = overlay->Insert(v);
+        ASSERT_TRUE(id.ok());
+        live[id.value()] = std::move(v);
+      } else {
+        ASSERT_TRUE(overlay->Erase(it->first).ok());
+        live.erase(it);
+      }
+    }
+
+    // Structural event: rotate through checkpoint / compact / reopen /
+    // nothing, so equivalence is checked in every lifecycle state.
+    switch (batch % 4) {
+      case 1: {
+        auto gen = overlay->Checkpoint();
+        ASSERT_TRUE(gen.ok()) << gen.status().message();
+        break;
+      }
+      case 2: {
+        auto gen = overlay->Compact();
+        ASSERT_TRUE(gen.ok()) << gen.status().message();
+        EXPECT_EQ(overlay->memtable_size(), 0u);
+        EXPECT_EQ(overlay->tombstone_count(), 0u);
+        break;
+      }
+      case 3: {
+        auto checkpoint = overlay->Checkpoint();
+        ASSERT_TRUE(checkpoint.ok());
+        overlay.reset();  // close
+        auto reopened = OpenOverlay();
+        ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+        overlay = std::move(reopened).ValueOrDie();
+        break;
+      }
+      default:
+        break;
+    }
+
+    ExpectEquivalent(*overlay, live, rng, 60,
+                     "batch " + std::to_string(batch));
+  }
+}
+
+TEST_F(DynamicOverlayTest, ReopenReplaysTheWalWithoutACheckpoint) {
+  std::mt19937_64 rng(99);
+  std::map<std::uint64_t, Vec> live;
+  {
+    auto opened = OpenOverlay();
+    ASSERT_TRUE(opened.ok());
+    Overlay& overlay = *opened.value();
+    for (int i = 0; i < 50; ++i) {
+      Vec v = RandomVec(rng);
+      auto id = overlay.Insert(v);
+      ASSERT_TRUE(id.ok());
+      live[id.value()] = std::move(v);
+    }
+    ASSERT_TRUE(overlay.Erase(3).ok());
+    ASSERT_TRUE(overlay.Erase(17).ok());
+    live.erase(3);
+    live.erase(17);
+    // No checkpoint: everything lives only in the WAL when we close.
+  }
+  auto reopened = OpenOverlay();
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  EXPECT_EQ(reopened.value()->stats().replayed_records, 52u);
+  EXPECT_EQ(reopened.value()->next_stable_id(), 50u);
+  ExpectEquivalent(*reopened.value(), live, rng, 30, "replayed");
+
+  // Ids keep ascending across the reopen — never reused.
+  auto id = reopened.value()->Insert(RandomVec(rng));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 50u);
+}
+
+TEST_F(DynamicOverlayTest, CheckpointWritesADeltaProportionalToChurn) {
+  auto opened = OpenOverlay();
+  ASSERT_TRUE(opened.ok());
+  Overlay& overlay = *opened.value();
+
+  std::mt19937_64 rng(5);
+  std::map<std::uint64_t, Vec> live;
+  for (int i = 0; i < 400; ++i) {
+    Vec v = RandomVec(rng);
+    auto id = overlay.Insert(v);
+    ASSERT_TRUE(id.ok());
+    live[id.value()] = std::move(v);
+  }
+  auto base_gen = overlay.Compact();
+  ASSERT_TRUE(base_gen.ok());
+
+  // Small churn on a large base.
+  for (int i = 0; i < 8; ++i) {
+    Vec v = RandomVec(rng);
+    auto id = overlay.Insert(v);
+    ASSERT_TRUE(id.ok());
+    live[id.value()] = std::move(v);
+  }
+  ASSERT_TRUE(overlay.Erase(5).ok());
+  live.erase(5);
+
+  auto delta_gen = overlay.Checkpoint();
+  ASSERT_TRUE(delta_gen.ok());
+  EXPECT_GT(delta_gen.value(), base_gen.value());
+  EXPECT_EQ(overlay.base_generation(), base_gen.value());  // base unchanged
+
+  snapshot::SnapshotStore store(dir_);
+  auto base_manifest = store.ReadManifest(base_gen.value());
+  auto delta_manifest = store.ReadManifest(delta_gen.value());
+  ASSERT_TRUE(base_manifest.ok());
+  ASSERT_TRUE(delta_manifest.ok());
+  EXPECT_EQ(delta_manifest.value().index_kind,
+            snapshot::IndexKind::kDynamicDelta);
+  EXPECT_EQ(delta_manifest.value().base_generation, base_gen.value());
+  // The checkpoint's I/O is proportional to the churn (9 objects), not the
+  // index (400 objects): the delta container must be a small fraction of
+  // the base container it layers on.
+  EXPECT_LT(delta_manifest.value().payload_bytes,
+            base_manifest.value().payload_bytes / 4);
+
+  // The WAL was folded in and truncated.
+  auto log = wal::ReadWal(overlay.wal_path());
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log.value().records.empty());
+
+  // A reopen from the delta serves the same results.
+  ExpectEquivalent(overlay, live, rng, 20, "delta-live");
+  auto reopened = OpenOverlay();
+  ASSERT_TRUE(reopened.ok()) << reopened.status().message();
+  ExpectEquivalent(*reopened.value(), live, rng, 20, "delta-reopened");
+
+  // Pruning keeps the delta's base alive (lineage), removing nothing here.
+  EXPECT_EQ(store.PruneStaleGenerations(), 0u);
+  auto repruned = OpenOverlay();
+  ASSERT_TRUE(repruned.ok());
+}
+
+TEST_F(DynamicOverlayTest, CheckpointWithNothingNewIsANoOp) {
+  auto opened = OpenOverlay();
+  ASSERT_TRUE(opened.ok());
+  Overlay& overlay = *opened.value();
+  auto id = overlay.Insert(Vec(kDim, 0.5));
+  ASSERT_TRUE(id.ok());
+  auto first = overlay.Checkpoint();
+  ASSERT_TRUE(first.ok());
+  auto second = overlay.Checkpoint();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), first.value());  // no new generation written
+}
+
+TEST_F(DynamicOverlayTest, OverlayServesOverAFlatBase) {
+  // Seed the store with a FLAT (mmap-served) generation, the
+  // zero-deserialization serving path, then mutate on top of it.
+  std::mt19937_64 rng(21);
+  std::map<std::uint64_t, Vec> live;
+  {
+    std::vector<Vec> objects;
+    for (int i = 0; i < 120; ++i) {
+      objects.push_back(RandomVec(rng));
+      live[static_cast<std::uint64_t>(i)] = objects.back();
+    }
+    auto built =
+        Oracle::Build(std::move(objects), metric::L2{}, SmallOptions().rebuild);
+    ASSERT_TRUE(built.ok());
+    snapshot::SnapshotStore store(dir_);
+    auto gen = store.SaveFlat(built.value());
+    ASSERT_TRUE(gen.ok()) << gen.status().message();
+  }
+
+  auto opened = OpenOverlay();
+  ASSERT_TRUE(opened.ok()) << opened.status().message();
+  Overlay& overlay = *opened.value();
+  EXPECT_TRUE(overlay.base_flat_serving());
+  EXPECT_EQ(overlay.size(), 120u);
+
+  // Erase base objects, insert new ones — all on top of the mapping.
+  ASSERT_TRUE(overlay.Erase(7).ok());
+  ASSERT_TRUE(overlay.Erase(64).ok());
+  live.erase(7);
+  live.erase(64);
+  for (int i = 0; i < 25; ++i) {
+    Vec v = RandomVec(rng);
+    auto id = overlay.Insert(v);
+    ASSERT_TRUE(id.ok());
+    live[id.value()] = std::move(v);
+  }
+  ExpectEquivalent(overlay, live, rng, 40, "flat-base");
+
+  // Compaction materializes the mapped vectors into a fresh heap
+  // generation; results must not change.
+  auto gen = overlay.Compact();
+  ASSERT_TRUE(gen.ok()) << gen.status().message();
+  EXPECT_FALSE(overlay.base_flat_serving());
+  ExpectEquivalent(overlay, live, rng, 40, "flat-compacted");
+}
+
+// Satellite: save-path guards name the offending representation on both
+// sides (what the index is, what the operation needs).
+TEST_F(DynamicOverlayTest, SaveGuardsNameTheRepresentation) {
+  std::mt19937_64 rng(3);
+  std::vector<Vec> objects;
+  for (int i = 0; i < 60; ++i) objects.push_back(RandomVec(rng));
+  auto built =
+      Oracle::Build(std::move(objects), metric::L2{}, SmallOptions().rebuild);
+  ASSERT_TRUE(built.ok());
+
+  snapshot::SnapshotStore store(dir_);
+  ASSERT_TRUE(store.SaveFlat(built.value()).ok());
+  auto flat = store.OpenFlat<metric::L2>(metric::L2{});
+  ASSERT_TRUE(flat.ok());
+
+  for (const Status& status :
+       {store.SaveSharded(flat.value().index, VectorCodec{}).status(),
+        store.SaveFlat(flat.value().index).status(),
+        store
+            .SaveCompacted(flat.value().index,
+                           std::vector<std::uint64_t>(flat.value().index.size()),
+                           1, 60, VectorCodec{})
+            .status()}) {
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("flat-serving"), std::string::npos)
+        << status.message();
+    EXPECT_NE(status.message().find("heap"), std::string::npos)
+        << status.message();
+  }
+}
+
+}  // namespace
+}  // namespace mvp::dynamic

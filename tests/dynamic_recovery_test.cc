@@ -1,0 +1,355 @@
+// The acceptance test for crash safety of the dynamic overlay: every
+// injected failure point across the WAL append/sync path, the checkpoint
+// commit (container, MANIFEST, CURRENT — error and simulated-crash
+// variants, with short writes), the WAL truncation that follows it, and
+// the compaction commit is enumerated; after EVERY one the overlay must
+// reopen and converge — each acknowledged mutation is present, the one
+// in-flight mutation is atomically present-or-absent, and queries are
+// bit-identical to an index rebuilt from scratch over the recovered live
+// set.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/query.h"
+#include "common/status.h"
+#include "dataset/vector_gen.h"
+#include "dynamic/dynamic_overlay.h"
+#include "fault/failpoint.h"
+#include "fault/fault_fs.h"
+#include "metric/lp.h"
+#include "serve/sharded_index.h"
+#include "snapshot/snapshot_store.h"
+#include "wal/wal.h"
+
+namespace mvp::dynamic {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+using Overlay = DynamicOverlay<Vector, L2, VectorCodec>;
+using Oracle = serve::ShardedMvpIndex<Vector, L2>;
+
+/// One injected failure: a failpoint (syscall-level, restricted by path
+/// substring, or logic-level) failing either with an error return or a
+/// simulated process death at that exact point.
+struct Scenario {
+  std::string failpoint;
+  std::string match;         // path substring for fs seam sites; "" = any
+  bool crash = false;        // error return vs CrashError unwind
+  std::int64_t short_write = -1;  // >= 0: partial progress before failing
+
+  std::string Name() const {
+    std::string name = failpoint;
+    if (!match.empty()) name += ":" + match;
+    if (short_write >= 0) name += ":short";
+    name += crash ? ":crash" : ":error";
+    return name;
+  }
+
+  fault::FailpointConfig Config() const {
+    fault::FailpointConfig config;
+    config.match = match;
+    config.crash = crash;
+    config.short_write = short_write;
+    return config;
+  }
+};
+
+/// Failure points on the path of a single logged mutation: the logic-level
+/// append/sync sites plus the syscalls Sync's group commit drives against
+/// the log file.
+std::vector<Scenario> MutationScenarios() {
+  return {
+      {"wal/append", ""},
+      {"wal/sync", ""},
+      {"fs/write", wal::kWalFileName},
+      {"fs/write", wal::kWalFileName, /*crash=*/false, /*short_write=*/9},
+      {"fs/write", wal::kWalFileName, /*crash=*/true},
+      {"fs/write", wal::kWalFileName, /*crash=*/true, /*short_write=*/9},
+      {"fs/fsync", wal::kWalFileName},
+      {"fs/fsync", wal::kWalFileName, /*crash=*/true},
+  };
+}
+
+/// Failure points on the checkpoint/compaction commit: every syscall
+/// WriteFileAtomic drives for each committed file, error and crash, plus
+/// the post-commit WAL truncation sites.
+std::vector<Scenario> CommitScenarios(bool include_truncate) {
+  const char* kFiles[] = {snapshot::SnapshotStore::kContainerFile,
+                          snapshot::SnapshotStore::kManifestFile,
+                          snapshot::SnapshotStore::kCurrentFile};
+  std::vector<Scenario> scenarios;
+  for (const char* file : kFiles) {
+    for (const bool crash : {false, true}) {
+      scenarios.push_back({"fs/open", file, crash});
+      scenarios.push_back({"fs/write", file, crash});
+      scenarios.push_back({"fs/write", file, crash, /*short_write=*/7});
+      scenarios.push_back({"fs/fsync", file, crash});
+      scenarios.push_back({"fs/close", file, crash});
+      scenarios.push_back({"fs/rename", file, crash});
+    }
+  }
+  if (include_truncate) {
+    // These fire AFTER the generation committed: the WAL keeps already-
+    // folded records, and replay must skip them by sequence number.
+    scenarios.push_back({"wal/truncate", ""});
+    scenarios.push_back({"fs/ftruncate", wal::kWalFileName});
+    scenarios.push_back({"fs/ftruncate", wal::kWalFileName, /*crash=*/true});
+  }
+  return scenarios;
+}
+
+class DynamicRecoveryTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kDim = 4;
+
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/dynrec_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    pool_ = dataset::UniformVectors(4000, kDim, 77);
+  }
+  void TearDown() override {
+    fault::Failpoints::Instance().DisarmAll();
+    overlay_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  static Overlay::Options SmallOptions() {
+    Overlay::Options options;
+    options.memtable.buffer_capacity = 16;
+    options.memtable.tree.leaf_capacity = 8;
+    options.rebuild.num_shards = 2;
+    options.rebuild.tree.leaf_capacity = 8;
+    return options;
+  }
+
+  void Open() {
+    auto opened = Overlay::Open(dir_, L2(), VectorCodec(), SmallOptions());
+    ASSERT_TRUE(opened.ok()) << opened.status().message();
+    overlay_ = std::move(opened).ValueOrDie();
+  }
+
+  Vector NextVec() { return pool_.at(next_vec_++); }
+
+  /// Mutations with nothing armed: must succeed and enter the model.
+  void AckedInserts(int n) {
+    for (int i = 0; i < n; ++i) {
+      Vector v = NextVec();
+      auto id = overlay_->Insert(v);
+      ASSERT_TRUE(id.ok()) << id.status().message();
+      model_[id.value()] = std::move(v);
+    }
+  }
+  void AckedErase() {
+    ASSERT_FALSE(model_.empty());
+    const auto it = model_.begin();
+    ASSERT_TRUE(overlay_->Erase(it->first).ok());
+    model_.erase(it);
+  }
+
+  /// After recovery, the interrupted mutation must be atomic: either fully
+  /// applied (WAL frame made it to disk intact) or fully absent. Probe with
+  /// an exact-match query and fold the outcome into the model.
+  void ReconcileInsert(const Vector& v, std::uint64_t expected_id) {
+    const auto hits = overlay_->RangeSearch(v, 0.0);
+    ASSERT_LE(hits.size(), 1u);
+    if (!hits.empty()) {
+      EXPECT_EQ(hits[0].id, expected_id);
+      model_[expected_id] = v;
+    }
+  }
+  void ReconcileErase(std::uint64_t id, const Vector& v) {
+    const auto hits = overlay_->RangeSearch(v, 0.0);
+    ASSERT_LE(hits.size(), 1u);
+    if (hits.empty()) {
+      model_.erase(id);
+    } else {
+      EXPECT_EQ(hits[0].id, id);
+    }
+  }
+
+  /// Queries over the recovered overlay vs a from-scratch rebuild over the
+  /// model's live set — ids translated, distances compared exactly.
+  void ExpectConverged(const std::string& what) {
+    ASSERT_EQ(overlay_->size(), model_.size()) << what;
+    std::vector<std::uint64_t> stable;
+    std::vector<Vector> objects;
+    for (const auto& [id, object] : model_) {
+      stable.push_back(id);
+      objects.push_back(object);
+    }
+    auto built = Oracle::Build(std::move(objects), L2(), SmallOptions().rebuild);
+    ASSERT_TRUE(built.ok()) << what;
+    const Oracle& oracle = built.value();
+    const auto queries = dataset::UniformQueryVectors(4, kDim, 31);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      for (const double radius : {0.3, 0.6}) {
+        const auto got = overlay_->RangeSearch(queries[q], radius);
+        auto want = oracle.RangeSearch(queries[q], radius);
+        for (Neighbor& n : want) n.id = static_cast<std::size_t>(stable[n.id]);
+        ASSERT_EQ(got.size(), want.size()) << what << " range q" << q;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].id, want[i].id) << what << " range q" << q;
+          EXPECT_EQ(got[i].distance, want[i].distance) << what;
+        }
+      }
+      const auto got = overlay_->KnnSearch(queries[q], 5);
+      auto want = oracle.KnnSearch(queries[q], 5);
+      for (Neighbor& n : want) n.id = static_cast<std::size_t>(stable[n.id]);
+      ASSERT_EQ(got.size(), want.size()) << what << " knn q" << q;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, want[i].id) << what << " knn q" << q;
+        EXPECT_EQ(got[i].distance, want[i].distance) << what;
+      }
+    }
+  }
+
+  std::string dir_;
+  std::unique_ptr<Overlay> overlay_;
+  std::map<std::uint64_t, Vector> model_;
+  std::vector<Vector> pool_;
+  std::size_t next_vec_ = 0;
+};
+
+TEST_F(DynamicRecoveryTest, EveryMutationFailurePointConvergesOnReplay) {
+  Open();
+  AckedInserts(40);
+
+  for (const Scenario& s : MutationScenarios()) {
+    for (const bool erase_op : {false, true}) {
+      SCOPED_TRACE(s.Name() + (erase_op ? "/erase" : "/insert"));
+      AckedInserts(3);  // fresh acked state between scenarios
+
+      const std::uint64_t expected_id = overlay_->next_stable_id();
+      const Vector inserted = NextVec();
+      const std::uint64_t erase_id = model_.begin()->first;
+      const Vector erase_vec = model_.begin()->second;
+
+      fault::Failpoints::Instance().Arm(s.failpoint, s.Config());
+      bool failed = false;
+      try {
+        failed = erase_op ? !overlay_->Erase(erase_id).ok()
+                          : !overlay_->Insert(inserted).ok();
+      } catch (const fault::CrashError&) {
+        failed = true;
+      }
+      fault::Failpoints::Instance().DisarmAll();
+      EXPECT_TRUE(failed) << "the armed failpoint did not interrupt the op";
+
+      // "Restart": recovery replays the log against the last committed
+      // generation and repairs any torn tail.
+      overlay_.reset();
+      Open();
+      if (erase_op) {
+        ReconcileErase(erase_id, erase_vec);
+      } else {
+        ReconcileInsert(inserted, expected_id);
+      }
+      ExpectConverged(s.Name());
+    }
+  }
+}
+
+TEST_F(DynamicRecoveryTest, EveryCheckpointFailurePointConvergesOnReplay) {
+  Open();
+  AckedInserts(120);
+  ASSERT_TRUE(overlay_->Compact().ok());  // a real base generation to layer on
+
+  for (const Scenario& s : CommitScenarios(/*include_truncate=*/true)) {
+    SCOPED_TRACE(s.Name());
+    AckedInserts(4);
+    AckedErase();
+
+    fault::Failpoints::Instance().Arm(s.failpoint, s.Config());
+    bool failed = false;
+    try {
+      failed = !overlay_->Checkpoint().ok();
+    } catch (const fault::CrashError&) {
+      failed = true;
+    }
+    fault::Failpoints::Instance().DisarmAll();
+    EXPECT_TRUE(failed) << "the armed failpoint did not interrupt the op";
+
+    // Whether the delta committed or not, the union of (last committed
+    // generation, surviving WAL) is exactly the acked state.
+    overlay_.reset();
+    Open();
+    ExpectConverged(s.Name());
+  }
+
+  // With nothing armed the same checkpoint commits and serves.
+  ASSERT_TRUE(overlay_->Checkpoint().ok());
+  overlay_.reset();
+  Open();
+  ExpectConverged("clean checkpoint");
+}
+
+TEST_F(DynamicRecoveryTest, EveryCompactionFailurePointConvergesOnReplay) {
+  Open();
+  AckedInserts(90);
+  ASSERT_TRUE(overlay_->Compact().ok());
+
+  for (const Scenario& s : CommitScenarios(/*include_truncate=*/true)) {
+    SCOPED_TRACE(s.Name());
+    AckedInserts(3);
+    AckedErase();
+
+    fault::Failpoints::Instance().Arm(s.failpoint, s.Config());
+    bool failed = false;
+    try {
+      failed = !overlay_->Compact().ok();
+    } catch (const fault::CrashError&) {
+      failed = true;
+    }
+    fault::Failpoints::Instance().DisarmAll();
+    EXPECT_TRUE(failed) << "the armed failpoint did not interrupt the op";
+
+    overlay_.reset();
+    Open();
+    ExpectConverged(s.Name());
+  }
+
+  ASSERT_TRUE(overlay_->Compact().ok());
+  ExpectConverged("clean compaction");
+}
+
+TEST_F(DynamicRecoveryTest, TornTrailingGarbageIsRepairedOnRecovery) {
+  Open();
+  AckedInserts(25);
+  const std::string wal_path = overlay_->wal_path();
+  overlay_.reset();
+
+  // Simulate a torn final append: a frame header promising more bytes than
+  // the crash left behind.
+  const auto before = std::filesystem::file_size(wal_path);
+  {
+    std::ofstream out(wal_path, std::ios::binary | std::ios::app);
+    const char garbage[] = "\xff\xff\xff\x7f torn frame";
+    out.write(garbage, sizeof(garbage));
+  }
+  ASSERT_GT(std::filesystem::file_size(wal_path), before);
+
+  Open();
+  ExpectConverged("torn tail");
+  // Recovery truncated the garbage so the next append extends a clean log.
+  EXPECT_EQ(std::filesystem::file_size(wal_path), before);
+  AckedInserts(5);
+  overlay_.reset();
+  Open();
+  ExpectConverged("appended after repair");
+}
+
+}  // namespace
+}  // namespace mvp::dynamic

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "common/codec.h"
@@ -329,6 +330,85 @@ TEST(MvpForestTest, StableIdsSurviveMerges) {
     for (const auto& hit : hits) found = found || hit.id == ids[i];
     EXPECT_TRUE(found) << "id " << ids[i];
   }
+}
+
+TEST(MvpForestTest, ContainsTracksLiveness) {
+  Forest forest{L2(), SmallOptions()};
+  const auto data = dataset::UniformVectors(60, 4, 41);
+  for (const auto& v : data) forest.Insert(v);
+
+  EXPECT_FALSE(forest.contains(60));   // never issued
+  EXPECT_FALSE(forest.contains(999));  // far out of range
+  for (std::size_t id = 0; id < 60; ++id) EXPECT_TRUE(forest.contains(id));
+
+  ASSERT_TRUE(forest.Erase(5).ok());
+  ASSERT_TRUE(forest.Erase(59).ok());  // one merged, one likely buffered
+  EXPECT_FALSE(forest.contains(5));
+  EXPECT_FALSE(forest.contains(59));
+  EXPECT_TRUE(forest.contains(6));
+
+  // A re-issued id is a NEW id; the erased ones stay dead forever.
+  const std::size_t fresh = forest.Insert(data[5]);
+  EXPECT_EQ(fresh, 60u);
+  EXPECT_TRUE(forest.contains(fresh));
+  EXPECT_FALSE(forest.contains(5));
+}
+
+TEST(MvpForestTest, ForEachLiveVisitsBufferAndEveryLevelExactlyOnce) {
+  Forest forest{L2(), SmallOptions()};
+  const auto data = dataset::UniformVectors(150, 4, 43);
+  for (const auto& v : data) forest.Insert(v);
+  // Erase a spread of ids so some levels carry tombstones, then insert a
+  // few more so the buffer is non-empty: the visit must cover the merged
+  // levels AND the unmerged buffer, skipping exactly the tombstones.
+  std::set<std::size_t> erased;
+  for (std::size_t id = 0; id < 150; id += 13) {
+    ASSERT_TRUE(forest.Erase(id).ok());
+    erased.insert(id);
+  }
+  const auto extra = dataset::UniformVectors(5, 4, 44);
+  for (const auto& v : extra) forest.Insert(v);
+  ASSERT_GT(forest.buffered(), 0u);
+  ASSERT_GT(forest.num_trees(), 0u);
+
+  std::map<std::size_t, Vector> seen;
+  forest.ForEachLive([&](std::size_t id, const Vector& object) {
+    EXPECT_TRUE(seen.emplace(id, object).second) << "id visited twice: " << id;
+  });
+  ASSERT_EQ(seen.size(), forest.size());
+  for (std::size_t id = 0; id < 155; ++id) {
+    if (erased.count(id)) {
+      EXPECT_FALSE(seen.count(id)) << id;
+    } else {
+      ASSERT_TRUE(seen.count(id)) << id;
+      const Vector& want = id < 150 ? data[id] : extra[id - 150];
+      EXPECT_EQ(seen[id], want) << id;
+    }
+  }
+}
+
+TEST(MvpForestTest, MergeMathKeepsLevelsContiguousAndComplete) {
+  // The Bentley-Saxe invariant the overlay's checkpoint leans on: after any
+  // insert pattern, every issued id is either buffered, in exactly one
+  // level, or tombstoned — and each level holds a contiguous id range (so
+  // erases can be attributed to levels by range). Exercised across the
+  // doubling boundaries (buffer capacity 16: merges at 16, 32, 64, ...).
+  Forest forest{L2(), SmallOptions()};
+  const auto data = dataset::UniformVectors(300, 4, 47);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    forest.Insert(data[i]);
+    if (i == 15 || i == 16 || i == 31 || i == 63 || i == 127 || i == 255 ||
+        i == 299) {
+      std::size_t visited = 0;
+      forest.ForEachLive([&](std::size_t, const Vector&) { ++visited; });
+      EXPECT_EQ(visited, i + 1) << "after insert " << i;
+      EXPECT_EQ(forest.size(), i + 1);
+      EXPECT_EQ(forest.buffered() + 0u, forest.buffered());
+      EXPECT_LE(forest.buffered(), SmallOptions().buffer_capacity);
+    }
+  }
+  // Width stays logarithmic in n/buffer_capacity.
+  EXPECT_LE(forest.num_trees(), 6u);
 }
 
 }  // namespace

@@ -1,0 +1,330 @@
+// The write-ahead log layer: record framing round-trips, torn tails end
+// the valid prefix exactly at the last complete frame, CRC/op/sequence
+// violations are tail-breaks rather than accepted records, group commit
+// acknowledges many appends per fsync, truncation resets the log, and the
+// writer latches a failed state after an injected write/fsync error.
+
+#include "wal/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "fault/failpoint.h"
+
+namespace mvp::wal {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/wal_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/" + kWalFileName;
+  }
+  void TearDown() override {
+    fault::Failpoints::Instance().DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  static WalRecord Insert(std::uint64_t seq, std::uint64_t id,
+                          std::size_t payload_bytes) {
+    WalRecord record;
+    record.op = WalOp::kInsert;
+    record.seq = seq;
+    record.id = id;
+    record.payload.resize(payload_bytes);
+    for (std::size_t i = 0; i < payload_bytes; ++i) {
+      record.payload[i] = static_cast<std::uint8_t>(seq * 31 + i);
+    }
+    return record;
+  }
+
+  static WalRecord Erase(std::uint64_t seq, std::uint64_t id) {
+    WalRecord record;
+    record.op = WalOp::kErase;
+    record.seq = seq;
+    record.id = id;
+    return record;
+  }
+
+  /// Appends `records` through a writer and syncs them all.
+  void WriteLog(const std::vector<WalRecord>& records) {
+    auto writer = WalWriter::Open(path_);
+    ASSERT_TRUE(writer.ok()) << writer.status().message();
+    for (const WalRecord& record : records) {
+      ASSERT_TRUE(writer.value()->Append(record).ok());
+    }
+    ASSERT_TRUE(writer.value()->SyncAll().ok());
+  }
+
+  std::vector<std::uint8_t> FileBytes() const {
+    auto bytes = ReadFile(path_);
+    EXPECT_TRUE(bytes.ok());
+    return bytes.ok() ? bytes.value() : std::vector<std::uint8_t>{};
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(WalTest, MissingFileIsAnEmptyLog) {
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log.value().records.empty());
+  EXPECT_EQ(log.value().valid_bytes, 0u);
+  EXPECT_FALSE(log.value().torn_tail);
+}
+
+TEST_F(WalTest, RecordsRoundTripThroughTheFile) {
+  const std::vector<WalRecord> records = {Insert(1, 0, 24), Erase(2, 0),
+                                          Insert(3, 1, 0), Insert(7, 2, 256)};
+  WriteLog(records);
+
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_FALSE(log.value().torn_tail);
+  ASSERT_EQ(log.value().records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(log.value().records[i].op),
+              static_cast<int>(records[i].op));
+    EXPECT_EQ(log.value().records[i].seq, records[i].seq);
+    EXPECT_EQ(log.value().records[i].id, records[i].id);
+    EXPECT_EQ(log.value().records[i].payload, records[i].payload);
+  }
+  EXPECT_EQ(log.value().valid_bytes, FileBytes().size());
+}
+
+TEST_F(WalTest, TornTailEndsThePrefixAtTheLastCompleteFrame) {
+  WriteLog({Insert(1, 0, 40), Insert(2, 1, 40), Insert(3, 2, 40)});
+  const auto full = FileBytes();
+
+  // Chop the file anywhere inside the final frame: exactly two records
+  // must survive, and the valid prefix must be the two-frame boundary.
+  std::vector<std::uint8_t> frame;
+  EncodeRecord(Insert(3, 2, 40), &frame);
+  const std::size_t boundary = full.size() - frame.size();
+  for (const std::size_t cut :
+       {boundary + 1, boundary + 4, boundary + 9, full.size() - 1}) {
+    std::vector<std::uint8_t> torn(full.begin(),
+                                   full.begin() + static_cast<long>(cut));
+    ASSERT_TRUE(WriteFile(path_, torn).ok());
+    auto log = ReadWal(path_);
+    ASSERT_TRUE(log.ok());
+    EXPECT_TRUE(log.value().torn_tail) << "cut at " << cut;
+    ASSERT_EQ(log.value().records.size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(log.value().valid_bytes, boundary);
+  }
+}
+
+TEST_F(WalTest, CorruptCrcEndsThePrefix) {
+  WriteLog({Insert(1, 0, 32), Insert(2, 1, 32)});
+  auto bytes = FileBytes();
+  bytes[bytes.size() - 5] ^= 0x40;  // flip a bit inside the second frame
+  ASSERT_TRUE(WriteFile(path_, bytes).ok());
+
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log.value().torn_tail);
+  ASSERT_EQ(log.value().records.size(), 1u);
+  EXPECT_EQ(log.value().records[0].seq, 1u);
+}
+
+TEST_F(WalTest, NonMonotoneSequenceEndsThePrefix) {
+  // Hand-build a log whose third frame repeats seq 2: a valid CRC cannot
+  // save a record that breaks the strictly-increasing contract.
+  std::vector<std::uint8_t> bytes;
+  EncodeRecord(Insert(1, 0, 8), &bytes);
+  EncodeRecord(Insert(2, 1, 8), &bytes);
+  EncodeRecord(Insert(2, 2, 8), &bytes);
+  ASSERT_TRUE(WriteFile(path_, bytes).ok());
+
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log.value().torn_tail);
+  EXPECT_EQ(log.value().records.size(), 2u);
+}
+
+TEST_F(WalTest, UnknownOpEndsThePrefix) {
+  std::vector<std::uint8_t> bytes;
+  EncodeRecord(Insert(1, 0, 8), &bytes);
+  WalRecord bad = Insert(2, 1, 8);
+  bad.op = static_cast<WalOp>(9);
+  EncodeRecord(bad, &bytes);
+  ASSERT_TRUE(WriteFile(path_, bytes).ok());
+
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log.value().torn_tail);
+  EXPECT_EQ(log.value().records.size(), 1u);
+}
+
+TEST_F(WalTest, TruncateWalRepairsATornTail) {
+  WriteLog({Insert(1, 0, 16), Insert(2, 1, 16)});
+  auto bytes = FileBytes();
+  bytes.resize(bytes.size() - 3);
+  ASSERT_TRUE(WriteFile(path_, bytes).ok());
+
+  auto torn = ReadWal(path_);
+  ASSERT_TRUE(torn.ok());
+  ASSERT_TRUE(torn.value().torn_tail);
+  ASSERT_TRUE(TruncateWal(path_, torn.value().valid_bytes).ok());
+
+  auto repaired = ReadWal(path_);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_FALSE(repaired.value().torn_tail);
+  EXPECT_EQ(repaired.value().records.size(), 1u);
+  EXPECT_EQ(FileBytes().size(), repaired.value().valid_bytes);
+}
+
+TEST_F(WalTest, AppendIsBufferedUntilSync) {
+  auto writer = WalWriter::Open(path_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Append(Insert(1, 0, 16)).ok());
+  // Not yet durable: the file holds nothing (or does not exist).
+  auto before = ReadWal(path_);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before.value().records.empty());
+
+  ASSERT_TRUE(writer.value()->Sync(1).ok());
+  auto after = ReadWal(path_);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().records.size(), 1u);
+}
+
+TEST_F(WalTest, SyncIsIdempotentPerSequence) {
+  auto writer = WalWriter::Open(path_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Append(Insert(1, 0, 16)).ok());
+  ASSERT_TRUE(writer.value()->Sync(1).ok());
+  const auto stats_once = writer.value()->stats();
+  // A second sync of the same sequence must not touch the disk again.
+  ASSERT_TRUE(writer.value()->Sync(1).ok());
+  EXPECT_EQ(writer.value()->stats().sync_batches, stats_once.sync_batches);
+  EXPECT_EQ(writer.value()->stats().bytes_written, stats_once.bytes_written);
+}
+
+TEST_F(WalTest, GroupCommitBatchesConcurrentSyncs) {
+  auto opened = WalWriter::Open(path_);
+  ASSERT_TRUE(opened.ok());
+  WalWriter* writer = opened.value().get();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 32;
+  std::atomic<std::uint64_t> next_seq{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t seq = next_seq.fetch_add(1) + 1;
+        ASSERT_TRUE(writer->Append(Insert(seq, seq - 1, 32)).ok());
+        ASSERT_TRUE(writer->Sync(seq).ok());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto stats = writer->stats();
+  EXPECT_EQ(stats.records_appended, kThreads * kPerThread);
+  EXPECT_EQ(stats.records_synced, kThreads * kPerThread);
+  // Group commit's whole point: far fewer fsync batches than records.
+  // (>= 1 and <= records always holds; strictly fewer is overwhelmingly
+  // likely with 8 contending threads, but not guaranteed — so only the
+  // contract, not the amortization, is asserted.)
+  EXPECT_GE(stats.sync_batches, 1u);
+  EXPECT_LE(stats.sync_batches, stats.records_synced);
+
+  // NOTE: appends above race on seq ORDER (fetch_add then lock), so the
+  // file may hold frames out of order — ReadWal treats a seq inversion as
+  // a tail break by contract. What must hold: the valid prefix parses and
+  // every parsed record is intact.
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  for (std::size_t i = 1; i < log.value().records.size(); ++i) {
+    EXPECT_GT(log.value().records[i].seq, log.value().records[i - 1].seq);
+  }
+}
+
+TEST_F(WalTest, TruncateToEmptyResetsTheLog) {
+  auto writer = WalWriter::Open(path_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Append(Insert(1, 0, 64)).ok());
+  ASSERT_TRUE(writer.value()->SyncAll().ok());
+  ASSERT_TRUE(writer.value()->TruncateToEmpty().ok());
+
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log.value().records.empty());
+  EXPECT_FALSE(log.value().torn_tail);
+
+  // The writer keeps appending after a truncate (same fd, O_APPEND).
+  ASSERT_TRUE(writer.value()->Append(Insert(2, 1, 64)).ok());
+  ASSERT_TRUE(writer.value()->SyncAll().ok());
+  auto after = ReadWal(path_);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after.value().records.size(), 1u);
+  EXPECT_EQ(after.value().records[0].seq, 2u);
+}
+
+TEST_F(WalTest, TruncateWithUnsyncedRecordsIsRejected) {
+  auto writer = WalWriter::Open(path_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Append(Insert(1, 0, 16)).ok());
+  const Status status = writer.value()->TruncateToEmpty();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WalTest, InjectedAppendFailureRejectsTheRecordOnly) {
+  auto writer = WalWriter::Open(path_);
+  ASSERT_TRUE(writer.ok());
+  {
+    fault::ScopedFailpoint fp("wal/append", {});
+    EXPECT_EQ(writer.value()->Append(Insert(1, 0, 16)).code(),
+              StatusCode::kIOError);
+  }
+  // The writer is NOT latched: the record never entered the buffer.
+  ASSERT_TRUE(writer.value()->Append(Insert(2, 0, 16)).ok());
+  ASSERT_TRUE(writer.value()->SyncAll().ok());
+}
+
+TEST_F(WalTest, InjectedSyncFailureLatchesTheWriter) {
+  auto writer = WalWriter::Open(path_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Append(Insert(1, 0, 16)).ok());
+  {
+    fault::ScopedFailpoint fp("wal/sync", {});
+    EXPECT_EQ(writer.value()->Sync(1).code(), StatusCode::kIOError);
+  }
+  // Durability of the tail is now unknown; everything must report failed.
+  EXPECT_EQ(writer.value()->Append(Insert(2, 1, 16)).code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(writer.value()->Sync(1).code(), StatusCode::kIOError);
+  EXPECT_EQ(writer.value()->TruncateToEmpty().code(), StatusCode::kIOError);
+}
+
+TEST_F(WalTest, InjectedFsyncFailureLatchesTheWriter) {
+  auto writer = WalWriter::Open(path_);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Append(Insert(1, 0, 16)).ok());
+  {
+    fault::FailpointConfig config;
+    config.match = kWalFileName;
+    fault::ScopedFailpoint fp("fs/fsync", config);
+    EXPECT_EQ(writer.value()->Sync(1).code(), StatusCode::kIOError);
+  }
+  EXPECT_EQ(writer.value()->Append(Insert(2, 1, 16)).code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace mvp::wal

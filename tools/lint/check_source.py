@@ -59,7 +59,8 @@ TESTDATA_DIR = "tools/lint/testdata"
 
 SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
 
-RAW_SYSCALL_RE = re.compile(r"(?<![\w:])::(open|write|fsync|rename|mmap)\s*\(")
+RAW_SYSCALL_RE = re.compile(
+    r"(?<![\w:])::(open|write|fsync|rename|ftruncate|mmap)\s*\(")
 RAW_MUTEX_RE = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|condition_variable(_any)?)\b")
 MUTEX_MEMBER_RE = re.compile(

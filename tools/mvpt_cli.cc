@@ -37,6 +37,20 @@
 //                                # load + verify the committed generation
 //                                # (docs/index_format.md has the layout);
 //                                # --flat serves straight out of the mapping
+//   mvpt insert --dir store/ --metric l1|l2|linf
+//               (--point "x1,x2,..." | --input data.csv) [--checkpoint]
+//                                # durably insert into the store's dynamic
+//                                # overlay (WAL-logged, fsynced before ack);
+//                                # --checkpoint folds the memtable into a
+//                                # delta generation afterwards
+//   mvpt delete --dir store/ --metric l1|l2|linf --id N [--checkpoint]
+//                                # durably delete the object with stable id N
+//   mvpt compact --dir store/ --metric l1|l2|linf [--threads N] [--prune]
+//                                # major merge: fold memtable + tombstones
+//                                # into a fresh full generation; --prune
+//                                # removes generations no longer referenced
+//   mvpt wal-dump --dir store/   # decode the write-ahead log: one line per
+//                                # record, plus torn-tail diagnostics
 //   mvpt selftest          # end-to-end smoke test in a temp directory
 //
 // Text (edit-distance) mode: pass --type words to build/query/validate;
@@ -60,6 +74,7 @@
 #include "common/codec.h"
 #include "common/serialize.h"
 #include "core/mvp_tree.h"
+#include "dynamic/dynamic_overlay.h"
 #include "dataset/histogram.h"
 #include "dataset/vector_gen.h"
 #include "harness/table.h"
@@ -70,6 +85,7 @@
 #include "serve/sharded_index.h"
 #include "serve/thread_pool.h"
 #include "snapshot/snapshot_store.h"
+#include "wal/wal.h"
 
 namespace mvp::tools {
 namespace {
@@ -108,7 +124,8 @@ int Fail(const std::string& message) {
 int Usage() {
   std::fprintf(stderr,
                "usage: mvpt gen|build|stats|query|hist|validate|serve-bench|"
-               "snapshot-save|snapshot-load|selftest [--key value ...]\n"
+               "snapshot-save|snapshot-load|insert|delete|compact|wal-dump|"
+               "selftest [--key value ...]\n"
                "see the header of tools/mvpt_cli.cc for full syntax\n");
   return 2;
 }
@@ -860,8 +877,14 @@ int SnapshotLoadWith(const Args& args, Metric metric) {
                 results.size(), query_ms,
                 static_cast<unsigned long long>(stats.distance_computations),
                 load_ms + query_ms);
+    // Compacted dynamic generations carry a dense-id -> stable-id map;
+    // report stable ids so the output matches what insert/delete accept.
+    const auto& stable = loaded.value().stable_ids;
     for (const auto& hit : results) {
-      std::printf("  id=%zu distance=%.6f\n", hit.id, hit.distance);
+      std::printf("  id=%llu distance=%.6f\n",
+                  static_cast<unsigned long long>(
+                      hit.id < stable.size() ? stable[hit.id] : hit.id),
+                  hit.distance);
     }
   }
   return 0;
@@ -874,6 +897,152 @@ int RunSnapshotLoad(const Args& args) {
   if (metric == "l2") return SnapshotLoadWith(args, metric::L2());
   if (metric == "linf") return SnapshotLoadWith(args, metric::LInf());
   return Fail("unknown --metric (l1|l2|linf)");
+}
+
+// ---- insert / delete / compact / wal-dump (online updates) -----------------
+
+template <typename Metric>
+int MutateWith(const Args& args, Metric metric, bool erase) {
+  using Overlay = dynamic::DynamicOverlay<Vector, Metric, VectorCodec>;
+  auto opened =
+      Overlay::Open(args.Get("dir"), std::move(metric), VectorCodec());
+  if (!opened.ok()) return Fail(opened.status().ToString());
+  Overlay& overlay = *opened.value();
+
+  if (erase) {
+    if (!args.Has("id")) return Fail("delete requires --id");
+    const auto id = static_cast<std::size_t>(args.GetInt("id", 0));
+    const Status erased = overlay.Erase(id);
+    if (!erased.ok()) return Fail(erased.ToString());
+    std::printf("deleted id=%zu (durable)\n", id);
+  } else {
+    std::vector<Vector> points;
+    if (args.Has("point")) {
+      auto point = ParseVector(args.Get("point"));
+      if (!point.ok()) return Fail(point.status().ToString());
+      points.push_back(std::move(point).ValueOrDie());
+    } else if (args.Has("input")) {
+      auto data = LoadCsv(args.Get("input"));
+      if (!data.ok()) return Fail(data.status().ToString());
+      points = std::move(data).ValueOrDie();
+    } else {
+      return Fail("insert requires --point or --input");
+    }
+    std::size_t first = 0, last = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      auto id = overlay.Insert(std::move(points[i]));
+      if (!id.ok()) return Fail(id.status().ToString());
+      if (i == 0) first = id.value();
+      last = id.value();
+    }
+    if (points.size() == 1) {
+      std::printf("inserted id=%zu (durable)\n", first);
+    } else {
+      std::printf("inserted %zu objects, ids %zu..%zu (durable)\n",
+                  points.size(), first, last);
+    }
+  }
+
+  if (args.Has("checkpoint")) {
+    auto gen = overlay.Checkpoint();
+    if (!gen.ok()) return Fail(gen.status().ToString());
+    std::printf("checkpointed into generation %llu\n",
+                static_cast<unsigned long long>(gen.value()));
+  }
+  const auto wal = overlay.wal_stats();
+  std::printf("store: %zu live objects (%zu in memtable, %zu tombstones); "
+              "wal: %llu records in %llu fsync batches\n",
+              overlay.size(), overlay.memtable_size(),
+              overlay.tombstone_count(),
+              static_cast<unsigned long long>(wal.records_synced),
+              static_cast<unsigned long long>(wal.sync_batches));
+  return 0;
+}
+
+int RunMutate(const Args& args, bool erase) {
+  if (args.Get("dir").empty()) return Fail("insert/delete require --dir");
+  const std::string metric = args.Get("metric", "l2");
+  if (metric == "l1") return MutateWith(args, metric::L1(), erase);
+  if (metric == "l2") return MutateWith(args, metric::L2(), erase);
+  if (metric == "linf") return MutateWith(args, metric::LInf(), erase);
+  return Fail("unknown --metric (l1|l2|linf)");
+}
+
+template <typename Metric>
+int CompactWith(const Args& args, Metric metric) {
+  using Overlay = dynamic::DynamicOverlay<Vector, Metric, VectorCodec>;
+  auto opened =
+      Overlay::Open(args.Get("dir"), std::move(metric), VectorCodec());
+  if (!opened.ok()) return Fail(opened.status().ToString());
+  Overlay& overlay = *opened.value();
+
+  const std::size_t memtable = overlay.memtable_size();
+  const std::size_t tombstones = overlay.tombstone_count();
+  const auto threads = static_cast<std::size_t>(args.GetInt("threads", 2));
+  serve::ThreadPool pool(threads > 0 ? threads : 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto gen = overlay.Compact(&pool);
+  if (!gen.ok()) return Fail(gen.status().ToString());
+  const double compact_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+  std::printf("compacted %zu memtable objects + %zu tombstones into full "
+              "generation %llu (%zu objects, %.1f ms)\n",
+              memtable, tombstones,
+              static_cast<unsigned long long>(gen.value()), overlay.size(),
+              compact_ms);
+  if (args.Has("prune")) {
+    snapshot::SnapshotStore store(args.Get("dir"));
+    std::printf("pruned %zu stale generation(s)\n",
+                store.PruneStaleGenerations());
+  }
+  return 0;
+}
+
+int RunCompact(const Args& args) {
+  if (args.Get("dir").empty()) return Fail("compact requires --dir");
+  const std::string metric = args.Get("metric", "l2");
+  if (metric == "l1") return CompactWith(args, metric::L1());
+  if (metric == "l2") return CompactWith(args, metric::L2());
+  if (metric == "linf") return CompactWith(args, metric::LInf());
+  return Fail("unknown --metric (l1|l2|linf)");
+}
+
+int RunWalDump(const Args& args) {
+  if (args.Get("dir").empty()) return Fail("wal-dump requires --dir");
+  const std::string path = args.Get("dir") + "/" + wal::kWalFileName;
+  auto log = wal::ReadWal(path);
+  if (!log.ok()) return Fail(log.status().ToString());
+  for (const auto& record : log.value().records) {
+    if (record.op == wal::WalOp::kInsert) {
+      // The payload is the codec-encoded object; decode just enough to
+      // report its shape.
+      BinaryReader reader(record.payload.data(), record.payload.size());
+      Vector v;
+      const Status decoded = VectorCodec().Read(reader, &v);
+      if (decoded.ok() && reader.AtEnd()) {
+        std::printf("seq=%llu insert id=%llu dim=%zu\n",
+                    static_cast<unsigned long long>(record.seq),
+                    static_cast<unsigned long long>(record.id), v.size());
+      } else {
+        std::printf("seq=%llu insert id=%llu payload=%zu bytes "
+                    "(not a vector)\n",
+                    static_cast<unsigned long long>(record.seq),
+                    static_cast<unsigned long long>(record.id),
+                    record.payload.size());
+      }
+    } else {
+      std::printf("seq=%llu delete id=%llu\n",
+                  static_cast<unsigned long long>(record.seq),
+                  static_cast<unsigned long long>(record.id));
+    }
+  }
+  std::printf("%zu records, %llu valid bytes%s\n", log.value().records.size(),
+              static_cast<unsigned long long>(log.value().valid_bytes),
+              log.value().torn_tail
+                  ? " + a torn tail (repaired on next recovery)"
+                  : "");
+  return 0;
 }
 
 int RunSelfTest() {
@@ -917,6 +1086,36 @@ int RunSelfTest() {
                      {"knn", "3"}};
   if (RunSnapshotLoad(snap_load) != 0) return 1;
   std::filesystem::remove_all(snap_dir);
+  // Online updates: WAL-logged mutations on a fresh store, visible to a
+  // plain snapshot-load after compaction.
+  const std::string dyn_dir = dir + "/mvpt_selftest_dyn";
+  std::filesystem::remove_all(dyn_dir);
+  std::filesystem::create_directories(dyn_dir);
+  const std::string small_csv = dir + "/mvpt_selftest_small.csv";
+  Args small_gen;
+  small_gen.named = {{"kind", "uniform"}, {"count", "200"}, {"dim", "8"},
+                     {"seed", "9"},       {"out", small_csv}};
+  if (RunGen(small_gen) != 0) return 1;
+  Args ins;
+  ins.named = {{"dir", dyn_dir}, {"metric", "l2"}, {"input", small_csv}};
+  if (RunMutate(ins, /*erase=*/false) != 0) return 1;
+  Args del;
+  del.named = {{"dir", dyn_dir}, {"metric", "l2"}, {"id", "0"}};
+  if (RunMutate(del, /*erase=*/true) != 0) return 1;
+  Args dump;
+  dump.named = {{"dir", dyn_dir}};
+  if (RunWalDump(dump) != 0) return 1;
+  Args compact;
+  compact.named = {{"dir", dyn_dir}, {"metric", "l2"}, {"prune", "1"}};
+  if (RunCompact(compact) != 0) return 1;
+  Args dyn_load;
+  dyn_load.named = {{"dir", dyn_dir},
+                    {"metric", "l2"},
+                    {"point", "0.5,0.5,0.5,0.5,0.5,0.5,0.5,0.5"},
+                    {"knn", "3"}};
+  if (RunSnapshotLoad(dyn_load) != 0) return 1;
+  std::filesystem::remove_all(dyn_dir);
+  std::remove(small_csv.c_str());
   // Word-mode round trip.
   const std::string words_txt = dir + "/mvpt_selftest_words.txt";
   const std::string words_idx = dir + "/mvpt_selftest_words.mvpt";
@@ -968,6 +1167,10 @@ int Main(int argc, char** argv) {
   if (args.command == "serve-bench") return RunServeBench(args);
   if (args.command == "snapshot-save") return RunSnapshotSave(args);
   if (args.command == "snapshot-load") return RunSnapshotLoad(args);
+  if (args.command == "insert") return RunMutate(args, /*erase=*/false);
+  if (args.command == "delete") return RunMutate(args, /*erase=*/true);
+  if (args.command == "compact") return RunCompact(args);
+  if (args.command == "wal-dump") return RunWalDump(args);
   if (args.command == "selftest") return RunSelfTest();
   return Usage();
 }
