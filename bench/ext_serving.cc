@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,10 +16,13 @@
 #include "core/mvp_tree.h"
 #include "dataset/vector_gen.h"
 #include "metric/lp.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serve/executor.h"
 #include "serve/serve_stats.h"
 #include "serve/sharded_index.h"
 #include "serve/thread_pool.h"
+#include "snapshot/snapshot_store.h"
 
 namespace mvp::bench {
 namespace {
@@ -170,6 +174,122 @@ int Run() {
                 batch.size(), static_cast<unsigned long long>(snap.ok),
                 static_cast<unsigned long long>(snap.shed), wall_ms);
   }
+#if defined(MVPTREE_FAULT_FS_POSIX)
+  // Network serving: the same workload through mvpt-server's loopback RPC
+  // path — one round trip per query vs one streaming batch — against the
+  // in-process executor over the identical flat snapshot. The deltas are
+  // the cost of the wire: framing, CRCs, syscalls, and (for the per-query
+  // mode) a full RTT of latency each.
+  {
+    const std::string store_dir =
+        (std::filesystem::temp_directory_path() / "mvpt_bench_net_store")
+            .string();
+    std::filesystem::remove_all(store_dir);
+    Sharded::Options options;
+    options.num_shards = 4;
+    const Sharded built =
+        Sharded::Build(data, L2(), options, &build_pool).ValueOrDie();
+    snapshot::SnapshotStore store(store_dir);
+    const auto saved = store.SaveFlat(built);
+    if (!saved.ok()) {
+      std::printf("network section skipped: %s\n",
+                  saved.status().ToString().c_str());
+      return all_match ? 0 : 1;
+    }
+
+    net::CollectionOptions collection;
+    collection.name = "bench";
+    collection.dir = store_dir;
+    // Throughput run: the whole batch may be in flight at once; do not let
+    // default admission shed it.
+    collection.admission.max_in_flight = std::size_t{1} << 20;
+    net::ServerOptions server_options;
+    server_options.threads = 4;
+    server_options.collections.push_back(collection);
+    auto server = net::Server::Start(std::move(server_options));
+    auto client = server.ok()
+                      ? net::Client::Connect("127.0.0.1", server.value()->port())
+                      : Result<net::Client>(server.status());
+    if (!client.ok()) {
+      std::printf("network section skipped: %s\n",
+                  client.status().ToString().c_str());
+      std::filesystem::remove_all(store_dir);
+      return all_match ? 0 : 1;
+    }
+
+    std::vector<net::WireQuery> wire_batch;
+    for (const auto& q : query_points) {
+      net::WireQuery wq;
+      wq.kind = 0;
+      wq.radius = radius;
+      wq.point = q;
+      wire_batch.push_back(std::move(wq));
+    }
+
+    // In-process floor: the identical snapshot through RunBatch directly.
+    serve::ThreadPool pool(4);
+    const auto opened = store.OpenFlat(L2(), &pool);
+    if (!opened.ok()) {
+      std::printf("network section skipped: %s\n",
+                  opened.status().ToString().c_str());
+      server.value()->Stop();
+      std::filesystem::remove_all(store_dir);
+      return all_match ? 0 : 1;
+    }
+    const auto t_local = Clock::now();
+    const auto local = serve::RunBatch(opened.value().index, batch, &pool);
+    const double local_ms = MillisSince(t_local);
+
+    // Streaming batch: one request frame carrying every query, one
+    // response frame per outcome, a single executor batch server-side.
+    const auto t_stream = Clock::now();
+    const auto streamed = client.value().BatchQuery("bench", wire_batch);
+    const double stream_ms = MillisSince(t_stream);
+
+    // Per-query RPCs: a full round trip each, serially — the latency-bound
+    // worst case.
+    const auto t_rpc = Clock::now();
+    std::size_t rpc_ok = 0;
+    for (const auto& wq : wire_batch) {
+      auto outcome = client.value().Query("bench", wq);
+      if (outcome.ok() && outcome.value().status_code == 0) ++rpc_ok;
+    }
+    const double rpc_ms = MillisSince(t_rpc);
+
+    bool net_match = streamed.ok() && rpc_ok == wire_batch.size();
+    if (streamed.ok()) {
+      for (std::size_t i = 0; i < streamed.value().size(); ++i) {
+        if (streamed.value()[i].status_code != 0 ||
+            streamed.value()[i].neighbors != baseline[i].neighbors ||
+            local[i].neighbors != baseline[i].neighbors) {
+          net_match = false;
+        }
+      }
+    }
+    all_match = all_match && net_match;
+
+    harness::Table net_table({"path", "wall_ms", "qps", "vs_inproc"});
+    const auto qps = [&](double ms) {
+      return harness::FormatDouble(
+          1000.0 * static_cast<double>(wire_batch.size()) / ms, 0);
+    };
+    net_table.AddRow({"in-process RunBatch",
+                      harness::FormatDouble(local_ms, 1), qps(local_ms),
+                      "1.00"});
+    net_table.AddRow({"loopback streaming batch",
+                      harness::FormatDouble(stream_ms, 1), qps(stream_ms),
+                      harness::FormatDouble(local_ms / stream_ms, 2)});
+    net_table.AddRow({"loopback per-query RPC",
+                      harness::FormatDouble(rpc_ms, 1), qps(rpc_ms),
+                      harness::FormatDouble(local_ms / rpc_ms, 2)});
+    std::cout << net_table.ToText();
+    std::printf("network results identical to the in-process executor: %s\n",
+                net_match ? "yes" : "NO (BUG)");
+    server.value()->Stop();
+    std::filesystem::remove_all(store_dir);
+  }
+#endif  // MVPTREE_FAULT_FS_POSIX
+
   return all_match ? 0 : 1;
 }
 

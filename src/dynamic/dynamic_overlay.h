@@ -231,6 +231,64 @@ class DynamicOverlay {
     return merged;
   }
 
+  /// RangeSearch appending unsorted hits (stable ids) into the caller-owned
+  /// `*out` — the serve::RunBatch harvest interface, so mutable collections
+  /// degrade under deadlines exactly like static ones. On a mid-search
+  /// cancellation everything the base found before the cut is
+  /// tombstone-filtered, translated and appended (each hit passed the exact
+  /// d <= r test, so the harvest is a true subset of the live answer)
+  /// before CancelledError is rethrown; the memtable is skipped — its
+  /// deadline is already blown. Memtable distance evaluations are not
+  /// cancellation points (the forest runs the raw metric); base shards are,
+  /// which is where the index-proportional work lives.
+  void RangeSearchInto(const Object& query, double radius,
+                       std::vector<Neighbor>* out,
+                       SearchStats* stats = nullptr) const MVP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    bool cancelled = false;
+    if (base_.has_value()) {
+      std::vector<Neighbor> base_hits;
+      try {
+        base_->RangeSearchInto(query, radius, &base_hits, stats);
+      } catch (const serve::CancelledError&) {
+        cancelled = true;
+      }
+      AppendBaseHitsLocked(base_hits, out);
+    }
+    if (!cancelled) {
+      AppendMemtableHitsLocked(memtable_.RangeSearch(query, radius, stats),
+                               out);
+    }
+    if (cancelled) throw serve::CancelledError();
+  }
+
+  /// KnnSearch's harvest interface: appends each base shard's candidate set
+  /// (over-fetched by the tombstone count, so k live candidates survive the
+  /// filter whenever the base holds that many) plus the memtable's best k,
+  /// all unsorted — the caller sorts and trims to k, landing on exactly the
+  /// KnnSearch result. On cancellation the candidates evaluated so far are
+  /// appended before the rethrow, same contract as the sharded index.
+  void KnnSearchInto(const Object& query, std::size_t k,
+                     std::vector<Neighbor>* out,
+                     SearchStats* stats = nullptr) const MVP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    bool cancelled = false;
+    if (base_.has_value()) {
+      std::vector<Neighbor> base_hits;
+      try {
+        base_->KnnSearchInto(query, k + tombstones_.size(), &base_hits,
+                             stats);
+      } catch (const serve::CancelledError&) {
+        cancelled = true;
+      }
+      AppendBaseHitsLocked(base_hits, out);
+    }
+    if (!cancelled) {
+      AppendMemtableHitsLocked(memtable_.KnnSearch(query, k, stats), out);
+    }
+    if (cancelled) throw serve::CancelledError();
+  }
+
   std::size_t size() const MVP_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return (base_.has_value() ? base_->size() : 0) - tombstones_.size() +
@@ -327,6 +385,29 @@ class DynamicOverlay {
   /// Stable id of base global id `g`.
   std::uint64_t BaseStableLocked(std::size_t g) const MVP_REQUIRES(mu_) {
     return base_stable_ids_.empty() ? g : base_stable_ids_[g];
+  }
+
+  /// Filters base hits through the tombstones and appends them to `*out`
+  /// with their stable ids.
+  void AppendBaseHitsLocked(const std::vector<Neighbor>& hits,
+                            std::vector<Neighbor>* out) const
+      MVP_REQUIRES(mu_) {
+    for (const Neighbor& hit : hits) {
+      const std::uint64_t stable = BaseStableLocked(hit.id);
+      if (tombstones_.count(stable) != 0) continue;
+      out->push_back(
+          Neighbor{static_cast<std::size_t>(stable), hit.distance});
+    }
+  }
+
+  /// Appends memtable hits to `*out` with their stable ids.
+  void AppendMemtableHitsLocked(const std::vector<Neighbor>& hits,
+                                std::vector<Neighbor>* out) const
+      MVP_REQUIRES(mu_) {
+    for (const Neighbor& hit : hits) {
+      out->push_back(Neighbor{
+          static_cast<std::size_t>(memtable_offset_) + hit.id, hit.distance});
+    }
   }
 
   /// True when `stable_id` names a live object (base or memtable).

@@ -1,0 +1,141 @@
+#include "fault/fault_net.h"
+
+#if defined(MVPTREE_FAULT_FS_POSIX)
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "fault/failpoint.h"
+
+namespace mvp::fault::net {
+namespace {
+
+struct Injection {
+  FailpointConfig config;
+  std::uint64_t ordinal = 0;  // 1-based fire count
+};
+
+/// Evaluates failpoint `name` for `detail`; fills `*injection` and returns
+/// true when the site should misbehave. Mirrors the fault::fs helper.
+bool ShouldFail(const char* name, const char* detail, Injection* injection) {
+  if (!Failpoints::AnyArmed()) return false;
+  return Failpoints::Instance().Fire(name, detail == nullptr ? "" : detail,
+                                     &injection->config,
+                                     &injection->ordinal);
+}
+
+/// The common "fail this syscall" tail: throw on crash configs, otherwise
+/// plant the injected errno and report failure through `fail_value`. The
+/// default errno is ECONNRESET — the characteristic failure of a peer
+/// vanishing mid-conversation — rather than fs's EIO.
+template <typename T>
+T Fail(const Injection& injection, T fail_value) {
+  if (injection.config.crash) throw CrashError();
+  errno = injection.config.error_code != 0 ? injection.config.error_code
+                                           : ECONNRESET;
+  return fail_value;
+}
+
+#if defined(MSG_NOSIGNAL)
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+}  // namespace
+
+int Socket(int domain, int type, int protocol, const char* detail) {
+  Injection injection;
+  if (ShouldFail("net/socket", detail, &injection)) return Fail(injection, -1);
+  return ::socket(domain, type, protocol);
+}
+
+int Bind(int fd, const struct ::sockaddr* addr, socklen_t len,
+         const char* detail) {
+  Injection injection;
+  if (ShouldFail("net/bind", detail, &injection)) return Fail(injection, -1);
+  return ::bind(fd, addr, len);
+}
+
+int Listen(int fd, int backlog, const char* detail) {
+  Injection injection;
+  if (ShouldFail("net/listen", detail, &injection)) return Fail(injection, -1);
+  return ::listen(fd, backlog);
+}
+
+int Accept(int fd, const char* detail) {
+  Injection injection;
+  if (ShouldFail("net/accept", detail, &injection)) return Fail(injection, -1);
+  return ::accept(fd, nullptr, nullptr);
+}
+
+int Connect(int fd, const struct ::sockaddr* addr, socklen_t len,
+            const char* detail) {
+  Injection injection;
+  if (ShouldFail("net/connect", detail, &injection)) {
+    return Fail(injection, -1);
+  }
+  return ::connect(fd, addr, len);
+}
+
+long Send(int fd, const void* buf, std::size_t count, const char* detail) {
+  Injection injection;
+  if (ShouldFail("net/send", detail, &injection)) {
+    // A configured short write transmits real partial progress on the FIRST
+    // fire — those bytes genuinely reach the peer, like a connection torn
+    // down mid-frame — and fails hard (error or crash) from the second fire
+    // on, so the caller's send loop cannot quietly complete the frame.
+    if (injection.config.short_write >= 0 && injection.ordinal == 1) {
+      const std::size_t n = std::min(
+          count, static_cast<std::size_t>(injection.config.short_write));
+      const long sent = ::send(fd, buf, n, kSendFlags);
+      if (injection.config.crash) throw CrashError();
+      return sent;
+    }
+    return Fail(injection, static_cast<long>(-1));
+  }
+  return ::send(fd, buf, count, kSendFlags);
+}
+
+long Recv(int fd, void* buf, std::size_t count, const char* detail) {
+  Injection injection;
+  if (ShouldFail("net/recv", detail, &injection)) {
+    return Fail(injection, static_cast<long>(-1));
+  }
+  return ::recv(fd, buf, count, 0);
+}
+
+int CloseSocket(int fd, const char* detail) {
+  Injection injection;
+  if (ShouldFail("net/close", detail, &injection)) {
+    // Really close unless simulating a crash, so tests do not leak fds —
+    // same reasoning as fs::Close.
+    if (!injection.config.crash) ::close(fd);
+    return Fail(injection, -1);
+  }
+  return ::close(fd);
+}
+
+int ShutdownSocket(int fd, int how, const char* detail) {
+  Injection injection;
+  if (ShouldFail("net/shutdown", detail, &injection)) {
+    return Fail(injection, -1);
+  }
+  return ::shutdown(fd, how);
+}
+
+int GetSockName(int fd, struct ::sockaddr* addr, socklen_t* len) {
+  return ::getsockname(fd, addr, len);
+}
+
+int SetSockOpt(int fd, int level, int optname, const void* optval,
+               socklen_t optlen) {
+  return ::setsockopt(fd, level, optname, optval, optlen);
+}
+
+}  // namespace mvp::fault::net
+
+#endif  // MVPTREE_FAULT_FS_POSIX

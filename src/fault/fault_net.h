@@ -1,0 +1,87 @@
+#ifndef MVPTREE_FAULT_FAULT_NET_H_
+#define MVPTREE_FAULT_FAULT_NET_H_
+
+#include "fault/fault_fs.h"  // CrashError, the POSIX platform gate
+
+/// \file
+/// Injectable socket seam — the network twin of fault::fs. Everything in
+/// src/net/ routes its socket syscalls through these wrappers instead of
+/// calling ::socket / ::connect / ::send / ::recv directly (the repo lint
+/// enforces this outside src/fault/). Each wrapper evaluates a failpoint
+/// named after the operation — "net/socket", "net/bind", "net/listen",
+/// "net/accept", "net/connect", "net/send", "net/recv", "net/close",
+/// "net/shutdown" — with a caller-supplied detail string (an endpoint or
+/// role label such as "server:accept" or "client:127.0.0.1:4717"), so a
+/// test can make *the third recv on the replication connection
+/// specifically* fail with ECONNRESET, or a send mid-frame throw
+/// CrashError, without real network trouble.
+///
+/// Crash configs mean the same thing as in fault::fs: the wrapper throws
+/// CrashError *instead of performing the operation*, simulating the process
+/// dying at that exact syscall. Send sites honour `short_write` the same
+/// way fs::Write does — the first fire really transmits that many bytes
+/// before failing, reproducing a connection dropped mid-frame
+/// deterministically.
+///
+/// With no failpoint armed every wrapper is the raw syscall plus one
+/// relaxed atomic load.
+
+#if defined(MVPTREE_FAULT_FS_POSIX)
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace mvp::fault::net {
+
+/// ::socket. Failpoint "net/socket" (detail: caller label) → -1 / crashes.
+int Socket(int domain, int type, int protocol, const char* detail);
+
+/// ::bind. Failpoint "net/bind" (detail: caller label).
+int Bind(int fd, const struct ::sockaddr* addr, socklen_t len,
+         const char* detail);
+
+/// ::listen. Failpoint "net/listen" (detail: caller label).
+int Listen(int fd, int backlog, const char* detail);
+
+/// ::accept. Failpoint "net/accept" (detail: caller label). Peer address is
+/// not reported — loopback serving has no use for it.
+int Accept(int fd, const char* detail);
+
+/// ::connect. Failpoint "net/connect" (detail: caller label).
+int Connect(int fd, const struct ::sockaddr* addr, socklen_t len,
+            const char* detail);
+
+/// ::send (MSG_NOSIGNAL — a dead peer yields EPIPE, never SIGPIPE).
+/// Failpoint "net/send" (detail: caller label). A fire with
+/// `short_write >= 0` really transmits min(short_write, count) bytes before
+/// failing or crashing — the mid-frame disconnect.
+long Send(int fd, const void* buf, std::size_t count, const char* detail);
+
+/// ::recv. Failpoint "net/recv" (detail: caller label) → -1 (default errno
+/// ECONNRESET) / crashes.
+long Recv(int fd, void* buf, std::size_t count, const char* detail);
+
+/// ::close on a socket fd. Failpoint "net/close" (detail: caller label).
+int CloseSocket(int fd, const char* detail);
+
+/// ::shutdown. Failpoint "net/shutdown" (detail: caller label). Used to
+/// unblock a peer's recv/accept during teardown.
+int ShutdownSocket(int fd, int how, const char* detail);
+
+/// ::getsockname — reads back the kernel-assigned port after binding port
+/// 0. No failpoint: it cannot fail in a way a drill cares about, and it is
+/// only called once per listener.
+int GetSockName(int fd, struct ::sockaddr* addr, socklen_t* len);
+
+/// ::setsockopt. No failpoint: best-effort socket tuning (SO_REUSEADDR);
+/// callers ignore failures.
+int SetSockOpt(int fd, int level, int optname, const void* optval,
+               socklen_t optlen);
+
+}  // namespace mvp::fault::net
+
+#endif  // MVPTREE_FAULT_FS_POSIX
+
+#endif  // MVPTREE_FAULT_FAULT_NET_H_

@@ -1,0 +1,240 @@
+#include "net/client.h"
+
+#include "fault/fault_net.h"  // platform gate: defines MVPTREE_FAULT_FS_POSIX
+
+#if defined(MVPTREE_FAULT_FS_POSIX)
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mvp::net {
+
+Result<Client> Client::Connect(const std::string& host, std::uint16_t port) {
+  struct ::in_addr addr4 {};
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr4) != 1) {
+    return Status::InvalidArgument("host must be an IPv4 address: " + host);
+  }
+  const int fd = fault::net::Socket(AF_INET, SOCK_STREAM, 0, "client:connect");
+  if (fd < 0) {
+    return Status::IOError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  struct ::sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = addr4;
+  addr.sin_port = htons(port);
+  if (fault::net::Connect(fd, reinterpret_cast<const struct ::sockaddr*>(&addr),
+                          sizeof(addr), "client:connect") != 0) {
+    const Status status = Status::IOError(std::string("connect failed: ") +
+                                          std::strerror(errno));
+    // Already propagating the connect failure; nothing to add from close.
+    (void)fault::net::CloseSocket(fd, "client:connect");
+    return status;
+  }
+  // Frames go out as two small writes (header, payload); without NODELAY
+  // Nagle holds the second until the first is acked, turning every RPC
+  // into a delayed-ack round trip (~40ms). Best-effort: a socket without
+  // the option still works, just slower.
+  const int one = 1;
+  // Best-effort (see above): without the option the socket is slow, not wrong.
+  (void)fault::net::SetSockOpt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                               sizeof(one));
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    // Close() has no error channel; a failed close leaks nothing we reuse.
+    (void)fault::net::CloseSocket(fd_, "client:close");
+    fd_ = -1;
+  }
+}
+
+Result<std::vector<std::uint8_t>> Client::RoundTrip(
+    const BinaryWriter& request, std::size_t* body_offset) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  MVP_RETURN_NOT_OK(SendFrame(fd_, request.buffer(), "client:rpc"));
+  auto response = RecvFrame(fd_, "client:rpc");
+  if (!response.ok()) {
+    // A server that hangs up instead of answering is a broken conversation
+    // from the caller's point of view, whatever the framing layer called it.
+    if (response.status().code() == StatusCode::kNotFound) {
+      return Status::IOError("server closed the connection mid-rpc");
+    }
+    return response.status();
+  }
+  BinaryReader reader(response.value());
+  Status server_status;
+  MVP_RETURN_NOT_OK(DecodeResponseStatus(&reader, &server_status));
+  MVP_RETURN_NOT_OK(server_status);
+  *body_offset = reader.position();
+  return std::move(response).ValueOrDie();
+}
+
+Status Client::Ping() {
+  BinaryWriter request;
+  request.Write<std::uint32_t>(static_cast<std::uint32_t>(Op::kPing));
+  std::size_t body = 0;
+  auto response = RoundTrip(request, &body);
+  if (!response.ok()) return response.status();
+  BinaryReader reader(response.value().data() + body,
+                      response.value().size() - body);
+  std::string banner;
+  MVP_RETURN_NOT_OK(reader.ReadString(&banner));
+  std::uint32_t version = 0;
+  MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&version));
+  if (version != 1) {
+    return Status::NotSupported("server speaks protocol version " +
+                                std::to_string(version));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<WireCollectionInfo>> Client::ListCollections() {
+  BinaryWriter request;
+  request.Write<std::uint32_t>(
+      static_cast<std::uint32_t>(Op::kListCollections));
+  std::size_t body = 0;
+  auto response = RoundTrip(request, &body);
+  if (!response.ok()) return response.status();
+  BinaryReader reader(response.value().data() + body,
+                      response.value().size() - body);
+  std::uint64_t count = 0;
+  MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&count));
+  std::vector<WireCollectionInfo> collections;
+  collections.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    WireCollectionInfo info;
+    MVP_RETURN_NOT_OK(DecodeCollectionInfo(&reader, &info));
+    collections.push_back(std::move(info));
+  }
+  return collections;
+}
+
+Result<WireOutcome> Client::Query(const std::string& collection,
+                                  const WireQuery& query) {
+  BinaryWriter request;
+  request.Write<std::uint32_t>(static_cast<std::uint32_t>(Op::kQuery));
+  request.WriteString(collection);
+  EncodeQuery(query, &request);
+  std::size_t body = 0;
+  auto response = RoundTrip(request, &body);
+  if (!response.ok()) return response.status();
+  BinaryReader reader(response.value().data() + body,
+                      response.value().size() - body);
+  WireOutcome outcome;
+  MVP_RETURN_NOT_OK(DecodeOutcome(&reader, &outcome));
+  return outcome;
+}
+
+Result<std::vector<WireOutcome>> Client::BatchQuery(
+    const std::string& collection, const std::vector<WireQuery>& queries) {
+  BinaryWriter request;
+  request.Write<std::uint32_t>(static_cast<std::uint32_t>(Op::kBatchQuery));
+  request.WriteString(collection);
+  request.Write<std::uint64_t>(queries.size());
+  for (const WireQuery& query : queries) EncodeQuery(query, &request);
+  std::size_t body = 0;
+  auto response = RoundTrip(request, &body);
+  if (!response.ok()) return response.status();
+  BinaryReader header(response.value().data() + body,
+                      response.value().size() - body);
+  std::uint64_t count = 0;
+  MVP_RETURN_NOT_OK(header.Read<std::uint64_t>(&count));
+  if (count != queries.size()) {
+    return Status::Corruption("batch response count mismatches the request");
+  }
+  std::vector<WireOutcome> outcomes;
+  outcomes.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto frame = RecvFrame(fd_, "client:rpc");
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kNotFound) {
+        return Status::IOError("server closed the connection mid-batch");
+      }
+      return frame.status();
+    }
+    BinaryReader reader(frame.value());
+    WireOutcome outcome;
+    MVP_RETURN_NOT_OK(DecodeOutcome(&reader, &outcome));
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+Result<serve::ServeStatsSnapshot> Client::Stats(const std::string& collection) {
+  BinaryWriter request;
+  request.Write<std::uint32_t>(static_cast<std::uint32_t>(Op::kStats));
+  request.WriteString(collection);
+  std::size_t body = 0;
+  auto response = RoundTrip(request, &body);
+  if (!response.ok()) return response.status();
+  BinaryReader reader(response.value().data() + body,
+                      response.value().size() - body);
+  serve::ServeStatsSnapshot snapshot;
+  MVP_RETURN_NOT_OK(DecodeStats(&reader, &snapshot));
+  return snapshot;
+}
+
+Result<std::uint64_t> Client::CurrentGeneration(const std::string& collection) {
+  BinaryWriter request;
+  request.Write<std::uint32_t>(
+      static_cast<std::uint32_t>(Op::kCurrentGeneration));
+  request.WriteString(collection);
+  std::size_t body = 0;
+  auto response = RoundTrip(request, &body);
+  if (!response.ok()) return response.status();
+  BinaryReader reader(response.value().data() + body,
+                      response.value().size() - body);
+  std::uint64_t generation = 0;
+  MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&generation));
+  return generation;
+}
+
+Result<std::vector<std::uint8_t>> Client::FetchManifest(
+    const std::string& collection, std::uint64_t gen) {
+  BinaryWriter request;
+  request.Write<std::uint32_t>(static_cast<std::uint32_t>(Op::kFetchManifest));
+  request.WriteString(collection);
+  request.Write<std::uint64_t>(gen);
+  std::size_t body = 0;
+  auto response = RoundTrip(request, &body);
+  if (!response.ok()) return response.status();
+  BinaryReader reader(response.value().data() + body,
+                      response.value().size() - body);
+  std::vector<std::uint8_t> bytes;
+  MVP_RETURN_NOT_OK(reader.ReadVector(&bytes));
+  return bytes;
+}
+
+Result<std::vector<std::uint8_t>> Client::FetchChunk(
+    const std::string& collection, std::uint64_t gen, std::uint64_t offset,
+    std::uint64_t length) {
+  BinaryWriter request;
+  request.Write<std::uint32_t>(static_cast<std::uint32_t>(Op::kFetchChunk));
+  request.WriteString(collection);
+  request.Write<std::uint64_t>(gen);
+  request.Write<std::uint64_t>(offset);
+  request.Write<std::uint64_t>(length);
+  std::size_t body = 0;
+  auto response = RoundTrip(request, &body);
+  if (!response.ok()) return response.status();
+  BinaryReader reader(response.value().data() + body,
+                      response.value().size() - body);
+  std::vector<std::uint8_t> bytes;
+  MVP_RETURN_NOT_OK(reader.ReadVector(&bytes));
+  return bytes;
+}
+
+}  // namespace mvp::net
+
+#endif  // MVPTREE_FAULT_FS_POSIX

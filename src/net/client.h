@@ -1,0 +1,100 @@
+#ifndef MVPTREE_NET_CLIENT_H_
+#define MVPTREE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fault/fault_fs.h"  // platform gate: defines MVPTREE_FAULT_FS_POSIX
+#include "net/wire.h"
+#include "serve/serve_stats.h"
+
+/// \file
+/// Client side of the mvpt wire protocol: one blocking connection, one
+/// request/response in flight at a time. Every RPC returns the server's
+/// Status verbatim — a deadline miss on the server comes back as the same
+/// DeadlineExceeded (with the partial answer attached) an in-process
+/// RunBatch caller would see. Used by the `mvpt connect/query/batch-query`
+/// subcommands, the replication puller, and the loopback tests/bench.
+
+#if defined(MVPTREE_FAULT_FS_POSIX) || defined(MVPTREE_DOXYGEN)
+
+namespace mvp::net {
+
+/// A connected client. Movable, not copyable; closes on destruction.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects to `host:port`. `host` must be a dotted-quad IPv4 address or
+  /// "localhost" — the serving subsystem is loopback-scoped (see
+  /// docs/network_serving.md), so there is no resolver dependency.
+  static Result<Client> Connect(const std::string& host, std::uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Round-trips a no-op; OK means the server speaks the protocol.
+  Status Ping();
+
+  /// All collections the server hosts, with serving generation and size.
+  Result<std::vector<WireCollectionInfo>> ListCollections();
+
+  /// Runs one query; the outcome's own status carries the query verdict
+  /// (OK / DeadlineExceeded / ResourceExhausted / NotFound), while the
+  /// returned Result is about the conversation itself.
+  Result<WireOutcome> Query(const std::string& collection,
+                            const WireQuery& query);
+
+  /// Runs a batch in one round trip; outcomes stream back per-query and
+  /// arrive in input order.
+  Result<std::vector<WireOutcome>> BatchQuery(
+      const std::string& collection, const std::vector<WireQuery>& queries);
+
+  /// The collection's cumulative ServeStats (ok/partial/expired/shed and
+  /// latency percentiles), as maintained server-side by the executor.
+  Result<serve::ServeStatsSnapshot> Stats(const std::string& collection);
+
+  /// The committed snapshot generation of the collection's store.
+  Result<std::uint64_t> CurrentGeneration(const std::string& collection);
+
+  /// Raw MANIFEST bytes of generation `gen` (replication).
+  Result<std::vector<std::uint8_t>> FetchManifest(const std::string& collection,
+                                                  std::uint64_t gen);
+
+  /// Raw container bytes `[offset, offset+length)` of generation `gen`
+  /// (replication; the server caps `length` per request).
+  Result<std::vector<std::uint8_t>> FetchChunk(const std::string& collection,
+                                               std::uint64_t gen,
+                                               std::uint64_t offset,
+                                               std::uint64_t length);
+
+  void Close();
+
+ private:
+  /// Sends `request` as one frame and receives the response frame,
+  /// returning its payload with the leading response status already
+  /// decoded and checked (`*body_offset` points past it).
+  Result<std::vector<std::uint8_t>> RoundTrip(const BinaryWriter& request,
+                                              std::size_t* body_offset);
+
+  int fd_ = -1;
+};
+
+}  // namespace mvp::net
+
+#endif  // MVPTREE_FAULT_FS_POSIX
+
+#endif  // MVPTREE_NET_CLIENT_H_

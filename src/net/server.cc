@@ -1,0 +1,670 @@
+#include "net/server.h"
+
+#include "fault/fault_net.h"  // platform gate: defines MVPTREE_FAULT_FS_POSIX
+
+#if defined(MVPTREE_FAULT_FS_POSIX)
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/codec.h"
+#include "common/thread_annotations.h"
+#include "dynamic/dynamic_overlay.h"
+#include "metric/lp.h"
+#include "net/wire.h"
+#include "serve/executor.h"
+#include "serve/serve_stats.h"
+#include "serve/sharded_index.h"
+#include "serve/thread_pool.h"
+#include "snapshot/async_loader.h"
+#include "snapshot/mmap_file.h"
+#include "snapshot/snapshot_store.h"
+
+namespace mvp::net {
+namespace {
+
+using Vector = std::vector<double>;
+
+/// Server-side ceiling on one FetchChunk slice. Keeps a replication pull's
+/// frames well under kMaxFramePayload and bounds per-request memory.
+constexpr std::uint64_t kMaxFetchChunkBytes = std::uint64_t{8} << 20;
+
+serve::BatchQuery<Vector> ToBatchQuery(const WireQuery& wire,
+                                       std::uint64_t max_timeout_ns) {
+  serve::BatchQuery<Vector> query;
+  query.kind = wire.kind == 1 ? serve::BatchQuery<Vector>::Kind::kKnn
+                              : serve::BatchQuery<Vector>::Kind::kRange;
+  query.object = wire.point;
+  query.radius = wire.radius;
+  query.k = static_cast<std::size_t>(wire.k);
+  const std::uint64_t timeout_ns = std::min(wire.timeout_ns, max_timeout_ns);
+  query.timeout = timeout_ns == kNoTimeout
+                      ? std::chrono::nanoseconds::max()
+                      : std::chrono::nanoseconds(timeout_ns);
+  query.max_distance_computations = wire.max_distance_computations;
+  return query;
+}
+
+WireOutcome ToWireOutcome(const serve::QueryOutcome& outcome) {
+  WireOutcome wire;
+  wire.status_code = static_cast<std::uint32_t>(outcome.status.code());
+  wire.status_message = outcome.status.message();
+  wire.partial = outcome.partial;
+  wire.latency_ns = static_cast<std::uint64_t>(outcome.latency.count());
+  wire.distance_computations = outcome.distance_computations;
+  wire.search = outcome.search;
+  wire.neighbors = outcome.neighbors;
+  return wire;
+}
+
+/// One tenant: the metric-erased facade the dispatch loop talks to.
+/// Stats and admission state live here so both collection flavours share
+/// the accounting; the derived classes own the index and the load path.
+class Collection {
+ public:
+  explicit Collection(CollectionOptions options)
+      : options_(std::move(options)), admission_(options_.admission) {}
+  virtual ~Collection() = default;
+
+  /// Initial load. A static collection over an empty store opens
+  /// successfully and serves NotFound until a generation arrives.
+  virtual Status Open(serve::ThreadPool* pool) = 0;
+  /// Hot-swap to the store's committed generation (static only).
+  virtual Status Refresh(serve::ThreadPool* pool) = 0;
+  /// Runs `queries` through serve::RunBatch with this tenant's admission
+  /// controller and deadline cap; outcomes in input order.
+  virtual std::vector<WireOutcome> Run(const std::vector<WireQuery>& queries,
+                                       serve::ThreadPool* pool) = 0;
+  virtual WireCollectionInfo Info() const = 0;
+
+  const CollectionOptions& options() const { return options_; }
+  serve::ServeStatsSnapshot StatsSnapshot() const { return stats_.Snapshot(); }
+
+ protected:
+  std::vector<serve::BatchQuery<Vector>> ToBatch(
+      const std::vector<WireQuery>& queries) const {
+    std::vector<serve::BatchQuery<Vector>> batch;
+    batch.reserve(queries.size());
+    for (const WireQuery& q : queries) {
+      batch.push_back(ToBatchQuery(q, options_.max_timeout_ns));
+    }
+    return batch;
+  }
+
+  CollectionOptions options_;
+  serve::ServeStats stats_;
+  serve::AdmissionController admission_;
+};
+
+/// A static collection: a snapshot generation behind a GenerationCell.
+/// Refresh loads the committed generation off to the side and publishes it
+/// with one atomic swap; queries in flight finish on the old one.
+template <typename Metric>
+class StaticCollection final : public Collection {
+ public:
+  explicit StaticCollection(CollectionOptions options)
+      : Collection(std::move(options)), store_(options_.dir) {}
+
+  Status Open(serve::ThreadPool* pool) override {
+    const Status status = Refresh(pool);
+    // An empty store is the follower-before-first-replication state, not a
+    // startup failure; anything else (corruption, wrong kind) is.
+    if (status.code() == StatusCode::kNotFound) return Status::OK();
+    return status;
+  }
+
+  Status Refresh(serve::ThreadPool* pool) override {
+    auto current = store_.CurrentGeneration();
+    if (!current.ok()) return current.status();
+    auto manifest = store_.ReadManifest(current.value());
+    if (!manifest.ok()) return manifest.status();
+    std::shared_ptr<Generation> generation;
+    switch (manifest.value().index_kind) {
+      case snapshot::IndexKind::kFlatShardedMvpIndex: {
+        auto loaded = store_.template OpenFlat<Metric>(Metric{}, pool);
+        if (!loaded.ok()) return loaded.status();
+        generation =
+            std::make_shared<Generation>(std::move(loaded.value().index));
+        generation->generation = loaded.value().generation;
+        break;
+      }
+      case snapshot::IndexKind::kShardedMvpIndex: {
+        auto loaded = store_.template LoadSharded<Vector, Metric>(
+            Metric{}, VectorCodec{}, pool);
+        if (!loaded.ok()) return loaded.status();
+        generation =
+            std::make_shared<Generation>(std::move(loaded.value().index));
+        generation->stable_ids = std::move(loaded.value().stable_ids);
+        generation->generation = loaded.value().generation;
+        break;
+      }
+      default:
+        return Status::NotSupported(
+            "static collection '" + options_.name +
+            "': committed generation is not a full sharded snapshot (serve "
+            "delta lineages through a dynamic collection)");
+    }
+    cell_.Publish(std::move(generation));
+    return Status::OK();
+  }
+
+  std::vector<WireOutcome> Run(const std::vector<WireQuery>& queries,
+                               serve::ThreadPool* pool) override {
+    std::shared_ptr<const Generation> generation = cell_.Get();
+    if (generation == nullptr) {
+      WireOutcome missing;
+      const Status status = Status::NotFound(
+          "collection '" + options_.name + "' has no generation loaded");
+      missing.status_code = static_cast<std::uint32_t>(status.code());
+      missing.status_message = status.message();
+      return std::vector<WireOutcome>(queries.size(), missing);
+    }
+    serve::ExecutorOptions executor;
+    executor.admission = &admission_;
+    auto outcomes = serve::RunBatch(generation->index, ToBatch(queries), pool,
+                                    &stats_, executor);
+    std::vector<WireOutcome> wire;
+    wire.reserve(outcomes.size());
+    for (const serve::QueryOutcome& outcome : outcomes) {
+      wire.push_back(ToWireOutcome(outcome));
+      if (!generation->stable_ids.empty()) {
+        // A compacted generation's dense ids are internal; clients address
+        // objects by stable id, like the overlay that wrote it would.
+        for (Neighbor& n : wire.back().neighbors) {
+          n.id = static_cast<std::size_t>(generation->stable_ids[n.id]);
+        }
+      }
+    }
+    return wire;
+  }
+
+  WireCollectionInfo Info() const override {
+    WireCollectionInfo info;
+    info.name = options_.name;
+    info.metric = options_.metric;
+    info.dynamic = false;
+    if (auto generation = cell_.Get(); generation != nullptr) {
+      info.generation = generation->generation;
+      info.size = generation->index.size();
+    }
+    return info;
+  }
+
+ private:
+  struct Generation {
+    explicit Generation(serve::ShardedMvpIndex<Vector, Metric> loaded)
+        : index(std::move(loaded)) {}
+    serve::ShardedMvpIndex<Vector, Metric> index;
+    std::vector<std::uint64_t> stable_ids;  ///< empty = identity
+    std::uint64_t generation = 0;
+  };
+
+  snapshot::SnapshotStore store_;
+  snapshot::GenerationCell<Generation> cell_;
+};
+
+/// A dynamic collection: a live DynamicOverlay (WAL + memtable over an
+/// optional base generation). Always serving its current state — Refresh
+/// is a no-op because there is nothing stale to swap.
+template <typename Metric>
+class DynamicCollection final : public Collection {
+ public:
+  explicit DynamicCollection(CollectionOptions options)
+      : Collection(std::move(options)) {}
+
+  Status Open(serve::ThreadPool* pool) override {
+    auto opened = dynamic::DynamicOverlay<Vector, Metric, VectorCodec>::Open(
+        options_.dir, Metric{}, VectorCodec{}, {}, pool);
+    if (!opened.ok()) return opened.status();
+    overlay_ = std::move(opened.value());
+    return Status::OK();
+  }
+
+  Status Refresh(serve::ThreadPool*) override { return Status::OK(); }
+
+  std::vector<WireOutcome> Run(const std::vector<WireQuery>& queries,
+                               serve::ThreadPool* pool) override {
+    serve::ExecutorOptions executor;
+    executor.admission = &admission_;
+    auto outcomes =
+        serve::RunBatch(*overlay_, ToBatch(queries), pool, &stats_, executor);
+    std::vector<WireOutcome> wire;
+    wire.reserve(outcomes.size());
+    for (const serve::QueryOutcome& outcome : outcomes) {
+      wire.push_back(ToWireOutcome(outcome));
+    }
+    return wire;
+  }
+
+  WireCollectionInfo Info() const override {
+    WireCollectionInfo info;
+    info.name = options_.name;
+    info.metric = options_.metric;
+    info.dynamic = true;
+    info.generation = overlay_->generation();
+    info.size = overlay_->size();
+    return info;
+  }
+
+ private:
+  std::unique_ptr<dynamic::DynamicOverlay<Vector, Metric, VectorCodec>>
+      overlay_;
+};
+
+Result<std::unique_ptr<Collection>> MakeCollection(
+    const CollectionOptions& options) {
+  if (options.name.empty()) {
+    return Status::InvalidArgument("collection name must be non-empty");
+  }
+  auto make = [&](auto metric) -> std::unique_ptr<Collection> {
+    using Metric = decltype(metric);
+    if (options.dynamic) {
+      return std::make_unique<DynamicCollection<Metric>>(options);
+    }
+    return std::make_unique<StaticCollection<Metric>>(options);
+  };
+  if (options.metric == "l1") return make(metric::L1{});
+  if (options.metric == "l2") return make(metric::L2{});
+  if (options.metric == "linf") return make(metric::LInf{});
+  return Status::InvalidArgument("unknown metric '" + options.metric +
+                                 "' (expected l1, l2, or linf)");
+}
+
+}  // namespace
+
+class Server::Impl {
+ public:
+  explicit Impl(ServerOptions options)
+      : options_(std::move(options)),
+        pool_(options_.threads != 0
+                  ? options_.threads
+                  : std::max<std::size_t>(
+                        std::thread::hardware_concurrency(), 2)) {}
+
+  ~Impl() { Stop(); }
+
+  Status Start() {
+    for (const CollectionOptions& spec : options_.collections) {
+      if (FindCollection(spec.name) != nullptr) {
+        return Status::InvalidArgument("duplicate collection '" + spec.name +
+                                       "'");
+      }
+      auto collection = MakeCollection(spec);
+      if (!collection.ok()) return collection.status();
+      MVP_RETURN_NOT_OK(collection.value()->Open(&pool_));
+      collections_.push_back(std::move(collection.value()));
+    }
+
+    listen_fd_ = fault::net::Socket(AF_INET, SOCK_STREAM, 0, "server:listen");
+    if (listen_fd_ < 0) {
+      return Status::IOError(std::string("socket failed: ") +
+                             std::strerror(errno));
+    }
+    const int enable = 1;
+    // Best-effort: rebinding a recently-closed port is a convenience, not
+    // a correctness requirement.
+    (void)fault::net::SetSockOpt(listen_fd_, SOL_SOCKET, SO_REUSEADDR,
+                                 &enable, sizeof(enable));
+    struct ::sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.port);
+    if (fault::net::Bind(listen_fd_,
+                         reinterpret_cast<const struct ::sockaddr*>(&addr),
+                         sizeof(addr), "server:listen") != 0) {
+      return Status::IOError(std::string("bind failed: ") +
+                             std::strerror(errno));
+    }
+    if (fault::net::Listen(listen_fd_, 64, "server:listen") != 0) {
+      return Status::IOError(std::string("listen failed: ") +
+                             std::strerror(errno));
+    }
+    struct ::sockaddr_in bound {};
+    ::socklen_t bound_len = sizeof(bound);
+    if (fault::net::GetSockName(
+            listen_fd_, reinterpret_cast<struct ::sockaddr*>(&bound),
+            &bound_len) != 0) {
+      return Status::IOError(std::string("getsockname failed: ") +
+                             std::strerror(errno));
+    }
+    port_ = ntohs(bound.sin_port);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    return Status::OK();
+  }
+
+  std::uint16_t port() const { return port_; }
+
+  Status Refresh(const std::string& name) {
+    Collection* collection = FindCollection(name);
+    if (collection == nullptr) {
+      return Status::NotFound("no collection '" + name + "'");
+    }
+    return collection->Refresh(&pool_);
+  }
+
+  void Stop() {
+    {
+      MutexLock lock(&mu_);
+      if (stopping_) return;
+      stopping_ = true;
+      for (const int fd : conn_fds_) {
+        // Wakes the connection thread out of its blocking recv; the thread
+        // owns the close.
+        (void)fault::net::ShutdownSocket(fd, SHUT_RDWR, "server:stop");
+      }
+    }
+    if (listen_fd_ >= 0) {
+      // Wakes the accept loop (Linux returns EINVAL from the pending
+      // accept once the listener is shut down).
+      (void)fault::net::ShutdownSocket(listen_fd_, SHUT_RDWR, "server:stop");
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::vector<std::thread> threads;
+    {
+      MutexLock lock(&mu_);
+      threads.swap(conn_threads_);
+    }
+    for (std::thread& thread : threads) {
+      if (thread.joinable()) thread.join();
+    }
+    if (listen_fd_ >= 0) {
+      // Shutdown path; every connection is already joined above.
+      (void)fault::net::CloseSocket(listen_fd_, "server:stop");
+      listen_fd_ = -1;
+    }
+  }
+
+ private:
+  Collection* FindCollection(const std::string& name) {
+    for (const auto& collection : collections_) {
+      if (collection->options().name == name) return collection.get();
+    }
+    return nullptr;
+  }
+
+  void AcceptLoop() {
+    while (true) {
+      const int fd = fault::net::Accept(listen_fd_, "server:accept");
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        // Shutdown (or a fatal listener error) ends the loop either way;
+        // Stop() distinguishes nothing further.
+        return;
+      }
+      // Responses also go out header-then-payload; see the NODELAY note in
+      // client.cc. Best-effort.
+      const int one = 1;
+      // Best-effort: without the option the connection is slow, not wrong.
+      (void)fault::net::SetSockOpt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                                   sizeof(one));
+      MutexLock lock(&mu_);
+      if (stopping_) {
+        // Racing Stop(); the peer sees a hangup either way.
+        (void)fault::net::CloseSocket(fd, "server:accept");
+        return;
+      }
+      conn_fds_.push_back(fd);
+      conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    }
+  }
+
+  void ServeConnection(int fd) {
+    while (true) {
+      auto frame = RecvFrame(fd, "server:conn");
+      if (!frame.ok()) {
+        // NotFound is the client hanging up between requests — silence.
+        // A torn or corrupt frame means the stream may have lost sync, so
+        // report once and hang up rather than guess at resynchronization.
+        if (frame.status().code() == StatusCode::kCorruption ||
+            frame.status().code() == StatusCode::kInvalidArgument) {
+          BinaryWriter out;
+          EncodeResponseStatus(frame.status(), &out);
+          // Courtesy error to a peer that broke framing; if the send also
+          // fails the connection is closing anyway.
+          (void)SendFrame(fd, out.buffer(), "server:conn");
+        }
+        break;
+      }
+      if (!HandleRequest(fd, frame.value())) break;
+    }
+    {
+      MutexLock lock(&mu_);
+      conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                      conn_fds_.end());
+    }
+    // End of the connection's life; nothing left to report a close error to.
+    (void)fault::net::CloseSocket(fd, "server:conn");
+  }
+
+  /// Handles one request frame. Returns false when the connection should
+  /// close (send failure); a request-level error is a response, not a
+  /// disconnect.
+  bool HandleRequest(int fd, const std::vector<std::uint8_t>& payload) {
+    BinaryReader reader(payload.data(), payload.size());
+    std::uint32_t op_raw = 0;
+    Status parsed = reader.Read<std::uint32_t>(&op_raw);
+    if (!parsed.ok()) return SendError(fd, parsed);
+    switch (static_cast<Op>(op_raw)) {
+      case Op::kPing: {
+        BinaryWriter out;
+        EncodeResponseStatus(Status::OK(), &out);
+        out.WriteString("mvpt-server");
+        out.Write<std::uint32_t>(1);  // protocol version
+        return SendFrame(fd, out.buffer(), "server:conn").ok();
+      }
+      case Op::kListCollections: {
+        BinaryWriter out;
+        EncodeResponseStatus(Status::OK(), &out);
+        out.Write<std::uint64_t>(collections_.size());
+        for (const auto& collection : collections_) {
+          EncodeCollectionInfo(collection->Info(), &out);
+        }
+        return SendFrame(fd, out.buffer(), "server:conn").ok();
+      }
+      case Op::kQuery:
+        return HandleQuery(fd, &reader);
+      case Op::kBatchQuery:
+        return HandleBatchQuery(fd, &reader);
+      case Op::kStats: {
+        std::string name;
+        Status status = reader.ReadString(&name);
+        if (!status.ok()) return SendError(fd, status);
+        Collection* collection = FindCollection(name);
+        if (collection == nullptr) {
+          return SendError(fd, Status::NotFound("no collection '" + name +
+                                                "'"));
+        }
+        BinaryWriter out;
+        EncodeResponseStatus(Status::OK(), &out);
+        EncodeStats(collection->StatsSnapshot(), &out);
+        return SendFrame(fd, out.buffer(), "server:conn").ok();
+      }
+      case Op::kCurrentGeneration:
+        return HandleCurrentGeneration(fd, &reader);
+      case Op::kFetchManifest:
+        return HandleFetchManifest(fd, &reader);
+      case Op::kFetchChunk:
+        return HandleFetchChunk(fd, &reader);
+    }
+    return SendError(
+        fd, Status::InvalidArgument("unknown rpc op " +
+                                    std::to_string(op_raw)));
+  }
+
+  bool SendError(int fd, const Status& status) {
+    BinaryWriter out;
+    EncodeResponseStatus(status, &out);
+    return SendFrame(fd, out.buffer(), "server:conn").ok();
+  }
+
+  bool HandleQuery(int fd, BinaryReader* reader) {
+    std::string name;
+    Status status = reader->ReadString(&name);
+    if (!status.ok()) return SendError(fd, status);
+    WireQuery query;
+    status = DecodeQuery(reader, &query);
+    if (!status.ok()) return SendError(fd, status);
+    Collection* collection = FindCollection(name);
+    if (collection == nullptr) {
+      return SendError(fd, Status::NotFound("no collection '" + name + "'"));
+    }
+    auto outcomes = collection->Run({query}, &pool_);
+    BinaryWriter out;
+    EncodeResponseStatus(Status::OK(), &out);
+    EncodeOutcome(outcomes[0], &out);
+    return SendFrame(fd, out.buffer(), "server:conn").ok();
+  }
+
+  /// Streaming batch: one header frame `[status][u64 count]`, then one
+  /// outcome frame per query, in input order. The whole batch runs through
+  /// one RunBatch call, so batch-relative deadlines and pool parallelism
+  /// behave exactly as in-process.
+  bool HandleBatchQuery(int fd, BinaryReader* reader) {
+    std::string name;
+    Status status = reader->ReadString(&name);
+    if (!status.ok()) return SendError(fd, status);
+    std::uint64_t count = 0;
+    status = reader->Read<std::uint64_t>(&count);
+    if (!status.ok()) return SendError(fd, status);
+    std::vector<WireQuery> queries;
+    queries.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      WireQuery query;
+      status = DecodeQuery(reader, &query);
+      if (!status.ok()) return SendError(fd, status);
+      queries.push_back(std::move(query));
+    }
+    Collection* collection = FindCollection(name);
+    if (collection == nullptr) {
+      return SendError(fd, Status::NotFound("no collection '" + name + "'"));
+    }
+    auto outcomes = collection->Run(queries, &pool_);
+    BinaryWriter header;
+    EncodeResponseStatus(Status::OK(), &header);
+    header.Write<std::uint64_t>(outcomes.size());
+    if (!SendFrame(fd, header.buffer(), "server:conn").ok()) return false;
+    for (const WireOutcome& outcome : outcomes) {
+      BinaryWriter out;
+      EncodeOutcome(outcome, &out);
+      if (!SendFrame(fd, out.buffer(), "server:conn").ok()) return false;
+    }
+    return true;
+  }
+
+  bool HandleCurrentGeneration(int fd, BinaryReader* reader) {
+    std::string name;
+    Status status = reader->ReadString(&name);
+    if (!status.ok()) return SendError(fd, status);
+    Collection* collection = FindCollection(name);
+    if (collection == nullptr) {
+      return SendError(fd, Status::NotFound("no collection '" + name + "'"));
+    }
+    snapshot::SnapshotStore store(collection->options().dir);
+    auto generation = store.CurrentGeneration();
+    if (!generation.ok()) return SendError(fd, generation.status());
+    BinaryWriter out;
+    EncodeResponseStatus(Status::OK(), &out);
+    out.Write<std::uint64_t>(generation.value());
+    return SendFrame(fd, out.buffer(), "server:conn").ok();
+  }
+
+  bool HandleFetchManifest(int fd, BinaryReader* reader) {
+    std::string name;
+    Status status = reader->ReadString(&name);
+    if (!status.ok()) return SendError(fd, status);
+    std::uint64_t generation = 0;
+    status = reader->Read<std::uint64_t>(&generation);
+    if (!status.ok()) return SendError(fd, status);
+    Collection* collection = FindCollection(name);
+    if (collection == nullptr) {
+      return SendError(fd, Status::NotFound("no collection '" + name + "'"));
+    }
+    snapshot::SnapshotStore store(collection->options().dir);
+    auto bytes = ReadFile(store.GenerationDir(generation) + "/" +
+                          snapshot::SnapshotStore::kManifestFile);
+    if (!bytes.ok()) return SendError(fd, bytes.status());
+    BinaryWriter out;
+    EncodeResponseStatus(Status::OK(), &out);
+    out.WriteBytes(bytes.value().data(), bytes.value().size());
+    return SendFrame(fd, out.buffer(), "server:conn").ok();
+  }
+
+  /// Serves `[offset, offset+length)` of a generation's container file.
+  /// The slice is read off a fresh mapping per request — replication pulls
+  /// are rare and sequential, so simplicity beats caching here.
+  bool HandleFetchChunk(int fd, BinaryReader* reader) {
+    std::string name;
+    Status status = reader->ReadString(&name);
+    if (!status.ok()) return SendError(fd, status);
+    std::uint64_t generation = 0, offset = 0, length = 0;
+    status = reader->Read<std::uint64_t>(&generation);
+    if (status.ok()) status = reader->Read<std::uint64_t>(&offset);
+    if (status.ok()) status = reader->Read<std::uint64_t>(&length);
+    if (!status.ok()) return SendError(fd, status);
+    if (length > kMaxFetchChunkBytes) {
+      return SendError(fd, Status::InvalidArgument(
+                               "chunk length exceeds the fetch cap"));
+    }
+    Collection* collection = FindCollection(name);
+    if (collection == nullptr) {
+      return SendError(fd, Status::NotFound("no collection '" + name + "'"));
+    }
+    snapshot::SnapshotStore store(collection->options().dir);
+    auto mapping = snapshot::MmapFile::Open(
+        store.GenerationDir(generation) + "/" +
+        snapshot::SnapshotStore::kContainerFile);
+    if (!mapping.ok()) return SendError(fd, mapping.status());
+    if (offset > mapping.value().size() ||
+        length > mapping.value().size() - offset) {
+      return SendError(fd, Status::InvalidArgument(
+                               "chunk range exceeds the container"));
+    }
+    BinaryWriter out;
+    EncodeResponseStatus(Status::OK(), &out);
+    out.WriteBytes(mapping.value().data() + offset,
+                   static_cast<std::size_t>(length));
+    return SendFrame(fd, out.buffer(), "server:conn").ok();
+  }
+
+  ServerOptions options_;
+  serve::ThreadPool pool_;
+  std::vector<std::unique_ptr<Collection>> collections_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  Mutex mu_;
+  bool stopping_ MVP_GUARDED_BY(mu_) = false;
+  std::vector<int> conn_fds_ MVP_GUARDED_BY(mu_);
+  std::vector<std::thread> conn_threads_ MVP_GUARDED_BY(mu_);
+};
+
+Server::Server(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Server::~Server() = default;
+
+Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
+  auto impl = std::make_unique<Impl>(std::move(options));
+  MVP_RETURN_NOT_OK(impl->Start());
+  return std::unique_ptr<Server>(new Server(std::move(impl)));
+}
+
+std::uint16_t Server::port() const { return impl_->port(); }
+
+Status Server::Refresh(const std::string& collection) {
+  return impl_->Refresh(collection);
+}
+
+void Server::Stop() { impl_->Stop(); }
+
+}  // namespace mvp::net
+
+#endif  // MVPTREE_FAULT_FS_POSIX

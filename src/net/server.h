@@ -1,0 +1,112 @@
+#ifndef MVPTREE_NET_SERVER_H_
+#define MVPTREE_NET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fault/fault_fs.h"  // platform gate: defines MVPTREE_FAULT_FS_POSIX
+#include "serve/admission.h"
+
+/// \file
+/// mvpt-server: a multi-tenant network front end for the serving layer.
+///
+/// A Server hosts named **collections**, each an independent tenant with
+/// its own snapshot directory, metric, admission budget, and deadline cap.
+/// Static collections serve a committed snapshot generation through a
+/// GenerationCell (hot-swappable via Refresh — the replication path's
+/// publish point); dynamic collections serve a live DynamicOverlay whose
+/// WAL/memtable mutations are visible to queries immediately.
+///
+/// Every query — single or streaming batch — flows through the same
+/// serve::RunBatch executor an in-process caller would use, so deadlines,
+/// admission control, cooperative cancellation, partial-result
+/// degradation, and ServeStats accounting all apply unchanged over the
+/// wire. The per-collection `max_timeout` clamps whatever deadline the
+/// client asked for, making the deadline a server-side tenant policy, not
+/// a client courtesy.
+///
+/// The wire protocol (net/wire.h) is length-prefixed CRC-framed request/
+/// response; replication RPCs (CurrentGeneration / FetchManifest /
+/// FetchChunk) serve raw snapshot bytes so a follower can mirror a
+/// generation it has never built (net/replication.h).
+///
+/// Connection model: one thread per accepted connection, requests handled
+/// strictly in order per connection. Stop() shuts down every live socket
+/// and joins all threads; destruction implies Stop(). The server binds
+/// 127.0.0.1 only — it is a building block for serving experiments, not a
+/// hardened public endpoint.
+///
+/// All socket syscalls go through the fault::net seam and all file I/O
+/// through fault::fs, so the existing failpoint drills (torn frames, torn
+/// replication pulls, crashed connections) apply to the network layer.
+
+#if defined(MVPTREE_FAULT_FS_POSIX) || defined(MVPTREE_DOXYGEN)
+
+namespace mvp::net {
+
+/// One tenant's configuration.
+struct CollectionOptions {
+  /// Collection name as addressed by clients. Must be unique and non-empty.
+  std::string name;
+  /// Snapshot store directory (static) or overlay directory (dynamic).
+  std::string dir;
+  /// Metric name: "l1", "l2", or "linf".
+  std::string metric = "l2";
+  /// Serve a live DynamicOverlay instead of a static snapshot generation.
+  bool dynamic = false;
+  /// Per-tenant deadline cap in nanoseconds: every query's timeout is
+  /// clamped to this, whatever the client asked for. Default: no cap.
+  std::uint64_t max_timeout_ns = ~std::uint64_t{0};
+  /// Per-tenant admission budget (load shedding at the executor layer).
+  serve::AdmissionController::Options admission;
+};
+
+struct ServerOptions {
+  /// TCP port to listen on (loopback only). 0 picks an ephemeral port;
+  /// read the real one back with Server::port().
+  std::uint16_t port = 0;
+  /// Worker threads in the shared query pool (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// The tenants to host. A static collection whose store is still empty
+  /// is served as NotFound until a generation is committed and Refresh'd
+  /// in — the follower-before-first-replication state.
+  std::vector<CollectionOptions> collections;
+};
+
+/// A running server. Start() binds + listens + spawns the accept loop;
+/// the instance is immovable (threads hold `this`).
+class Server {
+ public:
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Opens every collection, binds 127.0.0.1:port, and starts accepting.
+  static Result<std::unique_ptr<Server>> Start(ServerOptions options);
+
+  /// The port actually bound (== options.port unless that was 0).
+  std::uint16_t port() const;
+
+  /// Reloads `collection` from its snapshot store and hot-swaps it into
+  /// serving (GenerationCell publish). In-flight queries finish on the old
+  /// generation. No-op for dynamic collections (they are always live).
+  Status Refresh(const std::string& collection);
+
+  /// Shuts down the listener and every live connection, then joins all
+  /// threads. Idempotent; implied by destruction.
+  void Stop();
+
+ private:
+  class Impl;
+  explicit Server(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mvp::net
+
+#endif  // MVPTREE_FAULT_FS_POSIX
+
+#endif  // MVPTREE_NET_SERVER_H_

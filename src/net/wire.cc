@@ -1,0 +1,252 @@
+#include "net/wire.h"
+
+#include "fault/fault_net.h"  // platform gate: defines MVPTREE_FAULT_FS_POSIX
+
+#if defined(MVPTREE_FAULT_FS_POSIX)
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace mvp::net {
+namespace {
+
+/// Receives exactly `size` bytes. `*eof_at_start` reports a clean EOF
+/// before the first byte arrived (only meaningful on failure).
+Status RecvExact(int fd, std::uint8_t* buf, std::size_t size,
+                 const char* detail, bool* eof_at_start) {
+  std::size_t got = 0;
+  while (got < size) {
+    const long n = fault::net::Recv(fd, buf + got, size - got, detail);
+    if (n == 0) {
+      if (eof_at_start != nullptr) *eof_at_start = got == 0;
+      return got == 0 ? Status::IOError("connection closed")
+                      : Status::IOError("connection closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv failed: ") +
+                             std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Sends exactly `size` bytes, looping over partial sends.
+Status SendExact(int fd, const std::uint8_t* buf, std::size_t size,
+                 const char* detail) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const long n = fault::net::Send(fd, buf + sent, size - sent, detail);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send failed: ") +
+                             std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SendFrame(int fd, const std::uint8_t* payload, std::size_t size,
+                 const char* detail) {
+  if (size > kMaxFramePayload) {
+    return Status::InvalidArgument("frame payload exceeds the protocol cap");
+  }
+  BinaryWriter header;
+  header.Write<std::uint32_t>(kFrameMagic);
+  header.Write<std::uint32_t>(static_cast<std::uint32_t>(size));
+  header.Write<std::uint32_t>(Crc32c(payload, size));
+  MVP_RETURN_NOT_OK(SendExact(fd, header.buffer().data(),
+                              header.buffer().size(), detail));
+  return SendExact(fd, payload, size, detail);
+}
+
+Result<std::vector<std::uint8_t>> RecvFrame(int fd, const char* detail,
+                                            std::size_t max_payload) {
+  std::uint8_t header[kFrameHeaderBytes];
+  bool eof_at_start = false;
+  Status got = RecvExact(fd, header, sizeof(header), detail, &eof_at_start);
+  if (!got.ok()) {
+    // A clean close between frames is the normal end of a conversation;
+    // report it as NotFound so callers can tell it from a torn frame.
+    if (eof_at_start) return Status::NotFound("peer closed connection");
+    return got;
+  }
+  BinaryReader reader(header, sizeof(header));
+  std::uint32_t magic = 0, length = 0, crc = 0;
+  MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&magic));
+  MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&length));
+  MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&crc));
+  if (magic != kFrameMagic) {
+    return Status::Corruption("bad frame magic");
+  }
+  if (length > max_payload) {
+    return Status::InvalidArgument("frame length exceeds the protocol cap");
+  }
+  std::vector<std::uint8_t> payload(length);
+  MVP_RETURN_NOT_OK(RecvExact(fd, payload.data(), payload.size(), detail,
+                              nullptr));
+  if (Crc32c(payload.data(), payload.size()) != crc) {
+    return Status::Corruption("frame payload fails its CRC");
+  }
+  return payload;
+}
+
+void EncodeQuery(const WireQuery& query, BinaryWriter* out) {
+  out->Write<std::uint8_t>(query.kind);
+  out->Write<double>(query.radius);
+  out->Write<std::uint64_t>(query.k);
+  out->Write<std::uint64_t>(query.timeout_ns);
+  out->Write<std::uint64_t>(query.max_distance_computations);
+  out->WriteVector(query.point);
+}
+
+Status DecodeQuery(BinaryReader* in, WireQuery* query) {
+  MVP_RETURN_NOT_OK(in->Read<std::uint8_t>(&query->kind));
+  if (query->kind > 1) {
+    return Status::Corruption("query kind out of range");
+  }
+  MVP_RETURN_NOT_OK(in->Read<double>(&query->radius));
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&query->k));
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&query->timeout_ns));
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&query->max_distance_computations));
+  return in->ReadVector(&query->point);
+}
+
+void EncodeOutcome(const WireOutcome& outcome, BinaryWriter* out) {
+  out->Write<std::uint32_t>(outcome.status_code);
+  out->WriteString(outcome.status_message);
+  out->Write<std::uint8_t>(outcome.partial ? 1 : 0);
+  out->Write<std::uint64_t>(outcome.latency_ns);
+  out->Write<std::uint64_t>(outcome.distance_computations);
+  out->Write<std::uint64_t>(outcome.search.distance_computations);
+  out->Write<std::uint64_t>(outcome.search.nodes_visited);
+  out->Write<std::uint64_t>(outcome.search.leaf_points_seen);
+  out->Write<std::uint64_t>(outcome.search.leaf_points_filtered);
+  out->Write<std::uint64_t>(outcome.neighbors.size());
+  for (const Neighbor& n : outcome.neighbors) {
+    out->Write<std::uint64_t>(n.id);
+    out->Write<double>(n.distance);
+  }
+}
+
+Status DecodeOutcome(BinaryReader* in, WireOutcome* outcome) {
+  MVP_RETURN_NOT_OK(in->Read<std::uint32_t>(&outcome->status_code));
+  if (outcome->status_code >
+      static_cast<std::uint32_t>(StatusCode::kResourceExhausted)) {
+    return Status::Corruption("outcome status code out of range");
+  }
+  MVP_RETURN_NOT_OK(in->ReadString(&outcome->status_message));
+  std::uint8_t partial = 0;
+  MVP_RETURN_NOT_OK(in->Read<std::uint8_t>(&partial));
+  outcome->partial = partial != 0;
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&outcome->latency_ns));
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&outcome->distance_computations));
+  MVP_RETURN_NOT_OK(
+      in->Read<std::uint64_t>(&outcome->search.distance_computations));
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&outcome->search.nodes_visited));
+  MVP_RETURN_NOT_OK(
+      in->Read<std::uint64_t>(&outcome->search.leaf_points_seen));
+  MVP_RETURN_NOT_OK(
+      in->Read<std::uint64_t>(&outcome->search.leaf_points_filtered));
+  std::uint64_t count = 0;
+  MVP_RETURN_NOT_OK(
+      in->ReadLengthPrefix(sizeof(std::uint64_t) + sizeof(double), &count));
+  outcome->neighbors.resize(static_cast<std::size_t>(count));
+  for (Neighbor& n : outcome->neighbors) {
+    std::uint64_t id = 0;
+    MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&id));
+    n.id = static_cast<std::size_t>(id);
+    MVP_RETURN_NOT_OK(in->Read<double>(&n.distance));
+  }
+  return Status::OK();
+}
+
+void EncodeStats(const serve::ServeStatsSnapshot& snap, BinaryWriter* out) {
+  out->Write<std::uint64_t>(snap.queries);
+  out->Write<std::uint64_t>(snap.ok);
+  out->Write<std::uint64_t>(snap.partial);
+  out->Write<std::uint64_t>(snap.deadline_exceeded);
+  out->Write<std::uint64_t>(snap.shed);
+  out->Write<std::uint64_t>(snap.distance_computations);
+  out->Write<std::uint64_t>(snap.results_returned);
+  out->Write<std::int64_t>(snap.p50.count());
+  out->Write<std::int64_t>(snap.p95.count());
+  out->Write<std::int64_t>(snap.p99.count());
+  out->Write<std::int64_t>(snap.max.count());
+  out->Write<std::int64_t>(snap.degraded_p50.count());
+  out->Write<std::int64_t>(snap.degraded_p99.count());
+  out->Write<std::int64_t>(snap.degraded_max.count());
+}
+
+Status DecodeStats(BinaryReader* in, serve::ServeStatsSnapshot* snap) {
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&snap->queries));
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&snap->ok));
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&snap->partial));
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&snap->deadline_exceeded));
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&snap->shed));
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&snap->distance_computations));
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&snap->results_returned));
+  std::int64_t ns = 0;
+  MVP_RETURN_NOT_OK(in->Read<std::int64_t>(&ns));
+  snap->p50 = std::chrono::nanoseconds(ns);
+  MVP_RETURN_NOT_OK(in->Read<std::int64_t>(&ns));
+  snap->p95 = std::chrono::nanoseconds(ns);
+  MVP_RETURN_NOT_OK(in->Read<std::int64_t>(&ns));
+  snap->p99 = std::chrono::nanoseconds(ns);
+  MVP_RETURN_NOT_OK(in->Read<std::int64_t>(&ns));
+  snap->max = std::chrono::nanoseconds(ns);
+  MVP_RETURN_NOT_OK(in->Read<std::int64_t>(&ns));
+  snap->degraded_p50 = std::chrono::nanoseconds(ns);
+  MVP_RETURN_NOT_OK(in->Read<std::int64_t>(&ns));
+  snap->degraded_p99 = std::chrono::nanoseconds(ns);
+  MVP_RETURN_NOT_OK(in->Read<std::int64_t>(&ns));
+  snap->degraded_max = std::chrono::nanoseconds(ns);
+  return Status::OK();
+}
+
+void EncodeCollectionInfo(const WireCollectionInfo& info, BinaryWriter* out) {
+  out->WriteString(info.name);
+  out->WriteString(info.metric);
+  out->Write<std::uint8_t>(info.dynamic ? 1 : 0);
+  out->Write<std::uint64_t>(info.generation);
+  out->Write<std::uint64_t>(info.size);
+}
+
+Status DecodeCollectionInfo(BinaryReader* in, WireCollectionInfo* info) {
+  MVP_RETURN_NOT_OK(in->ReadString(&info->name));
+  MVP_RETURN_NOT_OK(in->ReadString(&info->metric));
+  std::uint8_t dynamic = 0;
+  MVP_RETURN_NOT_OK(in->Read<std::uint8_t>(&dynamic));
+  info->dynamic = dynamic != 0;
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&info->generation));
+  return in->Read<std::uint64_t>(&info->size);
+}
+
+void EncodeResponseStatus(const Status& status, BinaryWriter* out) {
+  out->Write<std::uint32_t>(static_cast<std::uint32_t>(status.code()));
+  out->WriteString(status.message());
+}
+
+Status DecodeResponseStatus(BinaryReader* in, Status* status) {
+  std::uint32_t code = 0;
+  MVP_RETURN_NOT_OK(in->Read<std::uint32_t>(&code));
+  if (code > static_cast<std::uint32_t>(StatusCode::kResourceExhausted)) {
+    return Status::Corruption("response status code out of range");
+  }
+  std::string message;
+  MVP_RETURN_NOT_OK(in->ReadString(&message));
+  *status = code == 0 ? Status::OK()
+                      : Status(static_cast<StatusCode>(code),
+                               std::move(message));
+  return Status::OK();
+}
+
+}  // namespace mvp::net
+
+#endif  // MVPTREE_FAULT_FS_POSIX

@@ -1,0 +1,146 @@
+#ifndef MVPTREE_NET_WIRE_H_
+#define MVPTREE_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/query.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "serve/serve_stats.h"
+
+/// \file
+/// Wire protocol for the mvpt network serving subsystem — framing plus
+/// message codecs. docs/network_serving.md has the byte-level spec.
+///
+/// Framing reuses the WAL/snapshot discipline: every frame is
+///
+///   [u32 magic "MVPR"] [u32 payload length] [u32 CRC32C(payload)] payload
+///
+/// all little-endian. The receiver validates the magic and bounds the
+/// length BEFORE allocating (an adversarial length prefix fails as
+/// InvalidArgument, never a multi-gigabyte resize), then verifies the CRC
+/// before a single payload byte is parsed — a bit-flipped frame is
+/// Corruption, not a crash three layers up. tests/net_frame_test.cc sweeps
+/// truncations, flips and oversized lengths over this layer.
+///
+/// Message payloads are BinaryWriter/BinaryReader streams. A request is
+/// `[u32 op] body`; every response starts `[u32 status code] [string
+/// message]` with the body present only on OK — so an error produced
+/// anywhere server-side travels to the client as the same Status it was,
+/// code and message intact (docs/serving.md tabulates the mapping).
+///
+/// All socket I/O goes through the fault::net seam, so every protocol test
+/// can inject disconnects, short sends and crashes at exact syscalls.
+
+namespace mvp::net {
+
+/// Frame header: magic + payload length + payload CRC32C.
+inline constexpr std::uint32_t kFrameMagic = 0x5250564D;  // "MVPR"
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+/// Default ceiling on a single frame's payload. Large enough for any
+/// response the server produces at default chunk sizes, small enough that
+/// an adversarial length cannot balloon memory.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{64} << 20;
+
+/// RPC operations. Values are wire format — append only.
+enum class Op : std::uint32_t {
+  kPing = 1,
+  kListCollections = 2,
+  kQuery = 3,
+  kBatchQuery = 4,
+  kStats = 5,
+  kCurrentGeneration = 6,
+  kFetchManifest = 7,
+  kFetchChunk = 8,
+};
+
+/// `timeout_ns` value meaning "no deadline".
+inline constexpr std::uint64_t kNoTimeout = ~std::uint64_t{0};
+
+/// One query as it travels the wire (vector datasets).
+struct WireQuery {
+  std::uint8_t kind = 0;  ///< 0 = range, 1 = k-NN
+  double radius = 0.0;
+  std::uint64_t k = 0;
+  std::uint64_t timeout_ns = kNoTimeout;
+  std::uint64_t max_distance_computations = 0;
+  std::vector<double> point;
+};
+
+/// One query outcome as it travels the wire: the QueryOutcome fields plus
+/// the full per-query SearchStats, so degradation telemetry survives the
+/// network hop bit for bit.
+struct WireOutcome {
+  std::uint32_t status_code = 0;
+  std::string status_message;
+  bool partial = false;
+  std::uint64_t latency_ns = 0;
+  std::uint64_t distance_computations = 0;
+  SearchStats search;
+  std::vector<Neighbor> neighbors;
+
+  Status status() const {
+    return status_code == 0
+               ? Status::OK()
+               : Status(static_cast<StatusCode>(status_code), status_message);
+  }
+};
+
+/// One collection's listing entry.
+struct WireCollectionInfo {
+  std::string name;
+  std::string metric;
+  bool dynamic = false;
+  std::uint64_t generation = 0;  ///< serving generation (0 = none yet)
+  std::uint64_t size = 0;        ///< objects currently servable
+};
+
+// ---- framing ---------------------------------------------------------------
+
+/// Sends one frame (header + payload), looping over fault::net::Send until
+/// every byte is out. `detail` labels the connection for failpoints.
+Status SendFrame(int fd, const std::uint8_t* payload, std::size_t size,
+                 const char* detail);
+inline Status SendFrame(int fd, const std::vector<std::uint8_t>& payload,
+                        const char* detail) {
+  return SendFrame(fd, payload.data(), payload.size(), detail);
+}
+
+/// Receives one frame's payload. Validates magic and length bounds before
+/// allocating, then the CRC before returning. Error taxonomy:
+///  * NotFound         — the peer closed the connection cleanly between
+///                       frames (EOF at header byte 0); the quiet end of a
+///                       conversation, not an error.
+///  * IOError          — the connection died mid-frame (EOF or socket error
+///                       with bytes outstanding).
+///  * InvalidArgument  — length exceeds `max_payload` (adversarial or
+///                       misconfigured peer; nothing was allocated).
+///  * Corruption       — bad magic or CRC mismatch.
+Result<std::vector<std::uint8_t>> RecvFrame(
+    int fd, const char* detail, std::size_t max_payload = kMaxFramePayload);
+
+// ---- message codecs --------------------------------------------------------
+
+void EncodeQuery(const WireQuery& query, BinaryWriter* out);
+Status DecodeQuery(BinaryReader* in, WireQuery* query);
+
+void EncodeOutcome(const WireOutcome& outcome, BinaryWriter* out);
+Status DecodeOutcome(BinaryReader* in, WireOutcome* outcome);
+
+void EncodeStats(const serve::ServeStatsSnapshot& snap, BinaryWriter* out);
+Status DecodeStats(BinaryReader* in, serve::ServeStatsSnapshot* snap);
+
+void EncodeCollectionInfo(const WireCollectionInfo& info, BinaryWriter* out);
+Status DecodeCollectionInfo(BinaryReader* in, WireCollectionInfo* info);
+
+/// Response header: `[u32 code] [string message]`. The encoded code is
+/// validated against the known StatusCode range on decode — a frame whose
+/// code is out of range is Corruption, not an invented enum value.
+void EncodeResponseStatus(const Status& status, BinaryWriter* out);
+Status DecodeResponseStatus(BinaryReader* in, Status* status);
+
+}  // namespace mvp::net
+
+#endif  // MVPTREE_NET_WIRE_H_

@@ -102,6 +102,13 @@ struct QueryOutcome {
   std::chrono::nanoseconds latency{0};
   /// Exact metric evaluations this query performed, across all threads.
   std::uint64_t distance_computations = 0;
+  /// Full per-query search statistics as reported by the index (nodes
+  /// visited, leaf filtering, distance computations). Zero on shed/DOA
+  /// queries that never touched the index. `search.distance_computations`
+  /// is reconciled with the cancellation counter, so it always equals
+  /// `distance_computations` above — the network layer ships this struct
+  /// so remote callers see exactly what an in-process caller would.
+  SearchStats search;
 };
 
 struct ExecutorOptions {
@@ -244,6 +251,8 @@ std::vector<QueryOutcome> RunBatch(const Index& index,
     // the two agree exactly.
     out.distance_computations =
         std::max(counter.count(), search_stats.distance_computations);
+    out.search = search_stats;
+    out.search.distance_computations = out.distance_computations;
     if (options.admission != nullptr) {
       options.admission->Complete(ServeClock::now() - work_start);
     }

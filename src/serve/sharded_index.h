@@ -77,11 +77,34 @@ class ShardedMvpIndex {
 
   struct Options {
     /// Number of independent mvp-trees the data is partitioned over.
-    std::size_t num_shards = 4;
+    /// 0 (the default) means adaptive: Build resolves it from the dataset
+    /// size and the machine's core count via AdaptiveShardCount, so small
+    /// datasets are not over-sharded (each shard pays its own vantage
+    /// evaluations) and large ones use every core. Restore paths always
+    /// receive the explicit count recorded in the snapshot manifest.
+    std::size_t num_shards = 0;
     /// Construction parameters for every shard tree. Shard s is built with
     /// seed `tree.seed + s` so shards make decorrelated vantage choices.
     typename Tree::Options tree;
   };
+
+  /// Shards worth using for `dataset_size` objects on `hardware_threads`
+  /// cores: one shard per core, but never so many that a shard drops below
+  /// kMinObjectsPerShard objects (the point where per-shard vantage
+  /// overhead outweighs the parallelism; docs/serving.md discusses the
+  /// trade-off), clamped to [1, kMaxAdaptiveShards]. `hardware_threads`
+  /// defaults to the machine's; std::thread::hardware_concurrency may
+  /// report 0, which is treated as a single core.
+  static constexpr std::size_t kMinObjectsPerShard = 2048;
+  static constexpr std::size_t kMaxAdaptiveShards = 64;
+  static std::size_t AdaptiveShardCount(
+      std::size_t dataset_size,
+      std::size_t hardware_threads = std::thread::hardware_concurrency()) {
+    const std::size_t cores = std::max<std::size_t>(hardware_threads, 1);
+    const std::size_t by_size =
+        std::max<std::size_t>(dataset_size / kMinObjectsPerShard, 1);
+    return std::min({cores, by_size, kMaxAdaptiveShards});
+  }
 
   /// The parameters the index was built with, flattened for recording in a
   /// snapshot manifest (and for validating a loaded snapshot against what
@@ -104,13 +127,13 @@ class ShardedMvpIndex {
   static Result<ShardedMvpIndex> Build(std::vector<Object> objects,
                                        Metric metric, const Options& options,
                                        ThreadPool* pool = nullptr) {
-    if (options.num_shards < 1) {
-      return Status::InvalidArgument("sharded index needs >= 1 shard");
-    }
     ShardedMvpIndex index;
     index.options_ = options;
+    if (index.options_.num_shards == 0) {
+      index.options_.num_shards = AdaptiveShardCount(objects.size());
+    }
     index.size_ = objects.size();
-    const std::size_t k = options.num_shards;
+    const std::size_t k = index.options_.num_shards;
 
     std::vector<std::vector<Object>> parts(k);
     std::vector<std::vector<std::size_t>> ids(k);

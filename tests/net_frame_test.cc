@@ -1,0 +1,364 @@
+// Adversarial wire-protocol tests: the framing layer must turn every kind
+// of mangled input — truncated frames, bit flips anywhere in the stream,
+// adversarial length prefixes, mid-stream disconnects, raw garbage thrown
+// at a live server — into a clean Status, never a crash, hang, or
+// unbounded allocation. The sweep style mirrors the snapshot corruption
+// tests: enumerate every byte position, assert the taxonomy.
+
+#include "fault/fault_fs.h"  // platform gate: defines MVPTREE_FAULT_FS_POSIX
+
+#if defined(MVPTREE_FAULT_FS_POSIX)
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "fault/failpoint.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+
+namespace mvp::net {
+namespace {
+
+/// A connected AF_UNIX stream pair; the tests write mangled bytes into one
+/// end and run RecvFrame on the other.
+class SocketPair {
+ public:
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a_ = fds[0];
+    b_ = fds[1];
+  }
+  ~SocketPair() {
+    CloseA();
+    CloseB();
+  }
+  int a() const { return a_; }
+  int b() const { return b_; }
+  void CloseA() {
+    if (a_ >= 0) ::close(a_);
+    a_ = -1;
+  }
+  void CloseB() {
+    if (b_ >= 0) ::close(b_);
+    b_ = -1;
+  }
+
+ private:
+  int a_ = -1;
+  int b_ = -1;
+};
+
+void WriteRaw(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const long n = ::write(fd, data + sent, size - sent);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::vector<std::uint8_t> SamplePayload() {
+  std::vector<std::uint8_t> payload;
+  for (int i = 0; i < 64; ++i) {
+    payload.push_back(static_cast<std::uint8_t>(i * 7 + 3));
+  }
+  return payload;
+}
+
+/// The full byte stream of one valid frame, captured off a socket.
+std::vector<std::uint8_t> EncodedFrame(const std::vector<std::uint8_t>& payload) {
+  SocketPair pair;
+  EXPECT_TRUE(SendFrame(pair.a(), payload.data(), payload.size(), "test").ok());
+  std::vector<std::uint8_t> bytes(kFrameHeaderBytes + payload.size());
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const long n = ::read(pair.b(), bytes.data() + got, bytes.size() - got);
+    EXPECT_GT(n, 0);
+    got += static_cast<std::size_t>(n);
+  }
+  return bytes;
+}
+
+class NetFrameTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::Failpoints::Instance().DisarmAll(); }
+};
+
+TEST_F(NetFrameTest, RoundTrip) {
+  SocketPair pair;
+  const auto payload = SamplePayload();
+  ASSERT_TRUE(SendFrame(pair.a(), payload.data(), payload.size(), "test").ok());
+  auto received = RecvFrame(pair.b(), "test");
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(received.value(), payload);
+}
+
+TEST_F(NetFrameTest, EmptyPayloadRoundTrips) {
+  SocketPair pair;
+  ASSERT_TRUE(SendFrame(pair.a(), nullptr, 0, "test").ok());
+  auto received = RecvFrame(pair.b(), "test");
+  ASSERT_TRUE(received.ok());
+  EXPECT_TRUE(received.value().empty());
+}
+
+TEST_F(NetFrameTest, CleanCloseBetweenFramesIsNotFound) {
+  SocketPair pair;
+  pair.CloseA();
+  auto received = RecvFrame(pair.b(), "test");
+  EXPECT_EQ(received.status().code(), StatusCode::kNotFound);
+}
+
+// Every possible truncation point: the peer dies after N bytes of a valid
+// frame, for every N short of the full frame. The receiver must report a
+// torn frame (IOError), never hang or return a short payload as success.
+TEST_F(NetFrameTest, TruncationSweep) {
+  const auto frame = EncodedFrame(SamplePayload());
+  for (std::size_t cut = 1; cut < frame.size(); ++cut) {
+    SocketPair pair;
+    WriteRaw(pair.a(), frame.data(), cut);
+    pair.CloseA();
+    auto received = RecvFrame(pair.b(), "test");
+    ASSERT_FALSE(received.ok()) << "cut=" << cut;
+    EXPECT_EQ(received.status().code(), StatusCode::kIOError)
+        << "cut=" << cut << ": " << received.status().ToString();
+  }
+}
+
+// Every single-bit-flip of every byte of a valid frame must surface as a
+// clean error — Corruption for magic/CRC/payload damage, InvalidArgument
+// for a length inflated past the cap, IOError when a shrunken length
+// leaves the CRC check reading short. Never OK, never a crash.
+TEST_F(NetFrameTest, BitFlipSweep) {
+  const auto frame = EncodedFrame(SamplePayload());
+  for (std::size_t pos = 0; pos < frame.size(); ++pos) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      auto mangled = frame;
+      mangled[pos] = static_cast<std::uint8_t>(mangled[pos] ^ (1u << bit));
+      SocketPair pair;
+      WriteRaw(pair.a(), mangled.data(), mangled.size());
+      pair.CloseA();
+      auto received = RecvFrame(pair.b(), "test");
+      ASSERT_FALSE(received.ok()) << "pos=" << pos << " bit=" << bit;
+      const StatusCode code = received.status().code();
+      EXPECT_TRUE(code == StatusCode::kCorruption ||
+                  code == StatusCode::kInvalidArgument ||
+                  code == StatusCode::kIOError)
+          << "pos=" << pos << " bit=" << bit << ": "
+          << received.status().ToString();
+    }
+  }
+}
+
+// An adversarial length prefix must be rejected BEFORE any allocation: a
+// 4 GiB length comes back InvalidArgument immediately, no resize attempt.
+TEST_F(NetFrameTest, AdversarialLengthPrefix) {
+  for (const std::uint32_t length :
+       {static_cast<std::uint32_t>(kMaxFramePayload + 1), 0x7fffffffu,
+        0xffffffffu}) {
+    SocketPair pair;
+    BinaryWriter header;
+    header.Write<std::uint32_t>(kFrameMagic);
+    header.Write<std::uint32_t>(length);
+    header.Write<std::uint32_t>(0);  // CRC never reached
+    WriteRaw(pair.a(), header.buffer().data(), header.buffer().size());
+    auto received = RecvFrame(pair.b(), "test");
+    EXPECT_EQ(received.status().code(), StatusCode::kInvalidArgument)
+        << "length=" << length;
+  }
+}
+
+TEST_F(NetFrameTest, CallerSuppliedCapIsHonoured) {
+  SocketPair pair;
+  const auto payload = SamplePayload();
+  ASSERT_TRUE(SendFrame(pair.a(), payload.data(), payload.size(), "test").ok());
+  auto received = RecvFrame(pair.b(), "test", /*max_payload=*/8);
+  EXPECT_EQ(received.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(NetFrameTest, BadMagicIsCorruption) {
+  SocketPair pair;
+  BinaryWriter header;
+  header.Write<std::uint32_t>(0xdeadbeef);
+  header.Write<std::uint32_t>(4);
+  header.Write<std::uint32_t>(0);
+  WriteRaw(pair.a(), header.buffer().data(), header.buffer().size());
+  auto received = RecvFrame(pair.b(), "test");
+  EXPECT_EQ(received.status().code(), StatusCode::kCorruption);
+}
+
+// Mid-stream disconnects injected at the syscall seam: the recv dies with
+// a connection reset partway into a frame.
+TEST_F(NetFrameTest, InjectedRecvFailureMidFrame) {
+  for (const std::uint64_t skip : {0u, 1u}) {
+    SocketPair pair;
+    const auto payload = SamplePayload();
+    ASSERT_TRUE(
+        SendFrame(pair.a(), payload.data(), payload.size(), "test").ok());
+    fault::FailpointConfig config;
+    config.skip = skip;
+    config.match = "torn";
+    fault::ScopedFailpoint failpoint("net/recv", config);
+    auto received = RecvFrame(pair.b(), "torn");
+    ASSERT_FALSE(received.ok()) << "skip=" << skip;
+    EXPECT_EQ(received.status().code(), StatusCode::kIOError);
+  }
+}
+
+TEST_F(NetFrameTest, InjectedSendFailureIncludingShortWrite) {
+  for (const std::int64_t short_write : {-1, 5}) {
+    SocketPair pair;
+    fault::FailpointConfig config;
+    config.match = "torn";
+    config.short_write = short_write;
+    fault::ScopedFailpoint failpoint("net/send", config);
+    const auto payload = SamplePayload();
+    const Status status =
+        SendFrame(pair.a(), payload.data(), payload.size(), "torn");
+    ASSERT_FALSE(status.ok()) << "short_write=" << short_write;
+    EXPECT_EQ(status.code(), StatusCode::kIOError);
+  }
+}
+
+// Message-codec hardening: a CRC-valid frame whose *payload* carries an
+// adversarial element count must fail the length-prefix guard, not
+// attempt a giant resize.
+TEST_F(NetFrameTest, AdversarialNeighborCountInOutcome) {
+  BinaryWriter payload;
+  payload.Write<std::uint32_t>(0);  // status code OK
+  payload.WriteString("");
+  payload.Write<std::uint8_t>(0);                 // partial
+  payload.Write<std::uint64_t>(0);                // latency
+  payload.Write<std::uint64_t>(0);                // distance computations
+  for (int i = 0; i < 4; ++i) payload.Write<std::uint64_t>(0);  // SearchStats
+  payload.Write<std::uint64_t>(std::uint64_t{1} << 60);  // neighbor count
+  BinaryReader reader(payload.buffer());
+  WireOutcome outcome;
+  EXPECT_EQ(DecodeOutcome(&reader, &outcome).code(), StatusCode::kCorruption);
+}
+
+TEST_F(NetFrameTest, OutOfRangeStatusCodeIsCorruption) {
+  BinaryWriter payload;
+  payload.Write<std::uint32_t>(250);
+  payload.WriteString("weird");
+  BinaryReader reader(payload.buffer());
+  Status decoded;
+  EXPECT_EQ(DecodeResponseStatus(&reader, &decoded).code(),
+            StatusCode::kCorruption);
+}
+
+/// Opens a raw TCP connection to the loopback server, bypassing Client —
+/// for injecting bytes no well-behaved client would send.
+int RawConnect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  return fd;
+}
+
+// A live server fed raw garbage must answer with a clean error (when the
+// stream still parses as a frame) or hang up — and keep serving proper
+// clients afterwards. No crash, no wedged accept loop.
+TEST_F(NetFrameTest, GarbageAgainstLiveServer) {
+  ServerOptions options;  // zero collections: pure protocol surface
+  auto server = Server::Start(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const std::uint16_t port = server.value()->port();
+
+  {
+    // Garbage bytes that are not even a frame header: the server answers
+    // with a Corruption response frame and closes the connection.
+    const int fd = RawConnect(port);
+    const char junk[] = "GET / HTTP/1.1\r\n\r\n";
+    WriteRaw(fd, reinterpret_cast<const std::uint8_t*>(junk), sizeof(junk));
+    auto response = RecvFrame(fd, "test");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    BinaryReader reader(response.value());
+    Status server_status;
+    ASSERT_TRUE(DecodeResponseStatus(&reader, &server_status).ok());
+    EXPECT_EQ(server_status.code(), StatusCode::kCorruption);
+    // The stream lost sync, so the server hangs up after the error. The
+    // leftover junk in the server's receive buffer can turn the close into
+    // an RST, so either a clean EOF or a reset is acceptable here.
+    auto next = RecvFrame(fd, "test");
+    EXPECT_TRUE(next.status().code() == StatusCode::kNotFound ||
+                next.status().code() == StatusCode::kIOError)
+        << next.status().ToString();
+    ::close(fd);
+  }
+  {
+    // A valid frame carrying an unknown op: InvalidArgument response, and
+    // the connection stays usable (the frame itself was intact).
+    const int fd = RawConnect(port);
+    BinaryWriter request;
+    request.Write<std::uint32_t>(0xfeedfaceu);
+    ASSERT_TRUE(SendFrame(fd, request.buffer().data(),
+                          request.buffer().size(), "test")
+                    .ok());
+    auto response = RecvFrame(fd, "test");
+    ASSERT_TRUE(response.ok());
+    BinaryReader reader(response.value());
+    Status server_status;
+    ASSERT_TRUE(DecodeResponseStatus(&reader, &server_status).ok());
+    EXPECT_EQ(server_status.code(), StatusCode::kInvalidArgument);
+    BinaryWriter ping;
+    ping.Write<std::uint32_t>(static_cast<std::uint32_t>(Op::kPing));
+    ASSERT_TRUE(
+        SendFrame(fd, ping.buffer().data(), ping.buffer().size(), "test")
+            .ok());
+    auto pong = RecvFrame(fd, "test");
+    EXPECT_TRUE(pong.ok()) << pong.status().ToString();
+    ::close(fd);
+  }
+  {
+    // An adversarial length prefix straight at the server, then a flood of
+    // truncated headers with abrupt disconnects.
+    const int fd = RawConnect(port);
+    BinaryWriter header;
+    header.Write<std::uint32_t>(kFrameMagic);
+    header.Write<std::uint32_t>(0xffffffffu);
+    header.Write<std::uint32_t>(0);
+    WriteRaw(fd, header.buffer().data(), header.buffer().size());
+    auto response = RecvFrame(fd, "test");
+    ASSERT_TRUE(response.ok());
+    BinaryReader reader(response.value());
+    Status server_status;
+    ASSERT_TRUE(DecodeResponseStatus(&reader, &server_status).ok());
+    EXPECT_EQ(server_status.code(), StatusCode::kInvalidArgument);
+    ::close(fd);
+  }
+  for (int round = 0; round < 4; ++round) {
+    const int fd = RawConnect(port);
+    const std::uint8_t partial[] = {0x4d, 0x56, 0x50};  // 3 bytes of magic
+    WriteRaw(fd, partial, round);  // 0..3 bytes, then vanish
+    ::close(fd);
+  }
+
+  // After all the abuse the server still answers a well-behaved client.
+  auto client = Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client.value().Ping().ok());
+  auto collections = client.value().ListCollections();
+  ASSERT_TRUE(collections.ok());
+  EXPECT_TRUE(collections.value().empty());
+  server.value()->Stop();
+}
+
+}  // namespace
+}  // namespace mvp::net
+
+#endif  // MVPTREE_FAULT_FS_POSIX

@@ -135,13 +135,40 @@ TEST(ShardedIndexTest, MoreShardsThanPoints) {
   EXPECT_EQ(sharded.RangeSearch(q, 2.0), plain.RangeSearch(q, 2.0));
 }
 
-TEST(ShardedIndexTest, ZeroShardsRejected) {
-  Sharded::Options options;
-  options.num_shards = 0;
-  const auto built = Sharded::Build(dataset::UniformVectors(10, 4, 1), L2(),
-                                    options);
-  ASSERT_FALSE(built.ok());
-  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+TEST(ShardedIndexTest, AdaptiveShardCountScalesWithDataAndCores) {
+  // Small datasets never over-shard: below one shard's worth of objects
+  // the answer is a single tree, regardless of core count.
+  EXPECT_EQ(Sharded::AdaptiveShardCount(0, 16), 1u);
+  EXPECT_EQ(Sharded::AdaptiveShardCount(Sharded::kMinObjectsPerShard - 1, 16),
+            1u);
+  // The data-size bound: ~one shard per kMinObjectsPerShard objects until
+  // the core count caps it.
+  EXPECT_EQ(Sharded::AdaptiveShardCount(2 * Sharded::kMinObjectsPerShard, 16),
+            2u);
+  // The core bound: plenty of data uses every core...
+  EXPECT_EQ(Sharded::AdaptiveShardCount(1'000'000, 8), 8u);
+  // ...up to the global clamp.
+  EXPECT_EQ(Sharded::AdaptiveShardCount(100'000'000, 1024),
+            Sharded::kMaxAdaptiveShards);
+  // hardware_concurrency may report 0; that is one core, not zero shards.
+  EXPECT_EQ(Sharded::AdaptiveShardCount(1'000'000, 0), 1u);
+}
+
+TEST(ShardedIndexTest, DefaultOptionsResolveAdaptively) {
+  // num_shards = 0 (the default) resolves from dataset size and cores at
+  // Build time, and the resolved count is recorded in options()/
+  // build_params() so snapshots round-trip the real value.
+  const auto data = dataset::UniformVectors(100, 4, 3);
+  const auto built = Sharded::Build(data, L2(), Sharded::Options{});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().num_shards(), 1u);  // 100 objects: one shard
+  EXPECT_EQ(built.value().options().num_shards, 1u);
+  EXPECT_EQ(built.value().build_params().num_shards, 1u);
+
+  // Results are still bit-identical to the unsharded tree.
+  const auto plain = Plain::Build(data, L2(), {}).ValueOrDie();
+  const Vector q(4, 0.5);
+  EXPECT_EQ(built.value().KnnSearch(q, 7), plain.KnnSearch(q, 7));
 }
 
 TEST(ShardedIndexTest, SearchStatsAccumulateAcrossShards) {

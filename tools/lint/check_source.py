@@ -6,12 +6,15 @@ that must not silently regress):
 
   raw-syscall      ::open/::write/::fsync/::rename/::mmap outside src/fault/
                    bypass the fault-injection seam (fault::fs), silently
-                   shrinking crash-drill coverage. Route syscalls through
-                   the seam instead (docs/fault_injection.md).
+                   shrinking crash-drill coverage; socket syscalls
+                   (::socket/::connect/::send/::recv/...) likewise bypass
+                   fault::net. Route syscalls through the seams instead
+                   (docs/fault_injection.md).
 
   raw-mutex        std::mutex / std::shared_mutex / std::condition_variable
                    in the annotated directories (src/serve, src/snapshot,
-                   src/fault, src/metric) are invisible to Clang Thread
+                   src/fault, src/metric, src/net) are invisible to Clang
+                   Thread
                    Safety Analysis. Use the annotated wrappers from
                    src/common/thread_annotations.h.
 
@@ -49,7 +52,8 @@ import sys
 DEFAULT_SCAN_DIRS = ("src", "tools", "bench")
 
 # Directories whose components must use the annotated lock wrappers.
-ANNOTATED_DIRS = ("src/serve", "src/snapshot", "src/fault", "src/metric")
+ANNOTATED_DIRS = ("src/serve", "src/snapshot", "src/fault", "src/metric",
+                  "src/net")
 
 # The fault seam itself is the one place raw syscalls are legal.
 SYSCALL_SEAM_DIR = "src/fault"
@@ -60,7 +64,15 @@ TESTDATA_DIR = "tools/lint/testdata"
 SOURCE_EXTENSIONS = (".h", ".cc", ".cpp")
 
 RAW_SYSCALL_RE = re.compile(
-    r"(?<![\w:])::(open|write|fsync|rename|ftruncate|mmap)\s*\(")
+    r"(?<![\w:])::(open|write|fsync|rename|ftruncate|mmap|socket|bind|listen|"
+    r"accept|connect|send|recv|shutdown)\s*\(")
+# Socket syscalls route through fault::net (src/fault/fault_net.h); the rest
+# through fault::fs. Values are the seam function to name in the finding.
+NET_SYSCALL_SEAM_FN = {
+    "socket": "Socket", "bind": "Bind", "listen": "Listen",
+    "accept": "Accept", "connect": "Connect", "send": "Send",
+    "recv": "Recv", "shutdown": "ShutdownSocket",
+}
 RAW_MUTEX_RE = re.compile(
     r"std::(mutex|shared_mutex|recursive_mutex|condition_variable(_any)?)\b")
 MUTEX_MEMBER_RE = re.compile(
@@ -175,11 +187,19 @@ def check_file(root, rel, findings, logical_rel=None):
         if not seam:
             m = RAW_SYSCALL_RE.search(code_line)
             if m and not allowed(raw_line, "raw-syscall", findings, rel, i):
-                findings.append(Finding(
-                    rel, i, "raw-syscall",
-                    f"raw ::{m.group(1)}() bypasses the fault::fs seam; "
-                    f"use fault::fs::{m.group(1).capitalize()} "
-                    "(src/fault/fault_fs.h)"))
+                op = m.group(1)
+                if op in NET_SYSCALL_SEAM_FN:
+                    findings.append(Finding(
+                        rel, i, "raw-syscall",
+                        f"raw ::{op}() bypasses the fault::net seam; "
+                        f"use fault::net::{NET_SYSCALL_SEAM_FN[op]} "
+                        "(src/fault/fault_net.h)"))
+                else:
+                    findings.append(Finding(
+                        rel, i, "raw-syscall",
+                        f"raw ::{op}() bypasses the fault::fs seam; "
+                        f"use fault::fs::{op.capitalize()} "
+                        "(src/fault/fault_fs.h)"))
 
         if annotated and not is_annotation_header:
             m = RAW_MUTEX_RE.search(code_line)

@@ -1,0 +1,28 @@
+// Fixture: raw socket syscalls outside src/fault/ bypass the fault::net
+// seam. Not real code — scanned only by `check_source.py --selftest`, which
+// checks it as if it lived at src/net/raw_socket_violation.cc.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+namespace mvp::net {
+
+int BadDirectSocket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);  // seed:raw-syscall
+  if (fd < 0) return -1;
+  struct sockaddr_in addr {};
+  ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),  // seed:raw-syscall
+            sizeof(addr));
+  const char byte = 'x';
+  ::send(fd, &byte, 1, 0);  // seed:raw-syscall
+  char in = 0;
+  ::recv(fd, &in, 1, 0);  // seed:raw-syscall
+  return 0;
+}
+
+// A justified suppression: not a finding.
+int AllowedDirectSocket() {
+  return ::socket(AF_INET, SOCK_DGRAM, 0);  // lint:allow(raw-syscall): demo
+}
+
+}  // namespace mvp::net

@@ -51,6 +51,21 @@
 //                                # removes generations no longer referenced
 //   mvpt wal-dump --dir store/   # decode the write-ahead log: one line per
 //                                # record, plus torn-tail diagnostics
+//   mvpt connect --port P [--host H] [--stats NAME]
+//                                # ping an mvpt-server, list its collections;
+//                                # --stats dumps one collection's ServeStats
+//   mvpt query --port P --collection NAME --point "x1,x2,..."
+//              (--radius R | --knn K) [--host H] [--timeout-ms T]
+//              [--max-distances N]  # remote query (--host/--port switch the
+//                                # query subcommand into network mode)
+//   mvpt batch-query --port P --collection NAME --input queries.csv
+//                    (--radius R | --knn K) [--host H] [--timeout-ms T]
+//                    [--max-distances N] [--verbose]
+//                                # streaming batch over one connection; prints
+//                                # ok/partial/expired/shed counts + latency
+//   mvpt replicate --port P --collection NAME --dir store/ [--host H]
+//                                # pull the leader's committed generation into
+//                                # a local store (resumable, verified)
 //   mvpt selftest          # end-to-end smoke test in a temp directory
 //
 // Text (edit-distance) mode: pass --type words to build/query/validate;
@@ -80,6 +95,8 @@
 #include "harness/table.h"
 #include "metric/edit_distance.h"
 #include "metric/lp.h"
+#include "net/client.h"
+#include "net/replication.h"
 #include "serve/executor.h"
 #include "serve/serve_stats.h"
 #include "serve/sharded_index.h"
@@ -125,7 +142,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: mvpt gen|build|stats|query|hist|validate|serve-bench|"
                "snapshot-save|snapshot-load|insert|delete|compact|wal-dump|"
-               "selftest [--key value ...]\n"
+               "connect|batch-query|replicate|selftest [--key value ...]\n"
                "see the header of tools/mvpt_cli.cc for full syntax\n");
   return 2;
 }
@@ -1140,6 +1157,194 @@ int RunSelfTest() {
   return 0;
 }
 
+// ---- network subcommands ---------------------------------------------------
+
+#if defined(MVPTREE_FAULT_FS_POSIX)
+
+Result<net::Client> ConnectFromArgs(const Args& args) {
+  if (!args.Has("port")) return Status::InvalidArgument("--port is required");
+  return net::Client::Connect(
+      args.Get("host", "127.0.0.1"),
+      static_cast<std::uint16_t>(args.GetInt("port", 0)));
+}
+
+net::WireQuery WireQueryFromArgs(const Args& args, Vector point) {
+  net::WireQuery query;
+  query.point = std::move(point);
+  if (args.Has("knn")) {
+    query.kind = 1;
+    query.k = static_cast<std::uint64_t>(args.GetInt("knn", 1));
+  } else {
+    query.kind = 0;
+    query.radius = args.GetDouble("radius", 0.0);
+  }
+  if (args.Has("timeout-ms")) {
+    query.timeout_ns =
+        static_cast<std::uint64_t>(args.GetInt("timeout-ms", 0)) * 1000000ull;
+  }
+  query.max_distance_computations =
+      static_cast<std::uint64_t>(args.GetInt("max-distances", 0));
+  return query;
+}
+
+const char* OutcomeLabel(const net::WireOutcome& outcome) {
+  if (outcome.status_code == 0) return "ok";
+  if (outcome.partial) return "partial";
+  if (outcome.status_code ==
+      static_cast<std::uint32_t>(StatusCode::kResourceExhausted)) {
+    return "shed";
+  }
+  return "error";
+}
+
+int RunConnect(const Args& args) {
+  auto client = ConnectFromArgs(args);
+  if (!client.ok()) return Fail(client.status().ToString());
+  Status pinged = client.value().Ping();
+  if (!pinged.ok()) return Fail(pinged.ToString());
+  auto collections = client.value().ListCollections();
+  if (!collections.ok()) return Fail(collections.status().ToString());
+  std::printf("connected; %zu collection(s)\n", collections.value().size());
+  for (const auto& info : collections.value()) {
+    std::printf("  %-16s metric=%-4s mode=%-7s generation=%llu size=%llu\n",
+                info.name.c_str(), info.metric.c_str(),
+                info.dynamic ? "dynamic" : "static",
+                static_cast<unsigned long long>(info.generation),
+                static_cast<unsigned long long>(info.size));
+  }
+  if (args.Has("stats")) {
+    auto stats = client.value().Stats(args.Get("stats"));
+    if (!stats.ok()) return Fail(stats.status().ToString());
+    const auto& s = stats.value();
+    std::printf("stats for %s:\n", args.Get("stats").c_str());
+    std::printf(
+        "  queries=%llu ok=%llu partial=%llu deadline_exceeded=%llu "
+        "shed=%llu\n",
+        static_cast<unsigned long long>(s.queries),
+        static_cast<unsigned long long>(s.ok),
+        static_cast<unsigned long long>(s.partial),
+        static_cast<unsigned long long>(s.deadline_exceeded),
+        static_cast<unsigned long long>(s.shed));
+    std::printf(
+        "  distance_computations=%llu results_returned=%llu\n",
+        static_cast<unsigned long long>(s.distance_computations),
+        static_cast<unsigned long long>(s.results_returned));
+    std::printf("  latency p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms\n",
+                s.p50.count() / 1e6, s.p95.count() / 1e6, s.p99.count() / 1e6,
+                s.max.count() / 1e6);
+  }
+  return 0;
+}
+
+int RunRemoteQuery(const Args& args) {
+  const std::string collection = args.Get("collection");
+  if (collection.empty()) return Fail("remote query requires --collection");
+  if (!args.Has("radius") && !args.Has("knn")) {
+    return Fail("query requires one of --radius, --knn");
+  }
+  auto point = ParseVector(args.Get("point"));
+  if (!point.ok()) return Fail(point.status().ToString());
+  auto client = ConnectFromArgs(args);
+  if (!client.ok()) return Fail(client.status().ToString());
+  auto outcome = client.value().Query(
+      collection, WireQueryFromArgs(args, std::move(point).ValueOrDie()));
+  if (!outcome.ok()) return Fail(outcome.status().ToString());
+  const net::WireOutcome& result = outcome.value();
+  if (result.status_code != 0 && !result.partial) {
+    return Fail(result.status().ToString());
+  }
+  std::printf("%zu results%s (%llu distance computations, %.3f ms)\n",
+              result.neighbors.size(), result.partial ? " [partial]" : "",
+              static_cast<unsigned long long>(result.distance_computations),
+              result.latency_ns / 1e6);
+  for (const auto& hit : result.neighbors) {
+    std::printf("  id=%zu distance=%.6f\n", hit.id, hit.distance);
+  }
+  return 0;
+}
+
+int RunBatchQuery(const Args& args) {
+  const std::string collection = args.Get("collection");
+  if (collection.empty()) return Fail("batch-query requires --collection");
+  if (!args.Has("radius") && !args.Has("knn")) {
+    return Fail("batch-query requires one of --radius, --knn");
+  }
+  auto points = LoadCsv(args.Get("input"));
+  if (!points.ok()) return Fail(points.status().ToString());
+  std::vector<net::WireQuery> queries;
+  queries.reserve(points.value().size());
+  for (Vector& point : points.value()) {
+    queries.push_back(WireQueryFromArgs(args, std::move(point)));
+  }
+  auto client = ConnectFromArgs(args);
+  if (!client.ok()) return Fail(client.status().ToString());
+  auto outcomes = client.value().BatchQuery(collection, queries);
+  if (!outcomes.ok()) return Fail(outcomes.status().ToString());
+  std::size_t ok = 0, partial = 0, expired = 0, shed = 0, errors = 0;
+  std::uint64_t distances = 0, results = 0, max_latency_ns = 0;
+  for (const auto& outcome : outcomes.value()) {
+    if (outcome.status_code == 0) {
+      ++ok;
+    } else if (outcome.partial) {
+      ++partial;
+    } else if (outcome.status_code ==
+               static_cast<std::uint32_t>(StatusCode::kResourceExhausted)) {
+      ++shed;
+    } else if (outcome.status_code ==
+               static_cast<std::uint32_t>(StatusCode::kDeadlineExceeded)) {
+      ++expired;
+    } else {
+      ++errors;
+    }
+    distances += outcome.distance_computations;
+    results += outcome.neighbors.size();
+    max_latency_ns = std::max(max_latency_ns, outcome.latency_ns);
+  }
+  std::printf(
+      "%zu queries: ok=%zu partial=%zu expired=%zu shed=%zu errors=%zu "
+      "(%llu results, %llu distance computations, max latency %.3f ms)\n",
+      outcomes.value().size(), ok, partial, expired, shed, errors,
+      static_cast<unsigned long long>(results),
+      static_cast<unsigned long long>(distances), max_latency_ns / 1e6);
+  if (args.Has("verbose")) {
+    for (std::size_t i = 0; i < outcomes.value().size(); ++i) {
+      const auto& outcome = outcomes.value()[i];
+      std::printf("  #%zu %s: %zu results, %llu distances, %.3f ms\n", i,
+                  OutcomeLabel(outcome), outcome.neighbors.size(),
+                  static_cast<unsigned long long>(
+                      outcome.distance_computations),
+                  outcome.latency_ns / 1e6);
+    }
+  }
+  return 0;
+}
+
+int RunReplicate(const Args& args) {
+  const std::string collection = args.Get("collection");
+  const std::string dir = args.Get("dir");
+  if (collection.empty() || dir.empty()) {
+    return Fail("replicate requires --collection and --dir");
+  }
+  auto client = ConnectFromArgs(args);
+  if (!client.ok()) return Fail(client.status().ToString());
+  auto generation =
+      net::PullGeneration(client.value(), collection, dir);
+  if (!generation.ok()) return Fail(generation.status().ToString());
+  std::printf("store %s now serves generation %llu of %s\n", dir.c_str(),
+              static_cast<unsigned long long>(generation.value()),
+              collection.c_str());
+  return 0;
+}
+
+#else  // !MVPTREE_FAULT_FS_POSIX
+
+int RunConnect(const Args&) { return Fail("network mode requires POSIX"); }
+int RunRemoteQuery(const Args&) { return Fail("network mode requires POSIX"); }
+int RunBatchQuery(const Args&) { return Fail("network mode requires POSIX"); }
+int RunReplicate(const Args&) { return Fail("network mode requires POSIX"); }
+
+#endif  // MVPTREE_FAULT_FS_POSIX
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Args args;
@@ -1163,7 +1368,14 @@ int Main(int argc, char** argv) {
   if (args.command == "stats") return RunStats(args);
   if (args.command == "hist") return RunHist(args);
   if (args.command == "validate") return RunValidate(args);
-  if (args.command == "query") return RunQuery(args);
+  if (args.command == "query") {
+    // --host/--port flips query into network mode against an mvpt-server.
+    return args.Has("port") || args.Has("host") ? RunRemoteQuery(args)
+                                                : RunQuery(args);
+  }
+  if (args.command == "connect") return RunConnect(args);
+  if (args.command == "batch-query") return RunBatchQuery(args);
+  if (args.command == "replicate") return RunReplicate(args);
   if (args.command == "serve-bench") return RunServeBench(args);
   if (args.command == "snapshot-save") return RunSnapshotSave(args);
   if (args.command == "snapshot-load") return RunSnapshotLoad(args);

@@ -1,0 +1,252 @@
+// mvpt-server — network serving daemon for mvp-tree snapshot stores.
+//
+//   mvpt-server --collections SPEC[;SPEC...] [--port P] [--threads N]
+//               [--follow HOST:PORT [--poll-ms MS]] [--once]
+//
+// Each SPEC configures one named collection:
+//
+//   name=NAME,dir=DIR[,metric=l1|l2|linf][,dynamic]
+//            [,max-timeout-ms=T][,max-in-flight=N]
+//
+//   name / dir        collection name and its snapshot-store directory
+//   metric            distance metric (default l2)
+//   dynamic           serve a live DynamicOverlay instead of a static
+//                     snapshot generation
+//   max-timeout-ms    per-tenant deadline cap: every query's timeout is
+//                     clamped to this many milliseconds
+//   max-in-flight     per-tenant admission cap (load shedding)
+//
+// Example — two tenants on an ephemeral port:
+//
+//   mvpt-server --collections "vecs,dir=/data/vecs;live,dir=/data/live,dynamic"
+//
+// Follower mode: with --follow the server replicates every (static)
+// collection from the leader at HOST:PORT — pulling new committed
+// generations chunk-by-chunk (resumable, fingerprint-verified; see
+// docs/network_serving.md) and hot-swapping them into serving — while
+// serving queries itself. --once does a single replication pass and exits
+// (scriptable catch-up); --poll-ms sets the polling interval.
+//
+// The server binds 127.0.0.1 only and exits cleanly on SIGINT/SIGTERM.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault_fs.h"  // platform gate: defines MVPTREE_FAULT_FS_POSIX
+
+#if defined(MVPTREE_FAULT_FS_POSIX)
+
+#include "net/client.h"
+#include "net/replication.h"
+#include "net/server.h"
+
+namespace mvp::tools {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mvpt-server --collections \"name=N,dir=D[,metric=M][,dynamic]"
+      "[,max-timeout-ms=T][,max-in-flight=N];...\"\n"
+      "                   [--port P] [--threads N]\n"
+      "                   [--follow HOST:PORT [--poll-ms MS]] [--once]\n"
+      "see the header of tools/mvpt_server.cc for full syntax\n");
+  return 2;
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string part;
+  for (const char c : text) {
+    if (c == sep) {
+      parts.push_back(part);
+      part.clear();
+    } else {
+      part.push_back(c);
+    }
+  }
+  parts.push_back(part);
+  return parts;
+}
+
+/// Parses one `key=value,...` collection spec. The first field may be a
+/// bare NAME as shorthand for name=NAME.
+Result<net::CollectionOptions> ParseCollectionSpec(const std::string& spec) {
+  net::CollectionOptions options;
+  bool first = true;
+  for (const std::string& field : Split(spec, ',')) {
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    const std::string key = eq == std::string::npos ? field
+                                                    : field.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : field.substr(eq + 1);
+    if (first && eq == std::string::npos) {
+      options.name = key;
+    } else if (key == "name") {
+      options.name = value;
+    } else if (key == "dir") {
+      options.dir = value;
+    } else if (key == "metric") {
+      options.metric = value;
+    } else if (key == "dynamic") {
+      options.dynamic = true;
+    } else if (key == "max-timeout-ms") {
+      options.max_timeout_ns =
+          static_cast<std::uint64_t>(std::atoll(value.c_str())) * 1000000ull;
+    } else if (key == "max-in-flight") {
+      options.admission.max_in_flight =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else {
+      return Status::InvalidArgument("unknown collection field '" + key +
+                                     "' in spec: " + spec);
+    }
+    first = false;
+  }
+  if (options.name.empty() || options.dir.empty()) {
+    return Status::InvalidArgument("collection spec needs name and dir: " +
+                                   spec);
+  }
+  return options;
+}
+
+/// One replication pass over every static collection: pull whatever the
+/// leader has committed, hot-swap on change. Errors are reported but do
+/// not stop the poll loop — the follower catches up next round.
+void ReplicateAll(net::Server* server,
+                  const std::vector<net::CollectionOptions>& collections,
+                  const std::string& leader_host, std::uint16_t leader_port) {
+  auto client = net::Client::Connect(leader_host, leader_port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "follow: %s\n",
+                 client.status().ToString().c_str());
+    return;
+  }
+  for (const net::CollectionOptions& collection : collections) {
+    if (collection.dynamic) continue;  // overlays own their WAL; not pulled
+    auto pulled =
+        net::PullGeneration(client.value(), collection.name, collection.dir);
+    if (!pulled.ok()) {
+      std::fprintf(stderr, "follow %s: %s\n", collection.name.c_str(),
+                   pulled.status().ToString().c_str());
+      continue;
+    }
+    const Status refreshed = server->Refresh(collection.name);
+    if (!refreshed.ok()) {
+      std::fprintf(stderr, "refresh %s: %s\n", collection.name.c_str(),
+                   refreshed.ToString().c_str());
+    }
+  }
+}
+
+int Main(int argc, char** argv) {
+  std::string collections_spec, follow;
+  net::ServerOptions options;
+  long poll_ms = 1000;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--collections") {
+      collections_spec = value();
+    } else if (arg == "--port") {
+      options.port = static_cast<std::uint16_t>(std::atoi(value()));
+    } else if (arg == "--threads") {
+      options.threads = static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--follow") {
+      follow = value();
+    } else if (arg == "--poll-ms") {
+      poll_ms = std::atol(value());
+    } else if (arg == "--once") {
+      once = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (collections_spec.empty()) return Usage();
+  for (const std::string& spec : Split(collections_spec, ';')) {
+    if (spec.empty()) continue;
+    auto collection = ParseCollectionSpec(spec);
+    if (!collection.ok()) return Fail(collection.status().ToString());
+    options.collections.push_back(std::move(collection).ValueOrDie());
+  }
+
+  std::string leader_host;
+  std::uint16_t leader_port = 0;
+  if (!follow.empty()) {
+    const std::size_t colon = follow.rfind(':');
+    if (colon == std::string::npos) {
+      return Fail("--follow expects HOST:PORT");
+    }
+    leader_host = follow.substr(0, colon);
+    leader_port =
+        static_cast<std::uint16_t>(std::atoi(follow.c_str() + colon + 1));
+  }
+
+  const std::vector<net::CollectionOptions> collections = options.collections;
+  auto server = net::Server::Start(std::move(options));
+  if (!server.ok()) return Fail(server.status().ToString());
+  std::printf("mvpt-server listening on 127.0.0.1:%u (%zu collections)%s\n",
+              server.value()->port(), collections.size(),
+              follow.empty() ? "" : (" following " + follow).c_str());
+  std::fflush(stdout);
+
+  // SIG_ERR here would only mean the default disposition stays; the
+  // server still runs, it just cannot be stopped gracefully.
+  (void)std::signal(SIGINT, HandleSignal);
+  (void)std::signal(SIGTERM, HandleSignal);  // same rationale as SIGINT
+
+  if (!follow.empty() && once) {
+    ReplicateAll(server.value().get(), collections, leader_host, leader_port);
+    server.value()->Stop();
+    return 0;
+  }
+
+  auto last_pull = std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(poll_ms);
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    if (!follow.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_pull >= std::chrono::milliseconds(poll_ms)) {
+        ReplicateAll(server.value().get(), collections, leader_host,
+                     leader_port);
+        last_pull = now;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("mvpt-server: shutting down\n");
+  server.value()->Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace mvp::tools
+
+int main(int argc, char** argv) { return mvp::tools::Main(argc, argv); }
+
+#else  // !MVPTREE_FAULT_FS_POSIX
+
+int main() {
+  std::fprintf(stderr, "mvpt-server requires a POSIX platform\n");
+  return 1;
+}
+
+#endif  // MVPTREE_FAULT_FS_POSIX
