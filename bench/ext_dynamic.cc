@@ -188,6 +188,37 @@ int Run() {
                     static_cast<double>(base_bytes));
   }
 
+  // --- Compaction chunk reuse: a recompaction whose shard payloads are
+  // byte-identical to the previous generation's must write ~36-byte refs
+  // instead of full shard chunks, so the physical container I/O collapses
+  // to the stable-id map plus refs. This is asserted, not just printed:
+  // losing the reuse path is a silent I/O regression.
+  const auto container_bytes = [&store](std::uint64_t gen) {
+    return static_cast<std::uint64_t>(std::filesystem::file_size(
+        store.GenerationDir(gen) + "/" +
+        snapshot::SnapshotStore::kContainerFile));
+  };
+  const auto full_gen = overlay.Compact().ValueOrDie();
+  const auto full_write = container_bytes(full_gen);
+  const auto reused_before = overlay.stats().compaction_reused_chunks;
+  const auto reuse_gen = overlay.Compact().ValueOrDie();
+  const auto reuse_write = container_bytes(reuse_gen);
+  const auto reused = overlay.stats().compaction_reused_chunks - reused_before;
+  std::printf("compaction chunk reuse: full rewrite %llu bytes, idempotent "
+              "recompaction %llu bytes (%llu shard chunks reused)\n",
+              static_cast<unsigned long long>(full_write),
+              static_cast<unsigned long long>(reuse_write),
+              static_cast<unsigned long long>(reused));
+  if (reused == 0 || reuse_write * 2 >= full_write) {
+    std::fprintf(stderr,
+                 "chunk-reuse regression: recompaction rewrote %llu of %llu "
+                 "bytes with %llu chunks reused\n",
+                 static_cast<unsigned long long>(reuse_write),
+                 static_cast<unsigned long long>(full_write),
+                 static_cast<unsigned long long>(reused));
+    return 1;
+  }
+
   // --- WAL group-commit throughput: concurrent writers amortize one fsync
   // across many acknowledged inserts.
   std::printf("wal append throughput (%zu-d vectors, fsync before ack):\n",

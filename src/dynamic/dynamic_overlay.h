@@ -107,6 +107,11 @@ class DynamicOverlay {
     std::uint64_t checkpoints = 0;
     std::uint64_t compactions = 0;
     std::uint64_t replayed_records = 0;  ///< WAL records applied by Open
+    std::uint64_t shipped_records = 0;   ///< records applied by ApplyReplicated
+    /// Shard chunks compaction wrote by reference instead of rewriting
+    /// (snapshot/format.h kShardTreeRef) — the I/O saved on low-churn
+    /// compactions.
+    std::uint64_t compaction_reused_chunks = 0;
   };
 
   /// Opens (or creates) the dynamic store at `dir`: loads the committed
@@ -339,6 +344,37 @@ class DynamicOverlay {
     return CompactLocked(pool);
   }
 
+  /// Applies a batch of leader WAL records shipped by replication
+  /// (docs/network_serving.md). Records carry the leader's seq and stable
+  /// ids verbatim; each must be exactly the next sequence number —
+  /// Corruption on a gap or overlap, so a stream that skipped records can
+  /// never be half-applied silently. Every record is appended to the local
+  /// WAL before it is applied (same order discipline as Insert/Erase), and
+  /// one group-commit fsync covers the whole batch, so a follower crash
+  /// replays exactly what it acknowledged.
+  Status ApplyReplicated(const std::vector<wal::WalRecord>& records)
+      MVP_EXCLUDES(mu_) {
+    if (records.empty()) return Status::OK();
+    std::uint64_t last = 0;
+    {
+      MutexLock lock(&mu_);
+      for (const wal::WalRecord& record : records) {
+        if (record.seq != next_seq_ + 1) {
+          return Status::Corruption(
+              "replicated wal record out of sequence (expected " +
+              std::to_string(next_seq_ + 1) + ", got " +
+              std::to_string(record.seq) + ")");
+        }
+        MVP_RETURN_NOT_OK(wal_->Append(record));
+        MVP_RETURN_NOT_OK(ApplyRecordLocked(record));
+        next_seq_ = record.seq;
+        ++stats_.shipped_records;
+        last = record.seq;
+      }
+    }
+    return wal_->Sync(last);
+  }
+
   // Introspection (tests, CLI, bench).
   std::uint64_t generation() const MVP_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
@@ -351,6 +387,19 @@ class DynamicOverlay {
   std::uint64_t next_stable_id() const MVP_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     return next_stable_id_;
+  }
+  /// Last WAL sequence applied in memory (0 = none). For a follower this
+  /// is its replication cursor: the leader ships records above it.
+  std::uint64_t applied_seq() const MVP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return next_seq_;
+  }
+  /// Highest seq folded into the committed generation — the WAL floor.
+  /// Records at or below it live only in generations, so a follower whose
+  /// cursor is below the leader's floor must pull generations instead.
+  std::uint64_t checkpoint_seq() const MVP_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return checkpoint_seq_;
   }
   std::size_t memtable_size() const MVP_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
@@ -487,9 +536,15 @@ class DynamicOverlay {
     auto built =
         BaseIndex::Build(std::move(objects), metric_, options_.rebuild, pool);
     if (!built.ok()) return built.status();
+    // Offer the outgoing base for chunk reuse: shards whose serialized
+    // bytes are unchanged (zero churn in that shard) are written as ~36-byte
+    // refs into the old container instead of full rewrites.
+    std::uint64_t reused = 0;
     auto gen = store_.SaveCompacted(built.value(), stable_ids, next_seq_,
-                                    next_stable_id_, codec_);
+                                    next_stable_id_, codec_, base_generation_,
+                                    &reused);
     if (!gen.ok()) return gen.status();
+    stats_.compaction_reused_chunks += reused;
     MVP_RETURN_NOT_OK(wal_->TruncateToEmpty());
     base_ = std::move(built).ValueOrDie();
     bool identity = true;
@@ -548,11 +603,12 @@ class DynamicOverlay {
     return Status::OK();
   }
 
-  /// Re-applies one WAL record during Open. Replay runs against exactly
-  /// the state the record was originally applied to (same generation, same
-  /// prior records), so every check here failing means a corrupt or
-  /// mismatched log, not a tolerable anomaly.
-  Status ReplayLocked(const wal::WalRecord& record) MVP_REQUIRES(mu_) {
+  /// Applies one WAL record that originated elsewhere (recovery replay or
+  /// a shipped leader record). The record was originally applied against
+  /// exactly this state (same generation, same prior records), so every
+  /// check here failing means a corrupt or mismatched log, not a tolerable
+  /// anomaly.
+  Status ApplyRecordLocked(const wal::WalRecord& record) MVP_REQUIRES(mu_) {
     if (record.op == wal::WalOp::kInsert) {
       Object object;
       BinaryReader reader(record.payload.data(), record.payload.size());
@@ -574,6 +630,12 @@ class DynamicOverlay {
       }
       ApplyEraseLocked(record.id);
     }
+    return Status::OK();
+  }
+
+  /// Re-applies one WAL record during Open.
+  Status ReplayLocked(const wal::WalRecord& record) MVP_REQUIRES(mu_) {
+    MVP_RETURN_NOT_OK(ApplyRecordLocked(record));
     ++stats_.replayed_records;
     return Status::OK();
   }

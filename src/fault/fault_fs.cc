@@ -49,28 +49,44 @@ T Fail(const Injection& injection, T fail_value) {
 }  // namespace
 
 int Open(const char* path, int flags, unsigned mode) {
-  Injection injection;
-  if (ShouldFail("fs/open", path, &injection)) return Fail(injection, -1);
-  return ::open(path, flags, static_cast<mode_t>(mode));
+  // EINTR is retried here, inside the seam — including an injected EINTR
+  // (count=1), which fires once, gets retried, and succeeds for real.
+  while (true) {
+    Injection injection;
+    if (ShouldFail("fs/open", path, &injection)) {
+      if (Fail(injection, -1) < 0 && errno == EINTR) continue;
+      return -1;
+    }
+    const int fd = ::open(path, flags, static_cast<mode_t>(mode));
+    if (fd < 0 && errno == EINTR) continue;
+    return fd;
+  }
 }
 
 long Write(int fd, const void* buf, std::size_t count, const char* path) {
-  Injection injection;
-  if (ShouldFail("fs/write", path, &injection)) {
-    // A configured short write makes real partial progress on the FIRST
-    // fire — those bytes genuinely reach the file, like a disk filling up
-    // mid-write — and fails hard (error or crash) from the second fire on,
-    // so the caller's short-write retry loop cannot quietly complete.
-    if (injection.config.short_write >= 0 && injection.ordinal == 1) {
-      const std::size_t n = std::min(
-          count, static_cast<std::size_t>(injection.config.short_write));
-      const long written = ::write(fd, buf, n);
-      if (injection.config.crash) throw CrashError();
-      return written;
+  while (true) {
+    Injection injection;
+    if (ShouldFail("fs/write", path, &injection)) {
+      // A configured short write makes real partial progress on the FIRST
+      // fire — those bytes genuinely reach the file, like a disk filling up
+      // mid-write — and fails hard (error or crash) from the second fire on,
+      // so the caller's short-write retry loop cannot quietly complete.
+      if (injection.config.short_write >= 0 && injection.ordinal == 1) {
+        const std::size_t n = std::min(
+            count, static_cast<std::size_t>(injection.config.short_write));
+        const long written = ::write(fd, buf, n);
+        if (injection.config.crash) throw CrashError();
+        return written;
+      }
+      if (Fail(injection, static_cast<long>(-1)) < 0 && errno == EINTR) {
+        continue;
+      }
+      return -1;
     }
-    return Fail(injection, static_cast<long>(-1));
+    const long written = ::write(fd, buf, count);
+    if (written < 0 && errno == EINTR) continue;
+    return written;
   }
-  return ::write(fd, buf, count);
 }
 
 int Fsync(int fd, const char* path) {
@@ -79,6 +95,9 @@ int Fsync(int fd, const char* path) {
   return ::fsync(fd);
 }
 
+// Close is deliberately NOT retried on EINTR: POSIX leaves the fd state
+// unspecified after a failed close, so a retry could close a descriptor
+// another thread just received from the kernel.
 int Close(int fd, const char* path) {
   Injection injection;
   if (ShouldFail("fs/close", path, &injection)) {

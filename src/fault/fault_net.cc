@@ -2,6 +2,7 @@
 
 #if defined(MVPTREE_FAULT_FS_POSIX)
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -67,45 +68,99 @@ int Listen(int fd, int backlog, const char* detail) {
 }
 
 int Accept(int fd, const char* detail) {
-  Injection injection;
-  if (ShouldFail("net/accept", detail, &injection)) return Fail(injection, -1);
-  return ::accept(fd, nullptr, nullptr);
+  // EINTR is retried here, inside the seam, so every accept loop in the
+  // codebase inherits the retry. The loop spans the injection evaluation
+  // too: an armed EINTR failpoint (count=1) is itself retried — that is
+  // the regression test's probe that the retry really lives in the seam.
+  while (true) {
+    Injection injection;
+    if (ShouldFail("net/accept", detail, &injection)) {
+      if (Fail(injection, -1) < 0 && errno == EINTR) continue;
+      return -1;
+    }
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0 && errno == EINTR) continue;
+    return conn;
+  }
 }
 
 int Connect(int fd, const struct ::sockaddr* addr, socklen_t len,
             const char* detail) {
   Injection injection;
   if (ShouldFail("net/connect", detail, &injection)) {
-    return Fail(injection, -1);
+    if (Fail(injection, -1) < 0 && errno != EINTR) return -1;
+    // Injected EINTR: the simulated signal interrupted nothing — the
+    // connection was never initiated, so plainly retrying is correct.
+    return ::connect(fd, addr, len);
   }
-  return ::connect(fd, addr, len);
+  if (::connect(fd, addr, len) == 0) return 0;
+  if (errno != EINTR) return -1;
+  // A real EINTR from connect(2) does NOT abort the attempt: the handshake
+  // continues asynchronously, and calling connect again would fail with
+  // EALREADY/EISCONN. The POSIX-portable completion is to wait for
+  // writability, then read the final disposition from SO_ERROR.
+  while (true) {
+    struct ::pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int ready = ::poll(&pfd, 1, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    int error = 0;
+    socklen_t error_len = sizeof(error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &error_len) != 0) {
+      return -1;
+    }
+    if (error != 0) {
+      errno = error;
+      return -1;
+    }
+    return 0;
+  }
 }
 
 long Send(int fd, const void* buf, std::size_t count, const char* detail) {
-  Injection injection;
-  if (ShouldFail("net/send", detail, &injection)) {
-    // A configured short write transmits real partial progress on the FIRST
-    // fire — those bytes genuinely reach the peer, like a connection torn
-    // down mid-frame — and fails hard (error or crash) from the second fire
-    // on, so the caller's send loop cannot quietly complete the frame.
-    if (injection.config.short_write >= 0 && injection.ordinal == 1) {
-      const std::size_t n = std::min(
-          count, static_cast<std::size_t>(injection.config.short_write));
-      const long sent = ::send(fd, buf, n, kSendFlags);
-      if (injection.config.crash) throw CrashError();
-      return sent;
+  while (true) {
+    Injection injection;
+    if (ShouldFail("net/send", detail, &injection)) {
+      // A configured short write transmits real partial progress on the
+      // FIRST fire — those bytes genuinely reach the peer, like a
+      // connection torn down mid-frame — and fails hard (error or crash)
+      // from the second fire on, so the caller's send loop cannot quietly
+      // complete the frame.
+      if (injection.config.short_write >= 0 && injection.ordinal == 1) {
+        const std::size_t n = std::min(
+            count, static_cast<std::size_t>(injection.config.short_write));
+        const long sent = ::send(fd, buf, n, kSendFlags);
+        if (injection.config.crash) throw CrashError();
+        return sent;
+      }
+      if (Fail(injection, static_cast<long>(-1)) < 0 && errno == EINTR) {
+        continue;
+      }
+      return -1;
     }
-    return Fail(injection, static_cast<long>(-1));
+    const long sent = ::send(fd, buf, count, kSendFlags);
+    if (sent < 0 && errno == EINTR) continue;
+    return sent;
   }
-  return ::send(fd, buf, count, kSendFlags);
 }
 
 long Recv(int fd, void* buf, std::size_t count, const char* detail) {
-  Injection injection;
-  if (ShouldFail("net/recv", detail, &injection)) {
-    return Fail(injection, static_cast<long>(-1));
+  while (true) {
+    Injection injection;
+    if (ShouldFail("net/recv", detail, &injection)) {
+      if (Fail(injection, static_cast<long>(-1)) < 0 && errno == EINTR) {
+        continue;
+      }
+      return -1;
+    }
+    const long got = ::recv(fd, buf, count, 0);
+    if (got < 0 && errno == EINTR) continue;
+    return got;
   }
-  return ::recv(fd, buf, count, 0);
 }
 
 int CloseSocket(int fd, const char* detail) {

@@ -7,7 +7,9 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 
 #include <cerrno>
 #include <cstring>
@@ -16,6 +18,11 @@
 namespace mvp::net {
 
 Result<Client> Client::Connect(const std::string& host, std::uint16_t port) {
+  return Connect(host, port, 0);
+}
+
+Result<Client> Client::Connect(const std::string& host, std::uint16_t port,
+                               std::uint64_t timeout_ns) {
   struct ::in_addr addr4 {};
   const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
   if (::inet_pton(AF_INET, numeric.c_str(), &addr4) != 1) {
@@ -25,6 +32,24 @@ Result<Client> Client::Connect(const std::string& host, std::uint16_t port) {
   if (fd < 0) {
     return Status::IOError(std::string("socket failed: ") +
                            std::strerror(errno));
+  }
+  if (timeout_ns != 0) {
+    // SO_RCVTIMEO/SO_SNDTIMEO turn every blocking recv/send on this socket
+    // into a bounded wait (EAGAIN on expiry), which RecvExact/SendExact
+    // surface as an IOError — the failover client's per-attempt timeout.
+    // Best-effort like the other options: a socket without them still
+    // works, it just blocks indefinitely on a wedged peer.
+    struct ::timeval tv {};
+    tv.tv_sec = static_cast<long>(timeout_ns / 1000000000ull);
+    tv.tv_usec =
+        static_cast<long>((timeout_ns % 1000000000ull) / 1000ull);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;  // 0 = forever
+    // Best-effort: a socket without the recv timeout still works.
+    (void)fault::net::SetSockOpt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                                 sizeof(tv));
+    // Best-effort: same for the send timeout.
+    (void)fault::net::SetSockOpt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                                 sizeof(tv));
   }
   struct ::sockaddr_in addr {};
   addr.sin_family = AF_INET;
@@ -62,7 +87,29 @@ void Client::Close() {
 Result<std::vector<std::uint8_t>> Client::RoundTrip(
     const BinaryWriter& request, std::size_t* body_offset) {
   if (fd_ < 0) return Status::InvalidArgument("client is not connected");
-  MVP_RETURN_NOT_OK(SendFrame(fd_, request.buffer(), "client:rpc"));
+  const Status sent = SendFrame(fd_, request.buffer(), "client:rpc");
+  if (!sent.ok()) {
+    // A refused connection (e.g. over the server's cap) surfaces here as a
+    // broken pipe: the server wrote one parting status frame and closed.
+    // Read that verdict if it ALREADY arrived — it names the real reason —
+    // but never block for it: a send that merely faulted mid-conversation
+    // has no response in flight, and a blocking read here would hang.
+    struct ::pollfd pfd {};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, 0) > 0 && (pfd.revents & (POLLIN | POLLHUP)) != 0) {
+      auto parting = RecvFrame(fd_, "client:rpc");
+      if (parting.ok()) {
+        BinaryReader reader(parting.value());
+        Status server_status;
+        if (DecodeResponseStatus(&reader, &server_status).ok() &&
+            !server_status.ok()) {
+          return server_status;
+        }
+      }
+    }
+    return sent;
+  }
   auto response = RecvFrame(fd_, "client:rpc");
   if (!response.ok()) {
     // A server that hangs up instead of answering is a broken conversation
@@ -233,6 +280,37 @@ Result<std::vector<std::uint8_t>> Client::FetchChunk(
   std::vector<std::uint8_t> bytes;
   MVP_RETURN_NOT_OK(reader.ReadVector(&bytes));
   return bytes;
+}
+
+Result<WireWalSegment> Client::FetchWalSince(const std::string& collection,
+                                             std::uint64_t since) {
+  BinaryWriter request;
+  request.Write<std::uint32_t>(
+      static_cast<std::uint32_t>(Op::kFetchWalSince));
+  request.WriteString(collection);
+  request.Write<std::uint64_t>(since);
+  std::size_t body = 0;
+  auto response = RoundTrip(request, &body);
+  if (!response.ok()) return response.status();
+  BinaryReader reader(response.value().data() + body,
+                      response.value().size() - body);
+  WireWalSegment segment;
+  MVP_RETURN_NOT_OK(DecodeWalSegment(&reader, &segment));
+  return segment;
+}
+
+Result<WireReadiness> Client::Readiness(const std::string& collection) {
+  BinaryWriter request;
+  request.Write<std::uint32_t>(static_cast<std::uint32_t>(Op::kReadiness));
+  request.WriteString(collection);
+  std::size_t body = 0;
+  auto response = RoundTrip(request, &body);
+  if (!response.ok()) return response.status();
+  BinaryReader reader(response.value().data() + body,
+                      response.value().size() - body);
+  WireReadiness readiness;
+  MVP_RETURN_NOT_OK(DecodeReadiness(&reader, &readiness));
+  return readiness;
 }
 
 }  // namespace mvp::net

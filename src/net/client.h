@@ -44,6 +44,13 @@ class Client {
   /// docs/network_serving.md), so there is no resolver dependency.
   static Result<Client> Connect(const std::string& host, std::uint16_t port);
 
+  /// Connect with a per-attempt I/O timeout: the socket's send/receive
+  /// timeouts are set to `timeout_ns` (0 = block forever), so a dead or
+  /// wedged server surfaces as an IOError after the timeout instead of a
+  /// hang — the property the failover client builds on.
+  static Result<Client> Connect(const std::string& host, std::uint16_t port,
+                                std::uint64_t timeout_ns);
+
   bool connected() const { return fd_ >= 0; }
 
   /// Round-trips a no-op; OK means the server speaks the protocol.
@@ -80,6 +87,17 @@ class Client {
                                                std::uint64_t gen,
                                                std::uint64_t offset,
                                                std::uint64_t length);
+
+  /// The leader's synced WAL tail past `since` for a dynamic collection,
+  /// with its epoch and shipping watermarks (WAL shipping; see
+  /// docs/network_serving.md). Empty records with `floor_seq > since`
+  /// means the tail was truncated into generations — pull those instead.
+  Result<WireWalSegment> FetchWalSince(const std::string& collection,
+                                       std::uint64_t since);
+
+  /// Serving/draining state plus leader epoch and replication lag —
+  /// `collection` scopes the epoch/lag, "" reports server-wide maxima.
+  Result<WireReadiness> Readiness(const std::string& collection);
 
   void Close();
 

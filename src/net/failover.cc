@@ -1,0 +1,242 @@
+#include "net/failover.h"
+
+#if defined(MVPTREE_FAULT_FS_POSIX)
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace mvp::net {
+namespace {
+
+constexpr std::size_t kNoExclude = static_cast<std::size_t>(-1);
+
+const Status& StatusOfResult(const Status& status) { return status; }
+template <typename T>
+Status StatusOfResult(const Result<T>& result) {
+  return result.status();
+}
+
+/// Connects to the first HEALTHY endpoint at or after `start` (wrapping,
+/// skipping `exclude` when another choice exists): the socket must accept,
+/// the server must answer Ping, and Readiness must not report draining —
+/// a draining server is deliberately shedding clients to its peers.
+Result<Client> ConnectHealthy(const std::vector<Endpoint>& endpoints,
+                              const FailoverOptions& options,
+                              std::size_t start, std::size_t exclude,
+                              std::size_t* picked) {
+  Status last = Status::IOError("no endpoints configured");
+  const std::size_t n = endpoints.size();
+  for (std::size_t offset = 0; offset < n; ++offset) {
+    const std::size_t index = (start + offset) % n;
+    if (index == exclude && n > 1) continue;
+    const std::string label =
+        endpoints[index].host + ":" + std::to_string(endpoints[index].port);
+    auto client = Client::Connect(endpoints[index].host,
+                                  endpoints[index].port,
+                                  options.attempt_timeout_ns);
+    if (!client.ok()) {
+      last = client.status();
+      continue;
+    }
+    const Status ping = client.value().Ping();
+    if (!ping.ok()) {
+      last = ping;
+      continue;
+    }
+    auto readiness = client.value().Readiness("");
+    if (!readiness.ok()) {
+      last = readiness.status();
+      continue;
+    }
+    if (readiness.value().state ==
+        static_cast<std::uint8_t>(ReadinessState::kDraining)) {
+      last = Status::ResourceExhausted("endpoint " + label + " is draining");
+      continue;
+    }
+    *picked = index;
+    return std::move(client).ValueOrDie();
+  }
+  return last;
+}
+
+/// Shared rendezvous between the primary and hedge attempts. The loser's
+/// detached thread holds only this (via shared_ptr) and its own locals, so
+/// the caller returns the moment a winner lands — the whole point of the
+/// hedge — while the loser finishes harmlessly in the background. The
+/// caller POLLS (1ms) rather than waiting on a condvar: the annotated
+/// CondVar deliberately has no timed wait, and the hedge delay needs one.
+struct HedgeState {
+  Mutex mu;
+  int finished MVP_GUARDED_BY(mu) = 0;
+  bool have_winner MVP_GUARDED_BY(mu) = false;
+  std::size_t winner_index MVP_GUARDED_BY(mu) = 0;
+  Client winner_client MVP_GUARDED_BY(mu);
+  std::optional<WireOutcome> outcome MVP_GUARDED_BY(mu);
+};
+
+void HedgeAttempt(std::shared_ptr<HedgeState> state,
+                  std::vector<Endpoint> endpoints, FailoverOptions options,
+                  std::size_t start, std::size_t exclude,
+                  std::string collection, WireQuery query) {
+  std::size_t picked = start;
+  auto client = ConnectHealthy(endpoints, options, start, exclude, &picked);
+  std::optional<WireOutcome> outcome;
+  if (client.ok()) {
+    auto result = client.value().Query(collection, query);
+    if (result.ok()) outcome = std::move(result).ValueOrDie();
+  }
+  MutexLock lock(&state->mu);
+  ++state->finished;
+  if (outcome.has_value() && !state->have_winner) {
+    state->have_winner = true;
+    state->winner_index = picked;
+    state->outcome = std::move(outcome);
+    state->winner_client = std::move(client).ValueOrDie();
+  }
+}
+
+}  // namespace
+
+FailoverClient::FailoverClient(std::vector<Endpoint> endpoints,
+                               FailoverOptions options)
+    : endpoints_(std::move(endpoints)), options_(std::move(options)) {}
+
+void FailoverClient::Close() { client_.Close(); }
+
+bool FailoverClient::ShouldFailover(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIOError:            // dead socket, timeout, torn frame
+    case StatusCode::kCorruption:         // stream lost sync mid-frame
+    case StatusCode::kResourceExhausted:  // draining or connection-capped
+      return true;
+    default:
+      return false;  // a deterministic verdict every replica would repeat
+  }
+}
+
+Status FailoverClient::EnsureConnected(std::size_t exclude) {
+  if (client_.connected()) return Status::OK();
+  return ConnectSweep(exclude);
+}
+
+Status FailoverClient::ConnectSweep(std::size_t exclude) {
+  std::size_t picked = active_;
+  auto client =
+      ConnectHealthy(endpoints_, options_, active_, exclude, &picked);
+  if (!client.ok()) return client.status();
+  if (ever_connected_) ++failovers_;
+  ever_connected_ = true;
+  active_ = picked;
+  client_ = std::move(client).ValueOrDie();
+  return Status::OK();
+}
+
+template <typename Fn>
+auto FailoverClient::WithFailover(Fn&& fn) -> decltype(fn()) {
+  using R = decltype(fn());
+  fault::RetryOptions retry = options_.retry;
+  if (!retry.retryable) {
+    retry.retryable = [](const Status& s) { return ShouldFailover(s); };
+  }
+  return fault::RetryWithBackoff(retry, [&]() -> R {
+    R last = Status::IOError("no endpoints configured");
+    for (std::size_t sweep = 0; sweep < endpoints_.size(); ++sweep) {
+      const Status connect = EnsureConnected(kNoExclude);
+      if (!connect.ok()) {
+        // The sweep inside ConnectSweep already tried every endpoint;
+        // leave the rest to the backoff schedule.
+        return R(connect);
+      }
+      last = fn();
+      const Status status = StatusOfResult(last);
+      if (status.ok() || !ShouldFailover(status)) return last;
+      // The conversation (or this server's willingness) died; drop the
+      // connection and let the next iteration land on the next endpoint.
+      client_.Close();
+      active_ = (active_ + 1) % endpoints_.size();
+    }
+    return last;
+  });
+}
+
+Result<WireOutcome> FailoverClient::Query(const std::string& collection,
+                                          const WireQuery& query) {
+  if (options_.hedged_reads && endpoints_.size() > 1) {
+    auto state = std::make_shared<HedgeState>();
+    int launched = 1;
+    std::thread(HedgeAttempt, state, endpoints_, options_, active_,
+                kNoExclude, collection, query)
+        .detach();
+    // Give the primary hedge_delay_ns to land before racing it.
+    const auto hedge_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::nanoseconds(options_.hedge_delay_ns);
+    bool primary_done = false;
+    for (;;) {
+      {
+        MutexLock lock(&state->mu);
+        primary_done = state->finished >= launched;
+      }
+      if (primary_done || std::chrono::steady_clock::now() >= hedge_deadline) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (!primary_done) {
+      // Primary is slow; race a second attempt on a different endpoint.
+      const std::size_t hedge_start = (active_ + 1) % endpoints_.size();
+      const std::size_t hedge_exclude = active_;
+      std::thread(HedgeAttempt, state, endpoints_, options_, hedge_start,
+                  hedge_exclude, collection, query)
+          .detach();
+      launched = 2;
+    }
+    // Take whichever attempt wins; give up once every launched attempt
+    // reported in without producing a winner.
+    for (;;) {
+      {
+        MutexLock lock(&state->mu);
+        if (state->have_winner) {
+          // Adopt the winner's connection so follow-up RPCs reuse it.
+          client_.Close();
+          client_ = std::move(state->winner_client);
+          if (ever_connected_ && state->winner_index != active_) {
+            ++failovers_;
+          }
+          ever_connected_ = true;
+          active_ = state->winner_index;
+          return std::move(*state->outcome);
+        }
+        if (state->finished >= launched) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Both one-shot attempts failed (e.g. everything was briefly down);
+    // fall through to the sequential path and its backoff schedule.
+  }
+  return WithFailover([&] { return client_.Query(collection, query); });
+}
+
+Result<std::vector<WireOutcome>> FailoverClient::BatchQuery(
+    const std::string& collection, const std::vector<WireQuery>& queries) {
+  return WithFailover(
+      [&] { return client_.BatchQuery(collection, queries); });
+}
+
+Result<WireReadiness> FailoverClient::Readiness(
+    const std::string& collection) {
+  return WithFailover([&] { return client_.Readiness(collection); });
+}
+
+Result<std::vector<WireCollectionInfo>> FailoverClient::ListCollections() {
+  return WithFailover([&] { return client_.ListCollections(); });
+}
+
+}  // namespace mvp::net
+
+#endif  // MVPTREE_FAULT_FS_POSIX

@@ -1,0 +1,121 @@
+#ifndef MVPTREE_NET_FAILOVER_H_
+#define MVPTREE_NET_FAILOVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fault/fault_fs.h"  // platform gate: defines MVPTREE_FAULT_FS_POSIX
+#include "fault/retry.h"
+#include "net/client.h"
+#include "net/wire.h"
+
+/// \file
+/// Client-side failover over an ordered endpoint list
+/// (docs/network_serving.md).
+///
+/// A FailoverClient holds the addresses of every replica serving a
+/// collection — leader first by convention, though nothing depends on it —
+/// and keeps exactly one live Client underneath. Each RPC runs against the
+/// current connection; a CONVERSATION failure (connect refused, torn
+/// frame, I/O timeout, a draining or connection-capped refusal) drops the
+/// connection, advances to the next endpoint, and retries under one
+/// RetryWithBackoff schedule. A SERVER-LEVEL verdict (NotFound, a query's
+/// own DeadlineExceeded) is returned as-is: every replica would answer the
+/// same, so failing over would only mask the real answer.
+///
+/// Endpoint selection probes health before trusting a socket: a candidate
+/// must answer Ping and report Readiness != draining to become the active
+/// connection, so a gracefully draining server sheds this client to its
+/// peer without ever surfacing an error. Hedged reads (optional) race the
+/// query on the next healthy endpoint after a configurable delay and take
+/// whichever answers first — queries are idempotent, so the losing answer
+/// is simply discarded.
+
+#if defined(MVPTREE_FAULT_FS_POSIX) || defined(MVPTREE_DOXYGEN)
+
+namespace mvp::net {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+struct FailoverOptions {
+  /// Per-attempt socket I/O timeout (SO_RCVTIMEO/SO_SNDTIMEO); 0 blocks
+  /// forever. Bounds how long one dead endpoint can stall a failover.
+  std::uint64_t attempt_timeout_ns = 2'000'000'000;
+  /// Backoff schedule across full endpoint sweeps: attempt 1 tries every
+  /// endpoint once; each further attempt re-sweeps after a backoff sleep.
+  fault::RetryOptions retry;
+  /// Race idempotent single queries on a second healthy endpoint when the
+  /// first answer is slow in coming.
+  bool hedged_reads = false;
+  /// How long the primary attempt runs alone before the hedge launches.
+  std::uint64_t hedge_delay_ns = 50'000'000;
+};
+
+/// A failover-aware client: same RPC surface as Client for the read-side
+/// calls, plus endpoint management. Not thread-safe (like Client).
+class FailoverClient {
+ public:
+  explicit FailoverClient(std::vector<Endpoint> endpoints,
+                          FailoverOptions options = {});
+
+  /// Runs one query, failing over across endpoints as needed. With
+  /// hedged_reads, a slow primary is raced by the next healthy endpoint.
+  Result<WireOutcome> Query(const std::string& collection,
+                            const WireQuery& query);
+
+  /// Runs a batch in one round trip on the active endpoint; a mid-batch
+  /// connection loss re-runs the WHOLE batch on the next endpoint (batch
+  /// queries are idempotent reads, so a re-run is safe).
+  Result<std::vector<WireOutcome>> BatchQuery(
+      const std::string& collection, const std::vector<WireQuery>& queries);
+
+  /// Readiness of the active endpoint (connecting first if needed).
+  Result<WireReadiness> Readiness(const std::string& collection);
+
+  /// Collection listing from the active endpoint.
+  Result<std::vector<WireCollectionInfo>> ListCollections();
+
+  /// Index of the endpoint currently connected (or last used);
+  /// tests assert failover happened by watching it move.
+  std::size_t active_endpoint() const { return active_; }
+
+  /// Connection establishments that replaced a previously live connection —
+  /// i.e. actual failovers, not the first connect.
+  std::uint64_t failovers() const { return failovers_; }
+
+  void Close();
+
+ private:
+  /// Ensures a live, healthy connection, probing endpoints round-robin
+  /// from the current one. `exclude` (size_t(-1) = none) skips one index —
+  /// the hedge uses it to land on a different endpoint than the primary.
+  Status EnsureConnected(std::size_t exclude);
+
+  /// One full sweep: try every endpoint once. OK leaves client_ connected.
+  Status ConnectSweep(std::size_t exclude);
+
+  /// True when `status` means "this endpoint is unusable, try another"
+  /// rather than "this is the answer".
+  static bool ShouldFailover(const Status& status);
+
+  template <typename Fn>
+  auto WithFailover(Fn&& fn) -> decltype(fn());
+
+  std::vector<Endpoint> endpoints_;
+  FailoverOptions options_;
+  Client client_;
+  bool ever_connected_ = false;
+  std::size_t active_ = 0;
+  std::uint64_t failovers_ = 0;
+};
+
+}  // namespace mvp::net
+
+#endif  // MVPTREE_FAULT_FS_POSIX
+
+#endif  // MVPTREE_NET_FAILOVER_H_

@@ -113,11 +113,11 @@ Status MaterializeGeneration(Client& client, const std::string& collection,
     }
     std::size_t written = 0;
     while (written < bytes.value().size()) {
+      // EINTR is retried inside the fault::fs seam; negative = real error.
       const long n =
           fault::fs::Write(fd, bytes.value().data() + written,
                            bytes.value().size() - written, partial.c_str());
       if (n < 0) {
-        if (errno == EINTR) continue;
         return Status::IOError(std::string("write failed: ") +
                                std::strerror(errno));
       }
@@ -170,6 +170,23 @@ Result<std::uint64_t> PullGeneration(Client& client,
   if (local.ok() && local.value() == remote.value() &&
       GenerationComplete(store, remote.value())) {
     return remote.value();  // already serving the leader's generation
+  }
+
+  // Epoch fence before any bytes land: a deposed leader still answers
+  // RPCs, but its head manifest carries the epoch it was deposed at, which
+  // is below what this store has already accepted from the new leader.
+  auto head_bytes = client.FetchManifest(collection, remote.value());
+  if (!head_bytes.ok()) return head_bytes.status();
+  auto head = snapshot::SnapshotManifest::Parse(head_bytes.value());
+  if (!head.ok()) return head.status();
+  const std::uint64_t local_epoch = store.ReadEpoch();
+  if (head.value().leader_epoch < local_epoch) {
+    return Status::InvalidArgument(
+        "stale leader epoch " + std::to_string(head.value().leader_epoch) +
+        " (locally accepted epoch " + std::to_string(local_epoch) + ")");
+  }
+  if (head.value().leader_epoch > local_epoch) {
+    MVP_RETURN_NOT_OK(store.WriteEpoch(head.value().leader_epoch));
   }
 
   // Walk the lineage leader-side, newest first, until a generation we

@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -20,6 +21,8 @@
 #include "common/thread_annotations.h"
 #include "dynamic/dynamic_overlay.h"
 #include "metric/lp.h"
+#include "net/client.h"
+#include "net/replication.h"
 #include "net/wire.h"
 #include "serve/executor.h"
 #include "serve/serve_stats.h"
@@ -37,6 +40,11 @@ using Vector = std::vector<double>;
 /// Server-side ceiling on one FetchChunk slice. Keeps a replication pull's
 /// frames well under kMaxFramePayload and bounds per-request memory.
 constexpr std::uint64_t kMaxFetchChunkBytes = std::uint64_t{8} << 20;
+
+/// Ceiling on one FetchWalSince segment's record payload bytes. A follower
+/// far behind re-fetches from its advanced cursor; the first record always
+/// ships so progress is guaranteed whatever the record size.
+constexpr std::uint64_t kMaxWalShipBytes = std::uint64_t{4} << 20;
 
 serve::BatchQuery<Vector> ToBatchQuery(const WireQuery& wire,
                                        std::uint64_t max_timeout_ns) {
@@ -86,8 +94,38 @@ class Collection {
                                        serve::ThreadPool* pool) = 0;
   virtual WireCollectionInfo Info() const = 0;
 
+  // Dynamic-only surface (mutations, WAL shipping, follower apply). The
+  // defaults reject so the dispatch layer never needs a dynamic_cast.
+  virtual Result<std::uint64_t> Insert(const Vector&) { return NotDynamic(); }
+  virtual Status Erase(std::uint64_t) { return NotDynamic(); }
+  virtual Result<std::uint64_t> Checkpoint() { return NotDynamic(); }
+  virtual Result<std::uint64_t> Compact(serve::ThreadPool*) {
+    return NotDynamic();
+  }
+  /// The WAL tail past `since` plus the shipping watermarks (leader side).
+  virtual Result<WireWalSegment> WalSince(std::uint64_t) {
+    return NotDynamic();
+  }
+  /// Applies a shipped segment's records in order (follower side).
+  virtual Status ApplySegment(const WireWalSegment&) { return NotDynamic(); }
+  /// Reopens the overlay from its directory and hot-swaps it into serving —
+  /// the follower's publish point after a generation pull.
+  virtual Status Reopen(serve::ThreadPool*) { return NotDynamic(); }
+  /// Last WAL sequence applied locally (the follower's shipping cursor).
+  virtual std::uint64_t AppliedSeq() const { return 0; }
+
   const CollectionOptions& options() const { return options_; }
   serve::ServeStatsSnapshot StatsSnapshot() const { return stats_.Snapshot(); }
+
+  /// Leader-applied minus locally-applied sequence at the last Follow poll
+  /// (Readiness reports it so a failover client can prefer fresher
+  /// followers). Zero on a leader or a caught-up follower.
+  std::uint64_t GenerationLag() const {
+    return lag_.load(std::memory_order_relaxed);
+  }
+  void SetGenerationLag(std::uint64_t lag) {
+    lag_.store(lag, std::memory_order_relaxed);
+  }
 
  protected:
   std::vector<serve::BatchQuery<Vector>> ToBatch(
@@ -100,9 +138,15 @@ class Collection {
     return batch;
   }
 
+  Status NotDynamic() const {
+    return Status::InvalidArgument("collection '" + options_.name +
+                                   "' is not dynamic");
+  }
+
   CollectionOptions options_;
   serve::ServeStats stats_;
   serve::AdmissionController admission_;
+  std::atomic<std::uint64_t> lag_{0};
 };
 
 /// A static collection: a snapshot generation behind a GenerationCell.
@@ -214,29 +258,37 @@ class StaticCollection final : public Collection {
 
 /// A dynamic collection: a live DynamicOverlay (WAL + memtable over an
 /// optional base generation). Always serving its current state — Refresh
-/// is a no-op because there is nothing stale to swap.
+/// is a no-op because there is nothing stale to swap. The overlay sits
+/// behind a shared_ptr so a follower's generation-pull fallback can reopen
+/// and hot-swap it while in-flight queries finish on the old instance.
 template <typename Metric>
 class DynamicCollection final : public Collection {
  public:
+  using Overlay = dynamic::DynamicOverlay<Vector, Metric, VectorCodec>;
+
   explicit DynamicCollection(CollectionOptions options)
       : Collection(std::move(options)) {}
 
-  Status Open(serve::ThreadPool* pool) override {
-    auto opened = dynamic::DynamicOverlay<Vector, Metric, VectorCodec>::Open(
-        options_.dir, Metric{}, VectorCodec{}, {}, pool);
-    if (!opened.ok()) return opened.status();
-    overlay_ = std::move(opened.value());
-    return Status::OK();
-  }
+  Status Open(serve::ThreadPool* pool) override { return Reopen(pool); }
 
   Status Refresh(serve::ThreadPool*) override { return Status::OK(); }
 
+  Status Reopen(serve::ThreadPool* pool) override {
+    auto opened =
+        Overlay::Open(options_.dir, Metric{}, VectorCodec{}, {}, pool);
+    if (!opened.ok()) return opened.status();
+    MutexLock lock(&overlay_mu_);
+    overlay_ = std::shared_ptr<Overlay>(std::move(opened.value()));
+    return Status::OK();
+  }
+
   std::vector<WireOutcome> Run(const std::vector<WireQuery>& queries,
                                serve::ThreadPool* pool) override {
+    auto live = overlay();
     serve::ExecutorOptions executor;
     executor.admission = &admission_;
     auto outcomes =
-        serve::RunBatch(*overlay_, ToBatch(queries), pool, &stats_, executor);
+        serve::RunBatch(*live, ToBatch(queries), pool, &stats_, executor);
     std::vector<WireOutcome> wire;
     wire.reserve(outcomes.size());
     for (const serve::QueryOutcome& outcome : outcomes) {
@@ -246,18 +298,82 @@ class DynamicCollection final : public Collection {
   }
 
   WireCollectionInfo Info() const override {
+    auto live = overlay();
     WireCollectionInfo info;
     info.name = options_.name;
     info.metric = options_.metric;
     info.dynamic = true;
-    info.generation = overlay_->generation();
-    info.size = overlay_->size();
+    info.generation = live->generation();
+    info.size = live->size();
     return info;
   }
 
+  Result<std::uint64_t> Insert(const Vector& point) override {
+    auto id = overlay()->Insert(point);
+    if (!id.ok()) return id.status();
+    return static_cast<std::uint64_t>(id.value());
+  }
+
+  Status Erase(std::uint64_t stable_id) override {
+    return overlay()->Erase(static_cast<std::size_t>(stable_id));
+  }
+
+  Result<std::uint64_t> Checkpoint() override {
+    return overlay()->Checkpoint();
+  }
+
+  Result<std::uint64_t> Compact(serve::ThreadPool* pool) override {
+    return overlay()->Compact(pool);
+  }
+
+  /// Builds the shipping segment for a follower at cursor `since`. Only
+  /// SYNCED records are in the file (WalWriter buffers until Sync), so
+  /// everything shipped is a leader-acknowledged mutation; `applied_seq`
+  /// is the durable high-water mark the follower converges to. A torn tail
+  /// from a concurrent group commit simply ends this segment early — the
+  /// next poll picks the records up once they are durable.
+  Result<WireWalSegment> WalSince(std::uint64_t since) override {
+    auto live = overlay();
+    WireWalSegment segment;
+    segment.leader_epoch = snapshot::SnapshotStore(options_.dir).ReadEpoch();
+    segment.floor_seq = live->checkpoint_seq();
+    segment.generation = live->generation();
+    segment.applied_seq = segment.floor_seq;
+    if (since < segment.floor_seq) {
+      // The records below the floor were folded into generations and
+      // truncated away; empty records + a floor above the cursor tells the
+      // follower to pull the generation lineage instead.
+      return segment;
+    }
+    auto log = wal::ReadWal(live->wal_path());
+    if (!log.ok()) return log.status();
+    std::uint64_t bytes = 0;
+    for (wal::WalRecord& record : log.value().records) {
+      segment.applied_seq = std::max(segment.applied_seq, record.seq);
+      if (record.seq <= since) continue;
+      bytes += wal::kFrameFixedBytes + record.payload.size();
+      if (!segment.records.empty() && bytes > kMaxWalShipBytes) continue;
+      segment.records.push_back(std::move(record));
+    }
+    return segment;
+  }
+
+  Status ApplySegment(const WireWalSegment& segment) override {
+    return overlay()->ApplyReplicated(segment.records);
+  }
+
+  std::uint64_t AppliedSeq() const override {
+    return overlay()->applied_seq();
+  }
+
  private:
-  std::unique_ptr<dynamic::DynamicOverlay<Vector, Metric, VectorCodec>>
-      overlay_;
+  std::shared_ptr<Overlay> overlay() const {
+    MutexLock lock(&overlay_mu_);
+    return overlay_;
+  }
+
+  mutable Mutex overlay_mu_;
+  std::shared_ptr<Overlay> overlay_ MVP_GUARDED_BY(overlay_mu_);
 };
 
 Result<std::unique_ptr<Collection>> MakeCollection(
@@ -393,27 +509,47 @@ class Server::Impl {
 
   void AcceptLoop() {
     while (true) {
+      // EINTR is retried inside the fault::net seam; negative = shutdown
+      // (or a fatal listener error) — Stop() distinguishes nothing further.
       const int fd = fault::net::Accept(listen_fd_, "server:accept");
-      if (fd < 0) {
-        if (errno == EINTR) continue;
-        // Shutdown (or a fatal listener error) ends the loop either way;
-        // Stop() distinguishes nothing further.
-        return;
-      }
+      if (fd < 0) return;
       // Responses also go out header-then-payload; see the NODELAY note in
       // client.cc. Best-effort.
       const int one = 1;
       // Best-effort: without the option the connection is slow, not wrong.
       (void)fault::net::SetSockOpt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
                                    sizeof(one));
-      MutexLock lock(&mu_);
-      if (stopping_) {
-        // Racing Stop(); the peer sees a hangup either way.
-        (void)fault::net::CloseSocket(fd, "server:accept");
-        return;
+      bool over_cap = false;
+      {
+        MutexLock lock(&mu_);
+        if (stopping_) {
+          // Racing Stop(); the peer sees a hangup either way.
+          (void)fault::net::CloseSocket(fd, "server:accept");
+          return;
+        }
+        over_cap = conn_fds_.size() >= options_.max_connections;
+        if (!over_cap) {
+          conn_fds_.push_back(fd);
+          conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+        }
       }
-      conn_fds_.push_back(fd);
-      conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+      if (over_cap) {
+        // One clean, parseable refusal, then hang up: the peer's first
+        // RoundTrip decodes ResourceExhausted instead of a mystery EOF.
+        // Sent outside mu_ — a non-reading peer stalls only this loop
+        // iteration, never the lock. The frame fits the socket buffer, so
+        // in practice the send does not block at all.
+        BinaryWriter out;
+        EncodeResponseStatus(
+            Status::ResourceExhausted(
+                "connection limit reached (" +
+                std::to_string(options_.max_connections) + ")"),
+            &out);
+        // Best-effort courtesy frame; the refusal stands either way.
+        (void)SendFrame(fd, out.buffer(), "server:accept");
+        // The fd is dead to us regardless of how close goes.
+        (void)fault::net::CloseSocket(fd, "server:accept");
+      }
     }
   }
 
@@ -470,10 +606,18 @@ class Server::Impl {
         }
         return SendFrame(fd, out.buffer(), "server:conn").ok();
       }
-      case Op::kQuery:
-        return HandleQuery(fd, &reader);
-      case Op::kBatchQuery:
-        return HandleBatchQuery(fd, &reader);
+      case Op::kQuery: {
+        if (!EnterQuery()) return SendDraining(fd);
+        const bool alive = HandleQuery(fd, &reader);
+        LeaveQuery();
+        return alive;
+      }
+      case Op::kBatchQuery: {
+        if (!EnterQuery()) return SendDraining(fd);
+        const bool alive = HandleBatchQuery(fd, &reader);
+        LeaveQuery();
+        return alive;
+      }
       case Op::kStats: {
         std::string name;
         Status status = reader.ReadString(&name);
@@ -494,6 +638,10 @@ class Server::Impl {
         return HandleFetchManifest(fd, &reader);
       case Op::kFetchChunk:
         return HandleFetchChunk(fd, &reader);
+      case Op::kFetchWalSince:
+        return HandleFetchWalSince(fd, &reader);
+      case Op::kReadiness:
+        return HandleReadiness(fd, &reader);
     }
     return SendError(
         fd, Status::InvalidArgument("unknown rpc op " +
@@ -504,6 +652,28 @@ class Server::Impl {
     BinaryWriter out;
     EncodeResponseStatus(status, &out);
     return SendFrame(fd, out.buffer(), "server:conn").ok();
+  }
+
+  /// Registers an in-flight query unless the server is draining. Drain
+  /// waits for the active count to hit zero, so a query that got in always
+  /// finishes before the sockets close.
+  bool EnterQuery() {
+    MutexLock lock(&mu_);
+    if (draining_) return false;
+    ++active_requests_;
+    return true;
+  }
+
+  void LeaveQuery() {
+    MutexLock lock(&mu_);
+    --active_requests_;
+  }
+
+  bool SendDraining(int fd) {
+    // A clean per-request refusal: the connection stays usable (the peer
+    // may still want Readiness or replication fetches), only queries stop.
+    return SendError(fd,
+                     Status::ResourceExhausted("server is draining"));
   }
 
   bool HandleQuery(int fd, BinaryReader* reader) {
@@ -635,6 +805,209 @@ class Server::Impl {
     return SendFrame(fd, out.buffer(), "server:conn").ok();
   }
 
+  /// WAL shipping (docs/network_serving.md): the synced WAL tail past the
+  /// follower's cursor, stamped with this store's leader epoch.
+  bool HandleFetchWalSince(int fd, BinaryReader* reader) {
+    std::string name;
+    Status status = reader->ReadString(&name);
+    if (!status.ok()) return SendError(fd, status);
+    std::uint64_t since = 0;
+    status = reader->Read<std::uint64_t>(&since);
+    if (!status.ok()) return SendError(fd, status);
+    Collection* collection = FindCollection(name);
+    if (collection == nullptr) {
+      return SendError(fd, Status::NotFound("no collection '" + name + "'"));
+    }
+    auto segment = collection->WalSince(since);
+    if (!segment.ok()) return SendError(fd, segment.status());
+    BinaryWriter out;
+    EncodeResponseStatus(Status::OK(), &out);
+    EncodeWalSegment(segment.value(), &out);
+    return SendFrame(fd, out.buffer(), "server:conn").ok();
+  }
+
+  /// Health beyond "the TCP port answers": draining state, leader epoch,
+  /// and replication lag — what a failover client ranks endpoints by. An
+  /// empty collection name reports server-wide (max across collections).
+  bool HandleReadiness(int fd, BinaryReader* reader) {
+    std::string name;
+    Status status = reader->ReadString(&name);
+    if (!status.ok()) return SendError(fd, status);
+    WireReadiness readiness;
+    {
+      MutexLock lock(&mu_);
+      readiness.state = static_cast<std::uint8_t>(
+          draining_ ? ReadinessState::kDraining : ReadinessState::kServing);
+    }
+    if (!name.empty()) {
+      Collection* collection = FindCollection(name);
+      if (collection == nullptr) {
+        return SendError(fd,
+                         Status::NotFound("no collection '" + name + "'"));
+      }
+      readiness.leader_epoch =
+          snapshot::SnapshotStore(collection->options().dir).ReadEpoch();
+      readiness.generation_lag = collection->GenerationLag();
+    } else {
+      for (const auto& collection : collections_) {
+        readiness.leader_epoch = std::max(
+            readiness.leader_epoch,
+            snapshot::SnapshotStore(collection->options().dir).ReadEpoch());
+        readiness.generation_lag = std::max(readiness.generation_lag,
+                                            collection->GenerationLag());
+      }
+    }
+    BinaryWriter out;
+    EncodeResponseStatus(Status::OK(), &out);
+    EncodeReadiness(readiness, &out);
+    return SendFrame(fd, out.buffer(), "server:conn").ok();
+  }
+
+ public:
+  Result<std::uint64_t> Insert(const std::string& name,
+                               const std::vector<double>& point) {
+    Collection* collection = FindCollection(name);
+    if (collection == nullptr) {
+      return Status::NotFound("no collection '" + name + "'");
+    }
+    return collection->Insert(point);
+  }
+
+  Status Erase(const std::string& name, std::uint64_t stable_id) {
+    Collection* collection = FindCollection(name);
+    if (collection == nullptr) {
+      return Status::NotFound("no collection '" + name + "'");
+    }
+    return collection->Erase(stable_id);
+  }
+
+  Result<std::uint64_t> Checkpoint(const std::string& name) {
+    Collection* collection = FindCollection(name);
+    if (collection == nullptr) {
+      return Status::NotFound("no collection '" + name + "'");
+    }
+    return collection->Checkpoint();
+  }
+
+  Result<std::uint64_t> Compact(const std::string& name) {
+    Collection* collection = FindCollection(name);
+    if (collection == nullptr) {
+      return Status::NotFound("no collection '" + name + "'");
+    }
+    return collection->Compact(&pool_);
+  }
+
+  Result<std::uint64_t> Promote(const std::string& name) {
+    Collection* collection = FindCollection(name);
+    if (collection == nullptr) {
+      return Status::NotFound("no collection '" + name + "'");
+    }
+    return snapshot::SnapshotStore(collection->options().dir).BumpEpoch();
+  }
+
+  Status Follow(const std::string& name, Client& leader) {
+    Collection* collection = FindCollection(name);
+    if (collection == nullptr) {
+      return Status::NotFound("no collection '" + name + "'");
+    }
+    if (!collection->options().dynamic) {
+      auto pulled =
+          PullGeneration(leader, name, collection->options().dir, {});
+      if (!pulled.ok()) return pulled.status();
+      return collection->Refresh(&pool_);
+    }
+    snapshot::SnapshotStore store(collection->options().dir);
+    // Bounded only as a churn backstop: each iteration either applies
+    // records (cursor advances) or pulls a newer generation lineage, so
+    // hitting the cap means the leader is checkpointing faster than we can
+    // pull — retry later, don't spin.
+    for (int round = 0; round < 1000; ++round) {
+      const std::uint64_t applied = collection->AppliedSeq();
+      auto segment = leader.FetchWalSince(name, applied);
+      if (!segment.ok()) return segment.status();
+      const WireWalSegment& seg = segment.value();
+      const std::uint64_t local_epoch = store.ReadEpoch();
+      if (seg.leader_epoch < local_epoch) {
+        // Fencing: this peer was deposed — a newer leader's epoch is
+        // already persisted here. Nothing it ships may be applied.
+        return Status::InvalidArgument(
+            "stale leader epoch " + std::to_string(seg.leader_epoch) +
+            " (locally accepted epoch " + std::to_string(local_epoch) + ")");
+      }
+      if (seg.leader_epoch > local_epoch) {
+        MVP_RETURN_NOT_OK(store.WriteEpoch(seg.leader_epoch));
+      }
+      collection->SetGenerationLag(
+          seg.applied_seq > applied ? seg.applied_seq - applied : 0);
+      if (seg.generation != collection->Info().generation) {
+        // The leader checkpointed or compacted: its base generation moved.
+        // Tailing the WAL alone would leave everything in this follower's
+        // memtable — same answers, but a structurally different index than
+        // the leader serves (divergent SearchStats). Pull the lineage and
+        // reopen so the follower mirrors the leader's base + memtable
+        // split, then resume tailing from the reopened watermark.
+        auto pulled =
+            PullGeneration(leader, name, collection->options().dir, {});
+        if (!pulled.ok()) return pulled.status();
+        MVP_RETURN_NOT_OK(collection->Reopen(&pool_));
+        continue;
+      }
+      if (seg.records.empty()) {
+        if (applied >= seg.applied_seq) {
+          collection->SetGenerationLag(0);
+          return Status::OK();  // caught up to the leader's durable state
+        }
+        // Cursor below the leader's WAL floor: the records were folded
+        // into generations and truncated. Pull the lineage, hot-swap the
+        // overlay onto it, and resume tailing from its watermark.
+        auto pulled =
+            PullGeneration(leader, name, collection->options().dir, {});
+        if (!pulled.ok()) return pulled.status();
+        MVP_RETURN_NOT_OK(collection->Reopen(&pool_));
+        continue;
+      }
+      MVP_RETURN_NOT_OK(collection->ApplySegment(seg));
+      if (collection->AppliedSeq() >= seg.applied_seq) {
+        collection->SetGenerationLag(0);
+        return Status::OK();
+      }
+    }
+    return Status::IOError(
+        "follower did not converge (leader checkpointing continuously?)");
+  }
+
+  bool draining() const {
+    MutexLock lock(&mu_);
+    return draining_;
+  }
+
+  void Drain(std::uint64_t deadline_ns) {
+    {
+      MutexLock lock(&mu_);
+      if (stopping_ || draining_) return;
+      draining_ = true;
+    }
+    if (listen_fd_ >= 0) {
+      // Stop accepting; existing connections keep their sockets until the
+      // in-flight work quiesces or the deadline passes.
+      (void)fault::net::ShutdownSocket(listen_fd_, SHUT_RDWR,
+                                       "server:drain");
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::nanoseconds(deadline_ns);
+    // Poll rather than wait: our CondVar deliberately has no timed wait,
+    // and a 1ms poll is invisible next to a drain deadline.
+    while (std::chrono::steady_clock::now() < deadline) {
+      {
+        MutexLock lock(&mu_);
+        if (active_requests_ == 0) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Stop();
+  }
+
+ private:
   ServerOptions options_;
   serve::ThreadPool pool_;
   std::vector<std::unique_ptr<Collection>> collections_;
@@ -642,8 +1015,10 @@ class Server::Impl {
   std::uint16_t port_ = 0;
   std::thread accept_thread_;
 
-  Mutex mu_;
+  mutable Mutex mu_;
   bool stopping_ MVP_GUARDED_BY(mu_) = false;
+  bool draining_ MVP_GUARDED_BY(mu_) = false;
+  std::size_t active_requests_ MVP_GUARDED_BY(mu_) = 0;
   std::vector<int> conn_fds_ MVP_GUARDED_BY(mu_);
   std::vector<std::thread> conn_threads_ MVP_GUARDED_BY(mu_);
 };
@@ -662,6 +1037,35 @@ std::uint16_t Server::port() const { return impl_->port(); }
 Status Server::Refresh(const std::string& collection) {
   return impl_->Refresh(collection);
 }
+
+Result<std::uint64_t> Server::Insert(const std::string& collection,
+                                     const std::vector<double>& point) {
+  return impl_->Insert(collection, point);
+}
+
+Status Server::Erase(const std::string& collection, std::uint64_t stable_id) {
+  return impl_->Erase(collection, stable_id);
+}
+
+Result<std::uint64_t> Server::Checkpoint(const std::string& collection) {
+  return impl_->Checkpoint(collection);
+}
+
+Result<std::uint64_t> Server::Compact(const std::string& collection) {
+  return impl_->Compact(collection);
+}
+
+Result<std::uint64_t> Server::Promote(const std::string& collection) {
+  return impl_->Promote(collection);
+}
+
+Status Server::Follow(const std::string& collection, Client& leader) {
+  return impl_->Follow(collection, leader);
+}
+
+bool Server::draining() const { return impl_->draining(); }
+
+void Server::Drain(std::uint64_t deadline_ns) { impl_->Drain(deadline_ns); }
 
 void Server::Stop() { impl_->Stop(); }
 

@@ -70,11 +70,18 @@ struct ServerOptions {
   std::uint16_t port = 0;
   /// Worker threads in the shared query pool (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Ceiling on concurrently served connections. An accept beyond the cap
+  /// is answered with one ResourceExhausted frame and closed — a clean,
+  /// parseable refusal instead of an unexplained hangup or an unbounded
+  /// thread count.
+  std::size_t max_connections = 256;
   /// The tenants to host. A static collection whose store is still empty
   /// is served as NotFound until a generation is committed and Refresh'd
   /// in — the follower-before-first-replication state.
   std::vector<CollectionOptions> collections;
 };
+
+class Client;
 
 /// A running server. Start() binds + listens + spawns the accept loop;
 /// the instance is immovable (threads hold `this`).
@@ -94,6 +101,47 @@ class Server {
   /// serving (GenerationCell publish). In-flight queries finish on the old
   /// generation. No-op for dynamic collections (they are always live).
   Status Refresh(const std::string& collection);
+
+  // In-process mutation/lifecycle surface for dynamic collections (the
+  // wire protocol is read-only; a leader's writers are co-located with it).
+  // All of these are InvalidArgument on a static collection.
+
+  /// Durably inserts into a dynamic collection; returns the stable id.
+  Result<std::uint64_t> Insert(const std::string& collection,
+                               const std::vector<double>& point);
+  /// Durably erases a stable id from a dynamic collection.
+  Status Erase(const std::string& collection, std::uint64_t stable_id);
+  /// Folds outstanding mutations into a delta generation (WAL truncate).
+  Result<std::uint64_t> Checkpoint(const std::string& collection);
+  /// Major merge into one full generation (the WAL-shipping floor moves).
+  Result<std::uint64_t> Compact(const std::string& collection);
+
+  /// Promotes this server to leadership of `collection`: bumps the store's
+  /// persisted leader epoch and returns the new value. Every generation
+  /// committed and WAL segment shipped from now on carries the new epoch,
+  /// which is what fences out a deposed leader's stale stream
+  /// (docs/network_serving.md).
+  Result<std::uint64_t> Promote(const std::string& collection);
+
+  /// One follower convergence step for a dynamic collection: ships the
+  /// leader's WAL tail past the local applied sequence (Op::kFetchWalSince)
+  /// and applies it; when the local cursor has fallen below the leader's
+  /// WAL floor (a checkpoint/compaction truncated the records away), falls
+  /// back to pulling the generation lineage and resumes tailing from its
+  /// watermark. Rejects segments stamped with a stale leader epoch and
+  /// adopts newer ones. Returns once the local state has caught up to the
+  /// leader sequence observed at entry.
+  Status Follow(const std::string& collection, Client& leader);
+
+  /// Whether this server is draining (Readiness reports it on the wire).
+  bool draining() const;
+
+  /// Graceful shutdown: stops accepting, answers Readiness as draining,
+  /// refuses NEW queries with ResourceExhausted, waits up to `deadline_ns`
+  /// for in-flight requests to finish, then Stop()s. Connections are never
+  /// hard-closed mid-response, so a client draining alongside sees a clean
+  /// refusal it can fail over on, not a torn frame.
+  void Drain(std::uint64_t deadline_ns);
 
   /// Shuts down the listener and every live connection, then joins all
   /// threads. Idempotent; implied by destruction.

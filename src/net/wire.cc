@@ -18,6 +18,8 @@ Status RecvExact(int fd, std::uint8_t* buf, std::size_t size,
                  const char* detail, bool* eof_at_start) {
   std::size_t got = 0;
   while (got < size) {
+    // EINTR is retried inside the fault::net seam; a negative return here
+    // is a real socket error.
     const long n = fault::net::Recv(fd, buf + got, size - got, detail);
     if (n == 0) {
       if (eof_at_start != nullptr) *eof_at_start = got == 0;
@@ -25,7 +27,6 @@ Status RecvExact(int fd, std::uint8_t* buf, std::size_t size,
                       : Status::IOError("connection closed mid-frame");
     }
     if (n < 0) {
-      if (errno == EINTR) continue;
       return Status::IOError(std::string("recv failed: ") +
                              std::strerror(errno));
     }
@@ -41,7 +42,6 @@ Status SendExact(int fd, const std::uint8_t* buf, std::size_t size,
   while (sent < size) {
     const long n = fault::net::Send(fd, buf + sent, size - sent, detail);
     if (n < 0) {
-      if (errno == EINTR) continue;
       return Status::IOError(std::string("send failed: ") +
                              std::strerror(errno));
     }
@@ -226,6 +226,60 @@ Status DecodeCollectionInfo(BinaryReader* in, WireCollectionInfo* info) {
   info->dynamic = dynamic != 0;
   MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&info->generation));
   return in->Read<std::uint64_t>(&info->size);
+}
+
+void EncodeWalSegment(const WireWalSegment& segment, BinaryWriter* out) {
+  out->Write<std::uint64_t>(segment.leader_epoch);
+  out->Write<std::uint64_t>(segment.floor_seq);
+  out->Write<std::uint64_t>(segment.generation);
+  out->Write<std::uint64_t>(segment.applied_seq);
+  out->Write<std::uint64_t>(segment.records.size());
+  for (const wal::WalRecord& record : segment.records) {
+    out->Write<std::uint8_t>(static_cast<std::uint8_t>(record.op));
+    out->Write<std::uint64_t>(record.seq);
+    out->Write<std::uint64_t>(record.id);
+    out->WriteVector(record.payload);
+  }
+}
+
+Status DecodeWalSegment(BinaryReader* in, WireWalSegment* segment) {
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&segment->leader_epoch));
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&segment->floor_seq));
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&segment->generation));
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&segment->applied_seq));
+  std::uint64_t count = 0;
+  // Each record costs at least the fixed frame body (op/seq/id/payload len).
+  MVP_RETURN_NOT_OK(in->ReadLengthPrefix(wal::kFrameFixedBytes, &count));
+  segment->records.resize(static_cast<std::size_t>(count));
+  for (wal::WalRecord& record : segment->records) {
+    std::uint8_t op = 0;
+    MVP_RETURN_NOT_OK(in->Read<std::uint8_t>(&op));
+    if (op != static_cast<std::uint8_t>(wal::WalOp::kInsert) &&
+        op != static_cast<std::uint8_t>(wal::WalOp::kErase)) {
+      return Status::Corruption("wal segment record op out of range");
+    }
+    record.op = static_cast<wal::WalOp>(op);
+    MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&record.seq));
+    MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&record.id));
+    MVP_RETURN_NOT_OK(in->ReadVector(&record.payload));
+  }
+  return Status::OK();
+}
+
+void EncodeReadiness(const WireReadiness& readiness, BinaryWriter* out) {
+  out->Write<std::uint8_t>(readiness.state);
+  out->Write<std::uint64_t>(readiness.leader_epoch);
+  out->Write<std::uint64_t>(readiness.generation_lag);
+}
+
+Status DecodeReadiness(BinaryReader* in, WireReadiness* readiness) {
+  MVP_RETURN_NOT_OK(in->Read<std::uint8_t>(&readiness->state));
+  if (readiness->state >
+      static_cast<std::uint8_t>(ReadinessState::kDraining)) {
+    return Status::Corruption("readiness state out of range");
+  }
+  MVP_RETURN_NOT_OK(in->Read<std::uint64_t>(&readiness->leader_epoch));
+  return in->Read<std::uint64_t>(&readiness->generation_lag);
 }
 
 void EncodeResponseStatus(const Status& status, BinaryWriter* out) {

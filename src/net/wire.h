@@ -9,6 +9,7 @@
 #include "common/serialize.h"
 #include "common/status.h"
 #include "serve/serve_stats.h"
+#include "wal/wal.h"
 
 /// \file
 /// Wire protocol for the mvpt network serving subsystem — framing plus
@@ -54,6 +55,12 @@ enum class Op : std::uint32_t {
   kCurrentGeneration = 6,
   kFetchManifest = 7,
   kFetchChunk = 8,
+  /// WAL shipping: the leader's log records past a sequence number, so a
+  /// follower can tail a live dynamic collection (net/server.h).
+  kFetchWalSince = 9,
+  /// Health/readiness probe: serving-vs-draining plus generation lag, so a
+  /// failover client can skip an endpoint that is shutting down or behind.
+  kReadiness = 10,
 };
 
 /// `timeout_ns` value meaning "no deadline".
@@ -97,6 +104,40 @@ struct WireCollectionInfo {
   std::uint64_t size = 0;        ///< objects currently servable
 };
 
+/// A slice of the leader's WAL, as returned by FetchWalSince: every record
+/// with seq > the requested watermark, plus the lineage facts the follower
+/// needs to decide between tailing and falling back to chunk replication.
+struct WireWalSegment {
+  /// The leader's current epoch; a follower rejects segments from an epoch
+  /// older than the newest it has ever accepted (split-brain fencing).
+  std::uint64_t leader_epoch = 0;
+  /// The checkpoint watermark: records at or below it live only in
+  /// committed generations now. A follower whose applied seq is below this
+  /// cannot catch up by tailing — it must pull generations first.
+  std::uint64_t floor_seq = 0;
+  /// The leader's committed generation at the time of the read.
+  std::uint64_t generation = 0;
+  /// The leader's last acknowledged sequence (the tail target).
+  std::uint64_t applied_seq = 0;
+  std::vector<wal::WalRecord> records;
+};
+
+/// Readiness states a server reports (wire values — append only).
+enum class ReadinessState : std::uint8_t {
+  kServing = 0,
+  kDraining = 1,
+};
+
+/// Health/readiness snapshot, as returned by the Readiness RPC.
+struct WireReadiness {
+  std::uint8_t state = 0;  ///< a ReadinessState value
+  /// Max epoch across the server's collections (0 = epoch-less store).
+  std::uint64_t leader_epoch = 0;
+  /// Generations the server knows it trails its leader by (followers; 0
+  /// when leading or caught up).
+  std::uint64_t generation_lag = 0;
+};
+
 // ---- framing ---------------------------------------------------------------
 
 /// Sends one frame (header + payload), looping over fault::net::Send until
@@ -134,6 +175,12 @@ Status DecodeStats(BinaryReader* in, serve::ServeStatsSnapshot* snap);
 
 void EncodeCollectionInfo(const WireCollectionInfo& info, BinaryWriter* out);
 Status DecodeCollectionInfo(BinaryReader* in, WireCollectionInfo* info);
+
+void EncodeWalSegment(const WireWalSegment& segment, BinaryWriter* out);
+Status DecodeWalSegment(BinaryReader* in, WireWalSegment* segment);
+
+void EncodeReadiness(const WireReadiness& readiness, BinaryWriter* out);
+Status DecodeReadiness(BinaryReader* in, WireReadiness* readiness);
 
 /// Response header: `[u32 code] [string message]`. The encoded code is
 /// validated against the known StatusCode range on decode — a frame whose

@@ -43,6 +43,15 @@ enum class ChunkKind : std::uint32_t {
   /// u64v: sorted stable ids erased from the base generation (a delta
   /// generation's tombstone set).
   kTombstones = 5,
+  /// A by-reference shard chunk: `[u64 target generation][u64 target chunk
+  /// index][u64 payload length][u32 crc32c]`. Stands for the physical
+  /// kShardTree chunk it names in an earlier generation's container —
+  /// written by compaction when a shard's serialized bytes are identical
+  /// to the base's, so unchanged shards cost ~36 bytes instead of a full
+  /// rewrite. Refs always name a PHYSICAL chunk (never another ref); the
+  /// referenced generation is pinned by the manifest's base_generation
+  /// lineage, which PruneStaleGenerations preserves.
+  kShardTreeRef = 6,
 };
 
 /// File-offset alignment required for ChunkKind::kFlatShard payloads: the

@@ -30,6 +30,10 @@ inline constexpr std::uint32_t kManifestVersion = 1;
 /// reject lineage-bearing generations with NotSupported instead of serving
 /// them with wrong ids.
 inline constexpr std::uint32_t kManifestVersionLineage = 2;
+/// Version 3 appends the leader-epoch field used for replication fencing.
+/// Written ONLY when a nonzero epoch is present — epoch-less stores keep
+/// their v1/v2 bytes, so golden files and pre-epoch binaries stay intact.
+inline constexpr std::uint32_t kManifestVersionEpoch = 3;
 
 /// Index kinds a snapshot can hold.
 enum class IndexKind : std::uint8_t {
@@ -86,6 +90,12 @@ struct SnapshotManifest {
   std::uint64_t last_applied_seq = 0;
   std::uint64_t next_stable_id = 0;
 
+  /// Leader epoch this generation was committed under (0 = epoch-less
+  /// store). Replication fencing: a follower that has accepted epoch N
+  /// rejects generations and WAL segments stamped with an epoch < N, so a
+  /// deposed leader's writes cannot reach it (docs/network_serving.md).
+  std::uint64_t leader_epoch = 0;
+
   /// True when this manifest must carry the lineage fields, i.e. must be
   /// written as version 2 (and therefore be rejected by pre-lineage
   /// binaries instead of misread).
@@ -94,11 +104,16 @@ struct SnapshotManifest {
            last_applied_seq != 0 || next_stable_id != 0;
   }
 
+  /// True when this manifest must carry the epoch field (version 3). A v3
+  /// manifest always carries the lineage fields too, even when zero.
+  bool needs_epoch() const { return leader_epoch != 0; }
+
   std::vector<std::uint8_t> Serialize() const {
     BinaryWriter writer;
     writer.Write<std::uint32_t>(kManifestMagic);
-    writer.Write<std::uint32_t>(needs_lineage() ? kManifestVersionLineage
-                                                : kManifestVersion);
+    writer.Write<std::uint32_t>(needs_epoch()      ? kManifestVersionEpoch
+                                : needs_lineage() ? kManifestVersionLineage
+                                                  : kManifestVersion);
     writer.Write<std::uint8_t>(static_cast<std::uint8_t>(index_kind));
     writer.Write<std::uint64_t>(object_count);
     writer.Write<std::uint64_t>(num_chunks);
@@ -110,10 +125,13 @@ struct SnapshotManifest {
     writer.Write<std::int32_t>(num_path_distances);
     writer.Write<std::uint64_t>(seed);
     writer.Write<std::uint8_t>(store_exact_bounds);
-    if (needs_lineage()) {
+    if (needs_lineage() || needs_epoch()) {
       writer.Write<std::uint64_t>(base_generation);
       writer.Write<std::uint64_t>(last_applied_seq);
       writer.Write<std::uint64_t>(next_stable_id);
+    }
+    if (needs_epoch()) {
+      writer.Write<std::uint64_t>(leader_epoch);
     }
     writer.Write<std::uint32_t>(
         Crc32c(writer.buffer().data(), writer.buffer().size()));
@@ -131,7 +149,8 @@ struct SnapshotManifest {
       return Status::Corruption("bad snapshot manifest magic");
     }
     MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&version));
-    if (version != kManifestVersion && version != kManifestVersionLineage) {
+    if (version != kManifestVersion && version != kManifestVersionLineage &&
+        version != kManifestVersionEpoch) {
       return Status::NotSupported("unknown snapshot manifest version " +
                                   std::to_string(version));
     }
@@ -162,6 +181,9 @@ struct SnapshotManifest {
       MVP_RETURN_NOT_OK(
           reader.Read<std::uint64_t>(&manifest.last_applied_seq));
       MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&manifest.next_stable_id));
+    }
+    if (version >= kManifestVersionEpoch) {
+      MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&manifest.leader_epoch));
     }
     const std::size_t body_end = reader.position();
     std::uint32_t stored_crc = 0;

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <optional>
@@ -85,10 +86,50 @@ class SnapshotStore {
   static constexpr const char* kCurrentFile = "CURRENT";
   static constexpr const char* kManifestFile = "MANIFEST";
   static constexpr const char* kContainerFile = "shards.mvps";
+  /// Decimal leader epoch, newline-terminated. Absent = epoch 0 (a store
+  /// that has never been under replication fencing).
+  static constexpr const char* kEpochFile = "EPOCH";
 
   explicit SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
 
   const std::string& dir() const { return dir_; }
+
+  /// The store's persisted leader epoch; 0 when no EPOCH file exists.
+  /// Every generation committed while the file holds N is stamped with
+  /// epoch N in its manifest, which is what lets a follower reject a
+  /// deposed leader's output (docs/network_serving.md, HA section).
+  std::uint64_t ReadEpoch() const {
+    auto bytes = ReadFile(dir_ + "/" + kEpochFile);
+    if (!bytes.ok()) return 0;
+    std::uint64_t epoch = 0;
+    for (const std::uint8_t c : bytes.value()) {
+      if (c == '\n' || c == '\r') break;
+      if (c < '0' || c > '9') return 0;
+      epoch = epoch * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return epoch;
+  }
+
+  /// Persists `epoch` atomically. Epochs must only move forward; callers
+  /// enforce monotonicity (BumpEpoch, or a follower adopting a leader's
+  /// larger epoch).
+  Status WriteEpoch(std::uint64_t epoch) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) return Status::IOError("cannot create store dir: " + dir_);
+    const std::string text = std::to_string(epoch) + "\n";
+    return WriteFileAtomic(dir_ + "/" + kEpochFile,
+                           std::vector<std::uint8_t>(text.begin(), text.end()));
+  }
+
+  /// Atomically advances the epoch by one and returns the new value — the
+  /// promotion step that fences every generation the old leader commits
+  /// from now on.
+  Result<std::uint64_t> BumpEpoch() {
+    const std::uint64_t next = ReadEpoch() + 1;
+    MVP_RETURN_NOT_OK(WriteEpoch(next));
+    return next;
+  }
 
   std::string GenerationDir(std::uint64_t gen) const {
     return dir_ + "/" + GenerationName(gen);
@@ -203,13 +244,21 @@ class SnapshotStore {
   /// that survived erasure), plus the WAL watermark and id high-water mark
   /// that make recovery idempotent. Written as a version-2 manifest so
   /// pre-lineage binaries reject it instead of serving the wrong ids.
+  ///
+  /// When `reuse_base_generation` names an earlier kShardedMvpIndex
+  /// generation, any shard whose freshly serialized bytes are identical to
+  /// that generation's chunk is written as a ~36-byte kShardTreeRef instead
+  /// of a full rewrite — compaction I/O then scales with churn, not index
+  /// size. `reused_chunks` (optional) reports how many shards were
+  /// referenced rather than rewritten.
   template <typename Object, metric::MetricFor<Object> Metric,
             CodecFor<Object> Codec>
   Result<std::uint64_t> SaveCompacted(
       const serve::ShardedMvpIndex<Object, Metric>& index,
       const std::vector<std::uint64_t>& stable_ids,
       std::uint64_t last_applied_seq, std::uint64_t next_stable_id,
-      const Codec& codec) {
+      const Codec& codec, std::uint64_t reuse_base_generation = 0,
+      std::uint64_t* reused_chunks = nullptr) {
     MVP_RETURN_NOT_OK(RequireHeapRepresentation(index, "SaveCompacted"));
     if (stable_ids.size() != index.size()) {
       return Status::InvalidArgument(
@@ -220,10 +269,46 @@ class SnapshotStore {
         return Status::InvalidArgument("stable ids must be ascending");
       }
     }
-    ContainerWriter container;
+    std::vector<std::vector<std::uint8_t>> payloads;
     SnapshotManifest manifest;
-    MVP_RETURN_NOT_OK(
-        AppendShardedChunks(index, codec, &container, &manifest));
+    MVP_RETURN_NOT_OK(SerializeShardChunks(index, codec, &payloads, &manifest));
+
+    // Resolve the base generation's shard chunks to PHYSICAL bytes so a new
+    // ref never points at another ref. Failure anywhere here only disables
+    // reuse — a full rewrite is always correct.
+    std::vector<MmapFile> base_mappings;  // keeps payload spans alive
+    std::vector<ResolvedShardChunk> base_shards;
+    if (reuse_base_generation != 0) {
+      auto resolved =
+          ResolveShardChunks(reuse_base_generation, &base_mappings);
+      if (resolved.ok()) base_shards = std::move(resolved).ValueOrDie();
+    }
+
+    ContainerWriter container;
+    std::uint64_t reused = 0;
+    for (auto& payload : payloads) {
+      const ResolvedShardChunk* match = nullptr;
+      for (const ResolvedShardChunk& candidate : base_shards) {
+        if (candidate.length == payload.size() &&
+            std::memcmp(candidate.payload, payload.data(), payload.size()) ==
+                0) {
+          match = &candidate;
+          break;
+        }
+      }
+      if (match != nullptr) {
+        BinaryWriter ref;
+        ref.Write<std::uint64_t>(match->generation);
+        ref.Write<std::uint64_t>(match->chunk_index);
+        ref.Write<std::uint64_t>(match->length);
+        ref.Write<std::uint32_t>(match->crc32c);
+        container.AddChunk(ChunkKind::kShardTreeRef,
+                           std::move(ref).TakeBuffer());
+        ++reused;
+      } else {
+        container.AddChunk(ChunkKind::kShardTree, std::move(payload));
+      }
+    }
     {
       BinaryWriter chunk;
       chunk.WriteVector(stable_ids);
@@ -231,6 +316,10 @@ class SnapshotStore {
     }
     manifest.last_applied_seq = last_applied_seq;
     manifest.next_stable_id = next_stable_id;
+    // Any ref pins its target generation through the prune-surviving
+    // lineage chain.
+    if (reused != 0) manifest.base_generation = reuse_base_generation;
+    if (reused_chunks != nullptr) *reused_chunks = reused;
     return CommitGeneration(std::move(container).Finalize(), manifest);
   }
 
@@ -373,9 +462,12 @@ class SnapshotStore {
     MVP_RETURN_NOT_OK(ValidateManifestParams(manifest));
 
     const auto shard_chunks = gen.container.ChunksOfKind(ChunkKind::kShardTree);
+    const auto ref_chunks =
+        gen.container.ChunksOfKind(ChunkKind::kShardTreeRef);
     const auto id_chunks = gen.container.ChunksOfKind(ChunkKind::kStableIds);
     if (manifest.num_shards < 1 ||
-        shard_chunks.size() != manifest.num_shards || id_chunks.size() > 1 ||
+        shard_chunks.size() + ref_chunks.size() != manifest.num_shards ||
+        id_chunks.size() > 1 ||
         gen.container.num_chunks() != manifest.num_chunks) {
       return Status::Corruption("snapshot chunk census mismatches manifest");
     }
@@ -399,12 +491,24 @@ class SnapshotStore {
       }
     }
 
-    const std::size_t k = shard_chunks.size();
+    // Resolve by-reference shard chunks (compaction reuse) to the physical
+    // spans they name; the extra mappings stay alive through the decode.
+    std::vector<MmapFile> ref_mappings;
+    auto resolved = ResolveShardChunks(gen.generation, &ref_mappings);
+    if (!resolved.ok()) return resolved.status();
+    if (resolved.value().size() != manifest.num_shards) {
+      return Status::Corruption("snapshot chunk census mismatches manifest");
+    }
+
+    const std::size_t k = resolved.value().size();
     std::vector<std::optional<Part>> parts(k);
     std::vector<Status> statuses(k);
     auto load_shard = [&](std::size_t c) {
-      statuses[c] = DeserializeShardChunk<Object, Metric>(
-          gen.container, shard_chunks[c], metric, codec, manifest, k, &parts);
+      const ResolvedShardChunk& source = resolved.value()[c];
+      statuses[c] = DeserializeShardPayload<Object, Metric>(
+          source.payload, static_cast<std::size_t>(source.length),
+          source.crc32c, source.chunk_index, metric, codec, manifest, k,
+          &parts);
     };
     if (pool == nullptr || k == 1) {
       for (std::size_t c = 0; c < k; ++c) load_shard(c);
@@ -687,15 +791,16 @@ class SnapshotStore {
     return Status::OK();
   }
 
-  /// Serializes every heap shard (id map + tree stream) into `container`
-  /// and fills `manifest` with the index's kind, size and build parameters.
-  /// Shared by SaveSharded and SaveCompacted, which differ only in the
-  /// extra chunks/lineage they add on top.
+  /// Serializes every heap shard (id map + tree stream) to one payload per
+  /// shard and fills `manifest` with the index's kind, size and build
+  /// parameters. Shared by the save paths, which differ in whether a
+  /// payload becomes a physical chunk or a by-reference one.
   template <typename Object, metric::MetricFor<Object> Metric,
             CodecFor<Object> Codec>
-  static Status AppendShardedChunks(
+  static Status SerializeShardChunks(
       const serve::ShardedMvpIndex<Object, Metric>& index, const Codec& codec,
-      ContainerWriter* container, SnapshotManifest* manifest) {
+      std::vector<std::vector<std::uint8_t>>* payloads,
+      SnapshotManifest* manifest) {
     for (std::size_t s = 0; s < index.num_shards(); ++s) {
       BinaryWriter chunk;
       chunk.Write<std::uint64_t>(s);
@@ -705,8 +810,7 @@ class SnapshotStore {
         chunk.Write<std::uint64_t>(id);
       }
       MVP_RETURN_NOT_OK(index.shard(s).Serialize(&chunk, codec));
-      container->AddChunk(ChunkKind::kShardTree,
-                          std::move(chunk).TakeBuffer());
+      payloads->push_back(std::move(chunk).TakeBuffer());
     }
     const auto params = index.build_params();
     manifest->index_kind = IndexKind::kShardedMvpIndex;
@@ -718,6 +822,120 @@ class SnapshotStore {
     manifest->seed = params.seed;
     manifest->store_exact_bounds = params.store_exact_bounds ? 1 : 0;
     return Status::OK();
+  }
+
+  /// Serializes every heap shard directly into `container` as physical
+  /// kShardTree chunks (see SerializeShardChunks).
+  template <typename Object, metric::MetricFor<Object> Metric,
+            CodecFor<Object> Codec>
+  static Status AppendShardedChunks(
+      const serve::ShardedMvpIndex<Object, Metric>& index, const Codec& codec,
+      ContainerWriter* container, SnapshotManifest* manifest) {
+    std::vector<std::vector<std::uint8_t>> payloads;
+    MVP_RETURN_NOT_OK(SerializeShardChunks(index, codec, &payloads, manifest));
+    for (auto& payload : payloads) {
+      container->AddChunk(ChunkKind::kShardTree, std::move(payload));
+    }
+    return Status::OK();
+  }
+
+  /// One shard chunk resolved to its physical location: the generation and
+  /// chunk index actually holding the bytes (never a ref), plus the payload
+  /// span and its table CRC. Spans alias mappings owned by the caller.
+  struct ResolvedShardChunk {
+    std::uint64_t generation = 0;
+    std::uint64_t chunk_index = 0;
+    const std::uint8_t* payload = nullptr;
+    std::uint64_t length = 0;
+    std::uint32_t crc32c = 0;
+  };
+
+  /// Resolves generation `gen`'s shard chunks — physical kShardTree chunks
+  /// in place, kShardTreeRef chunks followed ONE hop to the physical chunk
+  /// they name (a ref naming another ref is Corruption; the writer never
+  /// produces one). Opened mappings are appended to `*mappings`, which must
+  /// outlive every returned span.
+  Result<std::vector<ResolvedShardChunk>> ResolveShardChunks(
+      std::uint64_t gen, std::vector<MmapFile>* mappings) const {
+    auto manifest = ReadManifest(gen);
+    if (!manifest.ok()) return manifest.status();
+    if (manifest.value().index_kind != IndexKind::kShardedMvpIndex) {
+      return Status::InvalidArgument(
+          "shard-chunk reuse requires a sharded base generation");
+    }
+    // gen number -> index into opened containers (below).
+    std::vector<std::pair<std::uint64_t, std::size_t>> opened;
+    std::vector<ContainerReader> readers;
+    auto open_container =
+        [&](std::uint64_t g) -> Result<std::size_t> {
+      for (const auto& [og, idx] : opened) {
+        if (og == g) return idx;
+      }
+      auto mapping = MmapFile::Open(GenerationDir(g) + "/" + kContainerFile);
+      if (!mapping.ok()) return mapping.status();
+      mappings->push_back(std::move(mapping).ValueOrDie());
+      auto reader = ContainerReader::Parse(mappings->back().data(),
+                                           mappings->back().size());
+      if (!reader.ok()) return reader.status();
+      readers.push_back(std::move(reader).ValueOrDie());
+      opened.emplace_back(g, readers.size() - 1);
+      return readers.size() - 1;
+    };
+    auto base = open_container(gen);
+    if (!base.ok()) return base.status();
+    // Copy: open_container below may grow `readers` and invalidate refs.
+    const ContainerReader container = readers[base.value()];
+
+    std::vector<ResolvedShardChunk> resolved;
+    for (std::size_t i = 0; i < container.num_chunks(); ++i) {
+      const ChunkEntry& entry = container.chunk(i);
+      if (entry.kind == static_cast<std::uint32_t>(ChunkKind::kShardTree)) {
+        const auto [payload, length] = container.chunk_payload(i);
+        resolved.push_back({gen, i, payload, length, entry.crc32c});
+        continue;
+      }
+      if (entry.kind != static_cast<std::uint32_t>(ChunkKind::kShardTreeRef)) {
+        continue;
+      }
+      MVP_RETURN_NOT_OK(container.VerifyChunk(i));
+      const auto [ref_payload, ref_length] = container.chunk_payload(i);
+      BinaryReader reader(ref_payload, ref_length);
+      std::uint64_t target_gen = 0, target_index = 0, length = 0;
+      std::uint32_t crc = 0;
+      MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&target_gen));
+      MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&target_index));
+      MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&length));
+      MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&crc));
+      if (!reader.AtEnd()) {
+        return Status::Corruption("trailing bytes after shard ref chunk");
+      }
+      if (target_gen == 0 || target_gen >= gen) {
+        return Status::Corruption("shard ref does not name an older "
+                                  "generation");
+      }
+      auto target = open_container(target_gen);
+      if (!target.ok()) return target.status();
+      const ContainerReader& target_container = readers[target.value()];
+      if (target_index >= target_container.num_chunks()) {
+        return Status::Corruption("shard ref chunk index out of range");
+      }
+      const ChunkEntry& target_entry =
+          target_container.chunk(static_cast<std::size_t>(target_index));
+      if (target_entry.kind !=
+          static_cast<std::uint32_t>(ChunkKind::kShardTree)) {
+        return Status::Corruption(
+            "shard ref does not name a physical shard chunk");
+      }
+      if (target_entry.length != length || target_entry.crc32c != crc) {
+        return Status::Corruption(
+            "shard ref disagrees with its target chunk table");
+      }
+      const auto [payload, payload_length] = target_container.chunk_payload(
+          static_cast<std::size_t>(target_index));
+      resolved.push_back({target_gen, target_index, payload, payload_length,
+                          target_entry.crc32c});
+    }
+    return resolved;
   }
 
   /// Fail-fast gate run right after the manifest parses, BEFORE any chunk
@@ -839,6 +1057,10 @@ class SnapshotStore {
     manifest.payload_bytes = container.size();
     manifest.dataset_fingerprint =
         ContainerFingerprint(container.data(), container.size());
+    // Stamp the store's persisted leader epoch. Epoch-0 stores (no EPOCH
+    // file) keep writing their previous manifest version byte for byte, so
+    // golden snapshots and pre-epoch binaries are untouched.
+    if (manifest.leader_epoch == 0) manifest.leader_epoch = ReadEpoch();
 
     const auto current = CurrentGeneration();
     const std::uint64_t gen = current.ok() ? current.value() + 1 : 1;
@@ -898,27 +1120,31 @@ class SnapshotStore {
     return gen;
   }
 
-  /// Verifies and deserializes one shard chunk into parts[shard_index].
-  /// Static helper so parallel loaders share no mutable state but the
-  /// distinct slots they write.
+  /// Verifies and deserializes one shard chunk's payload (possibly living
+  /// in another generation's container, via kShardTreeRef) into
+  /// parts[shard_index]. Static helper so parallel loaders share no
+  /// mutable state but the distinct slots they write.
   template <typename Object, metric::MetricFor<Object> Metric,
             CodecFor<Object> Codec>
-  static Status DeserializeShardChunk(
-      const ContainerReader& container, std::size_t chunk_index,
-      const Metric& metric, const Codec& codec,
+  static Status DeserializeShardPayload(
+      const std::uint8_t* payload, std::size_t length, std::uint32_t crc32c,
+      std::uint64_t chunk_index, const Metric& metric, const Codec& codec,
       const SnapshotManifest& manifest, std::size_t num_shards,
       std::vector<std::optional<
           std::pair<typename serve::ShardedMvpIndex<Object, Metric>::Tree,
                     std::vector<std::size_t>>>>* parts) {
     using Tree = typename serve::ShardedMvpIndex<Object, Metric>::Tree;
-    MVP_RETURN_NOT_OK(container.VerifyChunk(chunk_index));
-    const auto [payload, length] = container.chunk_payload(chunk_index);
+    if (Crc32c(payload, length) != crc32c) {
+      // Name the physical chunk so an operator can find the corrupt span.
+      return Status::Corruption(
+          "snapshot chunk " + std::to_string(chunk_index) +
+          " CRC32C mismatch (truncated or corrupt)");
+    }
     BinaryReader reader(payload, length);
     std::uint64_t shard = 0;
     MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&shard));
     if (shard >= num_shards) {
-      return Status::Corruption("shard index out of range in chunk " +
-                                std::to_string(chunk_index));
+      return Status::Corruption("shard index out of range in shard chunk");
     }
     std::vector<std::uint64_t> raw_ids;
     MVP_RETURN_NOT_OK(reader.ReadVector(&raw_ids));
@@ -928,8 +1154,7 @@ class SnapshotStore {
         &reader, serve::CancelChecked<Metric>(metric), codec);
     if (!tree.ok()) return tree.status();
     if (!reader.AtEnd()) {
-      return Status::Corruption("trailing bytes after shard tree in chunk " +
-                                std::to_string(chunk_index));
+      return Status::Corruption("trailing bytes after shard tree stream");
     }
     const auto& options = tree.value().options();
     if (options.order != manifest.order ||

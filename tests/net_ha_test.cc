@@ -1,0 +1,750 @@
+// High-availability acceptance tests: WAL shipping, leader-epoch fencing,
+// client-side failover, and graceful drain (docs/network_serving.md).
+//
+// The headline guarantees under test:
+//
+//  * A dynamic follower that tails the leader's WAL (Op::kFetchWalSince)
+//    converges to BIT-IDENTICAL query results and SearchStats, across
+//    checkpoints and compactions (generation-pull fallback included).
+//  * No acknowledged write is ever lost: after a leader kill, every write
+//    the leader acked and the follower converged on answers exactly on the
+//    promoted follower.
+//  * A deposed leader's stream is fenced out by the persisted leader epoch.
+//  * A two-endpoint client completes its query stream across a leader kill
+//    without surfacing an error.
+//  * SIGTERM-style drain finishes in-flight batches and refuses new
+//    queries with a clean, parseable ResourceExhausted.
+//
+// The crash-drill sweep attacks every syscall on the shipping path —
+// follower-side fs, follower WAL, client-side net; error and crash
+// flavours at varying depths — and after every single one a RESTARTED
+// follower (recovery from disk, i.e. a from-scratch rebuild of in-memory
+// state) re-follows cleanly and serves bit-identically to the leader.
+//
+// Failpoint safety: crash-mode failpoints are matched to follower fs paths
+// ("follower" in the path) or the client seam ("client:rpc") ONLY — a
+// crash unwinding a server connection thread would std::terminate.
+
+#include "fault/fault_fs.h"  // platform gate: defines MVPTREE_FAULT_FS_POSIX
+
+#if defined(MVPTREE_FAULT_FS_POSIX)
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/codec.h"
+#include "dataset/vector_gen.h"
+#include "fault/failpoint.h"
+#include "metric/lp.h"
+#include "net/client.h"
+#include "net/failover.h"
+#include "net/server.h"
+#include "snapshot/snapshot_store.h"
+
+namespace mvp::net {
+namespace {
+
+using metric::L2;
+using metric::Vector;
+
+/// A deterministic mixed workload (range + k-NN, no deadlines): every
+/// outcome is a pure function of the served state.
+std::vector<WireQuery> MixedQueries(std::size_t n, std::uint32_t seed = 23) {
+  const auto points = dataset::UniformQueryVectors(n, 4, seed);
+  std::vector<WireQuery> queries;
+  for (std::size_t i = 0; i < n; ++i) {
+    WireQuery q;
+    q.point = points[i];
+    if (i % 2 == 0) {
+      q.kind = 0;
+      q.radius = 0.45 + 0.1 * static_cast<double>(i % 3);
+    } else {
+      q.kind = 1;
+      q.k = 1 + i % 7;
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+void ExpectWireOutcomesEqual(const WireOutcome& follower,
+                             const WireOutcome& leader, std::size_t i) {
+  EXPECT_EQ(follower.status_code, leader.status_code) << "query " << i;
+  EXPECT_EQ(follower.partial, leader.partial) << "query " << i;
+  EXPECT_EQ(follower.distance_computations, leader.distance_computations)
+      << "query " << i;
+  EXPECT_EQ(follower.search.distance_computations,
+            leader.search.distance_computations)
+      << "query " << i;
+  EXPECT_EQ(follower.search.nodes_visited, leader.search.nodes_visited)
+      << "query " << i;
+  EXPECT_EQ(follower.search.leaf_points_seen, leader.search.leaf_points_seen)
+      << "query " << i;
+  EXPECT_EQ(follower.search.leaf_points_filtered,
+            leader.search.leaf_points_filtered)
+      << "query " << i;
+  ASSERT_EQ(follower.neighbors.size(), leader.neighbors.size())
+      << "query " << i;
+  for (std::size_t j = 0; j < follower.neighbors.size(); ++j) {
+    EXPECT_EQ(follower.neighbors[j].id, leader.neighbors[j].id)
+        << "query " << i << " neighbor " << j;
+    EXPECT_EQ(follower.neighbors[j].distance, leader.neighbors[j].distance)
+        << "query " << i << " neighbor " << j;
+  }
+}
+
+class NetHaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/net_ha_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    leader_dir_ = dir_ + "/leader";
+  }
+  void TearDown() override {
+    fault::Failpoints::Instance().DisarmAll();
+    std::filesystem::remove_all(dir_);
+  }
+
+  static std::unique_ptr<Server> StartDynamic(const std::string& name,
+                                              const std::string& store_dir) {
+    std::filesystem::create_directories(store_dir);
+    CollectionOptions collection;
+    collection.name = name;
+    collection.dir = store_dir;
+    collection.dynamic = true;
+    // The drain test parks a very large batch in flight on purpose; keep
+    // the admission controller out of these tests' way.
+    collection.admission.max_in_flight = 1 << 20;
+    ServerOptions options;
+    options.collections.push_back(collection);
+    auto server = Server::Start(std::move(options));
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return server.ok() ? std::move(server).ValueOrDie() : nullptr;
+  }
+
+  void StartLeader() {
+    leader_ = StartDynamic("live", leader_dir_);
+    ASSERT_NE(leader_, nullptr);
+  }
+
+  static Client MustConnect(const Server& server) {
+    auto client = Client::Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).ValueOrDie();
+  }
+
+  /// Inserts `n` fresh vectors into the leader; every returned id is an
+  /// ACKNOWLEDGED write (Insert waits for the WAL group-commit fsync) and
+  /// is recorded with its point for the no-loss audit.
+  void LeaderInserts(std::size_t n) {
+    const auto data = dataset::UniformVectors(n, 4, next_seed_++);
+    for (const Vector& v : data) {
+      auto id = leader_->Insert("live", v);
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      acked_.push_back({id.value(), v});
+    }
+  }
+
+  /// Erases the oldest still-live acked write on the leader.
+  void LeaderEraseOldest() {
+    ASSERT_FALSE(acked_.empty());
+    ASSERT_TRUE(leader_->Erase("live", acked_.front().id).ok());
+    acked_.erase(acked_.begin());
+  }
+
+  /// Every acked-and-replicated write must answer on `server`: a radius-0
+  /// range query at the exact point returns it, under its stable id.
+  void ExpectNoAckedWriteLost(Client& client) {
+    for (const AckedWrite& write : acked_) {
+      WireQuery q;
+      q.kind = 0;
+      q.radius = 0.0;
+      q.point = write.point;
+      auto outcome = client.Query("live", q);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      ASSERT_EQ(outcome.value().status_code, 0u) << "id " << write.id;
+      ASSERT_EQ(outcome.value().neighbors.size(), 1u)
+          << "acked write " << write.id << " lost";
+      EXPECT_EQ(outcome.value().neighbors[0].id, write.id);
+      EXPECT_EQ(outcome.value().neighbors[0].distance, 0.0);
+    }
+  }
+
+  /// Runs the comparison workload against leader and follower and demands
+  /// bit-identical outcomes (results AND SearchStats).
+  void ExpectBitIdentical(Client& leader_client, Client& follower_client) {
+    const auto queries = MixedQueries(12);
+    auto from_leader = leader_client.BatchQuery("live", queries);
+    ASSERT_TRUE(from_leader.ok()) << from_leader.status().ToString();
+    auto from_follower = follower_client.BatchQuery("live", queries);
+    ASSERT_TRUE(from_follower.ok()) << from_follower.status().ToString();
+    ASSERT_EQ(from_leader.value().size(), from_follower.value().size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      ExpectWireOutcomesEqual(from_follower.value()[i],
+                              from_leader.value()[i], i);
+    }
+  }
+
+  struct AckedWrite {
+    std::uint64_t id;
+    Vector point;
+  };
+
+  std::string dir_;
+  std::string leader_dir_;
+  std::unique_ptr<Server> leader_;
+  std::vector<AckedWrite> acked_;
+  std::uint32_t next_seed_ = 1;
+};
+
+// WAL shipping end to end: an empty follower tails the leader's WAL and
+// serves bit-identically; after the leader checkpoints (WAL floor moves
+// past the follower's cursor) AND compacts, the follower falls back to the
+// generation pull and resumes the tail — still bit-identical, still no
+// acked write lost.
+TEST_F(NetHaTest, WalShippingFollowerConvergesBitIdentical) {
+  StartLeader();
+  LeaderInserts(60);
+  LeaderEraseOldest();
+
+  const std::string follower_dir = dir_ + "/follower";
+  auto follower = StartDynamic("live", follower_dir);
+  ASSERT_NE(follower, nullptr);
+
+  Client leader_client = MustConnect(*leader_);
+  ASSERT_TRUE(follower->Follow("live", leader_client).ok());
+  Client follower_client = MustConnect(*follower);
+  {
+    SCOPED_TRACE("phase wal-tail");
+    ExpectBitIdentical(leader_client, follower_client);
+    ExpectNoAckedWriteLost(follower_client);
+  }
+
+  // Converged: the follower reports zero generation lag for the tenant.
+  auto readiness = follower_client.Readiness("live");
+  ASSERT_TRUE(readiness.ok());
+  EXPECT_EQ(readiness.value().generation_lag, 0u);
+
+  // Checkpoint truncates the leader WAL (floor passes the tail), then more
+  // writes land in the fresh WAL: the follower must pull the generation
+  // and resume tailing.
+  ASSERT_TRUE(leader_->Checkpoint("live").ok());
+  LeaderInserts(10);
+  LeaderEraseOldest();
+  ASSERT_TRUE(follower->Follow("live", leader_client).ok());
+  {
+    SCOPED_TRACE("phase post-checkpoint");
+    ExpectBitIdentical(leader_client, follower_client);
+    ExpectNoAckedWriteLost(follower_client);
+  }
+
+  // Major compaction rewrites the lineage into one generation; same deal.
+  ASSERT_TRUE(leader_->Compact("live").ok());
+  LeaderInserts(7);
+  ASSERT_TRUE(follower->Follow("live", leader_client).ok());
+  {
+    SCOPED_TRACE("phase post-compact");
+    ExpectBitIdentical(leader_client, follower_client);
+    ExpectNoAckedWriteLost(follower_client);
+  }
+
+  follower->Stop();
+  leader_->Stop();
+}
+
+// Epoch fencing: once the follower has been promoted (epoch bumped), the
+// old leader's stream — still answering RPCs, as deposed leaders do — is
+// rejected as stale. A higher re-promotion on the leader side is adopted.
+TEST_F(NetHaTest, StaleLeaderEpochIsRejected) {
+  StartLeader();
+  LeaderInserts(30);
+
+  const std::string follower_dir = dir_ + "/follower";
+  auto follower = StartDynamic("live", follower_dir);
+  ASSERT_NE(follower, nullptr);
+  Client leader_client = MustConnect(*leader_);
+  ASSERT_TRUE(follower->Follow("live", leader_client).ok());
+
+  // Promotion: the follower becomes the new leader at epoch 1.
+  auto promoted = follower->Promote("live");
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  EXPECT_EQ(promoted.value(), 1u);
+
+  // The deposed leader (epoch 0) writes on; its stream must be fenced.
+  LeaderInserts(5);
+  const Status stale = follower->Follow("live", leader_client);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stale.ToString().find("stale leader epoch"), std::string::npos)
+      << stale.ToString();
+
+  // Re-promoting the old leader ABOVE the follower's accepted epoch makes
+  // its stream authoritative again; the follower adopts the new epoch.
+  ASSERT_TRUE(leader_->Promote("live").ok());      // epoch 1 — still stale
+  auto reclaimed = leader_->Promote("live");       // epoch 2 — wins
+  ASSERT_TRUE(reclaimed.ok());
+  EXPECT_EQ(reclaimed.value(), 2u);
+  ASSERT_TRUE(follower->Follow("live", leader_client).ok());
+  EXPECT_EQ(snapshot::SnapshotStore(follower_dir).ReadEpoch(), 2u);
+
+  Client follower_client = MustConnect(*follower);
+  ExpectNoAckedWriteLost(follower_client);
+  follower->Stop();
+  leader_->Stop();
+}
+
+// The acceptance drill: a two-endpoint client completes its query stream
+// across a leader kill without surfacing an error, and the promoted
+// follower holds every acked write the leader replicated.
+TEST_F(NetHaTest, LeaderKillFollowerPromoteClientFailover) {
+  StartLeader();
+  LeaderInserts(50);
+  LeaderEraseOldest();
+
+  const std::string follower_dir = dir_ + "/follower";
+  auto follower = StartDynamic("live", follower_dir);
+  ASSERT_NE(follower, nullptr);
+  {
+    Client leader_client = MustConnect(*leader_);
+    ASSERT_TRUE(follower->Follow("live", leader_client).ok());
+  }
+
+  FailoverOptions options;
+  options.retry.max_attempts = 5;
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  FailoverClient client({{"127.0.0.1", leader_->port()},
+                         {"127.0.0.1", follower->port()}},
+                        options);
+  const auto queries = MixedQueries(20);
+
+  // First half of the stream lands on the leader...
+  for (std::size_t i = 0; i < queries.size() / 2; ++i) {
+    auto outcome = client.Query("live", queries[i]);
+    ASSERT_TRUE(outcome.ok()) << "query " << i << ": "
+                              << outcome.status().ToString();
+    ASSERT_EQ(outcome.value().status_code, 0u);
+  }
+  EXPECT_EQ(client.active_endpoint(), 0u);
+
+  // ...then the leader dies mid-stream. No query may surface an error.
+  leader_->Stop();
+  auto promoted = follower->Promote("live");
+  ASSERT_TRUE(promoted.ok());
+  for (std::size_t i = queries.size() / 2; i < queries.size(); ++i) {
+    auto outcome = client.Query("live", queries[i]);
+    ASSERT_TRUE(outcome.ok()) << "query " << i << " after leader kill: "
+                              << outcome.status().ToString();
+    ASSERT_EQ(outcome.value().status_code, 0u);
+  }
+  EXPECT_EQ(client.active_endpoint(), 1u);
+  EXPECT_GE(client.failovers(), 1u);
+
+  // The new leader accepts writes and holds every replicated acked write.
+  ASSERT_TRUE(follower->Insert("live", queries[0].point).ok());
+  Client follower_client = MustConnect(*follower);
+  ExpectNoAckedWriteLost(follower_client);
+  client.Close();
+  follower->Stop();
+}
+
+// Hedged reads: with two healthy replicas the hedge must return a correct
+// answer (whichever endpoint wins), and with the primary dead the hedge
+// path still completes without surfacing an error.
+TEST_F(NetHaTest, HedgedReadsReturnCorrectAnswers) {
+  StartLeader();
+  LeaderInserts(40);
+  const std::string follower_dir = dir_ + "/follower";
+  auto follower = StartDynamic("live", follower_dir);
+  ASSERT_NE(follower, nullptr);
+  {
+    Client leader_client = MustConnect(*leader_);
+    ASSERT_TRUE(follower->Follow("live", leader_client).ok());
+  }
+
+  FailoverOptions options;
+  options.hedged_reads = true;
+  options.hedge_delay_ns = 0;  // race immediately — exercises both arms
+  options.retry.max_attempts = 5;
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  FailoverClient hedged({{"127.0.0.1", leader_->port()},
+                         {"127.0.0.1", follower->port()}},
+                        options);
+  Client leader_client = MustConnect(*leader_);
+  const auto queries = MixedQueries(8);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto outcome = hedged.Query("live", queries[i]);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    auto expected = leader_client.Query("live", queries[i]);
+    ASSERT_TRUE(expected.ok());
+    ExpectWireOutcomesEqual(outcome.value(), expected.value(), i);
+  }
+
+  leader_->Stop();
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto outcome = hedged.Query("live", queries[i]);
+    ASSERT_TRUE(outcome.ok()) << "hedged after kill: "
+                              << outcome.status().ToString();
+    ASSERT_EQ(outcome.value().status_code, 0u);
+  }
+  hedged.Close();
+  follower->Stop();
+}
+
+/// One injected failure on the WAL-shipping path, after `skip` unharmed
+/// firings, as a clean error or a simulated process crash.
+struct HaDrill {
+  const char* failpoint;  // "fs/write", "net/recv", "wal/append", ...
+  const char* match;      // "follower" (fs), "client:rpc" (net), "" (wal)
+  bool crash;
+  std::uint64_t skip;
+
+  std::string Name() const {
+    return std::string(failpoint) + ":skip" + std::to_string(skip) +
+           (crash ? ":crash" : ":error");
+  }
+};
+
+std::vector<HaDrill> EnumerateHaDrills() {
+  std::vector<HaDrill> drills;
+  // Follower-side filesystem: the generation-pull files (manifest,
+  // partial container, rename, CURRENT) and the follower's own WAL
+  // append/sync path all sit behind these seams; different skips land the
+  // same failpoint on different files along one convergence step.
+  for (const char* fs : {"fs/open", "fs/write", "fs/fsync", "fs/close",
+                         "fs/rename"}) {
+    for (const bool crash : {false, true}) {
+      for (const std::uint64_t skip : {0u, 1u, 2u}) {
+        drills.push_back({fs, "follower", crash, skip});
+      }
+    }
+  }
+  // Client-side network: the leader connection dies mid-RPC at varying
+  // depths (skip 0 hits the first FetchWalSince or CurrentGeneration round
+  // trip; deeper skips land inside the chunk or manifest stream). NEVER
+  // matched server-side — a crash there would unwind a connection thread.
+  for (const char* net : {"net/recv", "net/send"}) {
+    for (const bool crash : {false, true}) {
+      for (const std::uint64_t skip : {0u, 3u}) {
+        drills.push_back({net, "client:rpc", crash, skip});
+      }
+    }
+  }
+  // The follower WAL's own logical failpoints (replicated records are
+  // re-logged through the same WalWriter discipline). The leader is idle
+  // during Follow, so an unmatched wal/* failpoint can only fire on the
+  // follower's ApplyReplicated path.
+  drills.push_back({"wal/append", "", false, 0});
+  drills.push_back({"wal/append", "", false, 2});
+  drills.push_back({"wal/sync", "", false, 0});
+  return drills;
+}
+
+// The sweep (>= 30 scenarios): after EVERY injected failure the follower
+// is RESTARTED over its surviving directory — recovery from disk, the
+// from-scratch rebuild of all in-memory state — then re-follows cleanly
+// and must serve bit-identical results and SearchStats to the leader, with
+// no acked write lost. The leader mutates (and periodically checkpoints /
+// compacts) between scenarios, so drills land on pure WAL tails, on
+// generation-pull fallbacks, and on mixes of both.
+TEST_F(NetHaTest, HaCrashDrillSweep) {
+  StartLeader();
+  LeaderInserts(40);
+
+  const auto drills = EnumerateHaDrills();
+  ASSERT_GE(drills.size(), 30u);
+  std::size_t index = 0;
+  for (const HaDrill& drill : drills) {
+    SCOPED_TRACE(drill.Name());
+
+    // Advance the leader: new acked writes, an erase, and periodically a
+    // checkpoint (WAL floor moves) or a major compaction.
+    LeaderInserts(3);
+    LeaderEraseOldest();
+    if (index % 13 == 12) {
+      ASSERT_TRUE(leader_->Compact("live").ok());
+    } else if (index % 7 == 6) {
+      ASSERT_TRUE(leader_->Checkpoint("live").ok());
+    }
+
+    const std::string follower_dir =
+        dir_ + "/follower_" + std::to_string(index++);
+    auto follower = StartDynamic("live", follower_dir);
+    ASSERT_NE(follower, nullptr);
+
+    {
+      // A fresh conversation per drill: an injected net fault tears the
+      // connection, and the server rightly hangs up on a torn frame.
+      Client drill_client = MustConnect(*leader_);
+      fault::FailpointConfig config;
+      config.match = drill.match;
+      config.crash = drill.crash;
+      config.skip = drill.skip;
+      fault::ScopedFailpoint failpoint(drill.failpoint, config);
+      try {
+        // With a deep skip the failpoint may never fire and the follow
+        // just converges — also a valid outcome; the invariants must hold
+        // either way.
+        (void)follower->Follow("live", drill_client);
+      } catch (const fault::CrashError&) {
+        // The simulated follower kill; disk state is whatever it is.
+      }
+    }
+    fault::Failpoints::Instance().DisarmAll();
+
+    // "Process restart": recover from the surviving directory alone.
+    follower->Stop();
+    follower.reset();
+    follower = StartDynamic("live", follower_dir);
+    ASSERT_NE(follower, nullptr)
+        << drill.Name() << ": follower does not recover from disk";
+
+    Client leader_client = MustConnect(*leader_);
+    const Status caught_up = follower->Follow("live", leader_client);
+    ASSERT_TRUE(caught_up.ok())
+        << drill.Name() << ": " << caught_up.ToString();
+    Client follower_client = MustConnect(*follower);
+    ExpectBitIdentical(leader_client, follower_client);
+    ExpectNoAckedWriteLost(follower_client);
+    follower->Stop();
+  }
+  leader_->Stop();
+}
+
+// S4: the --follow polling mode's convergence loop across MULTIPLE leader
+// generations with an injected failure on every poll round. Each round the
+// leader moves on (writes + checkpoint/compact = a new generation) and the
+// poll's first attempt fails at a different depth; the next clean attempt
+// must converge — exactly the mvpt-server poll loop's retry discipline.
+TEST_F(NetHaTest, FollowPollingConvergesAcrossGenerationsUnderFailures) {
+  StartLeader();
+  LeaderInserts(30);
+
+  const std::string follower_dir = dir_ + "/follower";
+  auto follower = StartDynamic("live", follower_dir);
+  ASSERT_NE(follower, nullptr);
+
+  std::uint64_t last_generation = 0;
+  for (std::uint64_t round = 0; round < 6; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    LeaderInserts(4);
+    LeaderEraseOldest();
+    if (round % 2 == 1) {
+      auto gen = round % 4 == 3 ? leader_->Compact("live")
+                                : leader_->Checkpoint("live");
+      ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+      EXPECT_GT(gen.value(), last_generation);
+      last_generation = gen.value();
+    }
+
+    // The poll's first attempt dies mid-conversation at a round-dependent
+    // depth (one-shot failure, like a transient network blip).
+    {
+      // Like mvpt-server's poll loop: every pass speaks over a fresh
+      // connection, because the previous one may have died with the fault.
+      Client poll_client = MustConnect(*leader_);
+      fault::FailpointConfig config;
+      config.match = "client:rpc";
+      config.skip = round;
+      config.max_fires = 1;
+      fault::ScopedFailpoint failpoint(
+          round % 2 == 0 ? "net/recv" : "net/send", config);
+      // A failed poll round is allowed any error; the next round retries.
+      // (The failpoint may also go unfired at deep skips — then this round
+      // simply converges early.)
+      (void)follower->Follow("live", poll_client);
+    }
+    Client leader_client = MustConnect(*leader_);
+    const Status caught_up = follower->Follow("live", leader_client);
+    ASSERT_TRUE(caught_up.ok()) << caught_up.ToString();
+
+    Client follower_client = MustConnect(*follower);
+    ExpectBitIdentical(leader_client, follower_client);
+    ExpectNoAckedWriteLost(follower_client);
+  }
+  follower->Stop();
+  leader_->Stop();
+}
+
+// S2: EINTR is retried INSIDE the fault seams — an injected EINTR storm on
+// the net and fs seams must be invisible to callers (no error, no torn
+// frame, no failed insert). Regression for the seam-level retry contract.
+TEST_F(NetHaTest, InjectedEintrIsRetriedInsideSeams) {
+  StartLeader();
+  LeaderInserts(10);
+  Client client = MustConnect(*leader_);
+
+  {
+    fault::FailpointConfig config;
+    config.match = "client:rpc";
+    config.error_code = EINTR;
+    config.max_fires = 3;
+    fault::ScopedFailpoint failpoint("net/send", config);
+    EXPECT_TRUE(client.Ping().ok());
+  }
+  {
+    fault::FailpointConfig config;
+    config.match = "client:rpc";
+    config.error_code = EINTR;
+    config.max_fires = 3;
+    fault::ScopedFailpoint failpoint("net/recv", config);
+    auto outcome = client.Query("live", MixedQueries(1)[0]);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  }
+  {
+    // The WAL group-commit write path: EINTR mid-fsync/write is retried in
+    // the seam, so the insert still acks durably.
+    fault::FailpointConfig config;
+    config.error_code = EINTR;
+    config.max_fires = 2;
+    fault::ScopedFailpoint failpoint("fs/write", config);
+    auto id = leader_->Insert("live", MixedQueries(1)[0].point);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+  }
+  leader_->Stop();
+}
+
+// S3: the connection cap answers the N+1st connection with one clean,
+// parseable ResourceExhausted frame — and a freed slot is reusable.
+TEST_F(NetHaTest, ConnectionCapRefusesCleanly) {
+  std::filesystem::create_directories(leader_dir_);
+  CollectionOptions collection;
+  collection.name = "live";
+  collection.dir = leader_dir_;
+  collection.dynamic = true;
+  ServerOptions options;
+  options.max_connections = 2;
+  options.collections.push_back(collection);
+  auto server = Server::Start(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto first = Client::Connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value().Ping().ok());
+  auto second = Client::Connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second.value().Ping().ok());
+
+  // Over the cap: the TCP connect succeeds (kernel accept queue), but the
+  // server's answer is one ResourceExhausted frame, then hangup.
+  auto third = Client::Connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(third.ok());
+  const Status refused = third.value().Ping();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(refused.ToString().find("connection limit"), std::string::npos)
+      << refused.ToString();
+
+  // Closing a connection frees its slot (the server reaps the thread
+  // asynchronously — poll briefly).
+  first.value().Close();
+  bool admitted = false;
+  for (int attempt = 0; attempt < 200 && !admitted; ++attempt) {
+    auto replacement = Client::Connect("127.0.0.1", server.value()->port());
+    ASSERT_TRUE(replacement.ok());
+    admitted = replacement.value().Ping().ok();
+    if (!admitted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(admitted) << "freed connection slot was never reusable";
+  server.value()->Stop();
+}
+
+// Graceful drain: with a big batch in flight, Drain() lets it finish (no
+// torn frame, complete outcomes) while Readiness answers draining and NEW
+// queries are refused with ResourceExhausted — the clean signal a
+// failover client sheds on.
+TEST_F(NetHaTest, DrainFinishesInFlightAndRefusesNewQueries) {
+  StartLeader();
+  LeaderInserts(60);
+
+  // Pre-connect both observers before Drain shuts the listener.
+  Client batch_client = MustConnect(*leader_);
+  Client probe_client = MustConnect(*leader_);
+
+  auto before = probe_client.Readiness("");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().state,
+            static_cast<std::uint8_t>(ReadinessState::kServing));
+  EXPECT_FALSE(leader_->draining());
+
+  // A batch big enough to still be streaming when Drain lands, even with
+  // sanitizer-grade scheduling skew.
+  const auto one_round = MixedQueries(50);
+  std::vector<WireQuery> big;
+  for (int r = 0; r < 1000; ++r) {
+    big.insert(big.end(), one_round.begin(), one_round.end());
+  }
+  Result<std::vector<WireOutcome>> batch_result =
+      Status::IOError("batch never ran");
+  std::thread batch_thread([&] {
+    batch_result = batch_client.BatchQuery("live", big);
+  });
+  // Wait until the batch is OBSERVABLY in flight server-side: the tenant's
+  // completed-query counter only moves inside the batch's RunBatch, and the
+  // first completion lands while tens of thousands of its queries remain.
+  // (A fixed head-start sleep is a race under sanitizers.)
+  bool in_flight = false;
+  for (int i = 0; i < 50000 && !in_flight; ++i) {
+    auto stats = probe_client.Stats("live");
+    if (!stats.ok()) break;
+    in_flight = stats.value().queries > 0;
+    if (!in_flight) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  if (!in_flight) {
+    batch_thread.join();
+    FAIL() << "batch never became observable in flight";
+  }
+
+  std::thread drain_thread([&] { leader_->Drain(60'000'000'000ull); });
+  // Drain flips the server to draining before it starts waiting. All the
+  // checks between here and the joins are EXPECTs: an ASSERT's early
+  // return with unjoined threads would terminate the process and bury the
+  // real failure message.
+  for (int i = 0; i < 10000 && !leader_->draining(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(leader_->draining());
+
+  // The pre-existing probe connection sees the draining state and a clean
+  // refusal for NEW queries — never a torn frame.
+  auto during = probe_client.Readiness("");
+  EXPECT_TRUE(during.ok()) << during.status().ToString();
+  if (during.ok()) {
+    EXPECT_EQ(during.value().state,
+              static_cast<std::uint8_t>(ReadinessState::kDraining));
+  }
+  auto refused = probe_client.Query("live", one_round[0]);
+  EXPECT_FALSE(refused.ok());
+  if (!refused.ok()) {
+    EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  }
+
+  // The in-flight batch finishes completely under the drain deadline.
+  batch_thread.join();
+  drain_thread.join();
+  ASSERT_TRUE(batch_result.ok())
+      << "in-flight batch was torn by drain: "
+      << batch_result.status().ToString();
+  ASSERT_EQ(batch_result.value().size(), big.size());
+  for (const WireOutcome& outcome : batch_result.value()) {
+    EXPECT_EQ(outcome.status_code, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mvp::net
+
+#endif  // MVPTREE_FAULT_FS_POSIX

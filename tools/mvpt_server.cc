@@ -20,14 +20,21 @@
 //
 //   mvpt-server --collections "vecs,dir=/data/vecs;live,dir=/data/live,dynamic"
 //
-// Follower mode: with --follow the server replicates every (static)
-// collection from the leader at HOST:PORT — pulling new committed
-// generations chunk-by-chunk (resumable, fingerprint-verified; see
-// docs/network_serving.md) and hot-swapping them into serving — while
-// serving queries itself. --once does a single replication pass and exits
-// (scriptable catch-up); --poll-ms sets the polling interval.
+// Follower mode: with --follow the server replicates every collection
+// from the leader at HOST:PORT while serving queries itself. Static
+// collections pull new committed generations chunk-by-chunk (resumable,
+// fingerprint-verified; see docs/network_serving.md) and hot-swap them
+// into serving; dynamic collections tail the leader's WAL
+// (Op::kFetchWalSince), falling back to a generation pull whenever the
+// leader's checkpoint floor passed the local cursor. Both paths verify the
+// leader's epoch and refuse a deposed leader's stream. --once does a
+// single replication pass and exits (scriptable catch-up); --poll-ms sets
+// the polling interval.
 //
-// The server binds 127.0.0.1 only and exits cleanly on SIGINT/SIGTERM.
+// The server binds 127.0.0.1 only. SIGINT stops immediately; SIGTERM
+// drains first — the listener closes, Readiness answers "draining", new
+// queries are refused with ResourceExhausted, and in-flight requests get
+// up to --drain-ms (default 5000) to finish before the sockets close.
 
 #include <atomic>
 #include <chrono>
@@ -49,9 +56,11 @@
 namespace mvp::tools {
 namespace {
 
-std::atomic<bool> g_stop{false};
+std::atomic<bool> g_stop{false};   // SIGINT: stop now
+std::atomic<bool> g_drain{false};  // SIGTERM: drain, then stop
 
-void HandleSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+void HandleInterrupt(int) { g_stop.store(true, std::memory_order_relaxed); }
+void HandleTerminate(int) { g_drain.store(true, std::memory_order_relaxed); }
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
@@ -63,7 +72,8 @@ int Usage() {
       stderr,
       "usage: mvpt-server --collections \"name=N,dir=D[,metric=M][,dynamic]"
       "[,max-timeout-ms=T][,max-in-flight=N];...\"\n"
-      "                   [--port P] [--threads N]\n"
+      "                   [--port P] [--threads N] [--drain-ms MS]\n"
+      "                   [--max-connections N]\n"
       "                   [--follow HOST:PORT [--poll-ms MS]] [--once]\n"
       "see the header of tools/mvpt_server.cc for full syntax\n");
   return 2;
@@ -125,9 +135,11 @@ Result<net::CollectionOptions> ParseCollectionSpec(const std::string& spec) {
   return options;
 }
 
-/// One replication pass over every static collection: pull whatever the
-/// leader has committed, hot-swap on change. Errors are reported but do
-/// not stop the poll loop — the follower catches up next round.
+/// One replication pass over every collection: static ones pull committed
+/// generations and hot-swap; dynamic ones converge through Server::Follow
+/// (WAL shipping with generation-pull fallback and epoch fencing). Errors
+/// are reported but do not stop the poll loop — the follower catches up
+/// next round.
 void ReplicateAll(net::Server* server,
                   const std::vector<net::CollectionOptions>& collections,
                   const std::string& leader_host, std::uint16_t leader_port) {
@@ -138,18 +150,11 @@ void ReplicateAll(net::Server* server,
     return;
   }
   for (const net::CollectionOptions& collection : collections) {
-    if (collection.dynamic) continue;  // overlays own their WAL; not pulled
-    auto pulled =
-        net::PullGeneration(client.value(), collection.name, collection.dir);
-    if (!pulled.ok()) {
+    const Status followed =
+        server->Follow(collection.name, client.value());
+    if (!followed.ok()) {
       std::fprintf(stderr, "follow %s: %s\n", collection.name.c_str(),
-                   pulled.status().ToString().c_str());
-      continue;
-    }
-    const Status refreshed = server->Refresh(collection.name);
-    if (!refreshed.ok()) {
-      std::fprintf(stderr, "refresh %s: %s\n", collection.name.c_str(),
-                   refreshed.ToString().c_str());
+                   followed.ToString().c_str());
     }
   }
 }
@@ -158,6 +163,7 @@ int Main(int argc, char** argv) {
   std::string collections_spec, follow;
   net::ServerOptions options;
   long poll_ms = 1000;
+  long drain_ms = 5000;
   bool once = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -170,10 +176,14 @@ int Main(int argc, char** argv) {
       options.port = static_cast<std::uint16_t>(std::atoi(value()));
     } else if (arg == "--threads") {
       options.threads = static_cast<std::size_t>(std::atoll(value()));
+    } else if (arg == "--max-connections") {
+      options.max_connections = static_cast<std::size_t>(std::atoll(value()));
     } else if (arg == "--follow") {
       follow = value();
     } else if (arg == "--poll-ms") {
       poll_ms = std::atol(value());
+    } else if (arg == "--drain-ms") {
+      drain_ms = std::atol(value());
     } else if (arg == "--once") {
       once = true;
     } else {
@@ -210,8 +220,8 @@ int Main(int argc, char** argv) {
 
   // SIG_ERR here would only mean the default disposition stays; the
   // server still runs, it just cannot be stopped gracefully.
-  (void)std::signal(SIGINT, HandleSignal);
-  (void)std::signal(SIGTERM, HandleSignal);  // same rationale as SIGINT
+  (void)std::signal(SIGINT, HandleInterrupt);
+  (void)std::signal(SIGTERM, HandleTerminate);  // same rationale as SIGINT
 
   if (!follow.empty() && once) {
     ReplicateAll(server.value().get(), collections, leader_host, leader_port);
@@ -222,6 +232,16 @@ int Main(int argc, char** argv) {
   auto last_pull = std::chrono::steady_clock::now() -
                    std::chrono::milliseconds(poll_ms);
   while (!g_stop.load(std::memory_order_relaxed)) {
+    if (g_drain.load(std::memory_order_relaxed)) {
+      // SIGTERM: refuse new queries, let in-flight work finish under the
+      // deadline, then close. Drain() implies Stop().
+      std::printf("mvpt-server: draining (up to %ld ms)\n", drain_ms);
+      std::fflush(stdout);
+      server.value()->Drain(static_cast<std::uint64_t>(drain_ms) *
+                            1000000ull);
+      std::printf("mvpt-server: drained\n");
+      return 0;
+    }
     if (!follow.empty()) {
       const auto now = std::chrono::steady_clock::now();
       if (now - last_pull >= std::chrono::milliseconds(poll_ms)) {
