@@ -1,0 +1,26 @@
+# Replays the committed corpus through every harness's replay binary.
+# Registered as the `fuzz_regression_test` ctest entry (fuzz/CMakeLists.txt);
+# needs no libFuzzer, so it runs on GCC builds and in the ASan CI job.
+#
+#   cmake -DBIN_DIR=<build/fuzz> -DCORPUS_DIR=<repo/fuzz/corpus> \
+#         -P RunRegression.cmake
+
+set(HARNESSES wire flat_arena wal snapshot server_loopback)
+
+foreach(harness IN LISTS HARNESSES)
+  set(bin "${BIN_DIR}/fuzz_${harness}_replay")
+  set(corpus "${CORPUS_DIR}/${harness}")
+  if(NOT EXISTS "${bin}")
+    message(FATAL_ERROR "missing replay binary: ${bin} (build the "
+                        "fuzz_${harness}_replay target first)")
+  endif()
+  if(NOT IS_DIRECTORY "${corpus}")
+    message(FATAL_ERROR "missing corpus directory: ${corpus} (regenerate "
+                        "with fuzz_make_corpus)")
+  endif()
+  execute_process(COMMAND "${bin}" "${corpus}" RESULT_VARIABLE rv)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+            "fuzz_${harness}_replay failed over ${corpus} (exit ${rv})")
+  endif()
+endforeach()

@@ -1,0 +1,56 @@
+// Fuzz harness for the MVPZ flat arena (snapshot/flat_tree.h).
+//
+// Mode 0 feeds the bytes to BuildFlatArena as a serialized mvp-tree
+// stream; any arena the builder accepts MUST validate under ParseFlatArena
+// (the builder's output is the parser's contract). Mode 1 treats the bytes
+// as a hostile arena: ParseFlatArena either rejects it or returns a view
+// that is safe to search — range and k-NN traversals over an accepted
+// arena must stay in bounds (ASan checks this, not us).
+//
+// Input layout: [u8 mode][body...].
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/query.h"
+#include "fuzz_util.h"
+#include "metric/lp.h"
+#include "snapshot/flat_tree.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 2) return 0;
+  const std::uint8_t mode = data[0] % 2;
+  ++data;
+  --size;
+
+  if (mode == 0) {
+    auto arena = mvp::snapshot::flat::BuildFlatArena(data, size);
+    if (arena.ok()) {
+      auto parts = mvp::snapshot::flat::ParseFlatArena(
+          arena.value().data(), arena.value().size());
+      FUZZ_ASSERT(parts.ok(), "BuildFlatArena output failed ParseFlatArena");
+    }
+    return 0;
+  }
+
+  // Hostile arena bytes. ParseFlatArena requires 8-byte alignment (as the
+  // mmap path guarantees), so copy into an aligned buffer first.
+  std::vector<std::uint64_t> aligned((size + 7) / 8);
+  std::memcpy(aligned.data(), data, size);
+  const auto* base = reinterpret_cast<const std::uint8_t*>(aligned.data());
+
+  auto view = mvp::snapshot::flat::FlatTreeView<mvp::metric::L2>::Open(
+      base, size, mvp::metric::L2{});
+  if (!view.ok()) return 0;
+  const auto& tree = view.value();
+  // An empty arena's header can carry an arbitrary dim (no section
+  // constrains it); cap the query allocation rather than OOM the harness.
+  if (tree.dim() > 4096) return 0;
+  const std::vector<double> query(tree.dim(), 0.25);
+  mvp::SearchStats stats;
+  (void)tree.RangeSearch(query, 1.5, &stats);
+  (void)tree.KnnSearch(query, 3, &stats);
+  return 0;
+}

@@ -1,0 +1,26 @@
+#ifndef MVPTREE_FUZZ_FUZZ_UTIL_H_
+#define MVPTREE_FUZZ_FUZZ_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Shared bits for the fuzz harnesses (fuzz/*_fuzzer.cc).
+///
+/// Harnesses check INVARIANTS, not behavior: a parser fed hostile bytes may
+/// reject them with any Status, but it must never crash, leak, index out of
+/// bounds (ASan), overflow (UBSan), or violate a round-trip/idempotence
+/// property. FUZZ_ASSERT turns a violated invariant into an abort, which
+/// both libFuzzer and the replay driver (replay_main.cc) report as a
+/// finding.
+
+#define FUZZ_ASSERT(cond, what)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "FUZZ_ASSERT failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, what);                                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // MVPTREE_FUZZ_FUZZ_UTIL_H_

@@ -1,0 +1,64 @@
+// Standalone corpus-replay driver: links against the same
+// LLVMFuzzerTestOneInput a libFuzzer build uses, but needs no libFuzzer —
+// so fuzz findings committed under fuzz/corpus/ replay as a plain ctest
+// target (fuzz_regression_test) on any compiler, GCC included.
+//
+// Usage: fuzz_<name>_replay <file-or-dir>...
+// Directories are walked non-recursively in sorted order; every regular
+// file is one input. Exits 0 when every input ran without aborting.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::size_t ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        if (RunFile(file) != 0) return 1;
+        ++ran;
+      }
+    } else {
+      if (RunFile(arg) != 0) return 1;
+      ++ran;
+    }
+  }
+  std::printf("replayed %zu input(s) clean\n", ran);
+  return 0;
+}

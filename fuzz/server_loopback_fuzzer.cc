@@ -1,0 +1,134 @@
+// Stateful fuzz harness: fuzzed frames against a live loopback mvpt-server.
+//
+// One in-process Server (a dynamic collection with a few points inserted)
+// is started lazily and shared across all inputs — process-global state is
+// exactly what makes this harness stateful: every input runs against a
+// server whose connection machinery has already survived all previous
+// inputs. Each input opens a fresh connection and either writes the bytes
+// raw (exercises frame header validation: bad magic, hostile lengths,
+// truncation) or wraps them in one well-formed frame (exercises the full
+// request dispatch path behind RecvFrame: op decode, per-op body parsing,
+// error responses). The harness then drains whatever the server answers
+// and closes. Any server-side crash/ASan/UBSan report takes the harness
+// process down with it — that IS the finding.
+//
+// Input layout: [u8 mode][body...]; mode 0 = raw stream, 1 = framed body.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "common/serialize.h"
+#include "fuzz_util.h"
+#include "net/server.h"
+#include "net/wire.h"
+
+namespace {
+
+struct ServerFixture {
+  std::unique_ptr<mvp::net::Server> server;
+  std::uint16_t port = 0;
+
+  ServerFixture() {
+    char tmpl[] = "/tmp/mvpt_fuzz_srv.XXXXXX";
+    const char* dir = ::mkdtemp(tmpl);
+    FUZZ_ASSERT(dir != nullptr, "mkdtemp failed for the server fixture");
+    mvp::net::CollectionOptions collection;
+    collection.name = "fuzz";
+    collection.dir = dir;
+    collection.metric = "l2";
+    collection.dynamic = true;
+    mvp::net::ServerOptions options;
+    options.port = 0;  // ephemeral
+    options.threads = 2;
+    options.collections = {collection};
+    auto started = mvp::net::Server::Start(std::move(options));
+    FUZZ_ASSERT(started.ok(), "loopback server failed to start");
+    server = std::move(started).ValueOrDie();
+    port = server->port();
+    for (int i = 0; i < 8; ++i) {
+      auto id = server->Insert(
+          "fuzz", {0.1 * i, 1.0 - 0.1 * i, 0.5, static_cast<double>(i)});
+      FUZZ_ASSERT(id.ok(), "fixture insert failed");
+    }
+  }
+};
+
+ServerFixture& Fixture() {
+  static ServerFixture fixture;
+  return fixture;
+}
+
+int Connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct timeval timeout{};
+  timeout.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void SendAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    // The server may hang up mid-write (bad frame); EPIPE is expected.
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::uint8_t mode = data[0] % 2;
+  ++data;
+  --size;
+
+  const int fd = Connect(Fixture().port);
+  if (fd < 0) return 0;
+
+  if (mode == 0) {
+    SendAll(fd, data, size);
+  } else {
+    // One well-formed frame around the fuzzed body, so the server's
+    // dispatch and per-op decoders see it instead of the frame validator.
+    mvp::BinaryWriter header;
+    header.Write<std::uint32_t>(mvp::net::kFrameMagic);
+    header.Write<std::uint32_t>(static_cast<std::uint32_t>(size));
+    header.Write<std::uint32_t>(mvp::Crc32c(data, size));
+    SendAll(fd, header.buffer().data(), header.buffer().size());
+    SendAll(fd, data, size);
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  // Drain every response frame the server sends until it closes (or the
+  // 2s receive timeout fires — a hung connection would stall fuzzing).
+  std::uint8_t sink[4096];
+  while (::recv(fd, sink, sizeof(sink), 0) > 0) {
+  }
+  ::close(fd);
+  return 0;
+}

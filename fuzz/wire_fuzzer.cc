@@ -1,0 +1,140 @@
+// Fuzz harness for the RPC wire layer (net/wire.h): frame decode over a
+// byte stream, frame round-trip, and every message codec.
+//
+// Codec invariant: decoding arbitrary bytes either fails cleanly or yields
+// a value whose encode/decode is a fixpoint (encode(decode(encode(v))) ==
+// encode(v)). Framing invariants: RecvFrame never crashes on a hostile
+// stream, and SendFrame -> RecvFrame returns the payload bit for bit.
+//
+// Input layout: [u8 selector][body...]; the selector picks the codec or
+// framing mode so one corpus exercises every entry point.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "fuzz_util.h"
+#include "net/wire.h"
+#include "serve/serve_stats.h"
+
+namespace {
+
+using mvp::BinaryReader;
+using mvp::BinaryWriter;
+
+// Decodes `data`, then asserts encode/decode reaches a fixpoint. A decoder
+// may accept trailing garbage (readers are not required to consume the
+// whole buffer), so the comparison is between the first and second
+// re-encode, never against the input.
+template <typename T, typename DecodeFn, typename EncodeFn>
+void CodecRoundTrip(const std::uint8_t* data, std::size_t size,
+                    DecodeFn decode, EncodeFn encode) {
+  T value{};
+  BinaryReader reader(data, size);
+  if (!decode(&reader, &value).ok()) return;
+  BinaryWriter first;
+  encode(value, &first);
+  T again{};
+  BinaryReader reread(first.buffer().data(), first.buffer().size());
+  FUZZ_ASSERT(decode(&reread, &again).ok(),
+              "decoding the encoder's own output failed");
+  BinaryWriter second;
+  encode(again, &second);
+  FUZZ_ASSERT(first.buffer() == second.buffer(),
+              "encode/decode is not a fixpoint");
+}
+
+// Feeds the raw bytes to RecvFrame as a socket stream until it reports an
+// error — torn, corrupt, and oversized frames must all fail cleanly.
+void FrameStream(const std::uint8_t* data, std::size_t size) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return;
+  std::thread writer([&] {
+    std::size_t off = 0;
+    while (off < size) {
+      const ssize_t n =
+          ::send(fds[1], data + off, size - off, MSG_NOSIGNAL);
+      if (n <= 0) break;  // reader gave up mid-stream
+      off += static_cast<std::size_t>(n);
+    }
+    ::shutdown(fds[1], SHUT_WR);
+  });
+  for (;;) {
+    auto frame = mvp::net::RecvFrame(fds[0], "fuzz:wire", std::size_t{1} << 20);
+    if (!frame.ok()) break;
+  }
+  ::close(fds[0]);  // unblocks the writer if the stream errored early
+  writer.join();
+  ::close(fds[1]);
+}
+
+// SendFrame -> RecvFrame must return the payload bit for bit.
+void FrameRoundTrip(const std::uint8_t* data, std::size_t size) {
+  const std::vector<std::uint8_t> payload(data, data + size);
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return;
+  std::thread writer(
+      [&] { (void)mvp::net::SendFrame(fds[1], payload, "fuzz:wire"); });
+  auto got = mvp::net::RecvFrame(fds[0], "fuzz:wire");
+  FUZZ_ASSERT(got.ok(), "round-tripped frame failed to decode");
+  FUZZ_ASSERT(got.value() == payload, "round-tripped payload mismatch");
+  writer.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::uint8_t selector = data[0] % 9;
+  ++data;
+  --size;
+  switch (selector) {
+    case 0:
+      CodecRoundTrip<mvp::net::WireQuery>(data, size, mvp::net::DecodeQuery,
+                                          mvp::net::EncodeQuery);
+      break;
+    case 1:
+      CodecRoundTrip<mvp::net::WireOutcome>(
+          data, size, mvp::net::DecodeOutcome, mvp::net::EncodeOutcome);
+      break;
+    case 2:
+      CodecRoundTrip<mvp::serve::ServeStatsSnapshot>(
+          data, size, mvp::net::DecodeStats, mvp::net::EncodeStats);
+      break;
+    case 3:
+      CodecRoundTrip<mvp::net::WireCollectionInfo>(
+          data, size, mvp::net::DecodeCollectionInfo,
+          mvp::net::EncodeCollectionInfo);
+      break;
+    case 4:
+      CodecRoundTrip<mvp::net::WireWalSegment>(
+          data, size, mvp::net::DecodeWalSegment,
+          mvp::net::EncodeWalSegment);
+      break;
+    case 5:
+      CodecRoundTrip<mvp::net::WireReadiness>(
+          data, size, mvp::net::DecodeReadiness,
+          mvp::net::EncodeReadiness);
+      break;
+    case 6:
+      CodecRoundTrip<mvp::Status>(data, size,
+                                  mvp::net::DecodeResponseStatus,
+                                  mvp::net::EncodeResponseStatus);
+      break;
+    case 7:
+      FrameStream(data, size);
+      break;
+    default:
+      FrameRoundTrip(data, size);
+      break;
+  }
+  return 0;
+}

@@ -155,8 +155,11 @@ Result<std::vector<WireCollectionInfo>> Client::ListCollections() {
   if (!response.ok()) return response.status();
   BinaryReader reader(response.value().data() + body,
                       response.value().size() - body);
+  // Every encoded WireCollectionInfo is at least 33 bytes (two u64 string
+  // length prefixes, one u8 flag, two u64 counters), so a count the payload
+  // cannot possibly hold is rejected before the reserve below allocates.
   std::uint64_t count = 0;
-  MVP_RETURN_NOT_OK(reader.Read<std::uint64_t>(&count));
+  MVP_RETURN_NOT_OK(reader.ReadLengthPrefix(8 + 8 + 1 + 8 + 8, &count));
   std::vector<WireCollectionInfo> collections;
   collections.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {

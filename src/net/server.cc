@@ -702,8 +702,11 @@ class Server::Impl {
     std::string name;
     Status status = reader->ReadString(&name);
     if (!status.ok()) return SendError(fd, status);
+    // The client controls this count, so validate it against what the frame
+    // could actually carry before reserving: an encoded WireQuery is at
+    // least 41 bytes (kind + k + radius + deadline + budget + vector length).
     std::uint64_t count = 0;
-    status = reader->Read<std::uint64_t>(&count);
+    status = reader->ReadLengthPrefix(1 + 8 + 8 + 8 + 8 + 8, &count);
     if (!status.ok()) return SendError(fd, status);
     std::vector<WireQuery> queries;
     queries.reserve(static_cast<std::size_t>(count));

@@ -13,9 +13,9 @@ that must not silently regress):
 
   raw-mutex        std::mutex / std::shared_mutex / std::condition_variable
                    in the annotated directories (src/serve, src/snapshot,
-                   src/fault, src/metric, src/net) are invisible to Clang
-                   Thread
-                   Safety Analysis. Use the annotated wrappers from
+                   src/fault, src/metric, src/net, src/dynamic, src/wal)
+                   are invisible to Clang Thread Safety Analysis. Use the
+                   annotated wrappers from
                    src/common/thread_annotations.h.
 
   unannotated-mutex  An mvp::Mutex member that no MVP_GUARDED_BY /
@@ -37,6 +37,30 @@ that must not silently regress):
                    reason: `// NOLINTNEXTLINE(check-name): why`. A bare
                    NOLINT silences everything and explains nothing.
 
+Parser-discipline rules, scoped to the code that decodes untrusted bytes
+(src/net, src/snapshot, src/wal, src/common/serialize.*, src/common/codec.h):
+
+  alloc-before-validate  A count read straight off the wire must be
+                   validated — branch on it, or read it through
+                   BinaryReader::ReadLengthPrefix — before it reaches
+                   resize()/reserve() or a sizing vector constructor.
+                   Otherwise one hostile frame allocates gigabytes (or
+                   throws length_error) before decode even fails.
+
+  wire-cast        reinterpret_cast to a pointer type is how wire/mapped
+                   bytes become typed views, so it is legal only inside the
+                   designated decode functions (DECODE_CAST_FNS below),
+                   which validate bounds and alignment first. Everywhere
+                   else, decode via BinaryReader or memcpy into a local.
+                   Integral casts (uintptr_t alignment probes) and sockaddr
+                   casts are exempt.
+
+  memcpy-bounds    A memcpy whose source operand indexes into a buffer
+                   (pointer arithmetic) must have a bounds check — an
+                   if/while/for comparison, SectionInBounds,
+                   ReadLengthPrefix, or remaining() — in the preceding
+                   lines of the same scope.
+
 Suppression: append `// lint:allow(<rule>): <reason>` to the offending
 line. An allow without a reason string is itself a finding.
 
@@ -53,7 +77,23 @@ DEFAULT_SCAN_DIRS = ("src", "tools", "bench")
 
 # Directories whose components must use the annotated lock wrappers.
 ANNOTATED_DIRS = ("src/serve", "src/snapshot", "src/fault", "src/metric",
-                  "src/net")
+                  "src/net", "src/dynamic", "src/wal")
+
+# Parser scope: everywhere untrusted bytes (RPC frames, mmapped arenas, WAL
+# records, snapshot containers) are decoded. The parser-discipline rules
+# (alloc-before-validate, wire-cast, memcpy-bounds) apply here.
+PARSER_DIRS = ("src/net", "src/snapshot", "src/wal")
+PARSER_FILES = ("src/common/serialize.h", "src/common/serialize.cc",
+                "src/common/codec.h")
+
+# The only functions allowed to reinterpret_cast wire/mapped bytes into
+# typed pointers. They validate bounds + alignment before casting and
+# everything downstream consumes the typed views they hand out. New decode
+# entry points must be registered here deliberately, in review.
+DECODE_CAST_FNS = {
+    "src/snapshot/flat_tree.cc": {"ParseFlatArena"},
+    "src/common/serialize.cc": {"ReadString"},
+}
 
 # The fault seam itself is the one place raw syscalls are legal.
 SYSCALL_SEAM_DIR = "src/fault"
@@ -82,6 +122,21 @@ NOLINT_RE = re.compile(r"NOLINT(NEXTLINE)?\b")
 NOLINT_OK_RE = re.compile(r"NOLINT(NEXTLINE)?\([^)]+\)\s*:\s*\S")
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([\w-]+)\)(:\s*\S)?")
 COMMENT_RE = re.compile(r"//.*$")
+
+# Parser-discipline patterns. FUNC_DEF_RE is a heuristic for column-0
+# function definitions ("ReturnType [Class::]Name(") — it scopes wire-cast
+# to the designated decode functions and resets alloc-before-validate
+# taint at each function boundary.
+FUNC_DEF_RE = re.compile(r"^[A-Za-z_][\w:<>,&*\s\[\]]*?([A-Za-z_]\w*)\s*\(")
+READ_ASSIGN_RE = re.compile(r"\bRead<[^>]+>\s*\(\s*&\s*(\w+)\s*\)")
+ALLOC_CALL_RE = re.compile(r"\.\s*(?:resize|reserve)\s*\(([^;]*)\)")
+VECTOR_CTOR_RE = re.compile(r"\bstd::vector<[^;=]*>\s+\w+\s*\(([^;]*)\)")
+BRANCH_RE = re.compile(r"\b(?:if|while|for)\s*\(")
+WIRE_CAST_RE = re.compile(r"reinterpret_cast\s*<[^>;]*\*")
+MEMCPY_RE = re.compile(r"\bmemcpy\s*\(")
+BOUNDS_HINT_RE = re.compile(
+    r"\b(?:if|while|for)\s*\(|MVP_RETURN_NOT_OK|SectionInBounds|"
+    r"ReadLengthPrefix|\bremaining\s*\(|\bassert\s*\(")
 
 
 class Finding:
@@ -163,6 +218,33 @@ def in_dir(rel, prefix):
     return rel == prefix or rel.startswith(prefix + "/")
 
 
+def memcpy_source_arg(code, idx):
+    """Returns memcpy's second (source) argument for the call starting on
+    `code[idx]`, joining up to two continuation lines for wrapped calls.
+    None when the argument list cannot be recovered."""
+    text = " ".join(code[idx:idx + 3])
+    m = MEMCPY_RE.search(text)
+    if not m:
+        return None
+    depth, args, cur = 0, [], []
+    for ch in text[m.end():]:
+        if ch in "([{":
+            depth += 1
+            cur.append(ch)
+        elif ch in ")]}":
+            if depth == 0:
+                args.append("".join(cur))
+                break
+            depth -= 1
+            cur.append(ch)
+        elif ch == "," and depth == 0:
+            args.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    return args[1].strip() if len(args) >= 2 else None
+
+
 def check_file(root, rel, findings, logical_rel=None):
     """Checks one file. `logical_rel` (default: `rel`) decides the
     directory-scoped rules — the self-test uses it to scan fixtures under
@@ -180,8 +262,13 @@ def check_file(root, rel, findings, logical_rel=None):
     annotated = any(in_dir(logical, d) for d in ANNOTATED_DIRS)
     seam = in_dir(logical, SYSCALL_SEAM_DIR)
     is_annotation_header = logical == "src/common/thread_annotations.h"
+    parser = (any(in_dir(logical, d) for d in PARSER_DIRS)
+              or logical in PARSER_FILES)
+    decode_fns = DECODE_CAST_FNS.get(logical, frozenset())
 
     mutex_members = {}  # name -> first declaration line
+    current_fn = None   # innermost column-0 function definition seen
+    tainted = {}        # count var read off the wire -> line it was read on
 
     for i, (raw_line, code_line) in enumerate(zip(raw, code), start=1):
         if not seam:
@@ -231,6 +318,71 @@ def check_file(root, rel, findings, logical_rel=None):
                     rel, i, "nolint-reason",
                     "NOLINT must name its check and reason: "
                     "// NOLINTNEXTLINE(check-name): why"))
+
+        if parser:
+            # Track the enclosing column-0 function so wire-cast knows
+            # whether we are inside a designated decoder, and reset the
+            # alloc-before-validate taint set at every function boundary.
+            if code_line and not code_line[0].isspace():
+                m = FUNC_DEF_RE.match(code_line)
+                if m:
+                    current_fn = m.group(1)
+                    tainted.clear()
+                elif code_line.startswith("}"):
+                    current_fn = None
+                    tainted.clear()
+
+            # Branching on a wire-read value counts as validating it.
+            if tainted and BRANCH_RE.search(code_line):
+                for name in list(tainted):
+                    if re.search(r"\b%s\b" % re.escape(name), code_line):
+                        del tainted[name]
+
+            for m in (ALLOC_CALL_RE.search(code_line),
+                      VECTOR_CTOR_RE.search(code_line)):
+                if not m or not tainted:
+                    continue
+                hits = [n for n in tainted
+                        if re.search(r"\b%s\b" % re.escape(n), m.group(1))]
+                if hits and not allowed(raw_line, "alloc-before-validate",
+                                        findings, rel, i):
+                    findings.append(Finding(
+                        rel, i, "alloc-before-validate",
+                        f"'{hits[0]}' (read from the wire on line "
+                        f"{tainted[hits[0]]}) reaches an allocation before "
+                        "any bounds check; validate it with "
+                        "ReadLengthPrefix or an explicit cap first"))
+                for n in hits:
+                    del tainted[n]
+
+            for m in READ_ASSIGN_RE.finditer(code_line):
+                tainted.setdefault(m.group(1), i)
+
+            m = WIRE_CAST_RE.search(code_line)
+            if (m and "sockaddr" not in code_line
+                    and current_fn not in decode_fns
+                    and not allowed(raw_line, "wire-cast", findings,
+                                    rel, i)):
+                findings.append(Finding(
+                    rel, i, "wire-cast",
+                    "reinterpret_cast of wire/mapped bytes to a pointer "
+                    "type outside a designated decode function (see "
+                    "DECODE_CAST_FNS in tools/lint/check_source.py); "
+                    "decode via BinaryReader or memcpy into a local"))
+
+            if MEMCPY_RE.search(code_line):
+                src = memcpy_source_arg(code, i - 1)
+                if src is not None and "+" in src:
+                    window = code[max(0, i - 13):i - 1]
+                    if (not any(BOUNDS_HINT_RE.search(w) for w in window)
+                            and not allowed(raw_line, "memcpy-bounds",
+                                            findings, rel, i)):
+                        findings.append(Finding(
+                            rel, i, "memcpy-bounds",
+                            "memcpy whose source indexes into a buffer "
+                            "with no bounds check in the preceding lines "
+                            "of this scope; compare the length against "
+                            "the remaining bytes first"))
 
     if mutex_members:
         body = "\n".join(code)

@@ -1,0 +1,21 @@
+// Fixture: raw lock primitives in the newly annotated src/dynamic
+// directory. Not real code — scanned only by `check_source.py --selftest`
+// as if it lived at src/dynamic/raw_mutex_violation.h.
+
+#ifndef MVPTREE_TOOLS_LINT_TESTDATA_SRC_DYNAMIC_RAW_MUTEX_VIOLATION_H_
+#define MVPTREE_TOOLS_LINT_TESTDATA_SRC_DYNAMIC_RAW_MUTEX_VIOLATION_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace mvp::dynamic {
+
+class BadOverlayLocking {
+ private:
+  std::mutex mu_;  // seed:raw-mutex
+  std::condition_variable cv_;  // seed:raw-mutex
+};
+
+}  // namespace mvp::dynamic
+
+#endif  // MVPTREE_TOOLS_LINT_TESTDATA_SRC_DYNAMIC_RAW_MUTEX_VIOLATION_H_

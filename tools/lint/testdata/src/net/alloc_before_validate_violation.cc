@@ -1,0 +1,53 @@
+// Fixture: wire-read counts reaching an allocation before validation.
+// Not real code — scanned only by `check_source.py --selftest`, which
+// checks it as if it lived at src/net/alloc_before_validate_violation.cc.
+
+#include <cstdint>
+#include <vector>
+
+namespace mvp::net {
+
+struct FakeReader {
+  template <typename T>
+  int Read(T* out);
+  int ReadLengthPrefix(std::size_t element_size, std::uint64_t* count);
+  std::size_t remaining() const;
+};
+
+std::vector<int> BadReserve(FakeReader& in) {
+  std::uint64_t count = 0;
+  // Wire-controlled count reaches reserve with no cap check in between.
+  (void)in.Read<std::uint64_t>(&count);
+  std::vector<int> out;
+  out.reserve(count);  // seed:alloc-before-validate
+  return out;
+}
+
+std::vector<std::uint8_t> BadSizingCtor(FakeReader& in) {
+  std::uint64_t length = 0;
+  // Same defect through a sizing constructor.
+  (void)in.Read<std::uint64_t>(&length);
+  std::vector<std::uint8_t> payload(length);  // seed:alloc-before-validate
+  return payload;
+}
+
+std::vector<int> GoodBranchValidated(FakeReader& in) {
+  std::uint64_t count = 0;
+  // Branching on the value before allocating: not a finding.
+  (void)in.Read<std::uint64_t>(&count);
+  if (count > in.remaining()) return {};
+  std::vector<int> out;
+  out.reserve(count);
+  return out;
+}
+
+std::vector<int> AllowedReserve(FakeReader& in) {
+  std::uint64_t count = 0;
+  // Justified suppression: not a finding.
+  (void)in.Read<std::uint64_t>(&count);
+  std::vector<int> out;
+  out.reserve(count);  // lint:allow(alloc-before-validate): fixture demo
+  return out;
+}
+
+}  // namespace mvp::net

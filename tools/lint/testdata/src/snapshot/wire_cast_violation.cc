@@ -1,0 +1,24 @@
+// Fixture: reinterpret_cast of wire/mapped bytes outside a designated
+// decode function. Not real code — scanned only by `check_source.py
+// --selftest` as if it lived at src/snapshot/wire_cast_violation.cc.
+
+#include <cstdint>
+
+namespace mvp::snapshot {
+
+const double* BadTypedView(const std::uint8_t* data) {
+  // A typed pointer straight into a mapped buffer, outside DECODE_CAST_FNS.
+  return reinterpret_cast<const double*>(data + 16);  // seed:wire-cast
+}
+
+std::uintptr_t GoodAlignmentProbe(const std::uint8_t* data) {
+  // Integral target: alignment probes are fine anywhere.
+  return reinterpret_cast<std::uintptr_t>(data);
+}
+
+const float* AllowedTypedView(const std::uint8_t* data) {
+  // Justified suppression: not a finding.
+  return reinterpret_cast<const float*>(data);  // lint:allow(wire-cast): demo
+}
+
+}  // namespace mvp::snapshot

@@ -1,0 +1,28 @@
+// Fixture: memcpy from a wire/mapped buffer without a bounds check in the
+// preceding lines, plus a raw mutex proving src/wal is now in the
+// annotated-directory set. Not real code — scanned only by
+// `check_source.py --selftest` as if it lived at src/wal/.
+
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+
+namespace mvp::wal {
+
+void BadFrameCopy(std::uint8_t* dst, const std::uint8_t* wire,
+                  std::size_t offset) {
+  std::memcpy(dst, wire + offset, 16);  // seed:memcpy-bounds
+}
+
+int GoodFrameCopy(std::uint8_t* dst, const std::uint8_t* wire,
+                  std::size_t offset, std::size_t size) {
+  if (offset + 16 > size) return -1;
+  std::memcpy(dst, wire + offset, 16);
+  return 0;
+}
+
+struct BadWalLocking {
+  std::mutex mu_;  // seed:raw-mutex
+};
+
+}  // namespace mvp::wal
