@@ -194,15 +194,28 @@ std::vector<std::uint8_t> SampleTreeStream() {
 void EmitFlatSeeds(const fs::path& dir,
                    const std::vector<std::uint8_t>& stream) {
   WriteSeed(dir / "tree_stream.bin", 0, stream);
-  auto arena =
-      mvp::snapshot::flat::BuildFlatArena(stream.data(), stream.size());
+  WriteSeed(dir / "tree_stream_v1.bin", 2, stream);
+  // The current (v2, SoA-leaf) encoding and the legacy v1 encoding of the
+  // same tree, each with a bit-flipped and a torn variant so both parsers'
+  // structural validation is seeded, not just the happy paths.
+  auto arena = mvp::snapshot::flat::BuildFlatArena(
+      stream.data(), stream.size(), mvp::snapshot::flat::kFlatVersionLatest);
   CORPUS_CHECK(arena.ok(), "sample arena build failed");
+  auto arena_v1 = mvp::snapshot::flat::BuildFlatArena(
+      stream.data(), stream.size(), mvp::snapshot::flat::kFlatVersionV1);
+  CORPUS_CHECK(arena_v1.ok(), "sample v1 arena build failed");
   WriteSeed(dir / "arena.bin", 1, arena.value());
-  // A corrupt variant: flip one byte mid-arena so the structural
-  // validation path is seeded too, not just the happy path.
+  WriteSeed(dir / "arena_v1.bin", 1, arena_v1.value());
   std::vector<std::uint8_t> corrupt = arena.value();
   corrupt[corrupt.size() / 2] ^= 0x40;
   WriteSeed(dir / "arena_bitflip.bin", 1, corrupt);
+  std::vector<std::uint8_t> corrupt_v1 = arena_v1.value();
+  corrupt_v1[corrupt_v1.size() / 2] ^= 0x40;
+  WriteSeed(dir / "arena_v1_bitflip.bin", 1, corrupt_v1);
+  WriteSeed(dir / "arena_torn.bin", 1,
+            {arena.value().begin(),
+             arena.value().begin() +
+                 static_cast<std::ptrdiff_t>(arena.value().size() * 3 / 4)});
 }
 
 void EmitWalSeeds(const fs::path& dir) {

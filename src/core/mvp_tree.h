@@ -630,9 +630,50 @@ class MvpTree {
                   std::vector<Neighbor>* range_out,
                   std::vector<Neighbor>* heap_out, std::size_t k,
                   SearchStats& stats) const {
+    if (range_out != nullptr) {
+      // Range mode: the pruning radius is fixed, so the annulus tests for a
+      // whole chunk can run before any metric call. ChunkedRangeFilter
+      // (core/search_shared.h) fixes the interleaving of counter updates and
+      // metric evaluations; the flat views run the identical structure with
+      // SIMD mask sweeps over their SoA leaf arrays.
+      ChunkedRangeFilter(
+          node.bucket.size(),
+          [&](std::size_t base, std::size_t n) {
+            std::uint64_t mask = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+              const LeafEntry& x = node.bucket[base + i];
+              bool pass = std::abs(d1 - x.d1) <= radius &&
+                          (!node.has_vp2 || std::abs(d2 - x.d2) <= radius);
+              if (pass) {
+                const std::size_t checks = std::min(
+                    qpath.size(), static_cast<std::size_t>(x.path_length));
+                MVP_DCHECK(qpath.size() == x.path_length);
+                for (std::size_t j = 0; j < checks; ++j) {
+                  if (std::abs(qpath[j] - path_pool_[x.path_offset + j]) >
+                      radius) {
+                    pass = false;
+                    break;
+                  }
+                }
+              }
+              if (pass) mask |= std::uint64_t{1} << i;
+            }
+            return mask;
+          },
+          [&](std::size_t i) {
+            const LeafEntry& x = node.bucket[i];
+            const double d = metric_(query, objects_[x.id]);
+            ++stats.distance_computations;
+            if (d <= radius) range_out->push_back(Neighbor{x.id, d});
+          },
+          stats);
+      return;
+    }
+    // k-NN mode: tau shrinks with every offer, so the filter stays
+    // per-entry — a chunk-wide precomputed mask would use a stale radius.
     for (const LeafEntry& x : node.bucket) {
       ++stats.leaf_points_seen;
-      const double r = heap_out != nullptr ? Tau(*heap_out, k) : radius;
+      const double r = Tau(*heap_out, k);
       bool pass = std::abs(d1 - x.d1) <= r &&
                   (!node.has_vp2 || std::abs(d2 - x.d2) <= r);
       if (pass) {
@@ -652,11 +693,7 @@ class MvpTree {
       }
       const double d = metric_(query, objects_[x.id]);
       ++stats.distance_computations;
-      if (range_out != nullptr) {
-        if (d <= radius) range_out->push_back(Neighbor{x.id, d});
-      } else {
-        Offer(*heap_out, k, Neighbor{x.id, d});
-      }
+      Offer(*heap_out, k, Neighbor{x.id, d});
     }
   }
 

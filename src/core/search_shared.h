@@ -2,7 +2,9 @@
 #define MVPTREE_CORE_SEARCH_SHARED_H_
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -43,6 +45,65 @@ inline void KnnOffer(std::vector<Neighbor>& heap, std::size_t k, Neighbor n) {
     std::pop_heap(heap.begin(), heap.end(), NeighborLess);
     heap.back() = n;
     std::push_heap(heap.begin(), heap.end(), NeighborLess);
+  }
+}
+
+/// Chunk width of the two-phase range-search leaf filter. 64 entries = one
+/// pass/fail bit per position in a std::uint64_t mask, which is also what
+/// metric::kernels::AnnulusMask produces per sweep.
+inline constexpr std::size_t kLeafFilterChunk = 64;
+
+/// The range-search leaf filter, shared by every representation.
+///
+/// Leaves are processed in kLeafFilterChunk-entry chunks, two phases per
+/// chunk: `mask_of(base, n)` computes an n-bit pass mask using only the
+/// precomputed D1/D2/PATH arrays (no metric calls — the flat SoA layout runs
+/// this as branchless compare+mask sweeps), then the chunk's seen/filtered
+/// counters are charged, then `eval(i)` runs the real metric on each
+/// surviving entry in ascending order (each call is a cancellation point).
+/// The heap tree and both flat arena versions all funnel through this one
+/// structure, so the interleaving of counter updates and metric calls — and
+/// therefore SearchStats at any mid-leaf budget cancellation — is identical
+/// across representations by construction.
+///
+/// `mask_of` must leave bits >= n clear.
+template <typename MaskFn, typename EvalFn>
+void ChunkedRangeFilter(std::size_t count, MaskFn&& mask_of, EvalFn&& eval,
+                        SearchStats& stats) {
+  for (std::size_t base = 0; base < count; base += kLeafFilterChunk) {
+    const std::size_t n = std::min(kLeafFilterChunk, count - base);
+    std::uint64_t mask = mask_of(base, n);
+    stats.leaf_points_seen += n;
+    stats.leaf_points_filtered += n - static_cast<std::size_t>(
+        std::popcount(mask));
+    while (mask != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(mask));
+      mask &= mask - 1;
+      eval(base + bit);
+    }
+  }
+}
+
+/// Precomputed root vantage-point distances for one query of a batch
+/// (serve::RunBatch amortises a root's vp distances across co-arriving
+/// queries with the many-queries-one-vantage-point kernel shape). A consumer
+/// substitutes d1/d2 for its own root metric calls; the values are
+/// bit-identical to what those calls would return, and the consumer still
+/// charges SearchStats (and the cancellation budget) for each one, so primed
+/// and unprimed searches are indistinguishable in results and stats.
+struct RootPrime {
+  double d1 = 0.0;
+  double d2 = 0.0;
+  bool has_d1 = false;
+  bool has_d2 = false;
+};
+
+/// Charges one primed (already-evaluated) distance to the active
+/// cancellation budget, if the metric participates in budget accounting.
+template <typename Metric>
+inline void ConsumePrimedDistance(const Metric& metric) {
+  if constexpr (requires { metric.CountPrimed(); }) {
+    metric.CountPrimed();
   }
 }
 

@@ -1,0 +1,151 @@
+#ifndef MVPTREE_METRIC_KERNELS_KERNELS_H_
+#define MVPTREE_METRIC_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+/// \file
+/// Runtime-dispatched batch distance kernels for the dense Minkowski metrics
+/// (docs/simd_kernels.md).
+///
+/// The contract that makes SIMD safe to ship in this repo is *bit-identity*:
+/// every tier must return exactly the bytes the scalar reference returns, for
+/// every input including ±0, subnormals, ±Inf and NaN. The canonical
+/// evaluation order is the scalar reference in kernels.cc — a strictly
+/// sequential walk over the dimensions with unfused multiply+add (the kernel
+/// translation units are compiled with `-ffp-contract=off`). The vector tiers
+/// reproduce that order by vectorising across the *batch* dimension instead:
+/// each SIMD lane owns one object (or one query) and accumulates its
+/// dimensions in the same sequential order the scalar loop uses, so every
+/// lane's result is the scalar result bit for bit.
+///
+/// Two batch shapes cover the serving hot paths:
+///   * one query × many objects  (`*OneToMany`) — linear sweeps, benches;
+///   * many queries × one vantage point (`*ManyToOne`) — `serve::RunBatch`
+///     amortising a node's vantage-point distances over co-arriving queries.
+/// Single-pair distances (`L1Pair`/`L2Pair`/`LInfPair`) always run the scalar
+/// canonical path regardless of the active tier; they *are* the reference.
+///
+/// `AnnulusMask` is the leaf-filter primitive: a branchless compare+mask
+/// sweep answering |center - values[i]| <= radius for up to 64 values at
+/// once. Comparisons are exact (no rounding), so tiers are trivially
+/// identical; NaN anywhere fails the test, matching the scalar `<=`.
+///
+/// Dispatch: the best tier is picked once via CPUID-style feature probes
+/// (`__builtin_cpu_supports`); `MVPT_FORCE_KERNEL=scalar|avx2|avx512|neon`
+/// overrides it, and names a tier this host cannot run, the process aborts
+/// loudly rather than silently falling back — a forced tier that quietly
+/// degrades would invalidate every conformance claim downstream.
+
+namespace mvp::metric::kernels {
+
+/// Dispatch tiers, ordered by preference. kScalar is always available.
+enum class Tier : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+  kNeon = 3,
+};
+
+inline constexpr int kTierCount = 4;
+
+/// Metric families with batch kernels.
+enum class Family : int {
+  kL1 = 0,
+  kL2 = 1,
+  kLInf = 2,
+};
+
+inline constexpr int kFamilyCount = 3;
+
+/// Canonical lower-case tier name ("scalar", "avx2", "avx512", "neon").
+const char* TierName(Tier tier);
+
+/// True when `tier` is both compiled into this binary and runnable on this
+/// host's CPU.
+bool TierSupported(Tier tier);
+
+/// The fastest supported tier on this host.
+Tier BestSupportedTier();
+
+/// The tier batch kernels currently dispatch to. On first use this resolves
+/// the `MVPT_FORCE_KERNEL` environment override (aborting the process if the
+/// override names an unknown or unavailable tier).
+Tier ActiveTier();
+
+/// Programmatic override: "scalar", "avx2", "avx512", "neon", or "auto" to
+/// return to feature-probe dispatch. Unknown names get kInvalidArgument;
+/// known-but-unavailable tiers get kNotSupported — never a silent fallback.
+Status ForceTier(std::string_view name);
+
+/// Single-pair distances: the scalar canonical reference, used by
+/// metric::L1/L2/LInf for contiguous double storage. Never dispatched.
+double L1Pair(const double* a, const double* b, std::size_t dim);
+double L2Pair(const double* a, const double* b, std::size_t dim);
+double LInfPair(const double* a, const double* b, std::size_t dim);
+double PairDistance(Family family, const double* a, const double* b,
+                    std::size_t dim);
+
+/// One query against `count` row-major vectors starting at `objects`, row
+/// stride `stride` doubles (stride >= dim). out[i] is bit-identical to
+/// PairDistance(family, query, objects + i * stride, dim).
+void OneToMany(Family family, const double* query, const double* objects,
+               std::size_t count, std::size_t stride, std::size_t dim,
+               double* out);
+
+/// `count` independent queries (pointer per query) against one vantage
+/// point. out[i] is bit-identical to PairDistance(family, queries[i], vp,
+/// dim).
+void ManyToOne(Family family, const double* const* queries, std::size_t count,
+               const double* vp, std::size_t dim, double* out);
+
+/// Annulus compare+mask sweep: bit i of the result is set iff
+/// |center - values[i]| <= radius. `count` must be <= 64; bits >= count are
+/// zero. NaN in center, values, or radius fails the test (bit clear),
+/// matching the scalar `<=` on a NaN operand.
+std::uint64_t AnnulusMask(double center, const double* values,
+                          std::size_t count, double radius);
+
+inline constexpr std::size_t kAnnulusMaskMaxCount = 64;
+
+namespace internal {
+
+/// Per-tier kernel table. Entries are indexed by (int)Family.
+struct Ops {
+  void (*one_to_many[kFamilyCount])(const double* query, const double* objects,
+                                    std::size_t count, std::size_t stride,
+                                    std::size_t dim, double* out);
+  void (*many_to_one[kFamilyCount])(const double* const* queries,
+                                    std::size_t count, const double* vp,
+                                    std::size_t dim, double* out);
+  std::uint64_t (*annulus_mask)(double center, const double* values,
+                                std::size_t count, double radius);
+};
+
+/// Tier tables. A tier not compiled into this binary returns nullptr.
+const Ops* ScalarOps();
+const Ops* Avx2Ops();
+const Ops* Avx512Ops();
+const Ops* NeonOps();
+
+/// Resolves an MVPT_FORCE_KERNEL value; aborts the process (after printing
+/// the reason to stderr) on an unknown name or an unavailable tier. Exposed
+/// for the conformance suite's death tests.
+Tier TierFromEnvOrDie(const char* value);
+
+}  // namespace internal
+
+/// Maps a metric type to its batch-kernel family. The primary template marks
+/// a metric as not batch-capable; metric/lp.h specialises it for
+/// metric::L1/L2/LInf.
+template <typename Metric>
+struct FamilyFor {
+  static constexpr bool available = false;
+};
+
+}  // namespace mvp::metric::kernels
+
+#endif  // MVPTREE_METRIC_KERNELS_KERNELS_H_

@@ -2,10 +2,12 @@
 #define MVPTREE_METRIC_LP_H_
 
 #include <cmath>
+#include <concepts>
 #include <cstddef>
 #include <vector>
 
 #include "common/macros.h"
+#include "metric/kernels/kernels.h"
 
 /// \file
 /// Minkowski (Lp) metrics on dense real vectors — the distance family used
@@ -27,17 +29,56 @@ namespace mvp::metric {
 
 using Vector = std::vector<double>;
 
+namespace internal {
+
+/// Vector-like types exposing contiguous double storage (std::vector<double>,
+/// snapshot::flat::VectorView, std::array<double, N>, ...). Pairs of these
+/// delegate to the out-of-line scalar kernels in metric/kernels/ — the
+/// canonical reference compiled with -ffp-contract=off, so the result is
+/// bit-identical on every architecture. Non-contiguous argument types keep
+/// the inline loop, which evaluates the same expression in the same order.
+template <typename T>
+concept DenseDoubleRange = requires(const T& t) {
+  { t.data() } -> std::convertible_to<const double*>;
+  { t.size() } -> std::convertible_to<std::size_t>;
+};
+
+/// Returns p as an int when it is a small integral value (the exponents the
+/// fast paths cover), else 0.
+inline int IntegralExponent(double p) {
+  constexpr double kMaxFastExponent = 64.0;
+  if (p < 1.0 || p > kMaxFastExponent) return 0;
+  const int ip = static_cast<int>(p);
+  return static_cast<double>(ip) == p ? ip : 0;
+}
+
+/// x^n for n >= 1 by a left-to-right multiply chain (x*x*x*... in order, so
+/// the result is deterministic across platforms; not correctly rounded for
+/// n >= 3, which only affects exponents with no bit-identity pin).
+inline double PowInt(double x, int n) {
+  double r = x;
+  for (int i = 1; i < n; ++i) r *= x;
+  return r;
+}
+
+}  // namespace internal
+
 /// L2 (Euclidean) distance.
 struct L2 {
   template <typename A, typename B>
   double operator()(const A& a, const B& b) const {
     MVP_DCHECK(a.size() == b.size());
-    double sum = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      const double diff = a[i] - b[i];
-      sum += diff * diff;
+    if constexpr (internal::DenseDoubleRange<A> &&
+                  internal::DenseDoubleRange<B>) {
+      return kernels::L2Pair(a.data(), b.data(), a.size());
+    } else {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double diff = a[i] - b[i];
+        sum += diff * diff;
+      }
+      return std::sqrt(sum);
     }
-    return std::sqrt(sum);
   }
   double operator()(const Vector& a, const Vector& b) const {
     return operator()<Vector, Vector>(a, b);
@@ -49,11 +90,16 @@ struct L1 {
   template <typename A, typename B>
   double operator()(const A& a, const B& b) const {
     MVP_DCHECK(a.size() == b.size());
-    double sum = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      sum += std::fabs(a[i] - b[i]);
+    if constexpr (internal::DenseDoubleRange<A> &&
+                  internal::DenseDoubleRange<B>) {
+      return kernels::L1Pair(a.data(), b.data(), a.size());
+    } else {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        sum += std::fabs(a[i] - b[i]);
+      }
+      return sum;
     }
-    return sum;
   }
   double operator()(const Vector& a, const Vector& b) const {
     return operator()<Vector, Vector>(a, b);
@@ -65,12 +111,17 @@ struct LInf {
   template <typename A, typename B>
   double operator()(const A& a, const B& b) const {
     MVP_DCHECK(a.size() == b.size());
-    double best = 0.0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      const double diff = std::fabs(a[i] - b[i]);
-      if (diff > best) best = diff;
+    if constexpr (internal::DenseDoubleRange<A> &&
+                  internal::DenseDoubleRange<B>) {
+      return kernels::LInfPair(a.data(), b.data(), a.size());
+    } else {
+      double best = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double diff = std::fabs(a[i] - b[i]);
+        if (diff > best) best = diff;
+      }
+      return best;
     }
-    return best;
   }
   double operator()(const Vector& a, const Vector& b) const {
     return operator()<Vector, Vector>(a, b);
@@ -81,11 +132,39 @@ struct LInf {
 /// inequality and is rejected).
 class Lp {
  public:
-  explicit Lp(double p) : p_(p) { MVP_DCHECK(p >= 1.0); }
+  explicit Lp(double p) : p_(p), int_p_(internal::IntegralExponent(p)) {
+    MVP_DCHECK(p >= 1.0);
+  }
 
   template <typename A, typename B>
   double operator()(const A& a, const B& b) const {
     MVP_DCHECK(a.size() == b.size());
+    // Integer-exponent fast path: std::pow per element is ~100x the cost of
+    // a multiply chain. p=1 and p=2 are bit-identical to the generic
+    // expression (and to metric::L1/L2): glibc pow is correctly rounded, so
+    // pow(x, 1.0) == x, pow(x, 2.0) == x*x and pow(s, 0.5) == sqrt(s).
+    if (int_p_ == 1) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        sum += std::fabs(a[i] - b[i]);
+      }
+      return sum;
+    }
+    if (int_p_ == 2) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double diff = std::fabs(a[i] - b[i]);
+        sum += diff * diff;
+      }
+      return std::sqrt(sum);
+    }
+    if (int_p_ > 2) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        sum += internal::PowInt(std::fabs(a[i] - b[i]), int_p_);
+      }
+      return std::pow(sum, 1.0 / p_);
+    }
     double sum = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {
       sum += std::pow(std::fabs(a[i] - b[i]), p_);
@@ -100,6 +179,7 @@ class Lp {
 
  private:
   double p_;
+  int int_p_;
 };
 
 /// Weighted Lp: each dimension's difference is scaled by a non-negative
@@ -107,7 +187,10 @@ class Lp {
 /// to emphasize image regions, §5.1.B). Metric for any weights >= 0.
 class WeightedLp {
  public:
-  WeightedLp(double p, Vector weights) : p_(p), weights_(std::move(weights)) {
+  WeightedLp(double p, Vector weights)
+      : p_(p),
+        int_p_(internal::IntegralExponent(p)),
+        weights_(std::move(weights)) {
     MVP_DCHECK(p >= 1.0);
 #ifndef NDEBUG
     for (double w : weights_) MVP_DCHECK(w >= 0.0);
@@ -118,6 +201,30 @@ class WeightedLp {
   double operator()(const A& a, const B& b) const {
     MVP_DCHECK(a.size() == b.size());
     MVP_DCHECK(a.size() == weights_.size());
+    // Same integer-exponent fast path as Lp; p=1 and p=2 stay bit-identical
+    // to the generic std::pow expression.
+    if (int_p_ == 1) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        sum += weights_[i] * std::fabs(a[i] - b[i]);
+      }
+      return sum;
+    }
+    if (int_p_ == 2) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double term = weights_[i] * std::fabs(a[i] - b[i]);
+        sum += term * term;
+      }
+      return std::sqrt(sum);
+    }
+    if (int_p_ > 2) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        sum += internal::PowInt(weights_[i] * std::fabs(a[i] - b[i]), int_p_);
+      }
+      return std::pow(sum, 1.0 / p_);
+    }
     double sum = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {
       sum += std::pow(weights_[i] * std::fabs(a[i] - b[i]), p_);
@@ -132,7 +239,26 @@ class WeightedLp {
 
  private:
   double p_;
+  int int_p_;
   Vector weights_;
+};
+
+/// Batch-kernel families for the dense Minkowski metrics (the primary
+/// template in metric/kernels/kernels.h marks everything else unavailable).
+template <>
+struct kernels::FamilyFor<L1> {
+  static constexpr bool available = true;
+  static constexpr kernels::Family family = kernels::Family::kL1;
+};
+template <>
+struct kernels::FamilyFor<L2> {
+  static constexpr bool available = true;
+  static constexpr kernels::Family family = kernels::Family::kL2;
+};
+template <>
+struct kernels::FamilyFor<LInf> {
+  static constexpr bool available = true;
+  static constexpr kernels::Family family = kernels::Family::kLInf;
 };
 
 }  // namespace mvp::metric

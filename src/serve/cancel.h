@@ -193,6 +193,11 @@ class CancelChecked {
     return inner_(a, b);
   }
 
+  /// Charges one primed distance (already evaluated by a batch kernel,
+  /// core::RootPrime) to the budget/cancellation accounting — exactly the
+  /// bookkeeping operator() would have done, minus the metric call.
+  void CountPrimed() const { CancellationPoint(); }
+
   const M& inner() const { return inner_; }
 
  private:

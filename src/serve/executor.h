@@ -131,20 +131,70 @@ inline ServeClock::time_point DeadlineFrom(ServeClock::time_point start,
   return start + timeout;
 }
 
+/// Batch-primes the root vantage-point distances for every query of the
+/// batch when the index supports it (ShardedMvpIndex::PrimeBatch over flat
+/// shards of a kernel-capable metric). One many-queries-one-vantage-point
+/// SIMD sweep per shard root replaces per-query metric calls; the primed
+/// values are bit-identical and charged to stats/budgets at consumption, so
+/// outcomes match unprimed execution exactly. Returns the index's prime
+/// vector, or int{0} when the index has no PrimeBatch — PrimeAt below maps
+/// either onto the per-query prime pointer.
+template <typename Index, typename Object>
+auto PrimeIfSupported(const Index& index,
+                      const std::vector<BatchQuery<Object>>& queries) {
+  if constexpr (requires {
+                  index.PrimeBatch(std::vector<const Object*>{});
+                }) {
+    std::vector<const Object*> objects;
+    if (queries.size() >= 2) {  // a single query gains nothing from batching
+      objects.reserve(queries.size());
+      for (const BatchQuery<Object>& q : queries) {
+        objects.push_back(&q.object);
+      }
+    }
+    return index.PrimeBatch(objects);
+  } else {
+    return 0;
+  }
+}
+
+inline const void* PrimeAt(int, std::size_t) { return nullptr; }
+template <typename P>
+const P* PrimeAt(const std::vector<P>& primes, std::size_t i) {
+  if (i >= primes.size()) return nullptr;
+  return &primes[i];
+}
+
 /// Invokes the right search, preferring the `*SearchInto` harvest
 /// interface (results survive a cancellation unwind in `*out`) and passing
 /// the shard pool through when the index accepts one (ShardedMvpIndex).
 /// Sets `*harvestable` before any index work, so the catch handler knows
 /// whether `*out` is meaningful. Results land in `*out` unsorted.
-template <typename Index, typename Object>
+///
+/// `prime` is the query's batch-primed root distances (PrimeIfSupported /
+/// PrimeAt): forwarded when the index's `*SearchInto` accepts it, ignored
+/// otherwise. A null prime of the right type simply runs unprimed.
+template <typename Index, typename Object, typename Prime>
 void SearchInto(const Index& index, const BatchQuery<Object>& query,
                 std::vector<Neighbor>* out, SearchStats* stats,
-                ThreadPool* shard_pool, bool* harvestable) {
+                ThreadPool* shard_pool, bool* harvestable, Prime prime) {
   using Kind = typename BatchQuery<Object>::Kind;
   if constexpr (requires {
                   index.RangeSearchInto(query.object, query.radius, out,
-                                        stats, shard_pool);
+                                        stats, shard_pool, prime);
                 }) {
+    *harvestable = true;
+    if (query.kind == Kind::kRange) {
+      index.RangeSearchInto(query.object, query.radius, out, stats,
+                            shard_pool, prime);
+    } else {
+      index.KnnSearchInto(query.object, query.k, out, stats, shard_pool,
+                          prime);
+    }
+  } else if constexpr (requires {
+                         index.RangeSearchInto(query.object, query.radius,
+                                               out, stats, shard_pool);
+                       }) {
     *harvestable = true;
     if (query.kind == Kind::kRange) {
       index.RangeSearchInto(query.object, query.radius, out, stats,
@@ -193,6 +243,11 @@ std::vector<QueryOutcome> RunBatch(const Index& index,
   std::vector<QueryOutcome> outcomes(queries.size());
   const ServeClock::time_point start = ServeClock::now();
   ThreadPool* shard_pool = options.parallel_shards ? pool : nullptr;
+  // Batch-shaped work the queries share: one SIMD sweep per shard root
+  // vantage point primes every query's root distances up front (a no-op for
+  // indexes/batches that can't use it). Bit-identical and stats-identical
+  // to unprimed execution.
+  const auto primes = internal::PrimeIfSupported(index, queries);
 
   auto finish = [&](std::size_t i) {
     QueryOutcome& out = outcomes[i];
@@ -220,7 +275,8 @@ std::vector<QueryOutcome> RunBatch(const Index& index,
       try {
         CancelScope scope(&counter, &token, deadline, budget);
         internal::SearchInto(index, query, &out.neighbors, &search_stats,
-                             shard_pool, &harvestable);
+                             shard_pool, &harvestable,
+                             internal::PrimeAt(primes, i));
         out.status = Status::OK();
       } catch (const CancelledError&) {
         // The scope (and any shard scopes) flushed into `counter` during

@@ -15,6 +15,8 @@
 #include "common/query.h"
 #include "common/status.h"
 #include "core/mvp_tree.h"
+#include "core/search_shared.h"
+#include "metric/kernels/kernels.h"
 #include "metric/metric.h"
 #include "serve/cancel.h"
 #include "serve/thread_pool.h"
@@ -121,6 +123,14 @@ class ShardedMvpIndex {
     friend bool operator==(const BuildParams&, const BuildParams&) = default;
   };
 
+  /// Precomputed root vantage-point distances for one query of a batch,
+  /// one core::RootPrime per shard (PrimeBatch; consumed by the primed
+  /// RangeSearchInto/KnnSearchInto overload parameter). Empty when the
+  /// index could not be primed.
+  struct QueryPrime {
+    std::vector<core::RootPrime> shard;
+  };
+
   /// Partitions `objects` round-robin over the shards (global id g lands in
   /// shard g % K) and builds the shard trees — in parallel on `pool` when
   /// one is given, serially otherwise. The result is identical either way.
@@ -190,14 +200,16 @@ class ShardedMvpIndex {
   void RangeSearchInto(const Object& query, double radius,
                        std::vector<Neighbor>* out,
                        SearchStats* stats = nullptr,
-                       ThreadPool* pool = nullptr) const {
+                       ThreadPool* pool = nullptr,
+                       const QueryPrime* prime = nullptr) const {
     FanOutInto(
-        [&](const Shard& shard, std::vector<Neighbor>* sink,
+        [&](std::size_t s, const Shard& shard, std::vector<Neighbor>* sink,
             SearchStats* shard_stats) {
           if (shard.tree.has_value()) {
             shard.tree->RangeSearchInto(query, radius, sink, shard_stats);
           } else if constexpr (kFlatCapable) {
-            shard.flat->RangeSearchInto(query, radius, sink, shard_stats);
+            shard.flat->RangeSearchInto(query, radius, sink, shard_stats,
+                                        ShardPrime(prime, s));
           } else {
             MVP_DCHECK(false);  // flat shards need a flat-capable metric
           }
@@ -226,19 +238,86 @@ class ShardedMvpIndex {
   /// rethrown.
   void KnnSearchInto(const Object& query, std::size_t k,
                      std::vector<Neighbor>* out, SearchStats* stats = nullptr,
-                     ThreadPool* pool = nullptr) const {
+                     ThreadPool* pool = nullptr,
+                     const QueryPrime* prime = nullptr) const {
     FanOutInto(
-        [&](const Shard& shard, std::vector<Neighbor>* sink,
+        [&](std::size_t s, const Shard& shard, std::vector<Neighbor>* sink,
             SearchStats* shard_stats) {
           if (shard.tree.has_value()) {
             shard.tree->KnnSearchInto(query, k, sink, shard_stats);
           } else if constexpr (kFlatCapable) {
-            shard.flat->KnnSearchInto(query, k, sink, shard_stats);
+            shard.flat->KnnSearchInto(query, k, sink, shard_stats,
+                                      ShardPrime(prime, s));
           } else {
             MVP_DCHECK(false);  // flat shards need a flat-capable metric
           }
         },
         out, stats, pool);
+  }
+
+  /// Precomputes, for each query of a co-arriving batch, its distance to
+  /// every shard root's vantage points — the paper's cost model made batch-
+  /// shaped: one many-queries-one-vantage-point kernel sweep per vantage
+  /// point (metric/kernels/kernels.h) instead of one metric call per query.
+  /// The primed values are bit-identical to what each search would compute
+  /// itself, and consumers still charge SearchStats and the cancellation
+  /// budget per primed distance, so batched and unbatched execution agree
+  /// exactly. Returns empty when priming does not apply: heap serving, a
+  /// metric without a batch kernel family, or no queries. Queries whose
+  /// dimension mismatches a shard's stored vectors are left unprimed (the
+  /// search then evaluates them itself, preserving whatever the metric does
+  /// with them).
+  std::vector<QueryPrime> PrimeBatch(
+      const std::vector<const Object*>& queries) const {
+    std::vector<QueryPrime> primes;
+    if constexpr (kFlatCapable && metric::kernels::FamilyFor<Metric>::available) {
+      if (!flat_serving() || queries.empty()) return primes;
+      constexpr metric::kernels::Family kFamily =
+          metric::kernels::FamilyFor<Metric>::family;
+      const std::size_t num_shards = shards_.size();
+      primes.resize(queries.size());
+      for (auto& qp : primes) qp.shard.resize(num_shards);
+      std::vector<const double*> qptrs;
+      std::vector<std::size_t> qidx;
+      std::vector<double> out1;
+      std::vector<double> out2;
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        const FlatView& view = *shards_[s]->flat;
+        const double* vp1 = nullptr;
+        const double* vp2 = nullptr;
+        if (!view.RootVantagePoints(&vp1, &vp2)) continue;
+        const std::size_t dim = view.dim();
+        qptrs.clear();
+        qidx.clear();
+        for (std::size_t i = 0; i < queries.size(); ++i) {
+          if (queries[i] != nullptr && queries[i]->size() == dim) {
+            qptrs.push_back(queries[i]->data());
+            qidx.push_back(i);
+          }
+        }
+        if (qptrs.empty()) continue;
+        out1.resize(qptrs.size());
+        metric::kernels::ManyToOne(kFamily, qptrs.data(), qptrs.size(), vp1,
+                                   dim, out1.data());
+        if (vp2 != nullptr) {
+          out2.resize(qptrs.size());
+          metric::kernels::ManyToOne(kFamily, qptrs.data(), qptrs.size(), vp2,
+                                     dim, out2.data());
+        }
+        for (std::size_t j = 0; j < qptrs.size(); ++j) {
+          core::RootPrime& rp = primes[qidx[j]].shard[s];
+          rp.d1 = out1[j];
+          rp.has_d1 = true;
+          if (vp2 != nullptr) {
+            rp.d2 = out2[j];
+            rp.has_d2 = true;
+          }
+        }
+      }
+    } else {
+      (void)queries;  // not a status: unused in the non-flat-capable branch
+    }
+    return primes;
   }
 
   std::size_t size() const { return size_; }
@@ -402,6 +481,14 @@ class ShardedMvpIndex {
                                   : local * shards_.size() + s;
   }
 
+  /// This query's primed root distances for shard s, or null when the batch
+  /// was not primed (the search then computes them itself).
+  static const core::RootPrime* ShardPrime(const QueryPrime* prime,
+                                           std::size_t s) {
+    if (prime == nullptr || s >= prime->shard.size()) return nullptr;
+    return &prime->shard[s];
+  }
+
   /// Runs `search` over every shard into a per-shard sink, translates local
   /// ids to global ids, and appends everything into `*out`. Parallel shard
   /// searches propagate the caller's cancellation context onto the worker
@@ -426,7 +513,7 @@ class ShardedMvpIndex {
     if (pool == nullptr || k == 1) {
       try {
         for (std::size_t s = 0; s < k; ++s) {
-          search(*shards_[s], &hits[s],
+          search(s, *shards_[s], &hits[s],
                  stats != nullptr ? &shard_stats[s] : nullptr);
         }
       } catch (const CancelledError&) {
@@ -438,7 +525,7 @@ class ShardedMvpIndex {
       ParallelFor(*pool, k, [&](std::size_t s) {
         CancelScope scope(context);
         try {
-          search(*shards_[s], &hits[s],
+          search(s, *shards_[s], &hits[s],
                  stats != nullptr ? &shard_stats[s] : nullptr);
         } catch (const CancelledError&) {
           flag.store(true, std::memory_order_relaxed);

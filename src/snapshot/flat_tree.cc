@@ -21,8 +21,6 @@ namespace {
 // share its identity constants (any instantiation carries the same values).
 using SourceTree = core::MvpTree<metric::Vector, metric::L2>;
 
-constexpr std::size_t kHeaderBytes = sizeof(FlatHeaderRec);
-
 std::uint64_t Align8(std::uint64_t v) { return (v + 7) & ~std::uint64_t{7}; }
 
 /// Mutable arena-in-progress: section vectors appended during the preorder
@@ -139,18 +137,74 @@ void CopySection(std::vector<std::uint8_t>* arena, std::uint64_t offset,
               values.size() * sizeof(T));
 }
 
+/// v2 structure-of-arrays leaf sections, derived from the AoS entries the
+/// transcoder collected. Slabs are emitted leaf by leaf in node (preorder)
+/// order, so their offsets are the canonical gap-free sequence
+/// ParseFlatArena later enforces.
+struct SoaSections {
+  std::vector<std::uint32_t> ids;
+  std::vector<double> d1;
+  std::vector<double> d2;
+  std::vector<double> slab;  ///< replaces the v1 PATH pool
+  std::vector<FlatLeafPathRec> leafpaths;
+};
+
+Status BuildSoaSections(const ArenaBuilder& b, SoaSections* soa) {
+  soa->ids.reserve(b.entries.size());
+  soa->d1.reserve(b.entries.size());
+  soa->d2.reserve(b.entries.size());
+  for (const FlatLeafEntryRec& e : b.entries) {
+    soa->ids.push_back(e.id);
+    soa->d1.push_back(e.d1);
+    soa->d2.push_back(e.d2);
+  }
+  soa->leafpaths.resize(b.nodes.size());
+  for (std::size_t ni = 0; ni < b.nodes.size(); ++ni) {
+    const FlatNodeRec& node = b.nodes[ni];
+    if ((node.flags & kNodeLeaf) == 0) continue;
+    const std::size_t begin = static_cast<std::size_t>(node.begin);
+    FlatLeafPathRec lp;
+    lp.slab_offset = soa->slab.size();
+    lp.path_length = node.count > 0 ? b.entries[begin].path_length : 0;
+    for (std::uint32_t i = 0; i < node.count; ++i) {
+      if (b.entries[begin + i].path_length != lp.path_length) {
+        // The heap tree records one PATH prefix length per leaf; a stream
+        // with mixed lengths in a leaf has no SoA slab representation.
+        return Status::Corruption("leaf PATH lengths inconsistent in a leaf");
+      }
+    }
+    for (std::uint32_t j = 0; j < lp.path_length; ++j) {
+      for (std::uint32_t i = 0; i < node.count; ++i) {
+        soa->slab.push_back(b.path[b.entries[begin + i].path_offset + j]);
+      }
+    }
+    soa->leafpaths[ni] = lp;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<std::vector<std::uint8_t>> BuildFlatArena(const std::uint8_t* stream,
                                                  std::size_t length) {
+  return BuildFlatArena(stream, length, kFlatVersionLatest);
+}
+
+Result<std::vector<std::uint8_t>> BuildFlatArena(const std::uint8_t* stream,
+                                                 std::size_t length,
+                                                 std::uint32_t version) {
+  if (version != kFlatVersionV1 && version != kFlatVersionV2) {
+    return Status::InvalidArgument("unknown flat arena version " +
+                                   std::to_string(version));
+  }
   BinaryReader reader(stream, length);
-  std::uint32_t magic = 0, version = 0;
+  std::uint32_t magic = 0, stream_version = 0;
   MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&magic));
   if (magic != SourceTree::kMagic) {
     return Status::Corruption("bad mvp-tree magic");
   }
-  MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&version));
-  if (version != SourceTree::kFormatVersion) {
+  MVP_RETURN_NOT_OK(reader.Read<std::uint32_t>(&stream_version));
+  if (stream_version != SourceTree::kFormatVersion) {
     return Status::NotSupported("unknown mvp-tree format version");
   }
   std::int32_t order = 0, leaf_capacity = 0, num_paths = 0;
@@ -202,6 +256,7 @@ Result<std::vector<std::uint8_t>> BuildFlatArena(const std::uint8_t* stream,
   }
 
   FlatHeaderRec h;
+  h.version = version;
   h.order = static_cast<std::uint32_t>(order);
   h.leaf_capacity = static_cast<std::uint32_t>(leaf_capacity);
   h.num_path_distances = static_cast<std::uint32_t>(num_paths);
@@ -211,32 +266,79 @@ Result<std::vector<std::uint8_t>> BuildFlatArena(const std::uint8_t* stream,
   h.node_count = b.nodes.size();
   h.root = root.value();
 
-  std::uint64_t offset = kHeaderBytes;
+  if (version == kFlatVersionV1) {
+    std::uint64_t offset = kFlatHeaderBytesV1;
+    h.objects_offset = offset;
+    offset += b.objects.size() * sizeof(double);
+    h.path_offset = offset;
+    h.path_count = b.path.size();
+    offset += b.path.size() * sizeof(double);
+    h.bounds_offset = offset;
+    h.bounds_count = b.bounds.size();
+    offset += b.bounds.size() * sizeof(double);
+    h.entries_offset = offset;
+    h.entry_count = b.entries.size();
+    offset += b.entries.size() * sizeof(FlatLeafEntryRec);
+    h.nodes_offset = offset;
+    offset += b.nodes.size() * sizeof(FlatNodeRec);
+    h.children_offset = offset;
+    h.children_count = b.children.size();
+    offset += b.children.size() * sizeof(std::uint32_t);
+    offset = Align8(offset);
+    h.arena_bytes = offset;
+
+    std::vector<std::uint8_t> arena(static_cast<std::size_t>(offset), 0);
+    std::memcpy(arena.data(), &h, sizeof(h));
+    CopySection(&arena, h.objects_offset, b.objects);
+    CopySection(&arena, h.path_offset, b.path);
+    CopySection(&arena, h.bounds_offset, b.bounds);
+    CopySection(&arena, h.entries_offset, b.entries);
+    CopySection(&arena, h.nodes_offset, b.nodes);
+    CopySection(&arena, h.children_offset, b.children);
+    return arena;
+  }
+
+  SoaSections soa;
+  MVP_RETURN_NOT_OK(BuildSoaSections(b, &soa));
+
+  // v2 layout: every section offset stays 8-aligned (the u32 ids section can
+  // end off an 8-byte boundary, hence the explicit Align8 between sections).
+  FlatHeaderExtRec ext;
+  std::uint64_t offset = kFlatHeaderBytesV2;
   h.objects_offset = offset;
-  offset += b.objects.size() * sizeof(double);
+  offset = Align8(offset + b.objects.size() * sizeof(double));
   h.path_offset = offset;
-  h.path_count = b.path.size();
-  offset += b.path.size() * sizeof(double);
+  h.path_count = soa.slab.size();
+  offset = Align8(offset + soa.slab.size() * sizeof(double));
   h.bounds_offset = offset;
   h.bounds_count = b.bounds.size();
-  offset += b.bounds.size() * sizeof(double);
-  h.entries_offset = offset;
-  h.entry_count = b.entries.size();
-  offset += b.entries.size() * sizeof(FlatLeafEntryRec);
+  offset = Align8(offset + b.bounds.size() * sizeof(double));
+  h.entries_offset = offset;  // ids section in v2
+  h.entry_count = soa.ids.size();
+  offset = Align8(offset + soa.ids.size() * sizeof(std::uint32_t));
+  ext.d1_offset = offset;
+  offset = Align8(offset + soa.d1.size() * sizeof(double));
+  ext.d2_offset = offset;
+  offset = Align8(offset + soa.d2.size() * sizeof(double));
+  ext.leafpaths_offset = offset;
+  offset = Align8(offset + soa.leafpaths.size() * sizeof(FlatLeafPathRec));
   h.nodes_offset = offset;
-  offset += b.nodes.size() * sizeof(FlatNodeRec);
+  offset = Align8(offset + b.nodes.size() * sizeof(FlatNodeRec));
   h.children_offset = offset;
   h.children_count = b.children.size();
-  offset += b.children.size() * sizeof(std::uint32_t);
-  offset = Align8(offset);
+  offset = Align8(offset + b.children.size() * sizeof(std::uint32_t));
   h.arena_bytes = offset;
 
   std::vector<std::uint8_t> arena(static_cast<std::size_t>(offset), 0);
   std::memcpy(arena.data(), &h, sizeof(h));
+  std::memcpy(arena.data() + sizeof(h), &ext, sizeof(ext));
   CopySection(&arena, h.objects_offset, b.objects);
-  CopySection(&arena, h.path_offset, b.path);
+  CopySection(&arena, h.path_offset, soa.slab);
   CopySection(&arena, h.bounds_offset, b.bounds);
-  CopySection(&arena, h.entries_offset, b.entries);
+  CopySection(&arena, h.entries_offset, soa.ids);
+  CopySection(&arena, ext.d1_offset, soa.d1);
+  CopySection(&arena, ext.d2_offset, soa.d2);
+  CopySection(&arena, ext.leafpaths_offset, soa.leafpaths);
   CopySection(&arena, h.nodes_offset, b.nodes);
   CopySection(&arena, h.children_offset, b.children);
   return arena;
@@ -279,7 +381,7 @@ Result<FlatArenaParts> ParseFlatArena(const std::uint8_t* data,
   if (reinterpret_cast<std::uintptr_t>(data) % kFlatAlignment != 0) {
     return Status::InvalidArgument("flat arena base address misaligned");
   }
-  if (size < kHeaderBytes) {
+  if (size < kFlatHeaderBytesV1) {
     return Status::Corruption("flat arena smaller than its header");
   }
   FlatHeaderRec h;
@@ -287,9 +389,20 @@ Result<FlatArenaParts> ParseFlatArena(const std::uint8_t* data,
   if (h.magic != kFlatMagic) {
     return Status::Corruption("bad flat arena magic");
   }
-  if (h.version != kFlatVersion) {
+  if (h.version != kFlatVersionV1 && h.version != kFlatVersionV2) {
     return Status::NotSupported("unknown flat arena version " +
                                 std::to_string(h.version));
+  }
+  const bool v2 = h.version == kFlatVersionV2;
+  FlatHeaderExtRec ext;
+  if (v2) {
+    if (size < kFlatHeaderBytesV2) {
+      return Status::Corruption("flat arena smaller than its header");
+    }
+    std::memcpy(&ext, data + sizeof(h), sizeof(ext));
+    if (ext.reserved0 != 0 || ext.reserved1 != 0 || ext.reserved2 != 0) {
+      return Status::Corruption("flat arena header reserved bytes nonzero");
+    }
   }
   constexpr std::uint32_t kMaxI32 = 0x7fffffffu;
   if (h.order < 2 || h.order > kMaxI32 || h.leaf_capacity < 1 ||
@@ -316,9 +429,23 @@ Result<FlatArenaParts> ParseFlatArena(const std::uint8_t* data,
                                     sizeof(double), size, "path"));
   MVP_RETURN_NOT_OK(SectionInBounds(h.bounds_offset, h.bounds_count,
                                     sizeof(double), size, "bounds"));
-  MVP_RETURN_NOT_OK(SectionInBounds(h.entries_offset, h.entry_count,
-                                    sizeof(FlatLeafEntryRec), size,
-                                    "entries"));
+  if (v2) {
+    // In v2 the entries section holds u32 ids; D1/D2/leafpaths live behind
+    // the header extension.
+    MVP_RETURN_NOT_OK(SectionInBounds(h.entries_offset, h.entry_count,
+                                      sizeof(std::uint32_t), size, "ids"));
+    MVP_RETURN_NOT_OK(SectionInBounds(ext.d1_offset, h.entry_count,
+                                      sizeof(double), size, "d1"));
+    MVP_RETURN_NOT_OK(SectionInBounds(ext.d2_offset, h.entry_count,
+                                      sizeof(double), size, "d2"));
+    MVP_RETURN_NOT_OK(SectionInBounds(ext.leafpaths_offset, h.node_count,
+                                      sizeof(FlatLeafPathRec), size,
+                                      "leafpaths"));
+  } else {
+    MVP_RETURN_NOT_OK(SectionInBounds(h.entries_offset, h.entry_count,
+                                      sizeof(FlatLeafEntryRec), size,
+                                      "entries"));
+  }
   MVP_RETURN_NOT_OK(SectionInBounds(h.nodes_offset, h.node_count,
                                     sizeof(FlatNodeRec), size, "nodes"));
   MVP_RETURN_NOT_OK(SectionInBounds(h.children_offset, h.children_count,
@@ -326,17 +453,32 @@ Result<FlatArenaParts> ParseFlatArena(const std::uint8_t* data,
 
   FlatArenaParts parts;
   parts.header = h;
+  parts.ext = ext;
   parts.objects = reinterpret_cast<const double*>(data + h.objects_offset);
   parts.path = reinterpret_cast<const double*>(data + h.path_offset);
   parts.bounds = reinterpret_cast<const double*>(data + h.bounds_offset);
-  parts.entries =
-      reinterpret_cast<const FlatLeafEntryRec*>(data + h.entries_offset);
   parts.nodes = reinterpret_cast<const FlatNodeRec*>(data + h.nodes_offset);
   parts.children =
       reinterpret_cast<const std::uint32_t*>(data + h.children_offset);
+  if (v2) {
+    parts.ids = reinterpret_cast<const std::uint32_t*>(data + h.entries_offset);
+    parts.d1 = reinterpret_cast<const double*>(data + ext.d1_offset);
+    parts.d2 = reinterpret_cast<const double*>(data + ext.d2_offset);
+    parts.leafpaths =
+        reinterpret_cast<const FlatLeafPathRec*>(data + ext.leafpaths_offset);
+  } else {
+    parts.entries =
+        reinterpret_cast<const FlatLeafEntryRec*>(data + h.entries_offset);
+  }
 
-  // Every leaf entry's id and PATH slice, in one linear pass.
+  // Every leaf entry's id (and, v1, its PATH slice), in one linear pass.
   for (std::uint64_t i = 0; i < h.entry_count; ++i) {
+    if (v2) {
+      if (parts.ids[i] >= h.object_count) {
+        return Status::Corruption("flat leaf entry id out of range");
+      }
+      continue;
+    }
     const FlatLeafEntryRec& e = parts.entries[i];
     if (e.id >= h.object_count) {
       return Status::Corruption("flat leaf entry id out of range");
@@ -355,11 +497,18 @@ Result<FlatArenaParts> ParseFlatArena(const std::uint8_t* data,
     if (h.root != kNoNode || h.object_count != 0) {
       return Status::Corruption("flat arena root mismatches empty tree");
     }
+    if (v2 && h.path_count != 0) {
+      return Status::Corruption("flat arena PATH slab pool not canonical");
+    }
     return parts;
   }
   if (h.root != 0) {
     return Status::Corruption("flat arena root must be the first node");
   }
+  // v2 slab canonicality: leaf slabs must tile the PATH pool exactly, in
+  // node order, with no gaps or overlap — so no two leaves can alias slab
+  // doubles and every slab is in bounds by construction.
+  std::uint64_t next_slab = 0;
   std::vector<std::uint32_t> depth(static_cast<std::size_t>(h.node_count), 0);
   depth[0] = 1;
   for (std::uint64_t i = 0; i < h.node_count; ++i) {
@@ -379,7 +528,35 @@ Result<FlatArenaParts> ParseFlatArena(const std::uint8_t* data,
           node.count > h.entry_count - node.begin) {
         return Status::Corruption("flat arena leaf entry range out of bounds");
       }
+      if (v2) {
+        const FlatLeafPathRec& lp =
+            parts.leafpaths[static_cast<std::size_t>(i)];
+        if (lp.reserved != 0) {
+          return Status::Corruption("flat arena leaf path record malformed");
+        }
+        if (lp.path_length > h.num_path_distances) {
+          return Status::Corruption(
+              "flat arena leaf PATH length exceeds header p");
+        }
+        if (lp.slab_offset != next_slab) {
+          return Status::Corruption("flat arena leaf PATH slab not canonical");
+        }
+        const std::uint64_t slab_len =
+            std::uint64_t{lp.path_length} * node.count;
+        if (slab_len > h.path_count - next_slab) {
+          return Status::Corruption(
+              "flat arena leaf PATH slab out of pool range");
+        }
+        next_slab += slab_len;
+      }
       continue;
+    }
+    if (v2) {
+      const FlatLeafPathRec& lp = parts.leafpaths[static_cast<std::size_t>(i)];
+      if (lp.slab_offset != 0 || lp.path_length != 0 || lp.reserved != 0) {
+        return Status::Corruption(
+            "flat arena internal node has a PATH slab record");
+      }
     }
     const std::uint64_t bounds_needed = 2 * m + 2 * m * m;
     if (node.begin > h.bounds_count ||
@@ -405,6 +582,9 @@ Result<FlatArenaParts> ParseFlatArena(const std::uint8_t* data,
       }
       depth[child] = depth[static_cast<std::size_t>(i)] + 1;
     }
+  }
+  if (v2 && next_slab != h.path_count) {
+    return Status::Corruption("flat arena PATH slab pool not canonical");
   }
   return parts;
 }

@@ -13,6 +13,7 @@
 #include "common/query.h"
 #include "common/status.h"
 #include "core/search_shared.h"
+#include "metric/kernels/kernels.h"
 
 /// \file
 /// The flat mvp-tree: a position-independent, offset-based encoding of one
@@ -27,7 +28,9 @@
 /// byte-level diagrams; every section starts on an 8-byte boundary within
 /// the arena, and the snapshot writer 8-aligns the arena's file offset so
 /// in-memory records are naturally aligned under both mmap and the heap
-/// fallback):
+/// fallback).
+///
+/// Version 1 (still read; writers emit v2):
 ///
 ///   FlatHeaderRec          fixed 144 bytes
 ///   objects   f64[object_count * dim]   vectors, row-major, viewed in place
@@ -39,6 +42,33 @@
 ///   nodes     FlatNodeRec[node_count]         preorder; root is node 0
 ///   children  u32[children_count]       m*m slots per internal node;
 ///                                       0xFFFFFFFF = absent child
+///
+/// Version 2 keeps the 144-byte header prefix byte-compatible (same fields,
+/// same offsets) and appends a 48-byte extension, then swaps the leaf
+/// encoding from array-of-structs to structure-of-arrays so range-search
+/// leaf filtering runs as branchless SIMD compare+mask sweeps straight off
+/// the mmap (metric/kernels/kernels.h):
+///
+///   FlatHeaderRec + FlatHeaderExtRec   fixed 192 bytes
+///   objects   f64[object_count * dim]     unchanged
+///   path      f64[path_count]             now per-leaf *column-major* PATH
+///                                         slabs: leaf slabs in node order,
+///                                         slab[j*count + i] = PATH[j] of
+///                                         entry i — a contiguous run per
+///                                         vantage point, swept 64 wide
+///   bounds    f64[bounds_count]           unchanged
+///   ids       u32[entry_count]            at entries_offset: leaf point ids
+///   d1        f64[entry_count]            contiguous D1[] column
+///   d2        f64[entry_count]            contiguous D2[] column
+///   leafpaths FlatLeafPathRec[node_count] per-node slab offset + length
+///                                         (zeroed for internal nodes)
+///   nodes     FlatNodeRec[node_count]     unchanged
+///   children  u32[children_count]         unchanged
+///
+/// ids/d1/d2 are parallel arrays indexed by a leaf's `begin..begin+count`.
+/// Slabs are canonical: laid end to end in node order with no gaps or
+/// overlap, which ParseFlatArena enforces, so a hostile arena cannot alias
+/// slabs or leave them misaligned.
 ///
 /// Safety: the arena is untrusted bytes. ParseFlatArena bounds-checks every
 /// offset/count, and a structural pass enforces that child links point
@@ -53,7 +83,9 @@
 namespace mvp::snapshot::flat {
 
 inline constexpr std::uint32_t kFlatMagic = 0x5a50564d;  // "MVPZ"
-inline constexpr std::uint32_t kFlatVersion = 1;
+inline constexpr std::uint32_t kFlatVersionV1 = 1;
+inline constexpr std::uint32_t kFlatVersionV2 = 2;
+inline constexpr std::uint32_t kFlatVersionLatest = kFlatVersionV2;
 inline constexpr std::uint64_t kNoNode = ~std::uint64_t{0};
 inline constexpr std::uint32_t kNullChild = 0xffffffffu;
 inline constexpr std::size_t kFlatAlignment = 8;
@@ -65,7 +97,7 @@ inline constexpr std::size_t kMaxFlatDepth = 512;
 /// byte-addressable) targets this library supports.
 struct FlatHeaderRec {
   std::uint32_t magic = kFlatMagic;
-  std::uint32_t version = kFlatVersion;
+  std::uint32_t version = kFlatVersionLatest;
   std::uint32_t order = 0;               ///< m
   std::uint32_t leaf_capacity = 0;       ///< k
   std::uint32_t num_path_distances = 0;  ///< p
@@ -89,6 +121,24 @@ struct FlatHeaderRec {
 };
 static_assert(sizeof(FlatHeaderRec) == 144, "header layout drifted");
 
+/// v2 header extension, immediately after FlatHeaderRec. The 144-byte prefix
+/// keeps its exact v1 layout (entries_offset holds the ids section,
+/// path_offset/path_count hold the slab pool), so offset-based tooling and
+/// the corruption sweep's fixed pokes stay meaningful across versions.
+struct FlatHeaderExtRec {
+  std::uint64_t d1_offset = 0;
+  std::uint64_t d2_offset = 0;
+  std::uint64_t leafpaths_offset = 0;
+  std::uint64_t reserved0 = 0;
+  std::uint64_t reserved1 = 0;
+  std::uint64_t reserved2 = 0;
+};
+static_assert(sizeof(FlatHeaderExtRec) == 48, "header ext layout drifted");
+
+inline constexpr std::size_t kFlatHeaderBytesV1 = sizeof(FlatHeaderRec);
+inline constexpr std::size_t kFlatHeaderBytesV2 =
+    sizeof(FlatHeaderRec) + sizeof(FlatHeaderExtRec);
+
 inline constexpr std::uint32_t kHeaderExactBounds = 1u << 0;
 
 /// One tree node, 32 bytes. Leaves: `begin`/`count` select a run of leaf
@@ -107,7 +157,7 @@ static_assert(sizeof(FlatNodeRec) == 32, "node layout drifted");
 inline constexpr std::uint32_t kNodeLeaf = 1u << 0;
 inline constexpr std::uint32_t kNodeHasVp2 = 1u << 1;
 
-/// One leaf point, 32 bytes: the paper's D1[i]/D2[i] plus its PATH slice.
+/// One v1 leaf point, 32 bytes: the paper's D1[i]/D2[i] plus its PATH slice.
 struct FlatLeafEntryRec {
   std::uint32_t id = 0;
   std::uint32_t path_offset = 0;
@@ -117,6 +167,17 @@ struct FlatLeafEntryRec {
   double d2 = 0.0;
 };
 static_assert(sizeof(FlatLeafEntryRec) == 32, "leaf entry layout drifted");
+
+/// One v2 per-node PATH slab descriptor, 16 bytes. For a leaf,
+/// `slab_offset` indexes the path pool and the slab holds
+/// `path_length * count` doubles column-major (slab[j*count + i]); every
+/// entry of a leaf shares one path_length. Zeroed for internal nodes.
+struct FlatLeafPathRec {
+  std::uint64_t slab_offset = 0;
+  std::uint32_t path_length = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(FlatLeafPathRec) == 16, "leaf path layout drifted");
 
 /// Zero-copy view of one stored vector inside the arena. Duck-compatible
 /// with std::vector<double> for the Lp metrics' templated operator(), so
@@ -136,20 +197,31 @@ class VectorView {
 /// Transcodes one serialized MvpTree stream (the exact bytes
 /// MvpTree::Serialize + VectorCodec emit — vector objects only) into a
 /// self-contained flat arena. Validates the stream as strictly as
-/// MvpTree::Deserialize does; the result is byte-stable for a given stream.
+/// MvpTree::Deserialize does; the result is byte-stable for a given stream
+/// and version. Writes kFlatVersionLatest; the explicit-version overload
+/// exists so tests and corpus generators can still produce v1 arenas.
 Result<std::vector<std::uint8_t>> BuildFlatArena(const std::uint8_t* stream,
                                                  std::size_t length);
+Result<std::vector<std::uint8_t>> BuildFlatArena(const std::uint8_t* stream,
+                                                 std::size_t length,
+                                                 std::uint32_t version);
 
 /// A bounds-checked, structurally validated view into a flat arena. All
 /// pointers alias the caller's bytes, which must outlive the view.
 struct FlatArenaParts {
   FlatHeaderRec header;
+  FlatHeaderExtRec ext;  ///< zeroed for v1 arenas
   const double* objects = nullptr;
   const double* path = nullptr;
   const double* bounds = nullptr;
-  const FlatLeafEntryRec* entries = nullptr;
+  const FlatLeafEntryRec* entries = nullptr;  ///< v1 only
   const FlatNodeRec* nodes = nullptr;
   const std::uint32_t* children = nullptr;
+  // v2 structure-of-arrays leaf sections (null for v1 arenas).
+  const std::uint32_t* ids = nullptr;
+  const double* d1 = nullptr;
+  const double* d2 = nullptr;
+  const FlatLeafPathRec* leafpaths = nullptr;
 };
 
 /// Parses + validates an arena (untrusted bytes): header sanity, section
@@ -198,7 +270,21 @@ class FlatTreeView {
   std::size_t node_count() const {
     return static_cast<std::size_t>(p_.header.node_count);
   }
+  std::uint32_t version() const { return p_.header.version; }
   const Metric& metric() const { return metric_; }
+
+  /// Root vantage-point vectors, for batch priming (core::RootPrime):
+  /// returns false on an empty tree; *vp2 is null when the root has a single
+  /// vantage point. Pointers alias the arena.
+  bool RootVantagePoints(const double** vp1, const double** vp2) const {
+    if (p_.header.root == kNoNode) return false;
+    const FlatNodeRec& root = p_.nodes[p_.header.root];
+    *vp1 = p_.objects + root.vp1 * static_cast<std::size_t>(p_.header.dim);
+    *vp2 = HasVp2(root) ? p_.objects +
+                              root.vp2 * static_cast<std::size_t>(p_.header.dim)
+                        : nullptr;
+    return true;
+  }
 
   VectorView object(std::size_t id) const {
     MVP_DCHECK(id < p_.header.object_count);
@@ -219,10 +305,14 @@ class FlatTreeView {
 
   /// Mirrors MvpTree::RangeSearchInto — unsorted append into `*out`; a
   /// cancellation unwinding mid-search leaves the hits found so far.
+  /// `root_prime` optionally substitutes precomputed root vantage-point
+  /// distances (serve::RunBatch priming); results and stats are bit-identical
+  /// with or without it.
   template <typename Query>
   void RangeSearchInto(const Query& query, double radius,
                        std::vector<Neighbor>* out,
-                       SearchStats* stats = nullptr) const {
+                       SearchStats* stats = nullptr,
+                       const core::RootPrime* root_prime = nullptr) const {
     MVP_DCHECK(radius >= 0);
     MVP_DCHECK(out != nullptr);
     SearchStats local;
@@ -230,7 +320,8 @@ class FlatTreeView {
     if (p_.header.root != kNoNode) {
       std::vector<double> qpath;
       qpath.reserve(p_.header.num_path_distances);
-      RangeSearchNode(p_.header.root, query, radius, qpath, *out, sink);
+      RangeSearchNode(p_.header.root, query, radius, qpath, *out, sink,
+                      root_prime);
     }
   }
 
@@ -251,14 +342,15 @@ class FlatTreeView {
   template <typename Query>
   void KnnSearchInto(const Query& query, std::size_t k,
                      std::vector<Neighbor>* heap,
-                     SearchStats* stats = nullptr) const {
+                     SearchStats* stats = nullptr,
+                     const core::RootPrime* root_prime = nullptr) const {
     MVP_DCHECK(heap != nullptr);
     SearchStats local;
     SearchStats& sink = stats != nullptr ? *stats : local;
     if (p_.header.root != kNoNode && k > 0) {
       std::vector<double> qpath;
       qpath.reserve(p_.header.num_path_distances);
-      KnnSearchNode(p_.header.root, query, k, qpath, *heap, sink);
+      KnnSearchNode(p_.header.root, query, k, qpath, *heap, sink, root_prime);
     }
   }
 
@@ -280,16 +372,30 @@ class FlatTreeView {
   template <typename Query>
   void RangeSearchNode(std::uint64_t ni, const Query& query, double radius,
                        std::vector<double>& qpath,
-                       std::vector<Neighbor>& result,
-                       SearchStats& stats) const {
+                       std::vector<Neighbor>& result, SearchStats& stats,
+                       const core::RootPrime* prime = nullptr) const {
     const FlatNodeRec& node = p_.nodes[ni];
     ++stats.nodes_visited;
-    const double d1 = metric_(query, object(node.vp1));
+    // A primed distance replaces the metric call with its precomputed
+    // (bit-identical) value but is still charged to the stats and the
+    // cancellation budget, so batched and unbatched searches agree exactly.
+    double d1;
+    if (prime != nullptr && prime->has_d1) {
+      core::ConsumePrimedDistance(metric_);
+      d1 = prime->d1;
+    } else {
+      d1 = metric_(query, object(node.vp1));
+    }
     ++stats.distance_computations;
     if (d1 <= radius) result.push_back(Neighbor{node.vp1, d1});
     double d2 = 0.0;
     if (HasVp2(node)) {
-      d2 = metric_(query, object(node.vp2));
+      if (prime != nullptr && prime->has_d2) {
+        core::ConsumePrimedDistance(metric_);
+        d2 = prime->d2;
+      } else {
+        d2 = metric_(query, object(node.vp2));
+      }
       ++stats.distance_computations;
       if (d2 <= radius) result.push_back(Neighbor{node.vp2, d2});
     }
@@ -335,12 +441,53 @@ class FlatTreeView {
                   std::vector<Neighbor>* range_out,
                   std::vector<Neighbor>* heap_out, std::size_t k,
                   SearchStats& stats) const {
+    if (p_.header.version >= kFlatVersionV2) {
+      FilterLeafV2(node, query, radius, d1, d2, qpath, range_out, heap_out, k,
+                   stats);
+      return;
+    }
     const FlatLeafEntryRec* bucket = p_.entries + node.begin;
     const bool has_vp2 = HasVp2(node);
+    if (range_out != nullptr) {
+      // Same chunked two-phase structure as the heap tree (see
+      // core::ChunkedRangeFilter); the per-entry tests run scalar over the
+      // v1 AoS records.
+      core::ChunkedRangeFilter(
+          node.count,
+          [&](std::size_t base, std::size_t n) {
+            std::uint64_t mask = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+              const FlatLeafEntryRec& x = bucket[base + i];
+              bool pass = std::abs(d1 - x.d1) <= radius &&
+                          (!has_vp2 || std::abs(d2 - x.d2) <= radius);
+              if (pass) {
+                const std::size_t checks = std::min(
+                    qpath.size(), static_cast<std::size_t>(x.path_length));
+                for (std::size_t j = 0; j < checks; ++j) {
+                  if (std::abs(qpath[j] - p_.path[x.path_offset + j]) >
+                      radius) {
+                    pass = false;
+                    break;
+                  }
+                }
+              }
+              if (pass) mask |= std::uint64_t{1} << i;
+            }
+            return mask;
+          },
+          [&](std::size_t i) {
+            const FlatLeafEntryRec& x = bucket[i];
+            const double d = metric_(query, object(x.id));
+            ++stats.distance_computations;
+            if (d <= radius) range_out->push_back(Neighbor{x.id, d});
+          },
+          stats);
+      return;
+    }
     for (std::uint32_t i = 0; i < node.count; ++i) {
       const FlatLeafEntryRec& x = bucket[i];
       ++stats.leaf_points_seen;
-      const double r = heap_out != nullptr ? core::KnnTau(*heap_out, k) : radius;
+      const double r = core::KnnTau(*heap_out, k);
       bool pass = std::abs(d1 - x.d1) <= r &&
                   (!has_vp2 || std::abs(d2 - x.d2) <= r);
       if (pass) {
@@ -359,26 +506,104 @@ class FlatTreeView {
       }
       const double d = metric_(query, object(x.id));
       ++stats.distance_computations;
-      if (range_out != nullptr) {
-        if (d <= radius) range_out->push_back(Neighbor{x.id, d});
-      } else {
-        core::KnnOffer(*heap_out, k, Neighbor{x.id, d});
+      core::KnnOffer(*heap_out, k, Neighbor{x.id, d});
+    }
+  }
+
+  /// v2 structure-of-arrays leaf filter. Range mode sweeps the contiguous
+  /// D1/D2 columns and the column-major PATH slab with the branchless
+  /// compare+mask kernel (metric::kernels::AnnulusMask), 64 entries per
+  /// chunk; the pass bits are identical to the scalar per-entry tests, so
+  /// results and SearchStats match the heap tree and the v1 view exactly.
+  template <typename Query>
+  void FilterLeafV2(const FlatNodeRec& node, const Query& query, double radius,
+                    double d1, double d2, const std::vector<double>& qpath,
+                    std::vector<Neighbor>* range_out,
+                    std::vector<Neighbor>* heap_out, std::size_t k,
+                    SearchStats& stats) const {
+    const std::uint64_t ni =
+        static_cast<std::uint64_t>(&node - p_.nodes);
+    const std::uint32_t* ids = p_.ids + node.begin;
+    const double* d1s = p_.d1 + node.begin;
+    const double* d2s = p_.d2 + node.begin;
+    const FlatLeafPathRec& lp = p_.leafpaths[ni];
+    const double* slab = p_.path + lp.slab_offset;
+    const std::size_t count = node.count;
+    const std::size_t checks =
+        std::min(qpath.size(), static_cast<std::size_t>(lp.path_length));
+    const bool has_vp2 = HasVp2(node);
+    if (range_out != nullptr) {
+      core::ChunkedRangeFilter(
+          count,
+          [&](std::size_t base, std::size_t n) {
+            std::uint64_t mask =
+                metric::kernels::AnnulusMask(d1, d1s + base, n, radius);
+            if (has_vp2 && mask != 0) {
+              mask &= metric::kernels::AnnulusMask(d2, d2s + base, n, radius);
+            }
+            for (std::size_t j = 0; j < checks && mask != 0; ++j) {
+              mask &= metric::kernels::AnnulusMask(
+                  qpath[j], slab + j * count + base, n, radius);
+            }
+            return mask;
+          },
+          [&](std::size_t i) {
+            const double d = metric_(query, object(ids[i]));
+            ++stats.distance_computations;
+            if (d <= radius) range_out->push_back(Neighbor{ids[i], d});
+          },
+          stats);
+      return;
+    }
+    // k-NN mode stays per-entry (tau shrinks with every offer), reading the
+    // SoA columns scalar-wise.
+    for (std::size_t i = 0; i < count; ++i) {
+      ++stats.leaf_points_seen;
+      const double r = core::KnnTau(*heap_out, k);
+      bool pass = std::abs(d1 - d1s[i]) <= r &&
+                  (!has_vp2 || std::abs(d2 - d2s[i]) <= r);
+      if (pass) {
+        for (std::size_t j = 0; j < checks; ++j) {
+          if (std::abs(qpath[j] - slab[j * count + i]) > r) {
+            pass = false;
+            break;
+          }
+        }
       }
+      if (!pass) {
+        ++stats.leaf_points_filtered;
+        continue;
+      }
+      const double d = metric_(query, object(ids[i]));
+      ++stats.distance_computations;
+      core::KnnOffer(*heap_out, k, Neighbor{ids[i], d});
     }
   }
 
   template <typename Query>
   void KnnSearchNode(std::uint64_t ni, const Query& query, std::size_t k,
                      std::vector<double>& qpath, std::vector<Neighbor>& heap,
-                     SearchStats& stats) const {
+                     SearchStats& stats,
+                     const core::RootPrime* prime = nullptr) const {
     const FlatNodeRec& node = p_.nodes[ni];
     ++stats.nodes_visited;
-    const double d1 = metric_(query, object(node.vp1));
+    double d1;
+    if (prime != nullptr && prime->has_d1) {
+      core::ConsumePrimedDistance(metric_);
+      d1 = prime->d1;
+    } else {
+      d1 = metric_(query, object(node.vp1));
+    }
     ++stats.distance_computations;
     core::KnnOffer(heap, k, Neighbor{node.vp1, d1});
     double d2 = 0.0;
     if (HasVp2(node)) {
-      d2 = metric_(query, object(node.vp2));
+      if (prime != nullptr && prime->has_d2) {
+        core::ConsumePrimedDistance(metric_);
+        d2 = prime->d2;
+      } else {
+        d2 = metric_(query, object(node.vp2));
+      }
       ++stats.distance_computations;
       core::KnnOffer(heap, k, Neighbor{node.vp2, d2});
     }

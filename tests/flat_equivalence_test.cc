@@ -10,10 +10,13 @@
 #include "common/codec.h"
 #include "common/query.h"
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "dataset/vector_gen.h"
 #include "metric/counting.h"
+#include "metric/kernels/kernels.h"
 #include "metric/lp.h"
 #include "serve/cancel.h"
+#include "serve/executor.h"
 #include "serve/sharded_index.h"
 #include "snapshot/flat_tree.h"
 #include "snapshot/snapshot_store.h"
@@ -26,6 +29,13 @@
 /// the paper's workload shapes. Partial results under a tight distance
 /// budget must match too: both representations evaluate the same metric
 /// sequence, so a budget cancels both at the same evaluation.
+///
+/// Three representations are differentially tested: the heap tree, the
+/// current flat format (v2, SoA leaves swept by the batch kernels), and a
+/// v1 (AoS) encoding of the same trees — plus the batched RunBatch door
+/// (which primes root distances with the many-queries-one-vantage-point
+/// kernel) and every reachable SIMD dispatch tier. Same ids, bit-identical
+/// distances, same four SearchStats counters, everywhere.
 
 namespace mvp::snapshot {
 namespace {
@@ -77,12 +87,51 @@ class FlatEquivalenceTest : public ::testing::TestWithParam<bool> {
     ASSERT_TRUE(flat.ok()) << flat.status().ToString();
     flat_.emplace(std::move(flat).ValueOrDie().index);
     ASSERT_TRUE(flat_->flat_serving());
+    // The snapshot pipeline writes the current format.
+    for (std::size_t s = 0; s < flat_->num_shards(); ++s) {
+      ASSERT_EQ(flat_->flat_shard(s).version(), flat::kFlatVersionV2);
+    }
+
+    BuildV1();
   }
   void TearDown() override {
     heap_.reset();
     flat_.reset();  // views die before the mapping-owning index they alias
+    flat_v1_.reset();
     std::filesystem::remove_all(dir_ + "_heap");
     std::filesystem::remove_all(dir_ + "_flat");
+  }
+
+  /// Encodes the SAME shard trees as format v1 (AoS leaf entries) and
+  /// restores a third index over the buffers — the legacy-snapshot serving
+  /// path, without a round-trip through a store.
+  void BuildV1() {
+    const std::size_t k = heap_->num_shards();
+    auto arenas = std::make_shared<std::vector<std::vector<std::uint8_t>>>();
+    arenas->reserve(k);
+    for (std::size_t s = 0; s < k; ++s) {
+      BinaryWriter stream;
+      ASSERT_TRUE(heap_->shard(s).Serialize(&stream, VectorCodec{}).ok());
+      auto arena = flat::BuildFlatArena(
+          stream.buffer().data(), stream.buffer().size(), flat::kFlatVersionV1);
+      ASSERT_TRUE(arena.ok()) << arena.status().ToString();
+      arenas->push_back(std::move(arena).ValueOrDie());
+    }
+    std::vector<Index::FlatView> views;
+    for (std::size_t s = 0; s < k; ++s) {
+      auto view = Index::FlatView::Open((*arenas)[s].data(),
+                                        (*arenas)[s].size(),
+                                        serve::CancelChecked<L2>(L2()));
+      ASSERT_TRUE(view.ok()) << view.status().ToString();
+      ASSERT_EQ(view.value().version(), flat::kFlatVersionV1);
+      views.push_back(std::move(view).ValueOrDie());
+    }
+    auto restored = Index::RestoreFlat(heap_->options(), heap_->size(),
+                                       std::move(views),
+                                       std::shared_ptr<const void>(arenas));
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    flat_v1_.emplace(std::move(restored).ValueOrDie());
+    ASSERT_TRUE(flat_v1_->flat_serving());
   }
 
   static void ExpectIdentical(const std::vector<Neighbor>& a,
@@ -107,7 +156,8 @@ class FlatEquivalenceTest : public ::testing::TestWithParam<bool> {
   std::string dir_;
   std::vector<Vector> data_;
   std::optional<Index> heap_;
-  std::optional<Index> flat_;
+  std::optional<Index> flat_;     // current format (v2, SoA leaves)
+  std::optional<Index> flat_v1_;  // same trees encoded as v1 (AoS leaves)
 };
 
 TEST_P(FlatEquivalenceTest, RangeSearchBitIdentical) {
@@ -131,6 +181,27 @@ TEST_P(FlatEquivalenceTest, KnnSearchBitIdentical) {
     const auto heap_result = heap_->KnnSearch(queries[q], k, &hs);
     const auto flat_result = flat_->KnnSearch(queries[q], k, &fs);
     ExpectIdentical(heap_result, flat_result, hs, fs, q);
+  }
+}
+
+TEST_P(FlatEquivalenceTest, V1AndV2LayoutsBitIdenticalToHeap) {
+  const auto queries = dataset::UniformQueryVectors(300, 8, 791);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const double radius = (q % 3 == 0) ? 0.3 : 0.9;
+    SearchStats hs, fs, vs;
+    const auto heap_result = heap_->RangeSearch(queries[q], radius, &hs);
+    const auto v2_result = flat_->RangeSearch(queries[q], radius, &fs);
+    const auto v1_result = flat_v1_->RangeSearch(queries[q], radius, &vs);
+    ExpectIdentical(heap_result, v2_result, hs, fs, q);
+    ExpectIdentical(heap_result, v1_result, hs, vs, q);
+
+    SearchStats hks, fks, vks;
+    const std::size_t k = 1 + q % 11;
+    const auto heap_knn = heap_->KnnSearch(queries[q], k, &hks);
+    const auto v2_knn = flat_->KnnSearch(queries[q], k, &fks);
+    const auto v1_knn = flat_v1_->KnnSearch(queries[q], k, &vks);
+    ExpectIdentical(heap_knn, v2_knn, hks, fks, q);
+    ExpectIdentical(heap_knn, v1_knn, hks, vks, q);
   }
 }
 
@@ -216,6 +287,150 @@ TEST_P(FlatEquivalenceTest, PartialResultsUnderBudgetBitIdentical) {
   // The tight budget must actually have interrupted some searches, or this
   // test is vacuous.
   EXPECT_GT(cancels, 0u);
+}
+
+TEST_P(FlatEquivalenceTest, BudgetedPartialsAgreeAcrossAllThreeLayouts) {
+  const auto queries = dataset::UniformQueryVectors(60, 8, 785);
+  std::size_t cancels = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (const std::uint64_t budget : {std::uint64_t{70}, std::uint64_t{200}}) {
+      bool hc = false, fc = false, vc = false;
+      SearchStats hs, fs, vs;
+      auto heap_result =
+          RunBudgeted(budget, &hc, &hs, [&](auto* out, auto* stats) {
+            heap_->RangeSearchInto(queries[q], 0.8, out, stats);
+          });
+      auto v2_result =
+          RunBudgeted(budget, &fc, &fs, [&](auto* out, auto* stats) {
+            flat_->RangeSearchInto(queries[q], 0.8, out, stats);
+          });
+      auto v1_result =
+          RunBudgeted(budget, &vc, &vs, [&](auto* out, auto* stats) {
+            flat_v1_->RangeSearchInto(queries[q], 0.8, out, stats);
+          });
+      EXPECT_EQ(hc, fc) << "query " << q << " budget " << budget;
+      EXPECT_EQ(hc, vc) << "query " << q << " budget " << budget;
+      if (hc) ++cancels;
+      std::sort(heap_result.begin(), heap_result.end(), NeighborLess);
+      std::sort(v2_result.begin(), v2_result.end(), NeighborLess);
+      std::sort(v1_result.begin(), v1_result.end(), NeighborLess);
+      ExpectIdentical(heap_result, v2_result, hs, fs, q);
+      ExpectIdentical(heap_result, v1_result, hs, vs, q);
+    }
+  }
+  EXPECT_GT(cancels, 0u);
+}
+
+/// The batch front door: RunBatch over the flat index primes every query's
+/// root vantage-point distances with one many-queries-one-vantage-point
+/// kernel sweep per shard. Outcomes — statuses, partial flags, neighbors,
+/// and all four SearchStats counters — must still be bit-identical to the
+/// heap index, which runs completely unprimed, including for queries whose
+/// distance budget cuts them off mid-search.
+TEST_P(FlatEquivalenceTest, RunBatchPrimedBitIdenticalAcrossLayouts) {
+  using Query = serve::BatchQuery<Vector>;
+  const auto queries = dataset::UniformQueryVectors(64, 8, 786);
+  std::vector<Query> batch;
+  batch.reserve(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    Query bq;
+    bq.object = queries[q];
+    if (q % 2 == 0) {
+      bq.kind = Query::Kind::kRange;
+      bq.radius = 0.8;
+    } else {
+      bq.kind = Query::Kind::kKnn;
+      bq.k = 7;
+    }
+    // Sprinkle budget-cut partials through the batch.
+    if (q % 5 == 3) bq.max_distance_computations = 120;
+    batch.push_back(std::move(bq));
+  }
+
+  const auto heap_out = serve::RunBatch(*heap_, batch, nullptr);
+  const auto v2_out = serve::RunBatch(*flat_, batch, nullptr);
+  const auto v1_out = serve::RunBatch(*flat_v1_, batch, nullptr);
+  ASSERT_EQ(heap_out.size(), batch.size());
+  ASSERT_EQ(v2_out.size(), batch.size());
+  ASSERT_EQ(v1_out.size(), batch.size());
+  std::size_t partials = 0;
+  for (std::size_t q = 0; q < batch.size(); ++q) {
+    for (const auto* other : {&v2_out[q], &v1_out[q]}) {
+      EXPECT_EQ(heap_out[q].status.code(), other->status.code())
+          << "query " << q;
+      EXPECT_EQ(heap_out[q].partial, other->partial) << "query " << q;
+      ExpectIdentical(heap_out[q].neighbors, other->neighbors,
+                      heap_out[q].search, other->search, q);
+      EXPECT_EQ(heap_out[q].distance_computations,
+                other->distance_computations)
+          << "query " << q;
+    }
+    if (heap_out[q].partial) ++partials;
+  }
+  // The budgeted queries must actually have been cut, or the partial-path
+  // comparison is vacuous.
+  EXPECT_GT(partials, 0u);
+}
+
+/// Every reachable dispatch tier (scalar always; AVX2/AVX-512/NEON as the
+/// host allows) must serve the v2 flat index bit-identically to the heap
+/// index — results AND stats — under plain searches, the primed batch
+/// door, and budget cancellation. This is the end-to-end face of the
+/// kernel conformance suite.
+TEST_P(FlatEquivalenceTest, EveryKernelTierServesBitIdentically) {
+  namespace kernels = metric::kernels;
+  struct RestoreDispatch {
+    // not a status to act on: best-effort reset to feature-probe dispatch
+    ~RestoreDispatch() { (void)kernels::ForceTier("auto"); }
+  } restore;
+
+  const auto queries = dataset::UniformQueryVectors(40, 8, 787);
+  for (int t = 0; t < kernels::kTierCount; ++t) {
+    const auto tier = static_cast<kernels::Tier>(t);
+    if (!kernels::TierSupported(tier)) continue;
+    const Status forced = kernels::ForceTier(kernels::TierName(tier));
+    ASSERT_TRUE(forced.ok()) << forced.ToString();
+
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      SearchStats hs, fs;
+      const auto heap_result = heap_->RangeSearch(queries[q], 0.8, &hs);
+      const auto flat_result = flat_->RangeSearch(queries[q], 0.8, &fs);
+      ExpectIdentical(heap_result, flat_result, hs, fs, q);
+
+      bool hc = false, fc = false;
+      SearchStats hbs, fbs;
+      auto heap_partial =
+          RunBudgeted(90, &hc, &hbs, [&](auto* out, auto* stats) {
+            heap_->RangeSearchInto(queries[q], 0.8, out, stats);
+          });
+      auto flat_partial =
+          RunBudgeted(90, &fc, &fbs, [&](auto* out, auto* stats) {
+            flat_->RangeSearchInto(queries[q], 0.8, out, stats);
+          });
+      EXPECT_EQ(hc, fc) << kernels::TierName(tier) << " query " << q;
+      std::sort(heap_partial.begin(), heap_partial.end(), NeighborLess);
+      std::sort(flat_partial.begin(), flat_partial.end(), NeighborLess);
+      ExpectIdentical(heap_partial, flat_partial, hbs, fbs, q);
+    }
+
+    // The primed batch path under this tier, against the unprimed heap.
+    using Query = serve::BatchQuery<Vector>;
+    std::vector<Query> batch;
+    for (std::size_t q = 0; q < 16; ++q) {
+      Query bq;
+      bq.object = queries[q % queries.size()];
+      bq.kind = (q % 2 == 0) ? Query::Kind::kRange : Query::Kind::kKnn;
+      bq.radius = 0.8;
+      bq.k = 5;
+      batch.push_back(std::move(bq));
+    }
+    const auto heap_out = serve::RunBatch(*heap_, batch, nullptr);
+    const auto flat_out = serve::RunBatch(*flat_, batch, nullptr);
+    for (std::size_t q = 0; q < batch.size(); ++q) {
+      ExpectIdentical(heap_out[q].neighbors, flat_out[q].neighbors,
+                      heap_out[q].search, flat_out[q].search, q);
+    }
+  }
 }
 
 TEST(FlatEmptyShardTest, FewerObjectsThanShardsRoundTrips) {

@@ -157,6 +157,47 @@ TEST(FlatFormatGoldenTest, GoldenFlatFixtureLoadsAndMatchesRebuild) {
   }
 }
 
+/// The v1 arena fixture is FROZEN: it was blessed before the v2 SoA-leaf
+/// layout existed and is never re-blessed, so this test proves the current
+/// reader keeps opening real v1 snapshots from the field — and answers
+/// queries over them bit-identically to a fresh build. (Bless mode leaves
+/// the directory untouched on purpose.)
+TEST(FlatFormatGoldenTest, FrozenV1FixtureStillOpensAndMatchesRebuild) {
+  if (BlessMode()) GTEST_SKIP() << "frozen fixture is never re-blessed";
+  SnapshotStore store(GoldenDir("golden_flat_v1"));
+  auto loaded = store.OpenFlat(L2());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded.value().index.flat_serving());
+  for (std::size_t s = 0; s < loaded.value().index.num_shards(); ++s) {
+    EXPECT_EQ(loaded.value().index.flat_shard(s).version(),
+              flat::kFlatVersionV1);
+  }
+  const Index rebuilt = GoldenIndex();
+  const auto queries = dataset::UniformQueryVectors(40, 4, 11);
+  for (const auto& q : queries) {
+    SearchStats vs, rs;
+    const auto a = loaded.value().index.RangeSearch(q, 0.5, &vs);
+    const auto b = rebuilt.RangeSearch(q, 0.5, &rs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].distance, b[i].distance);
+    }
+    EXPECT_EQ(vs.distance_computations, rs.distance_computations);
+  }
+}
+
+TEST(FlatFormatGoldenTest, GoldenFlatFixtureIsCurrentVersion) {
+  if (BlessMode()) GTEST_SKIP();
+  SnapshotStore store(GoldenDir("golden_flat"));
+  auto loaded = store.OpenFlat(L2());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (std::size_t s = 0; s < loaded.value().index.num_shards(); ++s) {
+    EXPECT_EQ(loaded.value().index.flat_shard(s).version(),
+              flat::kFlatVersionLatest);
+  }
+}
+
 TEST(FlatFormatGoldenTest, GoldenFixturesAgreeWithEachOther) {
   if (BlessMode()) GTEST_SKIP();
   SnapshotStore heap_store(GoldenDir("golden_heap"));

@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "metric/kernels/kernels.h"
+#include "metric/lp.h"
+
+/// Conformance suite for the dispatched batch kernels
+/// (src/metric/kernels/). The library's claim is not "SIMD is close to
+/// scalar" but *bit-identity*: every tier reachable on this host must
+/// return, for every shape and every input class, exactly the bytes the
+/// scalar reference returns. This suite is what lets the flat index, the
+/// goldens, and the serving layer treat the active tier as an invisible
+/// implementation detail.
+///
+/// Coverage axes, crossed with every reachable tier:
+///   * dimensions 0..300 (every value 0..68, then strided) — exercises all
+///     SIMD block/tail splits for 2-, 4- and 8-lane tiers;
+///   * batch counts around the lane-block boundaries;
+///   * misaligned base pointers (odd 8-byte offsets — vector loads must not
+///     assume 32/64-byte alignment);
+///   * adversarial values: ±0, subnormals, ±Inf, NaN, and magnitude mixes
+///     that make summation order observable;
+///   * forced-tier dispatch: ForceTier error contract, and the
+///     MVPT_FORCE_KERNEL resolver aborting on unknown/unavailable names.
+///
+/// Bit-identity is asserted with memcmp, never operator== — it must
+/// distinguish -0.0 from +0.0 and must not let NaN != NaN vacuously pass.
+
+namespace mvp::metric::kernels {
+namespace {
+
+constexpr Family kFamilies[] = {Family::kL1, Family::kL2, Family::kLInf};
+
+const char* FamilyLabel(Family f) {
+  switch (f) {
+    case Family::kL1:
+      return "L1";
+    case Family::kL2:
+      return "L2";
+    case Family::kLInf:
+      return "LInf";
+  }
+  return "?";
+}
+
+std::vector<Tier> ReachableTiers() {
+  std::vector<Tier> tiers;
+  for (int t = 0; t < kTierCount; ++t) {
+    if (TierSupported(static_cast<Tier>(t))) {
+      tiers.push_back(static_cast<Tier>(t));
+    }
+  }
+  return tiers;
+}
+
+/// Restores feature-probe dispatch no matter how a test exits, so a failing
+/// assertion cannot leak a forced tier into later tests.
+struct TierGuard {
+  ~TierGuard() { (void)ForceTier("auto"); }  // not a status to act on: reset
+};
+
+void ExpectBitsEqual(double want, double got, const std::string& what) {
+  EXPECT_EQ(std::memcmp(&want, &got, sizeof(double)), 0)
+      << what << ": scalar=" << want << " tier=" << got
+      << " (bit patterns differ)";
+}
+
+/// Deterministic fill mixing magnitudes so that any reassociation of the
+/// sum changes the result — the strongest practical probe for "same
+/// summation order as scalar".
+void FillValues(Rng& rng, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const int exponent = static_cast<int>(rng.NextBounded(81)) - 40;
+    out[i] = std::ldexp(rng.NextDouble() - 0.5, exponent);
+  }
+}
+
+/// Adversarial special values, cycled through a buffer.
+void FillSpecials(double* out, std::size_t n, std::size_t phase) {
+  static const double kSpecials[] = {
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      1.0,
+      -1.0,
+      1e308,
+      -1e-308,
+  };
+  constexpr std::size_t kNumSpecials = sizeof(kSpecials) / sizeof(kSpecials[0]);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = kSpecials[(i + phase) % kNumSpecials];
+  }
+}
+
+/// One conformance pass: runs both batch shapes for every family at
+/// (dim, count) on buffers starting at an `offset`-doubles-misaligned base,
+/// and memcmp-compares the active tier's outputs against the scalar
+/// reference table.
+void CheckShapes(Tier tier, std::size_t dim, std::size_t count,
+                 std::size_t offset, bool specials, std::uint64_t seed) {
+  const internal::Ops* scalar = internal::ScalarOps();
+  ASSERT_NE(scalar, nullptr);
+
+  // `offset` leading doubles force SIMD-unfriendly base alignment.
+  const std::size_t stride = dim + (seed % 3);  // also exercise stride > dim
+  std::vector<double> query_buf(offset + dim, 0.0);
+  std::vector<double> objects_buf(offset + count * stride + 1, 0.0);
+  Rng rng(seed);
+  if (specials) {
+    FillSpecials(query_buf.data() + offset, dim, seed % 7);
+    FillSpecials(objects_buf.data() + offset, count * stride, seed % 5);
+  } else {
+    FillValues(rng, query_buf.data() + offset, dim);
+    FillValues(rng, objects_buf.data() + offset, count * stride);
+  }
+  const double* query = query_buf.data() + offset;
+  const double* objects = objects_buf.data() + offset;
+
+  std::vector<const double*> rows(count);
+  for (std::size_t i = 0; i < count; ++i) rows[i] = objects + i * stride;
+
+  std::vector<double> want(count), got(count);
+  const std::string ctx = std::string(TierName(tier)) + " dim=" +
+                          std::to_string(dim) + " count=" +
+                          std::to_string(count) + " offset=" +
+                          std::to_string(offset) +
+                          (specials ? " specials" : "");
+  for (Family family : kFamilies) {
+    const int f = static_cast<int>(family);
+    scalar->one_to_many[f](query, objects, count, stride, dim, want.data());
+    OneToMany(family, query, objects, count, stride, dim, got.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      ExpectBitsEqual(want[i], got[i],
+                      std::string(FamilyLabel(family)) + " OneToMany[" +
+                          std::to_string(i) + "] " + ctx);
+    }
+    // Same data through the transposed shape: rows become the queries, the
+    // query becomes the vantage point.
+    scalar->many_to_one[f](rows.data(), count, query, dim, want.data());
+    ManyToOne(family, rows.data(), count, query, dim, got.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      ExpectBitsEqual(want[i], got[i],
+                      std::string(FamilyLabel(family)) + " ManyToOne[" +
+                          std::to_string(i) + "] " + ctx);
+    }
+    // Every batch result must equal the never-dispatched pair kernel.
+    for (std::size_t i = 0; i < count; ++i) {
+      const double pair = PairDistance(family, query, rows[i], dim);
+      ExpectBitsEqual(pair, got[i],
+                      std::string(FamilyLabel(family)) + " vs PairDistance[" +
+                          std::to_string(i) + "] " + ctx);
+    }
+  }
+}
+
+class KernelConformanceTest : public ::testing::TestWithParam<Tier> {
+ protected:
+  void SetUp() override {
+    const Tier tier = GetParam();
+    ASSERT_TRUE(TierSupported(tier));
+    const Status forced = ForceTier(TierName(tier));
+    ASSERT_TRUE(forced.ok()) << forced.ToString();
+    ASSERT_EQ(ActiveTier(), tier);
+  }
+  void TearDown() override {
+    const Status reset = ForceTier("auto");
+    ASSERT_TRUE(reset.ok()) << reset.ToString();
+  }
+};
+
+TEST_P(KernelConformanceTest, EveryDimensionZeroTo300) {
+  // 0..68 covers every block/tail split of 2-, 4- and 8-lane kernels with
+  // margin; beyond that, stride through 300 for long-accumulation coverage.
+  for (std::size_t dim = 0; dim <= 68; ++dim) {
+    CheckShapes(GetParam(), dim, 5, 0, false, 1000 + dim);
+  }
+  for (std::size_t dim = 69; dim <= 300; dim += 17) {
+    CheckShapes(GetParam(), dim, 3, 0, false, 2000 + dim);
+  }
+  CheckShapes(GetParam(), 300, 3, 0, false, 2300);
+}
+
+TEST_P(KernelConformanceTest, BatchCountsAroundLaneBoundaries) {
+  for (std::size_t count : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u,
+                            17u, 31u, 33u, 64u, 65u}) {
+    CheckShapes(GetParam(), 20, count, 0, false, 3000 + count);
+  }
+}
+
+TEST_P(KernelConformanceTest, MisalignedBasePointers) {
+  for (std::size_t offset : {1u, 2u, 3u, 5u, 7u}) {
+    CheckShapes(GetParam(), 33, 9, offset, false, 4000 + offset);
+    CheckShapes(GetParam(), 8, 17, offset, false, 4100 + offset);
+  }
+}
+
+TEST_P(KernelConformanceTest, SpecialValuesBitIdentical) {
+  for (std::size_t dim : {1u, 3u, 4u, 7u, 8u, 12u, 16u, 33u}) {
+    for (std::size_t count : {1u, 4u, 9u}) {
+      CheckShapes(GetParam(), dim, count, 0, true, 5000 + dim * 100 + count);
+      CheckShapes(GetParam(), dim, count, 1, true, 6000 + dim * 100 + count);
+    }
+  }
+}
+
+TEST_P(KernelConformanceTest, AnnulusMaskMatchesScalar) {
+  const internal::Ops* scalar = internal::ScalarOps();
+  ASSERT_NE(scalar, nullptr);
+  Rng rng(99);
+  std::vector<double> values(kAnnulusMaskMaxCount + 1);
+  for (std::size_t count = 0; count <= kAnnulusMaskMaxCount; ++count) {
+    FillValues(rng, values.data(), count);
+    // Sprinkle exact-boundary and special entries.
+    if (count > 0) values[0] = 1.5;
+    if (count > 2) values[2] = std::numeric_limits<double>::quiet_NaN();
+    if (count > 3) values[3] = std::numeric_limits<double>::infinity();
+    if (count > 4) values[4] = -0.0;
+    for (double radius : {0.0, 0.5, 1e300, -1.0,
+                          std::numeric_limits<double>::quiet_NaN()}) {
+      const double center = (count % 2 == 0) ? 1.5 : -0.75;
+      const std::uint64_t want =
+          scalar->annulus_mask(center, values.data(), count, radius);
+      const std::uint64_t got =
+          AnnulusMask(center, values.data(), count, radius);
+      EXPECT_EQ(want, got) << TierName(GetParam()) << " count=" << count
+                           << " radius=" << radius;
+      // Cross-check against the definition, not just the scalar table.
+      for (std::size_t i = 0; i < count; ++i) {
+        const bool bit = (got >> i) & 1;
+        EXPECT_EQ(bit, std::fabs(center - values[i]) <= radius)
+            << "bit " << i << " count=" << count << " radius=" << radius;
+      }
+      // Bits at and above `count` must be zero.
+      if (count < 64) EXPECT_EQ(got >> count, 0u);
+    }
+  }
+}
+
+TEST_P(KernelConformanceTest, MisalignedAnnulusMask) {
+  Rng rng(7);
+  std::vector<double> buf(kAnnulusMaskMaxCount + 1);
+  FillValues(rng, buf.data(), buf.size());
+  const internal::Ops* scalar = internal::ScalarOps();
+  for (std::size_t count : {1u, 7u, 31u, 63u, 64u}) {
+    const std::uint64_t want =
+        scalar->annulus_mask(0.25, buf.data() + 1, count, 0.5);
+    EXPECT_EQ(want, AnnulusMask(0.25, buf.data() + 1, count, 0.5))
+        << TierName(GetParam()) << " count=" << count;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllReachableTiers, KernelConformanceTest,
+    ::testing::ValuesIn(ReachableTiers()),
+    [](const ::testing::TestParamInfo<Tier>& info) {
+      return std::string(TierName(info.param));
+    });
+
+// --- dispatch contract ------------------------------------------------------
+
+TEST(KernelDispatchTest, ScalarTierAlwaysSupported) {
+  EXPECT_TRUE(TierSupported(Tier::kScalar));
+  EXPECT_TRUE(TierSupported(BestSupportedTier()));
+}
+
+TEST(KernelDispatchTest, ForceTierRejectsUnknownName) {
+  TierGuard guard;
+  const Status s = ForceTier("sse9");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s.ToString();
+  const Status empty = ForceTier("");
+  EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument) << empty.ToString();
+}
+
+TEST(KernelDispatchTest, ForceTierRejectsUnavailableTierLoudly) {
+  TierGuard guard;
+  // At least one of the vector tiers is impossible on any single host
+  // (neon and avx2 are mutually exclusive ISAs).
+  bool saw_unavailable = false;
+  for (int t = 0; t < kTierCount; ++t) {
+    const Tier tier = static_cast<Tier>(t);
+    if (TierSupported(tier)) continue;
+    saw_unavailable = true;
+    const Status s = ForceTier(TierName(tier));
+    EXPECT_EQ(s.code(), StatusCode::kNotSupported) << s.ToString();
+    // A refused ForceTier must not have changed dispatch.
+    EXPECT_TRUE(TierSupported(ActiveTier()));
+  }
+  EXPECT_TRUE(saw_unavailable);
+}
+
+TEST(KernelDispatchTest, ForceTierRoundTripsEveryReachableTier) {
+  TierGuard guard;
+  for (Tier tier : ReachableTiers()) {
+    const Status s = ForceTier(TierName(tier));
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(ActiveTier(), tier);
+  }
+  EXPECT_TRUE(ForceTier("auto").ok());
+  EXPECT_EQ(ActiveTier(), BestSupportedTier());
+}
+
+TEST(KernelDispatchDeathTest, EnvResolverAbortsOnUnknownName) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(internal::TierFromEnvOrDie("bogus-tier"), "MVPT_FORCE_KERNEL");
+}
+
+TEST(KernelDispatchDeathTest, EnvResolverAbortsOnUnavailableTier) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* unavailable = nullptr;
+  for (int t = 0; t < kTierCount; ++t) {
+    if (!TierSupported(static_cast<Tier>(t))) {
+      unavailable = TierName(static_cast<Tier>(t));
+      break;
+    }
+  }
+  ASSERT_NE(unavailable, nullptr);
+  EXPECT_DEATH(internal::TierFromEnvOrDie(unavailable), "MVPT_FORCE_KERNEL");
+}
+
+TEST(KernelDispatchTest, EnvResolverAcceptsAutoAndEmpty) {
+  EXPECT_EQ(internal::TierFromEnvOrDie(nullptr), BestSupportedTier());
+  EXPECT_EQ(internal::TierFromEnvOrDie(""), BestSupportedTier());
+  EXPECT_EQ(internal::TierFromEnvOrDie("auto"), BestSupportedTier());
+  EXPECT_EQ(internal::TierFromEnvOrDie("scalar"), Tier::kScalar);
+}
+
+// --- pair kernels are the metrics -------------------------------------------
+
+/// The scalar pair kernels must be the *same function* (bit for bit) as the
+/// metric objects the trees were built with — that identity is what lets
+/// the flat SoA path mix kernel sweeps with metric calls mid-query.
+TEST(KernelPairTest, PairKernelsMatchMetricObjects) {
+  Rng rng(11);
+  for (std::size_t dim : {0u, 1u, 2u, 5u, 8u, 20u, 33u, 300u}) {
+    std::vector<double> a(dim), b(dim);
+    FillValues(rng, a.data(), dim);
+    FillValues(rng, b.data(), dim);
+    ExpectBitsEqual(metric::L1()(a, b), L1Pair(a.data(), b.data(), dim),
+                    "L1 dim=" + std::to_string(dim));
+    ExpectBitsEqual(metric::L2()(a, b), L2Pair(a.data(), b.data(), dim),
+                    "L2 dim=" + std::to_string(dim));
+    ExpectBitsEqual(metric::LInf()(a, b), LInfPair(a.data(), b.data(), dim),
+                    "LInf dim=" + std::to_string(dim));
+    // And Lp at p=1 / p=2 (the integer-exponent fast path) agrees too.
+    ExpectBitsEqual(metric::Lp(1.0)(a, b), L1Pair(a.data(), b.data(), dim),
+                    "Lp(1) dim=" + std::to_string(dim));
+    ExpectBitsEqual(metric::Lp(2.0)(a, b), L2Pair(a.data(), b.data(), dim),
+                    "Lp(2) dim=" + std::to_string(dim));
+  }
+}
+
+}  // namespace
+}  // namespace mvp::metric::kernels

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "dataset/image.h"
 #include "metric/counting.h"
 #include "metric/edit_distance.h"
@@ -39,6 +40,69 @@ TEST(LpTest, GeneralLpMatchesSpecializations) {
   // Large p approaches LInf from above.
   EXPECT_NEAR(Lp(64.0)(a, b), LInf()(a, b), 0.2);
   EXPECT_GE(Lp(64.0)(a, b), LInf()(a, b));
+}
+
+// The integer-exponent fast path: Lp(1) and Lp(2) must be BIT-identical to
+// the L1/L2 specializations (not merely near) — snapshots built under one
+// spelling of the metric are served under the other, and the flat layouts
+// byte-compare path distances. Exact equality of every result is the
+// contract; EXPECT_EQ on doubles checks the bits here (no NaNs involved).
+TEST(LpTest, IntegerExponentFastPathBitIdenticalToSpecializations) {
+  Rng rng(20260809);
+  const Lp lp1(1.0);
+  const Lp lp2(2.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t dim = 1 + rng.NextBounded(33);
+    Vector a(dim), b(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      a[i] = std::ldexp(rng.NextDouble() - 0.5,
+                        static_cast<int>(rng.NextBounded(41)) - 20);
+      b[i] = std::ldexp(rng.NextDouble() - 0.5,
+                        static_cast<int>(rng.NextBounded(41)) - 20);
+    }
+    EXPECT_EQ(lp1(a, b), L1()(a, b));
+    EXPECT_EQ(lp2(a, b), L2()(a, b));
+  }
+}
+
+TEST(LpTest, WeightedLpIntegerExponentMatchesDirectEvaluation) {
+  Rng rng(97);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t dim = 1 + rng.NextBounded(17);
+    Vector a(dim), b(dim), w(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      a[i] = rng.NextDouble() * 4.0 - 2.0;
+      b[i] = rng.NextDouble() * 4.0 - 2.0;
+      w[i] = rng.NextDouble();
+    }
+    // p = 1: sum of weighted absolute differences, summed left to right —
+    // the same order the fast path must use.
+    double sum1 = 0.0;
+    double sum2 = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double term = w[i] * std::fabs(a[i] - b[i]);
+      sum1 += term;
+      sum2 += term * term;
+    }
+    EXPECT_EQ(WeightedLp(1.0, w)(a, b), sum1);
+    EXPECT_EQ(WeightedLp(2.0, w)(a, b), std::sqrt(sum2));
+  }
+}
+
+// Integral p >= 3 has no bit-identity pin to pow() (PowInt's multiply chain
+// is not correctly rounded), but it must stay deterministic and close.
+TEST(LpTest, LargerIntegerExponentsNearPowEvaluation) {
+  const Vector a{0.3, -1.2, 4.0, 0.0, 2.5};
+  const Vector b{1.1, 2.2, -0.5, 3.3, -0.25};
+  for (const double p : {3.0, 4.0, 5.0, 8.0}) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      sum += std::pow(std::fabs(a[i] - b[i]), p);
+    }
+    const double want = std::pow(sum, 1.0 / p);
+    EXPECT_NEAR(Lp(p)(a, b), want, 1e-12 * want);
+    EXPECT_EQ(Lp(p)(a, b), Lp(p)(a, b));
+  }
 }
 
 TEST(LpTest, LpMonotoneNonincreasingInP) {

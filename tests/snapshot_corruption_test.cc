@@ -354,6 +354,15 @@ class FlatSnapshotCorruptionTest : public ::testing::Test {
     }
     return value;
   }
+  static std::uint32_t PeekU32(const std::vector<std::uint8_t>& arena,
+                               std::size_t offset) {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= std::uint32_t{arena[offset + static_cast<std::size_t>(i)]}
+               << (8 * i);
+    }
+    return value;
+  }
 
   std::string dir_;
   std::string gen_dir_;
@@ -469,15 +478,91 @@ TEST_F(FlatSnapshotCorruptionTest, StructuralNodeAndEntryCorruptionRejected) {
   EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
                  PokeU32(arena, static_cast<std::size_t>(children_offset), 0);
                }).ok());
-  // First leaf entry's id out of range.
+  // First two stored ids out of range (in v2 the entries section is the
+  // bare u32 id column; the same pokes hit the first leaf entry's id and
+  // PATH fields in a v1 arena).
   EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
                  PokeU32(arena, static_cast<std::size_t>(entries_offset),
                          0x0fffffffu);
                }).ok());
-  // First leaf entry's PATH slice out of the pool.
   EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
                  PokeU32(arena, static_cast<std::size_t>(entries_offset) + 4,
                          0x0fffffffu);
+               }).ok());
+}
+
+TEST_F(FlatSnapshotCorruptionTest, V2SoaStructuralCorruptionRejected) {
+  // The v2-only structures: the 48-byte header extension locating the
+  // D1/D2 columns and the per-node PATH-slab records, and the canonical
+  // slab tiling rule. Every mutation leaves all checksums VALID (the
+  // harness rebuilds them), so the structural pass alone must reject.
+  auto parsed = ContainerReader::Parse(container_.data(), container_.size());
+  ASSERT_TRUE(parsed.ok());
+  const auto [payload, length] = parsed.value().chunk_payload(0);
+  const std::vector<std::uint8_t> arena0(payload + 8, payload + length);
+  ASSERT_EQ(PeekU32(arena0, 4), 2u);  // fixture writes the v2 format
+  const std::uint64_t node_count = PeekU64(arena0, 40);
+  const std::uint64_t nodes_offset = PeekU64(arena0, 112);
+  constexpr std::size_t kExtD1Off = 144, kExtD2Off = 152,
+                        kExtLeafPathsOff = 160, kExtReservedOff = 168;
+  const std::uint64_t leafpaths_offset = PeekU64(arena0, kExtLeafPathsOff);
+
+  std::vector<std::size_t> leaves;
+  std::size_t internal_node = ~std::size_t{0};
+  for (std::size_t n = 0; n < node_count; ++n) {
+    const std::uint32_t flags =
+        PeekU32(arena0, static_cast<std::size_t>(nodes_offset) + n * 32);
+    if ((flags & 1u) != 0) {
+      leaves.push_back(n);
+    } else {
+      internal_node = n;
+    }
+  }
+  ASSERT_GE(leaves.size(), 2u);
+  ASSERT_NE(internal_node, ~std::size_t{0});
+  const auto lp_off = [&](std::size_t n) {
+    return static_cast<std::size_t>(leafpaths_offset) + n * 16;
+  };
+
+  // An internal node carrying a PATH slab record.
+  EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
+                 PokeU64(arena, lp_off(internal_node), 1);
+               }).ok());
+  // First leaf's slab shifted: the slabs no longer tile the PATH pool.
+  EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
+                 PokeU64(arena, lp_off(leaves[0]),
+                         PeekU64(arena, lp_off(leaves[0])) + 8);
+               }).ok());
+  // Second leaf's slab pulled backwards to OVERLAP the first leaf's.
+  const std::uint64_t second_slab = PeekU64(arena0, lp_off(leaves[1]));
+  ASSERT_GT(second_slab, 0u);  // p=5 makes every leaf slab non-empty
+  EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
+                 PokeU64(arena, lp_off(leaves[1]), second_slab - 1);
+               }).ok());
+  // A leaf PATH length exceeding the header's p.
+  EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
+                 PokeU32(arena, lp_off(leaves[0]) + 8,
+                         PeekU32(arena, 16) + 1);
+               }).ok());
+  // Nonzero reserved field in a leaf path record.
+  EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
+                 PokeU32(arena, lp_off(leaves[0]) + 12, 7);
+               }).ok());
+  // Nonzero reserved words in the header extension.
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
+                   PokeU64(arena, kExtReservedOff + 8 * r, 1);
+                 }).ok());
+  }
+  // D1/D2/leafpaths sections pointing out of the mapping (truncated
+  // columns), and a misaligned D1 column.
+  for (const std::size_t off : {kExtD1Off, kExtD2Off, kExtLeafPathsOff}) {
+    EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
+                   PokeU64(arena, off, std::uint64_t{1} << 60);
+                 }).ok());
+  }
+  EXPECT_FALSE(OpenWithMutatedArena([&](auto& arena) {
+                 PokeU64(arena, kExtD1Off, PeekU64(arena, kExtD1Off) + 4);
                }).ok());
 }
 
